@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: BHT associativity.
+ *
+ * Section 5 of the paper notes first-level conflict rates "can be
+ * reduced by using some degree of associativity"; the evaluated design
+ * is 4-way.  This bench sweeps associativity at fixed capacity to show
+ * the miss-rate and misprediction effect of that choice.
+ */
+
+#include "bench_util.hh"
+#include "stats/table_formatter.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    banner("Ablation: BHT associativity at 1024 entries "
+           "(PAs 2^10 x 2^2)");
+
+    TableFormatter table({"benchmark", "ways", "BHT miss rate",
+                          "misprediction"});
+
+    for (const std::string name : {"mpeg_play", "real_gcc"}) {
+        PreparedTrace trace = prepareProfile(name, opts.branches);
+        for (unsigned assoc : {1u, 2u, 4u, 8u}) {
+            SweepOptions o;
+            o.minTotalBits = 12;
+            o.maxTotalBits = 12;
+            o.trackAliasing = false;
+            o.bhtEntries = 1024;
+            o.bhtAssoc = assoc;
+            SweepResult r =
+                sweepScheme(trace, SchemeKind::PAsFinite, o);
+            auto pt = r.misprediction.at(12, 10);
+            table.addRow({name, std::to_string(assoc),
+                          TableFormatter::percent(r.bhtMissRate),
+                          pt ? TableFormatter::percent(*pt) : "-"});
+        }
+        table.addSeparator();
+    }
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nReading: conflict misses fall steeply from direct "
+                "mapped to 2- and 4-way; beyond 4-way the capacity "
+                "misses that remain are insensitive to associativity, "
+                "which is why the paper (and Yeh & Patt before it) "
+                "settled on 4-way.\n");
+    return 0;
+}

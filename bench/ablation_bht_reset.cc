@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: the finite-BHT miss-reset policy.
+ *
+ * The paper resets a displaced history register to a prefix of 0xC3FF
+ * "avoiding excessive aliasing for the patterns of all taken or all not
+ * taken branches".  This bench quantifies that choice against the
+ * obvious alternatives (all-zeros, all-ones, and keeping the victim's
+ * bits) on the large-program profiles where BHT pressure is real.
+ */
+
+#include "bench_util.hh"
+#include "stats/table_formatter.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    banner("Ablation: BHT miss-reset policy (PAs 2^10 x 2^2, 1K-entry "
+           "4-way BHT)");
+
+    const BhtResetPolicy policies[] = {
+        BhtResetPolicy::C3ffPrefix,
+        BhtResetPolicy::Zeros,
+        BhtResetPolicy::Ones,
+        BhtResetPolicy::Hold,
+    };
+
+    TableFormatter table({"benchmark", "0xC3FF-prefix", "zeros", "ones",
+                          "hold"});
+
+    for (const std::string name :
+         {"mpeg_play", "real_gcc", "gs", "verilog"}) {
+        PreparedTrace trace = prepareProfile(name, opts.branches);
+        std::vector<std::string> row = {name};
+        for (BhtResetPolicy policy : policies) {
+            SweepOptions o;
+            o.trackAliasing = false;
+            o.bhtEntries = 1024;
+            o.bhtAssoc = 4;
+            o.bhtResetPolicy = policy;
+            ConfigResult c = simulateConfig(
+                trace, SchemeKind::PAsFinite, 10, 2, o);
+            row.push_back(TableFormatter::percent(c.mispRate));
+        }
+        table.addRow(row);
+    }
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nReading: the all-ones reset collides with the loop "
+                "pattern and all-zeros with never-taken checks; the "
+                "mixture prefix avoids both.  'hold' inherits a "
+                "stranger's history entirely.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table regeneration benches.
+ *
+ * Every bench binary accepts `branches=N` to rescale trace lengths and
+ * `csv=1` to emit machine-readable output alongside the paper-style
+ * rendering.  Traces are generated fresh per run (deterministic seeds),
+ * so bench output is exactly reproducible.
+ */
+
+#ifndef BPSIM_BENCH_BENCH_UTIL_HH
+#define BPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "workload/profiles.hh"
+
+namespace bpsim::bench {
+
+/** Common bench options parsed from argv. */
+struct BenchOptions
+{
+    /** Override for conditional-trace length (0 = profile default). */
+    std::uint64_t branches = 0;
+    /** Emit CSV blocks after the human-readable tables. */
+    bool csv = false;
+
+    static BenchOptions
+    parse(int argc, const char *const *argv)
+    {
+        Config cfg = Config::parseArgs(argc, argv);
+        BenchOptions o;
+        o.branches =
+            static_cast<std::uint64_t>(cfg.getInt("branches", 0));
+        o.csv = cfg.getBool("csv", false);
+        return o;
+    }
+};
+
+/** Print a bench banner naming the reproduced paper artefact. */
+inline void
+banner(const std::string &what)
+{
+    std::printf("==== %s ====\n", what.c_str());
+    std::printf("Sechrest, Lee, Mudge: \"Correlation and Aliasing in "
+                "Dynamic Branch Predictors\" (ISCA 1996), synthetic "
+                "workload reproduction\n\n");
+}
+
+/** Render a surface plus optional CSV per the bench options. */
+inline void
+emitSurface(const Surface &surface, const BenchOptions &opts,
+            bool signed_values = false)
+{
+    std::printf("%s\n", surface.render(true, signed_values).c_str());
+    if (opts.csv)
+        std::printf("%s\n", surface.renderCsv().c_str());
+}
+
+} // namespace bpsim::bench
+
+#endif // BPSIM_BENCH_BENCH_UTIL_HH

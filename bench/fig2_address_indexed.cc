@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 2 reproduction: misprediction rates using a row of two-bit
+ * counters (address-indexed predictors) for all fourteen benchmarks,
+ * across table sizes from 16 (rear tier) to 32768 (front tier) counters.
+ *
+ * The paper's 3-D bar chart becomes a benchmark x size matrix here: each
+ * row is one benchmark, each column one table size.
+ */
+
+#include "bench_util.hh"
+#include "stats/table_formatter.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    banner("Figure 2: misprediction rates of address-indexed "
+           "predictors (16 .. 32768 counters)");
+
+    SweepOptions sweep = paperSweepOptions();
+    sweep.trackAliasing = false;
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (unsigned n = sweep.minTotalBits; n <= sweep.maxTotalBits; ++n)
+        headers.push_back(std::to_string(1u << n));
+    TableFormatter table(headers);
+
+    for (const auto &name : profileNames()) {
+        PreparedTrace trace = prepareProfile(name, opts.branches);
+        SweepResult r =
+            sweepScheme(trace, SchemeKind::AddressIndexed, sweep);
+        std::vector<std::string> row = {name};
+        for (unsigned n = sweep.minTotalBits; n <= sweep.maxTotalBits;
+             ++n) {
+            auto v = r.misprediction.at(n, 0);
+            row.push_back(v ? TableFormatter::percent(*v) : "-");
+        }
+        table.addRow(row);
+        if (opts.csv)
+            std::printf("%s", r.misprediction.renderCsv().c_str());
+    }
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nExpected shape (paper): the five small SPECint92 "
+                "programs saturate early (no gain from bigger tables); "
+                "gcc and the IBS benchmarks keep improving because "
+                "aliasing persists even in large tables.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 5 reproduction: aliasing-rate surfaces for GAs schemes on the
+ * three focus benchmarks (same axes as Figure 4), plus the
+ * harmless-aliasing share the paper discusses ("approximately a fifth of
+ * the aliasing for the larger benchmarks was for the pattern with all
+ * recorded branches taken").
+ */
+
+#include "bench_util.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    banner("Figure 5: aliasing rates for GAs schemes");
+
+    for (const auto &name : focusProfileNames()) {
+        PreparedTrace trace = prepareProfile(name, opts.branches);
+        SweepResult r =
+            sweepScheme(trace, SchemeKind::GAs, paperSweepOptions());
+        emitSurface(r.aliasing, opts);
+
+        // Harmless share at the row-heavy edge of a large tier, where
+        // the all-ones loop pattern dominates.
+        auto harmless = r.harmless.at(15, 14);
+        auto harmless_mid = r.harmless.at(12, 6);
+        std::printf("harmless (all-ones-pattern) share of conflicts: "
+                    "%.1f%% at 2^14 x 2^1, %.1f%% at 2^6 x 2^6\n\n",
+                    harmless.value_or(0.0) * 100.0,
+                    harmless_mid.value_or(0.0) * 100.0);
+    }
+
+    std::printf("Expected shape (paper): aliasing grows as address "
+                "bits are traded for history bits (history is worse at "
+                "distinguishing branches); espresso sees little "
+                "aliasing once a few address bits are used, while "
+                "mpeg_play and real_gcc alias heavily even in moderate "
+                "tables.  For the large programs roughly a fifth of "
+                "row-heavy aliasing is the harmless all-ones pattern.\n");
+    return 0;
+}

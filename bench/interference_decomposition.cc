@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Companion analysis to Figure 5: decompose the measured aliasing into
+ * destructive / neutral / constructive interference (Young, Gloy &
+ * Smith's taxonomy, which the paper cites when noting that "not all of
+ * this aliasing is destructive").
+ *
+ * For each focus benchmark and several GAs configurations, compare the
+ * raw conflict rate (what Figure 5 plots) with the net accuracy damage
+ * actually caused by sharing.
+ */
+
+#include "bench_util.hh"
+#include "sim/interference.hh"
+#include "stats/table_formatter.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    banner("Interference decomposition for GAs (companion to "
+           "Figure 5)");
+
+    struct Config
+    {
+        unsigned rowBits;
+        unsigned colBits;
+    };
+    const Config configs[] = {{0, 9}, {6, 3}, {9, 0}, {6, 6}, {12, 0},
+                              {8, 7}};
+
+    for (const auto &name : focusProfileNames()) {
+        PreparedTrace trace = prepareProfile(name, opts.branches);
+        std::printf("--- %s ---\n", name.c_str());
+        TableFormatter table({"config", "conflict rate", "destructive",
+                              "constructive", "net damage",
+                              "shared misp", "private misp"});
+        for (const Config &c : configs) {
+            SweepOptions o;
+            o.trackAliasing = true;
+            ConfigResult sweep = simulateConfig(
+                trace, SchemeKind::GAs, c.rowBits, c.colBits, o);
+            InterferenceResult r = analyzeInterference(
+                trace, SchemeKind::GAs, c.rowBits, c.colBits, o);
+            table.addRow(
+                {TableFormatter::configLabel(c.rowBits, c.colBits),
+                 TableFormatter::percent(sweep.aliasRate),
+                 TableFormatter::percent(r.destructiveRate()),
+                 TableFormatter::percent(r.constructiveRate()),
+                 TableFormatter::percent(r.netDamage()),
+                 TableFormatter::percent(r.sharedMispRate()),
+                 TableFormatter::percent(r.privateMispRate())});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Reading: the conflict rate (Figure 5's metric) far "
+                "exceeds the net accuracy damage -- most aliasing is "
+                "neutral, and a visible slice is constructive, exactly "
+                "the caveat the paper raises about interpreting "
+                "aliasing measurements.\n");
+    return 0;
+}

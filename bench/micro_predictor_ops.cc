@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: throughput of each predictor's
+ * predict-and-train operation and of the sweep kernel, the quantities
+ * that bound how fast the figure reproductions run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hh"
+#include "predictor/factory.hh"
+#include "sim/prepared_trace.hh"
+#include "sim/sweep.hh"
+#include "workload/executor.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+/** Shared medium workload (generated once). */
+const MemoryTrace &
+workload()
+{
+    static const MemoryTrace trace = [] {
+        setQuiet(true);
+        WorkloadParams p;
+        p.name = "micro";
+        p.seed = 1234;
+        p.staticBranches = 2000;
+        p.functionCount = 170;
+        p.targetConditionals = 200'000;
+        return generateTrace(p);
+    }();
+    return trace;
+}
+
+const PreparedTrace &
+prepared()
+{
+    static const PreparedTrace t{workload()};
+    return t;
+}
+
+void
+predictorThroughput(benchmark::State &state, const std::string &spec)
+{
+    const MemoryTrace &trace = workload();
+    auto predictor = makePredictor(spec);
+    std::size_t i = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const BranchRecord &rec = trace[i];
+        if (rec.isConditional())
+            sink += predictor->onBranch(rec);
+        i = (i + 1) % trace.size();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(predictorThroughput, addr_4k, "addr:12");
+BENCHMARK_CAPTURE(predictorThroughput, gag_4k, "GAg:12");
+BENCHMARK_CAPTURE(predictorThroughput, gas_64x64, "GAs:6:6");
+BENCHMARK_CAPTURE(predictorThroughput, gshare_4k, "gshare:12:0");
+BENCHMARK_CAPTURE(predictorThroughput, path_64x64, "path:6:6");
+BENCHMARK_CAPTURE(predictorThroughput, pas_perfect, "PAs:10:2");
+BENCHMARK_CAPTURE(predictorThroughput, pas_1k_bht, "PAs:10:2:1024");
+BENCHMARK_CAPTURE(predictorThroughput, tournament,
+                  "tournament(addr:11,gshare:11:0):11");
+
+namespace {
+
+void
+sweepKernel(benchmark::State &state)
+{
+    const PreparedTrace &t = prepared();
+    SweepOptions o;
+    o.trackAliasing = state.range(0) != 0;
+    for (auto _ : state) {
+        ConfigResult r =
+            simulateConfig(t, SchemeKind::GAs, 6, 6, o);
+        benchmark::DoNotOptimize(r.mispRate);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+}
+
+void
+traceGeneration(benchmark::State &state)
+{
+    WorkloadParams p;
+    p.name = "gen";
+    p.seed = 77;
+    p.staticBranches = 2000;
+    p.functionCount = 170;
+    p.targetConditionals =
+        static_cast<std::uint64_t>(state.range(0));
+    SyntheticProgram prog = buildProgram(p);
+    for (auto _ : state) {
+        ProgramExecutor exec(prog, p);
+        BranchRecord rec;
+        std::uint64_t n = 0;
+        while (exec.next(rec))
+            ++n;
+        benchmark::DoNotOptimize(n);
+        exec.reset();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(sweepKernel)->Arg(0)->Arg(1)->ArgNames({"aliasing"});
+BENCHMARK(traceGeneration)->Arg(100'000);

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Table 3 reproduction: for each focus benchmark and each scheme (GAs,
+ * gshare, PAs with infinite/2k/1k/128-entry first levels), the best
+ * configuration and its misprediction rate at 512, 4096 and 32768
+ * counters, with first-level miss rates, printed beside the paper's
+ * values.
+ */
+
+#include <array>
+#include <map>
+
+#include "bench_util.hh"
+#include "stats/table_formatter.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+namespace {
+
+/** Paper Table 3 values: scheme -> {rate@512, rate@4096, rate@32768}.
+ *  espresso's PAs(inf)@512 appears as "14.61%" in scans of the paper;
+ *  we read it as 4.61% (it must lower-bound the finite-BHT 4.62% and
+ *  4.83% rows).  real_gcc's PAs(inf)@32768 appears as "8.15%",
+ *  read as 6.15% by the same monotonicity argument. */
+using Rates = std::array<double, 3>;
+const std::map<std::string, std::map<std::string, Rates>> paperRates =
+    {
+        {"espresso",
+         {{"GAs", {4.79, 3.99, 3.52}},
+          {"gshare", {4.83, 3.82, 3.33}},
+          {"PAs(inf)", {4.61, 4.34, 4.06}},
+          {"PAs(1k)", {4.62, 4.35, 4.08}},
+          {"PAs(128)", {4.83, 4.57, 4.28}}}},
+        {"mpeg_play",
+         {{"GAs", {10.61, 7.23, 4.95}},
+          {"gshare", {10.61, 6.90, 4.58}},
+          {"PAs(inf)", {5.41, 4.84, 4.22}},
+          {"PAs(2k)", {5.85, 5.27, 4.67}},
+          {"PAs(1k)", {6.50, 5.92, 5.34}},
+          {"PAs(128)", {11.53, 10.93, 10.53}}}},
+        {"real_gcc",
+         {{"GAs", {14.45, 9.59, 6.82}},
+          {"gshare", {14.45, 9.52, 6.76}},
+          {"PAs(inf)", {7.05, 6.50, 6.15}},
+          {"PAs(2k)", {8.05, 7.51, 7.17}},
+          {"PAs(1k)", {9.09, 8.55, 8.23}},
+          {"PAs(128)", {17.88, 16.76, 16.20}}}},
+};
+
+std::string
+paperCell(const std::string &bench, const std::string &scheme, int i)
+{
+    auto b = paperRates.find(bench);
+    if (b == paperRates.end())
+        return "-";
+    auto s = b->second.find(scheme);
+    if (s == b->second.end())
+        return "-";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.2f%%", s->second[i]);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    banner("Table 3: best configurations for 512 / 4096 / 32768 "
+           "counters");
+
+    for (const auto &name : focusProfileNames()) {
+        PreparedTrace trace = prepareProfile(name, opts.branches);
+        Table3Options t3;
+        t3.budgetBits = {9, 12, 15};
+        t3.bhtSizes = {2048, 1024, 128};
+        auto rows = bestConfigTable(trace, t3);
+
+        std::printf("--- %s ---\n", name.c_str());
+        TableFormatter table({"predictor", "1st-level miss",
+                              "512 counters (paper)",
+                              "4096 counters (paper)",
+                              "32768 counters (paper)"});
+        for (const auto &row : rows) {
+            std::vector<std::string> cells = {row.scheme};
+            cells.push_back(row.bhtMissRate < 0 ?
+                                "-" :
+                                TableFormatter::percent(
+                                    row.bhtMissRate));
+            for (int i = 0; i < 3; ++i) {
+                if (!row.best[static_cast<std::size_t>(i)]) {
+                    cells.push_back("-");
+                    continue;
+                }
+                const auto &best =
+                    *row.best[static_cast<std::size_t>(i)];
+                char buf[96];
+                std::snprintf(
+                    buf, sizeof(buf), "%s (%s, paper %s)",
+                    TableFormatter::configLabel(best.rowBits,
+                                                best.colBits).c_str(),
+                    TableFormatter::percent(best.mispRate).c_str(),
+                    paperCell(name, row.scheme, i).c_str());
+                cells.push_back(buf);
+            }
+            table.addRow(cells);
+        }
+        std::printf("%s\n", table.render().c_str());
+        if (opts.csv)
+            std::printf("%s\n", table.renderCsv().c_str());
+    }
+
+    std::printf("Expected shape (paper): PAs beats the global schemes "
+                "on the large programs, most clearly at small tables; "
+                "global schemes need more address bits on large "
+                "programs; PAs needs adequate first-level capacity "
+                "(the 128-entry rows collapse); espresso converges for "
+                "all schemes with gshare/GAs slightly ahead at large "
+                "sizes.\n");
+    return 0;
+}

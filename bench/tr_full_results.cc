@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Technical-report-style full results: the paper presents only three
+ * benchmarks in its figures and points at the companion report
+ * (Sechrest, Lee, Mudge, CSE-TR-283-96) for the rest.  This bench
+ * produces the equivalent: best configuration and misprediction per
+ * scheme per table budget for ALL fourteen profiles.
+ *
+ * This is the longest-running bench; trim with branches=N if needed.
+ */
+
+#include "bench_util.hh"
+#include "stats/table_formatter.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    banner("Full results (companion-TR style): best configurations "
+           "for every profile");
+
+    // Shorter default than the profile traces: fourteen profiles x six
+    // schemes is a lot of sweeping.
+    std::uint64_t n = opts.branches ? opts.branches : 1'000'000;
+
+    for (const auto &name : profileNames()) {
+        PreparedTrace trace = prepareProfile(name, n);
+        Table3Options t3;
+        t3.budgetBits = {9, 12, 15};
+        t3.bhtSizes = {1024};
+        auto rows = bestConfigTable(trace, t3);
+
+        std::printf("--- %s ---\n", name.c_str());
+        TableFormatter table({"predictor", "1st-level miss",
+                              "512 counters", "4096 counters",
+                              "32768 counters"});
+        for (const auto &row : rows) {
+            std::vector<std::string> cells = {row.scheme};
+            cells.push_back(row.bhtMissRate < 0 ?
+                                "-" :
+                                TableFormatter::percent(
+                                    row.bhtMissRate));
+            for (const auto &best : row.best) {
+                if (!best) {
+                    cells.push_back("-");
+                    continue;
+                }
+                char buf[64];
+                std::snprintf(
+                    buf, sizeof(buf), "%s (%s)",
+                    TableFormatter::configLabel(best->rowBits,
+                                                best->colBits).c_str(),
+                    TableFormatter::percent(best->mispRate).c_str());
+                cells.push_back(buf);
+            }
+            table.addRow(cells);
+        }
+        std::printf("%s\n", table.render().c_str());
+        if (opts.csv)
+            std::printf("%s\n", table.renderCsv().c_str());
+    }
+    return 0;
+}

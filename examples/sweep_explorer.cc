@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sweep explorer: render paper-style misprediction / aliasing surfaces
+ * for any scheme, profile and tier range from the command line.
+ *
+ *   ./sweep_explorer [profile=real_gcc] [scheme=GAs] [min_bits=4]
+ *                    [max_bits=15] [branches=1000000] [metric=misp]
+ *                    [bht=1024] [assoc=4] [csv=0]
+ *
+ * scheme: addr | GAg | GAs | gshare | path | PAs | PAsBht
+ * metric: misp | alias | harmless
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+SchemeKind
+schemeFromName(const std::string &name)
+{
+    if (name == "addr")
+        return SchemeKind::AddressIndexed;
+    if (name == "GAg")
+        return SchemeKind::GAg;
+    if (name == "GAs")
+        return SchemeKind::GAs;
+    if (name == "gshare")
+        return SchemeKind::Gshare;
+    if (name == "path")
+        return SchemeKind::Path;
+    if (name == "PAs")
+        return SchemeKind::PAsPerfect;
+    if (name == "PAsBht")
+        return SchemeKind::PAsFinite;
+    bpsim_fatal("unknown scheme '", name,
+                "'; use addr, GAg, GAs, gshare, path, PAs or PAsBht");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = Config::parseArgs(argc, argv);
+    std::string profile = cfg.getString("profile", "real_gcc");
+    SchemeKind kind = schemeFromName(cfg.getString("scheme", "GAs"));
+    std::string metric = cfg.getString("metric", "misp");
+    auto branches =
+        static_cast<std::uint64_t>(cfg.getInt("branches", 1'000'000));
+
+    SweepOptions opts;
+    opts.minTotalBits =
+        static_cast<unsigned>(cfg.getInt("min_bits", 4));
+    opts.maxTotalBits =
+        static_cast<unsigned>(cfg.getInt("max_bits", 15));
+    opts.trackAliasing = metric != "misp";
+    opts.bhtEntries = static_cast<std::size_t>(cfg.getInt("bht", 1024));
+    opts.bhtAssoc = static_cast<unsigned>(cfg.getInt("assoc", 4));
+
+    PreparedTrace trace = prepareProfile(profile, branches);
+    SweepResult r = sweepScheme(trace, kind, opts);
+
+    const Surface *surface = &r.misprediction;
+    if (metric == "alias")
+        surface = &r.aliasing;
+    else if (metric == "harmless")
+        surface = &r.harmless;
+    else if (metric != "misp")
+        bpsim_fatal("unknown metric '", metric,
+                    "'; use misp, alias or harmless");
+
+    std::printf("%s", surface->render().c_str());
+    if (cfg.getBool("csv", false))
+        std::printf("%s", surface->renderCsv().c_str());
+    if (kind == SchemeKind::PAsFinite)
+        std::printf("BHT miss rate: %.2f%%\n", r.bhtMissRate * 100.0);
+
+    // Best-in-tier summary.
+    std::printf("\nbest per tier:\n");
+    for (const auto &tier : surface->tiers()) {
+        auto best = surface->bestInTier(tier.totalBits);
+        if (best) {
+            std::printf("  %6llu counters: 2^%u x 2^%u  %6.2f%%\n",
+                        1ULL << tier.totalBits, best->rowBits,
+                        best->colBits, best->value * 100.0);
+        }
+    }
+    return 0;
+}

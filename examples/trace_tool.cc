@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Trace utility: generate, inspect and characterise .bpt trace files.
+ *
+ *   ./trace_tool generate profile=<name> out=<file> [branches=N]
+ *   ./trace_tool info <file.bpt>
+ *   ./trace_tool characterize <file.bpt>      # Table 1/2-style stats
+ *   ./trace_tool head <file.bpt> [count=20]   # dump leading records
+ *
+ * The characterisation output mirrors the paper's Tables 1 and 2 so a
+ * user can run the same analysis over their own (converted) traces.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "predictor/factory.hh"
+#include "sim/engine.hh"
+#include "stats/table_formatter.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_tool generate profile=<name> out=<file> "
+                 "[branches=N]\n"
+                 "       trace_tool info <file.bpt>\n"
+                 "       trace_tool characterize <file.bpt>\n"
+                 "       trace_tool head <file.bpt> [count=20]\n"
+                 "       trace_tool top <file.bpt> [count=20] "
+                 "[spec=addr:12]\n");
+    return 2;
+}
+
+int
+doGenerate(const Config &cfg)
+{
+    std::string profile = cfg.getString("profile", "");
+    std::string out = cfg.getString("out", "");
+    if (profile.empty() || out.empty())
+        return usage();
+    auto branches =
+        static_cast<std::uint64_t>(cfg.getInt("branches", 0));
+
+    MemoryTrace trace = generateProfileTrace(profile, branches);
+    std::uint64_t written = saveTrace(trace, out);
+    std::printf("wrote %" PRIu64 " records (%zu conditional) to %s\n",
+                written, trace.conditionalCount(), out.c_str());
+    return 0;
+}
+
+int
+doInfo(const std::string &path)
+{
+    TraceReader reader(path);
+    std::printf("trace: %s\nrecords: %" PRIu64 "\n",
+                reader.name().c_str(), reader.recordCount());
+    return 0;
+}
+
+int
+doCharacterize(const std::string &path)
+{
+    MemoryTrace trace = loadTrace(path);
+    TraceCharacterization ch = TraceCharacterization::measure(trace);
+
+    TableFormatter t1({"metric", "value"});
+    t1.addRow({"dynamic instructions",
+               TableFormatter::integer(ch.dynamicInstructions())});
+    t1.addRow({"dynamic conditional branches",
+               TableFormatter::integer(ch.dynamicConditionals())});
+    t1.addRow({"conditional density",
+               TableFormatter::percent(ch.conditionalDensity(), 1)});
+    t1.addRow({"static conditional branches",
+               TableFormatter::integer(ch.staticConditionals())});
+    t1.addRow({"static branches covering 90%",
+               TableFormatter::integer(ch.staticCovering(0.90))});
+    t1.addRow({"kernel-mode conditionals",
+               TableFormatter::integer(ch.kernelConditionals())});
+    t1.addRow({"dynamic share from branches with bias >= 0.9",
+               TableFormatter::percent(
+                   ch.dynamicFractionBiasedAbove(0.9), 1)});
+    std::printf("%s", t1.render().c_str());
+
+    auto quart = ch.frequencyQuartiles();
+    TableFormatter t2({"instance share", "static branches",
+                       "share of statics"});
+    const char *labels[4] = {"first 50%", "next 40%", "next 9%",
+                             "remaining 1%"};
+    for (int i = 0; i < 4; ++i) {
+        double share = ch.staticConditionals() ?
+            static_cast<double>(quart[i]) /
+                static_cast<double>(ch.staticConditionals())
+            : 0.0;
+        t2.addRow({labels[i], TableFormatter::integer(quart[i]),
+                   TableFormatter::percent(share, 1)});
+    }
+    std::printf("%s", t2.render().c_str());
+    return 0;
+}
+
+int
+doTop(const std::string &path, std::int64_t count,
+      const std::string &spec)
+{
+    MemoryTrace trace = loadTrace(path);
+    auto predictor = makePredictor(spec);
+    PredictionStats stats =
+        runPredictor(trace, *predictor, /*track_sites=*/true);
+
+    std::vector<std::pair<Addr, BranchSiteStats>> sites(
+        stats.sites().begin(), stats.sites().end());
+    std::sort(sites.begin(), sites.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.executed > b.second.executed;
+              });
+
+    std::printf("top branches under %s (overall %5.2f%%):\n",
+                predictor->name().c_str(), stats.mispRate() * 100.0);
+    TableFormatter t({"rank", "pc", "instances", "share", "taken",
+                      "mispredicted"});
+    std::uint64_t total = stats.lookups();
+    for (std::size_t i = 0;
+         i < sites.size() && i < static_cast<std::size_t>(count); ++i) {
+        char pc_buf[32];
+        std::snprintf(pc_buf, sizeof(pc_buf), "0x%08" PRIx64,
+                      sites[i].first);
+        t.addRow({std::to_string(i + 1), pc_buf,
+                  TableFormatter::integer(sites[i].second.executed),
+                  TableFormatter::percent(
+                      static_cast<double>(sites[i].second.executed) /
+                          static_cast<double>(total)),
+                  TableFormatter::percent(sites[i].second.takenRate()),
+                  TableFormatter::percent(sites[i].second.mispRate())});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+doHead(const std::string &path, std::int64_t count)
+{
+    TraceReader reader(path);
+    BranchRecord rec;
+    for (std::int64_t i = 0; i < count && reader.next(rec); ++i) {
+        std::printf("%6lld  pc=0x%08" PRIx64 " -> 0x%08" PRIx64
+                    "  %-6s %-9s gap=%u%s\n",
+                    static_cast<long long>(i), rec.pc, rec.target,
+                    branchTypeName(rec.type),
+                    rec.isConditional()
+                        ? (rec.taken ? "taken" : "not-taken")
+                        : "",
+                    rec.instGap, rec.kernel ? "  [kernel]" : "");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = Config::parseArgs(argc, argv);
+    const auto &pos = cfg.positional();
+    if (pos.empty())
+        return usage();
+    const std::string &verb = pos[0];
+
+    if (verb == "generate")
+        return doGenerate(cfg);
+    if (pos.size() < 2)
+        return usage();
+    if (verb == "info")
+        return doInfo(pos[1]);
+    if (verb == "characterize")
+        return doCharacterize(pos[1]);
+    if (verb == "head")
+        return doHead(pos[1], cfg.getInt("count", 20));
+    if (verb == "top")
+        return doTop(pos[1], cfg.getInt("count", 20),
+                     cfg.getString("spec", "addr:12"));
+    return usage();
+}

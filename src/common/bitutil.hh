@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the predictor and table code.
+ *
+ * All index computation in the simulator funnels through these functions so
+ * that the (pc >> 2) word alignment and masking conventions pinned in
+ * DESIGN.md live in exactly one place.
+ */
+
+#ifndef BPSIM_COMMON_BITUTIL_HH
+#define BPSIM_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+/** Branch instruction address.  MIPS-style: word (4-byte) aligned. */
+using Addr = std::uint64_t;
+
+/** @return a mask with the low @p bits bits set (bits may be 0..64). */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << bits) - 1;
+}
+
+/** @return the low @p bits bits of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned nbits)
+{
+    return value & mask(nbits);
+}
+
+/** @return bits [lo, lo+nbits) of @p value, right-justified. */
+constexpr std::uint64_t
+bitsAt(std::uint64_t value, unsigned lo, unsigned nbits)
+{
+    return (value >> lo) & mask(nbits);
+}
+
+/**
+ * The word index of an instruction address.  Instructions are 4-byte
+ * aligned (MIPS R2000, as in the paper's traces), so the two low address
+ * bits carry no information and every table-indexing scheme starts from
+ * pc >> 2.
+ */
+constexpr std::uint64_t
+wordIndex(Addr pc)
+{
+    return pc >> 2;
+}
+
+/** @return true iff @p value is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** @return floor(log2(value)); value must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(value | 1));
+}
+
+/** @return ceil(log2(value)); value must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return floorLog2(value) + (isPowerOfTwo(value) ? 0 : 1);
+}
+
+/** @return log2 of @p value, which must be an exact power of two. */
+inline unsigned
+exactLog2(std::uint64_t value)
+{
+    bpsim_assert(isPowerOfTwo(value), "value ", value,
+                 " is not a power of two");
+    return floorLog2(value);
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_BITUTIL_HH

@@ -1,0 +1,98 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+Config
+Config::parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i)
+        tokens.emplace_back(argv[i]);
+    return parseTokens(tokens);
+}
+
+Config
+Config::parseTokens(const std::vector<std::string> &tokens)
+{
+    Config cfg;
+    for (const auto &tok : tokens) {
+        auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            cfg.args.push_back(tok);
+        } else {
+            cfg.options[tok.substr(0, eq)] = tok.substr(eq + 1);
+        }
+    }
+    return cfg;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return options.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t fallback) const
+{
+    auto it = options.find(key);
+    if (it == options.end())
+        return fallback;
+    const std::string &text = it->second;
+    char *end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0')
+        bpsim_fatal("option ", key, "=", text, " is not an integer");
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = options.find(key);
+    if (it == options.end())
+        return fallback;
+    const std::string &text = it->second;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        bpsim_fatal("option ", key, "=", text, " is not a number");
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = options.find(key);
+    if (it == options.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    bpsim_fatal("option ", key, "=", v, " is not a boolean");
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(options.size());
+    for (const auto &kv : options)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace bpsim

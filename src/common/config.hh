@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal key=value command-line option parsing shared by the examples
+ * and bench binaries.  Options look like "name=value"; bare words are
+ * positional arguments.
+ */
+
+#ifndef BPSIM_COMMON_CONFIG_HH
+#define BPSIM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bpsim {
+
+/** Parsed command line: positional arguments plus key=value options. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse argv[1..argc-1]. */
+    static Config parseArgs(int argc, const char *const *argv);
+
+    /** Parse a vector of tokens (for tests). */
+    static Config parseTokens(const std::vector<std::string> &tokens);
+
+    /** @return true if option @p key was supplied. */
+    bool has(const std::string &key) const;
+
+    /** @return option value, or @p fallback when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /**
+     * @return option parsed as signed integer (accepts 0x hex), or
+     * @p fallback when absent.  fatal() on malformed numbers.
+     */
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+
+    /** @return option parsed as double, or @p fallback when absent. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** @return option parsed as bool (true/false/1/0/yes/no). */
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Positional (non key=value) arguments, in order. */
+    const std::vector<std::string> &positional() const { return args; }
+
+    /** All option keys, for "unknown option" diagnostics. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> options;
+    std::vector<std::string> args;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_CONFIG_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fixed-width branch history shift register.
+ *
+ * Used for global outcome history (GAg/GAs/gshare rows), per-branch
+ * self-history (PAs rows), and -- with a configurable shift amount -- for
+ * Nair's path history, where each event contributes several target-address
+ * bits rather than one outcome bit.
+ */
+
+#ifndef BPSIM_COMMON_HISTORY_REGISTER_HH
+#define BPSIM_COMMON_HISTORY_REGISTER_HH
+
+#include <cstdint>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+/**
+ * A history register of up to 64 bits.  New events shift in at the least
+ * significant end, so bit 0 always holds the most recent event -- the
+ * convention used when the low r bits index a 2^r-row table.
+ */
+class HistoryRegister
+{
+  public:
+    /** @param width_ number of bits retained (0..64). */
+    constexpr explicit HistoryRegister(unsigned width_ = 0,
+                                       std::uint64_t initial = 0)
+        : value_(bits(initial, width_)), width_(width_)
+    {}
+
+    /** Shift in a single outcome bit (1 = taken). */
+    constexpr void
+    push(bool taken)
+    {
+        value_ = bits((value_ << 1) | (taken ? 1u : 0u), width_);
+    }
+
+    /**
+     * Shift in an @p nbits-bit event code (path history: low bits of a
+     * branch target address).  nbits may exceed width, in which case only
+     * the low bits survive.
+     */
+    constexpr void
+    pushBits(std::uint64_t event, unsigned nbits)
+    {
+        value_ = bits((value_ << nbits) | bits(event, nbits), width_);
+    }
+
+    /** @return the current register contents (width low bits). */
+    constexpr std::uint64_t value() const { return value_; }
+
+    /** @return the low @p nbits bits of the register. */
+    constexpr std::uint64_t low(unsigned nbits) const
+    {
+        return bits(value_, nbits);
+    }
+
+    /** Replace the register contents (masked to width). */
+    constexpr void
+    set(std::uint64_t v)
+    {
+        value_ = bits(v, width_);
+    }
+
+    constexpr unsigned width() const { return width_; }
+
+    /** @return true when every retained bit records a taken branch. */
+    constexpr bool
+    allOnes() const
+    {
+        return width_ > 0 && value_ == mask(width_);
+    }
+
+    constexpr bool operator==(const HistoryRegister &) const = default;
+
+  private:
+    std::uint64_t value_;
+    unsigned width_;
+};
+
+/**
+ * The appropriate-length prefix of the 16-bit pattern 0xC3FF
+ * (1100001111111111), the reset value the paper specifies for first-level
+ * history entries displaced from a finite BHT.  "Prefix" takes the
+ * high-order bits so that short histories get the 11000... mixture rather
+ * than all-ones (which would alias with loop patterns, the situation the
+ * pattern is chosen to avoid).
+ *
+ * Widths beyond 16 repeat the pattern, keeping the mixture property.
+ */
+constexpr std::uint64_t
+c3ffPrefix(unsigned width)
+{
+    constexpr std::uint64_t pattern = 0xC3FF;
+    if (width == 0)
+        return 0;
+    std::uint64_t out = 0;
+    unsigned produced = 0;
+    while (produced < width) {
+        unsigned chunk = (width - produced) < 16 ? (width - produced) : 16;
+        // Take the chunk high-order bits of the 16-bit pattern.
+        out = (out << chunk) | (pattern >> (16 - chunk));
+        produced += chunk;
+    }
+    return bits(out, width);
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_HISTORY_REGISTER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * N-bit saturating up/down counter -- the state machine populating every
+ * second-level predictor table in the paper (two bits throughout the
+ * paper's experiments; the width is a template parameter so ablations can
+ * vary it).
+ */
+
+#ifndef BPSIM_COMMON_SAT_COUNTER_HH
+#define BPSIM_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+namespace bpsim {
+
+/**
+ * Saturating counter of Bits bits.  The value saturates at 0 and
+ * 2^Bits - 1; the most significant bit is the taken/not-taken prediction.
+ *
+ * The canonical two-bit counter [Smith81] is SatCounter<2>, with states
+ * 0 = strongly not-taken, 1 = weakly not-taken, 2 = weakly taken,
+ * 3 = strongly taken.
+ */
+template <unsigned Bits = 2>
+class SatCounter
+{
+    static_assert(Bits >= 1 && Bits <= 8, "supported widths: 1..8 bits");
+
+  public:
+    static constexpr std::uint8_t maxValue = (1u << Bits) - 1;
+    /** Weakly-taken initial state, the common hardware reset value. */
+    static constexpr std::uint8_t weaklyTaken = 1u << (Bits - 1);
+    static constexpr std::uint8_t weaklyNotTaken = weaklyTaken - 1;
+
+    constexpr SatCounter() : value(weaklyTaken) {}
+    constexpr explicit SatCounter(std::uint8_t initial)
+        : value(initial > maxValue ? maxValue : initial)
+    {}
+
+    /** @return the predicted direction: MSB of the counter. */
+    constexpr bool predict() const { return value >= weaklyTaken; }
+
+    /** Train toward the actual outcome. */
+    constexpr void
+    update(bool taken)
+    {
+        if (taken) {
+            if (value < maxValue)
+                ++value;
+        } else {
+            if (value > 0)
+                --value;
+        }
+    }
+
+    /** @return the raw counter state. */
+    constexpr std::uint8_t raw() const { return value; }
+
+    /** Force the counter to a specific state (clamped to range). */
+    constexpr void
+    set(std::uint8_t v)
+    {
+        value = v > maxValue ? maxValue : v;
+    }
+
+    /** @return true when an update in either direction changes nothing. */
+    constexpr bool
+    saturated() const
+    {
+        return value == 0 || value == maxValue;
+    }
+
+    constexpr bool operator==(const SatCounter &) const = default;
+
+  private:
+    std::uint8_t value;
+};
+
+using TwoBitCounter = SatCounter<2>;
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dealiased global-history predictors: the agree predictor and the
+ * bi-mode predictor.
+ *
+ * The paper's conclusion -- "controlling aliasing will be the key to
+ * improving prediction accuracy and taking advantage of inter-branch
+ * correlations in global schemes" -- directly motivated this family of
+ * designs.  Both keep gshare's index but convert destructive aliasing
+ * into neutral or harmless aliasing:
+ *
+ *  - The AGREE predictor [Sprangle et al., ISCA 1997] stores a biasing
+ *    bit per branch (here: the first observed outcome) and makes the
+ *    shared counters predict whether the branch AGREES with its bias.
+ *    Two biased branches aliasing to the same counter now usually push
+ *    it the same way ("agree"), regardless of their directions.
+ *
+ *  - The BI-MODE predictor [Lee, Chen, Mudge -- the same group --
+ *    MICRO 1997] splits the pattern table into a taken-leaning and a
+ *    not-taken-leaning half, with an address-indexed choice table
+ *    steering each branch to the half matching its bias, so branches
+ *    aliasing in a direction table mostly share their bias.
+ */
+
+#ifndef BPSIM_PREDICTOR_DEALIASED_HH
+#define BPSIM_PREDICTOR_DEALIASED_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+#include "predictor/predictor.hh"
+
+namespace bpsim {
+
+/** gshare-indexed agree predictor with per-branch biasing bits. */
+class AgreePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param index_bits log2 size of the agree-counter table
+     * @param history_bits global history length XORed into the index
+     */
+    AgreePredictor(unsigned index_bits, unsigned history_bits);
+
+    bool onBranch(const BranchRecord &rec) override;
+    void reset() override;
+    std::string name() const override;
+    std::size_t counterCount() const override
+    {
+        return counters.size();
+    }
+
+    /** Branches whose biasing bit has been captured so far. */
+    std::size_t biasedBranches() const { return biasBits.size(); }
+
+  private:
+    std::size_t indexOf(Addr pc) const;
+
+    unsigned indexBits;
+    HistoryRegister history;
+    std::vector<TwoBitCounter> counters;
+    /**
+     * Biasing bit per branch: first observed outcome.  Hardware keeps
+     * this in the BTB/instruction cache; the unbounded map models that
+     * structure without a second capacity knob.
+     */
+    std::unordered_map<Addr, bool> biasBits;
+};
+
+/** Bi-mode predictor: choice table + two gshare-indexed direction
+ *  tables. */
+class BiModePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param direction_bits log2 size of EACH direction table
+     * @param choice_bits log2 size of the address-indexed choice table
+     * @param history_bits global history length for direction indexing
+     */
+    BiModePredictor(unsigned direction_bits, unsigned choice_bits,
+                    unsigned history_bits);
+
+    bool onBranch(const BranchRecord &rec) override;
+    void reset() override;
+    std::string name() const override;
+    std::size_t counterCount() const override
+    {
+        return taken.size() + notTaken.size() + choice.size();
+    }
+
+  private:
+    unsigned directionBits;
+    unsigned choiceBits;
+    HistoryRegister history;
+    std::vector<TwoBitCounter> taken;
+    std::vector<TwoBitCounter> notTaken;
+    std::vector<TwoBitCounter> choice;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_DEALIASED_HH

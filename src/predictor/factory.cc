@@ -1,0 +1,199 @@
+#include "predictor/factory.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "predictor/dealiased.hh"
+#include "predictor/gskew.hh"
+#include "predictor/static_pred.hh"
+#include "predictor/tournament.hh"
+#include "predictor/two_level.hh"
+
+namespace bpsim {
+
+namespace {
+
+/** Split "a:b:c" into fields. */
+std::vector<std::string>
+splitColon(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        auto colon = text.find(':', start);
+        if (colon == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, colon - start));
+        start = colon + 1;
+    }
+    return out;
+}
+
+unsigned
+parseUnsigned(const std::string &field, const std::string &spec)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(field.c_str(), &end, 0);
+    if (end == field.c_str() || *end != '\0' || v > 1'000'000'000UL)
+        bpsim_fatal("bad number '", field, "' in predictor spec '", spec,
+                    "'\n", predictorSpecHelp());
+    return static_cast<unsigned>(v);
+}
+
+void
+requireFields(const std::vector<std::string> &fields, std::size_t lo,
+              std::size_t hi, const std::string &spec)
+{
+    if (fields.size() < lo || fields.size() > hi)
+        bpsim_fatal("wrong number of fields in predictor spec '", spec,
+                    "'\n", predictorSpecHelp());
+}
+
+/** Parse "tournament(a,b):n", handling nested parentheses in a and b. */
+std::unique_ptr<BranchPredictor>
+makeTournament(const std::string &spec, bool track_aliasing)
+{
+    auto open = spec.find('(');
+    auto close = spec.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        bpsim_fatal("malformed tournament spec '", spec, "'\n",
+                    predictorSpecHelp());
+    }
+    std::string inner = spec.substr(open + 1, close - open - 1);
+    // Split on the comma at parenthesis depth zero.
+    int depth = 0;
+    std::size_t comma = std::string::npos;
+    for (std::size_t i = 0; i < inner.size(); ++i) {
+        if (inner[i] == '(')
+            ++depth;
+        else if (inner[i] == ')')
+            --depth;
+        else if (inner[i] == ',' && depth == 0) {
+            comma = i;
+            break;
+        }
+    }
+    if (comma == std::string::npos)
+        bpsim_fatal("tournament spec '", spec,
+                    "' needs two comma-separated components");
+
+    unsigned choice_bits = 12;
+    std::string tail = spec.substr(close + 1);
+    if (!tail.empty()) {
+        if (tail[0] != ':')
+            bpsim_fatal("malformed tournament spec '", spec, "'");
+        choice_bits = parseUnsigned(tail.substr(1), spec);
+    }
+    return std::make_unique<TournamentPredictor>(
+        makePredictor(inner.substr(0, comma), track_aliasing),
+        makePredictor(inner.substr(comma + 1), track_aliasing),
+        choice_bits);
+}
+
+} // namespace
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &spec, bool track_aliasing)
+{
+    if (spec.rfind("tournament", 0) == 0)
+        return makeTournament(spec, track_aliasing);
+    if (spec == "taken")
+        return std::make_unique<FixedPredictor>(true);
+    if (spec == "not-taken")
+        return std::make_unique<FixedPredictor>(false);
+    if (spec == "btfnt")
+        return std::make_unique<BtfntPredictor>();
+
+    auto fields = splitColon(spec);
+    const std::string &scheme = fields[0];
+
+    if (scheme == "addr") {
+        requireFields(fields, 2, 2, spec);
+        return makeAddressIndexed(parseUnsigned(fields[1], spec),
+                                  track_aliasing);
+    }
+    if (scheme == "GAg") {
+        requireFields(fields, 2, 2, spec);
+        return makeGAg(parseUnsigned(fields[1], spec), track_aliasing);
+    }
+    if (scheme == "GAs") {
+        requireFields(fields, 3, 3, spec);
+        return makeGAs(parseUnsigned(fields[1], spec),
+                       parseUnsigned(fields[2], spec), track_aliasing);
+    }
+    if (scheme == "gshare") {
+        requireFields(fields, 3, 3, spec);
+        return makeGshare(parseUnsigned(fields[1], spec),
+                          parseUnsigned(fields[2], spec),
+                          track_aliasing);
+    }
+    if (scheme == "path") {
+        requireFields(fields, 3, 4, spec);
+        unsigned per_target =
+            fields.size() > 3 ? parseUnsigned(fields[3], spec) : 2;
+        return makePath(parseUnsigned(fields[1], spec),
+                        parseUnsigned(fields[2], spec), per_target,
+                        track_aliasing);
+    }
+    if (scheme == "PAs") {
+        requireFields(fields, 3, 5, spec);
+        unsigned rows = parseUnsigned(fields[1], spec);
+        unsigned cols = parseUnsigned(fields[2], spec);
+        if (fields.size() == 3)
+            return makePAsPerfect(rows, cols, track_aliasing);
+        std::size_t entries = parseUnsigned(fields[3], spec);
+        unsigned assoc =
+            fields.size() > 4 ? parseUnsigned(fields[4], spec) : 4;
+        return makePAsFinite(rows, cols, entries, assoc,
+                             track_aliasing);
+    }
+
+    if (scheme == "SAs") {
+        requireFields(fields, 4, 4, spec);
+        return makeSAs(parseUnsigned(fields[1], spec),
+                       parseUnsigned(fields[2], spec),
+                       parseUnsigned(fields[3], spec), track_aliasing);
+    }
+    if (scheme == "agree") {
+        requireFields(fields, 2, 3, spec);
+        unsigned n = parseUnsigned(fields[1], spec);
+        unsigned h =
+            fields.size() > 2 ? parseUnsigned(fields[2], spec) : n;
+        return std::make_unique<AgreePredictor>(n, h);
+    }
+    if (scheme == "gskew") {
+        requireFields(fields, 2, 3, spec);
+        unsigned n = parseUnsigned(fields[1], spec);
+        unsigned h =
+            fields.size() > 2 ? parseUnsigned(fields[2], spec) : n;
+        return std::make_unique<GskewPredictor>(n, h);
+    }
+    if (scheme == "bimode") {
+        requireFields(fields, 3, 4, spec);
+        unsigned d = parseUnsigned(fields[1], spec);
+        unsigned ch = parseUnsigned(fields[2], spec);
+        unsigned h =
+            fields.size() > 3 ? parseUnsigned(fields[3], spec) : d;
+        return std::make_unique<BiModePredictor>(d, ch, h);
+    }
+
+    bpsim_fatal("unknown predictor scheme '", scheme, "' in spec '",
+                spec, "'\n", predictorSpecHelp());
+}
+
+std::string
+predictorSpecHelp()
+{
+    return "predictor specs: addr:<n> | GAg:<n> | GAs:<r>:<c> | "
+           "gshare:<r>:<c> | path:<r>:<c>[:<g>] | PAs:<r>:<c> | "
+           "PAs:<r>:<c>:<entries>[:<ways>] | SAs:<r>:<c>:<set_bits> | "
+           "agree:<n>[:<h>] | bimode:<d>:<ch>[:<h>] | gskew:<n>[:<h>] | "
+           "taken | "
+           "not-taken | btfnt | "
+           "tournament(<spec>,<spec>)[:<choice_bits>]";
+}
+
+} // namespace bpsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Name-driven predictor construction for the examples and CLI tools.
+ *
+ * Spec grammar (case-sensitive scheme names):
+ *
+ *   addr:<n>                       address-indexed, 2^n counters
+ *   GAg:<n>                        GAg, n history bits
+ *   GAs:<r>:<c>                    GAs, 2^r rows x 2^c columns
+ *   gshare:<r>:<c>                 gshare
+ *   path:<r>:<c>[:<g>]             Nair path, g bits/target (default 2)
+ *   PAs:<r>:<c>                    PAs, unbounded first level
+ *   PAs:<r>:<c>:<entries>[:<way>]  PAs, finite BHT (default 4-way)
+ *   SAs:<r>:<c>:<set_bits>         PAs with an untagged first level
+ *   agree:<n>[:<h>]                agree predictor (default h = n)
+ *   bimode:<d>:<ch>[:<h>]          bi-mode predictor (default h = d)
+ *   gskew:<n>[:<h>]                3-bank skewed majority (h = n)
+ *   taken | not-taken | btfnt      static baselines
+ *   tournament(<spec>,<spec>)[:<n>] combining predictor, 2^n choosers
+ */
+
+#ifndef BPSIM_PREDICTOR_FACTORY_HH
+#define BPSIM_PREDICTOR_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predictor/predictor.hh"
+
+namespace bpsim {
+
+/**
+ * Build a predictor from a textual spec.  fatal() with a usage message
+ * on malformed specs.
+ * @param track_aliasing instrument second-level tables when applicable
+ */
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &spec, bool track_aliasing = false);
+
+/** One-line usage summary of the spec grammar. */
+std::string predictorSpecHelp();
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_FACTORY_HH

@@ -1,0 +1,81 @@
+#include "predictor/gskew.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace bpsim {
+
+GskewPredictor::GskewPredictor(unsigned bank_bits,
+                               unsigned history_bits)
+    : bankBits(bank_bits), history(history_bits)
+{
+    bpsim_assert(bank_bits >= 1 && bank_bits <= 28,
+                 "gskew bank size out of range");
+    for (auto &bank : banks)
+        bank.assign(std::size_t{1} << bank_bits, TwoBitCounter{});
+}
+
+std::size_t
+GskewPredictor::bankIndex(unsigned bank, Addr pc) const
+{
+    // The original design uses H, H o sigma, H o sigma^2 built from a
+    // one-bit-diffusion function; distinct odd multipliers give the
+    // same pairwise-decorrelation property and stay readable.
+    static constexpr std::uint64_t multipliers[3] = {
+        0x9E3779B97F4A7C15ULL, // golden-ratio mix
+        0xC2B2AE3D27D4EB4FULL, // murmur3 finalizer constant
+        0x165667B19E3779F9ULL, // xxhash constant
+    };
+    std::uint64_t key = history.value() ^ wordIndex(pc);
+    std::uint64_t mixed = key * multipliers[bank];
+    // Take the top bits: the multiply pushes entropy upward.
+    return static_cast<std::size_t>(mixed >> (64 - bankBits));
+}
+
+bool
+GskewPredictor::onBranch(const BranchRecord &rec)
+{
+    bpsim_assert(rec.isConditional(),
+                 "predictor fed a non-conditional branch");
+    std::size_t idx[3];
+    bool vote[3];
+    int ayes = 0;
+    for (unsigned b = 0; b < 3; ++b) {
+        idx[b] = bankIndex(b, rec.pc);
+        vote[b] = banks[b][idx[b]].predict();
+        ayes += vote[b];
+    }
+    bool prediction = ayes >= 2;
+
+    // Partial update: agreeing banks train on a correct prediction;
+    // every bank trains on a misprediction.
+    bool correct = prediction == rec.taken;
+    for (unsigned b = 0; b < 3; ++b) {
+        if (!correct || vote[b] == prediction)
+            banks[b][idx[b]].update(rec.taken);
+    }
+
+    history.push(rec.taken);
+    return prediction;
+}
+
+void
+GskewPredictor::reset()
+{
+    for (auto &bank : banks)
+        std::fill(bank.begin(), bank.end(), TwoBitCounter{});
+    history.set(0);
+}
+
+std::string
+GskewPredictor::name() const
+{
+    std::ostringstream os;
+    os << "gskew 3x2^" << bankBits << " (h" << history.width() << ")";
+    return os.str();
+}
+
+} // namespace bpsim

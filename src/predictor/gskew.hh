@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The (2bc-)gskew predictor [Michaud, Seznec, Uhlig 1997] -- the third
+ * major dealiased successor to gshare, also directly motivated by the
+ * aliasing analyses of this paper and Young/Gloy/Smith.
+ *
+ * Three counter banks are indexed by three different hash functions of
+ * (history, address); the prediction is the majority vote.  Two
+ * branches that collide in one bank almost never collide in the other
+ * two, so the majority masks any single-bank interference.  Updates
+ * follow the partial-update policy: on a correct prediction only the
+ * agreeing banks train; on a misprediction all banks train.
+ */
+
+#ifndef BPSIM_PREDICTOR_GSKEW_HH
+#define BPSIM_PREDICTOR_GSKEW_HH
+
+#include <array>
+#include <vector>
+
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+#include "predictor/predictor.hh"
+
+namespace bpsim {
+
+/** Three-bank skewed global-history predictor with majority vote. */
+class GskewPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param bank_bits log2 size of EACH of the three banks
+     * @param history_bits global history length
+     */
+    GskewPredictor(unsigned bank_bits, unsigned history_bits);
+
+    bool onBranch(const BranchRecord &rec) override;
+    void reset() override;
+    std::string name() const override;
+    std::size_t counterCount() const override
+    {
+        return 3 * banks[0].size();
+    }
+
+  private:
+    /** The three skewing hashes over (history, word index). */
+    std::size_t bankIndex(unsigned bank, Addr pc) const;
+
+    unsigned bankBits;
+    HistoryRegister history;
+    std::array<std::vector<TwoBitCounter>, 3> banks;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_GSKEW_HH

@@ -1,0 +1,44 @@
+#include "predictor/pht.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+PredictorTable::PredictorTable(unsigned row_bits, unsigned col_bits,
+                               bool track_aliasing)
+    : rowBits_(row_bits), colBits_(col_bits)
+{
+    bpsim_assert(row_bits + col_bits <= 30,
+                 "predictor table of 2^", row_bits + col_bits,
+                 " counters is unreasonably large");
+    counters.assign(std::size_t{1} << (row_bits + col_bits),
+                    TwoBitCounter{});
+    if (track_aliasing)
+        aliasing = std::make_unique<AliasTracker>(counters.size());
+}
+
+const TwoBitCounter &
+PredictorTable::counterAt(std::size_t idx) const
+{
+    bpsim_assert(idx < counters.size(), "counter index out of range");
+    return counters[idx];
+}
+
+TwoBitCounter &
+PredictorTable::counterAt(std::size_t idx)
+{
+    bpsim_assert(idx < counters.size(), "counter index out of range");
+    return counters[idx];
+}
+
+void
+PredictorTable::reset()
+{
+    std::fill(counters.begin(), counters.end(), TwoBitCounter{});
+    if (aliasing)
+        aliasing->reset();
+}
+
+} // namespace bpsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The second-level pattern history table (PHT) of the general two-level
+ * model (Figure 1 of the paper): 2^rowBits rows by 2^colBits columns of
+ * two-bit saturating counters, selected by (row, column), with optional
+ * per-counter aliasing instrumentation.
+ */
+
+#ifndef BPSIM_PREDICTOR_PHT_HH
+#define BPSIM_PREDICTOR_PHT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/sat_counter.hh"
+#include "stats/aliasing.hh"
+
+namespace bpsim {
+
+/** Rows x columns of two-bit counters with aliasing measurement. */
+class PredictorTable
+{
+  public:
+    /**
+     * @param row_bits log2 of the row count (history side)
+     * @param col_bits log2 of the column count (address side)
+     * @param track_aliasing shadow every counter with its last accessor
+     *        to measure conflicts (Figure 5); costs one Addr per counter
+     */
+    PredictorTable(unsigned row_bits, unsigned col_bits,
+                   bool track_aliasing = false);
+
+    unsigned rowBits() const { return rowBits_; }
+    unsigned colBits() const { return colBits_; }
+    std::size_t counterCount() const { return counters.size(); }
+
+    /** Flat counter index for (row, column); masks both coordinates. */
+    std::size_t
+    index(std::uint64_t row, std::uint64_t col) const
+    {
+        return static_cast<std::size_t>(
+            (bits(row, rowBits_) << colBits_) | bits(col, colBits_));
+    }
+
+    /** Read the prediction at (row, col) without touching state. */
+    bool
+    predict(std::uint64_t row, std::uint64_t col) const
+    {
+        return counters[index(row, col)].predict();
+    }
+
+    /**
+     * Predict-and-train one access.
+     * @param pc accessing branch address (aliasing attribution)
+     * @param all_ones_pattern the first-level pattern in force is the
+     *        all-taken pattern (harmless-aliasing classification)
+     * @return the prediction made before the counter is trained
+     */
+    bool
+    access(std::uint64_t row, std::uint64_t col, Addr pc, bool taken,
+           bool all_ones_pattern)
+    {
+        std::size_t idx = index(row, col);
+        if (aliasing)
+            aliasing->access(idx, pc, all_ones_pattern);
+        bool prediction = counters[idx].predict();
+        counters[idx].update(taken);
+        return prediction;
+    }
+
+    /** Raw counter state (tests and ablations). */
+    const TwoBitCounter &counterAt(std::size_t idx) const;
+    TwoBitCounter &counterAt(std::size_t idx);
+
+    /** Aliasing statistics; null unless tracking was requested. */
+    const AliasTracker *aliasStats() const { return aliasing.get(); }
+
+    /** All counters to weakly-taken, aliasing trackers cleared. */
+    void reset();
+
+  private:
+    unsigned rowBits_;
+    unsigned colBits_;
+    std::vector<TwoBitCounter> counters;
+    std::unique_ptr<AliasTracker> aliasing;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_PHT_HH

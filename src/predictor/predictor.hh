@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The public predictor interface.
+ *
+ * Simulation is trace-driven, exactly as in the paper: the predictor sees
+ * each conditional branch once, produces a prediction from its current
+ * state, and is then trained with the actual outcome.  onBranch() does
+ * both in one call, which keeps stateful first-level structures (the PAs
+ * branch-history table performs its lookup-and-maybe-replace once per
+ * instance) trivially correct.
+ */
+
+#ifndef BPSIM_PREDICTOR_PREDICTOR_HH
+#define BPSIM_PREDICTOR_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/branch_record.hh"
+
+namespace bpsim {
+
+/** A dynamic conditional-branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict-then-train on one conditional branch instance.
+     * @param rec the executed branch (must be conditional)
+     * @return the direction predicted before training
+     */
+    virtual bool onBranch(const BranchRecord &rec) = 0;
+
+    /** Forget all state (tables to reset values, histories cleared). */
+    virtual void reset() = 0;
+
+    /** Scheme name plus configuration, e.g. "GAs 2^6 x 2^4". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Number of second-level state machines (two-bit counters), the
+     * paper's cost axis.  Zero for predictors without a counter table.
+     */
+    virtual std::size_t counterCount() const { return 0; }
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_PREDICTOR_HH

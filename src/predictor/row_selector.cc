@@ -1,0 +1,113 @@
+#include "predictor/row_selector.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+GlobalHistorySelector::GlobalHistorySelector(unsigned history_bits)
+    : history(history_bits)
+{
+    bpsim_assert(history_bits <= 64, "history too wide");
+}
+
+GshareSelector::GshareSelector(unsigned history_bits)
+    : history(history_bits)
+{
+    bpsim_assert(history_bits <= 64, "history too wide");
+}
+
+PathSelector::PathSelector(unsigned history_bits,
+                           unsigned bits_per_target)
+    : history(history_bits), bitsPerTarget(bits_per_target)
+{
+    bpsim_assert(bits_per_target >= 1 && bits_per_target <= 16,
+                 "bits per target out of range");
+}
+
+PerfectPerAddressSelector::PerfectPerAddressSelector(unsigned history_bits)
+    : historyBits(history_bits)
+{
+    bpsim_assert(history_bits <= 64, "history too wide");
+}
+
+std::uint64_t
+PerfectPerAddressSelector::selectRow(const BranchRecord &rec)
+{
+    auto it = table.find(rec.pc);
+    if (it == table.end()) {
+        it = table.emplace(rec.pc, HistoryRegister(historyBits)).first;
+    }
+    return it->second.value();
+}
+
+void
+PerfectPerAddressSelector::recordOutcome(const BranchRecord &rec)
+{
+    auto it = table.find(rec.pc);
+    bpsim_assert(it != table.end(),
+                 "recordOutcome() without a preceding selectRow()");
+    it->second.push(rec.taken);
+}
+
+bool
+PerfectPerAddressSelector::patternAllOnes(const BranchRecord &rec,
+                                          unsigned row_bits) const
+{
+    auto it = table.find(rec.pc);
+    if (it == table.end() || row_bits == 0)
+        return false;
+    return it->second.low(row_bits) == mask(row_bits);
+}
+
+SetPerAddressSelector::SetPerAddressSelector(unsigned set_bits,
+                                             unsigned history_bits)
+    : setBits(set_bits), historyBits(history_bits),
+      regs(std::size_t{1} << set_bits, HistoryRegister(history_bits))
+{
+    bpsim_assert(set_bits <= 24, "SAs first level unreasonably large");
+}
+
+std::string
+SetPerAddressSelector::schemeName() const
+{
+    std::ostringstream os;
+    os << "SAs(" << regs.size() << "r)";
+    return os.str();
+}
+
+void
+SetPerAddressSelector::reset()
+{
+    std::fill(regs.begin(), regs.end(), HistoryRegister(historyBits));
+}
+
+BhtPerAddressSelector::BhtPerAddressSelector(std::size_t entries,
+                                             unsigned assoc,
+                                             unsigned history_bits)
+    : bht(entries, assoc, history_bits)
+{
+}
+
+bool
+BhtPerAddressSelector::patternAllOnes(const BranchRecord &rec,
+                                      unsigned row_bits) const
+{
+    auto hist = bht.peek(rec.pc);
+    if (!hist || row_bits == 0)
+        return false;
+    return bits(*hist, row_bits) == mask(row_bits);
+}
+
+std::string
+BhtPerAddressSelector::schemeName() const
+{
+    std::ostringstream os;
+    os << "PAs(" << bht.entryCount() << "e/" << bht.associativity()
+       << "w)";
+    return os.str();
+}
+
+} // namespace bpsim

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * First-level row-selection mechanisms for the general two-level model.
+ *
+ * The row-selection box of Figure 1: given the branch being predicted, it
+ * produces the row index into the second-level table, and afterwards is
+ * told the outcome so it can update whatever history it keeps.  The five
+ * selectors here, combined with a column split, realise every scheme the
+ * paper simulates:
+ *
+ *   NullSelector              -> address-indexed tables (one row)
+ *   GlobalHistorySelector     -> GAg / GAs
+ *   GshareSelector            -> gshare (multi-column generalisation)
+ *   PathSelector              -> Nair's path-based scheme
+ *   PerfectPerAddressSelector -> PAs with unbounded first level
+ *   BhtPerAddressSelector     -> PAs with a real, finite BHT
+ */
+
+#ifndef BPSIM_PREDICTOR_ROW_SELECTOR_HH
+#define BPSIM_PREDICTOR_ROW_SELECTOR_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/history_register.hh"
+#include "predictor/bht.hh"
+#include "trace/branch_record.hh"
+
+namespace bpsim {
+
+/** First-level row-selection box. */
+class RowSelector
+{
+  public:
+    virtual ~RowSelector() = default;
+
+    /**
+     * Row index for this branch instance (caller masks to its row-bit
+     * width).  May mutate first-level state (a finite BHT allocates on
+     * miss here).
+     */
+    virtual std::uint64_t selectRow(const BranchRecord &rec) = 0;
+
+    /** Record the resolved outcome (called after selectRow). */
+    virtual void recordOutcome(const BranchRecord &rec) = 0;
+
+    /**
+     * Whether the history pattern produced by the last selectRow() for
+     * this branch was the all-taken pattern of @p row_bits length --
+     * the paper's harmless-aliasing class.  Selectors without an outcome
+     * history (Null, Path) return false.
+     */
+    virtual bool patternAllOnes(const BranchRecord &rec,
+                                unsigned row_bits) const = 0;
+
+    /** Short scheme prefix, e.g. "GAs". */
+    virtual std::string schemeName() const = 0;
+
+    /** Clear all first-level state. */
+    virtual void reset() = 0;
+};
+
+/** Single-row selection: the address-indexed ("bimodal") degenerate. */
+class NullSelector : public RowSelector
+{
+  public:
+    std::uint64_t selectRow(const BranchRecord &) override { return 0; }
+    void recordOutcome(const BranchRecord &) override {}
+    bool patternAllOnes(const BranchRecord &, unsigned) const override
+    {
+        return false;
+    }
+    std::string schemeName() const override { return "addr"; }
+    void reset() override {}
+};
+
+/** Global outcome history register: GAg (no columns) and GAs. */
+class GlobalHistorySelector : public RowSelector
+{
+  public:
+    /** @param history_bits register width (>= the largest row split). */
+    explicit GlobalHistorySelector(unsigned history_bits);
+
+    std::uint64_t selectRow(const BranchRecord &) override
+    {
+        return history.value();
+    }
+    void recordOutcome(const BranchRecord &rec) override
+    {
+        history.push(rec.taken);
+    }
+    bool patternAllOnes(const BranchRecord &,
+                        unsigned row_bits) const override
+    {
+        return row_bits > 0 && history.low(row_bits) == mask(row_bits);
+    }
+    std::string schemeName() const override { return "GAs"; }
+    void reset() override { history.set(0); }
+
+    std::uint64_t rawHistory() const { return history.value(); }
+
+  private:
+    HistoryRegister history;
+};
+
+/** Global history XORed with the branch address: gshare. */
+class GshareSelector : public RowSelector
+{
+  public:
+    explicit GshareSelector(unsigned history_bits);
+
+    std::uint64_t selectRow(const BranchRecord &rec) override
+    {
+        return history.value() ^ wordIndex(rec.pc);
+    }
+    void recordOutcome(const BranchRecord &rec) override
+    {
+        history.push(rec.taken);
+    }
+    bool patternAllOnes(const BranchRecord &,
+                        unsigned row_bits) const override
+    {
+        // Classification keys on the underlying outcome pattern, not the
+        // XORed row index.
+        return row_bits > 0 && history.low(row_bits) == mask(row_bits);
+    }
+    std::string schemeName() const override { return "gshare"; }
+    void reset() override { history.set(0); }
+
+  private:
+    HistoryRegister history;
+};
+
+/**
+ * Nair's path-based selection: the register concatenates the low
+ * bitsPerTarget bits of the executed successor address of each
+ * conditional branch (target when taken, fall-through otherwise), so it
+ * encodes the actual path leading up to the branch.
+ */
+class PathSelector : public RowSelector
+{
+  public:
+    /**
+     * @param history_bits register width
+     * @param bits_per_target address bits contributed per branch
+     */
+    PathSelector(unsigned history_bits, unsigned bits_per_target);
+
+    std::uint64_t selectRow(const BranchRecord &) override
+    {
+        return history.value();
+    }
+    void recordOutcome(const BranchRecord &rec) override
+    {
+        Addr successor = rec.taken ? rec.target : rec.pc + 4;
+        history.pushBits(wordIndex(successor), bitsPerTarget);
+    }
+    bool patternAllOnes(const BranchRecord &, unsigned) const override
+    {
+        return false; // path codes are not outcome patterns
+    }
+    std::string schemeName() const override { return "path"; }
+    void reset() override { history.set(0); }
+
+    unsigned targetBits() const { return bitsPerTarget; }
+
+  private:
+    HistoryRegister history;
+    unsigned bitsPerTarget;
+};
+
+/** PAs first level with one history register per distinct branch. */
+class PerfectPerAddressSelector : public RowSelector
+{
+  public:
+    explicit PerfectPerAddressSelector(unsigned history_bits);
+
+    std::uint64_t selectRow(const BranchRecord &rec) override;
+    void recordOutcome(const BranchRecord &rec) override;
+    bool patternAllOnes(const BranchRecord &rec,
+                        unsigned row_bits) const override;
+    std::string schemeName() const override { return "PAs(inf)"; }
+    void reset() override { table.clear(); }
+
+    /** Distinct branches tracked so far. */
+    std::size_t trackedBranches() const { return table.size(); }
+
+  private:
+    unsigned historyBits;
+    std::unordered_map<Addr, HistoryRegister> table;
+};
+
+/**
+ * SAs first level: history registers selected by low address bits,
+ * UNTAGGED (Yeh & Patt's S variant).  Distinct branches mapping to the
+ * same register silently share and pollute it -- exactly the
+ * first-level aliasing the paper contrasts with the tag-checked BHT.
+ */
+class SetPerAddressSelector : public RowSelector
+{
+  public:
+    /**
+     * @param set_bits log2 number of history registers
+     * @param history_bits width of each register
+     */
+    SetPerAddressSelector(unsigned set_bits, unsigned history_bits);
+
+    std::uint64_t selectRow(const BranchRecord &rec) override
+    {
+        return regs[slotOf(rec.pc)].value();
+    }
+    void recordOutcome(const BranchRecord &rec) override
+    {
+        regs[slotOf(rec.pc)].push(rec.taken);
+    }
+    bool patternAllOnes(const BranchRecord &rec,
+                        unsigned row_bits) const override
+    {
+        return row_bits > 0 &&
+            regs[slotOf(rec.pc)].low(row_bits) == mask(row_bits);
+    }
+    std::string schemeName() const override;
+    void reset() override;
+
+    std::size_t registerCount() const { return regs.size(); }
+
+  private:
+    std::size_t slotOf(Addr pc) const
+    {
+        return static_cast<std::size_t>(bits(wordIndex(pc), setBits));
+    }
+
+    unsigned setBits;
+    unsigned historyBits;
+    std::vector<HistoryRegister> regs;
+};
+
+/** PAs first level backed by a finite set-associative BHT. */
+class BhtPerAddressSelector : public RowSelector
+{
+  public:
+    BhtPerAddressSelector(std::size_t entries, unsigned assoc,
+                          unsigned history_bits);
+
+    std::uint64_t selectRow(const BranchRecord &rec) override
+    {
+        return bht.visit(rec.pc).history;
+    }
+    void recordOutcome(const BranchRecord &rec) override
+    {
+        bht.recordOutcome(rec.pc, rec.taken);
+    }
+    bool patternAllOnes(const BranchRecord &rec,
+                        unsigned row_bits) const override;
+    std::string schemeName() const override;
+    void reset() override { bht.reset(); }
+
+    const SetAssocBht &table() const { return bht; }
+
+  private:
+    SetAssocBht bht;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_ROW_SELECTOR_HH

@@ -1,0 +1,4 @@
+// Static predictors are header-only; this translation unit exists so the
+// header participates in the library build (and its include guards and
+// syntax are checked even if no test includes it first).
+#include "predictor/static_pred.hh"

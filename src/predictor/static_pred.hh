@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Static (history-free) baseline predictors.  Not evaluated in the
+ * paper's figures but indispensable as sanity floors in tests and the
+ * examples: any dynamic scheme should beat always-taken, and BTFNT
+ * (backward-taken / forward-not-taken) is the classic compiler-less
+ * static heuristic.
+ */
+
+#ifndef BPSIM_PREDICTOR_STATIC_PRED_HH
+#define BPSIM_PREDICTOR_STATIC_PRED_HH
+
+#include "predictor/predictor.hh"
+
+namespace bpsim {
+
+/** Predicts a fixed direction for every branch. */
+class FixedPredictor : public BranchPredictor
+{
+  public:
+    explicit FixedPredictor(bool predict_taken)
+        : taken(predict_taken)
+    {}
+
+    bool onBranch(const BranchRecord &) override { return taken; }
+    void reset() override {}
+    std::string name() const override
+    {
+        return taken ? "always-taken" : "always-not-taken";
+    }
+
+  private:
+    bool taken;
+};
+
+/** Backward taken, forward not taken (loops loop; ifs fall through). */
+class BtfntPredictor : public BranchPredictor
+{
+  public:
+    bool onBranch(const BranchRecord &rec) override
+    {
+        return rec.target < rec.pc;
+    }
+    void reset() override {}
+    std::string name() const override { return "btfnt"; }
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_STATIC_PRED_HH

@@ -1,0 +1,79 @@
+#include "predictor/tournament.hh"
+
+#include <sstream>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace bpsim {
+
+TournamentPredictor::TournamentPredictor(
+    std::unique_ptr<BranchPredictor> first_,
+    std::unique_ptr<BranchPredictor> second_, unsigned choice_bits)
+    : first(std::move(first_)), second(std::move(second_)),
+      choice(std::size_t{1} << choice_bits), choiceBits(choice_bits)
+{
+    bpsim_assert(first && second, "tournament needs two components");
+}
+
+bool
+TournamentPredictor::onBranch(const BranchRecord &rec)
+{
+    std::size_t idx = static_cast<std::size_t>(
+        bits(wordIndex(rec.pc), choiceBits));
+    bool use_second = choice[idx].predict();
+
+    // Both components always observe the branch (they train in parallel
+    // in hardware); each returns its own pre-training prediction.
+    bool p1 = first->onBranch(rec);
+    bool p2 = second->onBranch(rec);
+    bool prediction = use_second ? p2 : p1;
+
+    ++instances;
+    if (use_second)
+        ++choseSecond;
+
+    // Train the chooser only on disagreement, toward the correct one.
+    bool c1 = p1 == rec.taken;
+    bool c2 = p2 == rec.taken;
+    if (c1 != c2)
+        choice[idx].update(c2);
+    return prediction;
+}
+
+void
+TournamentPredictor::reset()
+{
+    first->reset();
+    second->reset();
+    std::fill(choice.begin(), choice.end(), TwoBitCounter{});
+    instances = 0;
+    choseSecond = 0;
+}
+
+std::string
+TournamentPredictor::name() const
+{
+    std::ostringstream os;
+    os << "tournament(" << first->name() << " | " << second->name()
+       << ", 2^" << choiceBits << " choice)";
+    return os.str();
+}
+
+std::size_t
+TournamentPredictor::counterCount() const
+{
+    return first->counterCount() + second->counterCount() +
+        choice.size();
+}
+
+double
+TournamentPredictor::secondChosenRate() const
+{
+    return instances ?
+        static_cast<double>(choseSecond) /
+            static_cast<double>(instances)
+        : 0.0;
+}
+
+} // namespace bpsim

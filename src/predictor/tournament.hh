@@ -1,0 +1,59 @@
+/**
+ * @file
+ * McFarling-style combining ("tournament") predictor.
+ *
+ * The paper's conclusion points at "recent work ... examining ways of
+ * combining schemes to provide more effective branch prediction"; this is
+ * that extension, built from two arbitrary component predictors and a
+ * table of two-bit choice counters indexed by branch address
+ * [McFarling92].  The choice counter trains toward whichever component
+ * was correct when they disagree.
+ */
+
+#ifndef BPSIM_PREDICTOR_TOURNAMENT_HH
+#define BPSIM_PREDICTOR_TOURNAMENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictor/predictor.hh"
+
+namespace bpsim {
+
+/** Two component predictors arbitrated by per-address choice counters. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param first component selected when the choice counter is low
+     * @param second component selected when the choice counter is high
+     * @param choice_bits log2 of the choice-counter table size
+     */
+    TournamentPredictor(std::unique_ptr<BranchPredictor> first,
+                        std::unique_ptr<BranchPredictor> second,
+                        unsigned choice_bits);
+
+    bool onBranch(const BranchRecord &rec) override;
+    void reset() override;
+    std::string name() const override;
+    std::size_t counterCount() const override;
+
+    /** Fraction of instances on which the second component was chosen. */
+    double secondChosenRate() const;
+
+    const BranchPredictor &firstComponent() const { return *first; }
+    const BranchPredictor &secondComponent() const { return *second; }
+
+  private:
+    std::unique_ptr<BranchPredictor> first;
+    std::unique_ptr<BranchPredictor> second;
+    std::vector<TwoBitCounter> choice;
+    unsigned choiceBits;
+    std::uint64_t instances = 0;
+    std::uint64_t choseSecond = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_TOURNAMENT_HH

@@ -1,0 +1,118 @@
+#include "predictor/two_level.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+TwoLevelPredictor::TwoLevelPredictor(
+    std::unique_ptr<RowSelector> selector_, unsigned row_bits,
+    unsigned col_bits, bool track_aliasing)
+    : selector(std::move(selector_)),
+      table(row_bits, col_bits, track_aliasing)
+{
+    bpsim_assert(selector != nullptr, "two-level predictor needs a "
+                 "row selector");
+}
+
+bool
+TwoLevelPredictor::onBranch(const BranchRecord &rec)
+{
+    bpsim_assert(rec.isConditional(),
+                 "predictor fed a non-conditional branch");
+    std::uint64_t row = selector->selectRow(rec);
+    std::uint64_t col = wordIndex(rec.pc);
+    bool all_ones = table.aliasStats() != nullptr &&
+        selector->patternAllOnes(rec, table.rowBits());
+    bool prediction =
+        table.access(row, col, rec.pc, rec.taken, all_ones);
+    selector->recordOutcome(rec);
+    return prediction;
+}
+
+void
+TwoLevelPredictor::reset()
+{
+    selector->reset();
+    table.reset();
+}
+
+std::string
+TwoLevelPredictor::name() const
+{
+    std::ostringstream os;
+    os << selector->schemeName() << " 2^" << table.rowBits() << " x 2^"
+       << table.colBits();
+    return os.str();
+}
+
+std::unique_ptr<TwoLevelPredictor>
+makeAddressIndexed(unsigned index_bits, bool track_aliasing)
+{
+    return std::make_unique<TwoLevelPredictor>(
+        std::make_unique<NullSelector>(), 0, index_bits, track_aliasing);
+}
+
+std::unique_ptr<TwoLevelPredictor>
+makeGAg(unsigned history_bits, bool track_aliasing)
+{
+    return std::make_unique<TwoLevelPredictor>(
+        std::make_unique<GlobalHistorySelector>(history_bits),
+        history_bits, 0, track_aliasing);
+}
+
+std::unique_ptr<TwoLevelPredictor>
+makeGAs(unsigned row_bits, unsigned col_bits, bool track_aliasing)
+{
+    return std::make_unique<TwoLevelPredictor>(
+        std::make_unique<GlobalHistorySelector>(row_bits), row_bits,
+        col_bits, track_aliasing);
+}
+
+std::unique_ptr<TwoLevelPredictor>
+makeGshare(unsigned row_bits, unsigned col_bits, bool track_aliasing)
+{
+    return std::make_unique<TwoLevelPredictor>(
+        std::make_unique<GshareSelector>(row_bits), row_bits, col_bits,
+        track_aliasing);
+}
+
+std::unique_ptr<TwoLevelPredictor>
+makePath(unsigned row_bits, unsigned col_bits, unsigned bits_per_target,
+         bool track_aliasing)
+{
+    return std::make_unique<TwoLevelPredictor>(
+        std::make_unique<PathSelector>(row_bits, bits_per_target),
+        row_bits, col_bits, track_aliasing);
+}
+
+std::unique_ptr<TwoLevelPredictor>
+makePAsPerfect(unsigned row_bits, unsigned col_bits, bool track_aliasing)
+{
+    return std::make_unique<TwoLevelPredictor>(
+        std::make_unique<PerfectPerAddressSelector>(row_bits), row_bits,
+        col_bits, track_aliasing);
+}
+
+std::unique_ptr<TwoLevelPredictor>
+makeSAs(unsigned row_bits, unsigned col_bits, unsigned set_bits,
+        bool track_aliasing)
+{
+    return std::make_unique<TwoLevelPredictor>(
+        std::make_unique<SetPerAddressSelector>(set_bits, row_bits),
+        row_bits, col_bits, track_aliasing);
+}
+
+std::unique_ptr<TwoLevelPredictor>
+makePAsFinite(unsigned row_bits, unsigned col_bits,
+              std::size_t bht_entries, unsigned bht_assoc,
+              bool track_aliasing)
+{
+    return std::make_unique<TwoLevelPredictor>(
+        std::make_unique<BhtPerAddressSelector>(bht_entries, bht_assoc,
+                                                row_bits),
+        row_bits, col_bits, track_aliasing);
+}
+
+} // namespace bpsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The general two-level predictor of Figure 1: a RowSelector (first
+ * level) composed with a PredictorTable (second level).  Every scheme in
+ * the paper is an instance:
+ *
+ *   address-indexed  TwoLevelPredictor(NullSelector, 0, n)
+ *   GAg              TwoLevelPredictor(GlobalHistorySelector, n, 0)
+ *   GAs 2^r x 2^c    TwoLevelPredictor(GlobalHistorySelector, r, c)
+ *   gshare           TwoLevelPredictor(GshareSelector, r, c)
+ *   path             TwoLevelPredictor(PathSelector, r, c)
+ *   PAs (perfect)    TwoLevelPredictor(PerfectPerAddressSelector, r, c)
+ *   PAs (finite)     TwoLevelPredictor(BhtPerAddressSelector, r, c)
+ */
+
+#ifndef BPSIM_PREDICTOR_TWO_LEVEL_HH
+#define BPSIM_PREDICTOR_TWO_LEVEL_HH
+
+#include <memory>
+
+#include "predictor/pht.hh"
+#include "predictor/predictor.hh"
+#include "predictor/row_selector.hh"
+
+namespace bpsim {
+
+/** RowSelector x PredictorTable composition. */
+class TwoLevelPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param selector first-level row-selection box (owned)
+     * @param row_bits log2 rows of the second-level table
+     * @param col_bits log2 columns (address-selected)
+     * @param track_aliasing instrument the table for Figure 5
+     */
+    TwoLevelPredictor(std::unique_ptr<RowSelector> selector,
+                      unsigned row_bits, unsigned col_bits,
+                      bool track_aliasing = false);
+
+    bool onBranch(const BranchRecord &rec) override;
+    void reset() override;
+    std::string name() const override;
+    std::size_t counterCount() const override
+    {
+        return table.counterCount();
+    }
+
+    const PredictorTable &pht() const { return table; }
+    const RowSelector &rowSelector() const { return *selector; }
+    RowSelector &rowSelector() { return *selector; }
+
+  private:
+    std::unique_ptr<RowSelector> selector;
+    PredictorTable table;
+};
+
+/// Convenience constructors for the paper's named schemes.
+
+/** Address-indexed table of 2^n counters (Figure 2). */
+std::unique_ptr<TwoLevelPredictor>
+makeAddressIndexed(unsigned index_bits, bool track_aliasing = false);
+
+/** GAg with n history bits into a 2^n-counter column (Figure 3). */
+std::unique_ptr<TwoLevelPredictor>
+makeGAg(unsigned history_bits, bool track_aliasing = false);
+
+/** GAs 2^r rows x 2^c columns (Figure 4). */
+std::unique_ptr<TwoLevelPredictor>
+makeGAs(unsigned row_bits, unsigned col_bits, bool track_aliasing = false);
+
+/** gshare 2^r x 2^c (Figure 6). */
+std::unique_ptr<TwoLevelPredictor>
+makeGshare(unsigned row_bits, unsigned col_bits,
+           bool track_aliasing = false);
+
+/** Nair path scheme 2^r x 2^c (Figure 8). */
+std::unique_ptr<TwoLevelPredictor>
+makePath(unsigned row_bits, unsigned col_bits, unsigned bits_per_target = 2,
+         bool track_aliasing = false);
+
+/** PAs with unbounded first level (Figure 9). */
+std::unique_ptr<TwoLevelPredictor>
+makePAsPerfect(unsigned row_bits, unsigned col_bits,
+               bool track_aliasing = false);
+
+/** SAs: untagged set of history registers as the first level. */
+std::unique_ptr<TwoLevelPredictor>
+makeSAs(unsigned row_bits, unsigned col_bits, unsigned set_bits,
+        bool track_aliasing = false);
+
+/** PAs with a finite set-associative BHT (Figure 10). */
+std::unique_ptr<TwoLevelPredictor>
+makePAsFinite(unsigned row_bits, unsigned col_bits, std::size_t bht_entries,
+              unsigned bht_assoc = 4, bool track_aliasing = false);
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_TWO_LEVEL_HH

@@ -1,0 +1,100 @@
+#include "sim/experiment.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace bpsim {
+
+PreparedTrace
+prepareProfile(const std::string &profile,
+               std::uint64_t target_conditionals)
+{
+    MemoryTrace trace =
+        generateProfileTrace(profile, target_conditionals);
+    return PreparedTrace(trace);
+}
+
+SweepOptions
+paperSweepOptions()
+{
+    SweepOptions opts;
+    opts.minTotalBits = 4;  // 16 counters, the rearmost tier
+    opts.maxTotalBits = 15; // 32768 counters, the frontmost tier
+    opts.trackAliasing = true;
+    return opts;
+}
+
+namespace {
+
+/** Extract per-budget best configs from a sweep's misprediction data. */
+BestConfigRow
+rowFromSweep(const std::string &scheme, const SweepResult &sweep,
+             const std::vector<unsigned> &budget_bits,
+             double bht_miss_rate)
+{
+    BestConfigRow row;
+    row.scheme = scheme;
+    row.bhtMissRate = bht_miss_rate;
+    for (unsigned bits : budget_bits) {
+        auto best = sweep.misprediction.bestInTier(bits);
+        if (best) {
+            row.best.push_back(
+                BestConfig{best->rowBits, best->colBits, best->value});
+        } else {
+            row.best.push_back(std::nullopt);
+        }
+    }
+    return row;
+}
+
+} // namespace
+
+std::vector<BestConfigRow>
+bestConfigTable(const PreparedTrace &trace, const Table3Options &opts)
+{
+    bpsim_assert(!opts.budgetBits.empty(), "no budgets requested");
+
+    SweepOptions sweep_opts;
+    sweep_opts.trackAliasing = false; // misprediction only; faster
+    unsigned lo = opts.budgetBits.front();
+    unsigned hi = opts.budgetBits.front();
+    for (unsigned b : opts.budgetBits) {
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+    }
+    sweep_opts.minTotalBits = lo;
+    sweep_opts.maxTotalBits = hi;
+
+    std::vector<BestConfigRow> rows;
+
+    rows.push_back(rowFromSweep(
+        "GAs", sweepScheme(trace, SchemeKind::GAs, sweep_opts),
+        opts.budgetBits, -1.0));
+    rows.push_back(rowFromSweep(
+        "gshare", sweepScheme(trace, SchemeKind::Gshare, sweep_opts),
+        opts.budgetBits, -1.0));
+    rows.push_back(rowFromSweep(
+        "PAs(inf)",
+        sweepScheme(trace, SchemeKind::PAsPerfect, sweep_opts),
+        opts.budgetBits, -1.0));
+
+    for (std::size_t entries : opts.bhtSizes) {
+        SweepOptions finite = sweep_opts;
+        finite.bhtEntries = entries;
+        finite.bhtAssoc = opts.bhtAssoc;
+        SweepResult sweep =
+            sweepScheme(trace, SchemeKind::PAsFinite, finite);
+        std::ostringstream name;
+        if (entries % 1024 == 0)
+            name << "PAs(" << entries / 1024 << "k)";
+        else
+            name << "PAs(" << entries << ")";
+        rows.push_back(rowFromSweep(name.str(), sweep, opts.budgetBits,
+                                    sweep.bhtMissRate));
+    }
+    return rows;
+}
+
+} // namespace bpsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Interference decomposition for two-level predictor tables.
+ *
+ * The paper stresses that "not all of this aliasing is destructive":
+ * some conflicts are harmless (both branches want the same outcome) and
+ * a few even help.  Young, Gloy and Smith (ISCA 1995), cited by the
+ * paper, formalised this as destructive / neutral / constructive
+ * interference.  This analyzer measures the decomposition exactly, by
+ * replaying a trace through the real (shared) table and, in lock-step,
+ * through an idealised table that gives every (row, branch) pair its
+ * own counter:
+ *
+ *   destructive: shared table wrong, private counter right
+ *   constructive: shared table right, private counter wrong
+ *   neutral: both agree (right or wrong together)
+ *
+ * The net aliasing damage is destructive - constructive mispredictions;
+ * comparing it with the raw conflict rate of Figure 5 quantifies how
+ * much of the paper's measured aliasing actually costs accuracy.
+ */
+
+#ifndef BPSIM_SIM_INTERFERENCE_HH
+#define BPSIM_SIM_INTERFERENCE_HH
+
+#include <cstdint>
+
+#include "sim/prepared_trace.hh"
+#include "sim/sweep.hh"
+
+namespace bpsim {
+
+/** Outcome of an interference decomposition run. */
+struct InterferenceResult
+{
+    /** Conditional instances replayed. */
+    std::uint64_t instances = 0;
+    /** Mispredictions of the real (shared) table. */
+    std::uint64_t sharedMispredicts = 0;
+    /** Mispredictions of the idealised per-branch table. */
+    std::uint64_t privateMispredicts = 0;
+    /** Instances where sharing flipped a right answer to wrong. */
+    std::uint64_t destructive = 0;
+    /** Instances where sharing flipped a wrong answer to right. */
+    std::uint64_t constructive = 0;
+
+    double
+    sharedMispRate() const
+    {
+        return instances ?
+            static_cast<double>(sharedMispredicts) /
+                static_cast<double>(instances)
+            : 0.0;
+    }
+
+    double
+    privateMispRate() const
+    {
+        return instances ?
+            static_cast<double>(privateMispredicts) /
+                static_cast<double>(instances)
+            : 0.0;
+    }
+
+    /** Fraction of instances where sharing hurt. */
+    double
+    destructiveRate() const
+    {
+        return instances ?
+            static_cast<double>(destructive) /
+                static_cast<double>(instances)
+            : 0.0;
+    }
+
+    /** Fraction of instances where sharing helped. */
+    double
+    constructiveRate() const
+    {
+        return instances ?
+            static_cast<double>(constructive) /
+                static_cast<double>(instances)
+            : 0.0;
+    }
+
+    /** Net accuracy cost of sharing (can be negative). */
+    double
+    netDamage() const
+    {
+        return destructiveRate() - constructiveRate();
+    }
+};
+
+/**
+ * Decompose the interference of one configuration of one scheme.
+ * The private reference table is unbounded (hash map keyed by counter
+ * index and branch address) and trains on exactly the same stream.
+ *
+ * @param trace prepared conditional-branch stream
+ * @param kind predictor family (first-level semantics as in sweep.hh)
+ * @param row_bits, col_bits second-level geometry
+ * @param opts per-scheme knobs (path bits, BHT geometry)
+ */
+InterferenceResult
+analyzeInterference(const PreparedTrace &trace, SchemeKind kind,
+                    unsigned row_bits, unsigned col_bits,
+                    const SweepOptions &opts = {});
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_INTERFERENCE_HH

@@ -1,0 +1,76 @@
+#include "sim/prepared_trace.hh"
+
+#include <unordered_map>
+
+#include "common/history_register.hh"
+#include "common/logging.hh"
+
+namespace bpsim {
+
+PreparedTrace::PreparedTrace(const MemoryTrace &trace)
+    : name_(trace.name())
+{
+    std::size_t n = trace.conditionalCount();
+    pcs.reserve(n);
+    targets.reserve(n);
+    takens.reserve(n);
+    ghist.reserve(n);
+    shist.reserve(n);
+
+    std::uint64_t global = 0;
+    std::unordered_map<Addr, std::uint64_t> self;
+    self.reserve(n / 64 + 16);
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const BranchRecord &rec = trace[i];
+        if (!rec.isConditional())
+            continue;
+        pcs.push_back(rec.pc);
+        targets.push_back(rec.target);
+        takens.push_back(rec.taken ? 1 : 0);
+
+        ghist.push_back(global);
+        global = (global << 1) | (rec.taken ? 1u : 0u);
+
+        std::uint64_t &h = self[rec.pc];
+        shist.push_back(h);
+        h = (h << 1) | (rec.taken ? 1u : 0u);
+    }
+}
+
+std::vector<std::uint64_t>
+PreparedTrace::pathHistoryStream(unsigned bits_per_target) const
+{
+    bpsim_assert(bits_per_target >= 1 && bits_per_target <= 16,
+                 "bits per target out of range");
+    std::vector<std::uint64_t> out;
+    out.reserve(size());
+    std::uint64_t reg = 0;
+    for (std::size_t i = 0; i < size(); ++i) {
+        out.push_back(reg);
+        Addr successor = takens[i] ? targets[i] : pcs[i] + 4;
+        reg = (reg << bits_per_target) |
+            bits(wordIndex(successor), bits_per_target);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+PreparedTrace::bhtHistoryStream(std::size_t entries, unsigned assoc,
+                                unsigned history_bits,
+                                double *miss_rate_out,
+                                BhtResetPolicy policy) const
+{
+    SetAssocBht bht(entries, assoc, history_bits, policy);
+    std::vector<std::uint64_t> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) {
+        out.push_back(bht.visit(pcs[i]).history);
+        bht.recordOutcome(pcs[i], takens[i] != 0);
+    }
+    if (miss_rate_out)
+        *miss_rate_out = bht.missRate();
+    return out;
+}
+
+} // namespace bpsim

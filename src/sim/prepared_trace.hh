@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sweep-optimised trace representation.
+ *
+ * The figure experiments replay the same trace through hundreds of
+ * predictor configurations.  All first-level state evolves identically
+ * regardless of the second-level configuration, so it can be computed
+ * once per trace (or once per first-level configuration) and shared:
+ *
+ *  - the global outcome history before each branch (GAg/GAs/gshare rows
+ *    for every r come from masking one 64-bit stream);
+ *  - the path-history register before each branch (per bits-per-target);
+ *  - the per-branch self history before each branch (perfect first
+ *    level: one stream serves every row width, since narrower registers
+ *    are the low bits of wider ones);
+ *  - finite-BHT self history (per BHT configuration and row width,
+ *    because the 0xC3FF reset prefix differs by width).
+ *
+ * A test (test_sweep_equivalence) pins the equivalence between this fast
+ * path and the online TwoLevelPredictor.
+ */
+
+#ifndef BPSIM_SIM_PREPARED_TRACE_HH
+#define BPSIM_SIM_PREPARED_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "predictor/bht.hh"
+#include "trace/memory_trace.hh"
+
+namespace bpsim {
+
+/** Conditional-branch columns of a trace plus precomputed histories. */
+class PreparedTrace
+{
+  public:
+    /** Extract and precompute from a materialised trace. */
+    explicit PreparedTrace(const MemoryTrace &trace);
+
+    const std::string &name() const { return name_; }
+    /** Number of conditional branch instances. */
+    std::size_t size() const { return pcs.size(); }
+
+    /** Branch address of conditional instance @p i. */
+    Addr pc(std::size_t i) const { return pcs[i]; }
+    /** Outcome of conditional instance @p i. */
+    bool taken(std::size_t i) const { return takens[i] != 0; }
+    /** Global outcome history BEFORE instance @p i (bit 0 newest). */
+    std::uint64_t globalHistory(std::size_t i) const { return ghist[i]; }
+    /** Perfect per-branch self history BEFORE instance @p i. */
+    std::uint64_t selfHistory(std::size_t i) const { return shist[i]; }
+
+    /**
+     * Path-history register value before each instance, shifting
+     * @p bits_per_target successor-address bits per branch.
+     */
+    std::vector<std::uint64_t>
+    pathHistoryStream(unsigned bits_per_target) const;
+
+    /**
+     * Self-history stream through a finite BHT.
+     * @param entries BHT entries (power of two)
+     * @param assoc associativity
+     * @param history_bits register width (0xC3FF prefix length)
+     * @param miss_rate_out when non-null, receives the BHT miss rate
+     */
+    std::vector<std::uint64_t>
+    bhtHistoryStream(std::size_t entries, unsigned assoc,
+                     unsigned history_bits,
+                     double *miss_rate_out = nullptr,
+                     BhtResetPolicy policy =
+                         BhtResetPolicy::C3ffPrefix) const;
+
+  private:
+    std::string name_;
+    std::vector<Addr> pcs;
+    std::vector<Addr> targets;
+    std::vector<std::uint8_t> takens;
+    std::vector<std::uint64_t> ghist;
+    std::vector<std::uint64_t> shist;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_PREPARED_TRACE_HH

@@ -1,0 +1,222 @@
+#include "sim/sweep.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "common/sat_counter.hh"
+#include "stats/aliasing.hh"
+
+namespace bpsim {
+
+namespace {
+
+/**
+ * The inner simulation kernel: one configuration, with the row index and
+ * the all-ones-pattern flag supplied per instance by functors so each
+ * scheme compiles to a tight loop.
+ */
+template <typename RowFn, typename OnesFn>
+ConfigResult
+runKernel(const PreparedTrace &t, unsigned row_bits, unsigned col_bits,
+          bool track_aliasing, RowFn row_of, OnesFn all_ones_of)
+{
+    const std::uint64_t row_mask = mask(row_bits);
+    const std::uint64_t col_mask = mask(col_bits);
+    std::vector<TwoBitCounter> counters(
+        std::size_t{1} << (row_bits + col_bits));
+    AliasTracker tracker(track_aliasing ? counters.size() : 1);
+
+    std::uint64_t mispredicts = 0;
+    const std::size_t n = t.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t row = row_of(i) & row_mask;
+        std::uint64_t col = wordIndex(t.pc(i)) & col_mask;
+        auto idx =
+            static_cast<std::size_t>((row << col_bits) | col);
+        if (track_aliasing)
+            tracker.access(idx, t.pc(i),
+                           row_bits > 0 && all_ones_of(i));
+        bool taken = t.taken(i);
+        if (counters[idx].predict() != taken)
+            ++mispredicts;
+        counters[idx].update(taken);
+    }
+
+    ConfigResult out;
+    out.mispRate =
+        n ? static_cast<double>(mispredicts) / static_cast<double>(n)
+          : 0.0;
+    if (track_aliasing) {
+        out.aliasRate = tracker.aliasRate();
+        out.harmlessFraction = tracker.harmlessFraction();
+    }
+    return out;
+}
+
+/** Dispatch the kernel for one configuration of one scheme. */
+ConfigResult
+runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
+          unsigned col_bits, bool track_aliasing,
+          const std::vector<std::uint64_t> *aux_stream)
+{
+    const std::uint64_t row_mask = mask(row_bits);
+    auto never_ones = [](std::size_t) { return false; };
+
+    switch (kind) {
+      case SchemeKind::AddressIndexed:
+        bpsim_assert(row_bits == 0, "address-indexed tables have no "
+                     "rows");
+        return runKernel(t, row_bits, col_bits, track_aliasing,
+                         [](std::size_t) { return std::uint64_t{0}; },
+                         never_ones);
+
+      case SchemeKind::GAg:
+      case SchemeKind::GAs:
+        return runKernel(
+            t, row_bits, col_bits, track_aliasing,
+            [&](std::size_t i) { return t.globalHistory(i); },
+            [&](std::size_t i) {
+                return (t.globalHistory(i) & row_mask) == row_mask;
+            });
+
+      case SchemeKind::Gshare:
+        return runKernel(
+            t, row_bits, col_bits, track_aliasing,
+            [&](std::size_t i) {
+                return t.globalHistory(i) ^ wordIndex(t.pc(i));
+            },
+            [&](std::size_t i) {
+                // Harmlessness keys on the outcome pattern itself.
+                return (t.globalHistory(i) & row_mask) == row_mask;
+            });
+
+      case SchemeKind::Path:
+        bpsim_assert(aux_stream, "path sweep needs a history stream");
+        return runKernel(
+            t, row_bits, col_bits, track_aliasing,
+            [&](std::size_t i) { return (*aux_stream)[i]; },
+            never_ones);
+
+      case SchemeKind::PAsPerfect:
+        return runKernel(
+            t, row_bits, col_bits, track_aliasing,
+            [&](std::size_t i) { return t.selfHistory(i); },
+            [&](std::size_t i) {
+                return (t.selfHistory(i) & row_mask) == row_mask;
+            });
+
+      case SchemeKind::PAsFinite:
+        bpsim_assert(aux_stream, "finite-PAs sweep needs a BHT stream");
+        return runKernel(
+            t, row_bits, col_bits, track_aliasing,
+            [&](std::size_t i) { return (*aux_stream)[i]; },
+            [&](std::size_t i) {
+                return ((*aux_stream)[i] & row_mask) == row_mask;
+            });
+    }
+    bpsim_panic("unreachable scheme kind");
+}
+
+} // namespace
+
+const char *
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::AddressIndexed: return "addr";
+      case SchemeKind::GAg: return "GAg";
+      case SchemeKind::GAs: return "GAs";
+      case SchemeKind::Gshare: return "gshare";
+      case SchemeKind::Path: return "path";
+      case SchemeKind::PAsPerfect: return "PAs(inf)";
+      case SchemeKind::PAsFinite: return "PAs(bht)";
+    }
+    return "?";
+}
+
+SweepResult::SweepResult(const std::string &scheme_name,
+                         const std::string &trace_name)
+    : misprediction(scheme_name + " misprediction: " + trace_name),
+      aliasing(scheme_name + " aliasing: " + trace_name),
+      harmless(scheme_name + " harmless-alias fraction: " + trace_name)
+{
+}
+
+SweepResult
+sweepScheme(const PreparedTrace &trace, SchemeKind kind,
+            const SweepOptions &opts)
+{
+    bpsim_assert(opts.minTotalBits <= opts.maxTotalBits,
+                 "sweep tier range reversed");
+    SweepResult result(schemeKindName(kind), trace.name());
+
+    // Streams shared across configurations.
+    std::vector<std::uint64_t> path_stream;
+    if (kind == SchemeKind::Path)
+        path_stream = trace.pathHistoryStream(opts.pathBitsPerTarget);
+    // Finite-BHT streams depend on the row width (the reset prefix
+    // does); cache one per width.
+    std::map<unsigned, std::vector<std::uint64_t>> bht_streams;
+
+    for (unsigned total = opts.minTotalBits; total <= opts.maxTotalBits;
+         ++total) {
+        for (unsigned r = 0; r <= total; ++r) {
+            unsigned c = total - r;
+            // Degenerate schemes contribute a single split per tier.
+            if (kind == SchemeKind::AddressIndexed && r != 0)
+                continue;
+            if (kind == SchemeKind::GAg && c != 0)
+                continue;
+
+            const std::vector<std::uint64_t> *aux = nullptr;
+            if (kind == SchemeKind::Path) {
+                aux = &path_stream;
+            } else if (kind == SchemeKind::PAsFinite) {
+                auto it = bht_streams.find(r);
+                if (it == bht_streams.end()) {
+                    double miss = 0.0;
+                    it = bht_streams
+                             .emplace(r, trace.bhtHistoryStream(
+                                             opts.bhtEntries,
+                                             opts.bhtAssoc, r, &miss,
+                                             opts.bhtResetPolicy))
+                             .first;
+                    result.bhtMissRate = miss;
+                }
+                aux = &it->second;
+            }
+
+            ConfigResult point = runConfig(trace, kind, r, c,
+                                           opts.trackAliasing, aux);
+            result.misprediction.add(total, r, c, point.mispRate);
+            if (opts.trackAliasing) {
+                result.aliasing.add(total, r, c, point.aliasRate);
+                result.harmless.add(total, r, c,
+                                    point.harmlessFraction);
+            }
+        }
+    }
+    return result;
+}
+
+ConfigResult
+simulateConfig(const PreparedTrace &trace, SchemeKind kind,
+               unsigned row_bits, unsigned col_bits,
+               const SweepOptions &opts)
+{
+    std::vector<std::uint64_t> aux;
+    const std::vector<std::uint64_t> *aux_ptr = nullptr;
+    if (kind == SchemeKind::Path) {
+        aux = trace.pathHistoryStream(opts.pathBitsPerTarget);
+        aux_ptr = &aux;
+    } else if (kind == SchemeKind::PAsFinite) {
+        aux = trace.bhtHistoryStream(opts.bhtEntries, opts.bhtAssoc,
+                                     row_bits, nullptr,
+                                     opts.bhtResetPolicy);
+        aux_ptr = &aux;
+    }
+    return runConfig(trace, kind, row_bits, col_bits,
+                     opts.trackAliasing, aux_ptr);
+}
+
+} // namespace bpsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Configuration-space sweeps: every (rows x columns) split of every
+ * predictor-table budget, for every scheme in the paper, over a prepared
+ * trace.  This is the engine behind Figures 2-10 and Table 3.
+ *
+ * The sweep path is the fast counterpart of the online TwoLevelPredictor
+ * (see prepared_trace.hh); their equivalence is pinned by tests.
+ */
+
+#ifndef BPSIM_SIM_SWEEP_HH
+#define BPSIM_SIM_SWEEP_HH
+
+#include <cstdint>
+
+#include "sim/prepared_trace.hh"
+#include "stats/surface.hh"
+
+namespace bpsim {
+
+/** The predictor families the paper sweeps. */
+enum class SchemeKind
+{
+    AddressIndexed, ///< row of counters, address-selected (Figure 2)
+    GAg,            ///< column of counters, global history (Figure 3)
+    GAs,            ///< global history x address (Figure 4)
+    Gshare,         ///< (global history XOR address) x address (Fig. 6)
+    Path,           ///< Nair target-bit path history (Figure 8)
+    PAsPerfect,     ///< self history, unbounded first level (Figure 9)
+    PAsFinite,      ///< self history through a real BHT (Figure 10)
+};
+
+/** @return the scheme's display name ("GAs", "gshare", ...). */
+const char *schemeKindName(SchemeKind kind);
+
+/** Sweep shape and per-scheme parameters. */
+struct SweepOptions
+{
+    /** Smallest tier: 2^minTotalBits counters (paper: 16). */
+    unsigned minTotalBits = 4;
+    /** Largest tier: 2^maxTotalBits counters (paper: 32768). */
+    unsigned maxTotalBits = 15;
+    /** Measure aliasing alongside misprediction (Figure 5). */
+    bool trackAliasing = true;
+    /** Path scheme: address bits contributed per branch. */
+    unsigned pathBitsPerTarget = 2;
+    /** PAsFinite: BHT entry count (power of two). */
+    std::size_t bhtEntries = 1024;
+    /** PAsFinite: BHT associativity. */
+    unsigned bhtAssoc = 4;
+    /** PAsFinite: BHT miss-reset policy (ablation knob). */
+    BhtResetPolicy bhtResetPolicy = BhtResetPolicy::C3ffPrefix;
+};
+
+/** One configuration's measurements. */
+struct ConfigResult
+{
+    double mispRate = 0.0;
+    double aliasRate = 0.0;
+    /** Fraction of conflicts under the all-ones pattern. */
+    double harmlessFraction = 0.0;
+};
+
+/** Surfaces over the whole configuration space of one scheme. */
+struct SweepResult
+{
+    Surface misprediction;
+    Surface aliasing;
+    Surface harmless;
+    /** PAsFinite only: the BHT tag miss rate (identical across tiers). */
+    double bhtMissRate = 0.0;
+
+    SweepResult(const std::string &scheme_name,
+                const std::string &trace_name);
+};
+
+/**
+ * Sweep @p kind over every tier in [minTotalBits, maxTotalBits] and
+ * every row/column split within each tier.  AddressIndexed contributes
+ * only the all-columns split and GAg only the all-rows split, matching
+ * the paper's Figures 2 and 3.
+ */
+SweepResult sweepScheme(const PreparedTrace &trace, SchemeKind kind,
+                        const SweepOptions &opts = {});
+
+/**
+ * Measure a single configuration (2^row_bits x 2^col_bits).  Slower per
+ * point than sweepScheme (first-level streams are rebuilt), intended for
+ * spot checks and tests.
+ */
+ConfigResult simulateConfig(const PreparedTrace &trace, SchemeKind kind,
+                            unsigned row_bits, unsigned col_bits,
+                            const SweepOptions &opts = {});
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_SWEEP_HH

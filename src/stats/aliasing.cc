@@ -1,0 +1,45 @@
+#include "stats/aliasing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+AliasTracker::AliasTracker(std::size_t entries)
+    : lastPc(entries, untouched)
+{
+    bpsim_assert(entries > 0, "AliasTracker over zero entries");
+}
+
+bool
+AliasTracker::access(std::size_t slot, Addr pc, bool all_ones_pattern)
+{
+    bpsim_assert(slot < lastPc.size(), "slot ", slot, " out of range ",
+                 lastPc.size());
+    ++accesses_;
+    Addr prev = lastPc[slot];
+    lastPc[slot] = pc;
+    if (prev == untouched) {
+        ++touched_;
+        return false;
+    }
+    if (prev == pc)
+        return false;
+    ++conflicts_;
+    if (all_ones_pattern)
+        ++harmless_;
+    return true;
+}
+
+void
+AliasTracker::reset()
+{
+    std::fill(lastPc.begin(), lastPc.end(), untouched);
+    accesses_ = 0;
+    conflicts_ = 0;
+    harmless_ = 0;
+    touched_ = 0;
+}
+
+} // namespace bpsim

@@ -1,0 +1,86 @@
+#include "stats/branch_classes.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+const char *
+branchClassName(BranchClass cls)
+{
+    switch (cls) {
+      case BranchClass::AlwaysNotTaken: return "always-not-taken";
+      case BranchClass::MostlyNotTaken: return "mostly-not-taken";
+      case BranchClass::Mixed: return "mixed";
+      case BranchClass::MostlyTaken: return "mostly-taken";
+      case BranchClass::AlwaysTaken: return "always-taken";
+    }
+    return "?";
+}
+
+BranchClass
+classifyTakenRate(double taken_rate)
+{
+    bpsim_assert(taken_rate >= 0.0 && taken_rate <= 1.0,
+                 "taken rate out of range");
+    if (taken_rate < 0.05)
+        return BranchClass::AlwaysNotTaken;
+    if (taken_rate < 0.30)
+        return BranchClass::MostlyNotTaken;
+    if (taken_rate < 0.70)
+        return BranchClass::Mixed;
+    if (taken_rate < 0.95)
+        return BranchClass::MostlyTaken;
+    return BranchClass::AlwaysTaken;
+}
+
+double
+BranchClassReport::dynamicShare(BranchClass cls) const
+{
+    return totalInstances ?
+        static_cast<double>((*this)[cls].instances) /
+            static_cast<double>(totalInstances)
+        : 0.0;
+}
+
+std::string
+BranchClassReport::render() const
+{
+    std::ostringstream os;
+    os << "class              statics   instances     share   misp\n";
+    for (std::size_t i = 0; i < branchClassCount; ++i) {
+        auto cls = static_cast<BranchClass>(i);
+        const Row &row = rows[i];
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "%-18s %7llu  %10llu  %6.1f%%  %5.2f%%\n",
+                      branchClassName(cls),
+                      static_cast<unsigned long long>(
+                          row.staticBranches),
+                      static_cast<unsigned long long>(row.instances),
+                      dynamicShare(cls) * 100.0,
+                      row.mispRate() * 100.0);
+        os << line;
+    }
+    return os.str();
+}
+
+BranchClassReport
+classifyBranches(const PredictionStats &stats)
+{
+    BranchClassReport report;
+    for (const auto &kv : stats.sites()) {
+        const BranchSiteStats &site = kv.second;
+        auto cls = classifyTakenRate(site.takenRate());
+        auto &row = report.rows[static_cast<std::size_t>(cls)];
+        ++row.staticBranches;
+        row.instances += site.executed;
+        row.mispredicted += site.mispredicted;
+        report.totalInstances += site.executed;
+    }
+    return report;
+}
+
+} // namespace bpsim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Branch classification by dynamic taken-rate, after Chang, Hao, Yeh
+ * and Patt ("Branch Classification", 1994), which the paper cites when
+ * discussing the highly biased branch population.
+ *
+ * Branches are binned by their bias band; a per-class report shows how
+ * dynamic weight and misprediction distribute over the bands -- the
+ * analysis behind statements like "a large proportion of the branches
+ * ... are very highly biased".
+ */
+
+#ifndef BPSIM_STATS_BRANCH_CLASSES_HH
+#define BPSIM_STATS_BRANCH_CLASSES_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stats/prediction_stats.hh"
+
+namespace bpsim {
+
+/** Taken-rate bands of the Chang et al. classification. */
+enum class BranchClass
+{
+    AlwaysNotTaken,  ///< taken rate in [0, 5%)
+    MostlyNotTaken,  ///< [5%, 30%)
+    Mixed,           ///< [30%, 70%)
+    MostlyTaken,     ///< [70%, 95%)
+    AlwaysTaken,     ///< [95%, 100%]
+};
+
+constexpr std::size_t branchClassCount = 5;
+
+/** @return the display name of a class ("mostly-taken", ...). */
+const char *branchClassName(BranchClass cls);
+
+/** @return the class of a branch with the given taken rate. */
+BranchClass classifyTakenRate(double taken_rate);
+
+/** Aggregated per-class statistics from a per-site breakdown. */
+struct BranchClassReport
+{
+    struct Row
+    {
+        /** Distinct static branches in the class. */
+        std::uint64_t staticBranches = 0;
+        /** Dynamic instances contributed. */
+        std::uint64_t instances = 0;
+        /** Mispredictions (from the stats' predictor run). */
+        std::uint64_t mispredicted = 0;
+
+        double
+        mispRate() const
+        {
+            return instances ? static_cast<double>(mispredicted) /
+                    static_cast<double>(instances)
+                             : 0.0;
+        }
+    };
+
+    std::array<Row, branchClassCount> rows;
+    std::uint64_t totalInstances = 0;
+
+    const Row &operator[](BranchClass cls) const
+    {
+        return rows[static_cast<std::size_t>(cls)];
+    }
+
+    /** Dynamic share of a class, in [0,1]. */
+    double dynamicShare(BranchClass cls) const;
+
+    /** Aligned multi-line rendering. */
+    std::string render() const;
+};
+
+/**
+ * Classify the per-site breakdown of a tracking PredictionStats run
+ * (runPredictor(..., track_sites=true)).
+ */
+BranchClassReport classifyBranches(const PredictionStats &stats);
+
+} // namespace bpsim
+
+#endif // BPSIM_STATS_BRANCH_CLASSES_HH

@@ -1,0 +1,125 @@
+#include "stats/distribution.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+Distribution::Distribution(double lo_, double hi_, std::size_t nbuckets)
+    : lo(lo_), hi(hi_), buckets_(nbuckets, 0)
+{
+    bpsim_assert(hi > lo, "empty distribution range");
+    bpsim_assert(nbuckets > 0, "distribution needs buckets");
+}
+
+void
+Distribution::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum += value;
+    sumSq += value * value;
+
+    if (value < lo) {
+        ++underflow_;
+    } else if (value >= hi) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>(
+            (value - lo) / (hi - lo) * buckets_.size());
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double m = mean();
+    double var = sumSq / static_cast<double>(count_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Distribution::bucketLo(std::size_t i) const
+{
+    bpsim_assert(i < buckets_.size(), "bucket index out of range");
+    return lo + (hi - lo) * static_cast<double>(i) /
+        static_cast<double>(buckets_.size());
+}
+
+double
+Distribution::quantile(double fraction) const
+{
+    bpsim_assert(count_ > 0, "quantile of empty distribution");
+    bpsim_assert(fraction >= 0.0 && fraction <= 1.0,
+                 "quantile fraction out of range");
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(fraction * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t cum = underflow_;
+    if (cum >= target)
+        return lo;
+    double width = (hi - lo) / static_cast<double>(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (cum + buckets_[i] >= target) {
+            double within = buckets_[i] == 0 ? 0.0 :
+                static_cast<double>(target - cum) /
+                static_cast<double>(buckets_[i]);
+            return bucketLo(i) + within * width;
+        }
+        cum += buckets_[i];
+    }
+    return hi;
+}
+
+std::string
+Distribution::render(std::size_t bar_width) const
+{
+    std::ostringstream os;
+    std::uint64_t peak = 1;
+    for (auto b : buckets_)
+        peak = std::max(peak, b);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        auto len = static_cast<std::size_t>(
+            static_cast<double>(buckets_[i]) / static_cast<double>(peak) *
+            static_cast<double>(bar_width));
+        os << "[" << bucketLo(i) << ", "
+           << bucketLo(i) + (hi - lo) / buckets_.size() << ") "
+           << std::string(len, '#') << " " << buckets_[i] << "\n";
+    }
+    if (underflow_)
+        os << "underflow: " << underflow_ << "\n";
+    if (overflow_)
+        os << "overflow: " << overflow_ << "\n";
+    return os.str();
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = underflow_ = overflow_ = 0;
+    sum = sumSq = 0.0;
+    min_ = max_ = 0.0;
+}
+
+} // namespace bpsim

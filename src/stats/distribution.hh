@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Simple bucketed distribution / histogram, used for trip-count,
+ * bias and frequency-skew reporting in the workload characterisation
+ * experiments (Tables 1 and 2).
+ */
+
+#ifndef BPSIM_STATS_DISTRIBUTION_HH
+#define BPSIM_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpsim {
+
+/** Fixed-bucket histogram over doubles in [lo, hi). */
+class Distribution
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the tracked range
+     * @param hi exclusive upper bound (must exceed lo)
+     * @param buckets number of equal-width buckets (> 0)
+     */
+    Distribution(double lo, double hi, std::size_t buckets);
+
+    /** Add one sample; out-of-range samples land in under/overflow. */
+    void sample(double value);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    /** Population standard deviation. */
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Lower edge of bucket @p i. */
+    double bucketLo(std::size_t i) const;
+
+    /**
+     * @return the smallest sample value v such that at least
+     * @p fraction of samples are <= v, interpolated within a bucket.
+     * Requires at least one sample.
+     */
+    double quantile(double fraction) const;
+
+    /** Multi-line human-readable rendering (for examples). */
+    std::string render(std::size_t bar_width = 40) const;
+
+    void reset();
+
+  private:
+    double lo, hi;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_STATS_DISTRIBUTION_HH

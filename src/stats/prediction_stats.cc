@@ -1,0 +1,26 @@
+#include "stats/prediction_stats.hh"
+
+namespace bpsim {
+
+void
+PredictionStats::reset()
+{
+    lookups_ = 0;
+    mispredicts_ = 0;
+    sites_.clear();
+}
+
+void
+PredictionStats::merge(const PredictionStats &other)
+{
+    lookups_ += other.lookups_;
+    mispredicts_ += other.mispredicts_;
+    for (const auto &kv : other.sites_) {
+        auto &s = sites_[kv.first];
+        s.executed += kv.second.executed;
+        s.taken += kv.second.taken;
+        s.mispredicted += kv.second.mispredicted;
+    }
+}
+
+} // namespace bpsim

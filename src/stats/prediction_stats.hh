@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Prediction-accuracy accounting.
+ *
+ * The figure of merit throughout the paper is the misprediction rate for
+ * conditional branches (Section 2).  PredictionStats tracks the aggregate
+ * rate plus an optional per-static-branch breakdown used by the trace
+ * characterisation experiments and by tests that reason about individual
+ * branch behaviour.
+ */
+
+#ifndef BPSIM_STATS_PREDICTION_STATS_HH
+#define BPSIM_STATS_PREDICTION_STATS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+/** Per-static-branch prediction record. */
+struct BranchSiteStats
+{
+    std::uint64_t executed = 0;
+    std::uint64_t taken = 0;
+    std::uint64_t mispredicted = 0;
+
+    /** Fraction of instances taken (0 when never executed). */
+    double takenRate() const
+    {
+        return executed ? static_cast<double>(taken) / executed : 0.0;
+    }
+
+    /** Misprediction rate for this site (0 when never executed). */
+    double mispRate() const
+    {
+        return executed ?
+            static_cast<double>(mispredicted) / executed : 0.0;
+    }
+};
+
+/** Aggregate + optional per-site prediction statistics. */
+class PredictionStats
+{
+  public:
+    /**
+     * @param track_sites when true, keep a per-branch-address breakdown
+     * (hash map; costs memory and a little time, so sweeps disable it).
+     */
+    explicit PredictionStats(bool track_sites = false)
+        : trackSites(track_sites)
+    {}
+
+    /** Record one predicted conditional branch instance. */
+    void
+    record(Addr pc, bool taken, bool predicted_taken)
+    {
+        ++lookups_;
+        bool correct = taken == predicted_taken;
+        if (!correct)
+            ++mispredicts_;
+        if (trackSites) {
+            auto &s = sites_[pc];
+            ++s.executed;
+            if (taken)
+                ++s.taken;
+            if (!correct)
+                ++s.mispredicted;
+        }
+    }
+
+    /** Total conditional branch instances observed. */
+    std::uint64_t lookups() const { return lookups_; }
+
+    /** Total mispredictions. */
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Misprediction rate in [0,1]; 0 when nothing was observed. */
+    double
+    mispRate() const
+    {
+        return lookups_ ?
+            static_cast<double>(mispredicts_) / lookups_ : 0.0;
+    }
+
+    /** Prediction accuracy in [0,1]. */
+    double accuracy() const { return 1.0 - mispRate(); }
+
+    /** Per-site breakdown (empty unless constructed with tracking). */
+    const std::unordered_map<Addr, BranchSiteStats> &sites() const
+    {
+        return sites_;
+    }
+
+    /** Reset all counts. */
+    void reset();
+
+    /**
+     * Merge another stats object into this one (used when sharding a
+     * sweep across traces).
+     */
+    void merge(const PredictionStats &other);
+
+  private:
+    bool trackSites;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    std::unordered_map<Addr, BranchSiteStats> sites_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_STATS_PREDICTION_STATS_HH

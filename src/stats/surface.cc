@@ -1,0 +1,151 @@
+#include "stats/surface.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+std::optional<std::size_t>
+SurfaceTier::bestIndex() const
+{
+    if (points.empty())
+        return std::nullopt;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].value < points[best].value)
+            best = i;
+    }
+    return best;
+}
+
+void
+Surface::add(unsigned total_bits, unsigned row_bits, unsigned col_bits,
+             double value)
+{
+    bpsim_assert(row_bits + col_bits == total_bits,
+                 "surface point ", row_bits, "+", col_bits,
+                 " != tier ", total_bits);
+    auto it = std::find_if(tiers_.begin(), tiers_.end(),
+                           [&](const SurfaceTier &t) {
+                               return t.totalBits == total_bits;
+                           });
+    if (it == tiers_.end()) {
+        tiers_.push_back(SurfaceTier{total_bits, {}});
+        it = tiers_.end() - 1;
+    }
+    it->points.push_back(SurfacePoint{row_bits, col_bits, value});
+}
+
+const SurfaceTier *
+Surface::tier(unsigned total_bits) const
+{
+    for (const auto &t : tiers_) {
+        if (t.totalBits == total_bits)
+            return &t;
+    }
+    return nullptr;
+}
+
+std::optional<double>
+Surface::at(unsigned total_bits, unsigned row_bits) const
+{
+    const SurfaceTier *t = tier(total_bits);
+    if (!t)
+        return std::nullopt;
+    for (const auto &p : t->points) {
+        if (p.rowBits == row_bits)
+            return p.value;
+    }
+    return std::nullopt;
+}
+
+std::optional<SurfacePoint>
+Surface::bestInTier(unsigned total_bits) const
+{
+    const SurfaceTier *t = tier(total_bits);
+    if (!t)
+        return std::nullopt;
+    auto idx = t->bestIndex();
+    if (!idx)
+        return std::nullopt;
+    return t->points[*idx];
+}
+
+Surface
+Surface::difference(const Surface &other, std::string result_name) const
+{
+    Surface out(std::move(result_name));
+    for (const auto &t : tiers_) {
+        for (const auto &p : t.points) {
+            auto o = other.at(t.totalBits, p.rowBits);
+            if (o)
+                out.add(t.totalBits, p.rowBits, p.colBits,
+                        p.value - *o);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+formatCell(double value, bool percent, bool signed_values)
+{
+    char buf[32];
+    if (percent) {
+        std::snprintf(buf, sizeof(buf), signed_values ? "%+7.2f%%"
+                                                      : "%6.2f%%",
+                      value * 100.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), signed_values ? "%+8.4f"
+                                                      : "%8.4f",
+                      value);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+Surface::render(bool percent, bool signed_values) const
+{
+    std::ostringstream os;
+    os << "# " << name_ << "\n";
+    os << "# rows: total counters (tier); cells: history(row) bits "
+       << "0..n; '*' = best in tier\n";
+    for (const auto &t : tiers_) {
+        char head[32];
+        std::snprintf(head, sizeof(head), "%8llu | ",
+                      1ULL << t.totalBits);
+        os << head;
+        auto best = t.bestIndex();
+        for (std::size_t i = 0; i < t.points.size(); ++i) {
+            os << formatCell(t.points[i].value, percent, signed_values);
+            os << (best && *best == i ? "*" : " ");
+            os << " ";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Surface::renderCsv() const
+{
+    std::ostringstream os;
+    os << "surface,total_bits,row_bits,col_bits,value\n";
+    for (const auto &t : tiers_) {
+        for (const auto &p : t.points) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%u,%u,%u,%.6f\n",
+                          t.totalBits, p.rowBits, p.colBits, p.value);
+            os << name_ << "," << buf;
+        }
+    }
+    return os.str();
+}
+
+} // namespace bpsim

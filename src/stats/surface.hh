@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Result surfaces for configuration sweeps.
+ *
+ * Figures 4, 5, 6, 9 and 10 of the paper plot a value (misprediction or
+ * aliasing rate) over a two-dimensional space: one axis is the total
+ * predictor-table budget (tiers of 2^n counters), the other the split of
+ * index bits between rows (history) and columns (address).  A Surface
+ * stores exactly that structure, marks the best configuration within each
+ * constant-budget tier (the blackened bars in the paper's figures), and
+ * renders itself as an aligned ASCII grid or CSV.
+ */
+
+#ifndef BPSIM_STATS_SURFACE_HH
+#define BPSIM_STATS_SURFACE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bpsim {
+
+/** One (row-bits, column-bits) configuration and its measured value. */
+struct SurfacePoint
+{
+    unsigned rowBits = 0;
+    unsigned colBits = 0;
+    /** Measured value; by convention a rate in [0,1] or a signed delta. */
+    double value = 0.0;
+};
+
+/** All configurations sharing one total budget of 2^totalBits counters. */
+struct SurfaceTier
+{
+    unsigned totalBits = 0;
+    std::vector<SurfacePoint> points;
+
+    /** Index into points of the minimum value; nullopt when empty. */
+    std::optional<std::size_t> bestIndex() const;
+};
+
+/** A named collection of tiers, i.e. one paper-style surface plot. */
+class Surface
+{
+  public:
+    explicit Surface(std::string name_) : name_(std::move(name_)) {}
+
+    /** Append a measured point; tiers are created on demand. */
+    void add(unsigned total_bits, unsigned row_bits, unsigned col_bits,
+             double value);
+
+    const std::string &name() const { return name_; }
+    const std::vector<SurfaceTier> &tiers() const { return tiers_; }
+
+    /** Find a tier by its total bit budget. */
+    const SurfaceTier *tier(unsigned total_bits) const;
+
+    /** Look up the value at an exact (total, row) coordinate. */
+    std::optional<double> at(unsigned total_bits, unsigned row_bits) const;
+
+    /**
+     * The best (minimum-value) point in a tier, as the paper's blackened
+     * bars report.  nullopt when the tier is absent or empty.
+     */
+    std::optional<SurfacePoint> bestInTier(unsigned total_bits) const;
+
+    /**
+     * Element-wise difference surface, this minus other, over the
+     * coordinates present in both; used for the gshare-vs-GAs and
+     * path-vs-GAs comparisons (Figures 7 and 8, where *positive* numbers
+     * mean the other scheme -- the subtrahend -- is worse).
+     */
+    Surface difference(const Surface &other, std::string result_name) const;
+
+    /**
+     * ASCII rendering: one line per tier, one cell per configuration,
+     * values as percentages, best-in-tier starred.
+     * @param percent render value*100 with a trailing '%'
+     * @param signed_values include a sign (for difference surfaces)
+     */
+    std::string render(bool percent = true,
+                       bool signed_values = false) const;
+
+    /** CSV rendering: total_bits,row_bits,col_bits,value per line. */
+    std::string renderCsv() const;
+
+  private:
+    std::string name_;
+    std::vector<SurfaceTier> tiers_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_STATS_SURFACE_HH

@@ -1,0 +1,136 @@
+#include "stats/table_formatter.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+TableFormatter::TableFormatter(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    bpsim_assert(!headers.empty(), "table needs at least one column");
+}
+
+void
+TableFormatter::addRow(std::vector<std::string> cells)
+{
+    bpsim_assert(cells.size() == headers.size(), "row has ",
+                 cells.size(), " cells, table has ", headers.size(),
+                 " columns");
+    body.push_back(std::move(cells));
+}
+
+void
+TableFormatter::addSeparator()
+{
+    body.push_back({separatorMark});
+}
+
+std::string
+TableFormatter::render() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : body) {
+        if (row.size() == 1 && row[0] == separatorMark)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row,
+                         std::ostringstream &os) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c]
+               << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    auto renderSep = [&](std::ostringstream &os) {
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            os << "+" << std::string(widths[c] + 2, '-');
+        os << "+\n";
+    };
+
+    std::ostringstream os;
+    renderSep(os);
+    renderRow(headers, os);
+    renderSep(os);
+    for (const auto &row : body) {
+        if (row.size() == 1 && row[0] == separatorMark)
+            renderSep(os);
+        else
+            renderRow(row, os);
+    }
+    renderSep(os);
+    return os.str();
+}
+
+std::string
+TableFormatter::renderCsv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        os << (c ? "," : "") << escape(headers[c]);
+    os << "\n";
+    for (const auto &row : body) {
+        if (row.size() == 1 && row[0] == separatorMark)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << escape(row[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+TableFormatter::percent(double rate, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, rate * 100.0);
+    return buf;
+}
+
+std::string
+TableFormatter::integer(std::uint64_t v)
+{
+    // Group digits with commas for readability, as the paper's Table 1.
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out += ',';
+        out += *it;
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+TableFormatter::configLabel(unsigned row_bits, unsigned col_bits)
+{
+    std::ostringstream os;
+    os << "2^" << row_bits << " x 2^" << col_bits;
+    return os.str();
+}
+
+} // namespace bpsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Column-aligned ASCII table rendering, used by the Table 1/2/3 benches
+ * and the examples to print paper-style tables.
+ */
+
+#ifndef BPSIM_STATS_TABLE_FORMATTER_HH
+#define BPSIM_STATS_TABLE_FORMATTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpsim {
+
+/** Builder for an aligned text table with a header row. */
+class TableFormatter
+{
+  public:
+    /** @param headers column titles; fixes the column count. */
+    explicit TableFormatter(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    std::size_t columns() const { return headers.size(); }
+    std::size_t rows() const { return body.size(); }
+
+    /** Render with single-space-padded, pipe-separated columns. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment padding, comma-escaped via quotes). */
+    std::string renderCsv() const;
+
+    /// Formatting helpers shared by the benches.
+    static std::string percent(double rate, int decimals = 2);
+    static std::string integer(std::uint64_t v);
+    /** "2^r x 2^c" configuration label, as Table 3 prints. */
+    static std::string configLabel(unsigned row_bits, unsigned col_bits);
+
+  private:
+    static constexpr const char *separatorMark = "\x01--";
+
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_STATS_TABLE_FORMATTER_HH

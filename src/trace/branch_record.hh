@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The unit of work for the whole simulator: one executed branch.
+ *
+ * The paper's traces (SPECint92 user-level, IBS-Ultrix user+kernel) record
+ * every control transfer; the predictors under study consume only the
+ * conditional ones, but unconditional branches, calls and returns are kept
+ * in the record stream because path-history predictors and the Table 1
+ * characterisation need them.
+ */
+
+#ifndef BPSIM_TRACE_BRANCH_RECORD_HH
+#define BPSIM_TRACE_BRANCH_RECORD_HH
+
+#include <cstdint>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+/** Control-transfer classes appearing in a trace. */
+enum class BranchType : std::uint8_t
+{
+    Conditional = 0,
+    Unconditional = 1,
+    Call = 2,
+    Return = 3,
+};
+
+/** @return a short lowercase name for a branch type. */
+constexpr const char *
+branchTypeName(BranchType type)
+{
+    switch (type) {
+      case BranchType::Conditional: return "cond";
+      case BranchType::Unconditional: return "uncond";
+      case BranchType::Call: return "call";
+      case BranchType::Return: return "ret";
+    }
+    return "?";
+}
+
+/** One executed control-transfer instruction. */
+struct BranchRecord
+{
+    /** Address of the branch instruction itself. */
+    Addr pc = 0;
+    /** Address the branch goes to when taken. */
+    Addr target = 0;
+    /**
+     * Non-branch instructions executed since the previous record (lets
+     * trace statistics reconstruct total dynamic instruction counts and
+     * the branch density the paper reports in Table 1).
+     */
+    std::uint32_t instGap = 0;
+    BranchType type = BranchType::Conditional;
+    /** Outcome; always true for unconditional transfers. */
+    bool taken = true;
+    /** Executed in kernel mode (IBS-Ultrix traces include the kernel). */
+    bool kernel = false;
+
+    bool isConditional() const
+    {
+        return type == BranchType::Conditional;
+    }
+
+    bool operator==(const BranchRecord &) const = default;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_BRANCH_RECORD_HH

@@ -1,0 +1,53 @@
+#include "trace/memory_trace.hh"
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+MemoryTrace::MemoryTrace(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+MemoryTrace::append(const BranchRecord &rec)
+{
+    records.push_back(rec);
+    if (rec.isConditional())
+        ++conditionals;
+}
+
+void
+MemoryTrace::appendAll(TraceSource &source)
+{
+    BranchRecord rec;
+    while (source.next(rec))
+        append(rec);
+}
+
+const BranchRecord &
+MemoryTrace::operator[](std::size_t i) const
+{
+    bpsim_assert(i < records.size(), "trace index ", i, " out of range ",
+                 records.size());
+    return records[i];
+}
+
+bool
+MemoryTrace::next(BranchRecord &out)
+{
+    if (cursor >= records.size())
+        return false;
+    out = records[cursor++];
+    return true;
+}
+
+void
+MemoryTrace::clear()
+{
+    records.clear();
+    conditionals = 0;
+    cursor = 0;
+}
+
+} // namespace bpsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * In-memory branch trace.  The sweep experiments replay the same trace
+ * through hundreds of predictor configurations, so the generated workload
+ * is materialised once into a MemoryTrace and then re-read at memory
+ * bandwidth.
+ */
+
+#ifndef BPSIM_TRACE_MEMORY_TRACE_HH
+#define BPSIM_TRACE_MEMORY_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace bpsim {
+
+/** Growable, replayable trace buffer; also a TraceSource over itself. */
+class MemoryTrace : public TraceSource
+{
+  public:
+    explicit MemoryTrace(std::string name = "memory");
+
+    /** Append one record. */
+    void append(const BranchRecord &rec);
+
+    /** Drain an entire source into this trace (source is not reset). */
+    void appendAll(TraceSource &source);
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+    const BranchRecord &operator[](std::size_t i) const;
+
+    /** Number of conditional records. */
+    std::size_t conditionalCount() const { return conditionals; }
+
+    bool next(BranchRecord &out) override;
+    void reset() override { cursor = 0; }
+    const std::string &name() const override { return name_; }
+
+    void clear();
+
+  private:
+    std::string name_;
+    std::vector<BranchRecord> records;
+    std::size_t conditionals = 0;
+    std::size_t cursor = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_MEMORY_TRACE_HH

@@ -1,0 +1,181 @@
+#include "trace/text_trace.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+namespace {
+
+/** Map the one-letter type code; returns false on unknown codes. */
+bool
+typeFromCode(char code, BranchType &out)
+{
+    switch (code) {
+      case 'C': out = BranchType::Conditional; return true;
+      case 'J': out = BranchType::Unconditional; return true;
+      case 'L': out = BranchType::Call; return true;
+      case 'R': out = BranchType::Return; return true;
+    }
+    return false;
+}
+
+char
+codeFromType(BranchType type)
+{
+    switch (type) {
+      case BranchType::Conditional: return 'C';
+      case BranchType::Unconditional: return 'J';
+      case BranchType::Call: return 'L';
+      case BranchType::Return: return 'R';
+    }
+    return '?';
+}
+
+/**
+ * Parse one non-comment line; fatal() mentioning @p where and
+ * @p line_no on malformed fields.
+ */
+BranchRecord
+parseLine(const std::string &line, const std::string &where,
+          std::size_t line_no)
+{
+    std::istringstream in(line);
+    std::string pc_text, target_text, type_text, dir_text;
+    if (!(in >> pc_text >> target_text >> type_text >> dir_text)) {
+        bpsim_fatal(where, ":", line_no,
+                    ": expected 'pc target type dir'");
+    }
+
+    BranchRecord rec;
+    char *end = nullptr;
+    rec.pc = std::strtoull(pc_text.c_str(), &end, 16);
+    if (end == pc_text.c_str() || *end != '\0')
+        bpsim_fatal(where, ":", line_no, ": bad pc '", pc_text, "'");
+    rec.target = std::strtoull(target_text.c_str(), &end, 16);
+    if (end == target_text.c_str() || *end != '\0')
+        bpsim_fatal(where, ":", line_no, ": bad target '", target_text,
+                    "'");
+
+    if (type_text.size() != 1 ||
+        !typeFromCode(type_text[0], rec.type)) {
+        bpsim_fatal(where, ":", line_no, ": bad type '", type_text,
+                    "' (expected C, J, L or R)");
+    }
+    if (dir_text == "T") {
+        rec.taken = true;
+    } else if (dir_text == "N") {
+        rec.taken = false;
+    } else {
+        bpsim_fatal(where, ":", line_no, ": bad direction '", dir_text,
+                    "' (expected T or N)");
+    }
+    if (!rec.isConditional() && !rec.taken)
+        bpsim_fatal(where, ":", line_no,
+                    ": non-conditional records must be taken");
+
+    // Optional fields: a decimal gap and/or a trailing K, in order.
+    std::string extra;
+    while (in >> extra) {
+        if (extra == "K") {
+            rec.kernel = true;
+        } else {
+            unsigned long gap = std::strtoul(extra.c_str(), &end, 10);
+            if (end == extra.c_str() || *end != '\0')
+                bpsim_fatal(where, ":", line_no, ": bad field '",
+                            extra, "'");
+            rec.instGap = static_cast<std::uint32_t>(gap);
+        }
+    }
+    return rec;
+}
+
+MemoryTrace
+importFromStream(std::istream &in, const std::string &where,
+                 const std::string &name)
+{
+    MemoryTrace trace(name);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip leading whitespace; skip blanks and comments.
+        std::size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        trace.append(parseLine(line.substr(start), where, line_no));
+    }
+    return trace;
+}
+
+} // namespace
+
+MemoryTrace
+importTextTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        bpsim_fatal("cannot open text trace ", path);
+    // Stream name: file basename without extension.
+    std::string name = path;
+    auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    auto dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        name = name.substr(0, dot);
+    return importFromStream(in, path, name);
+}
+
+MemoryTrace
+importTextTraceString(const std::string &content,
+                      const std::string &name)
+{
+    std::istringstream in(content);
+    return importFromStream(in, "<string>", name);
+}
+
+std::string
+formatTextRecord(const BranchRecord &rec)
+{
+    char buf[96];
+    int n = std::snprintf(buf, sizeof(buf), "%llx %llx %c %c",
+                          static_cast<unsigned long long>(rec.pc),
+                          static_cast<unsigned long long>(rec.target),
+                          codeFromType(rec.type),
+                          rec.taken ? 'T' : 'N');
+    std::string out(buf, static_cast<std::size_t>(n));
+    if (rec.instGap) {
+        std::snprintf(buf, sizeof(buf), " %u", rec.instGap);
+        out += buf;
+    }
+    if (rec.kernel)
+        out += " K";
+    return out;
+}
+
+std::uint64_t
+exportTextTrace(TraceSource &source, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        bpsim_fatal("cannot create text trace ", path);
+    out << "# bpsim text trace: " << source.name() << "\n";
+    out << "# pc target type(C/J/L/R) dir(T/N) [gap] [K]\n";
+    BranchRecord rec;
+    std::uint64_t n = 0;
+    while (source.next(rec)) {
+        out << formatTextRecord(rec) << "\n";
+        ++n;
+    }
+    if (!out)
+        bpsim_fatal("short write to text trace ", path);
+    return n;
+}
+
+} // namespace bpsim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text branch-trace interchange format.
+ *
+ * One record per line, whitespace separated:
+ *
+ *     <pc-hex> <target-hex> <type> <dir> [gap] [K]
+ *
+ * where type is one of C (conditional), J (unconditional jump),
+ * L (call), R (return); dir is T or N; gap is the optional count of
+ * non-branch instructions since the previous record (default 0); a
+ * trailing K marks a kernel-mode record.  Lines starting with '#' and
+ * blank lines are ignored.
+ *
+ * The format exists so traces converted from other ecosystems
+ * (ChampSim, Pin, SimpleScalar outputs) can be fed to the simulator
+ * with a one-line awk script, and so test fixtures are human-writable.
+ */
+
+#ifndef BPSIM_TRACE_TEXT_TRACE_HH
+#define BPSIM_TRACE_TEXT_TRACE_HH
+
+#include <string>
+
+#include "trace/memory_trace.hh"
+
+namespace bpsim {
+
+/**
+ * Parse a text trace file into memory.  fatal() with the line number on
+ * malformed input.
+ */
+MemoryTrace importTextTrace(const std::string &path);
+
+/** Parse text trace content from a string (tests, embedding). */
+MemoryTrace importTextTraceString(const std::string &content,
+                                  const std::string &name = "text");
+
+/** Write @p source to @p path in the text format; @return records. */
+std::uint64_t exportTextTrace(TraceSource &source,
+                              const std::string &path);
+
+/** Render one record as a text-format line (no trailing newline). */
+std::string formatTextRecord(const BranchRecord &rec);
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TEXT_TRACE_HH

@@ -1,0 +1,102 @@
+#include "trace/trace_filter.hh"
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+FilteredTrace::FilteredTrace(TraceSource &source_, Filter filter_,
+                             std::string name)
+    : source(source_), filter(std::move(filter_)),
+      name_(std::move(name))
+{
+    bpsim_assert(filter != nullptr, "filtered trace needs a predicate");
+}
+
+bool
+FilteredTrace::next(BranchRecord &out)
+{
+    std::uint64_t accumulated_gap = 0;
+    BranchRecord rec;
+    while (source.next(rec)) {
+        if (!filter(rec)) {
+            // Fold the dropped record's instructions into the gap.
+            accumulated_gap +=
+                static_cast<std::uint64_t>(rec.instGap) + 1;
+            ++dropped_;
+            continue;
+        }
+        std::uint64_t gap = accumulated_gap + rec.instGap;
+        rec.instGap = gap > 0xffffffffULL
+                          ? 0xffffffffU
+                          : static_cast<std::uint32_t>(gap);
+        out = rec;
+        return true;
+    }
+    return false;
+}
+
+void
+FilteredTrace::reset()
+{
+    source.reset();
+    dropped_ = 0;
+}
+
+FilteredTrace
+userOnly(TraceSource &source)
+{
+    return FilteredTrace(
+        source, [](const BranchRecord &r) { return !r.kernel; },
+        source.name() + ".user");
+}
+
+FilteredTrace
+kernelOnly(TraceSource &source)
+{
+    return FilteredTrace(
+        source, [](const BranchRecord &r) { return r.kernel; },
+        source.name() + ".kernel");
+}
+
+FilteredTrace
+conditionalOnly(TraceSource &source)
+{
+    return FilteredTrace(
+        source,
+        [](const BranchRecord &r) { return r.isConditional(); },
+        source.name() + ".cond");
+}
+
+WindowedTrace::WindowedTrace(TraceSource &source_, std::uint64_t skip_,
+                             std::uint64_t limit_, std::string name)
+    : source(source_), skip(skip_), limit(limit_),
+      name_(std::move(name))
+{
+}
+
+bool
+WindowedTrace::next(BranchRecord &out)
+{
+    BranchRecord rec;
+    while (skipped < skip) {
+        if (!source.next(rec))
+            return false;
+        ++skipped;
+    }
+    if (limit != 0 && delivered >= limit)
+        return false;
+    if (!source.next(out))
+        return false;
+    ++delivered;
+    return true;
+}
+
+void
+WindowedTrace::reset()
+{
+    source.reset();
+    skipped = 0;
+    delivered = 0;
+}
+
+} // namespace bpsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-stream filters and transforms.
+ *
+ * The paper's methodology needs several stream manipulations: IBS traces
+ * mix user and kernel records (Section 2 discusses their separability),
+ * warm-up instances are sometimes excluded, and studies routinely window
+ * long traces.  These adaptors wrap any TraceSource without copying it.
+ */
+
+#ifndef BPSIM_TRACE_TRACE_FILTER_HH
+#define BPSIM_TRACE_TRACE_FILTER_HH
+
+#include <functional>
+#include <string>
+
+#include "trace/trace_source.hh"
+
+namespace bpsim {
+
+/** Stream adaptor passing through only records matching a predicate. */
+class FilteredTrace : public TraceSource
+{
+  public:
+    using Filter = std::function<bool(const BranchRecord &)>;
+
+    /**
+     * @param source underlying stream (not owned; must outlive this)
+     * @param filter keep-predicate over records
+     * @param name display name for the filtered stream
+     *
+     * Dropped records contribute their instructions (instGap + 1) to
+     * the gap of the next surviving record, so dynamic instruction
+     * counts stay consistent.
+     */
+    FilteredTrace(TraceSource &source, Filter filter, std::string name);
+
+    bool next(BranchRecord &out) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+    /** Records dropped so far (since construction or reset). */
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    TraceSource &source;
+    Filter filter;
+    std::string name_;
+    std::uint64_t dropped_ = 0;
+};
+
+/** Keep only user-mode records (strip the IBS kernel component). */
+FilteredTrace userOnly(TraceSource &source);
+
+/** Keep only kernel-mode records. */
+FilteredTrace kernelOnly(TraceSource &source);
+
+/** Keep only conditional branches. */
+FilteredTrace conditionalOnly(TraceSource &source);
+
+/**
+ * Stream adaptor exposing a window of the underlying stream: skip the
+ * first @p skip records (warm-up), then deliver at most @p limit
+ * records (0 = unlimited).
+ */
+class WindowedTrace : public TraceSource
+{
+  public:
+    WindowedTrace(TraceSource &source, std::uint64_t skip,
+                  std::uint64_t limit, std::string name = "window");
+
+    bool next(BranchRecord &out) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+  private:
+    TraceSource &source;
+    std::uint64_t skip;
+    std::uint64_t limit;
+    std::string name_;
+    std::uint64_t skipped = 0;
+    std::uint64_t delivered = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_FILTER_HH

@@ -1,0 +1,225 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr std::array<char, 4> magic = {'B', 'P', 'T', '1'};
+constexpr std::uint32_t formatVersion = 1;
+constexpr std::size_t recordBytes = 8 + 8 + 4 + 1;
+
+void
+putU32(std::FILE *f, std::uint32_t v)
+{
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    if (std::fwrite(b, 1, 4, f) != 4)
+        bpsim_fatal("short write to trace file");
+}
+
+void
+putU64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    if (std::fwrite(b, 1, 8, f) != 8)
+        bpsim_fatal("short write to trace file");
+}
+
+bool
+getU32(std::FILE *f, std::uint32_t &v)
+{
+    unsigned char b[4];
+    if (std::fread(b, 1, 4, f) != 4)
+        return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return true;
+}
+
+bool
+getU64(std::FILE *f, std::uint64_t &v)
+{
+    unsigned char b[8];
+    if (std::fread(b, 1, 8, f) != 8)
+        return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return true;
+}
+
+std::uint8_t
+packFlags(const BranchRecord &rec)
+{
+    auto flags = static_cast<std::uint8_t>(rec.type);
+    if (rec.taken)
+        flags |= 1u << 2;
+    if (rec.kernel)
+        flags |= 1u << 3;
+    return flags;
+}
+
+void
+unpackFlags(std::uint8_t flags, BranchRecord &rec)
+{
+    rec.type = static_cast<BranchType>(flags & 0x3);
+    rec.taken = (flags >> 2) & 1;
+    rec.kernel = (flags >> 3) & 1;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path,
+                         const std::string &trace_name)
+    : file(std::fopen(path.c_str(), "wb"))
+{
+    if (!file)
+        bpsim_fatal("cannot create trace file ", path);
+    if (std::fwrite(magic.data(), 1, magic.size(), file) != magic.size())
+        bpsim_fatal("short write to trace file ", path);
+    putU32(file, formatVersion);
+    countOffset = std::ftell(file);
+    putU64(file, 0); // patched by close()
+    putU32(file, static_cast<std::uint32_t>(trace_name.size()));
+    if (!trace_name.empty() &&
+        std::fwrite(trace_name.data(), 1, trace_name.size(), file) !=
+            trace_name.size()) {
+        bpsim_fatal("short write to trace file ", path);
+    }
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file)
+        close();
+}
+
+void
+TraceWriter::write(const BranchRecord &rec)
+{
+    bpsim_assert(file, "write() after close()");
+    putU64(file, rec.pc);
+    putU64(file, rec.target);
+    putU32(file, rec.instGap);
+    std::uint8_t flags = packFlags(rec);
+    if (std::fwrite(&flags, 1, 1, file) != 1)
+        bpsim_fatal("short write to trace file");
+    ++count;
+}
+
+std::uint64_t
+TraceWriter::writeAll(TraceSource &source)
+{
+    BranchRecord rec;
+    std::uint64_t n = 0;
+    while (source.next(rec)) {
+        write(rec);
+        ++n;
+    }
+    return n;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file)
+        return;
+    if (std::fseek(file, countOffset, SEEK_SET) != 0)
+        bpsim_fatal("cannot seek in trace file to patch header");
+    putU64(file, count);
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file(std::fopen(path.c_str(), "rb"))
+{
+    if (!file)
+        bpsim_fatal("cannot open trace file ", path);
+    std::array<char, 4> got{};
+    if (std::fread(got.data(), 1, got.size(), file) != got.size() ||
+        got != magic) {
+        bpsim_fatal(path, " is not a .bpt trace file (bad magic)");
+    }
+    std::uint32_t version = 0;
+    if (!getU32(file, version) || version != formatVersion)
+        bpsim_fatal(path, ": unsupported trace format version");
+    if (!getU64(file, count))
+        bpsim_fatal(path, ": truncated header");
+    std::uint32_t name_len = 0;
+    if (!getU32(file, name_len))
+        bpsim_fatal(path, ": truncated header");
+    name_.resize(name_len);
+    if (name_len &&
+        std::fread(name_.data(), 1, name_len, file) != name_len) {
+        bpsim_fatal(path, ": truncated header name");
+    }
+    dataOffset = std::ftell(file);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceReader::next(BranchRecord &out)
+{
+    if (delivered >= count)
+        return false;
+    BranchRecord rec;
+    std::uint8_t flags = 0;
+    if (!getU64(file, rec.pc) || !getU64(file, rec.target) ||
+        !getU32(file, rec.instGap) ||
+        std::fread(&flags, 1, 1, file) != 1) {
+        bpsim_fatal("trace file ", name_, " truncated: expected ", count,
+                    " records, got ", delivered);
+    }
+    unpackFlags(flags, rec);
+    out = rec;
+    ++delivered;
+    return true;
+}
+
+void
+TraceReader::reset()
+{
+    if (std::fseek(file, dataOffset, SEEK_SET) != 0)
+        bpsim_fatal("cannot rewind trace file ", name_);
+    delivered = 0;
+}
+
+MemoryTrace
+loadTrace(const std::string &path)
+{
+    TraceReader reader(path);
+    MemoryTrace trace(reader.name());
+    trace.appendAll(reader);
+    return trace;
+}
+
+std::uint64_t
+saveTrace(TraceSource &source, const std::string &path)
+{
+    TraceWriter writer(path, source.name());
+    std::uint64_t n = writer.writeAll(source);
+    writer.close();
+    return n;
+}
+
+namespace {
+// recordBytes documents the on-disk record size; keep it honest.
+static_assert(recordBytes == 21, "record layout changed; bump version");
+} // namespace
+
+} // namespace bpsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Binary branch-trace file format (".bpt").
+ *
+ * Layout (little-endian):
+ *   header: magic "BPT1" (4 bytes), format version u32,
+ *           record count u64, name length u32, name bytes
+ *   record: pc u64, target u64, instGap u32, flags u8
+ *           flags: bits [1:0] BranchType, bit 2 taken, bit 3 kernel
+ *
+ * The format exists so the trace_tool example can persist synthetic
+ * workloads and so downstream users can feed their own traces (e.g.
+ * converted from ChampSim or Pin output) into the simulator.
+ */
+
+#ifndef BPSIM_TRACE_TRACE_IO_HH
+#define BPSIM_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/memory_trace.hh"
+#include "trace/trace_source.hh"
+
+namespace bpsim {
+
+/** Streaming writer for .bpt trace files. */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header.  fatal() when the
+     * file cannot be created.
+     * @param trace_name embedded stream name
+     */
+    TraceWriter(const std::string &path, const std::string &trace_name);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void write(const BranchRecord &rec);
+
+    /** Drain @p source to the file; @return records written. */
+    std::uint64_t writeAll(TraceSource &source);
+
+    /** Patch the record count into the header and close the file. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    std::FILE *file;
+    std::uint64_t count = 0;
+    long countOffset = 0;
+};
+
+/**
+ * Streaming reader for .bpt trace files; a TraceSource whose reset()
+ * seeks back to the first record.
+ */
+class TraceReader : public TraceSource
+{
+  public:
+    /** Open @p path; fatal() on missing file or bad header. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(BranchRecord &out) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+    /** Record count promised by the header. */
+    std::uint64_t recordCount() const { return count; }
+
+  private:
+    std::FILE *file;
+    std::string name_;
+    std::uint64_t count = 0;
+    std::uint64_t delivered = 0;
+    long dataOffset = 0;
+};
+
+/** Convenience: load an entire .bpt file into memory. */
+MemoryTrace loadTrace(const std::string &path);
+
+/** Convenience: write an entire source to @p path. */
+std::uint64_t saveTrace(TraceSource &source, const std::string &path);
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_IO_HH

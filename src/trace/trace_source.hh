@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Abstract stream of branch records.  Implementations: in-memory traces,
+ * binary trace files, and the synthetic workload executor (which can
+ * stream without materialising a trace at all).
+ */
+
+#ifndef BPSIM_TRACE_TRACE_SOURCE_HH
+#define BPSIM_TRACE_TRACE_SOURCE_HH
+
+#include <string>
+
+#include "trace/branch_record.hh"
+
+namespace bpsim {
+
+/** Forward-only, resettable stream of BranchRecords. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     * @param out filled in on success
+     * @return false at end of stream (out is untouched)
+     */
+    virtual bool next(BranchRecord &out) = 0;
+
+    /** Rewind to the first record. */
+    virtual void reset() = 0;
+
+    /** Human-readable stream name (benchmark or file name). */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_SOURCE_HH

@@ -1,0 +1,110 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+TraceCharacterization
+TraceCharacterization::measure(TraceSource &source)
+{
+    TraceCharacterization out;
+    std::unordered_map<Addr, SiteCount> sites;
+
+    BranchRecord rec;
+    while (source.next(rec)) {
+        out.dynInsts += static_cast<std::uint64_t>(rec.instGap) + 1;
+        if (!rec.isConditional())
+            continue;
+        ++out.dynCond;
+        if (rec.kernel)
+            ++out.dynCondKernel;
+        auto &site = sites[rec.pc];
+        site.pc = rec.pc;
+        ++site.executed;
+        if (rec.taken)
+            ++site.taken;
+    }
+
+    out.sorted.reserve(sites.size());
+    for (const auto &kv : sites)
+        out.sorted.push_back(kv.second);
+    std::sort(out.sorted.begin(), out.sorted.end(),
+              [](const SiteCount &a, const SiteCount &b) {
+                  if (a.executed != b.executed)
+                      return a.executed > b.executed;
+                  return a.pc < b.pc; // deterministic tie-break
+              });
+    return out;
+}
+
+double
+TraceCharacterization::conditionalDensity() const
+{
+    return dynInsts ?
+        static_cast<double>(dynCond) / static_cast<double>(dynInsts) : 0.0;
+}
+
+std::size_t
+TraceCharacterization::staticCovering(double fraction) const
+{
+    bpsim_assert(fraction >= 0.0 && fraction <= 1.0,
+                 "coverage fraction out of range");
+    auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(dynCond) + 0.5);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        cum += sorted[i].executed;
+        if (cum >= target)
+            return i + 1;
+    }
+    return sorted.size();
+}
+
+std::vector<std::size_t>
+TraceCharacterization::frequencyQuartiles() const
+{
+    // Table 2 buckets: first 50%, next 40% (to 90%), next 9% (to 99%),
+    // remaining 1%.
+    const double edges[3] = {0.50, 0.90, 0.99};
+    std::vector<std::size_t> counts(4, 0);
+    std::uint64_t cum = 0;
+    std::size_t bucket = 0;
+    for (const auto &site : sorted) {
+        while (bucket < 3 &&
+               static_cast<double>(cum) >=
+                   edges[bucket] * static_cast<double>(dynCond)) {
+            ++bucket;
+        }
+        ++counts[bucket];
+        cum += site.executed;
+    }
+    return counts;
+}
+
+double
+TraceCharacterization::dynamicFractionBiasedAbove(double threshold) const
+{
+    if (dynCond == 0)
+        return 0.0;
+    std::uint64_t covered = 0;
+    for (const auto &site : sorted) {
+        double taken_rate = static_cast<double>(site.taken) /
+            static_cast<double>(site.executed);
+        double bias = std::max(taken_rate, 1.0 - taken_rate);
+        if (bias >= threshold)
+            covered += site.executed;
+    }
+    return static_cast<double>(covered) / static_cast<double>(dynCond);
+}
+
+std::uint64_t
+TraceCharacterization::countOfRank(std::size_t k) const
+{
+    bpsim_assert(k < sorted.size(), "rank ", k, " out of range ",
+                 sorted.size());
+    return sorted[k].executed;
+}
+
+} // namespace bpsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace characterisation: the measurements behind Tables 1 and 2 of the
+ * paper (dynamic instruction counts, conditional branch density, static
+ * branch counts, and the skew of dynamic instances over static branches).
+ */
+
+#ifndef BPSIM_TRACE_TRACE_STATS_HH
+#define BPSIM_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace bpsim {
+
+/**
+ * Aggregated characterisation of one trace.  Build with
+ * TraceCharacterization::measure().
+ */
+class TraceCharacterization
+{
+  public:
+    /** Consume @p source (not reset afterwards) and tabulate. */
+    static TraceCharacterization measure(TraceSource &source);
+
+    /** Total dynamic instructions, branches plus instGap filler. */
+    std::uint64_t dynamicInstructions() const { return dynInsts; }
+
+    /** Dynamic conditional branch instances. */
+    std::uint64_t dynamicConditionals() const { return dynCond; }
+
+    /** Conditional branches as a fraction of dynamic instructions. */
+    double conditionalDensity() const;
+
+    /** Number of distinct conditional branch sites executed. */
+    std::size_t staticConditionals() const { return sorted.size(); }
+
+    /**
+     * Number of (most frequent) static branches that together account
+     * for @p fraction of the dynamic conditional instances -- the
+     * "constituting 90%" column of Table 1.
+     */
+    std::size_t staticCovering(double fraction) const;
+
+    /**
+     * Table 2 row: how many static branches fall in the first 50%, next
+     * 40%, next 9% and remaining 1% of dynamic instances.  Returns the
+     * four counts in that order; they sum to staticConditionals().
+     */
+    std::vector<std::size_t> frequencyQuartiles() const;
+
+    /**
+     * Fraction of dynamic conditional instances arising from branches
+     * whose taken-rate bias max(p, 1-p) is at least @p threshold --
+     * quantifies the "highly biased branch" population the paper
+     * discusses in Section 2.
+     */
+    double dynamicFractionBiasedAbove(double threshold) const;
+
+    /** Dynamic execution count of the k-th most frequent branch. */
+    std::uint64_t countOfRank(std::size_t k) const;
+
+    /** Dynamic instances executed in kernel mode. */
+    std::uint64_t kernelConditionals() const { return dynCondKernel; }
+
+  private:
+    struct SiteCount
+    {
+        Addr pc;
+        std::uint64_t executed;
+        std::uint64_t taken;
+    };
+
+    std::uint64_t dynInsts = 0;
+    std::uint64_t dynCond = 0;
+    std::uint64_t dynCondKernel = 0;
+    /** Conditional sites sorted by descending execution count. */
+    std::vector<SiteCount> sorted;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_STATS_HH

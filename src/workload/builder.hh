@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Seeded construction of synthetic programs.
+ *
+ * WorkloadParams captures everything that distinguishes one benchmark
+ * profile from another: program size (static branch count, function
+ * count), dynamic-frequency skew (function hotness, loop trip counts),
+ * and the behaviour mix of the conditional branches.  ProgramBuilder
+ * turns the parameters into a concrete SyntheticProgram, deterministically
+ * for a given seed.
+ */
+
+#ifndef BPSIM_WORKLOAD_BUILDER_HH
+#define BPSIM_WORKLOAD_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "workload/program.hh"
+
+namespace bpsim {
+
+/** Full parameterisation of a synthetic workload. */
+struct WorkloadParams
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+
+    /// Structure
+    /** Target number of static conditional branch sites. */
+    std::size_t staticBranches = 2000;
+    std::size_t functionCount = 200;
+    /** Mean plain (non-branch) instructions per basic block. */
+    double meanBlockLen = 5.0;
+    /** Probability that a body element is a call to an earlier function. */
+    double callDensity = 0.12;
+    unsigned maxNestDepth = 4;
+
+    /// Scheduling and skew
+    /** Zipf exponent over function hotness ranks (bigger = more skew). */
+    double zipfExponent = 1.0;
+    /** Fraction of driver picks made uniformly (long-tail coverage). */
+    double uniformPickFraction = 0.05;
+    /**
+     * Mean length of a driver burst: the top-level driver calls the
+     * same function this many times in a row (geometric) before picking
+     * afresh.  Real programs process items in runs (frames, lines,
+     * cubes), so a function's entry context in the global history is
+     * usually the tail of its own previous execution; without bursts
+     * every entry would see a random suffix and global-history schemes
+     * would face far more pattern diffusion than they do on real code.
+     */
+    double driverBurstMean = 10.0;
+    /** Fraction of functions executing in kernel mode. */
+    double kernelFraction = 0.0;
+
+    /// Loop shape
+    /** Fraction of constructs that are loops. */
+    double loopFraction = 0.25;
+    /** Mean loop trips in the hottest function (decays toward cold). */
+    double meanTripsHot = 24.0;
+    /** Mean loop trips in the coldest function. */
+    double meanTripsCold = 4.0;
+    /**
+     * Trip means shrink by this factor per nesting level, bounding the
+     * multiplicative blow-up of nested loops (real inner loops are
+     * short).
+     */
+    double loopDepthDecay = 6.0;
+    /** Fraction of loops lowered as top-test (taken = exit). */
+    double topTestFraction = 0.35;
+    /**
+     * Fraction of loops with a FIXED trip count (drawn once at build
+     * time from [fixedTripMin, fixedTripMax]).  Fixed-trip loops are the
+     * canonical history-predictable branches: an N-iteration loop is
+     * perfect for any history of at least N bits but costs a steady
+     * 1/N misprediction for a plain two-bit counter.  Geometric loops,
+     * by contrast, have memoryless exits that history cannot see.
+     */
+    double fixedTripFraction = 0.4;
+    unsigned fixedTripMin = 3;
+    unsigned fixedTripMax = 10;
+    /**
+     * For non-fixed loops: probability that one entry's trip count is a
+     * geometric redraw instead of the loop's stable home count.
+     */
+    double tripJitterProb = 0.15;
+    /** Floor on a non-fixed loop's home trip count. */
+    unsigned minHomeTrips = 6;
+    /**
+     * Fraction of loops that are TIGHT: no conditional branches in the
+     * body.  A tight loop's backedge leaves a pure run of taken bits in
+     * the global history (the paper's all-ones pattern), so its period
+     * fits in a short history window and global schemes can predict the
+     * exit; loops with branchy bodies have periods far wider than any
+     * realistic history register.
+     */
+    double tightLoopFraction = 0.75;
+    /**
+     * Per nesting level, the non-biased behaviour fractions shrink by
+     * this factor: code inside hot inner loops is dominated by highly
+     * biased routine checks in real programs, and this is what keeps
+     * the dynamic stream as biased as the paper reports.
+     */
+    double hardContentDepthScale = 0.45;
+    /**
+     * Depth scale applied to the correlated class alone.  Near 1.0 lets
+     * inter-branch correlation live inside hot inner loops (the
+     * espresso/eqntott signature the correlating-predictor literature
+     * was built on); small values confine it to cold control code.
+     */
+    double correlatedDepthScale = 0.45;
+
+    /** Deepest nesting level at which shadow groups are emitted. */
+    unsigned shadowMaxDepth = 1;
+
+    /// Behaviour mix for non-loop conditionals (remainder: high bias)
+    double fracPattern = 0.08;
+    double fracCorrelated = 0.10;
+    double fracShadow = 0.05;
+    double fracMarkov = 0.06;
+    double fracLowBias = 0.12;
+
+    /// Bias and noise levels
+    double highBiasMin = 0.95;
+    double highBiasMax = 0.995;
+    double lowBiasMin = 0.55;
+    double lowBiasMax = 0.80;
+    /** Outcome flip probability for pattern/correlated/shadow models. */
+    double noise = 0.03;
+
+    /// Trace generation
+    /** Conditional branch instances to generate (driver stop target). */
+    std::uint64_t targetConditionals = 2'000'000;
+
+    /** fatal() on out-of-range or inconsistent values. */
+    void validate() const;
+};
+
+/**
+ * Builds a SyntheticProgram from WorkloadParams.  All randomness comes
+ * from the params seed; building the same params twice yields identical
+ * programs.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(const WorkloadParams &params);
+
+    /** Construct, verify and return the program. */
+    SyntheticProgram build();
+
+  private:
+    /** Append one function starting at the current image end. */
+    void buildFunction(std::uint32_t fid);
+
+    /**
+     * Emit a structured body consuming up to @p site_budget conditional
+     * sites.  @return sites actually consumed.
+     */
+    std::size_t emitBody(std::uint32_t fid, std::size_t site_budget,
+                         unsigned depth);
+
+    /** Append a run of Plain filler instructions. */
+    void emitBlock();
+
+    /** Append an if (optionally with else); one site. */
+    void emitIf(std::uint32_t fid, std::size_t body_sites, unsigned depth,
+                bool with_else);
+
+    /**
+     * Append a shadow group -- one varying source if plus 1..3 follower
+     * ifs replaying (or negating) the source's outcome; consumes
+     * 1 + followers sites, bounded by @p site_budget.
+     * @return sites consumed
+     */
+    std::size_t emitShadowGroup(std::uint32_t fid,
+                                std::size_t site_budget);
+
+    /** Append a loop with a nested body; one site + body sites. */
+    void emitLoop(std::uint32_t fid, std::size_t body_sites,
+                  unsigned depth);
+
+    /** Append a call to a (strictly earlier) function, if any. */
+    void emitCall(std::uint32_t fid);
+
+    /** Append a Cond slot wired to @p pred; returns the slot index. */
+    std::uint32_t emitCond(std::uint32_t fid,
+                           std::unique_ptr<Predicate> pred,
+                           bool invert_predicate);
+
+    /** Pick a non-loop predicate according to the behaviour mix. */
+    std::unique_ptr<Predicate> makeLeafPredicate(unsigned depth);
+
+    /**
+     * Mean loop trips for a loop at nesting @p depth in function
+     * @p fid, given the function's hotness rank.
+     */
+    double meanTripsFor(std::uint32_t fid, unsigned depth) const;
+
+    WorkloadParams params;
+    Pcg32 rng;
+    SyntheticProgram prog;
+    /** Hotness rank of each function: 0 = hottest. */
+    std::vector<std::size_t> hotRank;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_BUILDER_HH

@@ -1,0 +1,206 @@
+#include "workload/executor.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+namespace {
+
+std::vector<double>
+hotnessWeights(const SyntheticProgram &prog)
+{
+    std::vector<double> w;
+    w.reserve(prog.functions.size());
+    for (const auto &fn : prog.functions)
+        w.push_back(fn.hotness);
+    return w;
+}
+
+} // namespace
+
+ProgramExecutor::ProgramExecutor(SyntheticProgram &program,
+                                 const WorkloadParams &params_)
+    : prog(program), params(params_), traceName(params_.name),
+      rng_(params_.seed ^ 0xabcdef0123456789ULL, 0x5851f42d4c957f2dULL),
+      hotness(hotnessWeights(program)),
+      lastOutcome(program.sites.size(), 0)
+{
+    // Coverage pass in descending hotness so the hot code trains early.
+    coverageOrder.resize(prog.functions.size());
+    std::iota(coverageOrder.begin(), coverageOrder.end(), 0u);
+    std::sort(coverageOrder.begin(), coverageOrder.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (prog.functions[a].hotness !=
+                      prog.functions[b].hotness) {
+                      return prog.functions[a].hotness >
+                          prog.functions[b].hotness;
+                  }
+                  return a < b;
+              });
+}
+
+void
+ProgramExecutor::reset()
+{
+    pc = 0;
+    currentFunction = 0;
+    running = false;
+    stack.clear();
+    ghist = 0;
+    std::fill(lastOutcome.begin(), lastOutcome.end(), 0);
+    instGap = 0;
+    condEmitted = 0;
+    burstRemaining = 0;
+    burstFunction = 0;
+    coverageCursor = 0;
+    rng_ = Pcg32(params.seed ^ 0xabcdef0123456789ULL,
+                 0x5851f42d4c957f2dULL);
+    prog.resetPredicates();
+}
+
+bool
+ProgramExecutor::lastOutcomeOf(std::size_t site_id) const
+{
+    bpsim_assert(site_id < lastOutcome.size(),
+                 "predicate references unknown site ", site_id);
+    return lastOutcome[site_id] != 0;
+}
+
+bool
+ProgramExecutor::enterNextFunction()
+{
+    std::uint32_t fid;
+    if (condEmitted >= params.targetConditionals)
+        return false;
+    if (coverageCursor < coverageOrder.size()) {
+        fid = coverageOrder[coverageCursor++];
+    } else if (burstRemaining > 0) {
+        // Continue the current burst: real programs call the same
+        // routine in runs, keeping its entry context stable.
+        --burstRemaining;
+        fid = burstFunction;
+    } else {
+        if (rng_.bernoulli(params.uniformPickFraction)) {
+            fid = rng_.nextBounded(
+                static_cast<std::uint32_t>(prog.functions.size()));
+        } else {
+            fid = static_cast<std::uint32_t>(hotness.sample(rng_));
+        }
+        burstFunction = fid;
+        burstRemaining = rng_.geometric(params.driverBurstMean) - 1;
+    }
+    currentFunction = fid;
+    pc = prog.functions[fid].entry;
+    running = true;
+    return true;
+}
+
+void
+ProgramExecutor::emit(BranchRecord &out, Addr pc_addr, Addr target,
+                      BranchType type, bool taken)
+{
+    out.pc = pc_addr;
+    out.target = target;
+    out.instGap = instGap;
+    out.type = type;
+    out.taken = taken;
+    out.kernel = prog.functions[currentFunction].kernel;
+    instGap = 0;
+}
+
+bool
+ProgramExecutor::step(BranchRecord &out)
+{
+    const Insn &insn = prog.code[pc];
+    bool kern = prog.functions[currentFunction].kernel;
+
+    switch (insn.op) {
+      case Op::Plain:
+        ++instGap;
+        ++pc;
+        return false;
+
+      case Op::Cond: {
+        BranchSite &site = prog.sites[insn.site];
+        bool taken = site.predicate->evaluate(*this);
+        if (site.invertPredicate)
+            taken = !taken;
+        ghist = (ghist << 1) | (taken ? 1u : 0u);
+        lastOutcome[insn.site] = taken ? 1 : 0;
+        ++condEmitted;
+        Addr here = prog.addressOf(pc, kern);
+        Addr dest = prog.addressOf(insn.target, kern);
+        emit(out, here, dest, BranchType::Conditional, taken);
+        pc = taken ? insn.target : pc + 1;
+        return true;
+      }
+
+      case Op::Jump: {
+        Addr here = prog.addressOf(pc, kern);
+        Addr dest = prog.addressOf(insn.target, kern);
+        emit(out, here, dest, BranchType::Unconditional, true);
+        pc = insn.target;
+        return true;
+      }
+
+      case Op::Call: {
+        const Function &callee = prog.functions[insn.target];
+        Addr here = prog.addressOf(pc, kern);
+        Addr dest = prog.addressOf(callee.entry, callee.kernel);
+        emit(out, here, dest, BranchType::Call, true);
+        stack.push_back(Frame{pc + 1, currentFunction});
+        currentFunction = insn.target;
+        pc = callee.entry;
+        return true;
+      }
+
+      case Op::Ret: {
+        if (stack.empty()) {
+            // Top-level return: hand control back to the driver without
+            // emitting a record (the driver is not program code).
+            running = false;
+            return false;
+        }
+        Frame frame = stack.back();
+        stack.pop_back();
+        Addr here = prog.addressOf(pc, kern);
+        bool ret_kern = prog.functions[frame.function].kernel;
+        Addr dest = prog.addressOf(frame.returnSlot, ret_kern);
+        emit(out, here, dest, BranchType::Return, true);
+        currentFunction = frame.function;
+        pc = frame.returnSlot;
+        return true;
+      }
+    }
+    bpsim_panic("unreachable opcode");
+}
+
+bool
+ProgramExecutor::next(BranchRecord &out)
+{
+    // Hard stop: the driver normally finishes the current function, but
+    // a deeply nested hot call chain can emit millions of branches in
+    // one invocation, so the length target is also enforced here.
+    if (condEmitted >= params.targetConditionals)
+        return false;
+    for (;;) {
+        if (!running) {
+            if (!enterNextFunction())
+                return false;
+        }
+        // Bounded inner loop: Plain runs between branches are short by
+        // construction; guard against a builder bug creating a
+        // branch-free infinite path.
+        for (std::uint64_t steps = 0; running; ++steps) {
+            bpsim_assert(steps < (1ULL << 32),
+                         "runaway branch-free execution");
+            if (step(out))
+                return true;
+        }
+    }
+}
+
+} // namespace bpsim

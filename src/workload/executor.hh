@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fetch-execute interpreter for synthetic programs.
+ *
+ * The executor is a TraceSource: each call to next() steps the program
+ * until a control-transfer instruction executes, and emits the
+ * corresponding BranchRecord.  A top-level driver picks which function to
+ * run: first one coverage pass touching every function once (so every
+ * static branch site appears in the trace, populating the long tail of
+ * Table 2), then hotness-weighted sampling until the conditional-branch
+ * target is reached.
+ */
+
+#ifndef BPSIM_WORKLOAD_EXECUTOR_HH
+#define BPSIM_WORKLOAD_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/trace_source.hh"
+#include "workload/builder.hh"
+#include "workload/program.hh"
+
+namespace bpsim {
+
+/** Runs a SyntheticProgram, streaming BranchRecords. */
+class ProgramExecutor : public TraceSource, private ExecContext
+{
+  public:
+    /**
+     * @param program built program; must outlive the executor.  The
+     *        executor mutates predicate state, so two executors must not
+     *        share a program concurrently.
+     * @param params the same params the program was built from (supplies
+     *        scheduling knobs and the stop target).
+     */
+    ProgramExecutor(SyntheticProgram &program,
+                    const WorkloadParams &params);
+
+    bool next(BranchRecord &out) override;
+    void reset() override;
+    const std::string &name() const override { return traceName; }
+
+    /** Conditional records emitted so far. */
+    std::uint64_t conditionalsEmitted() const { return condEmitted; }
+
+  private:
+    /// ExecContext interface (seen by predicates)
+    Pcg32 &rng() override { return rng_; }
+    std::uint64_t globalOutcomeHistory() const override { return ghist; }
+    bool lastOutcomeOf(std::size_t site_id) const override;
+
+    /** Driver: select and enter the next top-level function. */
+    bool enterNextFunction();
+
+    /** Step one instruction; @return true if a record was emitted. */
+    bool step(BranchRecord &out);
+
+    /** Fill the common fields of an emitted record. */
+    void emit(BranchRecord &out, Addr pc, Addr target, BranchType type,
+              bool taken);
+
+    SyntheticProgram &prog;
+    WorkloadParams params;
+    std::string traceName;
+    Pcg32 rng_;
+    DiscreteSampler hotness;
+
+    /** One stack frame: return slot + the function returned into. */
+    struct Frame
+    {
+        std::uint32_t returnSlot;
+        std::uint32_t function;
+    };
+
+    std::uint32_t pc = 0;
+    std::uint32_t currentFunction = 0;
+    bool running = false;
+    std::vector<Frame> stack;
+
+    std::uint64_t ghist = 0;
+    std::vector<std::uint8_t> lastOutcome;
+    std::uint32_t instGap = 0;
+    std::uint64_t condEmitted = 0;
+    /** Remaining repeats of the current burst function. */
+    std::uint64_t burstRemaining = 0;
+    /** Function being repeated by the current burst. */
+    std::uint32_t burstFunction = 0;
+    /** Index into the initial per-function coverage pass. */
+    std::size_t coverageCursor = 0;
+    /** Coverage pass order (hotness-rank order: hottest first). */
+    std::vector<std::uint32_t> coverageOrder;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_EXECUTOR_HH

@@ -1,0 +1,135 @@
+#include "workload/predicate.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+BiasedPredicate::BiasedPredicate(double p_)
+    : p(p_)
+{
+    bpsim_assert(p >= 0.0 && p <= 1.0, "bias probability out of range");
+}
+
+bool
+BiasedPredicate::evaluate(ExecContext &ctx)
+{
+    return ctx.rng().bernoulli(p);
+}
+
+PatternPredicate::PatternPredicate(std::uint64_t pattern_, unsigned length,
+                                   double noise_)
+    : pattern(pattern_), len(length), noise(noise_)
+{
+    bpsim_assert(len >= 1 && len <= 64, "pattern length out of range");
+}
+
+bool
+PatternPredicate::evaluate(ExecContext &ctx)
+{
+    bool out = (pattern >> pos) & 1;
+    pos = (pos + 1) % len;
+    if (noise > 0.0 && ctx.rng().bernoulli(noise))
+        out = !out;
+    return out;
+}
+
+MarkovPredicate::MarkovPredicate(double p_stay, bool initial_)
+    : pStay(p_stay), initial(initial_), last(initial_)
+{
+    bpsim_assert(pStay >= 0.0 && pStay <= 1.0,
+                 "stay probability out of range");
+}
+
+bool
+MarkovPredicate::evaluate(ExecContext &ctx)
+{
+    if (!ctx.rng().bernoulli(pStay))
+        last = !last;
+    return last;
+}
+
+CorrelatedPredicate::CorrelatedPredicate(std::uint64_t history_mask,
+                                         bool invert_, double noise_)
+    : maskBits(history_mask), invert(invert_), noise(noise_)
+{
+    bpsim_assert(maskBits != 0, "correlated predicate needs history bits");
+}
+
+bool
+CorrelatedPredicate::evaluate(ExecContext &ctx)
+{
+    std::uint64_t selected = ctx.globalOutcomeHistory() & maskBits;
+    bool out = (std::popcount(selected) & 1) != 0;
+    if (invert)
+        out = !out;
+    if (noise > 0.0 && ctx.rng().bernoulli(noise))
+        out = !out;
+    return out;
+}
+
+ShadowPredicate::ShadowPredicate(std::size_t other_site, bool invert_,
+                                 double noise_)
+    : otherSite(other_site), invert(invert_), noise(noise_)
+{
+}
+
+bool
+ShadowPredicate::evaluate(ExecContext &ctx)
+{
+    bool out = ctx.lastOutcomeOf(otherSite);
+    if (invert)
+        out = !out;
+    if (noise > 0.0 && ctx.rng().bernoulli(noise))
+        out = !out;
+    return out;
+}
+
+LoopTripPredicate::LoopTripPredicate(double mean,
+                                     std::uint64_t home_trips,
+                                     double jitter_prob)
+    : meanTrips(mean), homeTrips(home_trips), jitterProb(jitter_prob)
+{
+}
+
+std::unique_ptr<LoopTripPredicate>
+LoopTripPredicate::geometric(double mean_trips)
+{
+    bpsim_assert(mean_trips >= 1.0, "loop mean trips must be >= 1");
+    return std::unique_ptr<LoopTripPredicate>(
+        new LoopTripPredicate(mean_trips, 0, 1.0));
+}
+
+std::unique_ptr<LoopTripPredicate>
+LoopTripPredicate::fixed(std::uint64_t trips)
+{
+    bpsim_assert(trips >= 1, "loop trip count must be >= 1");
+    return std::unique_ptr<LoopTripPredicate>(
+        new LoopTripPredicate(0.0, trips, 0.0));
+}
+
+std::unique_ptr<LoopTripPredicate>
+LoopTripPredicate::jittered(std::uint64_t home_trips, double jitter_prob)
+{
+    bpsim_assert(home_trips >= 1, "loop trip count must be >= 1");
+    bpsim_assert(jitter_prob >= 0.0 && jitter_prob <= 1.0,
+                 "jitter probability out of range");
+    return std::unique_ptr<LoopTripPredicate>(new LoopTripPredicate(
+        static_cast<double>(home_trips), home_trips, jitter_prob));
+}
+
+bool
+LoopTripPredicate::evaluate(ExecContext &ctx)
+{
+    if (countdown == 0) {
+        bool redraw = jitterProb > 0.0 &&
+            (jitterProb >= 1.0 || ctx.rng().bernoulli(jitterProb));
+        countdown = redraw ? ctx.rng().geometric(meanTrips)
+                           : homeTrips;
+    }
+    --countdown;
+    return countdown > 0;
+}
+
+} // namespace bpsim

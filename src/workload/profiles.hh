@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Named workload profiles standing in for the paper's fourteen
+ * benchmarks (six SPECint92 traces, eight IBS-Ultrix traces).
+ *
+ * Each profile pins the observable characteristics the paper reports and
+ * identifies as causal: static conditional branch count (Table 1),
+ * dynamic frequency skew (Table 2), bias mix (Section 2), and --
+ * qualitatively -- the stronger correlation content of the small
+ * SPECint92 programs.  The paper's own Table 1/2 numbers are carried
+ * alongside for paper-vs-measured comparisons.
+ */
+
+#ifndef BPSIM_WORKLOAD_PROFILES_HH
+#define BPSIM_WORKLOAD_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/builder.hh"
+
+namespace bpsim {
+
+/** Which suite a profile models. */
+enum class Suite
+{
+    SpecInt92,
+    IbsUltrix,
+};
+
+/** Reference numbers from the paper, for side-by-side reporting. */
+struct PaperBenchmarkData
+{
+    std::string name;
+    Suite suite;
+    /** Table 1: total dynamic instructions. */
+    std::uint64_t dynamicInstructions;
+    /** Table 1: dynamic conditional branch instances. */
+    std::uint64_t dynamicConditionals;
+    /** Table 1: static conditional branch sites. */
+    std::size_t staticConditionals;
+    /** Table 1: static branches constituting 90% of instances. */
+    std::size_t staticCovering90;
+};
+
+/** Paper Table 2 reference row (espresso, mpeg_play, real_gcc only). */
+struct PaperFrequencyRow
+{
+    std::string name;
+    /** Static branches in the first 50% / next 40% / next 9% / last 1%. */
+    std::size_t quartiles[4];
+};
+
+/** All fourteen profile names, in the paper's Table 1 order. */
+const std::vector<std::string> &profileNames();
+
+/** The three benchmarks the paper's figures focus on. */
+const std::vector<std::string> &focusProfileNames();
+
+/** @return true when @p name is one of the fourteen profiles. */
+bool isProfileName(const std::string &name);
+
+/**
+ * Workload parameters for a named profile; fatal() on unknown names.
+ * @param target_conditionals override the trace length (0 = profile
+ *        default of about two million conditional branches)
+ */
+WorkloadParams profileParams(const std::string &name,
+                             std::uint64_t target_conditionals = 0);
+
+/** Paper Table 1 data for a profile; fatal() on unknown names. */
+const PaperBenchmarkData &paperData(const std::string &name);
+
+/** Paper Table 2 rows (three focus benchmarks). */
+const std::vector<PaperFrequencyRow> &paperFrequencyRows();
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_PROFILES_HH

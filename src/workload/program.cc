@@ -1,0 +1,64 @@
+#include "workload/program.hh"
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+void
+SyntheticProgram::verify() const
+{
+    bpsim_assert(!code.empty(), "empty program");
+    bpsim_assert(!functions.empty(), "program with no functions");
+
+    for (std::size_t f = 0; f < functions.size(); ++f) {
+        const Function &fn = functions[f];
+        bpsim_assert(fn.entry < code.size(), "function ", fn.name,
+                     " entry out of range");
+        bpsim_assert(fn.end <= code.size() && fn.entry < fn.end,
+                     "function ", fn.name, " extent invalid");
+        bpsim_assert(fn.hotness >= 0.0, "negative hotness");
+    }
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Insn &insn = code[i];
+        switch (insn.op) {
+          case Op::Plain:
+          case Op::Ret:
+            break;
+          case Op::Cond:
+            bpsim_assert(insn.site < sites.size(), "slot ", i,
+                         ": site index out of range");
+            bpsim_assert(sites[insn.site].slot == i, "slot ", i,
+                         ": site table disagrees about slot");
+            [[fallthrough]];
+          case Op::Jump:
+            bpsim_assert(insn.target < code.size(), "slot ", i,
+                         ": jump target out of range");
+            break;
+          case Op::Call:
+            bpsim_assert(insn.target < functions.size(), "slot ", i,
+                         ": callee out of range");
+            break;
+        }
+    }
+
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+        const BranchSite &site = sites[s];
+        bpsim_assert(site.predicate != nullptr, "site ", s,
+                     " has no predicate");
+        bpsim_assert(site.slot < code.size() &&
+                         code[site.slot].op == Op::Cond,
+                     "site ", s, " does not point at a Cond slot");
+        bpsim_assert(site.function < functions.size(), "site ", s,
+                     " function out of range");
+    }
+}
+
+void
+SyntheticProgram::resetPredicates()
+{
+    for (auto &site : sites)
+        site.predicate->reset();
+}
+
+} // namespace bpsim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The synthetic program representation: a lowered code image over a tiny
+ * control-flow ISA, plus the conditional branch sites (each owning a
+ * behaviour predicate) and the function table.
+ *
+ * The builder (builder.hh) lowers structured constructs -- if / if-else,
+ * top- and bottom-test loops, calls -- into this image; the executor
+ * (executor.hh) is then a plain fetch-execute loop, which is what makes
+ * the generated traces behave like traces of real code: consecutive
+ * branches follow program paths, so global history patterns identify
+ * branch sites, the property correlation-based predictors exploit.
+ */
+
+#ifndef BPSIM_WORKLOAD_PROGRAM_HH
+#define BPSIM_WORKLOAD_PROGRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "workload/predicate.hh"
+
+namespace bpsim {
+
+/** Opcodes of the synthetic ISA. */
+enum class Op : std::uint8_t
+{
+    /** A non-branch instruction (ALU/load/store filler). */
+    Plain,
+    /** Conditional branch; jumps to target when taken. */
+    Cond,
+    /** Unconditional jump to target. */
+    Jump,
+    /** Call: push return, jump to the entry of function `target`. */
+    Call,
+    /** Return to the pushed address. */
+    Ret,
+};
+
+/** One instruction slot; slot i sits at address base + 4*i. */
+struct Insn
+{
+    Op op = Op::Plain;
+    /**
+     * Cond/Jump: destination slot index.  Call: callee function id.
+     * Plain/Ret: unused.
+     */
+    std::uint32_t target = 0;
+    /** Cond only: index into the program's branch-site table. */
+    std::uint32_t site = 0;
+};
+
+/** A conditional branch site: identity plus behaviour. */
+struct BranchSite
+{
+    /** Slot index of the branch instruction. */
+    std::uint32_t slot = 0;
+    /** Owning function id. */
+    std::uint32_t function = 0;
+    /** Outcome generator; never null in a built program. */
+    std::unique_ptr<Predicate> predicate;
+    /**
+     * True when the branch is TAKEN to EXIT a top-test loop whose
+     * predicate expresses "continue looping": outcome = !predicate.
+     * Bottom-test loops and plain ifs wire the predicate to taken
+     * directly.
+     */
+    bool invertPredicate = false;
+};
+
+/** A function: entry slot, layout extent, and scheduling metadata. */
+struct Function
+{
+    std::string name;
+    std::uint32_t entry = 0;
+    /** One past the last slot belonging to this function. */
+    std::uint32_t end = 0;
+    /** Executes in kernel mode (IBS-style traces). */
+    bool kernel = false;
+    /** Relative probability of being picked by the top-level driver. */
+    double hotness = 0.0;
+};
+
+/**
+ * A synthetic program: code image, branch-site table, function table.
+ * Built by ProgramBuilder (which fills the public containers directly),
+ * then treated as immutable apart from predicate state.
+ */
+class SyntheticProgram
+{
+  public:
+    SyntheticProgram() = default;
+
+    SyntheticProgram(const SyntheticProgram &) = delete;
+    SyntheticProgram &operator=(const SyntheticProgram &) = delete;
+    SyntheticProgram(SyntheticProgram &&) = default;
+    SyntheticProgram &operator=(SyntheticProgram &&) = default;
+
+    /** Base virtual address of user-mode code (MIPS text segment). */
+    static constexpr Addr userBase = 0x00400000;
+    /** Address offset applied to kernel-mode code (MIPS kseg0). */
+    static constexpr Addr kernelBase = 0x80000000;
+
+    /** Address of slot @p idx for user (or kernel) mode code. */
+    Addr
+    addressOf(std::uint32_t idx, bool kernel) const
+    {
+        return (kernel ? kernelBase : Addr{0}) + userBase + Addr{4} * idx;
+    }
+
+    /** Validate internal consistency; panic()s on a builder bug. */
+    void verify() const;
+
+    /** Reset all mutable predicate state (fresh trace generation). */
+    void resetPredicates();
+
+    /** Count of conditional branch sites. */
+    std::size_t staticBranchCount() const { return sites.size(); }
+
+    std::vector<Insn> code;
+    std::vector<Function> functions;
+    std::vector<BranchSite> sites;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_PROGRAM_HH

@@ -1,0 +1,31 @@
+#include "workload/synthetic.hh"
+
+#include "workload/executor.hh"
+#include "workload/profiles.hh"
+
+namespace bpsim {
+
+SyntheticProgram
+buildProgram(const WorkloadParams &params)
+{
+    return ProgramBuilder(params).build();
+}
+
+MemoryTrace
+generateTrace(const WorkloadParams &params)
+{
+    SyntheticProgram program = buildProgram(params);
+    ProgramExecutor executor(program, params);
+    MemoryTrace trace(params.name);
+    trace.appendAll(executor);
+    return trace;
+}
+
+MemoryTrace
+generateProfileTrace(const std::string &profile,
+                     std::uint64_t target_conditionals)
+{
+    return generateTrace(profileParams(profile, target_conditionals));
+}
+
+} // namespace bpsim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Top-level workload entry points: profile or params in, program or
+ * fully materialised trace out.
+ */
+
+#ifndef BPSIM_WORKLOAD_SYNTHETIC_HH
+#define BPSIM_WORKLOAD_SYNTHETIC_HH
+
+#include <string>
+
+#include "trace/memory_trace.hh"
+#include "workload/builder.hh"
+#include "workload/program.hh"
+
+namespace bpsim {
+
+/** Build the synthetic program described by @p params. */
+SyntheticProgram buildProgram(const WorkloadParams &params);
+
+/** Build and execute: the whole trace, in memory. */
+MemoryTrace generateTrace(const WorkloadParams &params);
+
+/**
+ * Generate the trace for a named profile (profiles.hh).
+ * @param target_conditionals 0 = the profile's default length
+ */
+MemoryTrace generateProfileTrace(const std::string &profile,
+                                 std::uint64_t target_conditionals = 0);
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_SYNTHETIC_HH

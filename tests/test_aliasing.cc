@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the aliasing tracker -- the paper's conflict definition:
+ * consecutive instances accessing a counter from distinct branches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/aliasing.hh"
+
+using namespace bpsim;
+
+TEST(AliasTracker, FirstAccessIsNotAConflict)
+{
+    AliasTracker t(16);
+    EXPECT_FALSE(t.access(3, 0x100));
+    EXPECT_EQ(t.conflicts(), 0u);
+    EXPECT_EQ(t.accesses(), 1u);
+    EXPECT_EQ(t.slotsTouched(), 1u);
+}
+
+TEST(AliasTracker, SameBranchRepeatIsNotAConflict)
+{
+    AliasTracker t(16);
+    t.access(3, 0x100);
+    EXPECT_FALSE(t.access(3, 0x100));
+    EXPECT_EQ(t.conflicts(), 0u);
+}
+
+TEST(AliasTracker, DistinctBranchIsAConflict)
+{
+    AliasTracker t(16);
+    t.access(3, 0x100);
+    EXPECT_TRUE(t.access(3, 0x200));
+    EXPECT_EQ(t.conflicts(), 1u);
+    EXPECT_DOUBLE_EQ(t.aliasRate(), 0.5);
+}
+
+TEST(AliasTracker, ConflictDefinitionIsConsecutive)
+{
+    // A-B-A on the same slot: two conflicts (B after A, A after B),
+    // exactly like misses in a direct-mapped cache.
+    AliasTracker t(4);
+    t.access(0, 0xA);
+    t.access(0, 0xB);
+    t.access(0, 0xA);
+    EXPECT_EQ(t.conflicts(), 2u);
+}
+
+TEST(AliasTracker, DifferentSlotsDoNotInterfere)
+{
+    AliasTracker t(4);
+    t.access(0, 0xA);
+    EXPECT_FALSE(t.access(1, 0xB));
+    EXPECT_EQ(t.conflicts(), 0u);
+    EXPECT_EQ(t.slotsTouched(), 2u);
+}
+
+TEST(AliasTracker, HarmlessClassification)
+{
+    AliasTracker t(4);
+    t.access(0, 0xA);
+    t.access(0, 0xB, /*all_ones_pattern=*/true);
+    t.access(0, 0xC, /*all_ones_pattern=*/false);
+    EXPECT_EQ(t.conflicts(), 2u);
+    EXPECT_EQ(t.harmlessConflicts(), 1u);
+    EXPECT_DOUBLE_EQ(t.harmlessFraction(), 0.5);
+}
+
+TEST(AliasTracker, HarmlessFlagOnNonConflictIsIgnored)
+{
+    AliasTracker t(4);
+    t.access(0, 0xA, true); // first touch, not a conflict
+    t.access(0, 0xA, true); // same branch, not a conflict
+    EXPECT_EQ(t.harmlessConflicts(), 0u);
+    EXPECT_DOUBLE_EQ(t.harmlessFraction(), 0.0);
+}
+
+TEST(AliasTracker, ResetForgetsHistoryAndCounters)
+{
+    AliasTracker t(4);
+    t.access(0, 0xA);
+    t.access(0, 0xB, true);
+    t.reset();
+    EXPECT_EQ(t.accesses(), 0u);
+    EXPECT_EQ(t.conflicts(), 0u);
+    EXPECT_EQ(t.harmlessConflicts(), 0u);
+    EXPECT_EQ(t.slotsTouched(), 0u);
+    // After reset the first access is fresh again.
+    EXPECT_FALSE(t.access(0, 0xB));
+}
+
+TEST(AliasTracker, RatesWithNoAccessesAreZero)
+{
+    AliasTracker t(4);
+    EXPECT_DOUBLE_EQ(t.aliasRate(), 0.0);
+    EXPECT_DOUBLE_EQ(t.harmlessFraction(), 0.0);
+}
+
+TEST(AliasTrackerDeathTest, SlotOutOfRangePanics)
+{
+    AliasTracker t(4);
+    EXPECT_DEATH(t.access(4, 0x100), "out of range");
+}
+
+TEST(AliasTracker, FullyAliasedStream)
+{
+    // Alternating branches on one slot: every access after the first
+    // conflicts.
+    AliasTracker t(1);
+    t.access(0, 0xA);
+    for (int i = 0; i < 99; ++i)
+        t.access(0, i % 2 ? 0xA : 0xB);
+    EXPECT_EQ(t.accesses(), 100u);
+    EXPECT_EQ(t.conflicts(), 99u);
+    EXPECT_NEAR(t.aliasRate(), 0.99, 1e-9);
+}

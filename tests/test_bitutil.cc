@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers every index computation in
+ * the simulator rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+using namespace bpsim;
+
+TEST(Mask, ZeroBitsIsEmpty)
+{
+    EXPECT_EQ(mask(0), 0u);
+}
+
+TEST(Mask, SmallWidths)
+{
+    EXPECT_EQ(mask(1), 0x1u);
+    EXPECT_EQ(mask(2), 0x3u);
+    EXPECT_EQ(mask(4), 0xFu);
+    EXPECT_EQ(mask(8), 0xFFu);
+    EXPECT_EQ(mask(16), 0xFFFFu);
+}
+
+TEST(Mask, FullWidth)
+{
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Mask, BeyondFullWidthSaturates)
+{
+    EXPECT_EQ(mask(65), ~std::uint64_t{0});
+    EXPECT_EQ(mask(200), ~std::uint64_t{0});
+}
+
+TEST(Mask, IsMonotoneInWidth)
+{
+    for (unsigned w = 0; w < 64; ++w)
+        EXPECT_LT(mask(w), mask(w + 1)) << "width " << w;
+}
+
+TEST(Bits, ExtractsLowBits)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 8), 0xEFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 16), 0xBEEFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 0), 0u);
+    EXPECT_EQ(bits(0xDEADBEEF, 64), 0xDEADBEEFu);
+}
+
+TEST(BitsAt, ExtractsField)
+{
+    EXPECT_EQ(bitsAt(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bitsAt(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(bitsAt(0xABCD, 8, 8), 0xABu);
+    EXPECT_EQ(bitsAt(0xFF00, 8, 4), 0xFu);
+}
+
+TEST(WordIndex, DropsAlignmentBits)
+{
+    EXPECT_EQ(wordIndex(0x400000), 0x100000u);
+    EXPECT_EQ(wordIndex(0x400004), 0x100001u);
+    EXPECT_EQ(wordIndex(0x0), 0u);
+}
+
+TEST(WordIndex, ConsecutiveInstructionsAreConsecutiveIndices)
+{
+    Addr pc = 0x00400120;
+    EXPECT_EQ(wordIndex(pc + 4), wordIndex(pc) + 1);
+    EXPECT_EQ(wordIndex(pc + 8), wordIndex(pc) + 2);
+}
+
+TEST(IsPowerOfTwo, Powers)
+{
+    for (unsigned i = 0; i < 63; ++i)
+        EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << i)) << "2^" << i;
+}
+
+TEST(IsPowerOfTwo, NonPowers)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(6));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_FALSE(isPowerOfTwo(0xFFFF));
+}
+
+TEST(FloorLog2, Exact)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(FloorLog2, RoundsDown)
+{
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(CeilLog2, RoundsUp)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1023), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(ExactLog2, AcceptsPowers)
+{
+    EXPECT_EQ(exactLog2(1), 0u);
+    EXPECT_EQ(exactLog2(4096), 12u);
+}
+
+TEST(ExactLog2DeathTest, RejectsNonPowers)
+{
+    EXPECT_DEATH(exactLog2(12), "not a power of two");
+}
+
+/** Property sweep: floor/ceil agree exactly on powers of two. */
+class Log2Property : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Log2Property, FloorEqualsCeilOnPowers)
+{
+    unsigned n = GetParam();
+    std::uint64_t v = std::uint64_t{1} << n;
+    EXPECT_EQ(floorLog2(v), n);
+    EXPECT_EQ(ceilLog2(v), n);
+    EXPECT_EQ(exactLog2(v), n);
+}
+
+TEST_P(Log2Property, MaskHasExactlyNBitsSet)
+{
+    unsigned n = GetParam();
+    EXPECT_EQ(static_cast<unsigned>(std::popcount(mask(n))), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, Log2Property,
+                         ::testing::Range(0u, 64u));

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the Chang-et-al branch classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/factory.hh"
+#include "sim/engine.hh"
+#include "stats/branch_classes.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+TEST(BranchClasses, BandEdges)
+{
+    EXPECT_EQ(classifyTakenRate(0.0), BranchClass::AlwaysNotTaken);
+    EXPECT_EQ(classifyTakenRate(0.049), BranchClass::AlwaysNotTaken);
+    EXPECT_EQ(classifyTakenRate(0.05), BranchClass::MostlyNotTaken);
+    EXPECT_EQ(classifyTakenRate(0.299), BranchClass::MostlyNotTaken);
+    EXPECT_EQ(classifyTakenRate(0.30), BranchClass::Mixed);
+    EXPECT_EQ(classifyTakenRate(0.5), BranchClass::Mixed);
+    EXPECT_EQ(classifyTakenRate(0.699), BranchClass::Mixed);
+    EXPECT_EQ(classifyTakenRate(0.70), BranchClass::MostlyTaken);
+    EXPECT_EQ(classifyTakenRate(0.949), BranchClass::MostlyTaken);
+    EXPECT_EQ(classifyTakenRate(0.95), BranchClass::AlwaysTaken);
+    EXPECT_EQ(classifyTakenRate(1.0), BranchClass::AlwaysTaken);
+}
+
+TEST(BranchClasses, Names)
+{
+    EXPECT_STREQ(branchClassName(BranchClass::Mixed), "mixed");
+    EXPECT_STREQ(branchClassName(BranchClass::AlwaysTaken),
+                 "always-taken");
+    EXPECT_STREQ(branchClassName(BranchClass::AlwaysNotTaken),
+                 "always-not-taken");
+}
+
+TEST(BranchClasses, AggregatesHandBuiltStats)
+{
+    PredictionStats stats(/*track_sites=*/true);
+    // Branch A: 10 instances, all taken, 1 misp.
+    for (int i = 0; i < 10; ++i)
+        stats.record(0x100, true, i != 0);
+    // Branch B: 4 instances, half taken.
+    stats.record(0x200, true, true);
+    stats.record(0x200, false, true);
+    stats.record(0x200, true, true);
+    stats.record(0x200, false, true);
+
+    BranchClassReport report = classifyBranches(stats);
+    EXPECT_EQ(report.totalInstances, 14u);
+    EXPECT_EQ(report[BranchClass::AlwaysTaken].staticBranches, 1u);
+    EXPECT_EQ(report[BranchClass::AlwaysTaken].instances, 10u);
+    EXPECT_EQ(report[BranchClass::AlwaysTaken].mispredicted, 1u);
+    EXPECT_EQ(report[BranchClass::Mixed].staticBranches, 1u);
+    EXPECT_EQ(report[BranchClass::Mixed].instances, 4u);
+    EXPECT_EQ(report[BranchClass::Mixed].mispredicted, 2u);
+    EXPECT_NEAR(report.dynamicShare(BranchClass::AlwaysTaken),
+                10.0 / 14.0, 1e-12);
+}
+
+TEST(BranchClasses, EmptyStats)
+{
+    PredictionStats stats(true);
+    BranchClassReport report = classifyBranches(stats);
+    EXPECT_EQ(report.totalInstances, 0u);
+    EXPECT_DOUBLE_EQ(report.dynamicShare(BranchClass::Mixed), 0.0);
+}
+
+TEST(BranchClasses, RenderContainsEveryClass)
+{
+    PredictionStats stats(true);
+    stats.record(0x100, true, true);
+    std::string out = classifyBranches(stats).render();
+    for (std::size_t i = 0; i < branchClassCount; ++i) {
+        EXPECT_NE(out.find(branchClassName(
+                      static_cast<BranchClass>(i))),
+                  std::string::npos);
+    }
+}
+
+TEST(BranchClasses, WorkloadIsBiasDominated)
+{
+    // The paper's Section 2 claim, measured end to end: extreme-bias
+    // classes dominate the dynamic stream of a large profile.
+    MemoryTrace trace = generateProfileTrace("real_gcc", 300'000);
+    auto p = makePredictor("addr:12");
+    PredictionStats stats = runPredictor(trace, *p, true);
+    BranchClassReport report = classifyBranches(stats);
+
+    double extreme =
+        report.dynamicShare(BranchClass::AlwaysTaken) +
+        report.dynamicShare(BranchClass::AlwaysNotTaken) +
+        report.dynamicShare(BranchClass::MostlyTaken) +
+        report.dynamicShare(BranchClass::MostlyNotTaken);
+    EXPECT_GT(extreme, 0.65);
+
+    // Mixed branches must mispredict far worse than always-* ones.
+    EXPECT_GT(report[BranchClass::Mixed].mispRate(),
+              report[BranchClass::AlwaysTaken].mispRate());
+}
+
+TEST(BranchClasses, MispredictionsSumAcrossClasses)
+{
+    MemoryTrace trace = generateProfileTrace("compress", 100'000);
+    auto p = makePredictor("gshare:10:0");
+    PredictionStats stats = runPredictor(trace, *p, true);
+    BranchClassReport report = classifyBranches(stats);
+
+    std::uint64_t total_misp = 0, total_inst = 0;
+    for (std::size_t i = 0; i < branchClassCount; ++i) {
+        total_misp += report.rows[i].mispredicted;
+        total_inst += report.rows[i].instances;
+    }
+    EXPECT_EQ(total_misp, stats.mispredicts());
+    EXPECT_EQ(total_inst, stats.lookups());
+}

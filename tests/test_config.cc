@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the key=value command-line parser used by examples and
+ * benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+using namespace bpsim;
+
+TEST(Config, ParsesOptionsAndPositionals)
+{
+    Config cfg = Config::parseTokens(
+        {"generate", "profile=espresso", "out=/tmp/x.bpt", "extra"});
+    ASSERT_EQ(cfg.positional().size(), 2u);
+    EXPECT_EQ(cfg.positional()[0], "generate");
+    EXPECT_EQ(cfg.positional()[1], "extra");
+    EXPECT_EQ(cfg.getString("profile", ""), "espresso");
+    EXPECT_EQ(cfg.getString("out", ""), "/tmp/x.bpt");
+}
+
+TEST(Config, FallbacksWhenAbsent)
+{
+    Config cfg = Config::parseTokens({});
+    EXPECT_EQ(cfg.getString("missing", "dflt"), "dflt");
+    EXPECT_EQ(cfg.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 2.5), 2.5);
+    EXPECT_TRUE(cfg.getBool("missing", true));
+    EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, ParsesIntegersIncludingHex)
+{
+    Config cfg = Config::parseTokens({"a=123", "b=0x10", "c=-5"});
+    EXPECT_EQ(cfg.getInt("a", 0), 123);
+    EXPECT_EQ(cfg.getInt("b", 0), 16);
+    EXPECT_EQ(cfg.getInt("c", 0), -5);
+}
+
+TEST(Config, ParsesDoubles)
+{
+    Config cfg = Config::parseTokens({"x=1.5", "y=-0.25"});
+    EXPECT_DOUBLE_EQ(cfg.getDouble("x", 0), 1.5);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("y", 0), -0.25);
+}
+
+TEST(Config, ParsesBooleans)
+{
+    Config cfg = Config::parseTokens(
+        {"a=true", "b=false", "c=1", "d=0", "e=yes", "f=no", "g=on",
+         "h=off"});
+    EXPECT_TRUE(cfg.getBool("a", false));
+    EXPECT_FALSE(cfg.getBool("b", true));
+    EXPECT_TRUE(cfg.getBool("c", false));
+    EXPECT_FALSE(cfg.getBool("d", true));
+    EXPECT_TRUE(cfg.getBool("e", false));
+    EXPECT_FALSE(cfg.getBool("f", true));
+    EXPECT_TRUE(cfg.getBool("g", false));
+    EXPECT_FALSE(cfg.getBool("h", true));
+}
+
+TEST(Config, LastDuplicateWins)
+{
+    Config cfg = Config::parseTokens({"k=1", "k=2"});
+    EXPECT_EQ(cfg.getInt("k", 0), 2);
+}
+
+TEST(Config, ValueMayContainEquals)
+{
+    Config cfg = Config::parseTokens({"expr=a=b"});
+    EXPECT_EQ(cfg.getString("expr", ""), "a=b");
+}
+
+TEST(Config, LeadingEqualsIsPositional)
+{
+    Config cfg = Config::parseTokens({"=weird"});
+    ASSERT_EQ(cfg.positional().size(), 1u);
+    EXPECT_EQ(cfg.positional()[0], "=weird");
+}
+
+TEST(Config, KeysAreSorted)
+{
+    Config cfg = Config::parseTokens({"zebra=1", "apple=2"});
+    auto keys = cfg.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "apple");
+    EXPECT_EQ(keys[1], "zebra");
+}
+
+TEST(Config, ParseArgsSkipsArgvZero)
+{
+    const char *argv[] = {"prog", "k=v", "pos"};
+    Config cfg = Config::parseArgs(3, argv);
+    EXPECT_EQ(cfg.getString("k", ""), "v");
+    ASSERT_EQ(cfg.positional().size(), 1u);
+}
+
+TEST(ConfigDeathTest, MalformedIntegerIsFatal)
+{
+    Config cfg = Config::parseTokens({"n=abc"});
+    EXPECT_EXIT(cfg.getInt("n", 0), ::testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ConfigDeathTest, MalformedBoolIsFatal)
+{
+    Config cfg = Config::parseTokens({"b=maybe"});
+    EXPECT_EXIT(cfg.getBool("b", false), ::testing::ExitedWithCode(1),
+                "not a boolean");
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the bucketed distribution used in workload characterisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/distribution.hh"
+
+using namespace bpsim;
+
+TEST(Distribution, CountsAndMoments)
+{
+    Distribution d(0.0, 10.0, 10);
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_NEAR(d.stddev(), 1.11803, 1e-4);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+}
+
+TEST(Distribution, BucketsFillCorrectly)
+{
+    Distribution d(0.0, 10.0, 10);
+    d.sample(0.5);
+    d.sample(0.9);
+    d.sample(9.5);
+    EXPECT_EQ(d.buckets()[0], 2u);
+    EXPECT_EQ(d.buckets()[9], 1u);
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+}
+
+TEST(Distribution, UnderflowAndOverflow)
+{
+    Distribution d(0.0, 10.0, 5);
+    d.sample(-1.0);
+    d.sample(10.0); // hi is exclusive
+    d.sample(100.0);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(Distribution, BucketLowerEdges)
+{
+    Distribution d(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(d.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(d.bucketLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(d.bucketLo(4), 8.0);
+}
+
+TEST(Distribution, QuantileOnUniformSamples)
+{
+    Distribution d(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        d.sample(i + 0.5);
+    EXPECT_NEAR(d.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(d.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(d.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Distribution, QuantileZeroReturnsFirstMass)
+{
+    Distribution d(0.0, 10.0, 10);
+    d.sample(5.0);
+    EXPECT_LE(d.quantile(0.0), 6.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d(0.0, 10.0, 10);
+    d.sample(5.0);
+    d.sample(-1.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    for (auto b : d.buckets())
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(Distribution, RenderMentionsOverflow)
+{
+    Distribution d(0.0, 1.0, 2);
+    d.sample(5.0);
+    std::string out = d.render();
+    EXPECT_NE(out.find("overflow: 1"), std::string::npos);
+}
+
+TEST(Distribution, StddevOfConstantIsZero)
+{
+    Distribution d(0.0, 10.0, 10);
+    for (int i = 0; i < 5; ++i)
+        d.sample(3.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(DistributionDeathTest, EmptyRangeRejected)
+{
+    EXPECT_DEATH(Distribution(5.0, 5.0, 10), "empty distribution range");
+}
+
+TEST(DistributionDeathTest, QuantileOfEmptyPanics)
+{
+    Distribution d(0.0, 1.0, 4);
+    EXPECT_DEATH(d.quantile(0.5), "quantile of empty");
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the program executor: record-stream validity, determinism,
+ * the driver's stop target, and call/return balance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/executor.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+WorkloadParams
+execParams(std::uint64_t seed = 1, std::uint64_t target = 20'000)
+{
+    WorkloadParams p;
+    p.name = "exec-unit";
+    p.seed = seed;
+    p.staticBranches = 150;
+    p.functionCount = 15;
+    p.targetConditionals = target;
+    return p;
+}
+
+} // namespace
+
+TEST(ProgramExecutor, ReachesTheConditionalTarget)
+{
+    MemoryTrace trace = generateTrace(execParams());
+    EXPECT_GE(trace.conditionalCount(), 20'000u);
+    // The hard stop bounds the overshoot to (at most) one record.
+    EXPECT_LE(trace.conditionalCount(), 20'001u);
+}
+
+TEST(ProgramExecutor, DeterministicAcrossGenerations)
+{
+    MemoryTrace a = generateTrace(execParams(9));
+    MemoryTrace b = generateTrace(execParams(9));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "record " << i;
+}
+
+TEST(ProgramExecutor, ResetReplaysIdentically)
+{
+    WorkloadParams p = execParams(11, 5'000);
+    SyntheticProgram prog = buildProgram(p);
+    ProgramExecutor exec(prog, p);
+
+    MemoryTrace first("first");
+    first.appendAll(exec);
+    exec.reset();
+    MemoryTrace second("second");
+    second.appendAll(exec);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        ASSERT_EQ(first[i], second[i]) << "record " << i;
+}
+
+TEST(ProgramExecutor, RecordAddressesLieInTheImage)
+{
+    WorkloadParams p = execParams();
+    SyntheticProgram prog = buildProgram(p);
+    ProgramExecutor exec(prog, p);
+
+    Addr user_lo = SyntheticProgram::userBase;
+    Addr user_hi = user_lo + 4 * prog.code.size();
+
+    BranchRecord rec;
+    while (exec.next(rec)) {
+        Addr pc = rec.pc & ~SyntheticProgram::kernelBase;
+        ASSERT_GE(pc, user_lo);
+        ASSERT_LT(pc, user_hi);
+    }
+}
+
+TEST(ProgramExecutor, ConditionalRecordsCarryRealTargets)
+{
+    WorkloadParams p = execParams();
+    MemoryTrace trace = generateTrace(p);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const BranchRecord &rec = trace[i];
+        if (!rec.isConditional())
+            continue;
+        ASSERT_NE(rec.target, 0u);
+        ASSERT_NE(rec.target, rec.pc) << "self-loop branch";
+    }
+}
+
+TEST(ProgramExecutor, CallsAndReturnsBalance)
+{
+    MemoryTrace trace = generateTrace(execParams(13));
+    std::int64_t depth = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].type == BranchType::Call)
+            ++depth;
+        else if (trace[i].type == BranchType::Return)
+            --depth;
+        ASSERT_GE(depth, 0) << "return without call at record " << i;
+    }
+    // Trailing depth may be nonzero only if the hard stop cut a call
+    // chain; with a full driver round it ends balanced.
+    EXPECT_GE(depth, 0);
+}
+
+TEST(ProgramExecutor, MostSitesExecuteOnLongTraces)
+{
+    WorkloadParams p = execParams(17, 60'000);
+    SyntheticProgram prog = buildProgram(p);
+    ProgramExecutor exec(prog, p);
+    std::unordered_set<Addr> seen;
+    BranchRecord rec;
+    while (exec.next(rec)) {
+        if (rec.isConditional())
+            seen.insert(rec.pc);
+    }
+    // The coverage pass calls every function once; only sites hidden
+    // behind never-taken guards stay unexecuted.
+    EXPECT_GE(seen.size(), prog.staticBranchCount() / 2);
+}
+
+TEST(ProgramExecutor, KernelFlagFollowsFunctionMode)
+{
+    WorkloadParams p = execParams(19);
+    p.kernelFraction = 1.0;
+    MemoryTrace trace = generateTrace(p);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_TRUE(trace[i].kernel) << "record " << i;
+}
+
+TEST(ProgramExecutor, UserOnlyWorkloadHasNoKernelRecords)
+{
+    WorkloadParams p = execParams(23);
+    p.kernelFraction = 0.0;
+    MemoryTrace trace = generateTrace(p);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_FALSE(trace[i].kernel) << "record " << i;
+}
+
+TEST(ProgramExecutor, TakenConditionalJumpsFallThroughOtherwise)
+{
+    // Reconstruct control flow: for conditional records, the next
+    // record's provenance must be consistent with taken/fall-through.
+    // We check the weaker invariant encoded in the records themselves:
+    // taken=false implies the *target* field still names the taken
+    // destination (it is the static target, not the successor).
+    WorkloadParams p = execParams(29, 2'000);
+    MemoryTrace trace = generateTrace(p);
+    std::size_t conds = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].isConditional()) {
+            ++conds;
+            EXPECT_NE(trace[i].target, trace[i].pc + 4)
+                << "target must differ from fall-through";
+        }
+    }
+    EXPECT_GT(conds, 0u);
+}
+
+TEST(ProgramExecutor, InstructionGapsAreReasonable)
+{
+    WorkloadParams p = execParams(31);
+    p.meanBlockLen = 5.0;
+    MemoryTrace trace = generateTrace(p);
+    std::uint64_t total_gap = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        total_gap += trace[i].instGap;
+    double density = static_cast<double>(trace.size()) /
+        static_cast<double>(total_gap + trace.size());
+    // Branches should be roughly 10-35% of instructions, as in Table 1.
+    EXPECT_GT(density, 0.05);
+    EXPECT_LT(density, 0.50);
+}
+
+TEST(ProgramExecutor, NameMatchesParams)
+{
+    WorkloadParams p = execParams();
+    SyntheticProgram prog = buildProgram(p);
+    ProgramExecutor exec(prog, p);
+    EXPECT_EQ(exec.name(), "exec-unit");
+}
+
+TEST(ProgramExecutor, ConditionalCountMatchesEmittedStat)
+{
+    WorkloadParams p = execParams(37, 3'000);
+    SyntheticProgram prog = buildProgram(p);
+    ProgramExecutor exec(prog, p);
+    MemoryTrace trace("t");
+    trace.appendAll(exec);
+    EXPECT_EQ(exec.conditionalsEmitted(), trace.conditionalCount());
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the experiment drivers (Table 3 best-config machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+PreparedTrace
+smallPrepared()
+{
+    WorkloadParams p;
+    p.name = "experiment-unit";
+    p.seed = 31;
+    p.staticBranches = 100;
+    p.functionCount = 10;
+    p.targetConditionals = 20'000;
+    MemoryTrace t = generateTrace(p);
+    return PreparedTrace(t);
+}
+
+} // namespace
+
+TEST(Experiment, PaperSweepOptionsMatchFigureAxes)
+{
+    SweepOptions o = paperSweepOptions();
+    EXPECT_EQ(o.minTotalBits, 4u);  // 16 counters, rear tier
+    EXPECT_EQ(o.maxTotalBits, 15u); // 32768 counters, front tier
+    EXPECT_TRUE(o.trackAliasing);
+}
+
+TEST(Experiment, PrepareProfileProducesConditionalStream)
+{
+    PreparedTrace t = prepareProfile("compress", 50'000);
+    EXPECT_GE(t.size(), 50'000u);
+    EXPECT_EQ(t.name(), "compress");
+}
+
+TEST(Experiment, BestConfigTableHasPaperLineup)
+{
+    PreparedTrace t = smallPrepared();
+    Table3Options opts;
+    opts.budgetBits = {6, 8};
+    opts.bhtSizes = {64, 32};
+    auto rows = bestConfigTable(t, opts);
+
+    ASSERT_EQ(rows.size(), 5u); // GAs, gshare, PAs(inf), PAs x2
+    EXPECT_EQ(rows[0].scheme, "GAs");
+    EXPECT_EQ(rows[1].scheme, "gshare");
+    EXPECT_EQ(rows[2].scheme, "PAs(inf)");
+    EXPECT_EQ(rows[3].scheme, "PAs(64)");
+    EXPECT_EQ(rows[4].scheme, "PAs(32)");
+
+    for (const auto &row : rows) {
+        ASSERT_EQ(row.best.size(), 2u) << row.scheme;
+        for (const auto &best : row.best) {
+            ASSERT_TRUE(best.has_value()) << row.scheme;
+            EXPECT_GE(best->mispRate, 0.0);
+            EXPECT_LE(best->mispRate, 1.0);
+        }
+    }
+}
+
+TEST(Experiment, BestConfigGeometryAddsUp)
+{
+    PreparedTrace t = smallPrepared();
+    Table3Options opts;
+    opts.budgetBits = {7};
+    opts.bhtSizes = {64};
+    auto rows = bestConfigTable(t, opts);
+    for (const auto &row : rows) {
+        ASSERT_TRUE(row.best[0].has_value());
+        EXPECT_EQ(row.best[0]->rowBits + row.best[0]->colBits, 7u)
+            << row.scheme;
+    }
+}
+
+TEST(Experiment, FirstLevelMissRatesOnlyForFiniteBht)
+{
+    PreparedTrace t = smallPrepared();
+    Table3Options opts;
+    opts.budgetBits = {6};
+    opts.bhtSizes = {16};
+    auto rows = bestConfigTable(t, opts);
+    EXPECT_LT(rows[0].bhtMissRate, 0.0); // GAs: not applicable
+    EXPECT_LT(rows[2].bhtMissRate, 0.0); // PAs(inf): not applicable
+    EXPECT_GE(rows[3].bhtMissRate, 0.0); // PAs(16): reported
+}
+
+TEST(Experiment, KiloEntryBhtNamesUseKSuffix)
+{
+    PreparedTrace t = smallPrepared();
+    Table3Options opts;
+    opts.budgetBits = {6};
+    opts.bhtSizes = {1024, 2048, 128};
+    auto rows = bestConfigTable(t, opts);
+    EXPECT_EQ(rows[3].scheme, "PAs(1k)");
+    EXPECT_EQ(rows[4].scheme, "PAs(2k)");
+    EXPECT_EQ(rows[5].scheme, "PAs(128)");
+}
+
+TEST(Experiment, SmallerBhtIsNeverBetterThanBigger)
+{
+    // The paper's central PAs claim: first-level capacity is the
+    // bottleneck.  With identical second levels, a 16-entry BHT must
+    // not beat a 4096-entry one (allowing sampling noise epsilon).
+    PreparedTrace t = smallPrepared();
+    SweepOptions big, small;
+    big.minTotalBits = small.minTotalBits = 8;
+    big.maxTotalBits = small.maxTotalBits = 8;
+    big.trackAliasing = small.trackAliasing = false;
+    big.bhtEntries = 4096;
+    small.bhtEntries = 16;
+    SweepResult rb = sweepScheme(t, SchemeKind::PAsFinite, big);
+    SweepResult rs = sweepScheme(t, SchemeKind::PAsFinite, small);
+    auto bb = rb.misprediction.bestInTier(8);
+    auto bs = rs.misprediction.bestInTier(8);
+    ASSERT_TRUE(bb && bs);
+    EXPECT_LE(bb->value, bs->value + 0.005);
+    EXPECT_GT(rs.bhtMissRate, rb.bhtMissRate);
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the history shift register and the paper's 0xC3FF reset
+ * prefix (Section 5 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/history_register.hh"
+
+using namespace bpsim;
+
+TEST(HistoryRegister, StartsEmpty)
+{
+    HistoryRegister h(8);
+    EXPECT_EQ(h.value(), 0u);
+    EXPECT_EQ(h.width(), 8u);
+}
+
+TEST(HistoryRegister, PushShiftsNewestIntoBitZero)
+{
+    HistoryRegister h(4);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0b0001u);
+    h.push(false);
+    EXPECT_EQ(h.value(), 0b0010u);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0b0101u);
+}
+
+TEST(HistoryRegister, OldOutcomesFallOffTheTop)
+{
+    HistoryRegister h(2);
+    h.push(true);
+    h.push(true);
+    h.push(false);
+    EXPECT_EQ(h.value(), 0b10u);
+}
+
+TEST(HistoryRegister, ZeroWidthStaysZero)
+{
+    HistoryRegister h(0);
+    h.push(true);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0u);
+    EXPECT_FALSE(h.allOnes());
+}
+
+TEST(HistoryRegister, PushBitsInsertsMultiBitEvents)
+{
+    HistoryRegister h(8);
+    h.pushBits(0b101, 3);
+    EXPECT_EQ(h.value(), 0b101u);
+    h.pushBits(0b11, 2);
+    EXPECT_EQ(h.value(), 0b10111u);
+}
+
+TEST(HistoryRegister, PushBitsMasksEventToWidth)
+{
+    HistoryRegister h(8);
+    h.pushBits(0xFFFF, 4); // only low 4 bits of the event survive
+    EXPECT_EQ(h.value(), 0xFu);
+}
+
+TEST(HistoryRegister, LowExtractsRecentBits)
+{
+    HistoryRegister h(8);
+    for (bool b : {true, false, true, true})
+        h.push(b);
+    EXPECT_EQ(h.low(2), 0b11u);
+    EXPECT_EQ(h.low(4), 0b1011u);
+}
+
+TEST(HistoryRegister, AllOnesDetection)
+{
+    HistoryRegister h(3);
+    EXPECT_FALSE(h.allOnes());
+    h.push(true);
+    h.push(true);
+    EXPECT_FALSE(h.allOnes());
+    h.push(true);
+    EXPECT_TRUE(h.allOnes());
+    h.push(false);
+    EXPECT_FALSE(h.allOnes());
+}
+
+TEST(HistoryRegister, SetMasksToWidth)
+{
+    HistoryRegister h(4);
+    h.set(0xFF);
+    EXPECT_EQ(h.value(), 0xFu);
+}
+
+TEST(HistoryRegister, SixtyFourBitWidth)
+{
+    HistoryRegister h(64);
+    for (int i = 0; i < 64; ++i)
+        h.push(true);
+    EXPECT_TRUE(h.allOnes());
+    EXPECT_EQ(h.value(), ~std::uint64_t{0});
+}
+
+// --- 0xC3FF prefix (the finite-BHT reset pattern from the paper) ---
+
+TEST(C3ffPrefix, FullSixteenBitsIsThePattern)
+{
+    EXPECT_EQ(c3ffPrefix(16), 0xC3FFu);
+}
+
+TEST(C3ffPrefix, PrefixTakesHighOrderBits)
+{
+    // 0xC3FF = 1100 0011 1111 1111
+    EXPECT_EQ(c3ffPrefix(1), 0b1u);
+    EXPECT_EQ(c3ffPrefix(2), 0b11u);
+    EXPECT_EQ(c3ffPrefix(3), 0b110u);
+    EXPECT_EQ(c3ffPrefix(4), 0xCu);
+    EXPECT_EQ(c3ffPrefix(8), 0xC3u);
+    EXPECT_EQ(c3ffPrefix(10), 0b1100001111u);
+    EXPECT_EQ(c3ffPrefix(12), 0xC3Fu);
+}
+
+TEST(C3ffPrefix, ZeroWidthIsZero)
+{
+    EXPECT_EQ(c3ffPrefix(0), 0u);
+}
+
+TEST(C3ffPrefix, WidthsBeyondSixteenRepeatThePattern)
+{
+    EXPECT_EQ(c3ffPrefix(32), 0xC3FFC3FFull);
+    EXPECT_EQ(c3ffPrefix(20), (0xC3FFull << 4) | 0xCu);
+    EXPECT_EQ(c3ffPrefix(48), 0xC3FFC3FFC3FFull);
+}
+
+TEST(C3ffPrefix, MixtureAvoidsAllOnesAndAllZeros)
+{
+    // The paper chose 0xC3FF precisely to avoid the all-taken /
+    // all-not-taken patterns that loops produce; check every realistic
+    // history width keeps the mixture (width >= 3 has both bit values).
+    for (unsigned w = 3; w <= 64; ++w) {
+        std::uint64_t v = c3ffPrefix(w);
+        EXPECT_NE(v, 0u) << "width " << w;
+        EXPECT_NE(v, mask(w)) << "width " << w;
+    }
+}
+
+TEST(C3ffPrefix, FitsWithinWidth)
+{
+    for (unsigned w = 0; w <= 64; ++w)
+        EXPECT_EQ(c3ffPrefix(w) & ~mask(w), 0u) << "width " << w;
+}

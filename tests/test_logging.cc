@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the logging/error layer: the panic/fatal distinction and the
+ * quiet switch the benches rely on for machine-readable stdout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace bpsim;
+
+TEST(Logging, ConcatJoinsHeterogeneousArguments)
+{
+    EXPECT_EQ(detail::concat("a", 1, 'b', 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+    EXPECT_EQ(detail::concat(42), "42");
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    bool before = quiet();
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+    setQuiet(before);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(bpsim_panic("broken invariant ", 7),
+                 "panic: broken invariant 7");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(bpsim_fatal("bad user input"),
+                ::testing::ExitedWithCode(1), "fatal: bad user input");
+}
+
+TEST(LoggingDeathTest, AssertPassesOnTrue)
+{
+    bpsim_assert(1 + 1 == 2, "arithmetic");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(bpsim_assert(false, "must not hold"),
+                 "assertion 'false' failed");
+}
+
+TEST(Logging, WarnRespectsQuiet)
+{
+    // warn() must not terminate and must honour the quiet flag; this is
+    // primarily a does-not-crash test.
+    setQuiet(true);
+    bpsim_warn("suppressed warning");
+    setQuiet(false);
+    SUCCEED();
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the second-level pattern history table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/pht.hh"
+
+using namespace bpsim;
+
+TEST(PredictorTable, GeometryAndCounterCount)
+{
+    PredictorTable t(3, 4);
+    EXPECT_EQ(t.rowBits(), 3u);
+    EXPECT_EQ(t.colBits(), 4u);
+    EXPECT_EQ(t.counterCount(), 128u);
+}
+
+TEST(PredictorTable, IndexLayoutIsRowMajor)
+{
+    PredictorTable t(2, 3);
+    EXPECT_EQ(t.index(0, 0), 0u);
+    EXPECT_EQ(t.index(0, 7), 7u);
+    EXPECT_EQ(t.index(1, 0), 8u);
+    EXPECT_EQ(t.index(3, 7), 31u);
+}
+
+TEST(PredictorTable, IndexMasksOutOfRangeCoordinates)
+{
+    PredictorTable t(2, 2);
+    EXPECT_EQ(t.index(4, 0), t.index(0, 0));   // row wraps
+    EXPECT_EQ(t.index(0, 5), t.index(0, 1));   // col wraps
+    EXPECT_EQ(t.index(0xFF, 0xFF), t.index(3, 3));
+}
+
+TEST(PredictorTable, InitialPredictionIsTaken)
+{
+    PredictorTable t(2, 2);
+    for (std::uint64_t r = 0; r < 4; ++r)
+        for (std::uint64_t c = 0; c < 4; ++c)
+            EXPECT_TRUE(t.predict(r, c));
+}
+
+TEST(PredictorTable, AccessReturnsPreTrainingPrediction)
+{
+    PredictorTable t(0, 0); // single counter
+    // Weakly taken initially: first access predicts taken even while
+    // training toward not-taken.
+    EXPECT_TRUE(t.access(0, 0, 0x100, false, false));
+    EXPECT_FALSE(t.access(0, 0, 0x100, false, false));
+}
+
+TEST(PredictorTable, CountersAreIndependent)
+{
+    PredictorTable t(1, 1);
+    t.access(0, 0, 0x100, false, false);
+    t.access(0, 0, 0x100, false, false);
+    EXPECT_FALSE(t.predict(0, 0));
+    EXPECT_TRUE(t.predict(0, 1));
+    EXPECT_TRUE(t.predict(1, 0));
+    EXPECT_TRUE(t.predict(1, 1));
+}
+
+TEST(PredictorTable, NoAliasStatsUnlessRequested)
+{
+    PredictorTable t(2, 2);
+    EXPECT_EQ(t.aliasStats(), nullptr);
+}
+
+TEST(PredictorTable, AliasTrackingCountsConflicts)
+{
+    PredictorTable t(0, 2, /*track_aliasing=*/true);
+    t.access(0, 1, 0xA, true, false);
+    t.access(0, 1, 0xB, true, false); // different branch, same counter
+    t.access(0, 2, 0xC, true, false); // different counter
+    ASSERT_NE(t.aliasStats(), nullptr);
+    EXPECT_EQ(t.aliasStats()->accesses(), 3u);
+    EXPECT_EQ(t.aliasStats()->conflicts(), 1u);
+}
+
+TEST(PredictorTable, HarmlessFlagForwarded)
+{
+    PredictorTable t(1, 0, true);
+    t.access(1, 0, 0xA, true, false);
+    t.access(1, 0, 0xB, true, true);
+    EXPECT_EQ(t.aliasStats()->harmlessConflicts(), 1u);
+}
+
+TEST(PredictorTable, ResetRestoresWeaklyTakenAndClearsAliases)
+{
+    PredictorTable t(1, 1, true);
+    t.access(0, 0, 0xA, false, false);
+    t.access(0, 0, 0xB, false, false);
+    t.reset();
+    EXPECT_TRUE(t.predict(0, 0));
+    EXPECT_EQ(t.aliasStats()->accesses(), 0u);
+    EXPECT_EQ(t.aliasStats()->conflicts(), 0u);
+}
+
+TEST(PredictorTable, CounterAtExposesRawState)
+{
+    PredictorTable t(0, 1);
+    t.access(0, 0, 0xA, true, false);
+    EXPECT_EQ(t.counterAt(0).raw(), 3);
+    EXPECT_EQ(t.counterAt(1).raw(), 2);
+    t.counterAt(1).set(0);
+    EXPECT_FALSE(t.predict(0, 1));
+}
+
+TEST(PredictorTableDeathTest, CounterAtOutOfRange)
+{
+    PredictorTable t(0, 1);
+    EXPECT_DEATH(t.counterAt(2), "out of range");
+}
+
+TEST(PredictorTableDeathTest, AbsurdSizeRejected)
+{
+    EXPECT_DEATH(PredictorTable(20, 20), "unreasonably large");
+}
+
+TEST(PredictorTable, ZeroZeroIsSingleCounterTable)
+{
+    PredictorTable t(0, 0);
+    EXPECT_EQ(t.counterCount(), 1u);
+    // All coordinates collapse onto counter 0.
+    t.access(7, 9, 0xA, false, false);
+    t.access(3, 1, 0xA, false, false);
+    EXPECT_FALSE(t.predict(0, 0));
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the branch behaviour models, using a stub ExecContext with
+ * scripted state so each predicate's semantics are pinned exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/predicate.hh"
+
+using namespace bpsim;
+
+namespace {
+
+/** ExecContext with directly settable state. */
+class StubContext : public ExecContext
+{
+  public:
+    explicit StubContext(std::uint64_t seed = 1) : rng_(seed) {}
+
+    Pcg32 &rng() override { return rng_; }
+    std::uint64_t globalOutcomeHistory() const override { return ghist; }
+    bool lastOutcomeOf(std::size_t site_id) const override
+    {
+        return site_id < outcomes.size() && outcomes[site_id];
+    }
+
+    std::uint64_t ghist = 0;
+    std::vector<bool> outcomes;
+
+  private:
+    Pcg32 rng_;
+};
+
+} // namespace
+
+TEST(BiasedPredicate, ExtremesAreDeterministic)
+{
+    StubContext ctx;
+    BiasedPredicate always(1.0), never(0.0);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(always.evaluate(ctx));
+        EXPECT_FALSE(never.evaluate(ctx));
+    }
+}
+
+TEST(BiasedPredicate, RateMatchesProbability)
+{
+    StubContext ctx;
+    BiasedPredicate p(0.8);
+    int taken = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        taken += p.evaluate(ctx);
+    EXPECT_NEAR(taken / static_cast<double>(n), 0.8, 0.02);
+}
+
+TEST(BiasedPredicate, TypeNameReflectsBias)
+{
+    EXPECT_STREQ(BiasedPredicate(0.99).typeName(), "biased-high");
+    EXPECT_STREQ(BiasedPredicate(0.01).typeName(), "biased-high");
+    EXPECT_STREQ(BiasedPredicate(0.6).typeName(), "biased-low");
+}
+
+TEST(PatternPredicate, CyclesExactly)
+{
+    StubContext ctx;
+    // Pattern 0b011 of length 3, bit 0 first: T, T, N, T, T, N, ...
+    PatternPredicate p(0b011, 3, 0.0);
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        EXPECT_TRUE(p.evaluate(ctx)) << cycle;
+        EXPECT_TRUE(p.evaluate(ctx)) << cycle;
+        EXPECT_FALSE(p.evaluate(ctx)) << cycle;
+    }
+}
+
+TEST(PatternPredicate, ResetRestartsCycle)
+{
+    StubContext ctx;
+    PatternPredicate p(0b01, 2, 0.0);
+    EXPECT_TRUE(p.evaluate(ctx));
+    p.reset();
+    EXPECT_TRUE(p.evaluate(ctx));
+    EXPECT_FALSE(p.evaluate(ctx));
+}
+
+TEST(PatternPredicate, NoiseFlipsOccasionally)
+{
+    StubContext ctx;
+    PatternPredicate p(0b1, 1, 0.25); // all-taken with 25% flips
+    int not_taken = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        not_taken += !p.evaluate(ctx);
+    EXPECT_NEAR(not_taken / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(MarkovPredicate, StayOneHoldsForever)
+{
+    StubContext ctx;
+    MarkovPredicate p(1.0, true);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(p.evaluate(ctx));
+}
+
+TEST(MarkovPredicate, StayZeroAlternates)
+{
+    StubContext ctx;
+    MarkovPredicate p(0.0, true);
+    EXPECT_FALSE(p.evaluate(ctx));
+    EXPECT_TRUE(p.evaluate(ctx));
+    EXPECT_FALSE(p.evaluate(ctx));
+    EXPECT_TRUE(p.evaluate(ctx));
+}
+
+TEST(MarkovPredicate, ResetRestoresInitialState)
+{
+    StubContext ctx;
+    MarkovPredicate p(0.0, false);
+    EXPECT_TRUE(p.evaluate(ctx)); // flips from initial false
+    p.reset();
+    EXPECT_TRUE(p.evaluate(ctx));
+}
+
+TEST(MarkovPredicate, FlipRateMatchesStayProbability)
+{
+    StubContext ctx;
+    MarkovPredicate p(0.9, true);
+    bool prev = true;
+    int flips = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+        bool cur = p.evaluate(ctx);
+        flips += cur != prev;
+        prev = cur;
+    }
+    EXPECT_NEAR(flips / static_cast<double>(n), 0.1, 0.015);
+}
+
+TEST(CorrelatedPredicate, ParityOfSelectedBits)
+{
+    StubContext ctx;
+    CorrelatedPredicate p(0b101, false, 0.0); // taps at depth 0 and 2
+    ctx.ghist = 0b000;
+    EXPECT_FALSE(p.evaluate(ctx));
+    ctx.ghist = 0b001;
+    EXPECT_TRUE(p.evaluate(ctx));
+    ctx.ghist = 0b100;
+    EXPECT_TRUE(p.evaluate(ctx));
+    ctx.ghist = 0b101;
+    EXPECT_FALSE(p.evaluate(ctx)); // even parity
+    ctx.ghist = 0b111;
+    EXPECT_FALSE(p.evaluate(ctx)); // middle bit not tapped
+}
+
+TEST(CorrelatedPredicate, InvertFlipsResult)
+{
+    StubContext ctx;
+    CorrelatedPredicate plain(0b1, false, 0.0);
+    CorrelatedPredicate inverted(0b1, true, 0.0);
+    ctx.ghist = 0b1;
+    EXPECT_TRUE(plain.evaluate(ctx));
+    EXPECT_FALSE(inverted.evaluate(ctx));
+}
+
+TEST(ShadowPredicate, MirrorsOtherSite)
+{
+    StubContext ctx;
+    ctx.outcomes = {true, false};
+    ShadowPredicate follows0(0, false, 0.0);
+    ShadowPredicate negates0(0, true, 0.0);
+    ShadowPredicate follows1(1, false, 0.0);
+    EXPECT_TRUE(follows0.evaluate(ctx));
+    EXPECT_FALSE(negates0.evaluate(ctx));
+    EXPECT_FALSE(follows1.evaluate(ctx));
+    ctx.outcomes[0] = false;
+    EXPECT_FALSE(follows0.evaluate(ctx));
+    EXPECT_TRUE(negates0.evaluate(ctx));
+}
+
+TEST(LoopTripPredicate, FixedTripCountExact)
+{
+    StubContext ctx;
+    auto p = LoopTripPredicate::fixed(4);
+    // T=4: continue x3, exit x1, repeatedly.
+    for (int entry = 0; entry < 5; ++entry) {
+        EXPECT_TRUE(p->evaluate(ctx)) << entry;
+        EXPECT_TRUE(p->evaluate(ctx)) << entry;
+        EXPECT_TRUE(p->evaluate(ctx)) << entry;
+        EXPECT_FALSE(p->evaluate(ctx)) << entry;
+    }
+}
+
+TEST(LoopTripPredicate, FixedSingleTripAlwaysExits)
+{
+    StubContext ctx;
+    auto p = LoopTripPredicate::fixed(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(p->evaluate(ctx));
+}
+
+TEST(LoopTripPredicate, GeometricMeanRoughlyHonoured)
+{
+    StubContext ctx;
+    auto p = LoopTripPredicate::geometric(8.0);
+    // Count evaluations per exit over many entries.
+    std::uint64_t evals = 0, exits = 0;
+    for (int i = 0; i < 100'000; ++i) {
+        ++evals;
+        if (!p->evaluate(ctx))
+            ++exits;
+    }
+    ASSERT_GT(exits, 0u);
+    EXPECT_NEAR(static_cast<double>(evals) / exits, 8.0, 0.5);
+}
+
+TEST(LoopTripPredicate, JitteredMostlyUsesHomeCount)
+{
+    StubContext ctx;
+    auto p = LoopTripPredicate::jittered(5, 0.0); // no jitter
+    for (int entry = 0; entry < 4; ++entry) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(p->evaluate(ctx));
+        EXPECT_FALSE(p->evaluate(ctx));
+    }
+}
+
+TEST(LoopTripPredicate, ResetForcesRedraw)
+{
+    StubContext ctx;
+    auto p = LoopTripPredicate::fixed(10);
+    EXPECT_TRUE(p->evaluate(ctx));
+    p->reset();
+    // Fresh countdown of 10 again; 9 continues follow.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_TRUE(p->evaluate(ctx)) << i;
+    EXPECT_FALSE(p->evaluate(ctx));
+}
+
+TEST(LoopTripPredicate, TypeNames)
+{
+    StubContext ctx;
+    EXPECT_STREQ(LoopTripPredicate::fixed(3)->typeName(), "loop-fixed");
+    EXPECT_STREQ(LoopTripPredicate::geometric(3.0)->typeName(),
+                 "loop-geometric");
+    EXPECT_STREQ(LoopTripPredicate::jittered(3, 0.1)->typeName(),
+                 "loop-home");
+}

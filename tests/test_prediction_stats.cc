@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the misprediction accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/prediction_stats.hh"
+
+using namespace bpsim;
+
+TEST(PredictionStats, StartsEmpty)
+{
+    PredictionStats s;
+    EXPECT_EQ(s.lookups(), 0u);
+    EXPECT_EQ(s.mispredicts(), 0u);
+    EXPECT_DOUBLE_EQ(s.mispRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);
+}
+
+TEST(PredictionStats, CountsCorrectAndIncorrect)
+{
+    PredictionStats s;
+    s.record(0x100, true, true);   // correct
+    s.record(0x100, true, false);  // wrong
+    s.record(0x104, false, false); // correct
+    s.record(0x104, false, true);  // wrong
+    EXPECT_EQ(s.lookups(), 4u);
+    EXPECT_EQ(s.mispredicts(), 2u);
+    EXPECT_DOUBLE_EQ(s.mispRate(), 0.5);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.5);
+}
+
+TEST(PredictionStats, SiteTrackingDisabledByDefault)
+{
+    PredictionStats s;
+    s.record(0x100, true, true);
+    EXPECT_TRUE(s.sites().empty());
+}
+
+TEST(PredictionStats, SiteTrackingBreaksDownPerBranch)
+{
+    PredictionStats s(/*track_sites=*/true);
+    s.record(0x100, true, true);
+    s.record(0x100, false, true);
+    s.record(0x200, true, false);
+    ASSERT_EQ(s.sites().size(), 2u);
+
+    const auto &a = s.sites().at(0x100);
+    EXPECT_EQ(a.executed, 2u);
+    EXPECT_EQ(a.taken, 1u);
+    EXPECT_EQ(a.mispredicted, 1u);
+    EXPECT_DOUBLE_EQ(a.takenRate(), 0.5);
+    EXPECT_DOUBLE_EQ(a.mispRate(), 0.5);
+
+    const auto &b = s.sites().at(0x200);
+    EXPECT_EQ(b.executed, 1u);
+    EXPECT_EQ(b.taken, 1u);
+    EXPECT_EQ(b.mispredicted, 1u);
+}
+
+TEST(PredictionStats, ResetClearsEverything)
+{
+    PredictionStats s(true);
+    s.record(0x100, true, false);
+    s.reset();
+    EXPECT_EQ(s.lookups(), 0u);
+    EXPECT_EQ(s.mispredicts(), 0u);
+    EXPECT_TRUE(s.sites().empty());
+}
+
+TEST(PredictionStats, MergeAggregatesTotalsAndSites)
+{
+    PredictionStats a(true), b(true);
+    a.record(0x100, true, true);
+    a.record(0x100, true, false);
+    b.record(0x100, false, false);
+    b.record(0x200, true, true);
+
+    a.merge(b);
+    EXPECT_EQ(a.lookups(), 4u);
+    EXPECT_EQ(a.mispredicts(), 1u);
+    ASSERT_EQ(a.sites().size(), 2u);
+    EXPECT_EQ(a.sites().at(0x100).executed, 3u);
+    EXPECT_EQ(a.sites().at(0x100).taken, 2u);
+    EXPECT_EQ(a.sites().at(0x200).executed, 1u);
+}
+
+TEST(BranchSiteStats, RatesOfEmptySiteAreZero)
+{
+    BranchSiteStats s;
+    EXPECT_DOUBLE_EQ(s.takenRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mispRate(), 0.0);
+}

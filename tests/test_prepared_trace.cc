@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the sweep-optimised trace representation: every precomputed
+ * stream must agree with a hand-maintained online reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "predictor/bht.hh"
+#include "sim/prepared_trace.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+MemoryTrace
+smallWorkload(std::uint64_t seed = 3, std::uint64_t target = 5'000)
+{
+    WorkloadParams p;
+    p.name = "prepared-unit";
+    p.seed = seed;
+    p.staticBranches = 80;
+    p.functionCount = 8;
+    p.targetConditionals = target;
+    return generateTrace(p);
+}
+
+} // namespace
+
+TEST(PreparedTrace, ExtractsOnlyConditionals)
+{
+    MemoryTrace raw = smallWorkload();
+    PreparedTrace t(raw);
+    EXPECT_EQ(t.size(), raw.conditionalCount());
+    EXPECT_EQ(t.name(), raw.name());
+}
+
+TEST(PreparedTrace, ColumnsMatchSourceRecords)
+{
+    MemoryTrace raw = smallWorkload();
+    PreparedTrace t(raw);
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (!raw[i].isConditional())
+            continue;
+        ASSERT_EQ(t.pc(j), raw[i].pc) << "conditional " << j;
+        ASSERT_EQ(t.taken(j), raw[i].taken) << "conditional " << j;
+        ++j;
+    }
+    EXPECT_EQ(j, t.size());
+}
+
+TEST(PreparedTrace, GlobalHistoryMatchesOnlineShiftRegister)
+{
+    MemoryTrace raw = smallWorkload();
+    PreparedTrace t(raw);
+    std::uint64_t ref = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_EQ(t.globalHistory(i), ref) << "instance " << i;
+        ref = (ref << 1) | (t.taken(i) ? 1 : 0);
+    }
+}
+
+TEST(PreparedTrace, SelfHistoryMatchesPerBranchRegisters)
+{
+    MemoryTrace raw = smallWorkload();
+    PreparedTrace t(raw);
+    std::unordered_map<Addr, std::uint64_t> ref;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_EQ(t.selfHistory(i), ref[t.pc(i)]) << "instance " << i;
+        auto &h = ref[t.pc(i)];
+        h = (h << 1) | (t.taken(i) ? 1 : 0);
+    }
+}
+
+TEST(PreparedTrace, PathStreamMatchesOnlineRegister)
+{
+    MemoryTrace raw = smallWorkload();
+    PreparedTrace t(raw);
+
+    // Online reference: rebuild from the raw conditional stream.
+    std::vector<std::uint64_t> ref;
+    std::uint64_t reg = 0;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const BranchRecord &rec = raw[i];
+        if (!rec.isConditional())
+            continue;
+        ref.push_back(reg);
+        Addr successor = rec.taken ? rec.target : rec.pc + 4;
+        reg = (reg << 2) | bits(wordIndex(successor), 2);
+    }
+
+    auto stream = t.pathHistoryStream(2);
+    ASSERT_EQ(stream.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(stream[i], ref[i]) << "instance " << i;
+}
+
+TEST(PreparedTrace, BhtStreamMatchesOnlineBht)
+{
+    MemoryTrace raw = smallWorkload();
+    PreparedTrace t(raw);
+
+    const std::size_t entries = 64;
+    const unsigned assoc = 4;
+    const unsigned bits_ = 7;
+    SetAssocBht ref(entries, assoc, bits_);
+    double miss_rate = 0.0;
+    auto stream = t.bhtHistoryStream(entries, assoc, bits_, &miss_rate);
+    ASSERT_EQ(stream.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_EQ(stream[i], ref.visit(t.pc(i)).history)
+            << "instance " << i;
+        ref.recordOutcome(t.pc(i), t.taken(i));
+    }
+    EXPECT_DOUBLE_EQ(miss_rate, ref.missRate());
+}
+
+TEST(PreparedTrace, BhtStreamsDifferByHistoryWidth)
+{
+    // The 0xC3FF reset prefix depends on the register width, so streams
+    // for different widths are NOT suffixes of one another.
+    MemoryTrace raw = smallWorkload(7);
+    PreparedTrace t(raw);
+    auto narrow = t.bhtHistoryStream(32, 2, 4);
+    auto wide = t.bhtHistoryStream(32, 2, 12);
+    bool low_bits_differ = false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if ((wide[i] & mask(4)) != narrow[i]) {
+            low_bits_differ = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(low_bits_differ);
+}
+
+TEST(PreparedTrace, EmptyTrace)
+{
+    MemoryTrace raw("empty");
+    PreparedTrace t(raw);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.pathHistoryStream(2).empty());
+    EXPECT_TRUE(t.bhtHistoryStream(16, 4, 4).empty());
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the fourteen benchmark profiles, including loose calibration
+ * checks against the paper's Table 1 characteristics (tight bounds
+ * belong to EXPERIMENTS.md, not unit tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+#include "workload/profiles.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+TEST(Profiles, FourteenProfilesInPaperOrder)
+{
+    const auto &names = profileNames();
+    ASSERT_EQ(names.size(), 14u);
+    EXPECT_EQ(names.front(), "compress");
+    EXPECT_EQ(names[3], "gcc");
+    EXPECT_EQ(names.back(), "video_play");
+}
+
+TEST(Profiles, FocusProfilesAreThePapersThree)
+{
+    const auto &focus = focusProfileNames();
+    ASSERT_EQ(focus.size(), 3u);
+    EXPECT_EQ(focus[0], "espresso");
+    EXPECT_EQ(focus[1], "mpeg_play");
+    EXPECT_EQ(focus[2], "real_gcc");
+}
+
+TEST(Profiles, NameLookup)
+{
+    EXPECT_TRUE(isProfileName("espresso"));
+    EXPECT_TRUE(isProfileName("sdet"));
+    EXPECT_FALSE(isProfileName("quake"));
+    EXPECT_FALSE(isProfileName(""));
+}
+
+TEST(Profiles, AllParamsValidate)
+{
+    for (const auto &name : profileNames()) {
+        WorkloadParams p = profileParams(name);
+        p.validate(); // fatal()s on inconsistency
+        EXPECT_EQ(p.name, name);
+        EXPECT_GT(p.targetConditionals, 0u);
+    }
+}
+
+TEST(Profiles, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &name : profileNames())
+        seeds.insert(profileParams(name).seed);
+    EXPECT_EQ(seeds.size(), profileNames().size());
+}
+
+TEST(Profiles, LengthOverrideHonoured)
+{
+    WorkloadParams p = profileParams("espresso", 12'345);
+    EXPECT_EQ(p.targetConditionals, 12'345u);
+}
+
+TEST(Profiles, PaperDataMatchesTable1)
+{
+    const auto &esp = paperData("espresso");
+    EXPECT_EQ(esp.staticConditionals, 1764u);
+    EXPECT_EQ(esp.staticCovering90, 110u);
+    EXPECT_EQ(esp.dynamicConditionals, 76'466'469u);
+    EXPECT_EQ(esp.suite, Suite::SpecInt92);
+
+    const auto &gcc = paperData("real_gcc");
+    EXPECT_EQ(gcc.staticConditionals, 17361u);
+    EXPECT_EQ(gcc.staticCovering90, 3214u);
+    EXPECT_EQ(gcc.suite, Suite::IbsUltrix);
+}
+
+TEST(Profiles, PaperFrequencyRowsMatchTable2)
+{
+    const auto &rows = paperFrequencyRows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "espresso");
+    EXPECT_EQ(rows[0].quartiles[0], 12u);
+    EXPECT_EQ(rows[2].name, "real_gcc");
+    EXPECT_EQ(rows[2].quartiles[3], 5749u);
+}
+
+TEST(ProfilesDeathTest, UnknownProfileIsFatal)
+{
+    EXPECT_EXIT(profileParams("doom"), ::testing::ExitedWithCode(1),
+                "unknown workload profile");
+    EXPECT_EXIT(paperData("doom"), ::testing::ExitedWithCode(1),
+                "unknown workload profile");
+}
+
+TEST(Profiles, IbsProfilesContainKernelCode)
+{
+    WorkloadParams p = profileParams("mpeg_play");
+    EXPECT_GT(p.kernelFraction, 0.0);
+    WorkloadParams spec = profileParams("espresso");
+    EXPECT_DOUBLE_EQ(spec.kernelFraction, 0.0);
+}
+
+// --- Loose calibration checks (scaled traces vs paper shape) ---
+
+namespace {
+
+TraceCharacterization
+characterize(const std::string &profile, std::uint64_t n)
+{
+    MemoryTrace trace = generateProfileTrace(profile, n);
+    return TraceCharacterization::measure(trace);
+}
+
+} // namespace
+
+TEST(ProfileCalibration, EspressoStaticCountsNearTable1)
+{
+    auto ch = characterize("espresso", 400'000);
+    double paper = 1764;
+    EXPECT_GT(ch.staticConditionals(), paper * 0.6);
+    EXPECT_LT(ch.staticConditionals(), paper * 1.4);
+}
+
+TEST(ProfileCalibration, EspressoIsHighlyConcentrated)
+{
+    // Paper Table 2: 12 branches carry the first 50% of instances.
+    auto ch = characterize("espresso", 400'000);
+    EXPECT_LE(ch.staticCovering(0.50), 40u);
+}
+
+TEST(ProfileCalibration, RealGccExercisesManyBranches)
+{
+    auto ch = characterize("real_gcc", 600'000);
+    EXPECT_GT(ch.staticConditionals(), 8'000u);
+    // Its 90% band needs hundreds of branches (paper: 3214).
+    EXPECT_GT(ch.staticCovering(0.90), 400u);
+}
+
+TEST(ProfileCalibration, SizeOrderingMatchesPaper)
+{
+    // compress is tiny, real_gcc is the largest: preserved by the
+    // profiles.
+    auto small = characterize("compress", 300'000);
+    auto large = characterize("real_gcc", 300'000);
+    EXPECT_LT(small.staticConditionals(),
+              large.staticConditionals() / 10);
+}
+
+TEST(ProfileCalibration, ConditionalDensityInTable1Range)
+{
+    // Table 1 densities run about 10-25% of dynamic instructions.
+    for (const std::string name : {"espresso", "mpeg_play"}) {
+        auto ch = characterize(name, 200'000);
+        EXPECT_GT(ch.conditionalDensity(), 0.05) << name;
+        EXPECT_LT(ch.conditionalDensity(), 0.40) << name;
+    }
+}
+
+TEST(ProfileCalibration, IbsTracesIncludeKernelInstances)
+{
+    auto ch = characterize("mpeg_play", 300'000);
+    EXPECT_GT(ch.kernelConditionals(), 0u);
+    auto spec = characterize("espresso", 300'000);
+    EXPECT_EQ(spec.kernelConditionals(), 0u);
+}
+
+TEST(ProfileCalibration, HighlyBiasedPopulationIsSubstantial)
+{
+    // Section 2: "A large proportion of the branches ... are very
+    // highly biased".  Loose floor: at least a third of dynamic
+    // instances from branches with >= 0.9 bias.
+    auto ch = characterize("real_gcc", 500'000);
+    EXPECT_GT(ch.dynamicFractionBiasedAbove(0.9), 0.33);
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across whole
+ * configuration ranges, checked with parameterised sweeps on shared
+ * workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/two_level.hh"
+#include "sim/engine.hh"
+#include "sim/sweep.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+MemoryTrace &
+workload()
+{
+    static MemoryTrace trace = [] {
+        WorkloadParams p;
+        p.name = "property-unit";
+        p.seed = 77;
+        p.staticBranches = 200;
+        p.functionCount = 20;
+        p.targetConditionals = 40'000;
+        return generateTrace(p);
+    }();
+    return trace;
+}
+
+PreparedTrace &
+prepared()
+{
+    static PreparedTrace t{workload()};
+    return t;
+}
+
+} // namespace
+
+/** Properties over every row/column split of a fixed budget. */
+class SplitSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SplitSweep, GshareWithZeroHistoryEqualsGAsWithZeroHistory)
+{
+    unsigned total = GetParam();
+    SweepOptions o;
+    o.trackAliasing = false;
+    ConfigResult gas =
+        simulateConfig(prepared(), SchemeKind::GAs, 0, total, o);
+    ConfigResult gsh =
+        simulateConfig(prepared(), SchemeKind::Gshare, 0, total, o);
+    ConfigResult addr = simulateConfig(
+        prepared(), SchemeKind::AddressIndexed, 0, total, o);
+    EXPECT_DOUBLE_EQ(gas.mispRate, addr.mispRate);
+    EXPECT_DOUBLE_EQ(gsh.mispRate, addr.mispRate);
+}
+
+TEST_P(SplitSweep, FullHistoryGAsEqualsGAg)
+{
+    unsigned total = GetParam();
+    SweepOptions o;
+    o.trackAliasing = false;
+    ConfigResult gas =
+        simulateConfig(prepared(), SchemeKind::GAs, total, 0, o);
+    ConfigResult gag =
+        simulateConfig(prepared(), SchemeKind::GAg, total, 0, o);
+    EXPECT_DOUBLE_EQ(gas.mispRate, gag.mispRate);
+}
+
+TEST_P(SplitSweep, AllRatesAreProbabilities)
+{
+    unsigned total = GetParam();
+    SweepOptions o;
+    o.trackAliasing = true;
+    o.bhtEntries = 64;
+    for (SchemeKind kind :
+         {SchemeKind::GAs, SchemeKind::Gshare, SchemeKind::Path,
+          SchemeKind::PAsPerfect, SchemeKind::PAsFinite}) {
+        for (unsigned r = 0; r <= total; r += 2) {
+            ConfigResult c =
+                simulateConfig(prepared(), kind, r, total - r, o);
+            ASSERT_GE(c.mispRate, 0.0);
+            ASSERT_LE(c.mispRate, 1.0);
+            ASSERT_GE(c.aliasRate, 0.0);
+            ASSERT_LE(c.aliasRate, 1.0);
+            ASSERT_GE(c.harmlessFraction, 0.0);
+            ASSERT_LE(c.harmlessFraction, 1.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SplitSweep,
+                         ::testing::Values(4u, 6u, 8u, 10u));
+
+/** Properties over table sizes. */
+class SizeSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SizeSweep, BiggerAddressIndexedTablesNeverMuchWorse)
+{
+    // Growing a direct-mapped table only removes aliasing; up to
+    // training noise, misprediction must not increase.
+    unsigned bits = GetParam();
+    SweepOptions o;
+    o.trackAliasing = false;
+    ConfigResult small = simulateConfig(
+        prepared(), SchemeKind::AddressIndexed, 0, bits, o);
+    ConfigResult big = simulateConfig(
+        prepared(), SchemeKind::AddressIndexed, 0, bits + 2, o);
+    EXPECT_LE(big.mispRate, small.mispRate + 0.01) << "bits " << bits;
+}
+
+TEST_P(SizeSweep, AddressAliasingShrinksWithTableSize)
+{
+    unsigned bits = GetParam();
+    SweepOptions o;
+    ConfigResult small = simulateConfig(
+        prepared(), SchemeKind::AddressIndexed, 0, bits, o);
+    ConfigResult big = simulateConfig(
+        prepared(), SchemeKind::AddressIndexed, 0, bits + 2, o);
+    EXPECT_LE(big.aliasRate, small.aliasRate + 1e-9) << "bits " << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(4u, 6u, 8u, 10u, 12u));
+
+/** BHT-size properties of the PAs first level. */
+class BhtSizeSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BhtSizeSweep, MissRateFallsAsBhtGrows)
+{
+    unsigned log_entries = GetParam();
+    SweepOptions small_o, big_o;
+    small_o.trackAliasing = big_o.trackAliasing = false;
+    small_o.minTotalBits = small_o.maxTotalBits = 8;
+    big_o.minTotalBits = big_o.maxTotalBits = 8;
+    small_o.bhtEntries = std::size_t{1} << log_entries;
+    big_o.bhtEntries = std::size_t{1} << (log_entries + 2);
+    SweepResult small =
+        sweepScheme(prepared(), SchemeKind::PAsFinite, small_o);
+    SweepResult big =
+        sweepScheme(prepared(), SchemeKind::PAsFinite, big_o);
+    EXPECT_LE(big.bhtMissRate, small.bhtMissRate + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BhtSizes, BhtSizeSweep,
+                         ::testing::Values(4u, 6u, 8u));
+
+TEST(Properties, PerfectHistoryIsTheLimitOfGrowingBhts)
+{
+    // As the BHT grows, finite PAs converges to PAs(inf).
+    SweepOptions o;
+    o.trackAliasing = false;
+    ConfigResult perfect =
+        simulateConfig(prepared(), SchemeKind::PAsPerfect, 6, 2, o);
+    double prev_gap = 1.0;
+    for (unsigned log_entries : {5u, 8u, 11u, 14u}) {
+        o.bhtEntries = std::size_t{1} << log_entries;
+        ConfigResult finite =
+            simulateConfig(prepared(), SchemeKind::PAsFinite, 6, 2, o);
+        double gap = std::abs(finite.mispRate - perfect.mispRate);
+        EXPECT_LE(gap, prev_gap + 0.01) << "entries 2^" << log_entries;
+        prev_gap = gap;
+    }
+    EXPECT_LT(prev_gap, 0.01);
+}
+
+TEST(Properties, HarmlessAliasingOnlyWithHistoryRows)
+{
+    // r = 0 has no history pattern, so no conflict can be classified
+    // harmless.
+    SweepOptions o;
+    ConfigResult addr = simulateConfig(
+        prepared(), SchemeKind::AddressIndexed, 0, 6, o);
+    EXPECT_DOUBLE_EQ(addr.harmlessFraction, 0.0);
+}
+
+TEST(Properties, GAgAliasingIsCompleteSharingAtOneRow)
+{
+    // A GAg with 0 history bits is a single counter shared by every
+    // branch: accesses conflict whenever consecutive conditionals come
+    // from different sites (loop backedges repeat, so the rate is well
+    // below 1, but sharing must still dominate an aliasing-free split).
+    SweepOptions o;
+    ConfigResult shared =
+        simulateConfig(prepared(), SchemeKind::GAg, 0, 0, o);
+    ConfigResult spread = simulateConfig(
+        prepared(), SchemeKind::AddressIndexed, 0, 12, o);
+    EXPECT_GT(shared.aliasRate, 0.25);
+    EXPECT_GT(shared.aliasRate, spread.aliasRate * 5);
+}
+
+TEST(Properties, DeterminismAcrossRepeatedSweeps)
+{
+    SweepOptions o;
+    o.minTotalBits = 6;
+    o.maxTotalBits = 7;
+    SweepResult a = sweepScheme(prepared(), SchemeKind::Gshare, o);
+    SweepResult b = sweepScheme(prepared(), SchemeKind::Gshare, o);
+    for (const auto &tier : a.misprediction.tiers()) {
+        for (const auto &pt : tier.points) {
+            auto other =
+                b.misprediction.at(tier.totalBits, pt.rowBits);
+            ASSERT_TRUE(other.has_value());
+            EXPECT_DOUBLE_EQ(pt.value, *other);
+        }
+    }
+}
+
+TEST(Properties, OnlineEngineCountsEveryConditionalOnce)
+{
+    auto p = makeAddressIndexed(6);
+    MemoryTrace &t = workload();
+    t.reset();
+    PredictionStats stats = runPredictor(t, *p);
+    EXPECT_EQ(stats.lookups(), t.conditionalCount());
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the first-level row-selection boxes, pinned against
+ * hand-maintained reference state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/row_selector.hh"
+
+using namespace bpsim;
+
+namespace {
+
+BranchRecord
+cond(Addr pc, bool taken, Addr target = 0)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target ? target : pc + 32;
+    r.type = BranchType::Conditional;
+    r.taken = taken;
+    return r;
+}
+
+} // namespace
+
+TEST(NullSelector, AlwaysRowZero)
+{
+    NullSelector s;
+    EXPECT_EQ(s.selectRow(cond(0x100, true)), 0u);
+    s.recordOutcome(cond(0x100, true));
+    EXPECT_EQ(s.selectRow(cond(0x999, false)), 0u);
+    EXPECT_FALSE(s.patternAllOnes(cond(0x100, true), 4));
+    EXPECT_EQ(s.schemeName(), "addr");
+}
+
+TEST(GlobalHistorySelector, TracksOutcomes)
+{
+    GlobalHistorySelector s(4);
+    EXPECT_EQ(s.selectRow(cond(0x100, true)), 0u);
+    s.recordOutcome(cond(0x100, true));
+    s.recordOutcome(cond(0x104, false));
+    s.recordOutcome(cond(0x108, true));
+    EXPECT_EQ(s.selectRow(cond(0x200, true)), 0b101u);
+}
+
+TEST(GlobalHistorySelector, HistoryIsAddressBlind)
+{
+    GlobalHistorySelector s(4);
+    s.recordOutcome(cond(0x100, true));
+    EXPECT_EQ(s.selectRow(cond(0x100, true)),
+              s.selectRow(cond(0xFFF, true)));
+}
+
+TEST(GlobalHistorySelector, AllOnesPattern)
+{
+    GlobalHistorySelector s(8);
+    for (int i = 0; i < 3; ++i)
+        s.recordOutcome(cond(0x100, true));
+    EXPECT_TRUE(s.patternAllOnes(cond(0x100, true), 3));
+    EXPECT_TRUE(s.patternAllOnes(cond(0x100, true), 2));
+    EXPECT_FALSE(s.patternAllOnes(cond(0x100, true), 4));
+    EXPECT_FALSE(s.patternAllOnes(cond(0x100, true), 0));
+}
+
+TEST(GlobalHistorySelector, ResetClearsHistory)
+{
+    GlobalHistorySelector s(4);
+    s.recordOutcome(cond(0x100, true));
+    s.reset();
+    EXPECT_EQ(s.selectRow(cond(0x100, true)), 0u);
+}
+
+TEST(GshareSelector, XorsHistoryWithWordIndex)
+{
+    GshareSelector s(8);
+    s.recordOutcome(cond(0x100, true));
+    s.recordOutcome(cond(0x104, true));
+    // History low bits = 0b11; row = 0b11 ^ wordIndex(pc).
+    Addr pc = 0x400020;
+    EXPECT_EQ(s.selectRow(cond(pc, true)), 0b11u ^ wordIndex(pc));
+}
+
+TEST(GshareSelector, RowZeroHistoryEqualsPureAddress)
+{
+    GshareSelector s(8);
+    Addr pc = 0x40013C;
+    EXPECT_EQ(s.selectRow(cond(pc, true)), wordIndex(pc));
+}
+
+TEST(GshareSelector, AllOnesUsesUnderlyingOutcomePattern)
+{
+    GshareSelector s(8);
+    s.recordOutcome(cond(0x100, true));
+    s.recordOutcome(cond(0x104, true));
+    EXPECT_TRUE(s.patternAllOnes(cond(0xFFC, true), 2));
+    EXPECT_FALSE(s.patternAllOnes(cond(0xFFC, true), 3));
+}
+
+TEST(PathSelector, EncodesExecutedSuccessorBits)
+{
+    PathSelector s(8, 2);
+    // Taken branch: successor is the target.
+    BranchRecord r1 = cond(0x400100, true, 0x400208);
+    s.recordOutcome(r1);
+    EXPECT_EQ(s.selectRow(cond(0x1, true)),
+              bits(wordIndex(0x400208), 2));
+
+    // Not-taken branch: successor is pc + 4.
+    BranchRecord r2 = cond(0x400100, false, 0x400208);
+    s.recordOutcome(r2);
+    std::uint64_t expect = (bits(wordIndex(0x400208), 2) << 2) |
+        bits(wordIndex(0x400104), 2);
+    EXPECT_EQ(s.selectRow(cond(0x1, true)), bits(expect, 8));
+}
+
+TEST(PathSelector, NeverReportsAllOnes)
+{
+    PathSelector s(4, 2);
+    for (int i = 0; i < 8; ++i)
+        s.recordOutcome(cond(0x400100, true, 0x4001FC));
+    EXPECT_FALSE(s.patternAllOnes(cond(0x400100, true), 4));
+}
+
+TEST(PathSelector, TargetBitsConfigurable)
+{
+    PathSelector s(12, 3);
+    EXPECT_EQ(s.targetBits(), 3u);
+    BranchRecord r = cond(0x400100, true, 0x40021C);
+    s.recordOutcome(r);
+    EXPECT_EQ(s.selectRow(cond(0x1, true)),
+              bits(wordIndex(0x40021C), 3));
+}
+
+TEST(PerfectPerAddress, HistoriesAreIndependentPerBranch)
+{
+    PerfectPerAddressSelector s(4);
+    EXPECT_EQ(s.selectRow(cond(0xA0, true)), 0u);
+    s.recordOutcome(cond(0xA0, true));
+    EXPECT_EQ(s.selectRow(cond(0xB0, true)), 0u);
+    s.recordOutcome(cond(0xB0, false));
+    s.recordOutcome(cond(0xA0, true));
+
+    EXPECT_EQ(s.selectRow(cond(0xA0, true)), 0b11u);
+    EXPECT_EQ(s.selectRow(cond(0xB0, true)), 0b0u);
+    EXPECT_EQ(s.trackedBranches(), 2u);
+}
+
+TEST(PerfectPerAddress, AllOnesPerBranch)
+{
+    PerfectPerAddressSelector s(4);
+    s.selectRow(cond(0xA0, true));
+    s.recordOutcome(cond(0xA0, true));
+    s.recordOutcome(cond(0xA0, true));
+    EXPECT_TRUE(s.patternAllOnes(cond(0xA0, true), 2));
+    EXPECT_FALSE(s.patternAllOnes(cond(0xB0, true), 2));
+}
+
+TEST(PerfectPerAddress, ResetForgetsAllBranches)
+{
+    PerfectPerAddressSelector s(4);
+    s.selectRow(cond(0xA0, true));
+    s.recordOutcome(cond(0xA0, true));
+    s.reset();
+    EXPECT_EQ(s.trackedBranches(), 0u);
+    EXPECT_EQ(s.selectRow(cond(0xA0, true)), 0u);
+}
+
+TEST(PerfectPerAddressDeathTest, RecordWithoutSelectPanics)
+{
+    PerfectPerAddressSelector s(4);
+    EXPECT_DEATH(s.recordOutcome(cond(0xA0, true)),
+                 "without a preceding selectRow");
+}
+
+TEST(BhtPerAddress, MissResetsToC3ffPrefix)
+{
+    BhtPerAddressSelector s(16, 4, 10);
+    EXPECT_EQ(s.selectRow(cond(0x400100, true)), c3ffPrefix(10));
+}
+
+TEST(BhtPerAddress, HitFollowsOutcomes)
+{
+    BhtPerAddressSelector s(16, 4, 4);
+    s.selectRow(cond(0x400100, true));
+    s.recordOutcome(cond(0x400100, true));
+    EXPECT_EQ(s.selectRow(cond(0x400100, true)),
+              bits((c3ffPrefix(4) << 1) | 1, 4));
+}
+
+TEST(BhtPerAddress, SchemeNameEncodesGeometry)
+{
+    BhtPerAddressSelector s(1024, 4, 8);
+    EXPECT_EQ(s.schemeName(), "PAs(1024e/4w)");
+}
+
+TEST(BhtPerAddress, TableExposesMissRate)
+{
+    BhtPerAddressSelector s(16, 4, 4);
+    s.selectRow(cond(0x400100, true));
+    s.recordOutcome(cond(0x400100, true));
+    s.selectRow(cond(0x400100, true));
+    s.recordOutcome(cond(0x400100, true));
+    EXPECT_DOUBLE_EQ(s.table().missRate(), 0.5);
+}
+
+TEST(BhtPerAddress, PatternAllOnesAfterTakenRun)
+{
+    BhtPerAddressSelector s(16, 4, 3);
+    BranchRecord r = cond(0x400100, true);
+    s.selectRow(r);
+    for (int i = 0; i < 3; ++i)
+        s.recordOutcome(r);
+    s.selectRow(r);
+    EXPECT_TRUE(s.patternAllOnes(r, 3));
+    EXPECT_FALSE(s.patternAllOnes(cond(0x999, true), 3));
+}

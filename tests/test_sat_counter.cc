@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the N-bit saturating counter, the state machine behind
+ * every second-level table entry in the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+using namespace bpsim;
+
+TEST(TwoBitCounter, InitialStateIsWeaklyTaken)
+{
+    TwoBitCounter c;
+    EXPECT_EQ(c.raw(), 2);
+    EXPECT_TRUE(c.predict());
+}
+
+TEST(TwoBitCounter, SaturatesHigh)
+{
+    TwoBitCounter c;
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.raw(), 3);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(TwoBitCounter, SaturatesLow)
+{
+    TwoBitCounter c;
+    for (int i = 0; i < 10; ++i)
+        c.update(false);
+    EXPECT_EQ(c.raw(), 0);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(TwoBitCounter, HysteresisSurvivesOneDeviation)
+{
+    // The defining property of the 2-bit counter [Smith81]: one
+    // not-taken outcome in a run of takens does not flip the prediction.
+    TwoBitCounter c;
+    c.update(true);
+    c.update(true); // strongly taken
+    c.update(false);
+    EXPECT_TRUE(c.predict());
+    c.update(false);
+    EXPECT_FALSE(c.predict());
+}
+
+TEST(TwoBitCounter, StateSequenceMatchesSmith81)
+{
+    TwoBitCounter c(0);
+    EXPECT_FALSE(c.predict()); // strongly not-taken
+    c.update(true);
+    EXPECT_EQ(c.raw(), 1);
+    EXPECT_FALSE(c.predict()); // weakly not-taken
+    c.update(true);
+    EXPECT_EQ(c.raw(), 2);
+    EXPECT_TRUE(c.predict()); // weakly taken
+    c.update(true);
+    EXPECT_EQ(c.raw(), 3);
+    EXPECT_TRUE(c.predict()); // strongly taken
+}
+
+TEST(TwoBitCounter, ExplicitInitialStateClamped)
+{
+    TwoBitCounter c(200);
+    EXPECT_EQ(c.raw(), 3);
+}
+
+TEST(TwoBitCounter, SetClampsToRange)
+{
+    TwoBitCounter c;
+    c.set(7);
+    EXPECT_EQ(c.raw(), 3);
+    c.set(1);
+    EXPECT_EQ(c.raw(), 1);
+}
+
+TEST(TwoBitCounter, EqualityComparesState)
+{
+    TwoBitCounter a(1), b(1), c(2);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(OneBitCounter, ActsAsLastOutcome)
+{
+    SatCounter<1> c;
+    c.update(false);
+    EXPECT_FALSE(c.predict());
+    c.update(true);
+    EXPECT_TRUE(c.predict());
+    c.update(false);
+    EXPECT_FALSE(c.predict());
+}
+
+/** Width-parameterised properties of the saturating counter family. */
+template <unsigned Bits>
+void
+checkWidthProperties()
+{
+    SatCounter<Bits> c;
+    EXPECT_EQ(c.raw(), 1u << (Bits - 1)) << "weakly-taken reset";
+    EXPECT_TRUE(c.predict());
+
+    // Saturation after maxValue updates in either direction.
+    for (unsigned i = 0; i <= SatCounter<Bits>::maxValue + 2; ++i)
+        c.update(true);
+    EXPECT_EQ(c.raw(), SatCounter<Bits>::maxValue);
+    for (unsigned i = 0; i <= SatCounter<Bits>::maxValue + 2; ++i)
+        c.update(false);
+    EXPECT_EQ(c.raw(), 0);
+
+    // Prediction is the MSB: below half predicts not-taken.
+    c.set(SatCounter<Bits>::weaklyNotTaken);
+    EXPECT_FALSE(c.predict());
+    c.set(SatCounter<Bits>::weaklyTaken);
+    EXPECT_TRUE(c.predict());
+
+    // Each update moves the state by exactly one (when unsaturated).
+    c.set(SatCounter<Bits>::weaklyTaken);
+    auto before = c.raw();
+    c.update(false);
+    EXPECT_EQ(c.raw(), before - 1);
+}
+
+TEST(SatCounterWidths, Bits1) { checkWidthProperties<1>(); }
+TEST(SatCounterWidths, Bits2) { checkWidthProperties<2>(); }
+TEST(SatCounterWidths, Bits3) { checkWidthProperties<3>(); }
+TEST(SatCounterWidths, Bits4) { checkWidthProperties<4>(); }
+TEST(SatCounterWidths, Bits5) { checkWidthProperties<5>(); }
+TEST(SatCounterWidths, Bits6) { checkWidthProperties<6>(); }
+TEST(SatCounterWidths, Bits8) { checkWidthProperties<8>(); }

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the static baseline predictors and the McFarling tournament
+ * combiner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "predictor/static_pred.hh"
+#include "predictor/tournament.hh"
+#include "predictor/two_level.hh"
+
+using namespace bpsim;
+
+namespace {
+
+BranchRecord
+cond(Addr pc, bool taken, Addr target)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.type = BranchType::Conditional;
+    r.taken = taken;
+    return r;
+}
+
+} // namespace
+
+TEST(FixedPredictor, AlwaysTaken)
+{
+    FixedPredictor p(true);
+    EXPECT_TRUE(p.onBranch(cond(0x100, false, 0x80)));
+    EXPECT_TRUE(p.onBranch(cond(0x200, true, 0x300)));
+    EXPECT_EQ(p.name(), "always-taken");
+}
+
+TEST(FixedPredictor, AlwaysNotTaken)
+{
+    FixedPredictor p(false);
+    EXPECT_FALSE(p.onBranch(cond(0x100, true, 0x80)));
+    EXPECT_EQ(p.name(), "always-not-taken");
+}
+
+TEST(FixedPredictor, ResetIsANoOp)
+{
+    FixedPredictor p(true);
+    p.onBranch(cond(0x100, false, 0x80));
+    p.reset();
+    EXPECT_TRUE(p.onBranch(cond(0x100, false, 0x80)));
+}
+
+TEST(Btfnt, BackwardTakenForwardNot)
+{
+    BtfntPredictor p;
+    EXPECT_TRUE(p.onBranch(cond(0x200, true, 0x100)));  // backward
+    EXPECT_FALSE(p.onBranch(cond(0x200, true, 0x300))); // forward
+    EXPECT_EQ(p.name(), "btfnt");
+}
+
+TEST(Btfnt, PredictsLoopsWell)
+{
+    BtfntPredictor p;
+    // A 10-trip bottom-test loop: backward branch taken 9 of 10 times.
+    std::uint64_t wrong = 0;
+    for (int entry = 0; entry < 50; ++entry) {
+        for (int i = 0; i < 9; ++i)
+            wrong += p.onBranch(cond(0x400120, true, 0x400100)) != true;
+        wrong += p.onBranch(cond(0x400120, false, 0x400100)) != false;
+    }
+    EXPECT_EQ(wrong, 50u); // only the exits are missed
+}
+
+TEST(Tournament, NameAndCounterCount)
+{
+    TournamentPredictor t(makeAddressIndexed(4), makeGAg(4), 4);
+    EXPECT_NE(t.name().find("tournament"), std::string::npos);
+    // 16 + 16 component counters + 16 choosers.
+    EXPECT_EQ(t.counterCount(), 48u);
+}
+
+TEST(Tournament, ConvergesToThePerfectComponent)
+{
+    // Alternating branch: GAg captures it, a plain counter cannot.
+    TournamentPredictor t(makeAddressIndexed(4), makeGAg(4), 4);
+    std::uint64_t wrong_late = 0;
+    for (int i = 0; i < 600; ++i) {
+        BranchRecord r = cond(0x400100, i % 2 == 0, 0x400000);
+        bool prediction = t.onBranch(r);
+        if (i >= 300)
+            wrong_late += prediction != r.taken;
+    }
+    EXPECT_LT(wrong_late, 10u);
+    EXPECT_GT(t.secondChosenRate(), 0.4);
+}
+
+TEST(Tournament, NeverMuchWorseThanItsBestComponent)
+{
+    // Mixed stream: an alternating branch (GAg food) plus a strongly
+    // biased branch under global-history pollution (bimodal food).
+    auto run = [](BranchPredictor &p) {
+        Pcg32 rng(3);
+        std::uint64_t wrong = 0;
+        for (int i = 0; i < 4000; ++i) {
+            BranchRecord a =
+                cond(0x400100, i % 2 == 0, 0x400000);
+            BranchRecord b =
+                cond(0x400200, rng.bernoulli(0.97), 0x400800);
+            wrong += p.onBranch(a) != a.taken;
+            wrong += p.onBranch(b) != b.taken;
+        }
+        return wrong;
+    };
+
+    auto bimodal = makeAddressIndexed(6);
+    auto gag = makeGAg(2);
+    TournamentPredictor combo(makeAddressIndexed(6), makeGAg(2), 6);
+
+    std::uint64_t w_bim = run(*bimodal);
+    std::uint64_t w_gag = run(*gag);
+    std::uint64_t w_combo = run(combo);
+    std::uint64_t best = std::min(w_bim, w_gag);
+    // Chooser training costs a little; it must stay near the best
+    // component and far from the worst.
+    EXPECT_LE(w_combo, best + best / 2 + 50);
+}
+
+TEST(Tournament, ResetClearsChoicesAndComponents)
+{
+    TournamentPredictor t(makeAddressIndexed(4), makeGAg(4), 4);
+    std::uint64_t first = 0, second = 0;
+    for (int i = 0; i < 500; ++i) {
+        BranchRecord r = cond(0x400100, i % 2 == 0, 0x400000);
+        first += t.onBranch(r) != r.taken;
+    }
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.secondChosenRate(), 0.0);
+    for (int i = 0; i < 500; ++i) {
+        BranchRecord r = cond(0x400100, i % 2 == 0, 0x400000);
+        second += t.onBranch(r) != r.taken;
+    }
+    EXPECT_EQ(first, second);
+}
+
+TEST(Tournament, ComponentsAccessible)
+{
+    TournamentPredictor t(makeAddressIndexed(4), makeGAg(6), 4);
+    EXPECT_EQ(t.firstComponent().name(), "addr 2^0 x 2^4");
+    EXPECT_EQ(t.secondComponent().name(), "GAs 2^6 x 2^0");
+}
+
+TEST(TournamentDeathTest, NullComponentsRejected)
+{
+    EXPECT_DEATH(TournamentPredictor(nullptr, makeGAg(4), 4),
+                 "two components");
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the sweep-result surface container that backs the paper's
+ * figure reproductions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/surface.hh"
+
+using namespace bpsim;
+
+namespace {
+
+Surface
+makeSample()
+{
+    Surface s("sample");
+    // Tier 4 (16 counters): r = 0..2 present.
+    s.add(4, 0, 4, 0.20);
+    s.add(4, 1, 3, 0.15);
+    s.add(4, 2, 2, 0.18);
+    // Tier 6: one point.
+    s.add(6, 3, 3, 0.10);
+    return s;
+}
+
+} // namespace
+
+TEST(Surface, StoresPointsByTier)
+{
+    Surface s = makeSample();
+    ASSERT_EQ(s.tiers().size(), 2u);
+    const SurfaceTier *t4 = s.tier(4);
+    ASSERT_NE(t4, nullptr);
+    EXPECT_EQ(t4->points.size(), 3u);
+    EXPECT_EQ(s.tier(5), nullptr);
+}
+
+TEST(Surface, AtLooksUpExactCoordinates)
+{
+    Surface s = makeSample();
+    auto v = s.at(4, 1);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 0.15);
+    EXPECT_FALSE(s.at(4, 3).has_value());
+    EXPECT_FALSE(s.at(9, 0).has_value());
+}
+
+TEST(Surface, BestInTierIsMinimum)
+{
+    Surface s = makeSample();
+    auto best = s.bestInTier(4);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->rowBits, 1u);
+    EXPECT_EQ(best->colBits, 3u);
+    EXPECT_DOUBLE_EQ(best->value, 0.15);
+}
+
+TEST(Surface, BestInMissingTierIsNullopt)
+{
+    Surface s = makeSample();
+    EXPECT_FALSE(s.bestInTier(12).has_value());
+}
+
+TEST(Surface, BestIndexTieBreaksToFirst)
+{
+    SurfaceTier t;
+    t.totalBits = 4;
+    t.points = {{0, 4, 0.1}, {1, 3, 0.1}};
+    auto idx = t.bestIndex();
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 0u);
+}
+
+TEST(Surface, DifferenceMatchesCommonCoordinates)
+{
+    Surface a = makeSample();
+    Surface b("other");
+    b.add(4, 0, 4, 0.18);
+    b.add(4, 1, 3, 0.20);
+    // no tier-6 point in b
+
+    Surface d = a.difference(b, "a-b");
+    EXPECT_EQ(d.name(), "a-b");
+    auto v0 = d.at(4, 0);
+    ASSERT_TRUE(v0.has_value());
+    EXPECT_NEAR(*v0, 0.02, 1e-12);
+    auto v1 = d.at(4, 1);
+    ASSERT_TRUE(v1.has_value());
+    EXPECT_NEAR(*v1, -0.05, 1e-12);
+    // a's (4,2) and (6,3) have no counterpart: absent from difference.
+    EXPECT_FALSE(d.at(4, 2).has_value());
+    EXPECT_FALSE(d.at(6, 3).has_value());
+}
+
+TEST(Surface, RenderMarksBestInTier)
+{
+    Surface s = makeSample();
+    std::string out = s.render();
+    EXPECT_NE(out.find("sample"), std::string::npos);
+    EXPECT_NE(out.find("*"), std::string::npos);
+    // 16-counter tier header.
+    EXPECT_NE(out.find("16"), std::string::npos);
+}
+
+TEST(Surface, RenderSignedShowsSigns)
+{
+    Surface a = makeSample();
+    Surface b = makeSample();
+    Surface d = a.difference(b, "zero");
+    std::string out = d.render(true, true);
+    EXPECT_NE(out.find("+"), std::string::npos);
+}
+
+TEST(Surface, CsvHasHeaderAndRows)
+{
+    Surface s = makeSample();
+    std::string csv = s.renderCsv();
+    EXPECT_NE(csv.find("surface,total_bits,row_bits,col_bits,value"),
+              std::string::npos);
+    EXPECT_NE(csv.find("sample,4,1,3,0.150000"), std::string::npos);
+    EXPECT_NE(csv.find("sample,6,3,3,0.100000"), std::string::npos);
+}
+
+TEST(SurfaceDeathTest, InconsistentCoordinatesPanic)
+{
+    Surface s("bad");
+    EXPECT_DEATH(s.add(4, 3, 3, 0.1), "!= tier");
+}
+
+TEST(Surface, EmptyTierHasNoBest)
+{
+    SurfaceTier t;
+    EXPECT_FALSE(t.bestIndex().has_value());
+}

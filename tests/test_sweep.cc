@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the configuration sweep engine, most importantly the
+ * equivalence between the fast sweep path and the online
+ * TwoLevelPredictor for every scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/two_level.hh"
+#include "sim/engine.hh"
+#include "sim/sweep.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+MemoryTrace &
+sharedWorkload()
+{
+    static MemoryTrace trace = [] {
+        WorkloadParams p;
+        p.name = "sweep-unit";
+        p.seed = 21;
+        p.staticBranches = 150;
+        p.functionCount = 15;
+        p.targetConditionals = 30'000;
+        return generateTrace(p);
+    }();
+    return trace;
+}
+
+double
+onlineMisp(BranchPredictor &p)
+{
+    MemoryTrace &t = sharedWorkload();
+    t.reset();
+    return runPredictor(t, p).mispRate();
+}
+
+} // namespace
+
+TEST(Sweep, TierAndPointCounts)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 4;
+    o.maxTotalBits = 7;
+    SweepResult r = sweepScheme(t, SchemeKind::GAs, o);
+    ASSERT_EQ(r.misprediction.tiers().size(), 4u);
+    for (const auto &tier : r.misprediction.tiers())
+        EXPECT_EQ(tier.points.size(), tier.totalBits + 1);
+}
+
+TEST(Sweep, DegenerateSchemesHaveOnePointPerTier)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 4;
+    o.maxTotalBits = 8;
+    SweepResult addr = sweepScheme(t, SchemeKind::AddressIndexed, o);
+    SweepResult gag = sweepScheme(t, SchemeKind::GAg, o);
+    for (const auto &tier : addr.misprediction.tiers()) {
+        ASSERT_EQ(tier.points.size(), 1u);
+        EXPECT_EQ(tier.points[0].rowBits, 0u);
+    }
+    for (const auto &tier : gag.misprediction.tiers()) {
+        ASSERT_EQ(tier.points.size(), 1u);
+        EXPECT_EQ(tier.points[0].colBits, 0u);
+    }
+}
+
+TEST(Sweep, RatesAreValidProbabilities)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 4;
+    o.maxTotalBits = 10;
+    for (SchemeKind kind :
+         {SchemeKind::GAs, SchemeKind::Gshare, SchemeKind::Path,
+          SchemeKind::PAsPerfect}) {
+        SweepResult r = sweepScheme(t, kind, o);
+        for (const auto &tier : r.misprediction.tiers()) {
+            for (const auto &pt : tier.points) {
+                EXPECT_GE(pt.value, 0.0);
+                EXPECT_LE(pt.value, 1.0);
+            }
+        }
+        for (const auto &tier : r.aliasing.tiers()) {
+            for (const auto &pt : tier.points) {
+                EXPECT_GE(pt.value, 0.0);
+                EXPECT_LE(pt.value, 1.0);
+            }
+        }
+    }
+}
+
+TEST(Sweep, SchemeNames)
+{
+    EXPECT_STREQ(schemeKindName(SchemeKind::AddressIndexed), "addr");
+    EXPECT_STREQ(schemeKindName(SchemeKind::GAg), "GAg");
+    EXPECT_STREQ(schemeKindName(SchemeKind::GAs), "GAs");
+    EXPECT_STREQ(schemeKindName(SchemeKind::Gshare), "gshare");
+    EXPECT_STREQ(schemeKindName(SchemeKind::Path), "path");
+    EXPECT_STREQ(schemeKindName(SchemeKind::PAsPerfect), "PAs(inf)");
+    EXPECT_STREQ(schemeKindName(SchemeKind::PAsFinite), "PAs(bht)");
+}
+
+TEST(Sweep, BhtMissRateReported)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 6;
+    o.maxTotalBits = 6;
+    o.bhtEntries = 32;
+    o.bhtAssoc = 4;
+    SweepResult r = sweepScheme(t, SchemeKind::PAsFinite, o);
+    EXPECT_GT(r.bhtMissRate, 0.0);
+    EXPECT_LT(r.bhtMissRate, 1.0);
+}
+
+// --- The fast-path / online equivalence matrix ---
+
+struct EquivCase
+{
+    SchemeKind kind;
+    unsigned rowBits;
+    unsigned colBits;
+};
+
+class SweepEquivalence : public ::testing::TestWithParam<EquivCase>
+{
+};
+
+TEST_P(SweepEquivalence, FastPathMatchesOnlinePredictor)
+{
+    const EquivCase &c = GetParam();
+    PreparedTrace prepared(sharedWorkload());
+
+    SweepOptions o;
+    o.trackAliasing = true;
+    o.bhtEntries = 64;
+    o.bhtAssoc = 4;
+    ConfigResult fast =
+        simulateConfig(prepared, c.kind, c.rowBits, c.colBits, o);
+
+    std::unique_ptr<TwoLevelPredictor> online;
+    switch (c.kind) {
+      case SchemeKind::AddressIndexed:
+        online = makeAddressIndexed(c.colBits, true);
+        break;
+      case SchemeKind::GAg:
+        online = makeGAg(c.rowBits, true);
+        break;
+      case SchemeKind::GAs:
+        online = makeGAs(c.rowBits, c.colBits, true);
+        break;
+      case SchemeKind::Gshare:
+        online = makeGshare(c.rowBits, c.colBits, true);
+        break;
+      case SchemeKind::Path:
+        online = makePath(c.rowBits, c.colBits, 2, true);
+        break;
+      case SchemeKind::PAsPerfect:
+        online = makePAsPerfect(c.rowBits, c.colBits, true);
+        break;
+      case SchemeKind::PAsFinite:
+        online = makePAsFinite(c.rowBits, c.colBits, 64, 4, true);
+        break;
+    }
+
+    double online_misp = onlineMisp(*online);
+    EXPECT_NEAR(fast.mispRate, online_misp, 1e-12)
+        << "scheme " << schemeKindName(c.kind) << " 2^" << c.rowBits
+        << " x 2^" << c.colBits;
+
+    const AliasTracker *alias = online->pht().aliasStats();
+    ASSERT_NE(alias, nullptr);
+    EXPECT_NEAR(fast.aliasRate, alias->aliasRate(), 1e-12);
+    EXPECT_NEAR(fast.harmlessFraction, alias->harmlessFraction(),
+                1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SweepEquivalence,
+    ::testing::Values(
+        EquivCase{SchemeKind::AddressIndexed, 0, 8},
+        EquivCase{SchemeKind::AddressIndexed, 0, 0},
+        EquivCase{SchemeKind::GAg, 8, 0},
+        EquivCase{SchemeKind::GAg, 3, 0},
+        EquivCase{SchemeKind::GAs, 5, 4},
+        EquivCase{SchemeKind::GAs, 0, 6},
+        EquivCase{SchemeKind::GAs, 9, 1},
+        EquivCase{SchemeKind::Gshare, 6, 3},
+        EquivCase{SchemeKind::Gshare, 8, 0},
+        EquivCase{SchemeKind::Gshare, 0, 5},
+        EquivCase{SchemeKind::Path, 6, 3},
+        EquivCase{SchemeKind::Path, 4, 0},
+        EquivCase{SchemeKind::PAsPerfect, 6, 3},
+        EquivCase{SchemeKind::PAsPerfect, 0, 7},
+        EquivCase{SchemeKind::PAsPerfect, 10, 0},
+        EquivCase{SchemeKind::PAsFinite, 6, 3},
+        EquivCase{SchemeKind::PAsFinite, 4, 4},
+        EquivCase{SchemeKind::PAsFinite, 0, 6}));
+
+TEST(Sweep, SweepAgreesWithSimulateConfig)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 8;
+    o.maxTotalBits = 8;
+    SweepResult r = sweepScheme(t, SchemeKind::Gshare, o);
+    for (unsigned rbits = 0; rbits <= 8; ++rbits) {
+        ConfigResult single =
+            simulateConfig(t, SchemeKind::Gshare, rbits, 8 - rbits, o);
+        auto from_sweep = r.misprediction.at(8, rbits);
+        ASSERT_TRUE(from_sweep.has_value());
+        EXPECT_NEAR(*from_sweep, single.mispRate, 1e-12)
+            << "rows 2^" << rbits;
+    }
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the ASCII/CSV table renderer behind the Table 1/2/3 benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/table_formatter.hh"
+
+using namespace bpsim;
+
+TEST(TableFormatter, RendersAlignedColumns)
+{
+    TableFormatter t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| longer"), std::string::npos);
+    // Every data line has the same length (alignment).
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        auto next = out.find('\n', pos);
+        if (next == std::string::npos)
+            break;
+        EXPECT_EQ(next - pos, first_len) << "ragged line";
+        pos = next + 1;
+    }
+}
+
+TEST(TableFormatter, SeparatorAddsRule)
+{
+    TableFormatter t({"c"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // Expect at least 4 separator rules: top, under header, middle,
+    // bottom.
+    std::size_t rules = 0, pos = 0;
+    while ((pos = out.find("+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    EXPECT_GE(rules, 4u);
+}
+
+TEST(TableFormatter, CountsRowsAndColumns)
+{
+    TableFormatter t({"a", "b", "c"});
+    EXPECT_EQ(t.columns(), 3u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableFormatterDeathTest, WrongArityPanics)
+{
+    TableFormatter t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TableFormatter, CsvEscapesSpecials)
+{
+    TableFormatter t({"k", "v"});
+    t.addRow({"plain", "a,b"});
+    t.addRow({"quote", "say \"hi\""});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("k,v\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableFormatter, CsvSkipsSeparators)
+{
+    TableFormatter t({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "a\n1\n2\n");
+}
+
+TEST(TableFormatterHelpers, PercentFormatting)
+{
+    EXPECT_EQ(TableFormatter::percent(0.0479), "4.79%");
+    EXPECT_EQ(TableFormatter::percent(0.5, 0), "50%");
+    EXPECT_EQ(TableFormatter::percent(0.12345, 3), "12.345%");
+}
+
+TEST(TableFormatterHelpers, IntegerGrouping)
+{
+    EXPECT_EQ(TableFormatter::integer(0), "0");
+    EXPECT_EQ(TableFormatter::integer(999), "999");
+    EXPECT_EQ(TableFormatter::integer(1000), "1,000");
+    EXPECT_EQ(TableFormatter::integer(83947354), "83,947,354");
+}
+
+TEST(TableFormatterHelpers, ConfigLabel)
+{
+    EXPECT_EQ(TableFormatter::configLabel(6, 3), "2^6 x 2^3");
+    EXPECT_EQ(TableFormatter::configLabel(0, 9), "2^0 x 2^9");
+}

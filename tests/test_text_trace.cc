@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the plain-text trace interchange format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "trace/text_trace.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_("/tmp/bpsim_txt_" + tag + "_" +
+                std::to_string(::getpid()) + ".txt")
+    {}
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(TextTrace, ParsesMinimalRecords)
+{
+    MemoryTrace t = importTextTraceString("400100 400200 C T\n"
+                                          "400104 400300 C N\n");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].pc, 0x400100u);
+    EXPECT_EQ(t[0].target, 0x400200u);
+    EXPECT_TRUE(t[0].taken);
+    EXPECT_EQ(t[0].type, BranchType::Conditional);
+    EXPECT_FALSE(t[1].taken);
+}
+
+TEST(TextTrace, ParsesAllTypes)
+{
+    MemoryTrace t = importTextTraceString("1 2 C T\n"
+                                          "5 6 J T\n"
+                                          "9 a L T\n"
+                                          "d e R T\n");
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].type, BranchType::Conditional);
+    EXPECT_EQ(t[1].type, BranchType::Unconditional);
+    EXPECT_EQ(t[2].type, BranchType::Call);
+    EXPECT_EQ(t[3].type, BranchType::Return);
+}
+
+TEST(TextTrace, ParsesGapAndKernelFlags)
+{
+    MemoryTrace t = importTextTraceString("400100 400200 C T 7\n"
+                                          "80400104 80400300 C N 3 K\n"
+                                          "400108 400400 C T K\n");
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0].instGap, 7u);
+    EXPECT_FALSE(t[0].kernel);
+    EXPECT_EQ(t[1].instGap, 3u);
+    EXPECT_TRUE(t[1].kernel);
+    EXPECT_EQ(t[2].instGap, 0u);
+    EXPECT_TRUE(t[2].kernel);
+}
+
+TEST(TextTrace, SkipsCommentsAndBlanks)
+{
+    MemoryTrace t = importTextTraceString("# header\n"
+                                          "\n"
+                                          "   # indented comment\n"
+                                          "400100 400200 C T\n"
+                                          "\n");
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TextTrace, FormatRoundTripsSingleRecord)
+{
+    BranchRecord rec;
+    rec.pc = 0x80400abc;
+    rec.target = 0x80400100;
+    rec.type = BranchType::Conditional;
+    rec.taken = false;
+    rec.instGap = 12;
+    rec.kernel = true;
+    std::string line = formatTextRecord(rec);
+    EXPECT_EQ(line, "80400abc 80400100 C N 12 K");
+    MemoryTrace t = importTextTraceString(line + "\n");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], rec);
+}
+
+TEST(TextTrace, FileRoundTripPreservesWorkload)
+{
+    TempFile tmp("roundtrip");
+    MemoryTrace original = generateProfileTrace("compress", 5'000);
+    std::uint64_t written = exportTextTrace(original, tmp.path());
+    EXPECT_EQ(written, original.size());
+
+    MemoryTrace loaded = importTextTrace(tmp.path());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        ASSERT_EQ(loaded[i], original[i]) << "record " << i;
+    EXPECT_EQ(loaded.name(), "bpsim_txt_roundtrip_" +
+                                 std::to_string(::getpid()));
+}
+
+TEST(TextTraceDeathTest, BadTypeIsFatalWithLineNumber)
+{
+    EXPECT_EXIT(importTextTraceString("400100 400200 X T\n"),
+                ::testing::ExitedWithCode(1), "bad type");
+}
+
+TEST(TextTraceDeathTest, BadDirectionIsFatal)
+{
+    EXPECT_EXIT(importTextTraceString("400100 400200 C maybe\n"),
+                ::testing::ExitedWithCode(1), "bad direction");
+}
+
+TEST(TextTraceDeathTest, ShortLineIsFatal)
+{
+    EXPECT_EXIT(importTextTraceString("1 2 C T\n400100\n"),
+                ::testing::ExitedWithCode(1), ":2:");
+}
+
+TEST(TextTraceDeathTest, NonHexPcIsFatal)
+{
+    EXPECT_EXIT(importTextTraceString("zzz 400200 C T\n"),
+                ::testing::ExitedWithCode(1), "bad pc");
+}
+
+TEST(TextTraceDeathTest, NotTakenJumpIsFatal)
+{
+    EXPECT_EXIT(importTextTraceString("400100 400200 J N\n"),
+                ::testing::ExitedWithCode(1),
+                "non-conditional records must be taken");
+}
+
+TEST(TextTraceDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(importTextTrace("/nonexistent/trace.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}

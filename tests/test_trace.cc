@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the trace substrate: in-memory traces and the binary .bpt
+ * file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/memory_trace.hh"
+#include "trace/trace_io.hh"
+
+using namespace bpsim;
+
+namespace {
+
+BranchRecord
+rec(Addr pc, Addr target, BranchType type, bool taken,
+    std::uint32_t gap = 0, bool kernel = false)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.type = type;
+    r.taken = taken;
+    r.instGap = gap;
+    r.kernel = kernel;
+    return r;
+}
+
+/** RAII temp file path, removed at scope exit. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_("/tmp/bpsim_test_" + tag + "_" +
+                std::to_string(::getpid()) + ".bpt")
+    {}
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(MemoryTrace, AppendAndIterate)
+{
+    MemoryTrace t("unit");
+    t.append(rec(0x100, 0x200, BranchType::Conditional, true));
+    t.append(rec(0x104, 0x300, BranchType::Call, true));
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.conditionalCount(), 1u);
+    EXPECT_EQ(t.name(), "unit");
+
+    BranchRecord out;
+    ASSERT_TRUE(t.next(out));
+    EXPECT_EQ(out.pc, 0x100u);
+    ASSERT_TRUE(t.next(out));
+    EXPECT_EQ(out.pc, 0x104u);
+    EXPECT_FALSE(t.next(out));
+}
+
+TEST(MemoryTrace, ResetRewinds)
+{
+    MemoryTrace t;
+    t.append(rec(0x100, 0x200, BranchType::Conditional, false));
+    BranchRecord out;
+    ASSERT_TRUE(t.next(out));
+    ASSERT_FALSE(t.next(out));
+    t.reset();
+    ASSERT_TRUE(t.next(out));
+    EXPECT_FALSE(out.taken);
+}
+
+TEST(MemoryTrace, IndexingAndBounds)
+{
+    MemoryTrace t;
+    t.append(rec(0x100, 0x200, BranchType::Return, true));
+    EXPECT_EQ(t[0].type, BranchType::Return);
+    EXPECT_DEATH(t[1], "out of range");
+}
+
+TEST(MemoryTrace, AppendAllDrainsSource)
+{
+    MemoryTrace src;
+    for (int i = 0; i < 5; ++i)
+        src.append(rec(0x100 + 4 * i, 0x200, BranchType::Conditional,
+                       i % 2 == 0));
+    MemoryTrace dst;
+    dst.appendAll(src);
+    EXPECT_EQ(dst.size(), 5u);
+    EXPECT_EQ(dst.conditionalCount(), 5u);
+}
+
+TEST(MemoryTrace, ClearEmpties)
+{
+    MemoryTrace t;
+    t.append(rec(0x100, 0x200, BranchType::Conditional, true));
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.conditionalCount(), 0u);
+    BranchRecord out;
+    EXPECT_FALSE(t.next(out));
+}
+
+TEST(BranchRecord, TypeNames)
+{
+    EXPECT_STREQ(branchTypeName(BranchType::Conditional), "cond");
+    EXPECT_STREQ(branchTypeName(BranchType::Unconditional), "uncond");
+    EXPECT_STREQ(branchTypeName(BranchType::Call), "call");
+    EXPECT_STREQ(branchTypeName(BranchType::Return), "ret");
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    TempFile tmp("roundtrip");
+    MemoryTrace original("round-trip-name");
+    original.append(
+        rec(0x00400100, 0x00400200, BranchType::Conditional, true, 7));
+    original.append(
+        rec(0x80400104, 0x00400300, BranchType::Call, true, 0, true));
+    original.append(
+        rec(0x00400108, 0x00400000, BranchType::Return, true, 3));
+    original.append(rec(0x0040010C, 0x00400180,
+                        BranchType::Conditional, false, 12));
+    original.append(rec(0x00400110, 0x00400118,
+                        BranchType::Unconditional, true, 1));
+
+    EXPECT_EQ(saveTrace(original, tmp.path()), 5u);
+
+    MemoryTrace loaded = loadTrace(tmp.path());
+    EXPECT_EQ(loaded.name(), "round-trip-name");
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(loaded[i], original[i]) << "record " << i;
+}
+
+TEST(TraceIo, ReaderStreamsAndRewinds)
+{
+    TempFile tmp("rewind");
+    MemoryTrace original("x");
+    for (int i = 0; i < 10; ++i)
+        original.append(rec(0x100 + 4 * i, 0x200,
+                            BranchType::Conditional, i % 3 == 0));
+    saveTrace(original, tmp.path());
+
+    TraceReader reader(tmp.path());
+    EXPECT_EQ(reader.recordCount(), 10u);
+    BranchRecord out;
+    int n = 0;
+    while (reader.next(out))
+        ++n;
+    EXPECT_EQ(n, 10);
+    reader.reset();
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.pc, 0x100u);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    TempFile tmp("empty");
+    MemoryTrace original("empty");
+    saveTrace(original, tmp.path());
+    MemoryTrace loaded = loadTrace(tmp.path());
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_EQ(loaded.name(), "empty");
+}
+
+TEST(TraceIo, WriterPatchesCountOnClose)
+{
+    TempFile tmp("patch");
+    {
+        TraceWriter w(tmp.path(), "patched");
+        w.write(rec(0x100, 0x200, BranchType::Conditional, true));
+        w.write(rec(0x104, 0x200, BranchType::Conditional, false));
+        EXPECT_EQ(w.recordsWritten(), 2u);
+        // Destructor closes and patches.
+    }
+    TraceReader reader(tmp.path());
+    EXPECT_EQ(reader.recordCount(), 2u);
+}
+
+TEST(TraceIoDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader("/nonexistent/dir/file.bpt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIoDeathTest, GarbageFileIsFatal)
+{
+    TempFile tmp("garbage");
+    std::FILE *f = std::fopen(tmp.path().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader(tmp.path()), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceIo, KernelAndTakenFlagsIndependent)
+{
+    TempFile tmp("flags");
+    MemoryTrace original("flags");
+    original.append(
+        rec(0x1, 0x2, BranchType::Conditional, false, 0, true));
+    original.append(
+        rec(0x5, 0x6, BranchType::Conditional, true, 0, false));
+    saveTrace(original, tmp.path());
+    MemoryTrace loaded = loadTrace(tmp.path());
+    EXPECT_FALSE(loaded[0].taken);
+    EXPECT_TRUE(loaded[0].kernel);
+    EXPECT_TRUE(loaded[1].taken);
+    EXPECT_FALSE(loaded[1].kernel);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the Table 1 / Table 2 trace characterisation machinery,
+ * against hand-built traces with known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/memory_trace.hh"
+#include "trace/trace_stats.hh"
+
+using namespace bpsim;
+
+namespace {
+
+void
+addCond(MemoryTrace &t, Addr pc, bool taken, std::uint32_t gap = 0,
+        bool kernel = false)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = pc + 16;
+    r.type = BranchType::Conditional;
+    r.taken = taken;
+    r.instGap = gap;
+    r.kernel = kernel;
+    t.append(r);
+}
+
+/** n executions of pc, all taken. */
+void
+addMany(MemoryTrace &t, Addr pc, int n, bool taken = true)
+{
+    for (int i = 0; i < n; ++i)
+        addCond(t, pc, taken);
+}
+
+} // namespace
+
+TEST(TraceCharacterization, DynamicInstructionCount)
+{
+    MemoryTrace t;
+    addCond(t, 0x100, true, 4); // 4 plain + the branch = 5
+    addCond(t, 0x104, true, 0); // 1
+    BranchRecord call;
+    call.pc = 0x108;
+    call.target = 0x200;
+    call.type = BranchType::Call;
+    call.instGap = 2;
+    t.append(call); // 3
+    auto ch = TraceCharacterization::measure(t);
+    EXPECT_EQ(ch.dynamicInstructions(), 9u);
+    EXPECT_EQ(ch.dynamicConditionals(), 2u);
+    EXPECT_NEAR(ch.conditionalDensity(), 2.0 / 9.0, 1e-12);
+}
+
+TEST(TraceCharacterization, StaticCounts)
+{
+    MemoryTrace t;
+    addMany(t, 0x100, 10);
+    addMany(t, 0x200, 5);
+    addMany(t, 0x300, 1);
+    auto ch = TraceCharacterization::measure(t);
+    EXPECT_EQ(ch.staticConditionals(), 3u);
+    EXPECT_EQ(ch.dynamicConditionals(), 16u);
+}
+
+TEST(TraceCharacterization, CoverageCounts)
+{
+    MemoryTrace t;
+    addMany(t, 0x100, 90);
+    addMany(t, 0x200, 9);
+    addMany(t, 0x300, 1);
+    auto ch = TraceCharacterization::measure(t);
+    EXPECT_EQ(ch.staticCovering(0.50), 1u);
+    EXPECT_EQ(ch.staticCovering(0.90), 1u);
+    EXPECT_EQ(ch.staticCovering(0.95), 2u);
+    EXPECT_EQ(ch.staticCovering(1.00), 3u);
+}
+
+TEST(TraceCharacterization, FrequencyQuartilesSumToStatics)
+{
+    MemoryTrace t;
+    addMany(t, 0x100, 50);
+    addMany(t, 0x200, 40);
+    addMany(t, 0x300, 9);
+    addMany(t, 0x400, 1);
+    auto ch = TraceCharacterization::measure(t);
+    auto q = ch.frequencyQuartiles();
+    ASSERT_EQ(q.size(), 4u);
+    EXPECT_EQ(q[0] + q[1] + q[2] + q[3], ch.staticConditionals());
+    // The 50-instance branch alone is the first 50%.
+    EXPECT_EQ(q[0], 1u);
+    EXPECT_EQ(q[1], 1u);
+    EXPECT_EQ(q[2], 1u);
+    EXPECT_EQ(q[3], 1u);
+}
+
+TEST(TraceCharacterization, BiasFraction)
+{
+    MemoryTrace t;
+    addMany(t, 0x100, 99, true); // bias 1.0 over 99+1
+    addCond(t, 0x100, false);    // now 99/100 taken -> bias 0.99
+    for (int i = 0; i < 50; ++i)
+        addCond(t, 0x200, i % 2 == 0); // bias 0.5
+    auto ch = TraceCharacterization::measure(t);
+    // 100 of 150 instances from the biased branch.
+    EXPECT_NEAR(ch.dynamicFractionBiasedAbove(0.9), 100.0 / 150.0,
+                1e-12);
+    EXPECT_NEAR(ch.dynamicFractionBiasedAbove(0.999), 0.0, 1e-12);
+}
+
+TEST(TraceCharacterization, BiasCountsNotTakenBiasToo)
+{
+    MemoryTrace t;
+    addMany(t, 0x100, 100, false); // always not taken = bias 1.0
+    auto ch = TraceCharacterization::measure(t);
+    EXPECT_DOUBLE_EQ(ch.dynamicFractionBiasedAbove(0.95), 1.0);
+}
+
+TEST(TraceCharacterization, KernelConditionals)
+{
+    MemoryTrace t;
+    addCond(t, 0x100, true, 0, false);
+    addCond(t, 0x200, true, 0, true);
+    addCond(t, 0x200, true, 0, true);
+    auto ch = TraceCharacterization::measure(t);
+    EXPECT_EQ(ch.kernelConditionals(), 2u);
+}
+
+TEST(TraceCharacterization, RanksSortedByFrequency)
+{
+    MemoryTrace t;
+    addMany(t, 0x300, 5);
+    addMany(t, 0x100, 20);
+    addMany(t, 0x200, 10);
+    auto ch = TraceCharacterization::measure(t);
+    EXPECT_EQ(ch.countOfRank(0), 20u);
+    EXPECT_EQ(ch.countOfRank(1), 10u);
+    EXPECT_EQ(ch.countOfRank(2), 5u);
+}
+
+TEST(TraceCharacterization, EmptyTrace)
+{
+    MemoryTrace t;
+    auto ch = TraceCharacterization::measure(t);
+    EXPECT_EQ(ch.dynamicInstructions(), 0u);
+    EXPECT_EQ(ch.staticConditionals(), 0u);
+    EXPECT_DOUBLE_EQ(ch.conditionalDensity(), 0.0);
+    EXPECT_DOUBLE_EQ(ch.dynamicFractionBiasedAbove(0.9), 0.0);
+}
+
+TEST(TraceCharacterization, NonConditionalsExcludedFromBranchStats)
+{
+    MemoryTrace t;
+    addCond(t, 0x100, true);
+    BranchRecord j;
+    j.pc = 0x104;
+    j.target = 0x300;
+    j.type = BranchType::Unconditional;
+    t.append(j);
+    auto ch = TraceCharacterization::measure(t);
+    EXPECT_EQ(ch.staticConditionals(), 1u);
+    EXPECT_EQ(ch.dynamicConditionals(), 1u);
+    EXPECT_EQ(ch.dynamicInstructions(), 2u);
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the general two-level predictor composition and the
+ * equivalences between degenerate scheme configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "predictor/two_level.hh"
+
+using namespace bpsim;
+
+namespace {
+
+BranchRecord
+cond(Addr pc, bool taken)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = pc + 64;
+    r.type = BranchType::Conditional;
+    r.taken = taken;
+    return r;
+}
+
+/** Pseudo-random but deterministic branch stream over a few sites. */
+std::vector<BranchRecord>
+randomStream(std::size_t n, unsigned sites = 16, std::uint64_t seed = 5)
+{
+    Pcg32 rng(seed);
+    std::vector<BranchRecord> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Addr pc = 0x400000 + 4 * rng.nextBounded(sites);
+        out.push_back(cond(pc, rng.bernoulli(0.6)));
+    }
+    return out;
+}
+
+std::uint64_t
+mispredicts(BranchPredictor &p, const std::vector<BranchRecord> &stream)
+{
+    std::uint64_t wrong = 0;
+    for (const auto &rec : stream)
+        wrong += p.onBranch(rec) != rec.taken;
+    return wrong;
+}
+
+} // namespace
+
+TEST(TwoLevel, NameReflectsSchemeAndGeometry)
+{
+    EXPECT_EQ(makeGAs(6, 4)->name(), "GAs 2^6 x 2^4");
+    EXPECT_EQ(makeGshare(10, 0)->name(), "gshare 2^10 x 2^0");
+    EXPECT_EQ(makeAddressIndexed(12)->name(), "addr 2^0 x 2^12");
+    EXPECT_EQ(makeGAg(8)->name(), "GAs 2^8 x 2^0");
+    EXPECT_EQ(makePath(6, 2)->name(), "path 2^6 x 2^2");
+}
+
+TEST(TwoLevel, CounterCountMatchesGeometry)
+{
+    EXPECT_EQ(makeGAs(6, 4)->counterCount(), 1024u);
+    EXPECT_EQ(makeAddressIndexed(0)->counterCount(), 1u);
+}
+
+TEST(TwoLevel, LearnsASteadyBranch)
+{
+    auto p = makeAddressIndexed(4);
+    std::uint64_t wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += p->onBranch(cond(0x400100, false)) != false;
+    // Initial weakly-taken counter costs at most 2 mispredictions.
+    EXPECT_LE(wrong, 2u);
+}
+
+TEST(TwoLevel, GAgLearnsAnAlternatingBranchViaHistory)
+{
+    auto gag = makeGAg(4);
+    auto bimodal = makeAddressIndexed(4);
+    std::uint64_t gag_wrong = 0, bim_wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        BranchRecord r = cond(0x400100, i % 2 == 0);
+        gag_wrong += gag->onBranch(r) != r.taken;
+        bim_wrong += bimodal->onBranch(r) != r.taken;
+    }
+    EXPECT_LT(gag_wrong, 20u);   // history nails the alternation
+    EXPECT_GT(bim_wrong, 150u);  // a two-bit counter cannot
+}
+
+TEST(TwoLevel, PAsLearnsPerBranchPeriodicity)
+{
+    auto pas = makePAsPerfect(4, 2);
+    std::uint64_t wrong = 0;
+    for (int i = 0; i < 600; ++i) {
+        // Two interleaved branches with different periods, in distinct
+        // columns so the test isolates the first level.
+        BranchRecord a = cond(0x400100, i % 3 != 2);
+        BranchRecord b = cond(0x400104, i % 4 != 3);
+        wrong += pas->onBranch(a) != a.taken;
+        wrong += pas->onBranch(b) != b.taken;
+    }
+    EXPECT_LT(wrong, 60u);
+}
+
+TEST(TwoLevel, GAgEqualsSingleColumnGAs)
+{
+    auto gag = makeGAg(6);
+    auto gas = makeGAs(6, 0);
+    auto stream = randomStream(4000);
+    EXPECT_EQ(mispredicts(*gag, stream), mispredicts(*gas, stream));
+}
+
+TEST(TwoLevel, ZeroHistoryGAsEqualsAddressIndexed)
+{
+    auto gas = makeGAs(0, 8);
+    auto addr = makeAddressIndexed(8);
+    auto stream = randomStream(4000);
+    EXPECT_EQ(mispredicts(*gas, stream), mispredicts(*addr, stream));
+}
+
+TEST(TwoLevel, ZeroHistoryGshareEqualsAddressIndexed)
+{
+    // The paper notes the leftmost gshare configurations coincide with
+    // address-indexed prediction.
+    auto gsh = makeGshare(0, 8);
+    auto addr = makeAddressIndexed(8);
+    auto stream = randomStream(4000);
+    EXPECT_EQ(mispredicts(*gsh, stream), mispredicts(*addr, stream));
+}
+
+TEST(TwoLevel, ZeroHistoryPAsEqualsAddressIndexed)
+{
+    auto pas = makePAsPerfect(0, 8);
+    auto addr = makeAddressIndexed(8);
+    auto stream = randomStream(4000);
+    EXPECT_EQ(mispredicts(*pas, stream), mispredicts(*addr, stream));
+}
+
+TEST(TwoLevel, HugeBhtMatchesPerfectFirstLevel)
+{
+    // A BHT too large to ever evict behaves exactly like the unbounded
+    // map (after the shared cold-start reset, which differs: perfect
+    // starts at zero history, BHT at the 0xC3FF prefix -- so compare
+    // with history bits 0 where the reset value is irrelevant... use
+    // instead a stream long enough that cold-start noise is bounded).
+    auto perfect = makePAsPerfect(6, 4);
+    auto finite = makePAsFinite(6, 4, 1 << 14, 4);
+    auto stream = randomStream(20'000, 32);
+    auto a = mispredicts(*perfect, stream);
+    auto b = mispredicts(*finite, stream);
+    // Only the 32 cold-start resets (6 bits each) can differ.
+    EXPECT_NEAR(static_cast<double>(a), static_cast<double>(b),
+                32.0 * 6.0);
+}
+
+TEST(TwoLevel, ResetRestoresInitialBehaviour)
+{
+    auto p = makeGshare(8, 2);
+    auto stream = randomStream(3000);
+    auto first = mispredicts(*p, stream);
+    p->reset();
+    auto second = mispredicts(*p, stream);
+    EXPECT_EQ(first, second);
+}
+
+TEST(TwoLevel, AliasTrackingOnlyWhenRequested)
+{
+    auto with = makeGAs(4, 4, /*track_aliasing=*/true);
+    auto without = makeGAs(4, 4, false);
+    EXPECT_NE(with->pht().aliasStats(), nullptr);
+    EXPECT_EQ(without->pht().aliasStats(), nullptr);
+
+    auto stream = randomStream(2000);
+    mispredicts(*with, stream);
+    EXPECT_EQ(with->pht().aliasStats()->accesses(), 2000u);
+}
+
+TEST(TwoLevel, TrackingDoesNotChangePredictions)
+{
+    auto with = makeGAs(5, 3, true);
+    auto without = makeGAs(5, 3, false);
+    auto stream = randomStream(3000);
+    EXPECT_EQ(mispredicts(*with, stream),
+              mispredicts(*without, stream));
+}
+
+TEST(TwoLevelDeathTest, NonConditionalRecordRejected)
+{
+    auto p = makeAddressIndexed(4);
+    BranchRecord r;
+    r.pc = 0x100;
+    r.type = BranchType::Call;
+    EXPECT_DEATH(p->onBranch(r), "non-conditional");
+}
+
+TEST(TwoLevel, RowSelectorAccessible)
+{
+    auto p = makeGAs(6, 2);
+    EXPECT_EQ(p->rowSelector().schemeName(), "GAs");
+}
