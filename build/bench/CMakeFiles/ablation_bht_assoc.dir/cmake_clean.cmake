@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bht_assoc.dir/ablation_bht_assoc.cc.o"
+  "CMakeFiles/ablation_bht_assoc.dir/ablation_bht_assoc.cc.o.d"
+  "ablation_bht_assoc"
+  "ablation_bht_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bht_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bht_reset.dir/ablation_bht_reset.cc.o"
+  "CMakeFiles/ablation_bht_reset.dir/ablation_bht_reset.cc.o.d"
+  "ablation_bht_reset"
+  "ablation_bht_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bht_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_bht_reset.
+# This may be replaced when dependencies are built.

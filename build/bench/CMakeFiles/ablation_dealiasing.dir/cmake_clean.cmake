@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dealiasing.dir/ablation_dealiasing.cc.o"
+  "CMakeFiles/ablation_dealiasing.dir/ablation_dealiasing.cc.o.d"
+  "ablation_dealiasing"
+  "ablation_dealiasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dealiasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

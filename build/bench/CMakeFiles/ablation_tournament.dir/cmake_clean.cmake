@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tournament.dir/ablation_tournament.cc.o"
+  "CMakeFiles/ablation_tournament.dir/ablation_tournament.cc.o.d"
+  "ablation_tournament"
+  "ablation_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pas_finite.dir/fig10_pas_finite.cc.o"
+  "CMakeFiles/fig10_pas_finite.dir/fig10_pas_finite.cc.o.d"
+  "fig10_pas_finite"
+  "fig10_pas_finite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pas_finite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

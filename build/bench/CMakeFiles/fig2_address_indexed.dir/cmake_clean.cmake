@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_address_indexed.dir/fig2_address_indexed.cc.o"
+  "CMakeFiles/fig2_address_indexed.dir/fig2_address_indexed.cc.o.d"
+  "fig2_address_indexed"
+  "fig2_address_indexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_address_indexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

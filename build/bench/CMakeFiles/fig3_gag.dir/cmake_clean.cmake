@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_gag.dir/fig3_gag.cc.o"
+  "CMakeFiles/fig3_gag.dir/fig3_gag.cc.o.d"
+  "fig3_gag"
+  "fig3_gag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_gag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gas_surface.dir/fig4_gas_surface.cc.o"
+  "CMakeFiles/fig4_gas_surface.dir/fig4_gas_surface.cc.o.d"
+  "fig4_gas_surface"
+  "fig4_gas_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gas_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_gas_surface.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gas_aliasing.dir/fig5_gas_aliasing.cc.o"
+  "CMakeFiles/fig5_gas_aliasing.dir/fig5_gas_aliasing.cc.o.d"
+  "fig5_gas_aliasing"
+  "fig5_gas_aliasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gas_aliasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gshare_surface.dir/fig6_gshare_surface.cc.o"
+  "CMakeFiles/fig6_gshare_surface.dir/fig6_gshare_surface.cc.o.d"
+  "fig6_gshare_surface"
+  "fig6_gshare_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gshare_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

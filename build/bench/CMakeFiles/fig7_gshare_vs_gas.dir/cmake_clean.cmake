@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gshare_vs_gas.dir/fig7_gshare_vs_gas.cc.o"
+  "CMakeFiles/fig7_gshare_vs_gas.dir/fig7_gshare_vs_gas.cc.o.d"
+  "fig7_gshare_vs_gas"
+  "fig7_gshare_vs_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gshare_vs_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_gshare_vs_gas.
+# This may be replaced when dependencies are built.

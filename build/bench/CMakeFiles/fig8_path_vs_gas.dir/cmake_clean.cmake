@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_path_vs_gas.dir/fig8_path_vs_gas.cc.o"
+  "CMakeFiles/fig8_path_vs_gas.dir/fig8_path_vs_gas.cc.o.d"
+  "fig8_path_vs_gas"
+  "fig8_path_vs_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_path_vs_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

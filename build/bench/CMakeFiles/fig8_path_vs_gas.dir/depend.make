@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_path_vs_gas.
+# This may be replaced when dependencies are built.

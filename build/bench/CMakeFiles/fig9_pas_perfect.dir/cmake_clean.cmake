@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pas_perfect.dir/fig9_pas_perfect.cc.o"
+  "CMakeFiles/fig9_pas_perfect.dir/fig9_pas_perfect.cc.o.d"
+  "fig9_pas_perfect"
+  "fig9_pas_perfect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pas_perfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_pas_perfect.
+# This may be replaced when dependencies are built.

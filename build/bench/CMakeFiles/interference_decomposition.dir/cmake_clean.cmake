@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_decomposition.dir/interference_decomposition.cc.o"
+  "CMakeFiles/interference_decomposition.dir/interference_decomposition.cc.o.d"
+  "interference_decomposition"
+  "interference_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

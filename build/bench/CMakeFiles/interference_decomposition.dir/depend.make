@@ -1,0 +1,2 @@
+# Empty dependencies file for interference_decomposition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_predictor_ops.dir/micro_predictor_ops.cc.o"
+  "CMakeFiles/micro_predictor_ops.dir/micro_predictor_ops.cc.o.d"
+  "micro_predictor_ops"
+  "micro_predictor_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_predictor_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

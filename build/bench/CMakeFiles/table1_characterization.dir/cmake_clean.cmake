@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_characterization.dir/table1_characterization.cc.o"
+  "CMakeFiles/table1_characterization.dir/table1_characterization.cc.o.d"
+  "table1_characterization"
+  "table1_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

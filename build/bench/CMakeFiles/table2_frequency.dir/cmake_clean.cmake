@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_frequency.dir/table2_frequency.cc.o"
+  "CMakeFiles/table2_frequency.dir/table2_frequency.cc.o.d"
+  "table2_frequency"
+  "table2_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

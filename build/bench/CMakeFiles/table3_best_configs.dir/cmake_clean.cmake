@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_best_configs.dir/table3_best_configs.cc.o"
+  "CMakeFiles/table3_best_configs.dir/table3_best_configs.cc.o.d"
+  "table3_best_configs"
+  "table3_best_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_best_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_full_results.dir/tr_full_results.cc.o"
+  "CMakeFiles/tr_full_results.dir/tr_full_results.cc.o.d"
+  "tr_full_results"
+  "tr_full_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_full_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

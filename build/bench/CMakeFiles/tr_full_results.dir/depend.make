@@ -1,0 +1,2 @@
+# Empty dependencies file for tr_full_results.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aliasing_study.dir/aliasing_study.cc.o"
+  "CMakeFiles/aliasing_study.dir/aliasing_study.cc.o.d"
+  "aliasing_study"
+  "aliasing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aliasing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

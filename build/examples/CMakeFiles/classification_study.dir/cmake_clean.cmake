@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_study.dir/classification_study.cc.o"
+  "CMakeFiles/classification_study.dir/classification_study.cc.o.d"
+  "classification_study"
+  "classification_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

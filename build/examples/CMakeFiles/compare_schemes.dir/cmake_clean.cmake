@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_schemes.dir/compare_schemes.cc.o"
+  "CMakeFiles/compare_schemes.dir/compare_schemes.cc.o.d"
+  "compare_schemes"
+  "compare_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_explorer.dir/sweep_explorer.cc.o"
+  "CMakeFiles/sweep_explorer.dir/sweep_explorer.cc.o.d"
+  "sweep_explorer"
+  "sweep_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_anatomy.dir/workload_anatomy.cc.o"
+  "CMakeFiles/workload_anatomy.dir/workload_anatomy.cc.o.d"
+  "workload_anatomy"
+  "workload_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "profile=compress" "branches=20000")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare_schemes "/root/repo/build/examples/compare_schemes" "profile=compress" "budget_bits=8" "branches=30000" "bht=128")
+set_tests_properties(example_compare_schemes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aliasing_study "/root/repo/build/examples/aliasing_study" "profile=compress" "branches=30000")
+set_tests_properties(example_aliasing_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workload_anatomy "/root/repo/build/examples/workload_anatomy" "profile=compress" "branches=30000" "specs=addr:8,gshare:8:0")
+set_tests_properties(example_workload_anatomy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_classification_study "/root/repo/build/examples/classification_study" "profile=mpeg_play" "branches=30000" "spec=addr:10")
+set_tests_properties(example_classification_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sweep_explorer "/root/repo/build/examples/sweep_explorer" "profile=compress" "scheme=gshare" "min_bits=4" "max_bits=8" "branches=20000" "metric=alias")
+set_tests_properties(example_sweep_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_pipeline "/root/repo/build/examples/trace_tool" "generate" "profile=compress" "out=trace_tool_smoke.bpt" "branches=10000")
+set_tests_properties(example_trace_tool_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_characterize "/root/repo/build/examples/trace_tool" "characterize" "trace_tool_smoke.bpt")
+set_tests_properties(example_trace_tool_characterize PROPERTIES  DEPENDS "example_trace_tool_pipeline" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

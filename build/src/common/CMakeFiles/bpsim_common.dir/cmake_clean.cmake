@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_common.dir/config.cc.o"
+  "CMakeFiles/bpsim_common.dir/config.cc.o.d"
+  "CMakeFiles/bpsim_common.dir/logging.cc.o"
+  "CMakeFiles/bpsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/bpsim_common.dir/random.cc.o"
+  "CMakeFiles/bpsim_common.dir/random.cc.o.d"
+  "libbpsim_common.a"
+  "libbpsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

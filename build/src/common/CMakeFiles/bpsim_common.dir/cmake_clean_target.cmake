@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpsim_common.a"
+)

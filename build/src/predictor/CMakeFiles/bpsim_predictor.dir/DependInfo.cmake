@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/bht.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/bht.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/bht.cc.o.d"
+  "/root/repo/src/predictor/dealiased.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/dealiased.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/dealiased.cc.o.d"
+  "/root/repo/src/predictor/factory.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/factory.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/factory.cc.o.d"
+  "/root/repo/src/predictor/gskew.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/gskew.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/gskew.cc.o.d"
+  "/root/repo/src/predictor/pht.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/pht.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/pht.cc.o.d"
+  "/root/repo/src/predictor/row_selector.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/row_selector.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/row_selector.cc.o.d"
+  "/root/repo/src/predictor/static_pred.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/static_pred.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/static_pred.cc.o.d"
+  "/root/repo/src/predictor/tournament.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/tournament.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/tournament.cc.o.d"
+  "/root/repo/src/predictor/two_level.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/two_level.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bpsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_predictor.dir/bht.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/bht.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/dealiased.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/dealiased.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/factory.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/factory.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/gskew.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/gskew.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/pht.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/pht.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/row_selector.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/row_selector.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/static_pred.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/static_pred.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/tournament.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/tournament.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/two_level.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/two_level.cc.o.d"
+  "libbpsim_predictor.a"
+  "libbpsim_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

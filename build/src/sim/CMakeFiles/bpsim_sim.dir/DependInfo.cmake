@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/bpsim_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/bpsim_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/interference.cc" "src/sim/CMakeFiles/bpsim_sim.dir/interference.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/interference.cc.o.d"
+  "/root/repo/src/sim/prepared_trace.cc" "src/sim/CMakeFiles/bpsim_sim.dir/prepared_trace.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/prepared_trace.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/sim/CMakeFiles/bpsim_sim.dir/sweep.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bpsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/bpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

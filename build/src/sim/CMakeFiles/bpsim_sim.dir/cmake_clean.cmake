@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_sim.dir/engine.cc.o"
+  "CMakeFiles/bpsim_sim.dir/engine.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/experiment.cc.o"
+  "CMakeFiles/bpsim_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/interference.cc.o"
+  "CMakeFiles/bpsim_sim.dir/interference.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/prepared_trace.cc.o"
+  "CMakeFiles/bpsim_sim.dir/prepared_trace.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/sweep.cc.o"
+  "CMakeFiles/bpsim_sim.dir/sweep.cc.o.d"
+  "libbpsim_sim.a"
+  "libbpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/aliasing.cc" "src/stats/CMakeFiles/bpsim_stats.dir/aliasing.cc.o" "gcc" "src/stats/CMakeFiles/bpsim_stats.dir/aliasing.cc.o.d"
+  "/root/repo/src/stats/branch_classes.cc" "src/stats/CMakeFiles/bpsim_stats.dir/branch_classes.cc.o" "gcc" "src/stats/CMakeFiles/bpsim_stats.dir/branch_classes.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/stats/CMakeFiles/bpsim_stats.dir/distribution.cc.o" "gcc" "src/stats/CMakeFiles/bpsim_stats.dir/distribution.cc.o.d"
+  "/root/repo/src/stats/prediction_stats.cc" "src/stats/CMakeFiles/bpsim_stats.dir/prediction_stats.cc.o" "gcc" "src/stats/CMakeFiles/bpsim_stats.dir/prediction_stats.cc.o.d"
+  "/root/repo/src/stats/surface.cc" "src/stats/CMakeFiles/bpsim_stats.dir/surface.cc.o" "gcc" "src/stats/CMakeFiles/bpsim_stats.dir/surface.cc.o.d"
+  "/root/repo/src/stats/table_formatter.cc" "src/stats/CMakeFiles/bpsim_stats.dir/table_formatter.cc.o" "gcc" "src/stats/CMakeFiles/bpsim_stats.dir/table_formatter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

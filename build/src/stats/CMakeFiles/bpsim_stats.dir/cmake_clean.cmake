@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_stats.dir/aliasing.cc.o"
+  "CMakeFiles/bpsim_stats.dir/aliasing.cc.o.d"
+  "CMakeFiles/bpsim_stats.dir/branch_classes.cc.o"
+  "CMakeFiles/bpsim_stats.dir/branch_classes.cc.o.d"
+  "CMakeFiles/bpsim_stats.dir/distribution.cc.o"
+  "CMakeFiles/bpsim_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/bpsim_stats.dir/prediction_stats.cc.o"
+  "CMakeFiles/bpsim_stats.dir/prediction_stats.cc.o.d"
+  "CMakeFiles/bpsim_stats.dir/surface.cc.o"
+  "CMakeFiles/bpsim_stats.dir/surface.cc.o.d"
+  "CMakeFiles/bpsim_stats.dir/table_formatter.cc.o"
+  "CMakeFiles/bpsim_stats.dir/table_formatter.cc.o.d"
+  "libbpsim_stats.a"
+  "libbpsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/memory_trace.cc" "src/trace/CMakeFiles/bpsim_trace.dir/memory_trace.cc.o" "gcc" "src/trace/CMakeFiles/bpsim_trace.dir/memory_trace.cc.o.d"
+  "/root/repo/src/trace/text_trace.cc" "src/trace/CMakeFiles/bpsim_trace.dir/text_trace.cc.o" "gcc" "src/trace/CMakeFiles/bpsim_trace.dir/text_trace.cc.o.d"
+  "/root/repo/src/trace/trace_filter.cc" "src/trace/CMakeFiles/bpsim_trace.dir/trace_filter.cc.o" "gcc" "src/trace/CMakeFiles/bpsim_trace.dir/trace_filter.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/bpsim_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/bpsim_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/trace/CMakeFiles/bpsim_trace.dir/trace_stats.cc.o" "gcc" "src/trace/CMakeFiles/bpsim_trace.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bpsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

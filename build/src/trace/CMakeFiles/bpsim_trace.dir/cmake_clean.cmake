@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_trace.dir/memory_trace.cc.o"
+  "CMakeFiles/bpsim_trace.dir/memory_trace.cc.o.d"
+  "CMakeFiles/bpsim_trace.dir/text_trace.cc.o"
+  "CMakeFiles/bpsim_trace.dir/text_trace.cc.o.d"
+  "CMakeFiles/bpsim_trace.dir/trace_filter.cc.o"
+  "CMakeFiles/bpsim_trace.dir/trace_filter.cc.o.d"
+  "CMakeFiles/bpsim_trace.dir/trace_io.cc.o"
+  "CMakeFiles/bpsim_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/bpsim_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/bpsim_trace.dir/trace_stats.cc.o.d"
+  "libbpsim_trace.a"
+  "libbpsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

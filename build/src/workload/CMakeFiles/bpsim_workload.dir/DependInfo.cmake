@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/builder.cc" "src/workload/CMakeFiles/bpsim_workload.dir/builder.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/builder.cc.o.d"
+  "/root/repo/src/workload/executor.cc" "src/workload/CMakeFiles/bpsim_workload.dir/executor.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/executor.cc.o.d"
+  "/root/repo/src/workload/predicate.cc" "src/workload/CMakeFiles/bpsim_workload.dir/predicate.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/predicate.cc.o.d"
+  "/root/repo/src/workload/profiles.cc" "src/workload/CMakeFiles/bpsim_workload.dir/profiles.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/profiles.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/workload/CMakeFiles/bpsim_workload.dir/program.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/program.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/bpsim_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bpsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_workload.dir/builder.cc.o"
+  "CMakeFiles/bpsim_workload.dir/builder.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/executor.cc.o"
+  "CMakeFiles/bpsim_workload.dir/executor.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/predicate.cc.o"
+  "CMakeFiles/bpsim_workload.dir/predicate.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/profiles.cc.o"
+  "CMakeFiles/bpsim_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/program.cc.o"
+  "CMakeFiles/bpsim_workload.dir/program.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/synthetic.cc.o"
+  "CMakeFiles/bpsim_workload.dir/synthetic.cc.o.d"
+  "libbpsim_workload.a"
+  "libbpsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

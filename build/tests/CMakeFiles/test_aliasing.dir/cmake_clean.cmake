@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aliasing.dir/test_aliasing.cc.o"
+  "CMakeFiles/test_aliasing.dir/test_aliasing.cc.o.d"
+  "test_aliasing"
+  "test_aliasing.pdb"
+  "test_aliasing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aliasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

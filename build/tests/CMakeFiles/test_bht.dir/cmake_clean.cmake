@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bht.dir/test_bht.cc.o"
+  "CMakeFiles/test_bht.dir/test_bht.cc.o.d"
+  "test_bht"
+  "test_bht.pdb"
+  "test_bht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

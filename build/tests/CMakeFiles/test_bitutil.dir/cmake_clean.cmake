@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitutil.dir/test_bitutil.cc.o"
+  "CMakeFiles/test_bitutil.dir/test_bitutil.cc.o.d"
+  "test_bitutil"
+  "test_bitutil.pdb"
+  "test_bitutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

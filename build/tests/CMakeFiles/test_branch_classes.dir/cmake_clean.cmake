@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch_classes.dir/test_branch_classes.cc.o"
+  "CMakeFiles/test_branch_classes.dir/test_branch_classes.cc.o.d"
+  "test_branch_classes"
+  "test_branch_classes.pdb"
+  "test_branch_classes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

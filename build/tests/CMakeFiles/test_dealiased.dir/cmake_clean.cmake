@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dealiased.dir/test_dealiased.cc.o"
+  "CMakeFiles/test_dealiased.dir/test_dealiased.cc.o.d"
+  "test_dealiased"
+  "test_dealiased.pdb"
+  "test_dealiased[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dealiased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

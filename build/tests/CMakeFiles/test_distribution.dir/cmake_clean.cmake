@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distribution.dir/test_distribution.cc.o"
+  "CMakeFiles/test_distribution.dir/test_distribution.cc.o.d"
+  "test_distribution"
+  "test_distribution.pdb"
+  "test_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment.dir/test_experiment.cc.o"
+  "CMakeFiles/test_experiment.dir/test_experiment.cc.o.d"
+  "test_experiment"
+  "test_experiment.pdb"
+  "test_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gskew.dir/test_gskew.cc.o"
+  "CMakeFiles/test_gskew.dir/test_gskew.cc.o.d"
+  "test_gskew"
+  "test_gskew.pdb"
+  "test_gskew[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_register.dir/test_history_register.cc.o"
+  "CMakeFiles/test_history_register.dir/test_history_register.cc.o.d"
+  "test_history_register"
+  "test_history_register.pdb"
+  "test_history_register[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pht.dir/test_pht.cc.o"
+  "CMakeFiles/test_pht.dir/test_pht.cc.o.d"
+  "test_pht"
+  "test_pht.pdb"
+  "test_pht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

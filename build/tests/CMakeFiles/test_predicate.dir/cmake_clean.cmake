@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicate.dir/test_predicate.cc.o"
+  "CMakeFiles/test_predicate.dir/test_predicate.cc.o.d"
+  "test_predicate"
+  "test_predicate.pdb"
+  "test_predicate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

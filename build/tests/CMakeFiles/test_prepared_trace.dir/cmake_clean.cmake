@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prepared_trace.dir/test_prepared_trace.cc.o"
+  "CMakeFiles/test_prepared_trace.dir/test_prepared_trace.cc.o.d"
+  "test_prepared_trace"
+  "test_prepared_trace.pdb"
+  "test_prepared_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prepared_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

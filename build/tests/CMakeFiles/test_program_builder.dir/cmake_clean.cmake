@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program_builder.dir/test_program_builder.cc.o"
+  "CMakeFiles/test_program_builder.dir/test_program_builder.cc.o.d"
+  "test_program_builder"
+  "test_program_builder.pdb"
+  "test_program_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

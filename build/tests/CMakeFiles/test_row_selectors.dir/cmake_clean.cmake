@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_selectors.dir/test_row_selectors.cc.o"
+  "CMakeFiles/test_row_selectors.dir/test_row_selectors.cc.o.d"
+  "test_row_selectors"
+  "test_row_selectors.pdb"
+  "test_row_selectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

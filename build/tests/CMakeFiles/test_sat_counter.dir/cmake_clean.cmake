@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat_counter.dir/test_sat_counter.cc.o"
+  "CMakeFiles/test_sat_counter.dir/test_sat_counter.cc.o.d"
+  "test_sat_counter"
+  "test_sat_counter.pdb"
+  "test_sat_counter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_tournament.dir/test_static_tournament.cc.o"
+  "CMakeFiles/test_static_tournament.dir/test_static_tournament.cc.o.d"
+  "test_static_tournament"
+  "test_static_tournament.pdb"
+  "test_static_tournament[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface.dir/test_surface.cc.o"
+  "CMakeFiles/test_surface.dir/test_surface.cc.o.d"
+  "test_surface"
+  "test_surface.pdb"
+  "test_surface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep.dir/test_sweep.cc.o"
+  "CMakeFiles/test_sweep.dir/test_sweep.cc.o.d"
+  "test_sweep"
+  "test_sweep.pdb"
+  "test_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

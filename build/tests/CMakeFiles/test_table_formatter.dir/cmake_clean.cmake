@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_formatter.dir/test_table_formatter.cc.o"
+  "CMakeFiles/test_table_formatter.dir/test_table_formatter.cc.o.d"
+  "test_table_formatter"
+  "test_table_formatter.pdb"
+  "test_table_formatter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_formatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_trace.dir/test_text_trace.cc.o"
+  "CMakeFiles/test_text_trace.dir/test_text_trace.cc.o.d"
+  "test_text_trace"
+  "test_text_trace.pdb"
+  "test_text_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

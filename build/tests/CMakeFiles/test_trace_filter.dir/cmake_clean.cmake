@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_filter.dir/test_trace_filter.cc.o"
+  "CMakeFiles/test_trace_filter.dir/test_trace_filter.cc.o.d"
+  "test_trace_filter"
+  "test_trace_filter.pdb"
+  "test_trace_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_level.dir/test_two_level.cc.o"
+  "CMakeFiles/test_two_level.dir/test_two_level.cc.o.d"
+  "test_two_level"
+  "test_two_level.pdb"
+  "test_two_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
