@@ -27,7 +27,7 @@ main(int argc, char **argv)
     for (const std::string name : {"mpeg_play", "real_gcc"}) {
         PreparedTrace trace = prepareProfile(name, opts.branches);
         for (unsigned assoc : {1u, 2u, 4u, 8u}) {
-            SweepOptions o;
+            SweepOptions o = opts.sweepOptions({});
             o.minTotalBits = 12;
             o.maxTotalBits = 12;
             o.trackAliasing = false;

@@ -2,20 +2,25 @@
  * @file
  * Shared plumbing for the figure/table regeneration benches.
  *
- * Every bench binary accepts `branches=N` to rescale trace lengths and
+ * Every bench binary accepts `branches=N` to rescale trace lengths,
  * `csv=1` to emit machine-readable output alongside the paper-style
- * rendering.  Traces are generated fresh per run (deterministic seeds),
- * so bench output is exactly reproducible.
+ * rendering, and `threads=N` to bound the sweep engine's concurrency
+ * (0, the default, uses every hardware thread; 1 reproduces the old
+ * serial behaviour; results are identical either way).  Traces are
+ * generated fresh per run (deterministic seeds), so bench output is
+ * exactly reproducible.
  */
 
 #ifndef BPSIM_BENCH_BENCH_UTIL_HH
 #define BPSIM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sim/experiment.hh"
 #include "workload/profiles.hh"
 
@@ -28,6 +33,8 @@ struct BenchOptions
     std::uint64_t branches = 0;
     /** Emit CSV blocks after the human-readable tables. */
     bool csv = false;
+    /** Sweep executors: 0 = all hardware threads, 1 = serial. */
+    unsigned threads = 0;
 
     static BenchOptions
     parse(int argc, const char *const *argv)
@@ -37,7 +44,17 @@ struct BenchOptions
         o.branches =
             static_cast<std::uint64_t>(cfg.getInt("branches", 0));
         o.csv = cfg.getBool("csv", false);
+        o.threads =
+            static_cast<unsigned>(cfg.getInt("threads", 0));
         return o;
+    }
+
+    /** Sweep options with the bench thread knob applied. */
+    SweepOptions
+    sweepOptions(SweepOptions sweep) const
+    {
+        sweep.threads = threads;
+        return sweep;
     }
 };
 
@@ -59,6 +76,41 @@ emitSurface(const Surface &surface, const BenchOptions &opts,
     std::printf("%s\n", surface.render(true, signed_values).c_str());
     if (opts.csv)
         std::printf("%s\n", surface.renderCsv().c_str());
+}
+
+/** Wall-clock stopwatch for the speedup reporting below. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Report the run's wall clock and effective thread count.  Comparing
+ * against a threads=1 rerun gives the sweep speedup; the output is
+ * identical for any thread count, so the comparison is fair.
+ */
+inline void
+reportWallClock(const WallTimer &timer, const BenchOptions &opts)
+{
+    std::printf("\nwall clock: %.2f s at threads=%u (%u hardware "
+                "thread%s); rerun with threads=1 for the serial "
+                "baseline\n",
+                timer.seconds(),
+                ThreadPool::resolveThreads(opts.threads),
+                ThreadPool::hardwareThreads(),
+                ThreadPool::hardwareThreads() == 1 ? "" : "s");
 }
 
 } // namespace bpsim::bench

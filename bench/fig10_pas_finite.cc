@@ -19,8 +19,9 @@ main(int argc, char **argv)
     banner("Figure 10: PAs surfaces with finite first-level tables "
            "(mpeg_play, 4-way)");
 
+    WallTimer timer;
     PreparedTrace trace = prepareProfile("mpeg_play", opts.branches);
-    SweepOptions sweep = paperSweepOptions();
+    SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
     sweep.trackAliasing = false;
 
     SweepResult perfect =
@@ -53,5 +54,6 @@ main(int argc, char **argv)
                 "recover most of the loss and 2048 nearly all of it.  "
                 "Resources are better spent on the first level than on "
                 "an already-adequate second level.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -20,8 +20,9 @@ main(int argc, char **argv)
     BenchOptions opts = BenchOptions::parse(argc, argv);
     banner("Figure 2: misprediction rates of address-indexed "
            "predictors (16 .. 32768 counters)");
+    WallTimer timer;
 
-    SweepOptions sweep = paperSweepOptions();
+    SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
     sweep.trackAliasing = false;
 
     std::vector<std::string> headers = {"benchmark"};
@@ -49,5 +50,6 @@ main(int argc, char **argv)
                 "programs saturate early (no gain from bigger tables); "
                 "gcc and the IBS benchmarks keep improving because "
                 "aliasing persists even in large tables.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -17,8 +17,9 @@ main(int argc, char **argv)
     BenchOptions opts = BenchOptions::parse(argc, argv);
     banner("Figure 3: misprediction rates of GAg (global history into "
            "one column of counters)");
+    WallTimer timer;
 
-    SweepOptions sweep = paperSweepOptions();
+    SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
     sweep.trackAliasing = false;
 
     std::vector<std::string> headers = {"benchmark"};
@@ -46,5 +47,6 @@ main(int argc, char **argv)
                 "do better at short histories; the larger programs "
                 "need long histories before correlation outweighs "
                 "pattern aliasing.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -18,10 +18,11 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
     banner("Figure 4: misprediction surfaces for GAs schemes");
+    WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
         PreparedTrace trace = prepareProfile(name, opts.branches);
-        SweepOptions sweep = paperSweepOptions();
+        SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
         sweep.trackAliasing = false;
         SweepResult r = sweepScheme(trace, SchemeKind::GAs, sweep);
         emitSurface(r.misprediction, opts);
@@ -33,5 +34,6 @@ main(int argc, char **argv)
                 "small/moderate tables because history bits merge "
                 "distinct branches, and only large tables profit from "
                 "subcasing.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -17,11 +17,13 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
     banner("Figure 5: aliasing rates for GAs schemes");
+    WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
         PreparedTrace trace = prepareProfile(name, opts.branches);
-        SweepResult r =
-            sweepScheme(trace, SchemeKind::GAs, paperSweepOptions());
+        SweepResult r = sweepScheme(
+            trace, SchemeKind::GAs,
+            opts.sweepOptions(paperSweepOptions()));
         emitSurface(r.aliasing, opts);
 
         // Harmless share at the row-heavy edge of a large tier, where
@@ -41,5 +43,6 @@ main(int argc, char **argv)
                 "mpeg_play and real_gcc alias heavily even in moderate "
                 "tables.  For the large programs roughly a fifth of "
                 "row-heavy aliasing is the harmless all-ones pattern.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

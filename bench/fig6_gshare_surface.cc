@@ -16,10 +16,11 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
     banner("Figure 6: misprediction surfaces for gshare schemes");
+    WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
         PreparedTrace trace = prepareProfile(name, opts.branches);
-        SweepOptions sweep = paperSweepOptions();
+        SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
         sweep.trackAliasing = false;
         SweepResult r = sweepScheme(trace, SchemeKind::Gshare, sweep);
         emitSurface(r.misprediction, opts);
@@ -29,5 +30,6 @@ main(int argc, char **argv)
                 "surfaces (Figure 4).  Single-column configurations "
                 "are adequate for small benchmarks such as espresso "
                 "but suboptimal for the large ones.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -19,8 +19,9 @@ main(int argc, char **argv)
     banner("Figure 7: misprediction difference, gshare vs GAs "
            "(mpeg_play; positive = gshare superior)");
 
+    WallTimer timer;
     PreparedTrace trace = prepareProfile("mpeg_play", opts.branches);
-    SweepOptions sweep = paperSweepOptions();
+    SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
     sweep.trackAliasing = false;
 
     SweepResult gas = sweepScheme(trace, SchemeKind::GAs, sweep);
@@ -50,5 +51,6 @@ main(int argc, char **argv)
                 "gshare's wins cluster where the table has more rows "
                 "than columns (where aliasing is highest), which are "
                 "suboptimal configurations for both schemes anyway.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -18,8 +18,9 @@ main(int argc, char **argv)
     banner("Figure 8: misprediction difference, path vs GAs "
            "(mpeg_play; positive = path superior)");
 
+    WallTimer timer;
     PreparedTrace trace = prepareProfile("mpeg_play", opts.branches);
-    SweepOptions sweep = paperSweepOptions();
+    SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
     sweep.trackAliasing = false;
     sweep.pathBitsPerTarget = 2;
 
@@ -52,5 +53,6 @@ main(int argc, char **argv)
                 "slightly worse than GAs for equal-or-more-column "
                 "splits, because each event consumes several history "
                 "bits and fewer events fit in the register.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -15,10 +15,11 @@ main(int argc, char **argv)
     BenchOptions opts = BenchOptions::parse(argc, argv);
     banner("Figure 9: misprediction surfaces for PAs schemes with "
            "perfect histories");
+    WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
         PreparedTrace trace = prepareProfile(name, opts.branches);
-        SweepOptions sweep = paperSweepOptions();
+        SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
         sweep.trackAliasing = false;
         SweepResult r =
             sweepScheme(trace, SchemeKind::PAsPerfect, sweep);
@@ -45,5 +46,6 @@ main(int argc, char **argv)
                 "optimal or near-optimal because frequent self-history "
                 "patterns imply the same prediction across branches; "
                 "growing the second-level table adds little.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -88,6 +88,36 @@ sweepKernel(benchmark::State &state)
                             static_cast<std::int64_t>(t.size()));
 }
 
+/**
+ * The stream-cache effect: a finite-BHT point probe rebuilds the BHT
+ * history stream on every uncached call, while a caller-held
+ * StreamCache builds it once and replays only the kernel.
+ */
+void
+sweepKernelFiniteBht(benchmark::State &state)
+{
+    const PreparedTrace &t = prepared();
+    SweepOptions o;
+    o.trackAliasing = false;
+    o.bhtEntries = 256;
+    if (state.range(0)) {
+        StreamCache cache(t, o);
+        for (auto _ : state) {
+            ConfigResult r =
+                simulateConfig(cache, SchemeKind::PAsFinite, 6, 6);
+            benchmark::DoNotOptimize(r.mispRate);
+        }
+    } else {
+        for (auto _ : state) {
+            ConfigResult r =
+                simulateConfig(t, SchemeKind::PAsFinite, 6, 6, o);
+            benchmark::DoNotOptimize(r.mispRate);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+}
+
 void
 traceGeneration(benchmark::State &state)
 {
@@ -114,4 +144,5 @@ traceGeneration(benchmark::State &state)
 } // namespace
 
 BENCHMARK(sweepKernel)->Arg(0)->Arg(1)->ArgNames({"aliasing"});
+BENCHMARK(sweepKernelFiniteBht)->Arg(0)->Arg(1)->ArgNames({"cached"});
 BENCHMARK(traceGeneration)->Arg(100'000);

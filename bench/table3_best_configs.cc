@@ -70,12 +70,14 @@ main(int argc, char **argv)
     BenchOptions opts = BenchOptions::parse(argc, argv);
     banner("Table 3: best configurations for 512 / 4096 / 32768 "
            "counters");
+    WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
         PreparedTrace trace = prepareProfile(name, opts.branches);
         Table3Options t3;
         t3.budgetBits = {9, 12, 15};
         t3.bhtSizes = {2048, 1024, 128};
+        t3.threads = opts.threads;
         auto rows = bestConfigTable(trace, t3);
 
         std::printf("--- %s ---\n", name.c_str());
@@ -119,5 +121,6 @@ main(int argc, char **argv)
                 "(the 128-entry rows collapse); espresso converges for "
                 "all schemes with gshare/GAs slightly ahead at large "
                 "sizes.\n");
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -25,12 +25,14 @@ main(int argc, char **argv)
     // Shorter default than the profile traces: fourteen profiles x six
     // schemes is a lot of sweeping.
     std::uint64_t n = opts.branches ? opts.branches : 1'000'000;
+    WallTimer timer;
 
     for (const auto &name : profileNames()) {
         PreparedTrace trace = prepareProfile(name, n);
         Table3Options t3;
         t3.budgetBits = {9, 12, 15};
         t3.bhtSizes = {1024};
+        t3.threads = opts.threads;
         auto rows = bestConfigTable(trace, t3);
 
         std::printf("--- %s ---\n", name.c_str());
@@ -62,5 +64,6 @@ main(int argc, char **argv)
         if (opts.csv)
             std::printf("%s\n", table.renderCsv().c_str());
     }
+    reportWallClock(timer, opts);
     return 0;
 }

@@ -3,6 +3,7 @@
  * Aliasing anatomy for one workload -- the paper's central measurement.
  *
  *   ./aliasing_study [profile=mpeg_play] [branches=1000000]
+ *                    [threads=0]
  *
  * Prints, for a GAs predictor across table sizes and splits:
  *   - the aliasing (conflict) rate,
@@ -40,6 +41,7 @@ main(int argc, char **argv)
     opts.minTotalBits = 6;
     opts.maxTotalBits = 14;
     opts.trackAliasing = true;
+    opts.threads = static_cast<unsigned>(cfg.getInt("threads", 0));
     SweepResult gas = sweepScheme(trace, SchemeKind::GAs, opts);
 
     TableFormatter table({"counters", "split (rows x cols)",

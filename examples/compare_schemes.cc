@@ -5,7 +5,7 @@
  * does the answer change with program size?
  *
  *   ./compare_schemes [profile=real_gcc] [budget_bits=12]
- *                     [branches=1000000] [bht=1024]
+ *                     [branches=1000000] [bht=1024] [threads=0]
  *
  * For each scheme the full row/column configuration space at the budget
  * is swept and the best split is reported, plus a McFarling tournament
@@ -45,6 +45,7 @@ main(int argc, char **argv)
     opts.maxTotalBits = budget;
     opts.trackAliasing = true;
     opts.bhtEntries = bht;
+    opts.threads = static_cast<unsigned>(cfg.getInt("threads", 0));
 
     TableFormatter table({"scheme", "best config", "misprediction",
                           "aliasing", "harmless share"});

@@ -5,13 +5,18 @@
  *
  *   ./sweep_explorer [profile=real_gcc] [scheme=GAs] [min_bits=4]
  *                    [max_bits=15] [branches=1000000] [metric=misp]
- *                    [bht=1024] [assoc=4] [csv=0]
+ *                    [bht=1024] [assoc=4] [csv=0] [threads=0]
  *
  * scheme: addr | GAg | GAs | gshare | path | PAs | PAsBht
  * metric: misp | alias | harmless
+ * threads: concurrent trace replays (0 = all hardware threads,
+ *          1 = serial); the rendered surface is identical either way.
  */
 
+#include <chrono>
 #include <cstdio>
+
+#include "common/thread_pool.hh"
 
 #include "common/config.hh"
 #include "common/logging.hh"
@@ -63,9 +68,15 @@ main(int argc, char **argv)
     opts.trackAliasing = metric != "misp";
     opts.bhtEntries = static_cast<std::size_t>(cfg.getInt("bht", 1024));
     opts.bhtAssoc = static_cast<unsigned>(cfg.getInt("assoc", 4));
+    opts.threads = static_cast<unsigned>(cfg.getInt("threads", 0));
 
     PreparedTrace trace = prepareProfile(profile, branches);
+    auto sweep_start = std::chrono::steady_clock::now();
     SweepResult r = sweepScheme(trace, kind, opts);
+    double sweep_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
 
     const Surface *surface = &r.misprediction;
     if (metric == "alias")
@@ -92,5 +103,12 @@ main(int argc, char **argv)
                         best->colBits, best->value * 100.0);
         }
     }
+
+    std::printf("\nsweep wall clock: %.2f s at threads=%u (hardware "
+                "threads: %u); rerun with threads=1 for the serial "
+                "baseline\n",
+                sweep_seconds,
+                ThreadPool::resolveThreads(opts.threads),
+                ThreadPool::hardwareThreads());
     return 0;
 }

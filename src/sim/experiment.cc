@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "workload/synthetic.hh"
 
 namespace bpsim {
@@ -58,6 +59,7 @@ bestConfigTable(const PreparedTrace &trace, const Table3Options &opts)
 
     SweepOptions sweep_opts;
     sweep_opts.trackAliasing = false; // misprediction only; faster
+    sweep_opts.threads = opts.threads;
     unsigned lo = opts.budgetBits.front();
     unsigned hi = opts.budgetBits.front();
     for (unsigned b : opts.budgetBits) {
@@ -67,32 +69,52 @@ bestConfigTable(const PreparedTrace &trace, const Table3Options &opts)
     sweep_opts.minTotalBits = lo;
     sweep_opts.maxTotalBits = hi;
 
-    std::vector<BestConfigRow> rows;
-
-    rows.push_back(rowFromSweep(
-        "GAs", sweepScheme(trace, SchemeKind::GAs, sweep_opts),
-        opts.budgetBits, -1.0));
-    rows.push_back(rowFromSweep(
-        "gshare", sweepScheme(trace, SchemeKind::Gshare, sweep_opts),
-        opts.budgetBits, -1.0));
-    rows.push_back(rowFromSweep(
-        "PAs(inf)",
-        sweepScheme(trace, SchemeKind::PAsPerfect, sweep_opts),
-        opts.budgetBits, -1.0));
-
+    // Plan the paper's scheme lineup, then execute the per-scheme
+    // sweeps on the shared pool.  Each sweep parallelizes internally
+    // too; the pool caps the combined concurrency.
+    struct SchemeSweep
+    {
+        std::string name;
+        SchemeKind kind;
+        SweepOptions opts;
+    };
+    std::vector<SchemeSweep> plan = {
+        {"GAs", SchemeKind::GAs, sweep_opts},
+        {"gshare", SchemeKind::Gshare, sweep_opts},
+        {"PAs(inf)", SchemeKind::PAsPerfect, sweep_opts},
+    };
     for (std::size_t entries : opts.bhtSizes) {
         SweepOptions finite = sweep_opts;
         finite.bhtEntries = entries;
         finite.bhtAssoc = opts.bhtAssoc;
-        SweepResult sweep =
-            sweepScheme(trace, SchemeKind::PAsFinite, finite);
         std::ostringstream name;
         if (entries % 1024 == 0)
             name << "PAs(" << entries / 1024 << "k)";
         else
             name << "PAs(" << entries << ")";
-        rows.push_back(rowFromSweep(name.str(), sweep, opts.budgetBits,
-                                    sweep.bhtMissRate));
+        plan.push_back({name.str(), SchemeKind::PAsFinite, finite});
+    }
+
+    std::vector<SweepResult> sweeps(plan.size(),
+                                    SweepResult("", trace.name()));
+    const unsigned threads = ThreadPool::resolveThreads(opts.threads);
+    auto run_one = [&](std::size_t i) {
+        sweeps[i] = sweepScheme(trace, plan[i].kind, plan[i].opts);
+    };
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            run_one(i);
+    } else {
+        ThreadPool::shared().parallelFor(plan.size(), threads, run_one);
+    }
+
+    std::vector<BestConfigRow> rows;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        double miss = plan[i].kind == SchemeKind::PAsFinite
+                          ? sweeps[i].bhtMissRate
+                          : -1.0;
+        rows.push_back(rowFromSweep(plan[i].name, sweeps[i],
+                                    opts.budgetBits, miss));
     }
     return rows;
 }

@@ -50,6 +50,12 @@ struct Table3Options
     std::vector<unsigned> budgetBits = {9, 12, 15};
     std::vector<std::size_t> bhtSizes = {2048, 1024, 128};
     unsigned bhtAssoc = 4;
+    /**
+     * Concurrent executors across and within the per-scheme sweeps
+     * (0 = one per hardware thread, 1 = serial).  The row order and
+     * every value are identical for any setting.
+     */
+    unsigned threads = 1;
 };
 
 /** Compute the Table 3 rows for one prepared trace. */

@@ -1,9 +1,10 @@
 #include "sim/sweep.hh"
 
-#include <map>
+#include <set>
 
 #include "common/logging.hh"
 #include "common/sat_counter.hh"
+#include "common/thread_pool.hh"
 #include "stats/aliasing.hh"
 
 namespace bpsim {
@@ -134,6 +135,146 @@ schemeKindName(SchemeKind kind)
     return "?";
 }
 
+std::vector<ConfigJob>
+planSweep(SchemeKind kind, const SweepOptions &opts)
+{
+    bpsim_assert(opts.minTotalBits <= opts.maxTotalBits,
+                 "sweep tier range reversed");
+    std::vector<ConfigJob> jobs;
+    for (unsigned total = opts.minTotalBits; total <= opts.maxTotalBits;
+         ++total) {
+        for (unsigned r = 0; r <= total; ++r) {
+            unsigned c = total - r;
+            // Degenerate schemes contribute a single split per tier.
+            if (kind == SchemeKind::AddressIndexed && r != 0)
+                continue;
+            if (kind == SchemeKind::GAg && c != 0)
+                continue;
+            jobs.push_back(ConfigJob{kind, total, r, c});
+        }
+    }
+    return jobs;
+}
+
+StreamCache::StreamCache(const PreparedTrace &trace,
+                         const SweepOptions &opts)
+    : trace_(trace), opts_(opts)
+{
+}
+
+const std::vector<std::uint64_t> &
+StreamCache::pathStreamLocked()
+{
+    if (!path_)
+        path_ = trace_.pathHistoryStream(opts_.pathBitsPerTarget);
+    return *path_;
+}
+
+const StreamCache::BhtStream &
+StreamCache::bhtStreamLocked(unsigned row_bits)
+{
+    auto it = bht_.find(row_bits);
+    if (it == bht_.end()) {
+        BhtStream built;
+        built.stream = trace_.bhtHistoryStream(
+            opts_.bhtEntries, opts_.bhtAssoc, row_bits,
+            &built.missRate, opts_.bhtResetPolicy);
+        it = bht_.emplace(row_bits, std::move(built)).first;
+    }
+    return it->second;
+}
+
+void
+StreamCache::prepare(const std::vector<ConfigJob> &jobs,
+                     unsigned threads)
+{
+    bool need_path = false;
+    std::set<unsigned> widths;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const ConfigJob &job : jobs) {
+            if (job.kind == SchemeKind::Path && !path_)
+                need_path = true;
+            else if (job.kind == SchemeKind::PAsFinite &&
+                     bht_.find(job.rowBits) == bht_.end())
+                widths.insert(job.rowBits);
+        }
+    }
+
+    std::vector<std::function<void()>> builds;
+    if (need_path) {
+        builds.push_back([this] {
+            auto stream =
+                trace_.pathHistoryStream(opts_.pathBitsPerTarget);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!path_)
+                path_ = std::move(stream);
+        });
+    }
+    for (unsigned width : widths) {
+        builds.push_back([this, width] {
+            BhtStream built;
+            built.stream = trace_.bhtHistoryStream(
+                opts_.bhtEntries, opts_.bhtAssoc, width,
+                &built.missRate, opts_.bhtResetPolicy);
+            std::lock_guard<std::mutex> lock(mutex_);
+            bht_.emplace(width, std::move(built));
+        });
+    }
+
+    if (builds.empty())
+        return;
+    if (threads <= 1 || builds.size() == 1) {
+        for (auto &build : builds)
+            build();
+    } else {
+        ThreadPool::shared().parallelFor(
+            builds.size(), threads,
+            [&](std::size_t i) { builds[i](); });
+    }
+}
+
+const std::vector<std::uint64_t> *
+StreamCache::stream(SchemeKind kind, unsigned row_bits)
+{
+    if (kind == SchemeKind::Path) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return &pathStreamLocked();
+    }
+    if (kind == SchemeKind::PAsFinite) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return &bhtStreamLocked(row_bits).stream;
+    }
+    return nullptr;
+}
+
+double
+StreamCache::bhtMissRate(unsigned row_bits)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bhtStreamLocked(row_bits).missRate;
+}
+
+double
+StreamCache::sweepBhtMissRate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bht_.empty() ? -1.0 : bht_.rbegin()->second.missRate;
+}
+
+ConfigResult
+runConfigJob(const ConfigJob &job, StreamCache &cache)
+{
+    const std::vector<std::uint64_t> *aux =
+        cache.stream(job.kind, job.rowBits);
+    ConfigResult out =
+        runConfig(cache.trace(), job.kind, job.rowBits, job.colBits,
+                  cache.options().trackAliasing, aux);
+    if (job.kind == SchemeKind::PAsFinite)
+        out.bhtMissRate = cache.bhtMissRate(job.rowBits);
+    return out;
+}
+
 SweepResult::SweepResult(const std::string &scheme_name,
                          const std::string &trace_name)
     : misprediction(scheme_name + " misprediction: " + trace_name),
@@ -146,57 +287,48 @@ SweepResult
 sweepScheme(const PreparedTrace &trace, SchemeKind kind,
             const SweepOptions &opts)
 {
-    bpsim_assert(opts.minTotalBits <= opts.maxTotalBits,
-                 "sweep tier range reversed");
     SweepResult result(schemeKindName(kind), trace.name());
 
-    // Streams shared across configurations.
-    std::vector<std::uint64_t> path_stream;
-    if (kind == SchemeKind::Path)
-        path_stream = trace.pathHistoryStream(opts.pathBitsPerTarget);
-    // Finite-BHT streams depend on the row width (the reset prefix
-    // does); cache one per width.
-    std::map<unsigned, std::vector<std::uint64_t>> bht_streams;
+    // Plan: enumerate the space and precompute shared inputs.
+    const std::vector<ConfigJob> jobs = planSweep(kind, opts);
+    const unsigned threads = ThreadPool::resolveThreads(opts.threads);
+    StreamCache cache(trace, opts);
+    cache.prepare(jobs, threads);
 
-    for (unsigned total = opts.minTotalBits; total <= opts.maxTotalBits;
-         ++total) {
-        for (unsigned r = 0; r <= total; ++r) {
-            unsigned c = total - r;
-            // Degenerate schemes contribute a single split per tier.
-            if (kind == SchemeKind::AddressIndexed && r != 0)
-                continue;
-            if (kind == SchemeKind::GAg && c != 0)
-                continue;
+    // Execute: one deterministic result slot per job.
+    std::vector<ConfigResult> slots(jobs.size());
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            slots[i] = runConfigJob(jobs[i], cache);
+    } else {
+        ThreadPool::shared().parallelFor(
+            jobs.size(), threads,
+            [&](std::size_t i) { slots[i] = runConfigJob(jobs[i], cache); });
+    }
 
-            const std::vector<std::uint64_t> *aux = nullptr;
-            if (kind == SchemeKind::Path) {
-                aux = &path_stream;
-            } else if (kind == SchemeKind::PAsFinite) {
-                auto it = bht_streams.find(r);
-                if (it == bht_streams.end()) {
-                    double miss = 0.0;
-                    it = bht_streams
-                             .emplace(r, trace.bhtHistoryStream(
-                                             opts.bhtEntries,
-                                             opts.bhtAssoc, r, &miss,
-                                             opts.bhtResetPolicy))
-                             .first;
-                    result.bhtMissRate = miss;
-                }
-                aux = &it->second;
-            }
-
-            ConfigResult point = runConfig(trace, kind, r, c,
-                                           opts.trackAliasing, aux);
-            result.misprediction.add(total, r, c, point.mispRate);
-            if (opts.trackAliasing) {
-                result.aliasing.add(total, r, c, point.aliasRate);
-                result.harmless.add(total, r, c,
-                                    point.harmlessFraction);
-            }
+    // Merge in plan order: bit-identical to the serial sweep.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const ConfigJob &job = jobs[i];
+        result.misprediction.add(job.totalBits, job.rowBits,
+                                 job.colBits, slots[i].mispRate);
+        if (opts.trackAliasing) {
+            result.aliasing.add(job.totalBits, job.rowBits, job.colBits,
+                                slots[i].aliasRate);
+            result.harmless.add(job.totalBits, job.rowBits, job.colBits,
+                                slots[i].harmlessFraction);
         }
     }
+    if (kind == SchemeKind::PAsFinite)
+        result.bhtMissRate = cache.sweepBhtMissRate();
     return result;
+}
+
+ConfigResult
+simulateConfig(StreamCache &cache, SchemeKind kind, unsigned row_bits,
+               unsigned col_bits)
+{
+    ConfigJob job{kind, row_bits + col_bits, row_bits, col_bits};
+    return runConfigJob(job, cache);
 }
 
 ConfigResult
@@ -204,19 +336,8 @@ simulateConfig(const PreparedTrace &trace, SchemeKind kind,
                unsigned row_bits, unsigned col_bits,
                const SweepOptions &opts)
 {
-    std::vector<std::uint64_t> aux;
-    const std::vector<std::uint64_t> *aux_ptr = nullptr;
-    if (kind == SchemeKind::Path) {
-        aux = trace.pathHistoryStream(opts.pathBitsPerTarget);
-        aux_ptr = &aux;
-    } else if (kind == SchemeKind::PAsFinite) {
-        aux = trace.bhtHistoryStream(opts.bhtEntries, opts.bhtAssoc,
-                                     row_bits, nullptr,
-                                     opts.bhtResetPolicy);
-        aux_ptr = &aux;
-    }
-    return runConfig(trace, kind, row_bits, col_bits,
-                     opts.trackAliasing, aux_ptr);
+    StreamCache cache(trace, opts);
+    return simulateConfig(cache, kind, row_bits, col_bits);
 }
 
 } // namespace bpsim

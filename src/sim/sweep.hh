@@ -4,6 +4,15 @@
  * predictor-table budget, for every scheme in the paper, over a prepared
  * trace.  This is the engine behind Figures 2-10 and Table 3.
  *
+ * Sweeps run in two phases.  The *plan* phase (planSweep) enumerates the
+ * configuration space into ConfigJobs and a StreamCache precomputes
+ * every shared immutable input (the path-history stream and the
+ * per-row-width BHT streams with their miss rates).  The *execute*
+ * phase replays the trace once per job -- serially or on the shared
+ * ThreadPool, governed by SweepOptions::threads -- into per-job
+ * ConfigResult slots that are merged into Surfaces in plan order, so
+ * parallel results are bit-identical to the serial ones.
+ *
  * The sweep path is the fast counterpart of the online TwoLevelPredictor
  * (see prepared_trace.hh); their equivalence is pinned by tests.
  */
@@ -12,6 +21,10 @@
 #define BPSIM_SIM_SWEEP_HH
 
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
 
 #include "sim/prepared_trace.hh"
 #include "stats/surface.hh"
@@ -50,6 +63,11 @@ struct SweepOptions
     unsigned bhtAssoc = 4;
     /** PAsFinite: BHT miss-reset policy (ablation knob). */
     BhtResetPolicy bhtResetPolicy = BhtResetPolicy::C3ffPrefix;
+    /**
+     * Concurrent trace replays during execution: 0 = one per hardware
+     * thread, 1 = serial.  Results are identical either way.
+     */
+    unsigned threads = 1;
 };
 
 /** One configuration's measurements. */
@@ -59,7 +77,90 @@ struct ConfigResult
     double aliasRate = 0.0;
     /** Fraction of conflicts under the all-ones pattern. */
     double harmlessFraction = 0.0;
+    /** PAsFinite: first-level miss rate; negative when inapplicable. */
+    double bhtMissRate = -1.0;
 };
+
+/** One planned configuration: a 2^rowBits x 2^colBits table. */
+struct ConfigJob
+{
+    SchemeKind kind = SchemeKind::GAs;
+    unsigned totalBits = 0;
+    unsigned rowBits = 0;
+    unsigned colBits = 0;
+};
+
+/**
+ * Enumerate the jobs a sweep of @p kind executes, in merge order
+ * (budget ascending, then row bits ascending).  AddressIndexed
+ * contributes only the all-columns split and GAg only the all-rows
+ * split, matching the paper's Figures 2 and 3.
+ */
+std::vector<ConfigJob> planSweep(SchemeKind kind,
+                                 const SweepOptions &opts);
+
+/**
+ * Shared immutable first-level inputs for one (trace, options) pair:
+ * the path-history stream and the finite-BHT history streams (one per
+ * row width, because the 0xC3FF reset prefix differs by width) with
+ * their miss rates.
+ *
+ * prepare() builds every stream a job list needs up front -- in
+ * parallel when asked -- after which stream() is a read-only lookup
+ * safe to call from any number of executors.  Unprepared lookups build
+ * lazily under a lock, which keeps one-off simulateConfig() calls
+ * cheap to write.
+ */
+class StreamCache
+{
+  public:
+    StreamCache(const PreparedTrace &trace, const SweepOptions &opts);
+
+    const PreparedTrace &trace() const { return trace_; }
+    const SweepOptions &options() const { return opts_; }
+
+    /** Precompute the streams @p jobs need, @p threads at a time. */
+    void prepare(const std::vector<ConfigJob> &jobs, unsigned threads);
+
+    /**
+     * First-level stream feeding a job's row index, or nullptr for the
+     * schemes that index rows straight from the prepared trace.
+     */
+    const std::vector<std::uint64_t> *stream(SchemeKind kind,
+                                             unsigned row_bits);
+
+    /** BHT miss rate observed building the width-@p row_bits stream. */
+    double bhtMissRate(unsigned row_bits);
+
+    /**
+     * The miss rate a whole-sweep result reports: the widest stream
+     * built so far (all widths measure the same tag misses).  Negative
+     * until a BHT stream exists.
+     */
+    double sweepBhtMissRate() const;
+
+  private:
+    struct BhtStream
+    {
+        std::vector<std::uint64_t> stream;
+        double missRate = -1.0;
+    };
+
+    const std::vector<std::uint64_t> &pathStreamLocked();
+    const BhtStream &bhtStreamLocked(unsigned row_bits);
+
+    const PreparedTrace &trace_;
+    SweepOptions opts_;
+    mutable std::mutex mutex_;
+    std::optional<std::vector<std::uint64_t>> path_;
+    std::map<unsigned, BhtStream> bht_;
+};
+
+/**
+ * Execute one planned job against @p cache's trace.  Thread-safe once
+ * the cache is prepared for the job's scheme and row width.
+ */
+ConfigResult runConfigJob(const ConfigJob &job, StreamCache &cache);
 
 /** Surfaces over the whole configuration space of one scheme. */
 struct SweepResult
@@ -76,17 +177,25 @@ struct SweepResult
 
 /**
  * Sweep @p kind over every tier in [minTotalBits, maxTotalBits] and
- * every row/column split within each tier.  AddressIndexed contributes
- * only the all-columns split and GAg only the all-rows split, matching
- * the paper's Figures 2 and 3.
+ * every row/column split within each tier, using opts.threads
+ * concurrent trace replays.  The result is bit-identical for any
+ * thread count.
  */
 SweepResult sweepScheme(const PreparedTrace &trace, SchemeKind kind,
                         const SweepOptions &opts = {});
 
 /**
- * Measure a single configuration (2^row_bits x 2^col_bits).  Slower per
- * point than sweepScheme (first-level streams are rebuilt), intended for
- * spot checks and tests.
+ * Measure a single configuration (2^row_bits x 2^col_bits) through a
+ * caller-held cache, sharing first-level streams across calls.
+ */
+ConfigResult simulateConfig(StreamCache &cache, SchemeKind kind,
+                            unsigned row_bits, unsigned col_bits);
+
+/**
+ * Measure a single configuration with a transient cache.  Slower per
+ * point than the cache-taking overload when called repeatedly (the
+ * first-level streams are rebuilt per call); intended for spot checks
+ * and tests.
  */
 ConfigResult simulateConfig(const PreparedTrace &trace, SchemeKind kind,
                             unsigned row_bits, unsigned col_bits,

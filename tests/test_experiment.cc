@@ -105,6 +105,36 @@ TEST(Experiment, KiloEntryBhtNamesUseKSuffix)
     EXPECT_EQ(rows[5].scheme, "PAs(128)");
 }
 
+TEST(Experiment, BestConfigTableIdenticalAcrossThreadCounts)
+{
+    PreparedTrace t = smallPrepared();
+    Table3Options serial;
+    serial.budgetBits = {6, 8};
+    serial.bhtSizes = {64, 32};
+    serial.threads = 1;
+    Table3Options parallel = serial;
+    parallel.threads = 4;
+
+    auto rs = bestConfigTable(t, serial);
+    auto rp = bestConfigTable(t, parallel);
+    ASSERT_EQ(rs.size(), rp.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(rs[i].scheme, rp[i].scheme);
+        EXPECT_EQ(rs[i].bhtMissRate, rp[i].bhtMissRate);
+        ASSERT_EQ(rs[i].best.size(), rp[i].best.size());
+        for (std::size_t b = 0; b < rs[i].best.size(); ++b) {
+            ASSERT_EQ(rs[i].best[b].has_value(),
+                      rp[i].best[b].has_value());
+            if (!rs[i].best[b])
+                continue;
+            EXPECT_EQ(rs[i].best[b]->rowBits, rp[i].best[b]->rowBits);
+            EXPECT_EQ(rs[i].best[b]->colBits, rp[i].best[b]->colBits);
+            EXPECT_EQ(rs[i].best[b]->mispRate,
+                      rp[i].best[b]->mispRate);
+        }
+    }
+}
+
 TEST(Experiment, SmallerBhtIsNeverBetterThanBigger)
 {
     // The paper's central PAs claim: first-level capacity is the

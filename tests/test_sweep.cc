@@ -204,6 +204,132 @@ INSTANTIATE_TEST_SUITE_P(
         EquivCase{SchemeKind::PAsFinite, 4, 4},
         EquivCase{SchemeKind::PAsFinite, 0, 6}));
 
+namespace {
+
+/** Exact (bit-identical) surface comparison. */
+void
+expectSurfacesIdentical(const Surface &a, const Surface &b,
+                        const char *what)
+{
+    ASSERT_EQ(a.tiers().size(), b.tiers().size()) << what;
+    for (std::size_t t = 0; t < a.tiers().size(); ++t) {
+        const SurfaceTier &ta = a.tiers()[t];
+        const SurfaceTier &tb = b.tiers()[t];
+        ASSERT_EQ(ta.totalBits, tb.totalBits) << what;
+        ASSERT_EQ(ta.points.size(), tb.points.size()) << what;
+        for (std::size_t p = 0; p < ta.points.size(); ++p) {
+            EXPECT_EQ(ta.points[p].rowBits, tb.points[p].rowBits)
+                << what;
+            EXPECT_EQ(ta.points[p].colBits, tb.points[p].colBits)
+                << what;
+            // EXPECT_EQ, not NEAR: parallel execution must be
+            // bit-identical to the serial merge order.
+            EXPECT_EQ(ta.points[p].value, tb.points[p].value)
+                << what << " tier 2^" << ta.totalBits << " rows 2^"
+                << ta.points[p].rowBits;
+        }
+    }
+}
+
+} // namespace
+
+TEST(Sweep, PlanEnumeratesMergeOrder)
+{
+    SweepOptions o;
+    o.minTotalBits = 4;
+    o.maxTotalBits = 6;
+    auto jobs = planSweep(SchemeKind::GAs, o);
+    ASSERT_EQ(jobs.size(), 5u + 6u + 7u);
+    EXPECT_EQ(jobs.front().totalBits, 4u);
+    EXPECT_EQ(jobs.front().rowBits, 0u);
+    EXPECT_EQ(jobs.back().totalBits, 6u);
+    EXPECT_EQ(jobs.back().rowBits, 6u);
+    for (const auto &job : jobs)
+        EXPECT_EQ(job.rowBits + job.colBits, job.totalBits);
+
+    EXPECT_EQ(planSweep(SchemeKind::AddressIndexed, o).size(), 3u);
+    EXPECT_EQ(planSweep(SchemeKind::GAg, o).size(), 3u);
+}
+
+TEST(Sweep, ParallelSurfacesBitIdenticalToSerialForEveryScheme)
+{
+    PreparedTrace t(sharedWorkload());
+    for (SchemeKind kind :
+         {SchemeKind::AddressIndexed, SchemeKind::GAg, SchemeKind::GAs,
+          SchemeKind::Gshare, SchemeKind::Path, SchemeKind::PAsPerfect,
+          SchemeKind::PAsFinite}) {
+        SweepOptions serial;
+        serial.minTotalBits = 4;
+        serial.maxTotalBits = 9;
+        serial.trackAliasing = true;
+        serial.bhtEntries = 64;
+        serial.threads = 1;
+        SweepOptions parallel = serial;
+        parallel.threads = 4;
+
+        SweepResult rs = sweepScheme(t, kind, serial);
+        SweepResult rp = sweepScheme(t, kind, parallel);
+        const char *name = schemeKindName(kind);
+        expectSurfacesIdentical(rs.misprediction, rp.misprediction,
+                                name);
+        expectSurfacesIdentical(rs.aliasing, rp.aliasing, name);
+        expectSurfacesIdentical(rs.harmless, rp.harmless, name);
+        EXPECT_EQ(rs.bhtMissRate, rp.bhtMissRate) << name;
+    }
+}
+
+TEST(Sweep, ThreadsZeroSelectsHardwareConcurrencyAndStaysIdentical)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions serial;
+    serial.minTotalBits = 5;
+    serial.maxTotalBits = 8;
+    serial.threads = 1;
+    SweepOptions hw = serial;
+    hw.threads = 0; // all hardware threads
+    SweepResult rs = sweepScheme(t, SchemeKind::Gshare, serial);
+    SweepResult rh = sweepScheme(t, SchemeKind::Gshare, hw);
+    expectSurfacesIdentical(rs.misprediction, rh.misprediction,
+                            "gshare threads=0");
+}
+
+TEST(Sweep, SimulateConfigReportsBhtMissRate)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.bhtEntries = 32;
+    o.bhtAssoc = 2;
+    ConfigResult finite =
+        simulateConfig(t, SchemeKind::PAsFinite, 5, 3, o);
+    EXPECT_GT(finite.bhtMissRate, 0.0);
+    EXPECT_LT(finite.bhtMissRate, 1.0);
+
+    // Inapplicable for schemes without a first-level table.
+    ConfigResult gas = simulateConfig(t, SchemeKind::GAs, 5, 3, o);
+    EXPECT_LT(gas.bhtMissRate, 0.0);
+}
+
+TEST(Sweep, StreamCacheReuseMatchesTransientCalls)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.trackAliasing = true;
+    o.bhtEntries = 64;
+
+    StreamCache cache(t, o);
+    for (SchemeKind kind :
+         {SchemeKind::Path, SchemeKind::PAsFinite, SchemeKind::GAs}) {
+        for (unsigned r : {3u, 5u}) {
+            ConfigResult cached = simulateConfig(cache, kind, r, 4);
+            ConfigResult fresh = simulateConfig(t, kind, r, 4, o);
+            EXPECT_EQ(cached.mispRate, fresh.mispRate);
+            EXPECT_EQ(cached.aliasRate, fresh.aliasRate);
+            EXPECT_EQ(cached.harmlessFraction, fresh.harmlessFraction);
+            EXPECT_EQ(cached.bhtMissRate, fresh.bhtMissRate);
+        }
+    }
+}
+
 TEST(Sweep, SweepAgreesWithSimulateConfig)
 {
     PreparedTrace t(sharedWorkload());

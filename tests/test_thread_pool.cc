@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the shared worker pool behind the sweep engine: exact
+ * once-per-index execution, deterministic result slots, exception
+ * propagation, nested-batch liveness, and submit() futures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using namespace bpsim;
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToHardware)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(0),
+              ThreadPool::hardwareThreads());
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(7), 7u);
+}
+
+TEST(ThreadPool, SharedPoolIsASingleton)
+{
+    EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+    EXPECT_GE(ThreadPool::shared().workerCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 10'000;
+    std::vector<std::atomic<int>> visits(n);
+    pool.parallelFor(n, 4,
+                     [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForZeroJobsReturnsImmediately)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, 2, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ResultSlotsMatchSerialForAnyThreadCount)
+{
+    constexpr std::size_t n = 513;
+    auto job = [](std::size_t i) {
+        // Arbitrary but deterministic per-index arithmetic.
+        double v = 0.0;
+        for (std::size_t k = 0; k <= i % 97; ++k)
+            v += static_cast<double>(i * 31 + k) / 7.0;
+        return v;
+    };
+
+    std::vector<double> serial(n);
+    for (std::size_t i = 0; i < n; ++i)
+        serial[i] = job(i);
+
+    for (unsigned threads : {1u, 2u, 4u, 16u}) {
+        ThreadPool pool(threads);
+        std::vector<double> slots(n);
+        pool.parallelFor(n, threads,
+                         [&](std::size_t i) { slots[i] = job(i); });
+        EXPECT_EQ(slots, serial) << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, MaxThreadsOneIsAPlainSerialLoop)
+{
+    ThreadPool pool(4);
+    std::vector<std::size_t> order;
+    pool.parallelFor(64, 1,
+                     [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 64u);
+    // Serial degenerate case preserves index order exactly.
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndCancelsRemainingJobs)
+{
+    ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        pool.parallelFor(10'000, 2,
+                         [&](std::size_t i) {
+                             executed.fetch_add(1);
+                             if (i == 3)
+                                 throw std::runtime_error("job 3");
+                         }),
+        std::runtime_error);
+    // Cancellation keeps the batch from draining the full range.
+    EXPECT_LT(executed.load(), 10'000);
+
+    // The pool survives a failed batch.
+    std::atomic<int> after{0};
+    pool.parallelFor(100, 2,
+                     [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPool, SerialPathPropagatesExceptionsToo)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(
+                     8, 1,
+                     [](std::size_t i) {
+                         if (i == 5)
+                             throw std::logic_error("serial");
+                     }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // An outer batch whose jobs each run an inner batch on the same
+    // pool -- the bestConfigTable-over-sweepScheme shape.  The caller
+    // always participates in its own batch, so this must complete even
+    // when every worker is occupied by outer jobs.
+    ThreadPool pool(2);
+    constexpr std::size_t outer = 8, inner = 50;
+    std::vector<std::atomic<int>> counts(outer);
+    pool.parallelFor(outer, 4, [&](std::size_t o) {
+        pool.parallelFor(inner, 4, [&](std::size_t) {
+            counts[o].fetch_add(1);
+        });
+    });
+    for (std::size_t o = 0; o < outer; ++o)
+        EXPECT_EQ(counts[o].load(), static_cast<int>(inner));
+}
+
+TEST(ThreadPool, SubmitDeliversResultThroughFuture)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitDeliversExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit(
+        []() -> int { throw std::runtime_error("submitted"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyMoreJobsThanWorkersDrain)
+{
+    ThreadPool pool(3);
+    std::atomic<std::uint64_t> sum{0};
+    constexpr std::size_t n = 100'000;
+    pool.parallelFor(n, 8, [&](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
