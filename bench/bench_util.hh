@@ -22,6 +22,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/experiment.hh"
+#include "verify/golden.hh"
 #include "workload/profiles.hh"
 
 namespace bpsim::bench {
@@ -29,12 +30,29 @@ namespace bpsim::bench {
 /** Common bench options parsed from argv. */
 struct BenchOptions
 {
+    /** Golden-regression mode (see golden.hh and EXPERIMENTS.md). */
+    enum class GoldenMode
+    {
+        Off,   ///< normal run, nothing recorded
+        Emit,  ///< write the run's results as the new golden file
+        Check, ///< compare the run against the golden file; exit 1
+               ///< on drift
+    };
+
     /** Override for conditional-trace length (0 = profile default). */
     std::uint64_t branches = 0;
     /** Emit CSV blocks after the human-readable tables. */
     bool csv = false;
     /** Sweep executors: 0 = all hardware threads, 1 = serial. */
     unsigned threads = 0;
+
+    GoldenMode goldenMode = GoldenMode::Off;
+    /** Golden file path (default: <bench-name>.golden in cwd). */
+    std::string goldenFile;
+    /** Comparator tolerance (absolute + relative, golden.hh). */
+    double goldenTol = 1e-9;
+    /** Results recorded during the run when a golden mode is on. */
+    verify::GoldenRecorder golden;
 
     static BenchOptions
     parse(int argc, const char *const *argv)
@@ -46,6 +64,31 @@ struct BenchOptions
         o.csv = cfg.getBool("csv", false);
         o.threads =
             static_cast<unsigned>(cfg.getInt("threads", 0));
+
+        // golden=emit|check (or the flag spellings --emit-golden /
+        // --check-golden), golden_file=..., golden_tol=...
+        std::string mode = cfg.getString("golden", "off");
+        for (const std::string &arg : cfg.positional()) {
+            if (arg == "--emit-golden")
+                mode = "emit";
+            else if (arg == "--check-golden")
+                mode = "check";
+        }
+        if (mode == "emit")
+            o.goldenMode = GoldenMode::Emit;
+        else if (mode == "check")
+            o.goldenMode = GoldenMode::Check;
+        else if (mode != "off")
+            bpsim_fatal("golden= must be off, emit or check, got '",
+                        mode, "'");
+
+        std::string stem = argc > 0 ? argv[0] : "bench";
+        auto slash = stem.find_last_of('/');
+        if (slash != std::string::npos)
+            stem = stem.substr(slash + 1);
+        o.goldenFile =
+            cfg.getString("golden_file", stem + ".golden");
+        o.goldenTol = cfg.getDouble("golden_tol", 1e-9);
         return o;
     }
 
@@ -55,6 +98,59 @@ struct BenchOptions
     {
         sweep.threads = threads;
         return sweep;
+    }
+
+    /** Record one scalar result (no-op when golden mode is off). */
+    void
+    gold(const std::string &key, double value)
+    {
+        if (goldenMode != GoldenMode::Off)
+            golden.record(key, value);
+    }
+
+    /** Record a whole surface (no-op when golden mode is off). */
+    void
+    goldSurface(const std::string &prefix, const Surface &surface)
+    {
+        if (goldenMode != GoldenMode::Off)
+            golden.recordSurface(prefix, surface);
+    }
+
+    /**
+     * Finish the golden phase: write the file (emit), compare and
+     * report drift (check), or do nothing (off).
+     * @return the process exit code the driver should return
+     */
+    int
+    goldenFinish()
+    {
+        switch (goldenMode) {
+          case GoldenMode::Off:
+            return 0;
+          case GoldenMode::Emit:
+            golden.writeFile(goldenFile);
+            std::printf("\ngolden: wrote %zu values to %s\n",
+                        golden.size(), goldenFile.c_str());
+            return 0;
+          case GoldenMode::Check: {
+            auto problems = golden.compareTo(goldenFile, goldenTol);
+            if (problems.empty()) {
+                std::printf("\ngolden: %zu values match %s "
+                            "(tolerance %g)\n",
+                            golden.size(), goldenFile.c_str(),
+                            goldenTol);
+                return 0;
+            }
+            std::fprintf(stderr,
+                         "\ngolden: %zu problem(s) against %s:\n",
+                         problems.size(), goldenFile.c_str());
+            for (const std::string &problem : problems)
+                std::fprintf(stderr, "golden:   %s\n",
+                             problem.c_str());
+            return 1;
+          }
+        }
+        return 0;
     }
 };
 

@@ -36,6 +36,10 @@ main(int argc, char **argv)
         std::printf("--- %zu-entry 4-way BHT (miss rate %.2f%%) ---\n",
                     entries, r.bhtMissRate * 100.0);
         emitSurface(r.misprediction, opts);
+        std::string prefix =
+            "fig10/mpeg_play/bht" + std::to_string(entries);
+        opts.goldSurface(prefix, r.misprediction);
+        opts.gold(prefix + "/miss_rate", r.bhtMissRate);
 
         // Penalty vs the infinite first level at the single-column
         // 2^15 configuration the paper quotes.
@@ -55,5 +59,5 @@ main(int argc, char **argv)
                 "Resources are better spent on the first level than on "
                 "an already-adequate second level.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

@@ -39,6 +39,9 @@ main(int argc, char **argv)
              ++n) {
             auto v = r.misprediction.at(n, 0);
             row.push_back(v ? TableFormatter::percent(*v) : "-");
+            if (v)
+                opts.gold("fig2/" + name + "/t" + std::to_string(n),
+                          *v);
         }
         table.addRow(row);
         if (opts.csv)
@@ -51,5 +54,5 @@ main(int argc, char **argv)
                 "gcc and the IBS benchmarks keep improving because "
                 "aliasing persists even in large tables.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

@@ -35,6 +35,9 @@ main(int argc, char **argv)
              ++n) {
             auto v = r.misprediction.at(n, n);
             row.push_back(v ? TableFormatter::percent(*v) : "-");
+            if (v)
+                opts.gold("fig3/" + name + "/t" + std::to_string(n),
+                          *v);
         }
         table.addRow(row);
         if (opts.csv)
@@ -48,5 +51,5 @@ main(int argc, char **argv)
                 "need long histories before correlation outweighs "
                 "pattern aliasing.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

@@ -26,6 +26,7 @@ main(int argc, char **argv)
         sweep.trackAliasing = false;
         SweepResult r = sweepScheme(trace, SchemeKind::GAs, sweep);
         emitSurface(r.misprediction, opts);
+        opts.goldSurface("fig4/" + name, r.misprediction);
     }
 
     std::printf("Expected shape (paper): espresso's surface rewards "
@@ -35,5 +36,5 @@ main(int argc, char **argv)
                 "distinct branches, and only large tables profit from "
                 "subcasing.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

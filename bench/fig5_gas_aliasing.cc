@@ -25,6 +25,8 @@ main(int argc, char **argv)
             trace, SchemeKind::GAs,
             opts.sweepOptions(paperSweepOptions()));
         emitSurface(r.aliasing, opts);
+        opts.goldSurface("fig5/" + name + "/alias", r.aliasing);
+        opts.goldSurface("fig5/" + name + "/harmless", r.harmless);
 
         // Harmless share at the row-heavy edge of a large tier, where
         // the all-ones loop pattern dominates.
@@ -44,5 +46,5 @@ main(int argc, char **argv)
                 "tables.  For the large programs roughly a fifth of "
                 "row-heavy aliasing is the harmless all-ones pattern.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

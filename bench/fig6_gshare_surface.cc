@@ -24,6 +24,7 @@ main(int argc, char **argv)
         sweep.trackAliasing = false;
         SweepResult r = sweepScheme(trace, SchemeKind::Gshare, sweep);
         emitSurface(r.misprediction, opts);
+        opts.goldSurface("fig6/" + name, r.misprediction);
     }
 
     std::printf("Expected shape (paper): almost identical to the GAs "
@@ -31,5 +32,5 @@ main(int argc, char **argv)
                 "are adequate for small benchmarks such as espresso "
                 "but suboptimal for the large ones.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

@@ -30,6 +30,7 @@ main(int argc, char **argv)
     Surface diff = gas.misprediction.difference(
         gshare.misprediction, "GAs minus gshare: mpeg_play");
     emitSurface(diff, opts, /*signed_values=*/true);
+    opts.goldSurface("fig7/mpeg_play/diff", diff);
 
     // Summarise where gshare wins.
     unsigned wins_row_heavy = 0, wins_col_heavy = 0;
@@ -52,5 +53,5 @@ main(int argc, char **argv)
                 "than columns (where aliasing is highest), which are "
                 "suboptimal configurations for both schemes anyway.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

@@ -30,6 +30,7 @@ main(int argc, char **argv)
     Surface diff = gas.misprediction.difference(
         path.misprediction, "GAs minus path: mpeg_play");
     emitSurface(diff, opts, /*signed_values=*/true);
+    opts.goldSurface("fig8/mpeg_play/diff", diff);
 
     // Nair's own diagnosis: multi-bit target codes shorten the
     // reachable history, so with balanced or row-light splits the path
@@ -54,5 +55,5 @@ main(int argc, char **argv)
                 "splits, because each event consumes several history "
                 "bits and fewer events fit in the register.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

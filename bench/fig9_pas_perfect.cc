@@ -24,6 +24,7 @@ main(int argc, char **argv)
         SweepResult r =
             sweepScheme(trace, SchemeKind::PAsPerfect, sweep);
         emitSurface(r.misprediction, opts);
+        opts.goldSurface("fig9/" + name, r.misprediction);
 
         // The paper's flatness observation: compare a tier's best
         // against its single-column configuration.
@@ -47,5 +48,5 @@ main(int argc, char **argv)
                 "patterns imply the same prediction across branches; "
                 "growing the second-level table adds little.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

@@ -53,10 +53,19 @@ main(int argc, char **argv)
         table.addRow({name,
                       TableFormatter::integer(ch.dynamicInstructions()),
                       density, statics, covering});
+
+        opts.gold("table1/" + name + "/dyn_instrs",
+                  static_cast<double>(ch.dynamicInstructions()));
+        opts.gold("table1/" + name + "/cond_density",
+                  ch.conditionalDensity());
+        opts.gold("table1/" + name + "/static_cond",
+                  static_cast<double>(ch.staticConditionals()));
+        opts.gold("table1/" + name + "/covering90",
+                  static_cast<double>(ch.staticCovering(0.90)));
     }
 
     std::printf("%s", table.render().c_str());
     if (opts.csv)
         std::printf("\n%s", table.renderCsv().c_str());
-    return 0;
+    return opts.goldenFinish();
 }

@@ -42,6 +42,10 @@ main(int argc, char **argv)
                                   statics : 0.0,
                           paper_row.quartiles[i]);
             row.push_back(cell);
+            opts.gold("table2/" + paper_row.name + "/q" +
+                          std::to_string(i),
+                      static_cast<double>(
+                          quart[static_cast<std::size_t>(i)]));
         }
         table.addRow(row);
     }
@@ -51,5 +55,5 @@ main(int argc, char **argv)
                 "(paper count)\n");
     if (opts.csv)
         std::printf("\n%s", table.renderCsv().c_str());
-    return 0;
+    return opts.goldenFinish();
 }

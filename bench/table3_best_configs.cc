@@ -108,6 +108,21 @@ main(int argc, char **argv)
                 cells.push_back(buf);
             }
             table.addRow(cells);
+
+            std::string prefix = "table3/" + name + "/" + row.scheme;
+            if (row.bhtMissRate >= 0)
+                opts.gold(prefix + "/bht_miss", row.bhtMissRate);
+            for (std::size_t i = 0; i < t3.budgetBits.size(); ++i) {
+                if (!row.best[i])
+                    continue;
+                std::string at = prefix + "/b" +
+                    std::to_string(t3.budgetBits[i]);
+                opts.gold(at + "/misp", row.best[i]->mispRate);
+                opts.gold(at + "/row_bits",
+                          static_cast<double>(row.best[i]->rowBits));
+                opts.gold(at + "/col_bits",
+                          static_cast<double>(row.best[i]->colBits));
+            }
         }
         std::printf("%s\n", table.render().c_str());
         if (opts.csv)
@@ -122,5 +137,5 @@ main(int argc, char **argv)
                 "all schemes with gshare/GAs slightly ahead at large "
                 "sizes.\n");
     reportWallClock(timer, opts);
-    return 0;
+    return opts.goldenFinish();
 }

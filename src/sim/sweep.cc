@@ -165,8 +165,10 @@ StreamCache::StreamCache(const PreparedTrace &trace,
 const std::vector<std::uint64_t> &
 StreamCache::pathStreamLocked()
 {
-    if (!path_)
+    if (!path_) {
         path_ = trace_.pathHistoryStream(opts_.pathBitsPerTarget);
+        ++streamBuilds_;
+    }
     return *path_;
 }
 
@@ -179,6 +181,7 @@ StreamCache::bhtStreamLocked(unsigned row_bits)
         built.stream = trace_.bhtHistoryStream(
             opts_.bhtEntries, opts_.bhtAssoc, row_bits,
             &built.missRate, opts_.bhtResetPolicy);
+        ++streamBuilds_;
         it = bht_.emplace(row_bits, std::move(built)).first;
     }
     return it->second;
@@ -207,6 +210,7 @@ StreamCache::prepare(const std::vector<ConfigJob> &jobs,
             auto stream =
                 trace_.pathHistoryStream(opts_.pathBitsPerTarget);
             std::lock_guard<std::mutex> lock(mutex_);
+            ++streamBuilds_;
             if (!path_)
                 path_ = std::move(stream);
         });
@@ -218,6 +222,7 @@ StreamCache::prepare(const std::vector<ConfigJob> &jobs,
                 opts_.bhtEntries, opts_.bhtAssoc, width,
                 &built.missRate, opts_.bhtResetPolicy);
             std::lock_guard<std::mutex> lock(mutex_);
+            ++streamBuilds_;
             bht_.emplace(width, std::move(built));
         });
     }
@@ -253,6 +258,13 @@ StreamCache::bhtMissRate(unsigned row_bits)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return bhtStreamLocked(row_bits).missRate;
+}
+
+std::size_t
+StreamCache::streamBuilds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return streamBuilds_;
 }
 
 double

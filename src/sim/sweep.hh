@@ -133,6 +133,14 @@ class StreamCache
     double bhtMissRate(unsigned row_bits);
 
     /**
+     * Number of first-level streams computed so far (path stream plus
+     * one per distinct BHT row width).  Repeated probes of the same
+     * configuration must not grow this -- the reuse invariant the
+     * differential tests pin.
+     */
+    std::size_t streamBuilds() const;
+
+    /**
      * The miss rate a whole-sweep result reports: the widest stream
      * built so far (all widths measure the same tag misses).  Negative
      * until a BHT stream exists.
@@ -154,6 +162,7 @@ class StreamCache
     mutable std::mutex mutex_;
     std::optional<std::vector<std::uint64_t>> path_;
     std::map<unsigned, BhtStream> bht_;
+    std::size_t streamBuilds_ = 0;
 };
 
 /**

@@ -1,0 +1,145 @@
+#include "verify/golden.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bpsim::verify {
+namespace {
+
+/** Keys are whitespace-free tokens; normalise anything a driver
+ *  passes (profile names with spaces, etc.). */
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out = key;
+    for (char &c : out) {
+        if (c == ' ' || c == '\t' || c == '\n')
+            c = '_';
+    }
+    return out;
+}
+
+std::string
+formatValue(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+bool
+goldenClose(double a, double b, double tolerance)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::isnan(a) && std::isnan(b);
+    double scale = std::max(std::abs(a), std::abs(b));
+    return std::abs(a - b) <= tolerance + tolerance * scale;
+}
+
+void
+GoldenRecorder::record(const std::string &key, double value)
+{
+    auto [it, inserted] = values_.emplace(sanitizeKey(key), value);
+    if (!inserted) {
+        throw std::logic_error("golden key recorded twice: " +
+                               it->first);
+    }
+}
+
+void
+GoldenRecorder::recordSurface(const std::string &prefix,
+                              const Surface &surface)
+{
+    for (const SurfaceTier &tier : surface.tiers()) {
+        for (const SurfacePoint &point : tier.points) {
+            std::ostringstream key;
+            key << prefix << "/t" << tier.totalBits << "/r"
+                << point.rowBits << "c" << point.colBits;
+            record(key.str(), point.value);
+        }
+    }
+}
+
+void
+GoldenRecorder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("cannot write golden file: " + path);
+    }
+    out << "# bpsim golden results -- regenerate with golden=emit\n";
+    for (const auto &[key, value] : values_)
+        out << key << ' ' << formatValue(value) << '\n';
+    out.flush();
+    if (!out) {
+        throw std::runtime_error("write failed for golden file: " +
+                                 path);
+    }
+}
+
+std::map<std::string, double>
+GoldenRecorder::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("cannot read golden file: " + path);
+    }
+    std::map<std::string, double> values;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string key;
+        double value;
+        if (!(fields >> key >> value)) {
+            std::ostringstream msg;
+            msg << "malformed golden line " << lineno << " in " << path
+                << ": " << line;
+            throw std::runtime_error(msg.str());
+        }
+        values[key] = value;
+    }
+    return values;
+}
+
+std::vector<std::string>
+GoldenRecorder::compareTo(const std::string &path,
+                          double tolerance) const
+{
+    std::map<std::string, double> golden = loadFile(path);
+    std::vector<std::string> problems;
+
+    for (const auto &[key, actual] : values_) {
+        auto it = golden.find(key);
+        if (it == golden.end()) {
+            problems.push_back("extra key (not in golden file): " +
+                               key + " = " + formatValue(actual));
+            continue;
+        }
+        if (!goldenClose(actual, it->second, tolerance)) {
+            std::ostringstream msg;
+            msg << "value drift: " << key << " golden "
+                << formatValue(it->second) << " vs actual "
+                << formatValue(actual) << " (|delta| "
+                << formatValue(std::abs(actual - it->second)) << ")";
+            problems.push_back(msg.str());
+        }
+    }
+    for (const auto &[key, expected] : golden) {
+        if (!values_.count(key)) {
+            problems.push_back("missing key (in golden file only): " +
+                               key + " = " + formatValue(expected));
+        }
+    }
+    return problems;
+}
+
+} // namespace bpsim::verify

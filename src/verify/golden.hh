@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Golden-figure regression support: record named scalar results from a
+ * bench driver, write them to a committed golden file, and compare a
+ * fresh run against that file with a tolerance-aware comparator.
+ *
+ * The file format is deliberately trivial -- one `key value` pair per
+ * line, keys sorted, values printed with enough digits to round-trip a
+ * double -- so golden diffs in review show exactly which paper figure
+ * moved and by how much.
+ */
+
+#ifndef BPSIM_VERIFY_GOLDEN_HH
+#define BPSIM_VERIFY_GOLDEN_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/surface.hh"
+
+namespace bpsim::verify {
+
+/**
+ * Are two golden values equal within @p tolerance?  The check combines
+ * an absolute and a relative term (|a-b| <= tol + tol*max(|a|,|b|)) so
+ * it works for rates near zero and for large raw counts alike.
+ */
+bool goldenClose(double a, double b, double tolerance);
+
+/** Accumulates named results during one bench run. */
+class GoldenRecorder
+{
+  public:
+    /** Record one scalar; keys must be unique within a run. */
+    void record(const std::string &key, double value);
+
+    /** Record every point of a surface under `prefix/t<T>/r<R>c<C>`. */
+    void recordSurface(const std::string &prefix,
+                       const Surface &surface);
+
+    bool empty() const { return values_.empty(); }
+    std::size_t size() const { return values_.size(); }
+    const std::map<std::string, double> &values() const
+    {
+        return values_;
+    }
+
+    /** Write the recorded values as a golden file (throws on I/O
+     *  failure). */
+    void writeFile(const std::string &path) const;
+
+    /**
+     * Compare recorded values against the golden file at @p path.
+     * @return one human-readable line per problem: value out of
+     *         tolerance, key in the file but not recorded, or key
+     *         recorded but missing from the file.  Empty means pass.
+     */
+    std::vector<std::string> compareTo(const std::string &path,
+                                       double tolerance) const;
+
+    /** Parse a golden file (throws std::runtime_error if unreadable
+     *  or malformed). */
+    static std::map<std::string, double>
+    loadFile(const std::string &path);
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace bpsim::verify
+
+#endif // BPSIM_VERIFY_GOLDEN_HH

@@ -1,0 +1,764 @@
+/**
+ * @file
+ * Naive reference implementations of every predictor scheme.
+ *
+ * Everything here is intentionally pedestrian: histories are vectors of
+ * 0/1 ints shifted one element at a time, counters are ints moved with
+ * if/else, tables are indexed with hand-rolled low-bit extraction, and
+ * the finite BHT is a linear scan over a vector of entries.  Do not
+ * optimise this file -- its only job is to be obviously correct so the
+ * differential fuzzer can hold the fast engine to it.
+ */
+
+#include "verify/reference_model.hh"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace bpsim::verify {
+namespace {
+
+/** Low @p nbits bits of @p v, one bit at a time (no mask tables). */
+std::uint64_t
+naiveLowBits(std::uint64_t v, unsigned nbits)
+{
+    if (nbits >= 64)
+        return v;
+    std::uint64_t out = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+        if ((v >> i) & 1u)
+            out |= std::uint64_t{1} << i;
+    }
+    return out;
+}
+
+/** Branches are word aligned; tables see the address in words. */
+std::uint64_t
+naiveWordIndex(std::uint64_t pc)
+{
+    return pc / 4;
+}
+
+/** log2 of a power of two, by counting doublings. */
+unsigned
+naiveLog2(std::uint64_t v)
+{
+    unsigned n = 0;
+    std::uint64_t probe = 1;
+    while (probe < v) {
+        probe *= 2;
+        ++n;
+    }
+    if (probe != v)
+        throw std::invalid_argument("reference model: not a power of 2");
+    return n;
+}
+
+/**
+ * A two-bit saturating counter as a plain int:
+ * 0 strongly not-taken, 1 weakly not-taken, 2 weakly taken,
+ * 3 strongly taken.  Fresh counters start weakly taken.
+ */
+struct NaiveCounter
+{
+    int value = 2;
+
+    bool predict() const { return value >= 2; }
+
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            if (value < 3)
+                value = value + 1;
+        } else {
+            if (value > 0)
+                value = value - 1;
+        }
+    }
+};
+
+/**
+ * A history register as an explicit vector of 0/1 cells where cell 0 is
+ * the newest event, matching "bit 0 holds the most recent outcome".
+ */
+class NaiveHistory
+{
+  public:
+    explicit NaiveHistory(unsigned width) : cells(width, 0) {}
+
+    void
+    push(int bit)
+    {
+        // Shift every cell one position older, newest in front.
+        for (std::size_t i = cells.size(); i > 1; --i)
+            cells[i - 1] = cells[i - 2];
+        if (!cells.empty())
+            cells[0] = bit;
+    }
+
+    /** Shift in an nbits-wide event code, most significant bit first,
+     *  so the event's bit 0 lands in cell 0 -- the same layout as
+     *  HistoryRegister::pushBits. */
+    void
+    pushBits(std::uint64_t event, unsigned nbits)
+    {
+        for (unsigned b = nbits; b > 0; --b)
+            push(static_cast<int>((event >> (b - 1)) & 1u));
+    }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i])
+                v |= std::uint64_t{1} << i;
+        }
+        return v;
+    }
+
+    void
+    set(std::uint64_t v)
+    {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            cells[i] = static_cast<int>((v >> i) & 1u);
+    }
+
+    unsigned width() const
+    {
+        return static_cast<unsigned>(cells.size());
+    }
+
+    std::string
+    dump() const
+    {
+        // Oldest-to-newest reads naturally left to right.
+        std::string s;
+        for (std::size_t i = cells.size(); i > 0; --i)
+            s += cells[i - 1] ? '1' : '0';
+        return s.empty() ? std::string("-") : s;
+    }
+
+  private:
+    std::vector<int> cells;
+};
+
+/** The second-level table: 2^rowBits x 2^colBits naive counters. */
+class NaivePht
+{
+  public:
+    NaivePht(unsigned row_bits, unsigned col_bits)
+        : rowBits(row_bits), colBits(col_bits),
+          counters(std::size_t{1} << (row_bits + col_bits))
+    {}
+
+    bool
+    predictAndTrain(std::uint64_t row, std::uint64_t col, bool taken)
+    {
+        std::uint64_t r = naiveLowBits(row, rowBits);
+        std::uint64_t c = naiveLowBits(col, colBits);
+        std::size_t idx = static_cast<std::size_t>((r << colBits) | c);
+        bool prediction = counters[idx].predict();
+        counters[idx].update(taken);
+        return prediction;
+    }
+
+    std::string
+    dump() const
+    {
+        std::string s;
+        for (const NaiveCounter &c : counters)
+            s += static_cast<char>('0' + c.value);
+        return s;
+    }
+
+  private:
+    unsigned rowBits;
+    unsigned colBits;
+    std::vector<NaiveCounter> counters;
+};
+
+std::string
+dumpCounters(const std::vector<NaiveCounter> &counters)
+{
+    std::string s;
+    for (const NaiveCounter &c : counters)
+        s += static_cast<char>('0' + c.value);
+    return s;
+}
+
+/** addr / GAg / GAs / gshare / path / SAs in one naive two-level
+ *  shell; the row rule is spelled out per scheme in predictAndTrain. */
+class NaiveTwoLevel : public ReferencePredictor
+{
+  public:
+    explicit NaiveTwoLevel(const RefConfig &cfg)
+        : scheme(cfg.scheme), pht(cfg.rowBits, cfg.colBits),
+          global(cfg.rowBits), pathBitsPerTarget(cfg.pathBitsPerTarget),
+          setBits(cfg.setBits)
+    {
+        if (scheme == RefScheme::SAs) {
+            shared.assign(std::size_t{1} << setBits,
+                          NaiveHistory(cfg.rowBits));
+        }
+    }
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        std::uint64_t word = naiveWordIndex(branch.pc);
+
+        // First level: produce the row for this branch instance.
+        std::uint64_t row = 0;
+        switch (scheme) {
+          case RefScheme::AddressIndexed:
+            row = 0;
+            break;
+          case RefScheme::GAg:
+          case RefScheme::GAs:
+            row = global.value();
+            break;
+          case RefScheme::Gshare:
+            row = global.value() ^ word;
+            break;
+          case RefScheme::Path:
+            row = global.value();
+            break;
+          case RefScheme::SAs:
+            row = sharedSlot(word).value();
+            break;
+          default:
+            throw std::logic_error("not a naive two-level scheme");
+        }
+
+        // Second level: predict then train the selected counter.
+        bool prediction = pht.predictAndTrain(row, word, branch.taken);
+
+        // First level learns the resolved outcome afterwards.
+        switch (scheme) {
+          case RefScheme::AddressIndexed:
+            break;
+          case RefScheme::GAg:
+          case RefScheme::GAs:
+          case RefScheme::Gshare:
+            global.push(branch.taken ? 1 : 0);
+            break;
+          case RefScheme::Path: {
+            std::uint64_t successor =
+                branch.taken ? branch.target : branch.pc + 4;
+            global.pushBits(naiveWordIndex(successor),
+                            pathBitsPerTarget);
+            break;
+          }
+          case RefScheme::SAs:
+            sharedSlot(word).push(branch.taken ? 1 : 0);
+            break;
+          default:
+            break;
+        }
+        return prediction;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << refSchemeName(scheme) << " history=" << global.dump();
+        for (std::size_t i = 0; i < shared.size(); ++i)
+            os << " sas[" << i << "]=" << shared[i].dump();
+        os << " pht=" << pht.dump();
+        return os.str();
+    }
+
+  private:
+    NaiveHistory &
+    sharedSlot(std::uint64_t word)
+    {
+        return shared[static_cast<std::size_t>(
+            naiveLowBits(word, setBits))];
+    }
+
+    RefScheme scheme;
+    NaivePht pht;
+    NaiveHistory global;
+    unsigned pathBitsPerTarget;
+    unsigned setBits;
+    std::vector<NaiveHistory> shared;
+};
+
+/** PAs with an unbounded first level: one history per distinct pc. */
+class NaivePAsPerfect : public ReferencePredictor
+{
+  public:
+    explicit NaivePAsPerfect(const RefConfig &cfg)
+        : rowBits(cfg.rowBits), pht(cfg.rowBits, cfg.colBits)
+    {}
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        auto it = perBranch.find(branch.pc);
+        if (it == perBranch.end()) {
+            it = perBranch.emplace(branch.pc, NaiveHistory(rowBits))
+                     .first;
+        }
+        bool prediction = pht.predictAndTrain(
+            it->second.value(), naiveWordIndex(branch.pc),
+            branch.taken);
+        it->second.push(branch.taken ? 1 : 0);
+        return prediction;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << "PAs(inf)";
+        for (const auto &[pc, hist] : perBranch)
+            os << " h[0x" << std::hex << pc << std::dec
+               << "]=" << hist.dump();
+        os << " pht=" << pht.dump();
+        return os.str();
+    }
+
+  private:
+    unsigned rowBits;
+    NaivePht pht;
+    std::map<std::uint64_t, NaiveHistory> perBranch;
+};
+
+/** PAs behind a finite, tag-checked, LRU set-associative BHT. */
+class NaivePAsFinite : public ReferencePredictor
+{
+  public:
+    explicit NaivePAsFinite(const RefConfig &cfg)
+        : rowBits(cfg.rowBits), assoc(cfg.bhtAssoc),
+          policy(cfg.bhtResetPolicy),
+          setIndexBits(naiveLog2(cfg.bhtEntries / cfg.bhtAssoc)),
+          pht(cfg.rowBits, cfg.colBits),
+          entries(cfg.bhtEntries, Entry{false, 0,
+                                        NaiveHistory(cfg.rowBits), 0})
+    {}
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        std::uint64_t word = naiveWordIndex(branch.pc);
+        Entry &entry = visit(word);
+        bool prediction = pht.predictAndTrain(entry.history.value(),
+                                              word, branch.taken);
+        entry.history.push(branch.taken ? 1 : 0);
+        return prediction;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << "PAs(" << entries.size() << "e/" << assoc << "w)";
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const Entry &e = entries[i];
+            if (!e.valid)
+                continue;
+            os << " bht[" << i << "]=tag:0x" << std::hex << e.tag
+               << std::dec << ",h:" << e.history.dump()
+               << ",stamp:" << e.stamp;
+        }
+        os << " pht=" << pht.dump();
+        return os.str();
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid;
+        std::uint64_t tag;
+        NaiveHistory history;
+        std::uint64_t stamp;
+    };
+
+    /** Hit returns the entry; a miss installs the LRU (or first
+     *  invalid) way with the policy's reset history. */
+    Entry &
+    visit(std::uint64_t word)
+    {
+        stampCounter = stampCounter + 1;
+        std::size_t base = static_cast<std::size_t>(
+                               naiveLowBits(word, setIndexBits)) *
+                           assoc;
+        std::uint64_t tag = word >> setIndexBits;
+
+        for (unsigned w = 0; w < assoc; ++w) {
+            Entry &e = entries[base + w];
+            if (e.valid && e.tag == tag) {
+                e.stamp = stampCounter;
+                return e;
+            }
+        }
+
+        // Miss: first invalid way, else the strictly-oldest stamp
+        // (scan order breaks ties toward the earliest way).
+        Entry *victim = &entries[base];
+        for (unsigned w = 0; w < assoc; ++w) {
+            Entry &e = entries[base + w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.stamp < victim->stamp)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->stamp = stampCounter;
+        switch (policy) {
+          case RefResetPolicy::C3ffPrefix:
+            victim->history.set(refC3ffPrefix(rowBits));
+            break;
+          case RefResetPolicy::Zeros:
+            victim->history.set(0);
+            break;
+          case RefResetPolicy::Ones:
+            victim->history.set(naiveLowBits(~std::uint64_t{0},
+                                             rowBits));
+            break;
+          case RefResetPolicy::Hold:
+            break; // displaced history is simply inherited
+        }
+        return *victim;
+    }
+
+    unsigned rowBits;
+    unsigned assoc;
+    RefResetPolicy policy;
+    unsigned setIndexBits;
+    NaivePht pht;
+    std::vector<Entry> entries;
+    std::uint64_t stampCounter = 0;
+};
+
+/** Agree predictor: shared counters vote agree/disagree with a
+ *  per-branch biasing bit captured at first encounter. */
+class NaiveAgree : public ReferencePredictor
+{
+  public:
+    explicit NaiveAgree(const RefConfig &cfg)
+        : indexBits(cfg.indexBits), history(cfg.historyBits),
+          counters(std::size_t{1} << cfg.indexBits)
+    {
+        // Fresh counters lean strongly toward "agree", the common case.
+        for (NaiveCounter &c : counters)
+            c.value = 3;
+    }
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        auto it = biasBits.find(branch.pc);
+        bool first_encounter = it == biasBits.end();
+        bool bias = first_encounter ? branch.taken : it->second;
+
+        std::size_t idx = static_cast<std::size_t>(naiveLowBits(
+            history.value() ^ naiveWordIndex(branch.pc), indexBits));
+        bool agrees = counters[idx].predict();
+        bool prediction = agrees ? bias : !bias;
+        if (first_encounter)
+            biasBits.emplace(branch.pc, branch.taken);
+
+        counters[idx].update(branch.taken == bias);
+        history.push(branch.taken ? 1 : 0);
+        return prediction;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << "agree history=" << history.dump();
+        for (const auto &[pc, bias] : biasBits)
+            os << " bias[0x" << std::hex << pc << std::dec
+               << "]=" << (bias ? 1 : 0);
+        os << " counters=" << dumpCounters(counters);
+        return os.str();
+    }
+
+  private:
+    unsigned indexBits;
+    NaiveHistory history;
+    std::vector<NaiveCounter> counters;
+    std::map<std::uint64_t, bool> biasBits;
+};
+
+/** Bi-mode: a choice table steering between taken-leaning and
+ *  not-taken-leaning direction tables. */
+class NaiveBiMode : public ReferencePredictor
+{
+  public:
+    explicit NaiveBiMode(const RefConfig &cfg)
+        : directionBits(cfg.indexBits), choiceBits(cfg.choiceBits),
+          history(cfg.historyBits),
+          takenSide(std::size_t{1} << cfg.indexBits),
+          notTakenSide(std::size_t{1} << cfg.indexBits),
+          choice(std::size_t{1} << cfg.choiceBits)
+    {
+        for (NaiveCounter &c : takenSide)
+            c.value = 3; // strongly taken
+        for (NaiveCounter &c : notTakenSide)
+            c.value = 0; // strongly not-taken
+    }
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        std::uint64_t word = naiveWordIndex(branch.pc);
+        std::size_t choice_idx = static_cast<std::size_t>(
+            naiveLowBits(word, choiceBits));
+        std::size_t dir_idx = static_cast<std::size_t>(naiveLowBits(
+            history.value() ^ word, directionBits));
+
+        bool use_taken_side = choice[choice_idx].predict();
+        std::vector<NaiveCounter> &side =
+            use_taken_side ? takenSide : notTakenSide;
+        bool prediction = side[dir_idx].predict();
+
+        // The selected direction counter always trains; the choice
+        // counter trains except when it steered away from a direction
+        // table that was nevertheless right.
+        side[dir_idx].update(branch.taken);
+        if (!(prediction == branch.taken &&
+              use_taken_side != branch.taken)) {
+            choice[choice_idx].update(branch.taken);
+        }
+
+        history.push(branch.taken ? 1 : 0);
+        return prediction;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << "bimode history=" << history.dump()
+           << " taken=" << dumpCounters(takenSide)
+           << " notTaken=" << dumpCounters(notTakenSide)
+           << " choice=" << dumpCounters(choice);
+        return os.str();
+    }
+
+  private:
+    unsigned directionBits;
+    unsigned choiceBits;
+    NaiveHistory history;
+    std::vector<NaiveCounter> takenSide;
+    std::vector<NaiveCounter> notTakenSide;
+    std::vector<NaiveCounter> choice;
+};
+
+/** gskew: three banks hashed differently, majority vote, partial
+ *  update. */
+class NaiveGskew : public ReferencePredictor
+{
+  public:
+    explicit NaiveGskew(const RefConfig &cfg)
+        : bankBits(cfg.indexBits), history(cfg.historyBits)
+    {
+        for (auto &bank : banks)
+            bank.assign(std::size_t{1} << bankBits, NaiveCounter{});
+    }
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        // The engine's decorrelating hashes, restated: one odd
+        // multiplier per bank, top bankBits bits of the product.
+        const std::uint64_t multipliers[3] = {
+            0x9E3779B97F4A7C15ULL,
+            0xC2B2AE3D27D4EB4FULL,
+            0x165667B19E3779F9ULL,
+        };
+        std::uint64_t key =
+            history.value() ^ naiveWordIndex(branch.pc);
+
+        std::size_t idx[3];
+        bool vote[3];
+        int ayes = 0;
+        for (unsigned b = 0; b < 3; ++b) {
+            idx[b] = static_cast<std::size_t>(
+                (key * multipliers[b]) >> (64 - bankBits));
+            vote[b] = banks[b][idx[b]].predict();
+            if (vote[b])
+                ayes = ayes + 1;
+        }
+        bool prediction = ayes >= 2;
+
+        bool correct = prediction == branch.taken;
+        for (unsigned b = 0; b < 3; ++b) {
+            if (!correct || vote[b] == prediction)
+                banks[b][idx[b]].update(branch.taken);
+        }
+
+        history.push(branch.taken ? 1 : 0);
+        return prediction;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << "gskew history=" << history.dump();
+        for (unsigned b = 0; b < 3; ++b)
+            os << " bank" << b << "=" << dumpCounters(banks[b]);
+        return os.str();
+    }
+
+  private:
+    unsigned bankBits;
+    NaiveHistory history;
+    std::vector<NaiveCounter> banks[3];
+};
+
+/** Tournament: two components predict every branch; address-indexed
+ *  choice counters pick which answer to surface. */
+class NaiveTournament : public ReferencePredictor
+{
+  public:
+    NaiveTournament(std::unique_ptr<ReferencePredictor> first_,
+                    std::unique_ptr<ReferencePredictor> second_,
+                    unsigned choice_bits)
+        : first(std::move(first_)), second(std::move(second_)),
+          choiceBits(choice_bits),
+          choice(std::size_t{1} << choice_bits)
+    {}
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        std::size_t idx = static_cast<std::size_t>(
+            naiveLowBits(naiveWordIndex(branch.pc), choiceBits));
+        bool use_second = choice[idx].predict();
+
+        // Both components always observe the branch.
+        bool p1 = first->predictAndTrain(branch);
+        bool p2 = second->predictAndTrain(branch);
+        bool prediction = use_second ? p2 : p1;
+
+        // The chooser trains only on disagreement, toward the one
+        // that was right.
+        bool c1 = p1 == branch.taken;
+        bool c2 = p2 == branch.taken;
+        if (c1 != c2)
+            choice[idx].update(c2);
+        return prediction;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << "tournament choice=" << dumpCounters(choice)
+           << " | first{" << first->stateDump() << "} | second{"
+           << second->stateDump() << "}";
+        return os.str();
+    }
+
+  private:
+    std::unique_ptr<ReferencePredictor> first;
+    std::unique_ptr<ReferencePredictor> second;
+    unsigned choiceBits;
+    std::vector<NaiveCounter> choice;
+};
+
+} // namespace
+
+const char *
+refSchemeName(RefScheme scheme)
+{
+    switch (scheme) {
+      case RefScheme::AddressIndexed: return "addr";
+      case RefScheme::GAg: return "GAg";
+      case RefScheme::GAs: return "GAs";
+      case RefScheme::Gshare: return "gshare";
+      case RefScheme::Path: return "path";
+      case RefScheme::PAsPerfect: return "PAs(inf)";
+      case RefScheme::PAsFinite: return "PAs(bht)";
+      case RefScheme::SAs: return "SAs";
+      case RefScheme::Agree: return "agree";
+      case RefScheme::BiMode: return "bimode";
+      case RefScheme::Gskew: return "gskew";
+      case RefScheme::Tournament: return "tournament";
+    }
+    return "?";
+}
+
+std::uint64_t
+refC3ffPrefix(unsigned width)
+{
+    // Spell the pattern out as bits and take the first `width` of
+    // them, most significant first, recycling when the register is
+    // longer than the pattern.
+    static const char pattern[] = "1100001111111111";
+    const unsigned patternLen = 16;
+    std::uint64_t out = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        out = out * 2;
+        if (pattern[i % patternLen] == '1')
+            out = out + 1;
+    }
+    return out;
+}
+
+std::unique_ptr<ReferencePredictor>
+makeReferencePredictor(const RefConfig &config)
+{
+    switch (config.scheme) {
+      case RefScheme::AddressIndexed:
+      case RefScheme::GAg:
+      case RefScheme::GAs:
+      case RefScheme::Gshare:
+      case RefScheme::Path:
+      case RefScheme::SAs:
+        return std::make_unique<NaiveTwoLevel>(config);
+      case RefScheme::PAsPerfect:
+        return std::make_unique<NaivePAsPerfect>(config);
+      case RefScheme::PAsFinite:
+        if (config.bhtAssoc == 0 ||
+            config.bhtEntries % config.bhtAssoc != 0) {
+            throw std::invalid_argument(
+                "reference model: BHT associativity must divide "
+                "entry count");
+        }
+        return std::make_unique<NaivePAsFinite>(config);
+      case RefScheme::Agree:
+        return std::make_unique<NaiveAgree>(config);
+      case RefScheme::BiMode:
+        return std::make_unique<NaiveBiMode>(config);
+      case RefScheme::Gskew:
+        if (config.indexBits < 1) {
+            throw std::invalid_argument(
+                "reference model: gskew needs at least 1 bank bit");
+        }
+        return std::make_unique<NaiveGskew>(config);
+      case RefScheme::Tournament: {
+        if (config.components.size() != 2) {
+            throw std::invalid_argument(
+                "reference model: tournament needs exactly two "
+                "components");
+        }
+        for (const RefConfig &c : config.components) {
+            if (c.scheme == RefScheme::Tournament) {
+                throw std::invalid_argument(
+                    "reference model: tournaments do not nest");
+            }
+        }
+        return std::make_unique<NaiveTournament>(
+            makeReferencePredictor(config.components[0]),
+            makeReferencePredictor(config.components[1]),
+            config.choiceBits);
+      }
+    }
+    throw std::invalid_argument("reference model: unknown scheme");
+}
+
+} // namespace bpsim::verify

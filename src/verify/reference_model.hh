@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The differential-verification reference model.
+ *
+ * A deliberately naive re-implementation of every predictor scheme the
+ * engine simulates, written for obviousness rather than speed and
+ * sharing NO code with src/predictor/ or src/sim/: histories are kept
+ * as explicit bit vectors that are shifted element by element, counters
+ * are plain ints walked with if/else chains, the BHT is a linear scan,
+ * and even the 0xC3FF reset prefix is rebuilt from its bit-string
+ * spelling.  Any disagreement between this model and the optimized
+ * engine paths (online predictors or the sweep kernel) is a bug in one
+ * of them -- that is the whole point.
+ *
+ * The semantics re-implemented here are the paper's (Sechrest/Lee/
+ * Mudge, ISCA 1996) as pinned in DESIGN.md section 5: two-bit
+ * saturating counters initialised weakly taken, bit 0 of a history
+ * register holding the newest outcome, word-aligned (pc/4) address
+ * indexing, tag-checked LRU BHT with the 0xC3FF displacement reset.
+ */
+
+#ifndef BPSIM_VERIFY_REFERENCE_MODEL_HH
+#define BPSIM_VERIFY_REFERENCE_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bpsim::verify {
+
+/** Every scheme family the reference model can stand in for. */
+enum class RefScheme
+{
+    AddressIndexed, ///< row of counters indexed by address bits
+    GAg,            ///< global history, single column
+    GAs,            ///< global history x address columns
+    Gshare,         ///< (global history XOR address) x address columns
+    Path,           ///< Nair path history (target-address bits)
+    PAsPerfect,     ///< per-branch history, unbounded first level
+    PAsFinite,      ///< per-branch history through a finite LRU BHT
+    SAs,            ///< untagged set of shared history registers
+    Agree,          ///< gshare-indexed agree predictor (bias bits)
+    BiMode,         ///< choice table + two direction tables
+    Gskew,          ///< three skewed banks, majority vote
+    Tournament,     ///< two components + per-address choice counters
+};
+
+/** @return the reference display name of a scheme. */
+const char *refSchemeName(RefScheme scheme);
+
+/** What a displaced BHT entry's history is reset to (mirrors the
+ *  engine's BhtResetPolicy, re-declared here to stay independent). */
+enum class RefResetPolicy
+{
+    C3ffPrefix,
+    Zeros,
+    Ones,
+    Hold,
+};
+
+/**
+ * Full parameterisation of one reference predictor.  Field relevance
+ * by scheme mirrors the factory spec grammar (predictor/factory.hh):
+ * two-level schemes use rowBits/colBits, the dealiased variants use
+ * indexBits/historyBits/choiceBits, Tournament uses components (exactly
+ * two, non-Tournament) plus choiceBits.
+ */
+struct RefConfig
+{
+    RefScheme scheme = RefScheme::GAs;
+    unsigned rowBits = 0;
+    unsigned colBits = 0;
+    /** Path: address bits contributed per branch. */
+    unsigned pathBitsPerTarget = 2;
+    /** PAsFinite: BHT shape. */
+    std::size_t bhtEntries = 64;
+    unsigned bhtAssoc = 4;
+    RefResetPolicy bhtResetPolicy = RefResetPolicy::C3ffPrefix;
+    /** SAs: log2 number of shared history registers. */
+    unsigned setBits = 4;
+    /** Agree/BiMode/Gskew: log2 counter-table (or bank) size. */
+    unsigned indexBits = 8;
+    /** Agree/BiMode/Gskew: global history length. */
+    unsigned historyBits = 8;
+    /** BiMode choice table / Tournament chooser table, log2 size. */
+    unsigned choiceBits = 8;
+    /** Tournament: exactly two leaf component configurations. */
+    std::vector<RefConfig> components;
+};
+
+/** One executed conditional branch, as the reference model sees it. */
+struct RefBranch
+{
+    std::uint64_t pc = 0;
+    std::uint64_t target = 0;
+    bool taken = false;
+};
+
+/** A naive predictor instance built from a RefConfig. */
+class ReferencePredictor
+{
+  public:
+    virtual ~ReferencePredictor() = default;
+
+    /** Predict-then-train on one conditional branch. */
+    virtual bool predictAndTrain(const RefBranch &branch) = 0;
+
+    /**
+     * Human-readable dump of ALL mutable state (history registers,
+     * counter tables, BHT entries), for first-divergence reports.
+     */
+    virtual std::string stateDump() const = 0;
+};
+
+/** Build a reference predictor; throws std::invalid_argument on
+ *  malformed configs (e.g. Tournament without two components). */
+std::unique_ptr<ReferencePredictor>
+makeReferencePredictor(const RefConfig &config);
+
+/**
+ * Independent rebuild of the paper's 0xC3FF displacement prefix from
+ * the bit string "1100001111111111" repeated MSB-first.  Exposed so
+ * tests can cross-check the engine's arithmetic construction.
+ */
+std::uint64_t refC3ffPrefix(unsigned width);
+
+} // namespace bpsim::verify
+
+#endif // BPSIM_VERIFY_REFERENCE_MODEL_HH

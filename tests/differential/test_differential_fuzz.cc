@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The tier-1 differential fuzzing campaign: several hundred seeded
+ * (trace, configuration) pairs spanning every scheme family, each
+ * executed through both the production engine and the naive reference
+ * model, with the sweep fast path cross-checked on the core schemes.
+ * Any divergence fails with a first-divergence report including the
+ * full reference state.
+ *
+ * The long-running campaign lives in test_differential_slow.cc behind
+ * the `slow` ctest label.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/differential.hh"
+
+using namespace bpsim::verify;
+
+TEST(DifferentialFuzz, SmokeCampaignAllSchemesZeroMismatches)
+{
+    // The acceptance bar: >= 200 seeded pairs across every scheme in
+    // the tier-1 budget, zero engine/reference mismatches.
+    FuzzOptions options;
+    options.seed = 0x5EC4E57;
+    options.pairs = 240;
+    options.minBranches = 300;
+    options.maxBranches = 1500;
+    options.includeVariants = true;
+    options.crossCheckFastPath = true;
+
+    FuzzReport report = runDifferentialFuzzer(options);
+    EXPECT_EQ(report.pairsRun, options.pairs);
+    // All 12 families: the 7 core SchemeKinds plus SAs, agree,
+    // bi-mode, gskew and tournament.
+    EXPECT_EQ(report.schemesCovered.size(), 12u) << report.summary();
+    EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+TEST(DifferentialFuzz, CoreSchemesOnlyCampaign)
+{
+    // A second seed restricted to the paper's seven SchemeKinds, so a
+    // regression in a variant predictor cannot mask one in the core.
+    FuzzOptions options;
+    options.seed = 0xA11A5;
+    options.pairs = 35;
+    options.minBranches = 300;
+    options.maxBranches = 1200;
+    options.includeVariants = false;
+
+    FuzzReport report = runDifferentialFuzzer(options);
+    EXPECT_EQ(report.pairsRun, options.pairs);
+    EXPECT_EQ(report.schemesCovered.size(), 7u) << report.summary();
+    EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+TEST(DifferentialFuzz, CampaignsAreSeedDeterministic)
+{
+    FuzzOptions options;
+    options.seed = 42;
+    options.pairs = 12;
+    options.crossCheckFastPath = false;
+
+    FuzzReport a = runDifferentialFuzzer(options);
+    FuzzReport b = runDifferentialFuzzer(options);
+    EXPECT_EQ(a.pairsRun, b.pairsRun);
+    EXPECT_EQ(a.schemesCovered, b.schemesCovered);
+    EXPECT_EQ(a.mismatches.size(), b.mismatches.size());
+}

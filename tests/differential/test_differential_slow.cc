@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The long differential fuzzing campaign: thousands of pairs with
+ * longer traces.  Opt-in twice over -- it carries the `slow` ctest
+ * label and additionally skips unless BPSIM_SLOW_TESTS is set, so the
+ * tier-1 run (plain `ctest`) passes through it in milliseconds:
+ *
+ *     BPSIM_SLOW_TESTS=1 ctest -L slow --output-on-failure
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "verify/differential.hh"
+
+using namespace bpsim::verify;
+
+TEST(DifferentialFuzzSlow, LongCampaign)
+{
+    if (std::getenv("BPSIM_SLOW_TESTS") == nullptr) {
+        GTEST_SKIP() << "set BPSIM_SLOW_TESTS=1 to run the long "
+                        "campaign (ctest -L slow)";
+    }
+
+    FuzzOptions options;
+    options.seed = 0xD1FFD1FF;
+    options.pairs = 2400;
+    options.minBranches = 1000;
+    options.maxBranches = 8000;
+    options.includeVariants = true;
+    options.crossCheckFastPath = true;
+
+    FuzzReport report = runDifferentialFuzzer(options);
+    EXPECT_EQ(report.pairsRun, options.pairs);
+    EXPECT_EQ(report.schemesCovered.size(), 12u) << report.summary();
+    EXPECT_TRUE(report.clean()) << report.summary();
+}

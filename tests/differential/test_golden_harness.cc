@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the golden-file recorder, writer, loader and
+ * tolerance-aware comparator behind the bench drivers'
+ * golden=emit / golden=check modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "stats/surface.hh"
+#include "verify/golden.hh"
+
+using namespace bpsim;
+using namespace bpsim::verify;
+
+namespace {
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + leaf;
+}
+
+} // namespace
+
+TEST(GoldenHarness, GoldenCloseCombinesAbsoluteAndRelative)
+{
+    EXPECT_TRUE(goldenClose(0.0, 0.0, 1e-9));
+    EXPECT_TRUE(goldenClose(0.1234, 0.1234, 1e-9));
+    // Near zero the absolute term dominates.
+    EXPECT_TRUE(goldenClose(0.0, 5e-10, 1e-9));
+    EXPECT_FALSE(goldenClose(0.0, 5e-9, 1e-9));
+    // For large values the relative term keeps the check scale-free.
+    EXPECT_TRUE(goldenClose(1e12, 1e12 * (1 + 1e-10), 1e-9));
+    EXPECT_FALSE(goldenClose(1e12, 1e12 * 1.01, 1e-9));
+    // NaN only matches NaN.
+    double nan = std::nan("");
+    EXPECT_TRUE(goldenClose(nan, nan, 1e-9));
+    EXPECT_FALSE(goldenClose(nan, 0.0, 1e-9));
+}
+
+TEST(GoldenHarness, WriteLoadRoundTripsExactDoubles)
+{
+    GoldenRecorder recorder;
+    recorder.record("fig/x", 0.123456789012345678);
+    recorder.record("fig/tiny", 1e-300);
+    recorder.record("fig/negative", -42.5);
+    recorder.record("fig/zero", 0.0);
+
+    std::string path = tempPath("roundtrip.golden");
+    recorder.writeFile(path);
+
+    auto loaded = GoldenRecorder::loadFile(path);
+    ASSERT_EQ(loaded.size(), 4u);
+    // %.17g round-trips doubles bit-exactly.
+    EXPECT_EQ(loaded.at("fig/x"), 0.123456789012345678);
+    EXPECT_EQ(loaded.at("fig/tiny"), 1e-300);
+    EXPECT_EQ(loaded.at("fig/negative"), -42.5);
+    EXPECT_EQ(loaded.at("fig/zero"), 0.0);
+
+    // A run that recorded the same values compares clean.
+    EXPECT_TRUE(recorder.compareTo(path, 1e-9).empty());
+}
+
+TEST(GoldenHarness, ComparatorReportsDriftMissingAndExtraKeys)
+{
+    GoldenRecorder golden;
+    golden.record("a", 1.0);
+    golden.record("b", 2.0);
+    golden.record("gone", 3.0);
+    std::string path = tempPath("problems.golden");
+    golden.writeFile(path);
+
+    GoldenRecorder actual;
+    actual.record("a", 1.0);       // matches
+    actual.record("b", 2.5);       // drifted
+    actual.record("new", 4.0);     // not in the file
+
+    auto problems = actual.compareTo(path, 1e-9);
+    ASSERT_EQ(problems.size(), 3u);
+    bool saw_drift = false, saw_extra = false, saw_missing = false;
+    for (const std::string &p : problems) {
+        if (p.find("value drift: b") != std::string::npos)
+            saw_drift = true;
+        if (p.find("extra key") != std::string::npos &&
+            p.find("new") != std::string::npos)
+            saw_extra = true;
+        if (p.find("missing key") != std::string::npos &&
+            p.find("gone") != std::string::npos)
+            saw_missing = true;
+    }
+    EXPECT_TRUE(saw_drift);
+    EXPECT_TRUE(saw_extra);
+    EXPECT_TRUE(saw_missing);
+
+    // Within a loose tolerance the drifted value passes; the key
+    // problems remain.
+    auto loose = actual.compareTo(path, 1.0);
+    EXPECT_EQ(loose.size(), 2u);
+}
+
+TEST(GoldenHarness, DuplicateKeysAreADriverBug)
+{
+    GoldenRecorder recorder;
+    recorder.record("k", 1.0);
+    EXPECT_THROW(recorder.record("k", 2.0), std::logic_error);
+}
+
+TEST(GoldenHarness, KeysAreWhitespaceSanitized)
+{
+    GoldenRecorder recorder;
+    recorder.record("profile with spaces/rate", 0.5);
+    std::string path = tempPath("sanitize.golden");
+    recorder.writeFile(path);
+    auto loaded = GoldenRecorder::loadFile(path);
+    EXPECT_EQ(loaded.count("profile_with_spaces/rate"), 1u);
+}
+
+TEST(GoldenHarness, SurfacePointsRecordUnderStructuredKeys)
+{
+    Surface surface("test");
+    surface.add(8, 3, 5, 0.25);
+    surface.add(8, 4, 4, 0.125);
+    surface.add(9, 9, 0, 0.5);
+
+    GoldenRecorder recorder;
+    recorder.recordSurface("fig", surface);
+    const auto &values = recorder.values();
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_EQ(values.at("fig/t8/r3c5"), 0.25);
+    EXPECT_EQ(values.at("fig/t8/r4c4"), 0.125);
+    EXPECT_EQ(values.at("fig/t9/r9c0"), 0.5);
+}
+
+TEST(GoldenHarness, LoadRejectsMissingAndMalformedFiles)
+{
+    EXPECT_THROW(GoldenRecorder::loadFile(tempPath("nonexistent")),
+                 std::runtime_error);
+
+    std::string path = tempPath("malformed.golden");
+    {
+        std::ofstream out(path);
+        out << "# comment is fine\n";
+        out << "key_without_value\n";
+    }
+    EXPECT_THROW(GoldenRecorder::loadFile(path), std::runtime_error);
+}
+
+TEST(GoldenHarness, CommentsAndBlankLinesAreIgnored)
+{
+    std::string path = tempPath("comments.golden");
+    {
+        std::ofstream out(path);
+        out << "# header\n\nkey 1.5\n# trailing\n";
+    }
+    auto loaded = GoldenRecorder::loadFile(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.at("key"), 1.5);
+}

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for the naive reference model itself: its independently
+ * rebuilt constants match the engine's, its first predictions follow
+ * the weakly-taken reset convention, its config validation rejects
+ * malformed shapes, and -- the core property -- it agrees with the
+ * production predictors on small deterministic traces for every
+ * scheme family.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/history_register.hh"
+#include "predictor/factory.hh"
+#include "sim/sweep.hh"
+#include "trace/memory_trace.hh"
+#include "verify/differential.hh"
+#include "verify/reference_model.hh"
+
+using namespace bpsim;
+using namespace bpsim::verify;
+
+TEST(ReferenceModel, C3ffPrefixMatchesEngineAtEveryWidth)
+{
+    // The reference rebuilds the displacement pattern from its bit
+    // string; the engine builds it arithmetically.  They must agree
+    // bit for bit at every legal register width.
+    for (unsigned width = 0; width <= 64; ++width)
+        EXPECT_EQ(refC3ffPrefix(width), c3ffPrefix(width))
+            << "width " << width;
+}
+
+TEST(ReferenceModel, C3ffPrefixSpotValues)
+{
+    EXPECT_EQ(refC3ffPrefix(0), 0u);
+    EXPECT_EQ(refC3ffPrefix(4), 0xCu);
+    EXPECT_EQ(refC3ffPrefix(16), 0xC3FFu);
+    EXPECT_EQ(refC3ffPrefix(20), (std::uint64_t{0xC3FF} << 4) | 0xC);
+    EXPECT_EQ(refC3ffPrefix(32), 0xC3FFC3FFu);
+}
+
+TEST(ReferenceModel, FreshCountersPredictTakenForEveryScheme)
+{
+    // Two-bit counters reset weakly taken, so the very first
+    // prediction of any two-level scheme is "taken".
+    for (RefScheme scheme :
+         {RefScheme::AddressIndexed, RefScheme::GAg, RefScheme::GAs,
+          RefScheme::Gshare, RefScheme::Path, RefScheme::PAsPerfect,
+          RefScheme::PAsFinite, RefScheme::SAs, RefScheme::BiMode,
+          RefScheme::Gskew}) {
+        RefConfig cfg;
+        cfg.scheme = scheme;
+        cfg.rowBits = 4;
+        cfg.colBits = scheme == RefScheme::GAg ? 0 : 2;
+        auto ref = makeReferencePredictor(cfg);
+        EXPECT_TRUE(
+            ref->predictAndTrain(RefBranch{0x1000, 0x2000, false}))
+            << refSchemeName(scheme);
+    }
+}
+
+TEST(ReferenceModel, CounterSaturatesAfterTwoNotTakenOutcomes)
+{
+    // addr:0 is a single counter: weakly taken (2) -> 1 -> 0, so the
+    // third encounter predicts not-taken.
+    RefConfig cfg;
+    cfg.scheme = RefScheme::AddressIndexed;
+    cfg.rowBits = 0;
+    cfg.colBits = 0;
+    auto ref = makeReferencePredictor(cfg);
+    RefBranch branch{0x1000, 0x2000, false};
+    EXPECT_TRUE(ref->predictAndTrain(branch));  // 2 -> 1
+    EXPECT_FALSE(ref->predictAndTrain(branch)); // 1 -> 0
+    EXPECT_FALSE(ref->predictAndTrain(branch)); // saturated
+}
+
+TEST(ReferenceModel, AgreeNeverMispredictsASteadyBranch)
+{
+    // The bias bit captures the first outcome and fresh counters lean
+    // "agree", so a branch that never changes direction is always
+    // predicted correctly -- the design's whole point.
+    RefConfig cfg;
+    cfg.scheme = RefScheme::Agree;
+    cfg.indexBits = 4;
+    cfg.historyBits = 4;
+    auto ref = makeReferencePredictor(cfg);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(
+            ref->predictAndTrain(RefBranch{0x1000, 0x2000, false}))
+            << "iteration " << i;
+}
+
+TEST(ReferenceModel, StateDumpNamesTheScheme)
+{
+    RefConfig cfg;
+    cfg.scheme = RefScheme::Gshare;
+    cfg.rowBits = 3;
+    cfg.colBits = 1;
+    auto ref = makeReferencePredictor(cfg);
+    ref->predictAndTrain(RefBranch{0x1000, 0x2000, true});
+    std::string dump = ref->stateDump();
+    EXPECT_NE(dump.find("gshare"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("pht="), std::string::npos) << dump;
+}
+
+TEST(ReferenceModel, RejectsMalformedConfigs)
+{
+    RefConfig tournament;
+    tournament.scheme = RefScheme::Tournament;
+    EXPECT_THROW(makeReferencePredictor(tournament),
+                 std::invalid_argument);
+
+    RefConfig gskew;
+    gskew.scheme = RefScheme::Gskew;
+    gskew.indexBits = 0;
+    EXPECT_THROW(makeReferencePredictor(gskew), std::invalid_argument);
+
+    RefConfig finite;
+    finite.scheme = RefScheme::PAsFinite;
+    finite.bhtEntries = 8;
+    finite.bhtAssoc = 3;
+    EXPECT_THROW(makeReferencePredictor(finite), std::invalid_argument);
+}
+
+TEST(ReferenceModel, EngineSpecSpellings)
+{
+    RefConfig cfg;
+    cfg.scheme = RefScheme::Gshare;
+    cfg.rowBits = 5;
+    cfg.colBits = 3;
+    EXPECT_EQ(engineSpec(cfg), "gshare:5:3");
+
+    cfg.scheme = RefScheme::Path;
+    cfg.pathBitsPerTarget = 3;
+    EXPECT_EQ(engineSpec(cfg), "path:5:3:3");
+
+    cfg.scheme = RefScheme::PAsFinite;
+    cfg.bhtEntries = 64;
+    cfg.bhtAssoc = 4;
+    EXPECT_EQ(engineSpec(cfg), "PAs:5:3:64:4");
+
+    cfg.bhtResetPolicy = RefResetPolicy::Hold;
+    EXPECT_THROW(engineSpec(cfg), std::invalid_argument);
+
+    RefConfig tournament;
+    tournament.scheme = RefScheme::Tournament;
+    tournament.choiceBits = 6;
+    RefConfig leaf;
+    leaf.scheme = RefScheme::AddressIndexed;
+    leaf.rowBits = 0;
+    leaf.colBits = 4;
+    tournament.components.push_back(leaf);
+    leaf.scheme = RefScheme::GAs;
+    leaf.rowBits = 3;
+    leaf.colBits = 2;
+    tournament.components.push_back(leaf);
+    EXPECT_EQ(engineSpec(tournament),
+              "tournament(addr:4,GAs:3:2):6");
+}
+
+namespace {
+
+/** A small deterministic trace mixing loop-like and alternating
+ *  sites, with a couple of non-conditional records to skip. */
+MemoryTrace
+handTrace()
+{
+    MemoryTrace trace("hand");
+    unsigned phase = 0;
+    for (int i = 0; i < 400; ++i) {
+        if (i % 17 == 5) {
+            BranchRecord call;
+            call.pc = 0x9000;
+            call.target = 0x9100;
+            call.type = BranchType::Call;
+            call.taken = true;
+            trace.append(call);
+        }
+        BranchRecord rec;
+        switch (i % 3) {
+          case 0: // 3-iteration loop backedge at one pc
+            rec.pc = 0x1000;
+            rec.target = 0x0FF0;
+            rec.taken = (phase++ % 3) != 2;
+            break;
+          case 1: // alternating branch aliasing into low bits
+            rec.pc = 0x1040;
+            rec.target = 0x1100;
+            rec.taken = (i / 3) % 2 == 0;
+            break;
+          default: // heavily biased branch
+            rec.pc = 0x2000;
+            rec.target = 0x2100;
+            rec.taken = i % 21 != 0;
+            break;
+        }
+        rec.type = BranchType::Conditional;
+        trace.append(rec);
+    }
+    return trace;
+}
+
+} // namespace
+
+TEST(ReferenceModel, AgreesWithEngineOnHandTraceForEveryScheme)
+{
+    MemoryTrace trace = handTrace();
+
+    std::vector<RefConfig> configs;
+    for (RefScheme scheme :
+         {RefScheme::AddressIndexed, RefScheme::GAg, RefScheme::GAs,
+          RefScheme::Gshare, RefScheme::Path, RefScheme::PAsPerfect,
+          RefScheme::PAsFinite, RefScheme::SAs, RefScheme::Agree,
+          RefScheme::BiMode, RefScheme::Gskew}) {
+        RefConfig cfg;
+        cfg.scheme = scheme;
+        cfg.rowBits = scheme == RefScheme::AddressIndexed ? 0 : 4;
+        cfg.colBits = scheme == RefScheme::GAg ? 0 : 3;
+        cfg.bhtEntries = 8;
+        cfg.bhtAssoc = 2;
+        cfg.setBits = 2;
+        cfg.indexBits = 5;
+        cfg.historyBits = 6;
+        cfg.choiceBits = 4;
+        configs.push_back(cfg);
+    }
+    RefConfig tournament;
+    tournament.scheme = RefScheme::Tournament;
+    tournament.choiceBits = 4;
+    tournament.components.assign(2, RefConfig{});
+    tournament.components[0].scheme = RefScheme::AddressIndexed;
+    tournament.components[0].rowBits = 0;
+    tournament.components[0].colBits = 4;
+    tournament.components[1].scheme = RefScheme::Gshare;
+    tournament.components[1].rowBits = 4;
+    tournament.components[1].colBits = 2;
+    configs.push_back(tournament);
+
+    for (const RefConfig &cfg : configs) {
+        auto mismatch = diffPredictors(cfg, trace);
+        EXPECT_FALSE(mismatch.has_value())
+            << (mismatch ? mismatch->describe() : "");
+    }
+}
+
+TEST(ReferenceModel, DivergenceDetectionIsNotVacuous)
+{
+    // Negative control for the whole harness: pit the reference at a
+    // 2-bit history against the engine at 6 bits.  If lockstep
+    // comparison could not see THIS difference, zero-mismatch fuzz
+    // results would mean nothing.
+    MemoryTrace trace = handTrace();
+    RefConfig small;
+    small.scheme = RefScheme::GAg;
+    small.rowBits = 2;
+    small.colBits = 0;
+    auto reference = makeReferencePredictor(small);
+    auto engine = makePredictor("GAg:6", false);
+
+    bool diverged = false;
+    for (std::size_t i = 0; i < trace.size() && !diverged; ++i) {
+        const BranchRecord &rec = trace[i];
+        if (!rec.isConditional())
+            continue;
+        bool engine_prediction = engine->onBranch(rec);
+        bool reference_prediction = reference->predictAndTrain(
+            RefBranch{rec.pc, rec.target, rec.taken});
+        diverged = engine_prediction != reference_prediction;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(ReferenceModel, ReferenceMispRateMatchesSweepKernelOnHandTrace)
+{
+    MemoryTrace trace = handTrace();
+    PreparedTrace prepared(trace);
+
+    struct Case
+    {
+        RefScheme ref;
+        SchemeKind kind;
+        unsigned rowBits;
+        unsigned colBits;
+    };
+    const Case cases[] = {
+        {RefScheme::AddressIndexed, SchemeKind::AddressIndexed, 0, 5},
+        {RefScheme::GAg, SchemeKind::GAg, 6, 0},
+        {RefScheme::GAs, SchemeKind::GAs, 4, 3},
+        {RefScheme::Gshare, SchemeKind::Gshare, 5, 2},
+        {RefScheme::Path, SchemeKind::Path, 5, 2},
+        {RefScheme::PAsPerfect, SchemeKind::PAsPerfect, 4, 3},
+        {RefScheme::PAsFinite, SchemeKind::PAsFinite, 4, 3},
+    };
+    for (const Case &c : cases) {
+        RefConfig cfg;
+        cfg.scheme = c.ref;
+        cfg.rowBits = c.rowBits;
+        cfg.colBits = c.colBits;
+        cfg.bhtEntries = 8;
+        cfg.bhtAssoc = 2;
+
+        SweepOptions opts;
+        opts.trackAliasing = false;
+        opts.bhtEntries = cfg.bhtEntries;
+        opts.bhtAssoc = cfg.bhtAssoc;
+        opts.threads = 1;
+        ConfigResult result = simulateConfig(prepared, c.kind,
+                                             c.rowBits, c.colBits,
+                                             opts);
+        EXPECT_EQ(result.mispRate, referenceMispRate(cfg, trace))
+            << schemeKindName(c.kind);
+    }
+}

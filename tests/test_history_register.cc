@@ -100,6 +100,78 @@ TEST(HistoryRegister, SixtyFourBitWidth)
     EXPECT_EQ(h.value(), ~std::uint64_t{0});
 }
 
+TEST(HistoryRegister, MaxWidthWrapDropsBitSixtyThree)
+{
+    // At the 64-bit ceiling the shift must wrap cleanly: the oldest bit
+    // falls off the top, no sign-extension or overflow artefacts.
+    HistoryRegister h(64);
+    h.set(~std::uint64_t{0});
+    h.push(false);
+    EXPECT_EQ(h.value(), ~std::uint64_t{0} << 1);
+    EXPECT_FALSE(h.allOnes());
+    h.push(true);
+    EXPECT_EQ(h.value(), (~std::uint64_t{0} << 2) | 1u);
+}
+
+TEST(HistoryRegister, SetAtMaxWidthKeepsAllBits)
+{
+    HistoryRegister h(64);
+    h.set(0xC3FFC3FFC3FFC3FFull);
+    EXPECT_EQ(h.value(), 0xC3FFC3FFC3FFC3FFull);
+}
+
+TEST(HistoryRegister, InitialValueMaskedToWidth)
+{
+    HistoryRegister h(4, 0xFFu);
+    EXPECT_EQ(h.value(), 0xFu);
+    HistoryRegister g(64, ~std::uint64_t{0});
+    EXPECT_EQ(g.value(), ~std::uint64_t{0});
+}
+
+TEST(HistoryRegister, LowSaturatesAtWidth)
+{
+    HistoryRegister h(4);
+    h.set(0b1010);
+    EXPECT_EQ(h.low(0), 0u);
+    EXPECT_EQ(h.low(4), 0b1010u);
+    // Asking for more bits than retained returns only what exists.
+    EXPECT_EQ(h.low(64), 0b1010u);
+}
+
+TEST(HistoryRegister, PushBitsFullWidthReplacesContents)
+{
+    HistoryRegister h(8);
+    h.set(0xFF);
+    h.pushBits(0xA5, 8);
+    EXPECT_EQ(h.value(), 0xA5u);
+}
+
+TEST(HistoryRegister, PushBitsZeroWidthEventIsANoOp)
+{
+    HistoryRegister h(8);
+    h.set(0x5A);
+    h.pushBits(0xFFFF, 0);
+    EXPECT_EQ(h.value(), 0x5Au);
+}
+
+TEST(HistoryRegister, PushBitsEventWiderThanRegister)
+{
+    // A 16-bit event into a 4-bit register keeps only the event's low
+    // four bits -- the old contents are shifted out entirely.
+    HistoryRegister h(4);
+    h.set(0xF);
+    h.pushBits(0xABCD, 16);
+    EXPECT_EQ(h.value(), 0xDu);
+}
+
+TEST(HistoryRegister, PushIntoZeroWidthNeverRetains)
+{
+    HistoryRegister h(0);
+    h.pushBits(0xFFFF, 16);
+    EXPECT_EQ(h.value(), 0u);
+    EXPECT_EQ(h.low(64), 0u);
+}
+
 // --- 0xC3FF prefix (the finite-BHT reset pattern from the paper) ---
 
 TEST(C3ffPrefix, FullSixteenBitsIsThePattern)

@@ -126,6 +126,78 @@ checkWidthProperties()
     EXPECT_EQ(c.raw(), before - 1);
 }
 
+/** Boundary behaviour at saturation and construction, any width. */
+template <unsigned Bits>
+void
+checkBoundaryProperties()
+{
+    using C = SatCounter<Bits>;
+
+    // Updates at either saturation point are idempotent: the state and
+    // the prediction are both unchanged.
+    C high(C::maxValue);
+    EXPECT_TRUE(high.saturated());
+    high.update(true);
+    EXPECT_EQ(high.raw(), C::maxValue);
+    EXPECT_TRUE(high.predict());
+
+    C low(0);
+    EXPECT_TRUE(low.saturated());
+    low.update(false);
+    EXPECT_EQ(low.raw(), 0);
+    EXPECT_FALSE(low.predict());
+
+    // One step away from saturation is not saturated (width >= 2).
+    if (Bits >= 2) {
+        C nearHigh(C::maxValue - 1);
+        EXPECT_FALSE(nearHigh.saturated());
+        C nearLow(1);
+        EXPECT_FALSE(nearLow.saturated());
+    }
+
+    // Construction clamps out-of-range initial values; in-range values
+    // are taken verbatim.
+    EXPECT_EQ(C(255).raw(), C::maxValue);
+    EXPECT_EQ(C(C::maxValue).raw(), C::maxValue);
+    EXPECT_EQ(C(0).raw(), 0);
+
+    // The weakly-taken / weakly-not-taken boundary straddles the MSB:
+    // a single update crosses it in either direction.
+    C c(C::weaklyNotTaken);
+    EXPECT_FALSE(c.predict());
+    c.update(true);
+    EXPECT_EQ(c.raw(), C::weaklyTaken);
+    EXPECT_TRUE(c.predict());
+    c.update(false);
+    EXPECT_EQ(c.raw(), C::weaklyNotTaken);
+    EXPECT_FALSE(c.predict());
+
+    // Walking the full range in each direction visits every state
+    // exactly once (maxValue steps end-to-end).
+    C walker(0);
+    for (unsigned i = 0; i < C::maxValue; ++i) {
+        EXPECT_EQ(walker.raw(), i);
+        walker.update(true);
+    }
+    EXPECT_EQ(walker.raw(), C::maxValue);
+}
+
+TEST(SatCounterBoundaries, Bits1) { checkBoundaryProperties<1>(); }
+TEST(SatCounterBoundaries, Bits2) { checkBoundaryProperties<2>(); }
+TEST(SatCounterBoundaries, Bits3) { checkBoundaryProperties<3>(); }
+TEST(SatCounterBoundaries, Bits4) { checkBoundaryProperties<4>(); }
+TEST(SatCounterBoundaries, Bits8) { checkBoundaryProperties<8>(); }
+
+TEST(SatCounterBoundaries, EightBitMaxValueIs255)
+{
+    // Width 8 is the supported ceiling; maxValue must fill the whole
+    // uint8_t without wrapping.
+    EXPECT_EQ(SatCounter<8>::maxValue, 255u);
+    SatCounter<8> c(255);
+    c.update(true);
+    EXPECT_EQ(c.raw(), 255u);
+}
+
 TEST(SatCounterWidths, Bits1) { checkWidthProperties<1>(); }
 TEST(SatCounterWidths, Bits2) { checkWidthProperties<2>(); }
 TEST(SatCounterWidths, Bits3) { checkWidthProperties<3>(); }

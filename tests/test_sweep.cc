@@ -330,6 +330,44 @@ TEST(Sweep, StreamCacheReuseMatchesTransientCalls)
     }
 }
 
+TEST(Sweep, StreamCacheDoesNotRecomputeFirstLevelStreams)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.bhtEntries = 64;
+
+    StreamCache cache(t, o);
+    EXPECT_EQ(cache.streamBuilds(), 0u);
+
+    // First probes build exactly one stream each: the path stream and
+    // one BHT stream per distinct row width.
+    simulateConfig(cache, SchemeKind::Path, 4, 3);
+    EXPECT_EQ(cache.streamBuilds(), 1u);
+    simulateConfig(cache, SchemeKind::PAsFinite, 4, 3);
+    EXPECT_EQ(cache.streamBuilds(), 2u);
+    simulateConfig(cache, SchemeKind::PAsFinite, 6, 2);
+    EXPECT_EQ(cache.streamBuilds(), 3u);
+
+    // Repeated probes -- same widths, different column splits, plus
+    // schemes that need no first-level stream -- reuse what exists.
+    for (int round = 0; round < 3; ++round) {
+        simulateConfig(cache, SchemeKind::Path, 4, 2);
+        simulateConfig(cache, SchemeKind::PAsFinite, 4, 5);
+        simulateConfig(cache, SchemeKind::PAsFinite, 6, 0);
+        simulateConfig(cache, SchemeKind::GAs, 5, 5);
+        simulateConfig(cache, SchemeKind::Gshare, 5, 5);
+    }
+    EXPECT_EQ(cache.streamBuilds(), 3u);
+
+    // prepare() for already-covered jobs is a no-op too.
+    std::vector<ConfigJob> jobs{
+        ConfigJob{SchemeKind::Path, 7, 4, 3},
+        ConfigJob{SchemeKind::PAsFinite, 7, 6, 1},
+    };
+    cache.prepare(jobs, 2);
+    EXPECT_EQ(cache.streamBuilds(), 3u);
+}
+
 TEST(Sweep, SweepAgreesWithSimulateConfig)
 {
     PreparedTrace t(sharedWorkload());

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <random>
 #include <stdexcept>
 #include <vector>
 
@@ -155,6 +156,56 @@ TEST(ThreadPool, SubmitDeliversExceptionThroughFuture)
     auto fut = pool.submit(
         []() -> int { throw std::runtime_error("submitted"); });
     EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, StressManySmallRandomizedBatches)
+{
+    // The sweep engine's real usage pattern: a long sequence of small
+    // batches with wildly varying job counts, occasionally aborted by a
+    // throwing job, always followed by more work on the same pool.
+    ThreadPool pool(4);
+    std::minstd_rand rng(0xB5EED);
+
+    std::uint64_t jobs_expected = 0;
+    std::atomic<std::uint64_t> jobs_run{0};
+    unsigned throws_seen = 0, throws_expected = 0;
+
+    for (int batch = 0; batch < 400; ++batch) {
+        std::size_t n = 1 + rng() % 37;
+        unsigned threads = 1 + rng() % 6;
+        bool poison = batch % 9 == 4; // every ninth batch throws
+        std::size_t poison_at = rng() % n;
+
+        if (poison)
+            ++throws_expected;
+        else
+            jobs_expected += n;
+        try {
+            pool.parallelFor(n, threads, [&](std::size_t i) {
+                if (poison && i == poison_at)
+                    throw std::runtime_error("poisoned batch");
+                if (!poison)
+                    jobs_run.fetch_add(1, std::memory_order_relaxed);
+            });
+            EXPECT_FALSE(poison) << "batch " << batch
+                                 << " should have thrown";
+        } catch (const std::runtime_error &) {
+            EXPECT_TRUE(poison) << "batch " << batch
+                                << " threw unexpectedly";
+            ++throws_seen;
+        }
+    }
+
+    // Every clean batch ran to completion and every poisoned batch
+    // surfaced its exception; the pool never wedged.
+    EXPECT_EQ(jobs_run.load(), jobs_expected);
+    EXPECT_EQ(throws_seen, throws_expected);
+
+    // Final sanity: the pool is still fully usable for a larger batch.
+    std::atomic<int> final_count{0};
+    pool.parallelFor(1000, 4,
+                     [&](std::size_t) { final_count.fetch_add(1); });
+    EXPECT_EQ(final_count.load(), 1000);
 }
 
 TEST(ThreadPool, ManyMoreJobsThanWorkersDrain)
