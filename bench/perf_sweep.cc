@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Sweep throughput benchmark: wall-clock branch-config updates per
+ * second for every sweep scheme, in three execution modes --
+ *
+ *   serial        per-config kernel, one trace replay per job
+ *                 (threads=1, fuseJobs=off; the pre-fusion baseline)
+ *   fused         fused single-pass kernel (threads=1, fuseJobs=on)
+ *   fused+threads fused kernel with group-parallel execution
+ *                 (threads=0, one executor per hardware thread)
+ *
+ * One unit of work is a single branch instance simulated through a
+ * single configuration, so "branch-config updates/s" is comparable
+ * across schemes, modes, trace lengths and hosts.  The three modes
+ * produce bit-identical surfaces (verified in-process each run; a
+ * mismatch is a hard failure), so the timing comparison is fair.
+ *
+ * Results are written to a JSON file (default BENCH_sweep.json) whose
+ * format EXPERIMENTS.md documents; the `perf` ctest label runs a short
+ * smoke of this binary.  Speedups are *reported*, never asserted --
+ * the committed BENCH_sweep.json seeds the perf trajectory, CI only
+ * checks that the report is produced.
+ *
+ * Knobs: branches=N (trace length, default 1000000 -- the paper's
+ * profiles run 2-4M conditionals, so the default is sized to spill
+ * the trace out of cache the way real runs do), reps=N (timed
+ * repetitions, best-of, default 2), json=FILE, profile=NAME.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/sweep.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+namespace {
+
+struct ModeResult
+{
+    double seconds = 0.0;
+    double throughput = 0.0; // branch-config updates per second
+};
+
+struct SchemeResult
+{
+    SchemeKind kind;
+    std::size_t configs = 0;
+    ModeResult serial;
+    ModeResult fused;
+    ModeResult fusedThreads;
+    double fusedSpeedup = 0.0;
+    double fusedThreadsSpeedup = 0.0;
+};
+
+/** Time one sweep run under @p opts, returning wall seconds. */
+double
+runOnce(const PreparedTrace &trace, SchemeKind kind,
+        const SweepOptions &opts, Surface *surface_out)
+{
+    WallTimer timer;
+    SweepResult result = sweepScheme(trace, kind, opts);
+    const double secs = timer.seconds();
+    if (surface_out)
+        *surface_out = result.misprediction;
+    return secs;
+}
+
+/** Fairness precondition: every mode computes the same surface, bit
+ *  for bit; a mismatch is a hard failure. */
+void
+checkSurface(SchemeKind kind, const Surface &expect,
+             const Surface &got)
+{
+    const auto &a = expect.tiers();
+    const auto &b = got.tiers();
+    bpsim_assert(a.size() == b.size(), "tier count drift");
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        bpsim_assert(a[t].points.size() == b[t].points.size(),
+                     "point count drift in tier ", a[t].totalBits);
+        for (std::size_t p = 0; p < a[t].points.size(); ++p) {
+            bpsim_assert(a[t].points[p].value == b[t].points[p].value,
+                         "mode surfaces diverge for ",
+                         schemeKindName(kind), " tier 2^",
+                         a[t].totalBits, " rows 2^",
+                         a[t].points[p].rowBits,
+                         " -- fused kernel is not bit-identical");
+        }
+    }
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = Config::parseArgs(argc, argv);
+    const auto branches = static_cast<std::uint64_t>(
+        cfg.getInt("branches", 1000000));
+    const auto reps =
+        static_cast<unsigned>(cfg.getInt("reps", 2));
+    const std::string json_path =
+        cfg.getString("json", "BENCH_sweep.json");
+    const std::string profile = cfg.getString("profile", "mpeg_play");
+
+    banner("Sweep throughput: serial vs fused vs fused+threads");
+    std::printf("profile %s, %llu conditional branches, tiers 2^4.."
+                "2^15, best of %u rep%s, %u hardware thread%s\n\n",
+                profile.c_str(),
+                static_cast<unsigned long long>(branches), reps,
+                reps == 1 ? "" : "s", ThreadPool::hardwareThreads(),
+                ThreadPool::hardwareThreads() == 1 ? "" : "s");
+
+    PreparedTrace trace = prepareProfile(profile, branches);
+
+    SweepOptions serial_opts = paperSweepOptions();
+    serial_opts.trackAliasing = false;
+    serial_opts.threads = 1;
+    serial_opts.fuseJobs = false;
+    SweepOptions fused_opts = serial_opts;
+    fused_opts.fuseJobs = true;
+    SweepOptions fused_threads_opts = fused_opts;
+    fused_threads_opts.threads = 0;
+
+    const SchemeKind kinds[] = {
+        SchemeKind::AddressIndexed, SchemeKind::GAg,
+        SchemeKind::GAs,            SchemeKind::Gshare,
+        SchemeKind::Path,           SchemeKind::PAsPerfect,
+        SchemeKind::PAsFinite,
+    };
+
+    std::vector<SchemeResult> results;
+    std::printf("%-10s %10s | %14s | %14s %8s | %14s %8s\n", "scheme",
+                "configs", "serial bc/s", "fused bc/s", "speedup",
+                "fused+t bc/s", "speedup");
+    for (SchemeKind kind : kinds) {
+        SchemeResult r;
+        r.kind = kind;
+        r.configs = planSweep(kind, serial_opts).size();
+        const double work = static_cast<double>(trace.size()) *
+                            static_cast<double>(r.configs);
+
+        // Interleave the modes within each rep (serial, fused,
+        // fused+threads, serial, ...) so slow host drift during the
+        // run hits every mode alike instead of biasing the ratios;
+        // best-of-reps then discards transient interference.
+        Surface expect("");
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            Surface fused_surface(""), threaded_surface("");
+            const double s = runOnce(trace, kind, serial_opts,
+                                     rep == 0 ? &expect : nullptr);
+            const double f =
+                runOnce(trace, kind, fused_opts,
+                        rep == 0 ? &fused_surface : nullptr);
+            const double ft =
+                runOnce(trace, kind, fused_threads_opts,
+                        rep == 0 ? &threaded_surface : nullptr);
+            if (rep == 0) {
+                checkSurface(kind, expect, fused_surface);
+                checkSurface(kind, expect, threaded_surface);
+                r.serial.seconds = s;
+                r.fused.seconds = f;
+                r.fusedThreads.seconds = ft;
+            } else {
+                r.serial.seconds = std::min(r.serial.seconds, s);
+                r.fused.seconds = std::min(r.fused.seconds, f);
+                r.fusedThreads.seconds =
+                    std::min(r.fusedThreads.seconds, ft);
+            }
+        }
+
+        r.serial.throughput = work / r.serial.seconds;
+        r.fused.throughput = work / r.fused.seconds;
+        r.fusedThreads.throughput = work / r.fusedThreads.seconds;
+        r.fusedSpeedup = r.serial.seconds / r.fused.seconds;
+        r.fusedThreadsSpeedup =
+            r.serial.seconds / r.fusedThreads.seconds;
+        results.push_back(r);
+
+        std::printf("%-10s %10zu | %14.3e | %14.3e %7.2fx | %14.3e "
+                    "%7.2fx\n",
+                    schemeKindName(kind), r.configs,
+                    r.serial.throughput, r.fused.throughput,
+                    r.fusedSpeedup, r.fusedThreads.throughput,
+                    r.fusedThreadsSpeedup);
+    }
+
+    std::vector<double> fused_speedups, threaded_speedups;
+    for (const SchemeResult &r : results) {
+        fused_speedups.push_back(r.fusedSpeedup);
+        threaded_speedups.push_back(r.fusedThreadsSpeedup);
+    }
+    const double fused_geo = geomean(fused_speedups);
+    const double threaded_geo = geomean(threaded_speedups);
+    std::printf("\ngeomean fused speedup %.2fx, fused+threads %.2fx "
+                "(all surfaces verified bit-identical across modes)\n",
+                fused_geo, threaded_geo);
+
+    // Machine-readable record, consumed by CHANGES.md bookkeeping and
+    // future perf-trajectory comparisons (see EXPERIMENTS.md).
+    FILE *json = std::fopen(json_path.c_str(), "w");
+    if (!json)
+        bpsim_fatal("cannot write ", json_path);
+    std::fprintf(json, "{\n  \"bench\": \"perf_sweep\",\n");
+    std::fprintf(json, "  \"profile\": \"%s\",\n", profile.c_str());
+    std::fprintf(json, "  \"branches\": %llu,\n",
+                 static_cast<unsigned long long>(trace.size()));
+    std::fprintf(json, "  \"tiers\": [4, 15],\n");
+    std::fprintf(json, "  \"reps\": %u,\n", reps);
+    std::fprintf(json, "  \"hardware_threads\": %u,\n",
+                 ThreadPool::hardwareThreads());
+    std::fprintf(json, "  \"unit\": \"branch-config updates per "
+                       "second\",\n");
+    std::fprintf(json, "  \"schemes\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SchemeResult &r = results[i];
+        std::fprintf(json, "    {\"scheme\": \"%s\", \"configs\": "
+                           "%zu,\n",
+                     schemeKindName(r.kind), r.configs);
+        std::fprintf(json,
+                     "     \"serial\": {\"seconds\": %.6f, "
+                     "\"throughput\": %.3e},\n",
+                     r.serial.seconds, r.serial.throughput);
+        std::fprintf(json,
+                     "     \"fused\": {\"seconds\": %.6f, "
+                     "\"throughput\": %.3e},\n",
+                     r.fused.seconds, r.fused.throughput);
+        std::fprintf(json,
+                     "     \"fused_threads\": {\"seconds\": %.6f, "
+                     "\"throughput\": %.3e},\n",
+                     r.fusedThreads.seconds,
+                     r.fusedThreads.throughput);
+        std::fprintf(json,
+                     "     \"fused_speedup\": %.3f, "
+                     "\"fused_threads_speedup\": %.3f}%s\n",
+                     r.fusedSpeedup, r.fusedThreadsSpeedup,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"geomean_fused_speedup\": %.3f,\n"
+                 "  \"geomean_fused_threads_speedup\": %.3f\n}\n",
+                 fused_geo, threaded_geo);
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -40,17 +40,22 @@ class SatCounter
     /** @return the predicted direction: MSB of the counter. */
     constexpr bool predict() const { return value >= weaklyTaken; }
 
-    /** Train toward the actual outcome. */
+    /**
+     * Train toward the actual outcome.  Branchless: the saturating
+     * increment/decrement is computed arithmetically (no table lookup,
+     * no data-dependent branch) because the outcome stream feeding hot
+     * predictor loops is exactly the hard-to-predict kind.  The
+     * transition function is unchanged -- tests/test_sat_counter pins
+     * every (state, outcome) pair against the if/else specification.
+     */
     constexpr void
     update(bool taken)
     {
-        if (taken) {
-            if (value < maxValue)
-                ++value;
-        } else {
-            if (value > 0)
-                --value;
-        }
+        const unsigned t = static_cast<unsigned>(taken);
+        const unsigned up = t & static_cast<unsigned>(value != maxValue);
+        const unsigned down =
+            (t ^ 1u) & static_cast<unsigned>(value != 0);
+        value = static_cast<std::uint8_t>(value + up - down);
     }
 
     /** @return the raw counter state. */

@@ -1,8 +1,10 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
 #include <set>
 
 #include "common/logging.hh"
+#include "common/packed_pht.hh"
 #include "common/sat_counter.hh"
 #include "common/thread_pool.hh"
 #include "stats/aliasing.hh"
@@ -118,6 +120,161 @@ runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
     bpsim_panic("unreachable scheme kind");
 }
 
+/**
+ * The fused replay: one trace pass updates every member configuration.
+ * Per branch the raw row value and the pc word index are computed once
+ * (the members share them by construction); each member then derives
+ * its own table index by masking and trains its packed counter table.
+ *
+ * The pass is block-tiled for locality: a block of branches is decoded
+ * once into a compact per-branch record, then every lane makes one
+ * tight pass over the decoded block.  The decode cost (row functor, pc
+ * word index, outcome load) is amortised over all lanes, the block
+ * stays L1-resident while the lanes stream it, and each lane's packed
+ * table stays cache-hot for the whole block instead of being evicted
+ * between branches by a hundred sibling tables.
+ *
+ * When every member fits narrow limits (row and column <= 15 bits --
+ * always true for the paper's <= 2^15-counter tables), lanes are
+ * further grouped by column width: every lane with colBits == c indexes
+ * its table with ((row & rowMask) << c) | (col & colMask), which is
+ * ((row << c) | (col & mask(c))) & mask(totalBits).  The c-dependent
+ * part is shared, so it is materialised once per (block, c) as a uint32
+ * record carrying the outcome in bit 31, and the lane inner loop
+ * collapses to one 4-byte L1 load, one AND, and one packed-counter
+ * read-modify-write -- strictly less work per branch than the
+ * per-config kernel, on top of the single-pass trace traversal.
+ */
+template <typename RowFn>
+void
+runFusedReplay(const PreparedTrace &t,
+               const std::vector<ConfigJob> &jobs,
+               const std::vector<std::size_t> &members, RowFn row_of,
+               ConfigResult *slots)
+{
+    struct Lane
+    {
+        std::uint64_t rowMask;
+        std::uint64_t colMask;
+        unsigned colBits;
+        std::uint64_t mispredicts = 0;
+        PackedPht pht;
+
+        explicit Lane(const ConfigJob &job)
+            : rowMask(mask(job.rowBits)), colMask(mask(job.colBits)),
+              colBits(job.colBits),
+              pht(std::size_t{1} << (job.rowBits + job.colBits))
+        {
+        }
+    };
+
+    std::vector<Lane> lanes;
+    lanes.reserve(members.size());
+    bool narrow = true;
+    for (std::size_t member : members) {
+        lanes.emplace_back(jobs[member]);
+        if (jobs[member].rowBits > 15 || jobs[member].colBits > 15)
+            narrow = false;
+    }
+
+    // 2048 * 4 bytes keeps each decoded block at 8 KiB -- small enough
+    // to share L1 with the largest packed table a paper sweep uses
+    // (2^15 counters = 8 KiB).
+    constexpr std::size_t blockSize = 2048;
+    const std::size_t n = t.size();
+
+    if (narrow) {
+        // Lanes sharing a column width share their fused record; the
+        // record for c occupies bits 0..29 (row << c tops out at bit
+        // 14 + 15), so the outcome bit in 31 never collides with any
+        // total-bits mask.
+        std::vector<std::vector<Lane *>> by_col(16);
+        for (Lane &lane : lanes)
+            by_col[lane.colBits].push_back(&lane);
+
+        // Raw decode: outcome in bit 31, row in bits 29..15, column
+        // in bits 14..0.  Lanes only read the row/column bits their
+        // masks cover, so the 15-bit truncation is lossless.
+        std::vector<std::uint32_t> decoded(blockSize);
+        std::vector<std::uint32_t> record(blockSize);
+        for (std::size_t base = 0; base < n; base += blockSize) {
+            const std::size_t m = std::min(blockSize, n - base);
+            for (std::size_t i = 0; i < m; ++i) {
+                const std::size_t g = base + i;
+                decoded[i] =
+                    (static_cast<std::uint32_t>(t.taken(g)) << 31) |
+                    ((static_cast<std::uint32_t>(row_of(g)) &
+                      0x7FFFu) << 15) |
+                    (static_cast<std::uint32_t>(wordIndex(t.pc(g))) &
+                     0x7FFFu);
+            }
+            for (unsigned c = 0; c < by_col.size(); ++c) {
+                if (by_col[c].empty())
+                    continue;
+                const auto col_mask =
+                    static_cast<std::uint32_t>(mask(c));
+                for (std::size_t i = 0; i < m; ++i) {
+                    const std::uint32_t d = decoded[i];
+                    record[i] = (d & 0x80000000u) |
+                                (((d >> 15) & 0x7FFFu) << c) |
+                                (d & col_mask);
+                }
+                const std::uint32_t *block = record.data();
+                for (Lane *lane : by_col[c]) {
+                    const auto total_mask = static_cast<std::uint32_t>(
+                        (lane->rowMask << c) | lane->colMask);
+                    std::uint8_t *bytes = lane->pht.data();
+                    std::uint64_t misses = 0;
+                    for (std::size_t i = 0; i < m; ++i) {
+                        const std::uint32_t rc = block[i];
+                        misses += PackedPht::predictAndUpdateRaw(
+                            bytes, rc & total_mask, rc >> 31);
+                    }
+                    lane->mispredicts += misses;
+                }
+            }
+        }
+    } else {
+        // Wide fallback for configurations beyond the packed-record
+        // limits: same tiling, 64-bit row/column records.
+        std::vector<std::uint64_t> rows(blockSize), cols(blockSize);
+        std::vector<std::uint8_t> takens(blockSize);
+        for (std::size_t base = 0; base < n; base += blockSize) {
+            const std::size_t m = std::min(blockSize, n - base);
+            for (std::size_t i = 0; i < m; ++i) {
+                const std::size_t g = base + i;
+                rows[i] = row_of(g);
+                cols[i] = wordIndex(t.pc(g));
+                takens[i] = static_cast<std::uint8_t>(t.taken(g));
+            }
+            for (Lane &lane : lanes) {
+                const std::uint64_t row_mask = lane.rowMask;
+                const std::uint64_t col_mask = lane.colMask;
+                const unsigned col_bits = lane.colBits;
+                std::uint8_t *bytes = lane.pht.data();
+                std::uint64_t misses = 0;
+                for (std::size_t i = 0; i < m; ++i) {
+                    const auto idx = static_cast<std::size_t>(
+                        ((rows[i] & row_mask) << col_bits) |
+                        (cols[i] & col_mask));
+                    misses += PackedPht::predictAndUpdateRaw(
+                        bytes, idx, takens[i]);
+                }
+                lane.mispredicts += misses;
+            }
+        }
+    }
+
+    for (std::size_t j = 0; j < members.size(); ++j) {
+        ConfigResult &out = slots[members[j]];
+        out = ConfigResult{};
+        out.mispRate =
+            n ? static_cast<double>(lanes[j].mispredicts) /
+                    static_cast<double>(n)
+              : 0.0;
+    }
+}
+
 } // namespace
 
 const char *
@@ -154,6 +311,85 @@ planSweep(SchemeKind kind, const SweepOptions &opts)
         }
     }
     return jobs;
+}
+
+std::vector<FusedGroup>
+planFusedGroups(const std::vector<ConfigJob> &jobs,
+                const SweepOptions &opts, unsigned threads)
+{
+    std::vector<FusedGroup> groups;
+
+    // AliasTracker needs the per-access branch address, which the
+    // packed kernel deliberately does not thread through -- fall back
+    // to one per-config replay per job (Figure 5 semantics untouched).
+    if (opts.trackAliasing || !opts.fuseJobs) {
+        groups.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            FusedGroup g;
+            g.kind = jobs[i].kind;
+            g.streamRowBits = jobs[i].rowBits;
+            g.fused = false;
+            g.jobs.push_back(i);
+            groups.push_back(std::move(g));
+        }
+        return groups;
+    }
+
+    // Bucket by shared first-level stream, in first-appearance order.
+    // Only PAsFinite streams depend on the row width (the 0xC3FF reset
+    // prefix differs); every other scheme shares one bucket per kind.
+    struct Bucket
+    {
+        SchemeKind kind;
+        unsigned streamRowBits;
+        std::vector<std::size_t> jobs;
+    };
+    std::vector<Bucket> buckets;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const ConfigJob &job = jobs[i];
+        const unsigned key =
+            job.kind == SchemeKind::PAsFinite ? job.rowBits : 0;
+        Bucket *bucket = nullptr;
+        for (Bucket &b : buckets) {
+            if (b.kind == job.kind && b.streamRowBits == key) {
+                bucket = &b;
+                break;
+            }
+        }
+        if (!bucket) {
+            buckets.push_back(Bucket{job.kind, key, {}});
+            bucket = &buckets.back();
+        }
+        bucket->jobs.push_back(i);
+    }
+
+    // Chunk each bucket into at most `threads` contiguous groups so
+    // the pool can spread one large bucket across executors.  Each
+    // chunk replays the trace once; the per-job results are identical
+    // for any chunking, so the split is free to vary with the thread
+    // count.
+    const std::size_t chunk_target = threads > 1 ? threads : 1;
+    for (Bucket &bucket : buckets) {
+        const std::size_t size = bucket.jobs.size();
+        const std::size_t chunks = std::min(chunk_target, size);
+        const std::size_t base = size / chunks;
+        const std::size_t extra = size % chunks;
+        std::size_t next = 0;
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t take = base + (c < extra ? 1 : 0);
+            FusedGroup g;
+            g.kind = bucket.kind;
+            g.streamRowBits = bucket.streamRowBits;
+            g.fused = true;
+            g.jobs.assign(bucket.jobs.begin() +
+                              static_cast<std::ptrdiff_t>(next),
+                          bucket.jobs.begin() +
+                              static_cast<std::ptrdiff_t>(next + take));
+            next += take;
+            groups.push_back(std::move(g));
+        }
+    }
+    return groups;
 }
 
 StreamCache::StreamCache(const PreparedTrace &trace,
@@ -227,26 +463,54 @@ StreamCache::prepare(const std::vector<ConfigJob> &jobs,
         });
     }
 
-    if (builds.empty())
-        return;
-    if (threads <= 1 || builds.size() == 1) {
-        for (auto &build : builds)
-            build();
-    } else {
-        ThreadPool::shared().parallelFor(
-            builds.size(), threads,
-            [&](std::size_t i) { builds[i](); });
+    if (!builds.empty()) {
+        if (threads <= 1 || builds.size() == 1) {
+            for (auto &build : builds)
+                build();
+        } else {
+            ThreadPool::shared().parallelFor(
+                builds.size(), threads,
+                [&](std::size_t i) { builds[i](); });
+        }
     }
+
+    // Publish the lock-free lookup table -- even when nothing needed
+    // building, so a prepared cache never locks in the execution hot
+    // path.  The pointers are stable: path_ is emplaced once and map
+    // nodes never move, and lazy (post-prepare) inserts only add
+    // entries these tables do not reference.
+    std::lock_guard<std::mutex> lock(mutex_);
+    preparedPath_ = path_ ? &*path_ : nullptr;
+    preparedBht_.clear();
+    preparedBht_.reserve(bht_.size());
+    for (const auto &entry : bht_)
+        preparedBht_.emplace_back(entry.first, &entry.second);
+}
+
+const StreamCache::BhtStream *
+StreamCache::preparedBhtStream(unsigned row_bits) const
+{
+    for (const auto &entry : preparedBht_) {
+        if (entry.first == row_bits)
+            return entry.second;
+    }
+    return nullptr;
 }
 
 const std::vector<std::uint64_t> *
 StreamCache::stream(SchemeKind kind, unsigned row_bits)
 {
     if (kind == SchemeKind::Path) {
+        if (preparedPath_)
+            return preparedPath_;
+        lockedLookups_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mutex_);
         return &pathStreamLocked();
     }
     if (kind == SchemeKind::PAsFinite) {
+        if (const BhtStream *prepared = preparedBhtStream(row_bits))
+            return &prepared->stream;
+        lockedLookups_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mutex_);
         return &bhtStreamLocked(row_bits).stream;
     }
@@ -256,8 +520,17 @@ StreamCache::stream(SchemeKind kind, unsigned row_bits)
 double
 StreamCache::bhtMissRate(unsigned row_bits)
 {
+    if (const BhtStream *prepared = preparedBhtStream(row_bits))
+        return prepared->missRate;
+    lockedLookups_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mutex_);
     return bhtStreamLocked(row_bits).missRate;
+}
+
+std::size_t
+StreamCache::lockedLookups() const
+{
+    return lockedLookups_.load(std::memory_order_relaxed);
 }
 
 std::size_t
@@ -287,6 +560,66 @@ runConfigJob(const ConfigJob &job, StreamCache &cache)
     return out;
 }
 
+void
+runFusedGroup(const FusedGroup &group,
+              const std::vector<ConfigJob> &jobs, StreamCache &cache,
+              ConfigResult *slots)
+{
+    if (!group.fused) {
+        for (std::size_t member : group.jobs)
+            slots[member] = runConfigJob(jobs[member], cache);
+        return;
+    }
+
+    const PreparedTrace &t = cache.trace();
+    // One stream lookup per group, not per job or per branch.
+    const std::vector<std::uint64_t> *aux =
+        cache.stream(group.kind, group.streamRowBits);
+
+    switch (group.kind) {
+      case SchemeKind::AddressIndexed:
+        runFusedReplay(t, jobs, group.jobs,
+                       [](std::size_t) { return std::uint64_t{0}; },
+                       slots);
+        break;
+      case SchemeKind::GAg:
+      case SchemeKind::GAs:
+        runFusedReplay(
+            t, jobs, group.jobs,
+            [&](std::size_t i) { return t.globalHistory(i); }, slots);
+        break;
+      case SchemeKind::Gshare:
+        runFusedReplay(t, jobs, group.jobs,
+                       [&](std::size_t i) {
+                           return t.globalHistory(i) ^
+                                  wordIndex(t.pc(i));
+                       },
+                       slots);
+        break;
+      case SchemeKind::Path:
+        bpsim_assert(aux, "fused path group needs a history stream");
+        runFusedReplay(t, jobs, group.jobs,
+                       [&](std::size_t i) { return (*aux)[i]; },
+                       slots);
+        break;
+      case SchemeKind::PAsPerfect:
+        runFusedReplay(t, jobs, group.jobs,
+                       [&](std::size_t i) { return t.selfHistory(i); },
+                       slots);
+        break;
+      case SchemeKind::PAsFinite: {
+        bpsim_assert(aux, "fused finite-PAs group needs a BHT stream");
+        runFusedReplay(t, jobs, group.jobs,
+                       [&](std::size_t i) { return (*aux)[i]; },
+                       slots);
+        const double miss = cache.bhtMissRate(group.streamRowBits);
+        for (std::size_t member : group.jobs)
+            slots[member].bhtMissRate = miss;
+        break;
+      }
+    }
+}
+
 SweepResult::SweepResult(const std::string &scheme_name,
                          const std::string &trace_name)
     : misprediction(scheme_name + " misprediction: " + trace_name),
@@ -301,21 +634,26 @@ sweepScheme(const PreparedTrace &trace, SchemeKind kind,
 {
     SweepResult result(schemeKindName(kind), trace.name());
 
-    // Plan: enumerate the space and precompute shared inputs.
+    // Plan: enumerate the space, partition into fused groups, and
+    // precompute shared inputs.
     const std::vector<ConfigJob> jobs = planSweep(kind, opts);
     const unsigned threads = ThreadPool::resolveThreads(opts.threads);
+    const std::vector<FusedGroup> groups =
+        planFusedGroups(jobs, opts, threads);
     StreamCache cache(trace, opts);
     cache.prepare(jobs, threads);
 
-    // Execute: one deterministic result slot per job.
+    // Execute: the pool distributes whole groups; every group writes
+    // only its own members' slots, so placement stays deterministic.
     std::vector<ConfigResult> slots(jobs.size());
     if (threads <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            slots[i] = runConfigJob(jobs[i], cache);
+        for (const FusedGroup &group : groups)
+            runFusedGroup(group, jobs, cache, slots.data());
     } else {
         ThreadPool::shared().parallelFor(
-            jobs.size(), threads,
-            [&](std::size_t i) { slots[i] = runConfigJob(jobs[i], cache); });
+            groups.size(), threads, [&](std::size_t g) {
+                runFusedGroup(groups[g], jobs, cache, slots.data());
+            });
     }
 
     // Merge in plan order: bit-identical to the serial sweep.

@@ -5,13 +5,23 @@
  * trace.  This is the engine behind Figures 2-10 and Table 3.
  *
  * Sweeps run in two phases.  The *plan* phase (planSweep) enumerates the
- * configuration space into ConfigJobs and a StreamCache precomputes
- * every shared immutable input (the path-history stream and the
- * per-row-width BHT streams with their miss rates).  The *execute*
- * phase replays the trace once per job -- serially or on the shared
- * ThreadPool, governed by SweepOptions::threads -- into per-job
- * ConfigResult slots that are merged into Surfaces in plan order, so
- * parallel results are bit-identical to the serial ones.
+ * configuration space into ConfigJobs, planFusedGroups partitions them
+ * into FusedGroups of jobs sharing one first-level input stream, and a
+ * StreamCache precomputes every shared immutable input (the path-history
+ * stream and the per-row-width BHT streams with their miss rates).  The
+ * *execute* phase replays the trace once per GROUP -- all member
+ * configurations' packed pattern tables are updated in the same pass,
+ * since every split of a tier reads the same per-branch row value and
+ * word index -- serially or on the shared ThreadPool, governed by
+ * SweepOptions::threads (which now distributes groups, not single
+ * jobs).  Results land in per-job ConfigResult slots that are merged
+ * into Surfaces in plan order, so parallel and fused results are both
+ * bit-identical to the serial per-config ones.
+ *
+ * Aliasing measurement (Figure 5) needs the per-access branch-address
+ * comparison of AliasTracker, so aliasing-tracked sweeps fall back to
+ * the original one-job-per-replay kernel; semantics there are
+ * untouched.
  *
  * The sweep path is the fast counterpart of the online TwoLevelPredictor
  * (see prepared_trace.hh); their equivalence is pinned by tests.
@@ -20,6 +30,7 @@
 #ifndef BPSIM_SIM_SWEEP_HH
 #define BPSIM_SIM_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -68,6 +79,14 @@ struct SweepOptions
      * thread, 1 = serial.  Results are identical either way.
      */
     unsigned threads = 1;
+    /**
+     * Fuse jobs sharing a first-level stream into single-pass group
+     * replays (packed-counter kernel).  Aliasing-tracked sweeps ignore
+     * this and always take the per-config AliasTracker path.  Results
+     * are bit-identical either way; false forces the per-config kernel
+     * (the serial baseline the perf_sweep bench measures against).
+     */
+    bool fuseJobs = true;
 };
 
 /** One configuration's measurements. */
@@ -100,16 +119,54 @@ std::vector<ConfigJob> planSweep(SchemeKind kind,
                                  const SweepOptions &opts);
 
 /**
+ * A unit of fused execution: jobs (indices into the planned job
+ * vector) that replay the trace together because they read the same
+ * per-branch first-level inputs.  When fused is false the group is a
+ * fallback wrapper and its members run through the per-config kernel
+ * one at a time (the AliasTracker path).
+ */
+struct FusedGroup
+{
+    SchemeKind kind = SchemeKind::GAs;
+    /**
+     * Stream key for StreamCache::stream(): the shared BHT row width
+     * for PAsFinite groups, 0 for every other scheme (whose streams,
+     * when they have one at all, are row-width independent).
+     */
+    unsigned streamRowBits = 0;
+    /** Single-pass packed kernel (true) or per-config fallback. */
+    bool fused = false;
+    /** Member jobs, as indices into the planned job vector. */
+    std::vector<std::size_t> jobs;
+};
+
+/**
+ * Partition planned jobs into fused execution groups.  Jobs sharing a
+ * first-level stream (same scheme; same BHT row width for PAsFinite)
+ * land in one group, split into at most @p threads chunks so the pool
+ * can spread a large group across executors.  When opts.trackAliasing
+ * or !opts.fuseJobs, every job becomes its own fallback group.
+ * Every job index appears in exactly one group; results are
+ * bit-identical for any grouping.
+ */
+std::vector<FusedGroup>
+planFusedGroups(const std::vector<ConfigJob> &jobs,
+                const SweepOptions &opts, unsigned threads);
+
+/**
  * Shared immutable first-level inputs for one (trace, options) pair:
  * the path-history stream and the finite-BHT history streams (one per
  * row width, because the 0xC3FF reset prefix differs by width) with
  * their miss rates.
  *
  * prepare() builds every stream a job list needs up front -- in
- * parallel when asked -- after which stream() is a read-only lookup
- * safe to call from any number of executors.  Unprepared lookups build
- * lazily under a lock, which keeps one-off simulateConfig() calls
- * cheap to write.
+ * parallel when asked -- and publishes a lock-free lookup table, after
+ * which stream() and bhtMissRate() are read-only lookups that take no
+ * lock at all (lockedLookups() counts the ones that did, so tests can
+ * pin the fused hot path to zero).  Unprepared lookups build lazily
+ * under a lock, which keeps one-off simulateConfig() calls cheap to
+ * write.  prepare() must not race with concurrent lookups; the sweep
+ * engine always finishes it before dispatching executors.
  */
 class StreamCache
 {
@@ -125,12 +182,24 @@ class StreamCache
     /**
      * First-level stream feeding a job's row index, or nullptr for the
      * schemes that index rows straight from the prepared trace.
+     * Lock-free after prepare() covered the (kind, row_bits) pair.
      */
     const std::vector<std::uint64_t> *stream(SchemeKind kind,
                                              unsigned row_bits);
 
-    /** BHT miss rate observed building the width-@p row_bits stream. */
+    /**
+     * BHT miss rate observed building the width-@p row_bits stream.
+     * Lock-free after prepare() covered the width.
+     */
     double bhtMissRate(unsigned row_bits);
+
+    /**
+     * Lookups (stream() or bhtMissRate()) that missed the prepared
+     * lock-free table and had to take the lazy-build lock.  Fused
+     * execution after prepare() must leave this at zero -- the
+     * invariant pinned by test_sweep.
+     */
+    std::size_t lockedLookups() const;
 
     /**
      * Number of first-level streams computed so far (path stream plus
@@ -156,6 +225,8 @@ class StreamCache
 
     const std::vector<std::uint64_t> &pathStreamLocked();
     const BhtStream &bhtStreamLocked(unsigned row_bits);
+    /** Lock-free lookup in the prepared table; nullptr on miss. */
+    const BhtStream *preparedBhtStream(unsigned row_bits) const;
 
     const PreparedTrace &trace_;
     SweepOptions opts_;
@@ -163,6 +234,14 @@ class StreamCache
     std::optional<std::vector<std::uint64_t>> path_;
     std::map<unsigned, BhtStream> bht_;
     std::size_t streamBuilds_ = 0;
+    /**
+     * Lock-free lookup table published by prepare(): stable pointers
+     * into path_ / bht_ (map nodes never move, lazy inserts never
+     * touch these), read by stream()/bhtMissRate() without the lock.
+     */
+    const std::vector<std::uint64_t> *preparedPath_ = nullptr;
+    std::vector<std::pair<unsigned, const BhtStream *>> preparedBht_;
+    mutable std::atomic<std::size_t> lockedLookups_{0};
 };
 
 /**
@@ -170,6 +249,17 @@ class StreamCache
  * the cache is prepared for the job's scheme and row width.
  */
 ConfigResult runConfigJob(const ConfigJob &job, StreamCache &cache);
+
+/**
+ * Execute one fused group, writing each member job's result into
+ * slots[job index].  @p slots addresses the whole planned job vector.
+ * Fused groups walk the trace once, updating every member's packed
+ * pattern table per branch; fallback groups delegate to runConfigJob.
+ * Thread-safe once @p cache is prepared for the group.
+ */
+void runFusedGroup(const FusedGroup &group,
+                   const std::vector<ConfigJob> &jobs,
+                   StreamCache &cache, ConfigResult *slots);
 
 /** Surfaces over the whole configuration space of one scheme. */
 struct SweepResult

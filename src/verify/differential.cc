@@ -472,11 +472,15 @@ runDifferentialFuzzer(const FuzzOptions &options)
             }
         }
 
-        // Layer 2: sweep fast path vs reference misprediction rate.
+        // Layer 2: sweep fast paths vs reference misprediction rate.
+        // Both kernels are held to exact equality: the per-config
+        // AliasTracker-capable kernel (via simulateConfig) and the
+        // fused packed-counter kernel (via a one-job fused group).
         if (options.crossCheckFastPath) {
             if (auto kind = sweepKind(scheme)) {
                 SweepOptions sweep;
                 sweep.trackAliasing = false;
+                sweep.fuseJobs = false;
                 sweep.pathBitsPerTarget = config.pathBitsPerTarget;
                 sweep.bhtEntries = config.bhtEntries;
                 sweep.bhtAssoc = config.bhtAssoc;
@@ -500,6 +504,34 @@ runDifferentialFuzzer(const FuzzOptions &options)
                        << policyField(config.bhtResetPolicy)
                        << " on trace '" << trace.name()
                        << "': kernel " << result.mispRate
+                       << " vs reference " << reference_rate;
+                    report.fastPathProblems.push_back(os.str());
+                }
+
+                SweepOptions fused_opts = sweep;
+                fused_opts.fuseJobs = true;
+                const std::vector<ConfigJob> fused_jobs{ConfigJob{
+                    *kind, config.rowBits + config.colBits,
+                    config.rowBits, config.colBits}};
+                const std::vector<FusedGroup> fused_groups =
+                    planFusedGroups(fused_jobs, fused_opts, 1);
+                StreamCache fused_cache(prepared, fused_opts);
+                fused_cache.prepare(fused_jobs, 1);
+                ConfigResult fused_result;
+                for (const FusedGroup &group : fused_groups)
+                    runFusedGroup(group, fused_jobs, fused_cache,
+                                  &fused_result);
+                if (fused_result.mispRate != reference_rate &&
+                    report.fastPathProblems.size() <
+                        maxStoredProblems) {
+                    std::ostringstream os;
+                    os << "fused kernel disagrees with reference for "
+                       << schemeKindName(*kind) << " r="
+                       << config.rowBits << " c=" << config.colBits
+                       << " policy="
+                       << policyField(config.bhtResetPolicy)
+                       << " on trace '" << trace.name()
+                       << "': fused " << fused_result.mispRate
                        << " vs reference " << reference_rate;
                     report.fastPathProblems.push_back(os.str());
                 }

@@ -85,8 +85,10 @@ struct FuzzOptions
      */
     bool includeVariants = true;
     /**
-     * For core-scheme pairs, additionally check the sweep fast path
-     * (simulateConfig) against the reference misprediction rate.
+     * For core-scheme pairs, additionally check both sweep fast paths
+     * -- the per-config kernel (simulateConfig) and the fused
+     * packed-counter kernel (runFusedGroup) -- against the reference
+     * misprediction rate.
      */
     bool crossCheckFastPath = true;
 };

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Differential verification of the fused single-pass sweep kernel:
+ * for fuzzed sets of (tier, split) configurations across all seven
+ * sweep schemes, the fused packed-counter kernel, the per-config
+ * kernel (runConfigJob) and the naive reference model must agree
+ * bit-exactly on every misprediction rate.
+ *
+ * This is the sweep-group-shaped complement of the per-pair fused
+ * cross-check inside runDifferentialFuzzer (which the tier-1 campaign
+ * in test_differential_fuzz.cc runs): here whole mixed-tier job lists
+ * go through planFusedGroups/runFusedGroup exactly as sweepScheme
+ * dispatches them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sim/sweep.hh"
+#include "verify/differential.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+using namespace bpsim::verify;
+
+namespace {
+
+constexpr SchemeKind allKinds[] = {
+    SchemeKind::AddressIndexed, SchemeKind::GAg,
+    SchemeKind::GAs,            SchemeKind::Gshare,
+    SchemeKind::Path,           SchemeKind::PAsPerfect,
+    SchemeKind::PAsFinite,
+};
+
+MemoryTrace
+fuzzTrace(std::uint64_t seed, std::uint64_t conditionals)
+{
+    WorkloadParams p;
+    p.name = "fused-diff-" + std::to_string(seed);
+    p.seed = seed;
+    p.staticBranches = 80;
+    p.functionCount = 8;
+    p.targetConditionals = conditionals;
+    return generateTrace(p);
+}
+
+/** A job's reference-model twin under the given sweep options. */
+RefConfig
+refConfigFor(const ConfigJob &job, const SweepOptions &opts)
+{
+    RefConfig config;
+    switch (job.kind) {
+      case SchemeKind::AddressIndexed:
+        config.scheme = RefScheme::AddressIndexed;
+        break;
+      case SchemeKind::GAg: config.scheme = RefScheme::GAg; break;
+      case SchemeKind::GAs: config.scheme = RefScheme::GAs; break;
+      case SchemeKind::Gshare: config.scheme = RefScheme::Gshare; break;
+      case SchemeKind::Path: config.scheme = RefScheme::Path; break;
+      case SchemeKind::PAsPerfect:
+        config.scheme = RefScheme::PAsPerfect;
+        break;
+      case SchemeKind::PAsFinite:
+        config.scheme = RefScheme::PAsFinite;
+        break;
+    }
+    config.rowBits = job.rowBits;
+    config.colBits = job.colBits;
+    config.pathBitsPerTarget = opts.pathBitsPerTarget;
+    config.bhtEntries = opts.bhtEntries;
+    config.bhtAssoc = opts.bhtAssoc;
+    return config;
+}
+
+/** Run @p jobs through planFusedGroups/runFusedGroup. */
+std::vector<ConfigResult>
+runFused(const PreparedTrace &t, const std::vector<ConfigJob> &jobs,
+         const SweepOptions &opts, unsigned threads)
+{
+    StreamCache cache(t, opts);
+    cache.prepare(jobs, 1);
+    std::vector<ConfigResult> slots(jobs.size());
+    for (const FusedGroup &group :
+         planFusedGroups(jobs, opts, threads))
+        runFusedGroup(group, jobs, cache, slots.data());
+    return slots;
+}
+
+} // namespace
+
+TEST(FusedKernelDifferential, FuzzedGroupsAgreeWithPerConfigKernel)
+{
+    // Fuzzed mixed-tier job lists for every scheme: the fused group
+    // execution must match runConfigJob exactly, field for field.
+    Pcg32 rng(0xF05ED0BAULL, 11);
+    for (int round = 0; round < 10; ++round) {
+        const SchemeKind kind = allKinds[rng.nextBounded(7)];
+        MemoryTrace trace =
+            fuzzTrace(1000 + round, 2000 + rng.nextBounded(3000));
+        PreparedTrace prepared(trace);
+
+        SweepOptions opts;
+        opts.trackAliasing = false;
+        opts.fuseJobs = true;
+        opts.bhtEntries = 32u << rng.nextBounded(3);
+        opts.bhtAssoc = rng.nextBounded(2) ? 4 : 2;
+
+        // A fuzzed (tier, split) set: random tiers 4..9, random
+        // splits, duplicates of row width across tiers included.
+        std::vector<ConfigJob> jobs;
+        const std::size_t count = 3 + rng.nextBounded(6);
+        for (std::size_t j = 0; j < count; ++j) {
+            unsigned total = 4 + rng.nextBounded(6);
+            unsigned r = rng.nextBounded(total + 1);
+            if (kind == SchemeKind::AddressIndexed)
+                r = 0;
+            if (kind == SchemeKind::GAg)
+                r = total;
+            jobs.push_back(ConfigJob{kind, total, r, total - r});
+        }
+
+        const unsigned threads = 1 + rng.nextBounded(3);
+        std::vector<ConfigResult> fused =
+            runFused(prepared, jobs, opts, threads);
+
+        StreamCache per_config_cache(prepared, opts);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            ConfigResult expected =
+                runConfigJob(jobs[j], per_config_cache);
+            EXPECT_EQ(fused[j].mispRate, expected.mispRate)
+                << schemeKindName(kind) << " r=" << jobs[j].rowBits
+                << " c=" << jobs[j].colBits << " round " << round;
+            EXPECT_EQ(fused[j].bhtMissRate, expected.bhtMissRate)
+                << schemeKindName(kind) << " round " << round;
+            EXPECT_EQ(fused[j].aliasRate, expected.aliasRate);
+            EXPECT_EQ(fused[j].harmlessFraction,
+                      expected.harmlessFraction);
+        }
+    }
+}
+
+TEST(FusedKernelDifferential, AllSchemesAgreeWithReferenceModel)
+{
+    // Close the triangle: fused kernel vs the naive reference model,
+    // exact equality, on a fuzzed split per scheme per tier.
+    Pcg32 rng(0xD1FF05EDULL, 3);
+    MemoryTrace trace = fuzzTrace(77, 2500);
+    PreparedTrace prepared(trace);
+
+    for (SchemeKind kind : allKinds) {
+        SweepOptions opts;
+        opts.trackAliasing = false;
+        opts.fuseJobs = true;
+        opts.bhtEntries = 64;
+        opts.bhtAssoc = 4;
+
+        std::vector<ConfigJob> jobs;
+        for (unsigned total : {4u, 6u, 8u}) {
+            unsigned r = rng.nextBounded(total + 1);
+            if (kind == SchemeKind::AddressIndexed)
+                r = 0;
+            if (kind == SchemeKind::GAg)
+                r = total;
+            jobs.push_back(ConfigJob{kind, total, r, total - r});
+        }
+
+        std::vector<ConfigResult> fused =
+            runFused(prepared, jobs, opts, 1);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            const double reference =
+                referenceMispRate(refConfigFor(jobs[j], opts), trace);
+            EXPECT_EQ(fused[j].mispRate, reference)
+                << schemeKindName(kind) << " r=" << jobs[j].rowBits
+                << " c=" << jobs[j].colBits;
+        }
+    }
+}
+
+TEST(FusedKernelDifferential, WholeSweepTriangleOnCoreSchemes)
+{
+    // sweepScheme end to end, fused vs per-config, with reference
+    // spot checks at the corners of each scheme's surface.
+    MemoryTrace trace = fuzzTrace(5, 4000);
+    PreparedTrace prepared(trace);
+
+    for (SchemeKind kind : allKinds) {
+        SweepOptions fused;
+        fused.minTotalBits = 4;
+        fused.maxTotalBits = 7;
+        fused.trackAliasing = false;
+        fused.bhtEntries = 64;
+        fused.fuseJobs = true;
+        SweepOptions per_config = fused;
+        per_config.fuseJobs = false;
+
+        SweepResult rf = sweepScheme(prepared, kind, fused);
+        SweepResult rp = sweepScheme(prepared, kind, per_config);
+        ASSERT_EQ(rf.misprediction.tiers().size(),
+                  rp.misprediction.tiers().size());
+        for (std::size_t t = 0; t < rf.misprediction.tiers().size();
+             ++t) {
+            const SurfaceTier &tf = rf.misprediction.tiers()[t];
+            const SurfaceTier &tp = rp.misprediction.tiers()[t];
+            ASSERT_EQ(tf.points.size(), tp.points.size());
+            for (std::size_t p = 0; p < tf.points.size(); ++p)
+                EXPECT_EQ(tf.points[p].value, tp.points[p].value)
+                    << schemeKindName(kind) << " tier 2^"
+                    << tf.totalBits << " rows 2^"
+                    << tf.points[p].rowBits;
+        }
+
+        // Reference spot check at both edges of the largest tier.
+        for (const SurfacePoint &pt :
+             {rf.misprediction.tiers().back().points.front(),
+              rf.misprediction.tiers().back().points.back()}) {
+            ConfigJob job{kind, pt.rowBits + pt.colBits, pt.rowBits,
+                          pt.colBits};
+            const double reference =
+                referenceMispRate(refConfigFor(job, fused), trace);
+            EXPECT_EQ(pt.value, reference)
+                << schemeKindName(kind) << " r=" << pt.rowBits
+                << " c=" << pt.colBits;
+        }
+    }
+}

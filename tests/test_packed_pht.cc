@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the packed 2-bit counter table behind the fused sweep
+ * kernel: bit-exact equivalence with SatCounter<2>, packing isolation
+ * (neighbours in a byte never disturb each other), and the combined
+ * predict-and-update hot-path contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/packed_pht.hh"
+#include "common/random.hh"
+
+using namespace bpsim;
+
+TEST(PackedPht, InitialStateIsWeaklyTakenEverywhere)
+{
+    PackedPht table(13); // deliberately not a multiple of 4
+    EXPECT_EQ(table.size(), 13u);
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        EXPECT_EQ(table.counter(i), TwoBitCounter().raw()) << i;
+        EXPECT_TRUE(table.predict(i)) << i;
+    }
+}
+
+TEST(PackedPht, EveryTransitionMatchesSatCounter)
+{
+    // All 4 states x both outcomes, against the canonical counter.
+    for (std::uint8_t state = 0; state <= 3; ++state) {
+        for (bool taken : {false, true}) {
+            PackedPht table(4);
+            // Drive counter 2 into `state` via a fresh table each time
+            // so neighbours stay at reset.
+            for (int i = 0; i < 3; ++i)
+                table.update(2, false);
+            for (std::uint8_t i = 0; i < state; ++i)
+                table.update(2, true);
+            ASSERT_EQ(table.counter(2), state);
+
+            TwoBitCounter spec(state);
+            EXPECT_EQ(table.predict(2), spec.predict())
+                << "state " << int(state);
+            spec.update(taken);
+            table.update(2, taken);
+            EXPECT_EQ(table.counter(2), spec.raw())
+                << "state " << int(state) << " taken " << taken;
+        }
+    }
+}
+
+TEST(PackedPht, PredictAndUpdateReturnsMispredictAndTrains)
+{
+    PackedPht table(4);
+    // Reset state is weakly taken: predicting taken is correct.
+    EXPECT_EQ(table.predictAndUpdate(1, true), 0u);
+    EXPECT_EQ(table.counter(1), 3u); // strengthened
+    // A not-taken outcome against a taken prediction mispredicts.
+    EXPECT_EQ(table.predictAndUpdate(1, false), 1u);
+    EXPECT_EQ(table.counter(1), 2u);
+    EXPECT_EQ(table.predictAndUpdate(1, false), 1u);
+    EXPECT_EQ(table.counter(1), 1u);
+    // Now predicting not-taken: a not-taken outcome is correct.
+    EXPECT_EQ(table.predictAndUpdate(1, false), 0u);
+    EXPECT_EQ(table.counter(1), 0u);
+    // Saturated low: stays at 0.
+    EXPECT_EQ(table.predictAndUpdate(1, false), 0u);
+    EXPECT_EQ(table.counter(1), 0u);
+}
+
+TEST(PackedPht, NeighboursWithinAByteAreIsolated)
+{
+    PackedPht table(8);
+    // Saturate counter 5 low and counter 6 high; 4 and 7 untouched.
+    for (int i = 0; i < 4; ++i) {
+        table.update(5, false);
+        table.update(6, true);
+    }
+    EXPECT_EQ(table.counter(4), 2u);
+    EXPECT_EQ(table.counter(5), 0u);
+    EXPECT_EQ(table.counter(6), 3u);
+    EXPECT_EQ(table.counter(7), 2u);
+}
+
+TEST(PackedPht, RandomSequenceMatchesUnpackedTable)
+{
+    // A long randomized (index, outcome) stream against the unpacked
+    // std::vector<TwoBitCounter> layout the per-config kernel uses.
+    const std::size_t entries = 64;
+    PackedPht packed(entries);
+    std::vector<TwoBitCounter> unpacked(entries);
+
+    Pcg32 rng(0xF05EDFEEDULL, 7);
+    std::uint64_t packed_misp = 0, unpacked_misp = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto idx = static_cast<std::size_t>(
+            rng.nextBounded(static_cast<std::uint32_t>(entries)));
+        const bool taken = rng.nextBounded(3) != 0;
+        unpacked_misp += unpacked[idx].predict() != taken;
+        unpacked[idx].update(taken);
+        packed_misp += packed.predictAndUpdate(idx, taken);
+    }
+    EXPECT_EQ(packed_misp, unpacked_misp);
+    for (std::size_t i = 0; i < entries; ++i)
+        EXPECT_EQ(packed.counter(i), unpacked[i].raw()) << i;
+}

@@ -198,6 +198,61 @@ TEST(SatCounterBoundaries, EightBitMaxValueIs255)
     EXPECT_EQ(c.raw(), 255u);
 }
 
+/**
+ * The branchless update must implement exactly the textbook if/else
+ * transition function.  This spells that specification out longhand
+ * and exhausts every (state, outcome) pair for the width, including
+ * both saturation boundaries.
+ */
+template <unsigned Bits>
+void
+checkBranchlessMatchesSpec()
+{
+    using C = SatCounter<Bits>;
+    auto spec = [](std::uint8_t value, bool taken) -> std::uint8_t {
+        if (taken) {
+            if (value < C::maxValue)
+                ++value;
+        } else {
+            if (value > 0)
+                --value;
+        }
+        return value;
+    };
+
+    for (unsigned state = 0; state <= C::maxValue; ++state) {
+        for (bool taken : {false, true}) {
+            C c(static_cast<std::uint8_t>(state));
+            c.update(taken);
+            EXPECT_EQ(c.raw(),
+                      spec(static_cast<std::uint8_t>(state), taken))
+                << "width " << Bits << " state " << state << " taken "
+                << taken;
+        }
+    }
+}
+
+TEST(SatCounterBranchless, MatchesSpecBits1)
+{
+    checkBranchlessMatchesSpec<1>();
+}
+TEST(SatCounterBranchless, MatchesSpecBits2)
+{
+    checkBranchlessMatchesSpec<2>();
+}
+TEST(SatCounterBranchless, MatchesSpecBits3)
+{
+    checkBranchlessMatchesSpec<3>();
+}
+TEST(SatCounterBranchless, MatchesSpecBits5)
+{
+    checkBranchlessMatchesSpec<5>();
+}
+TEST(SatCounterBranchless, MatchesSpecBits8)
+{
+    checkBranchlessMatchesSpec<8>();
+}
+
 TEST(SatCounterWidths, Bits1) { checkWidthProperties<1>(); }
 TEST(SatCounterWidths, Bits2) { checkWidthProperties<2>(); }
 TEST(SatCounterWidths, Bits3) { checkWidthProperties<3>(); }

@@ -368,6 +368,161 @@ TEST(Sweep, StreamCacheDoesNotRecomputeFirstLevelStreams)
     EXPECT_EQ(cache.streamBuilds(), 3u);
 }
 
+TEST(Sweep, FusedSweepBitIdenticalToPerConfigForEveryScheme)
+{
+    PreparedTrace t(sharedWorkload());
+    for (SchemeKind kind :
+         {SchemeKind::AddressIndexed, SchemeKind::GAg, SchemeKind::GAs,
+          SchemeKind::Gshare, SchemeKind::Path, SchemeKind::PAsPerfect,
+          SchemeKind::PAsFinite}) {
+        SweepOptions fused;
+        fused.minTotalBits = 4;
+        fused.maxTotalBits = 9;
+        fused.trackAliasing = false;
+        fused.bhtEntries = 64;
+        fused.fuseJobs = true;
+        SweepOptions per_config = fused;
+        per_config.fuseJobs = false;
+
+        SweepResult rf = sweepScheme(t, kind, fused);
+        SweepResult rp = sweepScheme(t, kind, per_config);
+        const char *name = schemeKindName(kind);
+        expectSurfacesIdentical(rf.misprediction, rp.misprediction,
+                                name);
+        EXPECT_EQ(rf.bhtMissRate, rp.bhtMissRate) << name;
+    }
+}
+
+TEST(Sweep, FusedParallelBitIdenticalToFusedSerial)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions serial;
+    serial.minTotalBits = 4;
+    serial.maxTotalBits = 9;
+    serial.trackAliasing = false;
+    serial.threads = 1;
+    SweepOptions parallel = serial;
+    parallel.threads = 4; // groups are chunked differently too
+    SweepResult rs = sweepScheme(t, SchemeKind::Gshare, serial);
+    SweepResult rp = sweepScheme(t, SchemeKind::Gshare, parallel);
+    expectSurfacesIdentical(rs.misprediction, rp.misprediction,
+                            "gshare fused threads");
+}
+
+TEST(Sweep, AliasingSweepIgnoresFusionKnob)
+{
+    // AliasTracker sweeps always take the per-config fallback; the
+    // knob must not perturb Figure 5 semantics.
+    PreparedTrace t(sharedWorkload());
+    SweepOptions on;
+    on.minTotalBits = 4;
+    on.maxTotalBits = 7;
+    on.trackAliasing = true;
+    on.fuseJobs = true;
+    SweepOptions off = on;
+    off.fuseJobs = false;
+    SweepResult ra = sweepScheme(t, SchemeKind::GAs, on);
+    SweepResult rb = sweepScheme(t, SchemeKind::GAs, off);
+    expectSurfacesIdentical(ra.misprediction, rb.misprediction,
+                            "aliasing misp");
+    expectSurfacesIdentical(ra.aliasing, rb.aliasing, "aliasing rate");
+    expectSurfacesIdentical(ra.harmless, rb.harmless, "harmless");
+}
+
+TEST(Sweep, FusedGroupPlanPartitionsJobsByStream)
+{
+    SweepOptions o;
+    o.minTotalBits = 4;
+    o.maxTotalBits = 8;
+    o.trackAliasing = false;
+
+    // GAs: every job shares the global-history stream -> one fused
+    // group at threads=1, covering all jobs exactly once.
+    auto jobs = planSweep(SchemeKind::GAs, o);
+    auto groups = planFusedGroups(jobs, o, 1);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_TRUE(groups[0].fused);
+    EXPECT_EQ(groups[0].jobs.size(), jobs.size());
+
+    // threads=3 chunks the group without losing or duplicating jobs.
+    auto chunked = planFusedGroups(jobs, o, 3);
+    EXPECT_EQ(chunked.size(), 3u);
+    std::vector<bool> seen(jobs.size(), false);
+    for (const auto &g : chunked) {
+        EXPECT_TRUE(g.fused);
+        for (std::size_t idx : g.jobs) {
+            ASSERT_LT(idx, jobs.size());
+            EXPECT_FALSE(seen[idx]) << "job " << idx << " duplicated";
+            seen[idx] = true;
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "job " << i << " dropped";
+
+    // PAsFinite streams depend on the row width: one group per
+    // distinct rowBits (widths 0..8 across tiers 4..8).
+    auto finite_jobs = planSweep(SchemeKind::PAsFinite, o);
+    auto finite_groups = planFusedGroups(finite_jobs, o, 1);
+    EXPECT_EQ(finite_groups.size(), 9u);
+    for (const auto &g : finite_groups) {
+        for (std::size_t idx : g.jobs)
+            EXPECT_EQ(finite_jobs[idx].rowBits, g.streamRowBits);
+    }
+
+    // Aliasing tracking forces one per-config fallback group per job.
+    SweepOptions aliasing = o;
+    aliasing.trackAliasing = true;
+    auto fallback = planFusedGroups(jobs, aliasing, 4);
+    ASSERT_EQ(fallback.size(), jobs.size());
+    for (const auto &g : fallback) {
+        EXPECT_FALSE(g.fused);
+        EXPECT_EQ(g.jobs.size(), 1u);
+    }
+}
+
+TEST(Sweep, FusedExecutionDoesZeroLockedLookupsAfterPrepare)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 4;
+    o.maxTotalBits = 7;
+    o.trackAliasing = false;
+    o.bhtEntries = 64;
+
+    for (SchemeKind kind : {SchemeKind::Gshare, SchemeKind::Path,
+                            SchemeKind::PAsFinite}) {
+        auto jobs = planSweep(kind, o);
+        auto groups = planFusedGroups(jobs, o, 2);
+        StreamCache cache(t, o);
+        cache.prepare(jobs, 1);
+        EXPECT_EQ(cache.lockedLookups(), 0u) << schemeKindName(kind);
+
+        std::vector<ConfigResult> slots(jobs.size());
+        for (const auto &group : groups)
+            runFusedGroup(group, jobs, cache, slots.data());
+        EXPECT_EQ(cache.lockedLookups(), 0u)
+            << schemeKindName(kind)
+            << ": fused execution took the lazy-build lock";
+    }
+
+    // Contrast: an unprepared cache must count its locked lookups.
+    StreamCache lazy(t, o);
+    lazy.stream(SchemeKind::Path, 3);
+    EXPECT_EQ(lazy.lockedLookups(), 1u);
+    lazy.bhtMissRate(4);
+    EXPECT_EQ(lazy.lockedLookups(), 2u);
+    // A prepare() over those same needs re-publishes the fast table;
+    // repeated lookups stop locking.
+    std::vector<ConfigJob> jobs{ConfigJob{SchemeKind::Path, 7, 3, 4},
+                                ConfigJob{SchemeKind::PAsFinite, 7, 4,
+                                          3}};
+    lazy.prepare(jobs, 1);
+    lazy.stream(SchemeKind::Path, 3);
+    lazy.stream(SchemeKind::PAsFinite, 4);
+    lazy.bhtMissRate(4);
+    EXPECT_EQ(lazy.lockedLookups(), 2u);
+}
+
 TEST(Sweep, SweepAgreesWithSimulateConfig)
 {
     PreparedTrace t(sharedWorkload());
