@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -60,10 +61,10 @@ struct BenchOptions
         Config cfg = Config::parseArgs(argc, argv);
         BenchOptions o;
         o.branches =
-            static_cast<std::uint64_t>(cfg.getInt("branches", 0));
-        o.csv = cfg.getBool("csv", false);
+            static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 0));
+        o.csv = cli::requireBool(cfg, "csv", false);
         o.threads =
-            static_cast<unsigned>(cfg.getInt("threads", 0));
+            static_cast<unsigned>(cli::requireInt(cfg, "threads", 0));
 
         // golden=emit|check (or the flag spellings --emit-golden /
         // --check-golden), golden_file=..., golden_tol=...
@@ -88,7 +89,7 @@ struct BenchOptions
             stem = stem.substr(slash + 1);
         o.goldenFile =
             cfg.getString("golden_file", stem + ".golden");
-        o.goldenTol = cfg.getDouble("golden_tol", 1e-9);
+        o.goldenTol = cli::requireDouble(cfg, "golden_tol", 1e-9);
         return o;
     }
 

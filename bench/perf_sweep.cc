@@ -112,9 +112,9 @@ main(int argc, char **argv)
 {
     Config cfg = Config::parseArgs(argc, argv);
     const auto branches = static_cast<std::uint64_t>(
-        cfg.getInt("branches", 1000000));
+        cli::requireInt(cfg, "branches", 1000000));
     const auto reps =
-        static_cast<unsigned>(cfg.getInt("reps", 2));
+        static_cast<unsigned>(cli::requireInt(cfg, "reps", 2));
     const std::string json_path =
         cfg.getString("json", "BENCH_sweep.json");
     const std::string profile = cfg.getString("profile", "mpeg_play");

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "sim/experiment.hh"
 #include "stats/table_formatter.hh"
@@ -30,7 +31,7 @@ main(int argc, char **argv)
     Config cfg = Config::parseArgs(argc, argv);
     std::string profile = cfg.getString("profile", "mpeg_play");
     auto branches =
-        static_cast<std::uint64_t>(cfg.getInt("branches", 1'000'000));
+        static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 1'000'000));
 
     MemoryTrace raw = generateProfileTrace(profile, branches);
     PreparedTrace trace(raw);
@@ -41,7 +42,7 @@ main(int argc, char **argv)
     opts.minTotalBits = 6;
     opts.maxTotalBits = 14;
     opts.trackAliasing = true;
-    opts.threads = static_cast<unsigned>(cfg.getInt("threads", 0));
+    opts.threads = static_cast<unsigned>(cli::requireInt(cfg, "threads", 0));
     SweepResult gas = sweepScheme(trace, SchemeKind::GAs, opts);
 
     TableFormatter table({"counters", "split (rows x cols)",

@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
@@ -31,7 +32,7 @@ main(int argc, char **argv)
     Config cfg = Config::parseArgs(argc, argv);
     std::string profile = cfg.getString("profile", "mpeg_play");
     auto branches =
-        static_cast<std::uint64_t>(cfg.getInt("branches", 500'000));
+        static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 500'000));
     std::string spec = cfg.getString("spec", "gshare:12:0");
 
     MemoryTrace trace = generateProfileTrace(profile, branches);

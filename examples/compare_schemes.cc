@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
@@ -28,10 +29,10 @@ main(int argc, char **argv)
 {
     Config cfg = Config::parseArgs(argc, argv);
     std::string profile = cfg.getString("profile", "real_gcc");
-    auto budget = static_cast<unsigned>(cfg.getInt("budget_bits", 12));
+    auto budget = static_cast<unsigned>(cli::requireInt(cfg, "budget_bits", 12));
     auto branches =
-        static_cast<std::uint64_t>(cfg.getInt("branches", 1'000'000));
-    auto bht = static_cast<std::size_t>(cfg.getInt("bht", 1024));
+        static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 1'000'000));
+    auto bht = static_cast<std::size_t>(cli::requireInt(cfg, "bht", 1024));
 
     std::printf("profile %s, budget 2^%u = %llu counters\n",
                 profile.c_str(), budget,
@@ -45,7 +46,7 @@ main(int argc, char **argv)
     opts.maxTotalBits = budget;
     opts.trackAliasing = true;
     opts.bhtEntries = bht;
-    opts.threads = static_cast<unsigned>(cfg.getInt("threads", 0));
+    opts.threads = static_cast<unsigned>(cli::requireInt(cfg, "threads", 0));
 
     TableFormatter table({"scheme", "best config", "misprediction",
                           "aliasing", "harmless share"});

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
@@ -24,7 +25,7 @@ main(int argc, char **argv)
     Config cfg = Config::parseArgs(argc, argv);
     std::string profile = cfg.getString("profile", "espresso");
     auto branches =
-        static_cast<std::uint64_t>(cfg.getInt("branches", 200'000));
+        static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 200'000));
 
     // 1. Synthesise a trace: 'profile' picks one of the paper's fourteen
     //    benchmark models; the length is freely scalable.

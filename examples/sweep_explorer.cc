@@ -18,6 +18,7 @@
 
 #include "common/thread_pool.hh"
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
@@ -58,17 +59,17 @@ main(int argc, char **argv)
     SchemeKind kind = schemeFromName(cfg.getString("scheme", "GAs"));
     std::string metric = cfg.getString("metric", "misp");
     auto branches =
-        static_cast<std::uint64_t>(cfg.getInt("branches", 1'000'000));
+        static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 1'000'000));
 
     SweepOptions opts;
     opts.minTotalBits =
-        static_cast<unsigned>(cfg.getInt("min_bits", 4));
+        static_cast<unsigned>(cli::requireInt(cfg, "min_bits", 4));
     opts.maxTotalBits =
-        static_cast<unsigned>(cfg.getInt("max_bits", 15));
+        static_cast<unsigned>(cli::requireInt(cfg, "max_bits", 15));
     opts.trackAliasing = metric != "misp";
-    opts.bhtEntries = static_cast<std::size_t>(cfg.getInt("bht", 1024));
-    opts.bhtAssoc = static_cast<unsigned>(cfg.getInt("assoc", 4));
-    opts.threads = static_cast<unsigned>(cfg.getInt("threads", 0));
+    opts.bhtEntries = static_cast<std::size_t>(cli::requireInt(cfg, "bht", 1024));
+    opts.bhtAssoc = static_cast<unsigned>(cli::requireInt(cfg, "assoc", 4));
+    opts.threads = static_cast<unsigned>(cli::requireInt(cfg, "threads", 0));
 
     PreparedTrace trace = prepareProfile(profile, branches);
     auto sweep_start = std::chrono::steady_clock::now();
@@ -88,7 +89,7 @@ main(int argc, char **argv)
                     "'; use misp, alias or harmless");
 
     std::printf("%s", surface->render().c_str());
-    if (cfg.getBool("csv", false))
+    if (cli::requireBool(cfg, "csv", false))
         std::printf("%s", surface->renderCsv().c_str());
     if (kind == SchemeKind::PAsFinite)
         std::printf("BHT miss rate: %.2f%%\n", r.bhtMissRate * 100.0);

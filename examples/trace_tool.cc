@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "predictor/factory.hh"
@@ -52,10 +53,10 @@ doGenerate(const Config &cfg)
     if (profile.empty() || out.empty())
         return usage();
     auto branches =
-        static_cast<std::uint64_t>(cfg.getInt("branches", 0));
+        static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 0));
 
     MemoryTrace trace = generateProfileTrace(profile, branches);
-    std::uint64_t written = saveTrace(trace, out);
+    std::uint64_t written = cli::orFatal(saveTrace(trace, out));
     std::printf("wrote %" PRIu64 " records (%zu conditional) to %s\n",
                 written, trace.conditionalCount(), out.c_str());
     return 0;
@@ -64,7 +65,7 @@ doGenerate(const Config &cfg)
 int
 doInfo(const std::string &path)
 {
-    TraceReader reader(path);
+    TraceReader reader = cli::orFatal(TraceReader::open(path));
     std::printf("trace: %s\nrecords: %" PRIu64 "\n",
                 reader.name().c_str(), reader.recordCount());
     return 0;
@@ -73,7 +74,7 @@ doInfo(const std::string &path)
 int
 doCharacterize(const std::string &path)
 {
-    MemoryTrace trace = loadTrace(path);
+    MemoryTrace trace = cli::orFatal(loadTrace(path));
     TraceCharacterization ch = TraceCharacterization::measure(trace);
 
     TableFormatter t1({"metric", "value"});
@@ -115,7 +116,7 @@ int
 doTop(const std::string &path, std::int64_t count,
       const std::string &spec)
 {
-    MemoryTrace trace = loadTrace(path);
+    MemoryTrace trace = cli::orFatal(loadTrace(path));
     auto predictor = makePredictor(spec);
     PredictionStats stats =
         runPredictor(trace, *predictor, /*track_sites=*/true);
@@ -152,7 +153,7 @@ doTop(const std::string &path, std::int64_t count,
 int
 doHead(const std::string &path, std::int64_t count)
 {
-    TraceReader reader(path);
+    TraceReader reader = cli::orFatal(TraceReader::open(path));
     BranchRecord rec;
     for (std::int64_t i = 0; i < count && reader.next(rec); ++i) {
         std::printf("%6lld  pc=0x%08" PRIx64 " -> 0x%08" PRIx64
@@ -164,6 +165,7 @@ doHead(const std::string &path, std::int64_t count)
                         : "",
                     rec.instGap, rec.kernel ? "  [kernel]" : "");
     }
+    cli::orFatal(reader.status());
     return 0;
 }
 
@@ -187,9 +189,9 @@ main(int argc, char **argv)
     if (verb == "characterize")
         return doCharacterize(pos[1]);
     if (verb == "head")
-        return doHead(pos[1], cfg.getInt("count", 20));
+        return doHead(pos[1], cli::requireInt(cfg, "count", 20));
     if (verb == "top")
-        return doTop(pos[1], cfg.getInt("count", 20),
+        return doTop(pos[1], cli::requireInt(cfg, "count", 20),
                      cfg.getString("spec", "addr:12"));
     return usage();
 }

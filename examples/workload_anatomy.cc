@@ -16,6 +16,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
@@ -53,7 +54,7 @@ main(int argc, char **argv)
     Config cfg = Config::parseArgs(argc, argv);
     std::string profile = cfg.getString("profile", "mpeg_play");
     auto branches =
-        static_cast<std::uint64_t>(cfg.getInt("branches", 1'000'000));
+        static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 1'000'000));
     auto specs = splitComma(cfg.getString(
         "specs", "addr:12,GAs:6:6,gshare:12:0,PAs:8:4"));
 

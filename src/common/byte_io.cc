@@ -1,0 +1,156 @@
+#include "common/byte_io.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace bpsim {
+
+// --- StdioFileStream ---------------------------------------------------
+
+StdioFileStream::StdioFileStream(std::FILE *file, std::string path)
+    : file_(file), path_(std::move(path))
+{}
+
+Result<std::unique_ptr<ByteStream>>
+StdioFileStream::openRead(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        return BPSIM_ERROR("cannot open trace file ", path, ": ",
+                           std::strerror(errno));
+    }
+    return std::unique_ptr<ByteStream>(new StdioFileStream(f, path));
+}
+
+Result<std::unique_ptr<ByteStream>>
+StdioFileStream::openWrite(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        return BPSIM_ERROR("cannot create trace file ", path, ": ",
+                           std::strerror(errno));
+    }
+    return std::unique_ptr<ByteStream>(new StdioFileStream(f, path));
+}
+
+StdioFileStream::~StdioFileStream()
+{
+    close();
+}
+
+std::size_t
+StdioFileStream::read(void *dst, std::size_t n)
+{
+    if (!file_)
+        return 0;
+    return std::fread(dst, 1, n, file_);
+}
+
+std::size_t
+StdioFileStream::write(const void *src, std::size_t n)
+{
+    if (!file_)
+        return 0;
+    return std::fwrite(src, 1, n, file_);
+}
+
+bool
+StdioFileStream::seek(std::uint64_t pos)
+{
+    return file_ &&
+           std::fseek(file_, static_cast<long>(pos), SEEK_SET) == 0;
+}
+
+bool
+StdioFileStream::size(std::uint64_t &out)
+{
+    if (!file_)
+        return false;
+    long here = std::ftell(file_);
+    if (here < 0 || std::fseek(file_, 0, SEEK_END) != 0)
+        return false;
+    long end = std::ftell(file_);
+    if (end < 0 || std::fseek(file_, here, SEEK_SET) != 0)
+        return false;
+    out = static_cast<std::uint64_t>(end);
+    return true;
+}
+
+bool
+StdioFileStream::flush()
+{
+    return file_ && std::fflush(file_) == 0;
+}
+
+bool
+StdioFileStream::close()
+{
+    if (!file_)
+        return true;
+    std::FILE *f = file_;
+    file_ = nullptr;
+    return std::fclose(f) == 0;
+}
+
+// --- MemoryByteStream --------------------------------------------------
+
+MemoryByteStream::MemoryByteStream(std::string initial, std::string name)
+    : buf_(std::move(initial)), name_(std::move(name))
+{}
+
+std::size_t
+MemoryByteStream::read(void *dst, std::size_t n)
+{
+    if (closed_ || pos_ >= buf_.size())
+        return 0;
+    std::size_t take = std::min(n, buf_.size() - pos_);
+    std::memcpy(dst, buf_.data() + pos_, take);
+    pos_ += take;
+    return take;
+}
+
+std::size_t
+MemoryByteStream::write(const void *src, std::size_t n)
+{
+    if (closed_)
+        return 0;
+    if (pos_ + n > buf_.size())
+        buf_.resize(pos_ + n);
+    std::memcpy(buf_.data() + pos_, src, n);
+    pos_ += n;
+    return n;
+}
+
+bool
+MemoryByteStream::seek(std::uint64_t pos)
+{
+    if (closed_ || pos > buf_.size())
+        return false;
+    pos_ = static_cast<std::size_t>(pos);
+    return true;
+}
+
+bool
+MemoryByteStream::size(std::uint64_t &out)
+{
+    if (closed_)
+        return false;
+    out = buf_.size();
+    return true;
+}
+
+bool
+MemoryByteStream::flush()
+{
+    return !closed_;
+}
+
+bool
+MemoryByteStream::close()
+{
+    closed_ = true;
+    return true;
+}
+
+} // namespace bpsim

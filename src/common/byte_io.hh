@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal byte-stream abstraction behind the binary trace I/O.
+ *
+ * TraceReader/TraceWriter (trace/trace_io.hh) talk to a ByteStream
+ * instead of a raw std::FILE so that
+ *
+ *   - the fault-injection harness (verify/fault_injection.hh) can wrap
+ *     any stream and fail the Nth operation, short-transfer a read or
+ *     write, or break flush/close -- exercising every error path the
+ *     disk can produce;
+ *   - the corruption fuzzer can replay mutated trace images from
+ *     memory at full speed, without touching the filesystem.
+ *
+ * The interface is deliberately primitive: operations report success
+ * via return values (byte counts / bools) and the layer above turns
+ * failures into structured Errors with context.  Streams are
+ * single-purpose (read-only or write-only in practice) and not
+ * thread-safe.
+ */
+
+#ifndef BPSIM_COMMON_BYTE_IO_HH
+#define BPSIM_COMMON_BYTE_IO_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/error.hh"
+
+namespace bpsim {
+
+/** Seekable stream of bytes; the unit the fault injector wraps. */
+class ByteStream
+{
+  public:
+    virtual ~ByteStream() = default;
+
+    /** Read up to @p n bytes into @p dst; @return bytes read. */
+    virtual std::size_t read(void *dst, std::size_t n) = 0;
+
+    /** Write @p n bytes from @p src; @return bytes written. */
+    virtual std::size_t write(const void *src, std::size_t n) = 0;
+
+    /** Seek to absolute offset @p pos; @return success. */
+    virtual bool seek(std::uint64_t pos) = 0;
+
+    /** Total stream size in bytes (independent of position). */
+    virtual bool size(std::uint64_t &out) = 0;
+
+    /** Push buffered writes down; @return success. */
+    virtual bool flush() = 0;
+
+    /**
+     * Flush and release the stream.  Idempotent; later calls are
+     * successful no-ops.  @return false when buffered data could not
+     * be written (e.g. disk full at the final flush).
+     */
+    virtual bool close() = 0;
+
+    /** Human-readable origin (path, "<memory>") for error messages. */
+    virtual const std::string &describe() const = 0;
+};
+
+/** ByteStream over a stdio FILE; owns and closes the handle. */
+class StdioFileStream : public ByteStream
+{
+  public:
+    /** Open @p path for binary reading. */
+    static Result<std::unique_ptr<ByteStream>>
+    openRead(const std::string &path);
+
+    /** Create/truncate @p path for binary writing. */
+    static Result<std::unique_ptr<ByteStream>>
+    openWrite(const std::string &path);
+
+    ~StdioFileStream() override;
+
+    StdioFileStream(const StdioFileStream &) = delete;
+    StdioFileStream &operator=(const StdioFileStream &) = delete;
+
+    std::size_t read(void *dst, std::size_t n) override;
+    std::size_t write(const void *src, std::size_t n) override;
+    bool seek(std::uint64_t pos) override;
+    bool size(std::uint64_t &out) override;
+    bool flush() override;
+    bool close() override;
+    const std::string &describe() const override { return path_; }
+
+  private:
+    StdioFileStream(std::FILE *file, std::string path);
+
+    std::FILE *file_;
+    std::string path_;
+};
+
+/**
+ * ByteStream over an in-memory buffer.  Reading past the end returns a
+ * short count; writing extends the buffer.  Used by the corruption
+ * fuzzer and by tests that need byte-exact control over trace images.
+ */
+class MemoryByteStream : public ByteStream
+{
+  public:
+    explicit MemoryByteStream(std::string initial = {},
+                              std::string name = "<memory>");
+
+    std::size_t read(void *dst, std::size_t n) override;
+    std::size_t write(const void *src, std::size_t n) override;
+    bool seek(std::uint64_t pos) override;
+    bool size(std::uint64_t &out) override;
+    bool flush() override;
+    bool close() override;
+    const std::string &describe() const override { return name_; }
+
+    /** Current buffer contents (inspect what a writer produced). */
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+    std::string name_;
+    std::size_t pos_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_BYTE_IO_HH

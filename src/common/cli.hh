@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CLI-boundary adapters: convert recoverable errors (common/error.hh)
+ * into bpsim_fatal() process exits.
+ *
+ * This header is the ONLY sanctioned place where library Errors become
+ * fatal.  It must be included exclusively from main()-adjacent code in
+ * examples/ and bench/ -- library code under src/ reports Errors and
+ * never exits (see DESIGN.md "Error-handling conventions").  The fatal
+ * message reuses the Error's own raise site, so user-visible output is
+ * identical to the pre-Result behaviour.
+ */
+
+#ifndef BPSIM_COMMON_CLI_HH
+#define BPSIM_COMMON_CLI_HH
+
+#include <utility>
+
+#include "common/config.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace bpsim::cli {
+
+/** Exit via fatal() preserving the error's original raise site. */
+[[noreturn]] inline void
+fatalFrom(const Error &err)
+{
+    fatalImpl(err.message(), err.file(), err.line());
+}
+
+/** Continue on success; exit the process on error. */
+inline void
+orFatal(const Status &status)
+{
+    if (!status.ok())
+        fatalFrom(status.error());
+}
+
+/** Unwrap a Result, exiting the process on error. */
+template <typename T>
+T
+orFatal(Result<T> result)
+{
+    if (!result.ok())
+        fatalFrom(result.error());
+    return std::move(result).value();
+}
+
+/** Config::tryInt with malformed values converted to fatal exits. */
+inline std::int64_t
+requireInt(const Config &cfg, const std::string &key,
+           std::int64_t fallback)
+{
+    return orFatal(cfg.tryInt(key, fallback));
+}
+
+/** Config::tryDouble with malformed values converted to fatal exits. */
+inline double
+requireDouble(const Config &cfg, const std::string &key, double fallback)
+{
+    return orFatal(cfg.tryDouble(key, fallback));
+}
+
+/** Config::tryBool with malformed values converted to fatal exits. */
+inline bool
+requireBool(const Config &cfg, const std::string &key, bool fallback)
+{
+    return orFatal(cfg.tryBool(key, fallback));
+}
+
+} // namespace bpsim::cli
+
+#endif // BPSIM_COMMON_CLI_HH

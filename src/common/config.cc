@@ -1,8 +1,7 @@
 #include "common/config.hh"
 
+#include <cerrno>
 #include <cstdlib>
-
-#include "common/logging.hh"
 
 namespace bpsim {
 
@@ -43,36 +42,46 @@ Config::getString(const std::string &key, const std::string &fallback) const
     return it == options.end() ? fallback : it->second;
 }
 
-std::int64_t
-Config::getInt(const std::string &key, std::int64_t fallback) const
+Result<std::int64_t>
+Config::tryInt(const std::string &key, std::int64_t fallback) const
 {
     auto it = options.find(key);
     if (it == options.end())
         return fallback;
     const std::string &text = it->second;
     char *end = nullptr;
+    errno = 0;
     long long v = std::strtoll(text.c_str(), &end, 0);
     if (end == text.c_str() || *end != '\0')
-        bpsim_fatal("option ", key, "=", text, " is not an integer");
-    return v;
+        return BPSIM_ERROR("option ", key, "=", text,
+                           " is not an integer");
+    if (errno == ERANGE)
+        return BPSIM_ERROR("option ", key, "=", text,
+                           " is out of range for a 64-bit integer");
+    return static_cast<std::int64_t>(v);
 }
 
-double
-Config::getDouble(const std::string &key, double fallback) const
+Result<double>
+Config::tryDouble(const std::string &key, double fallback) const
 {
     auto it = options.find(key);
     if (it == options.end())
         return fallback;
     const std::string &text = it->second;
     char *end = nullptr;
+    errno = 0;
     double v = std::strtod(text.c_str(), &end);
     if (end == text.c_str() || *end != '\0')
-        bpsim_fatal("option ", key, "=", text, " is not a number");
+        return BPSIM_ERROR("option ", key, "=", text,
+                           " is not a number");
+    if (errno == ERANGE)
+        return BPSIM_ERROR("option ", key, "=", text,
+                           " is out of range for a double");
     return v;
 }
 
-bool
-Config::getBool(const std::string &key, bool fallback) const
+Result<bool>
+Config::tryBool(const std::string &key, bool fallback) const
 {
     auto it = options.find(key);
     if (it == options.end())
@@ -82,7 +91,7 @@ Config::getBool(const std::string &key, bool fallback) const
         return true;
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
-    bpsim_fatal("option ", key, "=", v, " is not a boolean");
+    return BPSIM_ERROR("option ", key, "=", v, " is not a boolean");
 }
 
 std::vector<std::string>

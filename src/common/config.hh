@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
+
 namespace bpsim {
 
 /** Parsed command line: positional arguments plus key=value options. */
@@ -36,16 +38,21 @@ class Config
 
     /**
      * @return option parsed as signed integer (accepts 0x hex), or
-     * @p fallback when absent.  fatal() on malformed numbers.
+     * @p fallback when absent.  Errors on malformed or out-of-range
+     * values (cli::requireInt converts to a fatal exit at the CLI).
      */
-    std::int64_t getInt(const std::string &key,
-                        std::int64_t fallback) const;
+    Result<std::int64_t> tryInt(const std::string &key,
+                                std::int64_t fallback) const;
 
-    /** @return option parsed as double, or @p fallback when absent. */
-    double getDouble(const std::string &key, double fallback) const;
+    /**
+     * @return option parsed as double, or @p fallback when absent.
+     * Errors on malformed or out-of-range values.
+     */
+    Result<double> tryDouble(const std::string &key,
+                             double fallback) const;
 
-    /** @return option parsed as bool (true/false/1/0/yes/no). */
-    bool getBool(const std::string &key, bool fallback) const;
+    /** @return option parsed as bool (true/false/1/0/yes/no/on/off). */
+    Result<bool> tryBool(const std::string &key, bool fallback) const;
 
     /** Positional (non key=value) arguments, in order. */
     const std::vector<std::string> &positional() const { return args; }

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Recoverable error reporting for library code.
+ *
+ * The logging macros in logging.hh terminate the process, which is the
+ * right behaviour at a CLI boundary but unacceptable inside library
+ * code that may be embedded in a long-lived host (see DESIGN.md
+ * "Error-handling conventions").  Ingestion and configuration paths
+ * therefore report failures as values:
+ *
+ *   Error      -- a message plus the file/line where it was raised.
+ *   Status     -- success, or an Error.
+ *   Result<T>  -- a T, or an Error.
+ *
+ * Raise errors with BPSIM_ERROR(...), which stream-concatenates its
+ * arguments exactly like bpsim_fatal() and captures __FILE__/__LINE__:
+ *
+ *   Result<MemoryTrace> load(const std::string &path) {
+ *       if (!exists(path))
+ *           return BPSIM_ERROR("cannot open trace file ", path);
+ *       ...
+ *       return trace;
+ *   }
+ *
+ * At a CLI boundary, convert with cli::orFatal() (common/cli.hh),
+ * which reproduces the exact bpsim_fatal() output -- including the
+ * originating file/line -- and exits.  Accessing value() on an error
+ * Result (or error() on a success) is a programming bug and panics.
+ */
+
+#ifndef BPSIM_COMMON_ERROR_HH
+#define BPSIM_COMMON_ERROR_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.hh"
+
+namespace bpsim {
+
+/** A recoverable failure: message plus raise site. */
+class Error
+{
+  public:
+    Error(std::string msg, const char *file = nullptr, int line = 0)
+        : msg_(std::move(msg)), file_(file), line_(line)
+    {}
+
+    const std::string &message() const { return msg_; }
+    /** Raise site; file() may be nullptr for synthesised errors. */
+    const char *file() const { return file_; }
+    int line() const { return line_; }
+
+    /** "message (file:line)" -- for embedding in another message. */
+    std::string
+    describe() const
+    {
+        if (!file_)
+            return msg_;
+        return detail::concat(msg_, " (", file_, ":", line_, ")");
+    }
+
+  private:
+    std::string msg_;
+    const char *file_;
+    int line_;
+};
+
+/** Success, or an Error.  Default-constructed Status is success. */
+class [[nodiscard]] Status
+{
+  public:
+    Status() = default;
+    Status(Error err) : err_(std::in_place, std::move(err)) {}
+
+    bool ok() const { return !err_.has_value(); }
+
+    const Error &
+    error() const
+    {
+        bpsim_assert(!ok(), "error() on a success Status");
+        return *err_;
+    }
+
+  private:
+    std::optional<Error> err_;
+};
+
+/** A value of type T, or an Error. */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+    Result(Error err) : v_(std::in_place_index<1>, std::move(err)) {}
+
+    bool ok() const { return v_.index() == 0; }
+
+    T &
+    value() &
+    {
+        bpsim_assert(ok(), "value() on an error Result: ",
+                     std::get<1>(v_).describe());
+        return std::get<0>(v_);
+    }
+
+    const T &
+    value() const &
+    {
+        bpsim_assert(ok(), "value() on an error Result: ",
+                     std::get<1>(v_).describe());
+        return std::get<0>(v_);
+    }
+
+    T &&
+    value() &&
+    {
+        bpsim_assert(ok(), "value() on an error Result: ",
+                     std::get<1>(v_).describe());
+        return std::get<0>(std::move(v_));
+    }
+
+    /** The value, or @p fallback when this Result holds an error. */
+    T
+    valueOr(T fallback) const &
+    {
+        return ok() ? std::get<0>(v_) : std::move(fallback);
+    }
+
+    const Error &
+    error() const
+    {
+        bpsim_assert(!ok(), "error() on a success Result");
+        return std::get<1>(v_);
+    }
+
+    /** Collapse to a Status (drops the value). */
+    Status
+    status() const
+    {
+        return ok() ? Status() : Status(std::get<1>(v_));
+    }
+
+  private:
+    std::variant<T, Error> v_;
+};
+
+} // namespace bpsim
+
+/** Build an Error from stream-concatenated args, capturing file/line. */
+#define BPSIM_ERROR(...) \
+    ::bpsim::Error(::bpsim::detail::concat(__VA_ARGS__), __FILE__, \
+                   __LINE__)
+
+#endif // BPSIM_COMMON_ERROR_HH

@@ -1,12 +1,13 @@
 #include "trace/text_trace.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
-
-#include "common/logging.hh"
 
 namespace bpsim {
 
@@ -38,46 +39,64 @@ codeFromType(BranchType type)
 }
 
 /**
- * Parse one non-comment line; fatal() mentioning @p where and
- * @p line_no on malformed fields.
+ * Parse an unsigned 64-bit field.  strtoull silently wraps negative
+ * inputs ("-5" parses as 2^64-5) and clamps overflow, so both are
+ * rejected explicitly here.
  */
-BranchRecord
+bool
+parseU64(const std::string &text, int base, std::uint64_t &out)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text.c_str(), &end, base);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+/**
+ * Parse one non-comment line; errors mention @p where and @p line_no.
+ */
+Result<BranchRecord>
 parseLine(const std::string &line, const std::string &where,
           std::size_t line_no)
 {
     std::istringstream in(line);
     std::string pc_text, target_text, type_text, dir_text;
     if (!(in >> pc_text >> target_text >> type_text >> dir_text)) {
-        bpsim_fatal(where, ":", line_no,
-                    ": expected 'pc target type dir'");
+        return BPSIM_ERROR(where, ":", line_no,
+                           ": expected 'pc target type dir'");
     }
 
     BranchRecord rec;
-    char *end = nullptr;
-    rec.pc = std::strtoull(pc_text.c_str(), &end, 16);
-    if (end == pc_text.c_str() || *end != '\0')
-        bpsim_fatal(where, ":", line_no, ": bad pc '", pc_text, "'");
-    rec.target = std::strtoull(target_text.c_str(), &end, 16);
-    if (end == target_text.c_str() || *end != '\0')
-        bpsim_fatal(where, ":", line_no, ": bad target '", target_text,
-                    "'");
+    if (!parseU64(pc_text, 16, rec.pc))
+        return BPSIM_ERROR(where, ":", line_no, ": bad pc '", pc_text,
+                           "'");
+    if (!parseU64(target_text, 16, rec.target)) {
+        return BPSIM_ERROR(where, ":", line_no, ": bad target '",
+                           target_text, "'");
+    }
 
     if (type_text.size() != 1 ||
         !typeFromCode(type_text[0], rec.type)) {
-        bpsim_fatal(where, ":", line_no, ": bad type '", type_text,
-                    "' (expected C, J, L or R)");
+        return BPSIM_ERROR(where, ":", line_no, ": bad type '",
+                           type_text, "' (expected C, J, L or R)");
     }
     if (dir_text == "T") {
         rec.taken = true;
     } else if (dir_text == "N") {
         rec.taken = false;
     } else {
-        bpsim_fatal(where, ":", line_no, ": bad direction '", dir_text,
-                    "' (expected T or N)");
+        return BPSIM_ERROR(where, ":", line_no, ": bad direction '",
+                           dir_text, "' (expected T or N)");
     }
-    if (!rec.isConditional() && !rec.taken)
-        bpsim_fatal(where, ":", line_no,
-                    ": non-conditional records must be taken");
+    if (!rec.isConditional() && !rec.taken) {
+        return BPSIM_ERROR(where, ":", line_no,
+                           ": non-conditional records must be taken");
+    }
 
     // Optional fields: a decimal gap and/or a trailing K, in order.
     std::string extra;
@@ -85,17 +104,24 @@ parseLine(const std::string &line, const std::string &where,
         if (extra == "K") {
             rec.kernel = true;
         } else {
-            unsigned long gap = std::strtoul(extra.c_str(), &end, 10);
-            if (end == extra.c_str() || *end != '\0')
-                bpsim_fatal(where, ":", line_no, ": bad field '",
-                            extra, "'");
+            std::uint64_t gap = 0;
+            if (!parseU64(extra, 10, gap)) {
+                return BPSIM_ERROR(where, ":", line_no, ": bad field '",
+                                   extra, "'");
+            }
+            if (gap > std::numeric_limits<std::uint32_t>::max()) {
+                return BPSIM_ERROR(where, ":", line_no, ": gap ", extra,
+                                   " exceeds the maximum of ",
+                                   std::numeric_limits<
+                                       std::uint32_t>::max());
+            }
             rec.instGap = static_cast<std::uint32_t>(gap);
         }
     }
     return rec;
 }
 
-MemoryTrace
+Result<MemoryTrace>
 importFromStream(std::istream &in, const std::string &where,
                  const std::string &name)
 {
@@ -108,19 +134,22 @@ importFromStream(std::istream &in, const std::string &where,
         std::size_t start = line.find_first_not_of(" \t\r");
         if (start == std::string::npos || line[start] == '#')
             continue;
-        trace.append(parseLine(line.substr(start), where, line_no));
+        auto rec = parseLine(line.substr(start), where, line_no);
+        if (!rec.ok())
+            return rec.error();
+        trace.append(rec.value());
     }
     return trace;
 }
 
 } // namespace
 
-MemoryTrace
+Result<MemoryTrace>
 importTextTrace(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        bpsim_fatal("cannot open text trace ", path);
+        return BPSIM_ERROR("cannot open text trace ", path);
     // Stream name: file basename without extension.
     std::string name = path;
     auto slash = name.find_last_of('/');
@@ -132,7 +161,7 @@ importTextTrace(const std::string &path)
     return importFromStream(in, path, name);
 }
 
-MemoryTrace
+Result<MemoryTrace>
 importTextTraceString(const std::string &content,
                       const std::string &name)
 {
@@ -159,12 +188,12 @@ formatTextRecord(const BranchRecord &rec)
     return out;
 }
 
-std::uint64_t
+Result<std::uint64_t>
 exportTextTrace(TraceSource &source, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        bpsim_fatal("cannot create text trace ", path);
+        return BPSIM_ERROR("cannot create text trace ", path);
     out << "# bpsim text trace: " << source.name() << "\n";
     out << "# pc target type(C/J/L/R) dir(T/N) [gap] [K]\n";
     BranchRecord rec;
@@ -173,8 +202,11 @@ exportTextTrace(TraceSource &source, const std::string &path)
         out << formatTextRecord(rec) << "\n";
         ++n;
     }
-    if (!out)
-        bpsim_fatal("short write to text trace ", path);
+    out.flush();
+    if (!out) {
+        std::remove(path.c_str()); // don't leave a truncated trace
+        return BPSIM_ERROR("short write to text trace ", path);
+    }
     return n;
 }
 

@@ -8,13 +8,17 @@
  *
  * where type is one of C (conditional), J (unconditional jump),
  * L (call), R (return); dir is T or N; gap is the optional count of
- * non-branch instructions since the previous record (default 0); a
- * trailing K marks a kernel-mode record.  Lines starting with '#' and
- * blank lines are ignored.
+ * non-branch instructions since the previous record (default 0, max
+ * UINT32_MAX); a trailing K marks a kernel-mode record.  Lines
+ * starting with '#' and blank lines are ignored.
  *
  * The format exists so traces converted from other ecosystems
  * (ChampSim, Pin, SimpleScalar outputs) can be fed to the simulator
  * with a one-line awk script, and so test fixtures are human-writable.
+ *
+ * Imported text is untrusted input: all entry points return Result
+ * (common/error.hh) with the offending file:line in the message
+ * instead of exiting the process.
  */
 
 #ifndef BPSIM_TRACE_TEXT_TRACE_HH
@@ -22,23 +26,25 @@
 
 #include <string>
 
+#include "common/error.hh"
 #include "trace/memory_trace.hh"
 
 namespace bpsim {
 
 /**
- * Parse a text trace file into memory.  fatal() with the line number on
- * malformed input.
+ * Parse a text trace file into memory.  Errors carry the file name and
+ * line number of the first malformed record.
  */
-MemoryTrace importTextTrace(const std::string &path);
+Result<MemoryTrace> importTextTrace(const std::string &path);
 
 /** Parse text trace content from a string (tests, embedding). */
-MemoryTrace importTextTraceString(const std::string &content,
-                                  const std::string &name = "text");
+Result<MemoryTrace>
+importTextTraceString(const std::string &content,
+                      const std::string &name = "text");
 
 /** Write @p source to @p path in the text format; @return records. */
-std::uint64_t exportTextTrace(TraceSource &source,
-                              const std::string &path);
+Result<std::uint64_t> exportTextTrace(TraceSource &source,
+                                      const std::string &path);
 
 /** Render one record as a text-format line (no trailing newline). */
 std::string formatTextRecord(const BranchRecord &rec);

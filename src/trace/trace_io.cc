@@ -1,6 +1,7 @@
 #include "trace/trace_io.hh"
 
 #include <array>
+#include <cstdio>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -9,184 +10,269 @@ namespace bpsim {
 
 namespace {
 
-constexpr std::array<char, 4> magic = {'B', 'P', 'T', '1'};
+constexpr std::array<unsigned char, 4> magic = {'B', 'P', 'T', '1'};
 constexpr std::uint32_t formatVersion = 1;
 constexpr std::size_t recordBytes = 8 + 8 + 4 + 1;
+/** magic + version + record count + name length. */
+constexpr std::size_t headerBytes = 4 + 4 + 8 + 4;
+/** Offset of the record-count field patched by close(). */
+constexpr std::uint64_t countOffset = 8;
 
 void
-putU32(std::FILE *f, std::uint32_t v)
+encU32(unsigned char *b, std::uint32_t v)
 {
-    unsigned char b[4];
     for (int i = 0; i < 4; ++i)
         b[i] = static_cast<unsigned char>(v >> (8 * i));
-    if (std::fwrite(b, 1, 4, f) != 4)
-        bpsim_fatal("short write to trace file");
 }
 
 void
-putU64(std::FILE *f, std::uint64_t v)
+encU64(unsigned char *b, std::uint64_t v)
 {
-    unsigned char b[8];
     for (int i = 0; i < 8; ++i)
         b[i] = static_cast<unsigned char>(v >> (8 * i));
-    if (std::fwrite(b, 1, 8, f) != 8)
-        bpsim_fatal("short write to trace file");
 }
 
-bool
-getU32(std::FILE *f, std::uint32_t &v)
+std::uint32_t
+decU32(const unsigned char *b)
 {
-    unsigned char b[4];
-    if (std::fread(b, 1, 4, f) != 4)
-        return false;
-    v = 0;
+    std::uint32_t v = 0;
     for (int i = 3; i >= 0; --i)
         v = (v << 8) | b[i];
-    return true;
+    return v;
 }
 
-bool
-getU64(std::FILE *f, std::uint64_t &v)
+std::uint64_t
+decU64(const unsigned char *b)
 {
-    unsigned char b[8];
-    if (std::fread(b, 1, 8, f) != 8)
-        return false;
-    v = 0;
+    std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i)
         v = (v << 8) | b[i];
-    return true;
+    return v;
 }
 
-std::uint8_t
-packFlags(const BranchRecord &rec)
+void
+encRecord(unsigned char *b, const BranchRecord &rec)
 {
+    encU64(b, rec.pc);
+    encU64(b + 8, rec.target);
+    encU32(b + 16, rec.instGap);
     auto flags = static_cast<std::uint8_t>(rec.type);
     if (rec.taken)
         flags |= 1u << 2;
     if (rec.kernel)
         flags |= 1u << 3;
-    return flags;
+    b[20] = flags;
 }
 
 void
-unpackFlags(std::uint8_t flags, BranchRecord &rec)
+decRecord(const unsigned char *b, BranchRecord &rec)
 {
+    rec.pc = decU64(b);
+    rec.target = decU64(b + 8);
+    rec.instGap = decU32(b + 16);
+    std::uint8_t flags = b[20];
     rec.type = static_cast<BranchType>(flags & 0x3);
     rec.taken = (flags >> 2) & 1;
     rec.kernel = (flags >> 3) & 1;
 }
 
+// recordBytes documents the on-disk record size; keep it honest.
+static_assert(recordBytes == 21, "record layout changed; bump version");
+
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path,
-                         const std::string &trace_name)
-    : file(std::fopen(path.c_str(), "wb"))
+// --- TraceWriter -------------------------------------------------------
+
+TraceWriter::TraceWriter(std::unique_ptr<ByteStream> stream)
+    : stream_(std::move(stream))
+{}
+
+Result<TraceWriter>
+TraceWriter::open(const std::string &path, const std::string &trace_name)
 {
-    if (!file)
-        bpsim_fatal("cannot create trace file ", path);
-    if (std::fwrite(magic.data(), 1, magic.size(), file) != magic.size())
-        bpsim_fatal("short write to trace file ", path);
-    putU32(file, formatVersion);
-    countOffset = std::ftell(file);
-    putU64(file, 0); // patched by close()
-    putU32(file, static_cast<std::uint32_t>(trace_name.size()));
-    if (!trace_name.empty() &&
-        std::fwrite(trace_name.data(), 1, trace_name.size(), file) !=
-            trace_name.size()) {
-        bpsim_fatal("short write to trace file ", path);
+    auto stream = StdioFileStream::openWrite(path);
+    if (!stream.ok())
+        return stream.error();
+    return open(std::move(stream).value(), trace_name);
+}
+
+Result<TraceWriter>
+TraceWriter::open(std::unique_ptr<ByteStream> stream,
+                  const std::string &trace_name)
+{
+    TraceWriter writer(std::move(stream));
+    std::string header(headerBytes + trace_name.size(), '\0');
+    auto *b = reinterpret_cast<unsigned char *>(header.data());
+    std::memcpy(b, magic.data(), magic.size());
+    encU32(b + 4, formatVersion);
+    encU64(b + countOffset, 0); // patched by close()
+    encU32(b + 16, static_cast<std::uint32_t>(trace_name.size()));
+    std::memcpy(b + headerBytes, trace_name.data(), trace_name.size());
+    if (writer.stream_->write(header.data(), header.size()) !=
+        header.size()) {
+        return BPSIM_ERROR("short write to trace file ",
+                           writer.stream_->describe());
     }
+    return Result<TraceWriter>(std::move(writer));
 }
 
 TraceWriter::~TraceWriter()
 {
-    if (file)
-        close();
+    if (stream_ && !closed_)
+        static_cast<void>(close()); // best effort; call close() to observe errors
 }
 
-void
+Status
 TraceWriter::write(const BranchRecord &rec)
 {
-    bpsim_assert(file, "write() after close()");
-    putU64(file, rec.pc);
-    putU64(file, rec.target);
-    putU32(file, rec.instGap);
-    std::uint8_t flags = packFlags(rec);
-    if (std::fwrite(&flags, 1, 1, file) != 1)
-        bpsim_fatal("short write to trace file");
+    bpsim_assert(stream_ && !closed_, "write() after close()");
+    if (!error_.ok())
+        return error_;
+    unsigned char buf[recordBytes];
+    encRecord(buf, rec);
+    if (stream_->write(buf, recordBytes) != recordBytes) {
+        error_ = BPSIM_ERROR("short write to trace file ",
+                             stream_->describe());
+        return error_;
+    }
     ++count;
+    return Status();
 }
 
-std::uint64_t
+Result<std::uint64_t>
 TraceWriter::writeAll(TraceSource &source)
 {
     BranchRecord rec;
     std::uint64_t n = 0;
     while (source.next(rec)) {
-        write(rec);
+        Status st = write(rec);
+        if (!st.ok())
+            return st.error();
         ++n;
     }
     return n;
 }
 
-void
+Status
 TraceWriter::close()
 {
-    if (!file)
-        return;
-    if (std::fseek(file, countOffset, SEEK_SET) != 0)
-        bpsim_fatal("cannot seek in trace file to patch header");
-    putU64(file, count);
-    std::fclose(file);
-    file = nullptr;
+    if (!stream_ || closed_)
+        return error_;
+    closed_ = true;
+    const std::string where = stream_->describe();
+    if (error_.ok()) {
+        unsigned char buf[8];
+        encU64(buf, count);
+        if (!stream_->seek(countOffset)) {
+            error_ = BPSIM_ERROR("cannot seek in trace file ", where,
+                                 " to patch header");
+        } else if (stream_->write(buf, sizeof(buf)) != sizeof(buf)) {
+            error_ = BPSIM_ERROR("cannot patch record count into "
+                                 "trace file ", where);
+        } else if (!stream_->flush()) {
+            error_ = BPSIM_ERROR("cannot flush trace file ", where,
+                                 " (disk full?)");
+        }
+    }
+    if (!stream_->close() && error_.ok()) {
+        error_ = BPSIM_ERROR("error closing trace file ", where,
+                             " (disk full?)");
+    }
+    return error_;
 }
 
-TraceReader::TraceReader(const std::string &path)
-    : file(std::fopen(path.c_str(), "rb"))
+// --- TraceReader -------------------------------------------------------
+
+TraceReader::TraceReader(std::unique_ptr<ByteStream> stream)
+    : stream_(std::move(stream))
+{}
+
+Result<TraceReader>
+TraceReader::open(const std::string &path)
 {
-    if (!file)
-        bpsim_fatal("cannot open trace file ", path);
-    std::array<char, 4> got{};
-    if (std::fread(got.data(), 1, got.size(), file) != got.size() ||
+    auto stream = StdioFileStream::openRead(path);
+    if (!stream.ok())
+        return stream.error();
+    return open(std::move(stream).value());
+}
+
+Result<TraceReader>
+TraceReader::open(std::unique_ptr<ByteStream> stream)
+{
+    TraceReader reader(std::move(stream));
+    Status st = reader.readHeader();
+    if (!st.ok())
+        return st.error();
+    return Result<TraceReader>(std::move(reader));
+}
+
+Status
+TraceReader::readHeader()
+{
+    const std::string &where = stream_->describe();
+
+    std::array<unsigned char, 4> got{};
+    if (stream_->read(got.data(), got.size()) != got.size() ||
         got != magic) {
-        bpsim_fatal(path, " is not a .bpt trace file (bad magic)");
+        return BPSIM_ERROR(where,
+                           " is not a .bpt trace file (bad magic)");
     }
-    std::uint32_t version = 0;
-    if (!getU32(file, version) || version != formatVersion)
-        bpsim_fatal(path, ": unsupported trace format version");
-    if (!getU64(file, count))
-        bpsim_fatal(path, ": truncated header");
-    std::uint32_t name_len = 0;
-    if (!getU32(file, name_len))
-        bpsim_fatal(path, ": truncated header");
+    unsigned char hdr[headerBytes - 4];
+    if (stream_->read(hdr, sizeof(hdr)) != sizeof(hdr))
+        return BPSIM_ERROR(where, ": truncated header");
+    std::uint32_t version = decU32(hdr);
+    if (version != formatVersion) {
+        return BPSIM_ERROR(where, ": unsupported trace format version ",
+                           version);
+    }
+    count = decU64(hdr + 4);
+    std::uint32_t name_len = decU32(hdr + 12);
+
+    // Validate the attacker-controlled header fields against the
+    // actual stream size BEFORE acting on them: name_len bounds the
+    // name allocation, and the declared record count must account for
+    // every remaining byte (so truncation, disk-full tails and count
+    // tampering are all caught up front).
+    std::uint64_t total = 0;
+    if (!stream_->size(total) || total < headerBytes)
+        return BPSIM_ERROR(where, ": cannot determine trace file size");
+    std::uint64_t remaining = total - headerBytes;
+    if (name_len > remaining) {
+        return BPSIM_ERROR(where, ": header name length ", name_len,
+                           " exceeds the ", remaining,
+                           " bytes left in the file");
+    }
+    remaining -= name_len;
+    if (remaining % recordBytes != 0 ||
+        count != remaining / recordBytes) {
+        return BPSIM_ERROR(where, ": header claims ", count,
+                           " records but the file holds ", remaining,
+                           " bytes of record data (",
+                           count * recordBytes, " expected)");
+    }
+
     name_.resize(name_len);
     if (name_len &&
-        std::fread(name_.data(), 1, name_len, file) != name_len) {
-        bpsim_fatal(path, ": truncated header name");
+        stream_->read(name_.data(), name_len) != name_len) {
+        return BPSIM_ERROR(where, ": truncated header name");
     }
-    dataOffset = std::ftell(file);
-}
-
-TraceReader::~TraceReader()
-{
-    if (file)
-        std::fclose(file);
+    dataOffset = headerBytes + name_len;
+    return Status();
 }
 
 bool
 TraceReader::next(BranchRecord &out)
 {
-    if (delivered >= count)
+    if (!error_.ok() || delivered >= count)
         return false;
-    BranchRecord rec;
-    std::uint8_t flags = 0;
-    if (!getU64(file, rec.pc) || !getU64(file, rec.target) ||
-        !getU32(file, rec.instGap) ||
-        std::fread(&flags, 1, 1, file) != 1) {
-        bpsim_fatal("trace file ", name_, " truncated: expected ", count,
-                    " records, got ", delivered);
+    unsigned char buf[recordBytes];
+    if (stream_->read(buf, recordBytes) != recordBytes) {
+        error_ = BPSIM_ERROR("trace file ", stream_->describe(),
+                             " truncated: expected ", count,
+                             " records, got ", delivered);
+        return false;
     }
-    unpackFlags(flags, rec);
-    out = rec;
+    decRecord(buf, out);
     ++delivered;
     return true;
 }
@@ -194,32 +280,49 @@ TraceReader::next(BranchRecord &out)
 void
 TraceReader::reset()
 {
-    if (std::fseek(file, dataOffset, SEEK_SET) != 0)
-        bpsim_fatal("cannot rewind trace file ", name_);
+    if (!stream_->seek(dataOffset)) {
+        error_ = BPSIM_ERROR("cannot rewind trace file ",
+                             stream_->describe());
+        return;
+    }
     delivered = 0;
+    error_ = Status(); // stream is back in a consistent state
 }
 
-MemoryTrace
+// --- Convenience entry points ------------------------------------------
+
+Result<MemoryTrace>
 loadTrace(const std::string &path)
 {
-    TraceReader reader(path);
-    MemoryTrace trace(reader.name());
-    trace.appendAll(reader);
+    auto reader = TraceReader::open(path);
+    if (!reader.ok())
+        return reader.error();
+    MemoryTrace trace(reader.value().name());
+    trace.appendAll(reader.value());
+    if (!reader.value().status().ok())
+        return reader.value().status().error();
     return trace;
 }
 
-std::uint64_t
+Result<std::uint64_t>
 saveTrace(TraceSource &source, const std::string &path)
 {
-    TraceWriter writer(path, source.name());
-    std::uint64_t n = writer.writeAll(source);
-    writer.close();
-    return n;
+    auto run = [&]() -> Result<std::uint64_t> {
+        auto writer = TraceWriter::open(path, source.name());
+        if (!writer.ok())
+            return writer.error();
+        auto n = writer.value().writeAll(source);
+        if (!n.ok())
+            return n.error();
+        Status st = writer.value().close();
+        if (!st.ok())
+            return st.error();
+        return n.value();
+    };
+    Result<std::uint64_t> result = run();
+    if (!result.ok())
+        std::remove(path.c_str()); // don't leave a truncated trace
+    return result;
 }
-
-namespace {
-// recordBytes documents the on-disk record size; keep it honest.
-static_assert(recordBytes == 21, "record layout changed; bump version");
-} // namespace
 
 } // namespace bpsim

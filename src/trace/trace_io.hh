@@ -11,15 +11,24 @@
  * The format exists so the trace_tool example can persist synthetic
  * workloads and so downstream users can feed their own traces (e.g.
  * converted from ChampSim or Pin output) into the simulator.
+ *
+ * Trace files cross a trust boundary: they arrive from disk, converted
+ * by external tools, possibly truncated or corrupted.  All entry
+ * points therefore return Result/Status (common/error.hh) instead of
+ * exiting, and the reader validates every header field against the
+ * actual stream size before allocating anything -- a corrupt header
+ * yields a structured Error, never an oversized allocation.  The
+ * corruption fuzzer in verify/fault_injection.hh pins this contract.
  */
 
 #ifndef BPSIM_TRACE_TRACE_IO_HH
 #define BPSIM_TRACE_TRACE_IO_HH
 
-#include <cstdio>
 #include <memory>
 #include <string>
 
+#include "common/byte_io.hh"
+#include "common/error.hh"
 #include "trace/memory_trace.hh"
 #include "trace/trace_source.hh"
 
@@ -30,44 +39,73 @@ class TraceWriter
 {
   public:
     /**
-     * Open @p path for writing and emit the header.  fatal() when the
-     * file cannot be created.
+     * Create @p path and emit the header.  Errors when the file
+     * cannot be created or the header write fails.
      * @param trace_name embedded stream name
      */
-    TraceWriter(const std::string &path, const std::string &trace_name);
+    static Result<TraceWriter> open(const std::string &path,
+                                    const std::string &trace_name);
+
+    /** Write to an arbitrary stream (tests, fault injection). */
+    static Result<TraceWriter> open(std::unique_ptr<ByteStream> stream,
+                                    const std::string &trace_name);
+
+    /** Best-effort close; call close() first to observe errors. */
     ~TraceWriter();
 
+    TraceWriter(TraceWriter &&) = default;
+    TraceWriter &operator=(TraceWriter &&) = default;
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Append one record. */
-    void write(const BranchRecord &rec);
+    /**
+     * Append one record.  Once a write fails the error is sticky:
+     * every later write() and the final close() report it.
+     */
+    Status write(const BranchRecord &rec);
 
     /** Drain @p source to the file; @return records written. */
-    std::uint64_t writeAll(TraceSource &source);
+    Result<std::uint64_t> writeAll(TraceSource &source);
 
-    /** Patch the record count into the header and close the file. */
-    void close();
+    /**
+     * Patch the record count into the header, flush, and close the
+     * stream.  Errors when any buffered byte could not be committed
+     * (disk full, I/O error) -- a "successful" close guarantees the
+     * file on disk is complete and self-consistent.
+     */
+    Status close();
 
     std::uint64_t recordsWritten() const { return count; }
 
   private:
-    std::FILE *file;
+    explicit TraceWriter(std::unique_ptr<ByteStream> stream);
+
+    std::unique_ptr<ByteStream> stream_;
     std::uint64_t count = 0;
-    long countOffset = 0;
+    bool closed_ = false;
+    Status error_;
 };
 
 /**
  * Streaming reader for .bpt trace files; a TraceSource whose reset()
  * seeks back to the first record.
+ *
+ * next() returns false at end-of-stream OR when an I/O error occurs
+ * mid-stream; callers that ingest untrusted files must check status()
+ * after draining (loadTrace does).  Header problems are caught
+ * eagerly by open().
  */
 class TraceReader : public TraceSource
 {
   public:
-    /** Open @p path; fatal() on missing file or bad header. */
-    explicit TraceReader(const std::string &path);
-    ~TraceReader() override;
+    /** Open @p path; errors on missing file or invalid header. */
+    static Result<TraceReader> open(const std::string &path);
 
+    /** Read from an arbitrary stream (tests, fault injection). */
+    static Result<TraceReader> open(std::unique_ptr<ByteStream> stream);
+
+    TraceReader(TraceReader &&) = default;
+    TraceReader &operator=(TraceReader &&) = default;
     TraceReader(const TraceReader &) = delete;
     TraceReader &operator=(const TraceReader &) = delete;
 
@@ -75,22 +113,34 @@ class TraceReader : public TraceSource
     void reset() override;
     const std::string &name() const override { return name_; }
 
-    /** Record count promised by the header. */
+    /** Record count promised by the (validated) header. */
     std::uint64_t recordCount() const { return count; }
 
+    /** Sticky ingestion error; success while the stream is healthy. */
+    const Status &status() const { return error_; }
+
   private:
-    std::FILE *file;
+    explicit TraceReader(std::unique_ptr<ByteStream> stream);
+
+    Status readHeader();
+
+    std::unique_ptr<ByteStream> stream_;
     std::string name_;
     std::uint64_t count = 0;
     std::uint64_t delivered = 0;
-    long dataOffset = 0;
+    std::uint64_t dataOffset = 0;
+    Status error_;
 };
 
-/** Convenience: load an entire .bpt file into memory. */
-MemoryTrace loadTrace(const std::string &path);
+/** Convenience: load and validate an entire .bpt file into memory. */
+Result<MemoryTrace> loadTrace(const std::string &path);
 
-/** Convenience: write an entire source to @p path. */
-std::uint64_t saveTrace(TraceSource &source, const std::string &path);
+/**
+ * Convenience: write an entire source to @p path; the partial file is
+ * removed on error.  @return records written.
+ */
+Result<std::uint64_t> saveTrace(TraceSource &source,
+                                const std::string &path);
 
 } // namespace bpsim
 

@@ -1,0 +1,198 @@
+#include "verify/fault_injection.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "trace/trace_io.hh"
+
+namespace bpsim::verify {
+
+// --- FaultInjectingStream ----------------------------------------------
+
+FaultInjectingStream::FaultInjectingStream(
+    std::unique_ptr<ByteStream> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan)
+{
+    bpsim_assert(inner_, "FaultInjectingStream needs an inner stream");
+}
+
+bool
+FaultInjectingStream::failing()
+{
+    std::uint64_t op = ops_++;
+    if (plan_.sticky)
+        return op >= plan_.failFrom;
+    return op == plan_.failFrom;
+}
+
+std::size_t
+FaultInjectingStream::read(void *dst, std::size_t n)
+{
+    if (!failing())
+        return inner_->read(dst, n);
+    // The first failing transfer may be short rather than empty.
+    if (plan_.shortTransfer && ops_ - 1 == plan_.failFrom && n > 1)
+        return inner_->read(dst, n / 2);
+    return 0;
+}
+
+std::size_t
+FaultInjectingStream::write(const void *src, std::size_t n)
+{
+    if (!failing())
+        return inner_->write(src, n);
+    if (plan_.shortTransfer && ops_ - 1 == plan_.failFrom && n > 1)
+        return inner_->write(src, n / 2);
+    return 0;
+}
+
+bool
+FaultInjectingStream::seek(std::uint64_t pos)
+{
+    if (failing())
+        return false;
+    return inner_->seek(pos);
+}
+
+bool
+FaultInjectingStream::size(std::uint64_t &out)
+{
+    if (failing())
+        return false;
+    return inner_->size(out);
+}
+
+bool
+FaultInjectingStream::flush()
+{
+    if (failing())
+        return false;
+    return inner_->flush();
+}
+
+bool
+FaultInjectingStream::close()
+{
+    // Like fclose(): even a failing close releases the stream.
+    bool inner_ok = inner_->close();
+    return !failing() && inner_ok;
+}
+
+const std::string &
+FaultInjectingStream::describe() const
+{
+    return inner_->describe();
+}
+
+// --- Corruption fuzzing ------------------------------------------------
+
+namespace {
+
+/** Fixed .bpt header: magic, version, record count, name length. */
+constexpr std::size_t fixedHeaderBytes = 4 + 4 + 8 + 4;
+
+/**
+ * One mutation attempt: load @p image, record the outcome against the
+ * expectation, and append a violation description when the contract is
+ * broken.
+ */
+void
+attempt(const std::string &image, bool must_error,
+        const std::string &what, CorruptionReport &report)
+{
+    Status st = tryLoadImage(image);
+    if (must_error) {
+        ++report.mustErrorMutations;
+        if (!st.ok()) {
+            ++report.structuredErrors;
+        } else {
+            report.violations.push_back(
+                what + ": loaded cleanly, expected a structured error");
+        }
+    } else {
+        ++report.payloadMutations;
+        if (st.ok())
+            ++report.payloadCleanLoads;
+    }
+}
+
+} // namespace
+
+Status
+tryLoadImage(const std::string &image)
+{
+    auto reader = TraceReader::open(
+        std::make_unique<MemoryByteStream>(image));
+    if (!reader.ok())
+        return reader.error();
+    // The name may never outgrow the input: the header is validated
+    // against the stream size before any allocation.
+    bpsim_assert(reader.value().name().size() <= image.size(),
+                 "reader allocated a name larger than the input");
+    BranchRecord rec;
+    while (reader.value().next(rec)) {
+    }
+    return reader.value().status();
+}
+
+CorruptionReport
+fuzzTraceImage(const std::string &image, std::uint64_t seed,
+               std::size_t truncations, std::size_t payloadFlips)
+{
+    CorruptionReport report;
+    Status pristine = tryLoadImage(image);
+    if (!pristine.ok()) {
+        report.violations.push_back(
+            "pristine image failed to load: " +
+            pristine.error().message());
+        return report;
+    }
+
+    // Every single-bit flip of the fixed header is detectable: magic
+    // and version are compared exactly, and any change to the record
+    // count or name length breaks the size reconciliation.
+    std::size_t header =
+        std::min(fixedHeaderBytes, image.size());
+    for (std::size_t byte = 0; byte < header; ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutant = image;
+            mutant[byte] =
+                static_cast<char>(mutant[byte] ^ (1 << bit));
+            attempt(mutant, /*must_error=*/true,
+                    detail::concat("header bit flip at byte ", byte,
+                                   " bit ", bit),
+                    report);
+        }
+    }
+
+    // Any truncated prefix is detectable for the same reason.
+    Pcg32 rng(seed);
+    for (std::size_t i = 0; i < truncations && image.size() > 1; ++i) {
+        auto keep = static_cast<std::size_t>(rng.nextBounded(
+            static_cast<std::uint32_t>(image.size())));
+        attempt(image.substr(0, keep), /*must_error=*/true,
+                detail::concat("truncation to ", keep, " bytes"),
+                report);
+    }
+
+    // Bit flips in the name or record payload may produce a different
+    // but structurally valid trace; the contract is only "no crash,
+    // no over-allocation" (enforced inside tryLoadImage, and by the
+    // sanitizers when this campaign runs under asan-ubsan).
+    for (std::size_t i = 0;
+         i < payloadFlips && image.size() > fixedHeaderBytes; ++i) {
+        auto span =
+            static_cast<std::uint32_t>(image.size() - fixedHeaderBytes);
+        std::size_t byte = fixedHeaderBytes + rng.nextBounded(span);
+        std::string mutant = image;
+        mutant[byte] = static_cast<char>(
+            mutant[byte] ^ (1 << rng.nextBounded(8)));
+        attempt(mutant, /*must_error=*/false, "payload bit flip",
+                report);
+    }
+
+    return report;
+}
+
+} // namespace bpsim::verify

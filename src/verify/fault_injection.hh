@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fault injection and corruption fuzzing for the trace ingestion stack.
+ *
+ * Two complementary attacks on trace_io's error handling:
+ *
+ *  1. FaultInjectingStream wraps any ByteStream and makes its Nth I/O
+ *     operation (and optionally all later ones) fail or transfer short
+ *     -- simulating disk-full, yanked media and racing truncation at
+ *     every point in a read or write sequence.  Campaigns iterate the
+ *     failure point across the whole operation sequence and assert
+ *     that every single position yields a structured Error.
+ *
+ *  2. fuzzTraceImage() takes the bytes of a valid .bpt file and
+ *     replays seeded mutations -- every single-bit flip in the header,
+ *     random truncations, random payload bit flips -- through
+ *     TraceReader over a MemoryByteStream.  Header flips and
+ *     truncations must all produce a structured Error (the reader
+ *     validates the header against the real stream size, so any
+ *     tampering is detectable); payload flips may legitimately still
+ *     parse, but must never crash or over-allocate.
+ *
+ * Run under the asan-ubsan preset (ctest label "robust") these
+ * campaigns pin the contract that no input byte sequence can make the
+ * ingestion stack crash, abort, or allocate beyond the file size.
+ */
+
+#ifndef BPSIM_VERIFY_FAULT_INJECTION_HH
+#define BPSIM_VERIFY_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/byte_io.hh"
+#include "common/error.hh"
+
+namespace bpsim::verify {
+
+/** Where and how a FaultInjectingStream fails. */
+struct FaultPlan
+{
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+    /**
+     * 0-based index of the first failing operation; every operation
+     * (read/write/seek/size/flush/close) increments the counter.
+     */
+    std::uint64_t failFrom = kNever;
+
+    /**
+     * When true, the first failing read/write transfers half the
+     * requested bytes instead of none (a short transfer, as a signal
+     * delivery or a filling disk produces); later ops fail outright.
+     */
+    bool shortTransfer = false;
+
+    /** When false, only the failFrom-th operation fails. */
+    bool sticky = true;
+};
+
+/** ByteStream decorator that fails according to a FaultPlan. */
+class FaultInjectingStream : public ByteStream
+{
+  public:
+    FaultInjectingStream(std::unique_ptr<ByteStream> inner,
+                         FaultPlan plan);
+
+    std::size_t read(void *dst, std::size_t n) override;
+    std::size_t write(const void *src, std::size_t n) override;
+    bool seek(std::uint64_t pos) override;
+    bool size(std::uint64_t &out) override;
+    bool flush() override;
+    bool close() override;
+    const std::string &describe() const override;
+
+    /** Operations issued so far (campaigns size their sweep by it). */
+    std::uint64_t opsIssued() const { return ops_; }
+
+  private:
+    /** Consume one op slot; @return true when this op must fail. */
+    bool failing();
+
+    std::unique_ptr<ByteStream> inner_;
+    FaultPlan plan_;
+    std::uint64_t ops_ = 0;
+};
+
+/** Tally of one corruption-fuzz campaign (see fuzzTraceImage). */
+struct CorruptionReport
+{
+    /** Mutations whose detection is guaranteed (header/truncation). */
+    std::uint64_t mustErrorMutations = 0;
+    /** ... of which produced a structured Error (must be all). */
+    std::uint64_t structuredErrors = 0;
+
+    /** Payload bit flips attempted (detection not guaranteed). */
+    std::uint64_t payloadMutations = 0;
+    /** Payload flips that still loaded cleanly (legitimate). */
+    std::uint64_t payloadCleanLoads = 0;
+
+    /** Human-readable contract violations; empty on success. */
+    std::vector<std::string> violations;
+
+    bool
+    passed() const
+    {
+        return violations.empty() &&
+               structuredErrors == mustErrorMutations;
+    }
+};
+
+/**
+ * Attempt a full load of a .bpt image from memory: open, drain every
+ * record, surface the sticky stream status.  Success only when the
+ * image is completely well-formed.
+ */
+Status tryLoadImage(const std::string &image);
+
+/**
+ * Seeded corruption campaign over a valid .bpt @p image:
+ *   - every single-bit flip of the fixed header (must all error),
+ *   - @p truncations random truncated prefixes (must all error),
+ *   - @p payloadFlips random bit flips past the fixed header (must
+ *     never crash; success allowed).
+ */
+CorruptionReport fuzzTraceImage(const std::string &image,
+                                std::uint64_t seed,
+                                std::size_t truncations,
+                                std::size_t payloadFlips);
+
+} // namespace bpsim::verify
+
+#endif // BPSIM_VERIFY_FAULT_INJECTION_HH

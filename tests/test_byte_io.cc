@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the ByteStream abstraction under trace I/O: stdio-backed
+ * file streams and the in-memory stream used by the corruption fuzzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "common/byte_io.hh"
+
+using namespace bpsim;
+
+namespace {
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_("/tmp/bpsim_io_" + tag + "_" +
+                std::to_string(::getpid()) + ".bin")
+    {}
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(StdioFileStream, WriteThenReadBack)
+{
+    TempFile tmp("wrb");
+    {
+        auto w = StdioFileStream::openWrite(tmp.path());
+        ASSERT_TRUE(w.ok());
+        EXPECT_EQ(w.value()->write("hello", 5), 5u);
+        EXPECT_TRUE(w.value()->flush());
+        EXPECT_TRUE(w.value()->close());
+        EXPECT_TRUE(w.value()->close()) << "close is idempotent";
+    }
+    auto r = StdioFileStream::openRead(tmp.path());
+    ASSERT_TRUE(r.ok());
+    std::uint64_t size = 0;
+    ASSERT_TRUE(r.value()->size(size));
+    EXPECT_EQ(size, 5u);
+    char buf[8] = {};
+    EXPECT_EQ(r.value()->read(buf, sizeof(buf)), 5u);
+    EXPECT_EQ(std::string(buf, 5), "hello");
+    EXPECT_TRUE(r.value()->seek(1));
+    EXPECT_EQ(r.value()->read(buf, 2), 2u);
+    EXPECT_EQ(std::string(buf, 2), "el");
+}
+
+TEST(StdioFileStream, SizeDoesNotDisturbPosition)
+{
+    TempFile tmp("size");
+    {
+        auto w = StdioFileStream::openWrite(tmp.path());
+        ASSERT_TRUE(w.ok());
+        ASSERT_EQ(w.value()->write("abcdef", 6), 6u);
+    }
+    auto r = StdioFileStream::openRead(tmp.path());
+    ASSERT_TRUE(r.ok());
+    char c = 0;
+    ASSERT_EQ(r.value()->read(&c, 1), 1u);
+    std::uint64_t size = 0;
+    ASSERT_TRUE(r.value()->size(size));
+    EXPECT_EQ(size, 6u);
+    ASSERT_EQ(r.value()->read(&c, 1), 1u);
+    EXPECT_EQ(c, 'b') << "size() must not move the read cursor";
+}
+
+TEST(StdioFileStream, MissingFileIsAnError)
+{
+    auto r = StdioFileStream::openRead("/nonexistent/dir/x.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("cannot open"),
+              std::string::npos);
+    auto w = StdioFileStream::openWrite("/nonexistent/dir/x.bin");
+    ASSERT_FALSE(w.ok());
+    EXPECT_NE(w.error().message().find("cannot create"),
+              std::string::npos);
+}
+
+TEST(MemoryByteStream, ReadsInitialContents)
+{
+    MemoryByteStream s("abcd");
+    char buf[8] = {};
+    EXPECT_EQ(s.read(buf, 2), 2u);
+    EXPECT_EQ(std::string(buf, 2), "ab");
+    EXPECT_EQ(s.read(buf, 8), 2u) << "short read at end";
+    EXPECT_EQ(s.read(buf, 8), 0u);
+}
+
+TEST(MemoryByteStream, WritesExtendAndOverwrite)
+{
+    MemoryByteStream s;
+    EXPECT_EQ(s.write("abcd", 4), 4u);
+    ASSERT_TRUE(s.seek(1));
+    EXPECT_EQ(s.write("XY", 2), 2u);
+    EXPECT_EQ(s.bytes(), "aXYd");
+    std::uint64_t size = 0;
+    ASSERT_TRUE(s.size(size));
+    EXPECT_EQ(size, 4u);
+}
+
+TEST(MemoryByteStream, SeekBeyondEndFails)
+{
+    MemoryByteStream s("ab");
+    EXPECT_TRUE(s.seek(2));
+    EXPECT_FALSE(s.seek(3));
+}
+
+TEST(MemoryByteStream, ClosedStreamRefusesEverything)
+{
+    MemoryByteStream s("ab");
+    EXPECT_TRUE(s.close());
+    char buf[2];
+    EXPECT_EQ(s.read(buf, 2), 0u);
+    EXPECT_EQ(s.write("x", 1), 0u);
+    EXPECT_FALSE(s.seek(0));
+    EXPECT_FALSE(s.flush());
+    EXPECT_TRUE(s.close()) << "close is idempotent";
+    EXPECT_EQ(s.bytes(), "ab") << "contents survive close";
+}

@@ -1,7 +1,9 @@
 /**
  * @file
  * Tests for the key=value command-line parser used by examples and
- * benches.
+ * benches, including the recoverable-error behaviour of the typed
+ * getters (malformed and out-of-range values must produce Errors, not
+ * process exits or silently clamped numbers).
  */
 
 #include <gtest/gtest.h>
@@ -25,25 +27,33 @@ TEST(Config, FallbacksWhenAbsent)
 {
     Config cfg = Config::parseTokens({});
     EXPECT_EQ(cfg.getString("missing", "dflt"), "dflt");
-    EXPECT_EQ(cfg.getInt("missing", 42), 42);
-    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 2.5), 2.5);
-    EXPECT_TRUE(cfg.getBool("missing", true));
+    EXPECT_EQ(cfg.tryInt("missing", 42).value(), 42);
+    EXPECT_DOUBLE_EQ(cfg.tryDouble("missing", 2.5).value(), 2.5);
+    EXPECT_TRUE(cfg.tryBool("missing", true).value());
     EXPECT_FALSE(cfg.has("missing"));
 }
 
 TEST(Config, ParsesIntegersIncludingHex)
 {
     Config cfg = Config::parseTokens({"a=123", "b=0x10", "c=-5"});
-    EXPECT_EQ(cfg.getInt("a", 0), 123);
-    EXPECT_EQ(cfg.getInt("b", 0), 16);
-    EXPECT_EQ(cfg.getInt("c", 0), -5);
+    EXPECT_EQ(cfg.tryInt("a", 0).value(), 123);
+    EXPECT_EQ(cfg.tryInt("b", 0).value(), 16);
+    EXPECT_EQ(cfg.tryInt("c", 0).value(), -5);
+}
+
+TEST(Config, ParsesExtremeButRepresentableIntegers)
+{
+    Config cfg = Config::parseTokens({"max=9223372036854775807",
+                                      "min=-9223372036854775808"});
+    EXPECT_EQ(cfg.tryInt("max", 0).value(), INT64_MAX);
+    EXPECT_EQ(cfg.tryInt("min", 0).value(), INT64_MIN);
 }
 
 TEST(Config, ParsesDoubles)
 {
     Config cfg = Config::parseTokens({"x=1.5", "y=-0.25"});
-    EXPECT_DOUBLE_EQ(cfg.getDouble("x", 0), 1.5);
-    EXPECT_DOUBLE_EQ(cfg.getDouble("y", 0), -0.25);
+    EXPECT_DOUBLE_EQ(cfg.tryDouble("x", 0).value(), 1.5);
+    EXPECT_DOUBLE_EQ(cfg.tryDouble("y", 0).value(), -0.25);
 }
 
 TEST(Config, ParsesBooleans)
@@ -51,20 +61,20 @@ TEST(Config, ParsesBooleans)
     Config cfg = Config::parseTokens(
         {"a=true", "b=false", "c=1", "d=0", "e=yes", "f=no", "g=on",
          "h=off"});
-    EXPECT_TRUE(cfg.getBool("a", false));
-    EXPECT_FALSE(cfg.getBool("b", true));
-    EXPECT_TRUE(cfg.getBool("c", false));
-    EXPECT_FALSE(cfg.getBool("d", true));
-    EXPECT_TRUE(cfg.getBool("e", false));
-    EXPECT_FALSE(cfg.getBool("f", true));
-    EXPECT_TRUE(cfg.getBool("g", false));
-    EXPECT_FALSE(cfg.getBool("h", true));
+    EXPECT_TRUE(cfg.tryBool("a", false).value());
+    EXPECT_FALSE(cfg.tryBool("b", true).value());
+    EXPECT_TRUE(cfg.tryBool("c", false).value());
+    EXPECT_FALSE(cfg.tryBool("d", true).value());
+    EXPECT_TRUE(cfg.tryBool("e", false).value());
+    EXPECT_FALSE(cfg.tryBool("f", true).value());
+    EXPECT_TRUE(cfg.tryBool("g", false).value());
+    EXPECT_FALSE(cfg.tryBool("h", true).value());
 }
 
 TEST(Config, LastDuplicateWins)
 {
     Config cfg = Config::parseTokens({"k=1", "k=2"});
-    EXPECT_EQ(cfg.getInt("k", 0), 2);
+    EXPECT_EQ(cfg.tryInt("k", 0).value(), 2);
 }
 
 TEST(Config, ValueMayContainEquals)
@@ -97,16 +107,55 @@ TEST(Config, ParseArgsSkipsArgvZero)
     ASSERT_EQ(cfg.positional().size(), 1u);
 }
 
-TEST(ConfigDeathTest, MalformedIntegerIsFatal)
+TEST(Config, MalformedIntegerIsAnError)
 {
-    Config cfg = Config::parseTokens({"n=abc"});
-    EXPECT_EXIT(cfg.getInt("n", 0), ::testing::ExitedWithCode(1),
-                "not an integer");
+    Config cfg = Config::parseTokens({"n=abc", "m=12abc"});
+    auto r = cfg.tryInt("n", 0);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("not an integer"),
+              std::string::npos);
+    EXPECT_FALSE(cfg.tryInt("m", 0).ok());
 }
 
-TEST(ConfigDeathTest, MalformedBoolIsFatal)
+TEST(Config, OutOfRangeIntegerIsAnError)
+{
+    // One past INT64_MAX, far past, a hex overflow, and one below
+    // INT64_MIN: all were silently clamped before the ERANGE check.
+    Config cfg = Config::parseTokens(
+        {"a=9223372036854775808", "b=99999999999999999999999",
+         "c=0x10000000000000000", "d=-9223372036854775809"});
+    for (const char *key : {"a", "b", "c", "d"}) {
+        auto r = cfg.tryInt(key, 0);
+        ASSERT_FALSE(r.ok()) << key;
+        EXPECT_NE(r.error().message().find("out of range"),
+                  std::string::npos)
+            << key;
+    }
+}
+
+TEST(Config, MalformedDoubleIsAnError)
+{
+    Config cfg = Config::parseTokens({"x=banana", "y=1.5z"});
+    EXPECT_FALSE(cfg.tryDouble("x", 0).ok());
+    EXPECT_FALSE(cfg.tryDouble("y", 0).ok());
+}
+
+TEST(Config, OutOfRangeDoubleIsAnError)
+{
+    // Overflows to HUGE_VAL were previously accepted silently.
+    Config cfg = Config::parseTokens({"x=1e999", "y=-1e999"});
+    auto r = cfg.tryDouble("x", 0);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("out of range"),
+              std::string::npos);
+    EXPECT_FALSE(cfg.tryDouble("y", 0).ok());
+}
+
+TEST(Config, MalformedBoolIsAnError)
 {
     Config cfg = Config::parseTokens({"b=maybe"});
-    EXPECT_EXIT(cfg.getBool("b", false), ::testing::ExitedWithCode(1),
-                "not a boolean");
+    auto r = cfg.tryBool("b", false);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("not a boolean"),
+              std::string::npos);
 }

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seeded corruption-fuzz campaigns over valid .bpt images (ctest label
+ * "robust").  The acceptance contract: well over 200 mutations per
+ * campaign, every guaranteed-detectable one (header bit flips, random
+ * truncations) returns a structured Error, and no mutation -- payload
+ * flips included -- crashes, aborts, or allocates past the file size.
+ * Run under the asan-ubsan preset these campaigns double as a memory
+ * safety sweep of the whole ingestion stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/byte_io.hh"
+#include "trace/memory_trace.hh"
+#include "trace/trace_io.hh"
+#include "verify/fault_injection.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+/** A valid in-memory .bpt image built from a synthetic workload. */
+std::string
+buildImage(const std::string &profile, std::size_t records)
+{
+    MemoryTrace trace = generateProfileTrace(profile, records);
+    auto sink = std::make_unique<MemoryByteStream>();
+    auto *raw = sink.get();
+    TraceWriter writer =
+        TraceWriter::open(std::move(sink), trace.name()).value();
+    EXPECT_TRUE(writer.writeAll(trace).ok());
+    EXPECT_TRUE(writer.close().ok());
+    return raw->bytes();
+}
+
+std::string
+joinViolations(const verify::CorruptionReport &report)
+{
+    std::string all;
+    for (const auto &v : report.violations)
+        all += v + "\n";
+    return all;
+}
+
+} // namespace
+
+TEST(CorruptionFuzz, CampaignYieldsOnlyStructuredErrors)
+{
+    std::string image = buildImage("compress", 64);
+    verify::CorruptionReport report =
+        verify::fuzzTraceImage(image, /*seed=*/0xC0FFEE,
+                               /*truncations=*/90,
+                               /*payloadFlips=*/150);
+
+    // 160 header bit flips + 90 truncations: comfortably past the
+    // 200-mutation floor, and every one must have errored.
+    EXPECT_GE(report.mustErrorMutations, 200u);
+    EXPECT_EQ(report.structuredErrors, report.mustErrorMutations);
+    EXPECT_EQ(report.payloadMutations, 150u);
+    EXPECT_TRUE(report.passed()) << joinViolations(report);
+}
+
+TEST(CorruptionFuzz, PayloadFlipsNeverFalsePositive)
+{
+    // Structure is validated purely by size reconciliation, so a bit
+    // flip inside the name or record payload always still parses; the
+    // campaign's value there is the no-crash/no-over-allocation sweep.
+    std::string image = buildImage("gcc", 32);
+    verify::CorruptionReport report =
+        verify::fuzzTraceImage(image, /*seed=*/42, /*truncations=*/60,
+                               /*payloadFlips=*/200);
+    EXPECT_EQ(report.payloadCleanLoads, report.payloadMutations);
+    EXPECT_TRUE(report.passed()) << joinViolations(report);
+}
+
+TEST(CorruptionFuzz, SeedsAndShapesVary)
+{
+    // Different workloads, sizes and seeds; also the degenerate
+    // zero-record trace whose image is header + name only.
+    struct Shape
+    {
+        const char *profile;
+        std::size_t records;
+        std::uint64_t seed;
+    };
+    const Shape shapes[] = {
+        {"compress", 1, 1},
+        {"espresso", 16, 0xDEADBEEF},
+        {"xlisp", 200, 7},
+    };
+    for (const auto &s : shapes) {
+        std::string image = buildImage(s.profile, s.records);
+        auto report =
+            verify::fuzzTraceImage(image, s.seed, /*truncations=*/50,
+                                   /*payloadFlips=*/50);
+        EXPECT_TRUE(report.passed())
+            << s.profile << "/" << s.records << ": "
+            << joinViolations(report);
+    }
+
+    // Zero records: every header flip and truncation must still error.
+    auto sink = std::make_unique<MemoryByteStream>();
+    auto *raw = sink.get();
+    TraceWriter writer =
+        TraceWriter::open(std::move(sink), "empty").value();
+    ASSERT_TRUE(writer.close().ok());
+    auto report = verify::fuzzTraceImage(raw->bytes(), 3,
+                                         /*truncations=*/50,
+                                         /*payloadFlips=*/50);
+    EXPECT_TRUE(report.passed()) << joinViolations(report);
+    EXPECT_GE(report.mustErrorMutations, 160u);
+}

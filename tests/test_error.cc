@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the recoverable error layer (common/error.hh): Error
+ * carries its raise site, Status and Result propagate cleanly, and
+ * misuse (unwrapping the wrong alternative) panics rather than
+ * returning garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+using namespace bpsim;
+
+namespace {
+
+Result<int>
+parsePositive(int v)
+{
+    if (v <= 0)
+        return BPSIM_ERROR("value ", v, " is not positive");
+    return v;
+}
+
+Status
+checkEven(int v)
+{
+    if (v % 2 != 0)
+        return BPSIM_ERROR("value ", v, " is odd");
+    return Status();
+}
+
+} // namespace
+
+TEST(Error, CarriesMessageAndRaiseSite)
+{
+    Error e = BPSIM_ERROR("widget ", 7, " exploded");
+    int raise_line = __LINE__ - 1;
+    EXPECT_EQ(e.message(), "widget 7 exploded");
+    ASSERT_NE(e.file(), nullptr);
+    EXPECT_NE(std::string(e.file()).find("test_error.cc"),
+              std::string::npos);
+    EXPECT_EQ(e.line(), raise_line);
+    EXPECT_NE(e.describe().find("widget 7 exploded ("),
+              std::string::npos);
+}
+
+TEST(Error, DescribeWithoutSiteIsJustTheMessage)
+{
+    Error e("plain message");
+    EXPECT_EQ(e.describe(), "plain message");
+}
+
+TEST(Status, DefaultIsSuccess)
+{
+    Status st;
+    EXPECT_TRUE(st.ok());
+}
+
+TEST(Status, PropagatesError)
+{
+    Status st = checkEven(3);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().message(), "value 3 is odd");
+    EXPECT_TRUE(checkEven(4).ok());
+}
+
+TEST(Result, HoldsValue)
+{
+    auto r = parsePositive(5);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 5);
+    EXPECT_EQ(r.valueOr(-1), 5);
+}
+
+TEST(Result, HoldsError)
+{
+    auto r = parsePositive(-2);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().message(), "value -2 is not positive");
+    EXPECT_EQ(r.valueOr(-1), -1);
+    EXPECT_FALSE(r.status().ok());
+    EXPECT_EQ(r.status().error().message(),
+              "value -2 is not positive");
+}
+
+TEST(Result, StatusOfSuccessIsOk)
+{
+    EXPECT_TRUE(parsePositive(1).status().ok());
+}
+
+TEST(Result, MoveOnlyValuesWork)
+{
+    auto make = []() -> Result<std::unique_ptr<int>> {
+        return std::make_unique<int>(42);
+    };
+    auto r = make();
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> v = std::move(r).value();
+    EXPECT_EQ(*v, 42);
+}
+
+TEST(Result, LargeValuesRoundTrip)
+{
+    auto make = []() -> Result<std::vector<int>> {
+        return std::vector<int>{1, 2, 3};
+    };
+    EXPECT_EQ(make().value().size(), 3u);
+}
+
+TEST(ErrorDeathTest, UnwrappingErrorResultPanics)
+{
+    EXPECT_DEATH(parsePositive(-1).value(), "error Result");
+}
+
+TEST(ErrorDeathTest, TakingErrorOfSuccessPanics)
+{
+    EXPECT_DEATH(parsePositive(1).error(), "success Result");
+    EXPECT_DEATH(Status().error(), "success Status");
+}

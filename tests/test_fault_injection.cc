@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Fault-injection campaigns over the .bpt writer and reader (ctest
+ * label "robust"): every I/O operation in a write or read sequence is
+ * made to fail -- outright or as a short transfer -- and every single
+ * failure point must surface as a structured Error, with disk-full at
+ * close() reported rather than swallowed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/byte_io.hh"
+#include "trace/memory_trace.hh"
+#include "trace/trace_io.hh"
+#include "verify/fault_injection.hh"
+
+using namespace bpsim;
+using verify::FaultInjectingStream;
+using verify::FaultPlan;
+
+namespace {
+
+MemoryTrace
+makeTrace(std::size_t n)
+{
+    MemoryTrace trace("fault-campaign");
+    for (std::size_t i = 0; i < n; ++i) {
+        BranchRecord rec;
+        rec.pc = 0x1000 + 4 * i;
+        rec.target = 0x2000;
+        rec.type = BranchType::Conditional;
+        rec.taken = i % 3 != 0;
+        trace.append(rec);
+    }
+    return trace;
+}
+
+/**
+ * Run the full write sequence against a fault stream; @return the
+ * first error (or success) and, via @p ops_out, the operation count.
+ */
+Status
+writeUnderFaults(MemoryTrace &trace, FaultPlan plan,
+                 std::uint64_t *ops_out = nullptr,
+                 std::string *image_out = nullptr)
+{
+    trace.reset();
+    auto inner = std::make_unique<MemoryByteStream>();
+    auto *inner_raw = inner.get();
+    auto fault =
+        std::make_unique<FaultInjectingStream>(std::move(inner), plan);
+    auto *fault_raw = fault.get();
+
+    auto writer = TraceWriter::open(std::move(fault), "fault-campaign");
+    Status result;
+    if (!writer.ok()) {
+        result = writer.error();
+    } else {
+        auto written = writer.value().writeAll(trace);
+        result =
+            written.ok() ? writer.value().close() : written.status();
+        if (ops_out)
+            *ops_out = fault_raw->opsIssued();
+        if (image_out)
+            *image_out = inner_raw->bytes();
+    }
+    // A failed open destroys the stream with the writer result; only
+    // harvest counters from surviving writers above.
+    return result;
+}
+
+/** Same for the read side: open and drain a .bpt image. */
+Status
+readUnderFaults(const std::string &image, FaultPlan plan,
+                std::uint64_t *ops_out = nullptr)
+{
+    auto fault = std::make_unique<FaultInjectingStream>(
+        std::make_unique<MemoryByteStream>(image), plan);
+    auto *fault_raw = fault.get();
+    auto reader = TraceReader::open(std::move(fault));
+    if (!reader.ok())
+        return reader.error();
+    BranchRecord rec;
+    while (reader.value().next(rec)) {
+    }
+    if (ops_out)
+        *ops_out = fault_raw->opsIssued();
+    return reader.value().status();
+}
+
+std::string
+buildImage(std::size_t n)
+{
+    MemoryTrace trace = makeTrace(n);
+    std::string image;
+    Status st = writeUnderFaults(trace, FaultPlan{}, nullptr, &image);
+    EXPECT_TRUE(st.ok());
+    return image;
+}
+
+} // namespace
+
+TEST(FaultInjection, CleanPlanPassesThrough)
+{
+    MemoryTrace trace = makeTrace(8);
+    std::uint64_t ops = 0;
+    std::string image;
+    ASSERT_TRUE(writeUnderFaults(trace, FaultPlan{}, &ops, &image).ok());
+    // header write + 8 record writes + close (seek, patch, flush,
+    // close) -- the campaign below sweeps every one of these.
+    EXPECT_EQ(ops, 13u);
+    EXPECT_TRUE(verify::tryLoadImage(image).ok());
+}
+
+TEST(FaultInjection, EveryWriteOpFailurePointIsReported)
+{
+    MemoryTrace trace = makeTrace(8);
+    std::uint64_t total = 0;
+    ASSERT_TRUE(writeUnderFaults(trace, FaultPlan{}, &total).ok());
+    ASSERT_GT(total, 0u);
+
+    for (std::uint64_t fail = 0; fail < total; ++fail) {
+        for (bool short_transfer : {false, true}) {
+            FaultPlan plan;
+            plan.failFrom = fail;
+            plan.shortTransfer = short_transfer;
+            Status st = writeUnderFaults(trace, plan);
+            EXPECT_FALSE(st.ok())
+                << "write op " << fail << " (short="
+                << short_transfer
+                << ") failed silently: no error surfaced";
+        }
+    }
+}
+
+TEST(FaultInjection, EveryReadOpFailurePointIsReported)
+{
+    std::string image = buildImage(8);
+    std::uint64_t total = 0;
+    ASSERT_TRUE(readUnderFaults(image, FaultPlan{}, &total).ok());
+    ASSERT_GT(total, 0u);
+
+    for (std::uint64_t fail = 0; fail < total; ++fail) {
+        for (bool short_transfer : {false, true}) {
+            FaultPlan plan;
+            plan.failFrom = fail;
+            plan.shortTransfer = short_transfer;
+            Status st = readUnderFaults(image, plan);
+            EXPECT_FALSE(st.ok())
+                << "read op " << fail << " (short=" << short_transfer
+                << ") failed silently: no error surfaced";
+        }
+    }
+}
+
+TEST(FaultInjection, DiskFullAtCloseIsAnErrorNotATruncatedTrace)
+{
+    // The last four ops of a write sequence are close()'s
+    // seek/patch/flush/close; failing each must produce an error --
+    // before the fix, a full disk at fclose() yielded a "successful"
+    // truncated trace.
+    MemoryTrace trace = makeTrace(8);
+    std::uint64_t total = 0;
+    ASSERT_TRUE(writeUnderFaults(trace, FaultPlan{}, &total).ok());
+    ASSERT_GE(total, 4u);
+    for (std::uint64_t back = 1; back <= 4; ++back) {
+        FaultPlan plan;
+        plan.failFrom = total - back;
+        Status st = writeUnderFaults(trace, plan);
+        ASSERT_FALSE(st.ok());
+        EXPECT_NE(st.error().message().find("trace file"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultInjection, AbandonedPartialImageDoesNotLoad)
+{
+    // A write that died mid-stream leaves a header whose record count
+    // was never patched; the reader's size reconciliation must reject
+    // the partial image.
+    MemoryTrace trace = makeTrace(8);
+    FaultPlan plan;
+    plan.failFrom = 5; // die after the header and a few records
+    std::string partial;
+    ASSERT_FALSE(writeUnderFaults(trace, plan, nullptr, &partial).ok());
+    ASSERT_FALSE(partial.empty());
+    EXPECT_FALSE(verify::tryLoadImage(partial).ok());
+}
+
+TEST(FaultInjection, StickyWriterErrorReportedOnLaterWrites)
+{
+    MemoryTrace trace = makeTrace(4);
+    trace.reset();
+    FaultPlan plan;
+    plan.failFrom = 2; // header ok, first record ok, second fails
+    auto writer = TraceWriter::open(
+        std::make_unique<FaultInjectingStream>(
+            std::make_unique<MemoryByteStream>(), plan),
+        "sticky");
+    ASSERT_TRUE(writer.ok());
+    BranchRecord rec;
+    ASSERT_TRUE(trace.next(rec));
+    EXPECT_TRUE(writer.value().write(rec).ok());
+    ASSERT_TRUE(trace.next(rec));
+    EXPECT_FALSE(writer.value().write(rec).ok());
+    // The error is sticky: later writes and close keep reporting it.
+    ASSERT_TRUE(trace.next(rec));
+    EXPECT_FALSE(writer.value().write(rec).ok());
+    EXPECT_FALSE(writer.value().close().ok());
+    EXPECT_EQ(writer.value().recordsWritten(), 1u);
+}
+
+TEST(FaultInjection, FailedRewindSurfacesAndRecovers)
+{
+    std::string image = buildImage(4);
+    // Ops for a full read: magic, header, size, name, 4 records = 8;
+    // make the NEXT op (the rewind seek) fail, non-sticky.
+    FaultPlan plan;
+    plan.failFrom = 8;
+    plan.sticky = false;
+    auto reader = TraceReader::open(
+        std::make_unique<FaultInjectingStream>(
+            std::make_unique<MemoryByteStream>(image), plan));
+    ASSERT_TRUE(reader.ok());
+    BranchRecord rec;
+    int n = 0;
+    while (reader.value().next(rec))
+        ++n;
+    EXPECT_EQ(n, 4);
+    ASSERT_TRUE(reader.value().status().ok());
+
+    reader.value().reset();
+    EXPECT_FALSE(reader.value().status().ok());
+    EXPECT_FALSE(reader.value().next(rec));
+
+    // A later successful rewind clears the sticky error.
+    reader.value().reset();
+    EXPECT_TRUE(reader.value().status().ok());
+    n = 0;
+    while (reader.value().next(rec))
+        ++n;
+    EXPECT_EQ(n, 4);
+}

@@ -41,8 +41,8 @@ TEST(Integration, WorkloadSurvivesDiskRoundTripExactly)
 {
     TempFile tmp("roundtrip");
     MemoryTrace original = generateProfileTrace("compress", 30'000);
-    saveTrace(original, tmp.path());
-    MemoryTrace loaded = loadTrace(tmp.path());
+    ASSERT_TRUE(saveTrace(original, tmp.path()).ok());
+    MemoryTrace loaded = loadTrace(tmp.path()).value();
 
     ASSERT_EQ(loaded.size(), original.size());
     for (std::size_t i = 0; i < original.size(); ++i)
@@ -54,8 +54,8 @@ TEST(Integration, PredictionsIdenticalOnLoadedTrace)
 {
     TempFile tmp("predict");
     MemoryTrace original = generateProfileTrace("compress", 30'000);
-    saveTrace(original, tmp.path());
-    MemoryTrace loaded = loadTrace(tmp.path());
+    ASSERT_TRUE(saveTrace(original, tmp.path()).ok());
+    MemoryTrace loaded = loadTrace(tmp.path()).value();
 
     auto p1 = makePredictor("gshare:10:2");
     auto p2 = makePredictor("gshare:10:2");
@@ -70,8 +70,8 @@ TEST(Integration, SweepOnLoadedTraceMatchesGenerated)
 {
     TempFile tmp("sweep");
     MemoryTrace original = generateProfileTrace("compress", 30'000);
-    saveTrace(original, tmp.path());
-    MemoryTrace loaded = loadTrace(tmp.path());
+    ASSERT_TRUE(saveTrace(original, tmp.path()).ok());
+    MemoryTrace loaded = loadTrace(tmp.path()).value();
 
     PreparedTrace pa(original), pb(loaded);
     SweepOptions o;

@@ -1,6 +1,8 @@
 /**
  * @file
- * Tests for the plain-text trace interchange format.
+ * Tests for the plain-text trace interchange format, including the
+ * recoverable-error behaviour on malformed lines and the numeric
+ * boundary rules for the optional gap field.
  */
 
 #include <gtest/gtest.h>
@@ -29,12 +31,24 @@ class TempFile
     std::string path_;
 };
 
+/** Expect a failed import whose message mentions @p needle. */
+void
+expectImportError(const std::string &content, const std::string &needle)
+{
+    auto r = importTextTraceString(content);
+    ASSERT_FALSE(r.ok()) << content;
+    EXPECT_NE(r.error().message().find(needle), std::string::npos)
+        << "message '" << r.error().message() << "' lacks '" << needle
+        << "'";
+}
+
 } // namespace
 
 TEST(TextTrace, ParsesMinimalRecords)
 {
     MemoryTrace t = importTextTraceString("400100 400200 C T\n"
-                                          "400104 400300 C N\n");
+                                          "400104 400300 C N\n")
+                        .value();
     ASSERT_EQ(t.size(), 2u);
     EXPECT_EQ(t[0].pc, 0x400100u);
     EXPECT_EQ(t[0].target, 0x400200u);
@@ -48,7 +62,8 @@ TEST(TextTrace, ParsesAllTypes)
     MemoryTrace t = importTextTraceString("1 2 C T\n"
                                           "5 6 J T\n"
                                           "9 a L T\n"
-                                          "d e R T\n");
+                                          "d e R T\n")
+                        .value();
     ASSERT_EQ(t.size(), 4u);
     EXPECT_EQ(t[0].type, BranchType::Conditional);
     EXPECT_EQ(t[1].type, BranchType::Unconditional);
@@ -58,9 +73,11 @@ TEST(TextTrace, ParsesAllTypes)
 
 TEST(TextTrace, ParsesGapAndKernelFlags)
 {
-    MemoryTrace t = importTextTraceString("400100 400200 C T 7\n"
-                                          "80400104 80400300 C N 3 K\n"
-                                          "400108 400400 C T K\n");
+    MemoryTrace t =
+        importTextTraceString("400100 400200 C T 7\n"
+                              "80400104 80400300 C N 3 K\n"
+                              "400108 400400 C T K\n")
+            .value();
     ASSERT_EQ(t.size(), 3u);
     EXPECT_EQ(t[0].instGap, 7u);
     EXPECT_FALSE(t[0].kernel);
@@ -76,7 +93,8 @@ TEST(TextTrace, SkipsCommentsAndBlanks)
                                           "\n"
                                           "   # indented comment\n"
                                           "400100 400200 C T\n"
-                                          "\n");
+                                          "\n")
+                        .value();
     EXPECT_EQ(t.size(), 1u);
 }
 
@@ -91,7 +109,7 @@ TEST(TextTrace, FormatRoundTripsSingleRecord)
     rec.kernel = true;
     std::string line = formatTextRecord(rec);
     EXPECT_EQ(line, "80400abc 80400100 C N 12 K");
-    MemoryTrace t = importTextTraceString(line + "\n");
+    MemoryTrace t = importTextTraceString(line + "\n").value();
     ASSERT_EQ(t.size(), 1u);
     EXPECT_EQ(t[0], rec);
 }
@@ -100,10 +118,11 @@ TEST(TextTrace, FileRoundTripPreservesWorkload)
 {
     TempFile tmp("roundtrip");
     MemoryTrace original = generateProfileTrace("compress", 5'000);
-    std::uint64_t written = exportTextTrace(original, tmp.path());
+    std::uint64_t written =
+        exportTextTrace(original, tmp.path()).value();
     EXPECT_EQ(written, original.size());
 
-    MemoryTrace loaded = importTextTrace(tmp.path());
+    MemoryTrace loaded = importTextTrace(tmp.path()).value();
     ASSERT_EQ(loaded.size(), original.size());
     for (std::size_t i = 0; i < original.size(); ++i)
         ASSERT_EQ(loaded[i], original[i]) << "record " << i;
@@ -111,39 +130,80 @@ TEST(TextTrace, FileRoundTripPreservesWorkload)
                                  std::to_string(::getpid()));
 }
 
-TEST(TextTraceDeathTest, BadTypeIsFatalWithLineNumber)
+TEST(TextTrace, GapBoundaryIsExactlyU32Max)
 {
-    EXPECT_EXIT(importTextTraceString("400100 400200 X T\n"),
-                ::testing::ExitedWithCode(1), "bad type");
+    MemoryTrace t =
+        importTextTraceString("1 2 C T 4294967295\n").value();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].instGap, 4294967295u);
 }
 
-TEST(TextTraceDeathTest, BadDirectionIsFatal)
+TEST(TextTraceErrors, BadTypeMentionsLineNumber)
 {
-    EXPECT_EXIT(importTextTraceString("400100 400200 C maybe\n"),
-                ::testing::ExitedWithCode(1), "bad direction");
+    expectImportError("400100 400200 X T\n", "bad type");
+    expectImportError("400100 400200 X T\n", ":1:");
 }
 
-TEST(TextTraceDeathTest, ShortLineIsFatal)
+TEST(TextTraceErrors, BadDirection)
 {
-    EXPECT_EXIT(importTextTraceString("1 2 C T\n400100\n"),
-                ::testing::ExitedWithCode(1), ":2:");
+    expectImportError("400100 400200 C maybe\n", "bad direction");
 }
 
-TEST(TextTraceDeathTest, NonHexPcIsFatal)
+TEST(TextTraceErrors, ShortLineMentionsItsLineNumber)
 {
-    EXPECT_EXIT(importTextTraceString("zzz 400200 C T\n"),
-                ::testing::ExitedWithCode(1), "bad pc");
+    expectImportError("1 2 C T\n400100\n", ":2:");
 }
 
-TEST(TextTraceDeathTest, NotTakenJumpIsFatal)
+TEST(TextTraceErrors, NonHexPc)
 {
-    EXPECT_EXIT(importTextTraceString("400100 400200 J N\n"),
-                ::testing::ExitedWithCode(1),
-                "non-conditional records must be taken");
+    expectImportError("zzz 400200 C T\n", "bad pc");
 }
 
-TEST(TextTraceDeathTest, MissingFileIsFatal)
+TEST(TextTraceErrors, NotTakenJump)
 {
-    EXPECT_EXIT(importTextTrace("/nonexistent/trace.txt"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    expectImportError("400100 400200 J N\n",
+                      "non-conditional records must be taken");
+}
+
+TEST(TextTraceErrors, NegativePcRejectedDespiteStrtoullWraparound)
+{
+    // strtoull would happily wrap "-5" to 2^64-5; the importer must
+    // reject the sign outright.
+    expectImportError("-5 400200 C T\n", "bad pc");
+    expectImportError("400100 -400200 C T\n", "bad target");
+}
+
+TEST(TextTraceErrors, NegativeGapRejected)
+{
+    expectImportError("400100 400200 C T -5\n", "bad field");
+}
+
+TEST(TextTraceErrors, GapAboveU32MaxRejectedNotTruncated)
+{
+    // 2^32 used to be silently cast down to 0.
+    expectImportError("1 2 C T 4294967296\n", "gap");
+    // Values past 2^64 hit the ERANGE path.
+    expectImportError("1 2 C T 99999999999999999999\n", "bad field");
+}
+
+TEST(TextTraceErrors, OutOfRangePcRejectedNotClamped)
+{
+    expectImportError("fffffffffffffffff 400200 C T\n", "bad pc");
+}
+
+TEST(TextTraceErrors, MissingFile)
+{
+    auto r = importTextTrace("/nonexistent/trace.txt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("cannot open"),
+              std::string::npos);
+}
+
+TEST(TextTraceErrors, UnwritableExportPath)
+{
+    MemoryTrace t("x");
+    auto r = exportTextTrace(t, "/nonexistent/dir/out.txt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("cannot create"),
+              std::string::npos);
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * Tests for the trace substrate: in-memory traces and the binary .bpt
- * file format.
+ * file format.  (The adversarial corrupt-file matrix lives in
+ * test_trace_robust.cc.)
  */
 
 #include <gtest/gtest.h>
@@ -130,9 +131,9 @@ TEST(TraceIo, RoundTripPreservesEveryField)
     original.append(rec(0x00400110, 0x00400118,
                         BranchType::Unconditional, true, 1));
 
-    EXPECT_EQ(saveTrace(original, tmp.path()), 5u);
+    EXPECT_EQ(saveTrace(original, tmp.path()).value(), 5u);
 
-    MemoryTrace loaded = loadTrace(tmp.path());
+    MemoryTrace loaded = loadTrace(tmp.path()).value();
     EXPECT_EQ(loaded.name(), "round-trip-name");
     ASSERT_EQ(loaded.size(), original.size());
     for (std::size_t i = 0; i < original.size(); ++i)
@@ -146,15 +147,16 @@ TEST(TraceIo, ReaderStreamsAndRewinds)
     for (int i = 0; i < 10; ++i)
         original.append(rec(0x100 + 4 * i, 0x200,
                             BranchType::Conditional, i % 3 == 0));
-    saveTrace(original, tmp.path());
+    ASSERT_TRUE(saveTrace(original, tmp.path()).ok());
 
-    TraceReader reader(tmp.path());
+    TraceReader reader = TraceReader::open(tmp.path()).value();
     EXPECT_EQ(reader.recordCount(), 10u);
     BranchRecord out;
     int n = 0;
     while (reader.next(out))
         ++n;
     EXPECT_EQ(n, 10);
+    EXPECT_TRUE(reader.status().ok());
     reader.reset();
     ASSERT_TRUE(reader.next(out));
     EXPECT_EQ(out.pc, 0x100u);
@@ -164,8 +166,8 @@ TEST(TraceIo, EmptyTraceRoundTrips)
 {
     TempFile tmp("empty");
     MemoryTrace original("empty");
-    saveTrace(original, tmp.path());
-    MemoryTrace loaded = loadTrace(tmp.path());
+    ASSERT_TRUE(saveTrace(original, tmp.path()).ok());
+    MemoryTrace loaded = loadTrace(tmp.path()).value();
     EXPECT_TRUE(loaded.empty());
     EXPECT_EQ(loaded.name(), "empty");
 }
@@ -174,31 +176,65 @@ TEST(TraceIo, WriterPatchesCountOnClose)
 {
     TempFile tmp("patch");
     {
-        TraceWriter w(tmp.path(), "patched");
-        w.write(rec(0x100, 0x200, BranchType::Conditional, true));
-        w.write(rec(0x104, 0x200, BranchType::Conditional, false));
+        TraceWriter w =
+            TraceWriter::open(tmp.path(), "patched").value();
+        ASSERT_TRUE(
+            w.write(rec(0x100, 0x200, BranchType::Conditional, true))
+                .ok());
+        ASSERT_TRUE(
+            w.write(rec(0x104, 0x200, BranchType::Conditional, false))
+                .ok());
         EXPECT_EQ(w.recordsWritten(), 2u);
         // Destructor closes and patches.
     }
-    TraceReader reader(tmp.path());
+    TraceReader reader = TraceReader::open(tmp.path()).value();
     EXPECT_EQ(reader.recordCount(), 2u);
 }
 
-TEST(TraceIoDeathTest, MissingFileIsFatal)
+TEST(TraceIo, ExplicitCloseReportsSuccessAndIsIdempotent)
 {
-    EXPECT_EXIT(TraceReader("/nonexistent/dir/file.bpt"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    TempFile tmp("close");
+    MemoryTrace original("c");
+    original.append(rec(0x100, 0x200, BranchType::Conditional, true));
+    TraceWriter w = TraceWriter::open(tmp.path(), "c").value();
+    ASSERT_TRUE(w.writeAll(original).ok());
+    EXPECT_TRUE(w.close().ok());
+    EXPECT_TRUE(w.close().ok()); // second close is a no-op
 }
 
-TEST(TraceIoDeathTest, GarbageFileIsFatal)
+TEST(TraceIo, MissingFileIsAnError)
+{
+    auto r = TraceReader::open("/nonexistent/dir/file.bpt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("cannot open"),
+              std::string::npos);
+
+    auto load = loadTrace("/nonexistent/dir/file.bpt");
+    ASSERT_FALSE(load.ok());
+    EXPECT_NE(load.error().message().find("cannot open"),
+              std::string::npos);
+}
+
+TEST(TraceIo, UnwritablePathIsAnError)
+{
+    MemoryTrace t("x");
+    auto r = saveTrace(t, "/nonexistent/dir/file.bpt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("cannot create"),
+              std::string::npos);
+}
+
+TEST(TraceIo, GarbageFileIsAnError)
 {
     TempFile tmp("garbage");
     std::FILE *f = std::fopen(tmp.path().c_str(), "wb");
     ASSERT_NE(f, nullptr);
     std::fputs("this is not a trace", f);
     std::fclose(f);
-    EXPECT_EXIT(TraceReader(tmp.path()), ::testing::ExitedWithCode(1),
-                "bad magic");
+    auto r = TraceReader::open(tmp.path());
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("bad magic"),
+              std::string::npos);
 }
 
 TEST(TraceIo, KernelAndTakenFlagsIndependent)
@@ -209,10 +245,40 @@ TEST(TraceIo, KernelAndTakenFlagsIndependent)
         rec(0x1, 0x2, BranchType::Conditional, false, 0, true));
     original.append(
         rec(0x5, 0x6, BranchType::Conditional, true, 0, false));
-    saveTrace(original, tmp.path());
-    MemoryTrace loaded = loadTrace(tmp.path());
+    ASSERT_TRUE(saveTrace(original, tmp.path()).ok());
+    MemoryTrace loaded = loadTrace(tmp.path()).value();
     EXPECT_FALSE(loaded[0].taken);
     EXPECT_TRUE(loaded[0].kernel);
     EXPECT_TRUE(loaded[1].taken);
     EXPECT_FALSE(loaded[1].kernel);
+}
+
+TEST(TraceIo, RoundTripsThroughMemoryStream)
+{
+    MemoryTrace original("in-memory");
+    for (int i = 0; i < 4; ++i)
+        original.append(rec(0x100 + 4 * i, 0x200,
+                            BranchType::Conditional, i % 2 == 0));
+
+    auto sink = std::make_unique<MemoryByteStream>();
+    auto *sink_raw = sink.get();
+    TraceWriter w =
+        TraceWriter::open(std::move(sink), "in-memory").value();
+    ASSERT_EQ(w.writeAll(original).value(), 4u);
+    // Capture the image before close() releases the stream.
+    ASSERT_TRUE(w.close().ok());
+    std::string image = sink_raw->bytes();
+
+    TraceReader reader =
+        TraceReader::open(std::make_unique<MemoryByteStream>(image))
+            .value();
+    EXPECT_EQ(reader.name(), "in-memory");
+    EXPECT_EQ(reader.recordCount(), 4u);
+    BranchRecord out;
+    for (std::size_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(reader.next(out));
+        EXPECT_EQ(out, original[i]);
+    }
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_TRUE(reader.status().ok());
 }
