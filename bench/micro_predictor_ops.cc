@@ -8,6 +8,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common/logging.hh"
+#include "common/packed_pht.hh"
+#include "common/random.hh"
+#include "common/simd.hh"
 #include "predictor/factory.hh"
 #include "sim/prepared_trace.hh"
 #include "sim/sweep.hh"
@@ -118,6 +121,83 @@ sweepKernelFiniteBht(benchmark::State &state)
                             static_cast<std::int64_t>(t.size()));
 }
 
+/**
+ * The fused inner loop in isolation: replay a synthetic decoded
+ * record stream through a full 8-wide lane batch on one dispatch
+ * target.  Items processed counts lane-updates (records x lanes), so
+ * the scalar/sse2/avx2 rows are directly comparable and their ratio
+ * is the pure kernel speedup with no sweep bookkeeping around it.
+ */
+void
+laneBatchReplay(benchmark::State &state, SimdTarget target)
+{
+    if (!simdTargetSupported(target)) {
+        state.SkipWithError("dispatch target not supported on host");
+        return;
+    }
+    constexpr unsigned lanes = 8;
+    constexpr unsigned indexBits = 12; // 4K-counter PHT per lane
+    static const std::vector<std::uint32_t> records = [] {
+        Pcg32 rng(0xBE9CF00DULL, 5);
+        std::vector<std::uint32_t> r(1u << 16);
+        for (std::uint32_t &d : r)
+            d = rng.next(); // taken bit 31, index bits mixed below
+        return r;
+    }();
+
+    std::vector<PackedPht> tables;
+    LaneBatch batch;
+    for (unsigned l = 0; l < lanes; ++l)
+        tables.emplace_back(std::size_t{1} << indexBits);
+    for (unsigned l = 0; l < lanes; ++l) {
+        batch.totalMask[l] = (1u << indexBits) - 1;
+        batch.pht[l] = tables[l].data();
+        batch.misses[l] = 0;
+    }
+    batch.lanes = lanes;
+
+    for (auto _ : state) {
+        replayLaneBatch(target, records.data(), records.size(),
+                        batch);
+        benchmark::DoNotOptimize(batch.misses[0]);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(records.size() *
+                                                      lanes));
+}
+
+/**
+ * The packed-counter gather primitive alone: fetch one byte per lane
+ * from eight separately-allocated PHTs.  This is the memory-bound
+ * half of the lane batch; compare with laneBatchReplay to see how
+ * much of the kernel is gather latency vs counter arithmetic.
+ */
+void
+packedGather(benchmark::State &state, SimdTarget target)
+{
+    if (!simdTargetSupported(target)) {
+        state.SkipWithError("dispatch target not supported on host");
+        return;
+    }
+    constexpr unsigned lanes = 8;
+    std::vector<PackedPht> tables;
+    const std::uint8_t *bases[lanes];
+    std::uint32_t idx[lanes];
+    std::uint8_t out[lanes];
+    for (unsigned l = 0; l < lanes; ++l)
+        tables.emplace_back(std::size_t{1} << 10);
+    for (unsigned l = 0; l < lanes; ++l) {
+        bases[l] = tables[l].data();
+        idx[l] = (l * 37u) & 0xFF;
+    }
+    for (auto _ : state) {
+        gatherLaneBytes(target, bases, idx, lanes, out);
+        benchmark::DoNotOptimize(out[0]);
+        idx[0] = (idx[0] + 1) & 0xFF; // defeat trivial caching
+    }
+    state.SetItemsProcessed(state.iterations() * lanes);
+}
+
 void
 traceGeneration(benchmark::State &state)
 {
@@ -145,4 +225,10 @@ traceGeneration(benchmark::State &state)
 
 BENCHMARK(sweepKernel)->Arg(0)->Arg(1)->ArgNames({"aliasing"});
 BENCHMARK(sweepKernelFiniteBht)->Arg(0)->Arg(1)->ArgNames({"cached"});
+BENCHMARK_CAPTURE(laneBatchReplay, scalar, SimdTarget::Scalar);
+BENCHMARK_CAPTURE(laneBatchReplay, sse2, SimdTarget::SSE2);
+BENCHMARK_CAPTURE(laneBatchReplay, avx2, SimdTarget::AVX2);
+BENCHMARK_CAPTURE(packedGather, scalar, SimdTarget::Scalar);
+BENCHMARK_CAPTURE(packedGather, sse2, SimdTarget::SSE2);
+BENCHMARK_CAPTURE(packedGather, avx2, SimdTarget::AVX2);
 BENCHMARK(traceGeneration)->Arg(100'000);

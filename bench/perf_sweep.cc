@@ -1,25 +1,31 @@
 /**
  * @file
  * Sweep throughput benchmark: wall-clock branch-config updates per
- * second for every sweep scheme, in three execution modes --
+ * second for every sweep scheme, in these execution modes --
  *
  *   serial        per-config kernel, one trace replay per job
  *                 (threads=1, fuseJobs=off; the pre-fusion baseline)
- *   fused         fused single-pass kernel (threads=1, fuseJobs=on)
- *   fused+threads fused kernel with group-parallel execution
- *                 (threads=0, one executor per hardware thread)
+ *   fused[T]      fused single-pass kernel (threads=1, fuseJobs=on),
+ *                 once per SIMD dispatch target T this host supports
+ *                 (scalar always; sse2/avx2 when the CPU has them)
+ *   fused+threads fused kernel, auto dispatch, group-parallel
+ *                 execution (threads=0, one executor per hw thread)
  *
  * One unit of work is a single branch instance simulated through a
  * single configuration, so "branch-config updates/s" is comparable
- * across schemes, modes, trace lengths and hosts.  The three modes
- * produce bit-identical surfaces (verified in-process each run; a
- * mismatch is a hard failure), so the timing comparison is fair.
+ * across schemes, modes, trace lengths and hosts.  All modes produce
+ * bit-identical surfaces (verified in-process each run; a mismatch is
+ * a hard failure), so the timing comparison is fair.
  *
  * Results are written to a JSON file (default BENCH_sweep.json) whose
  * format EXPERIMENTS.md documents; the `perf` ctest label runs a short
  * smoke of this binary.  Speedups are *reported*, never asserted --
  * the committed BENCH_sweep.json seeds the perf trajectory, CI only
- * checks that the report is produced.
+ * checks that the report is produced.  Each scheme's record carries
+ * the kernel telemetry of its widest-target run (dispatch target,
+ * lanes per group, blocks replayed, hot bytes per branch) so a perf
+ * regression can be traced to a dispatch or fusion change without
+ * rerunning under a profiler.
  *
  * Knobs: branches=N (trace length, default 1000000 -- the paper's
  * profiles run 2-4M conditionals, so the default is sized to spill
@@ -52,22 +58,27 @@ struct SchemeResult
     SchemeKind kind;
     std::size_t configs = 0;
     ModeResult serial;
-    ModeResult fused;
+    /** One fused-mode measurement per supported dispatch target. */
+    std::vector<ModeResult> fused;
     ModeResult fusedThreads;
-    double fusedSpeedup = 0.0;
     double fusedThreadsSpeedup = 0.0;
+    /** Telemetry from the widest-target single-thread fused run. */
+    KernelTelemetry kernel;
 };
 
 /** Time one sweep run under @p opts, returning wall seconds. */
 double
 runOnce(const PreparedTrace &trace, SchemeKind kind,
-        const SweepOptions &opts, Surface *surface_out)
+        const SweepOptions &opts, Surface *surface_out,
+        KernelTelemetry *kernel_out = nullptr)
 {
     WallTimer timer;
     SweepResult result = sweepScheme(trace, kind, opts);
     const double secs = timer.seconds();
     if (surface_out)
         *surface_out = result.misprediction;
+    if (kernel_out)
+        *kernel_out = result.kernel;
     return secs;
 }
 
@@ -119,13 +130,19 @@ main(int argc, char **argv)
         cfg.getString("json", "BENCH_sweep.json");
     const std::string profile = cfg.getString("profile", "mpeg_play");
 
-    banner("Sweep throughput: serial vs fused vs fused+threads");
+    const std::vector<SimdTarget> targets = supportedSimdTargets();
+
+    banner("Sweep throughput: serial vs fused[simd] vs fused+threads");
     std::printf("profile %s, %llu conditional branches, tiers 2^4.."
-                "2^15, best of %u rep%s, %u hardware thread%s\n\n",
+                "2^15, best of %u rep%s, %u hardware thread%s, "
+                "dispatch targets:",
                 profile.c_str(),
                 static_cast<unsigned long long>(branches), reps,
                 reps == 1 ? "" : "s", ThreadPool::hardwareThreads(),
                 ThreadPool::hardwareThreads() == 1 ? "" : "s");
+    for (SimdTarget t : targets)
+        std::printf(" %s", simdTargetName(t));
+    std::printf("\n\n");
 
     PreparedTrace trace = prepareProfile(profile, branches);
 
@@ -133,9 +150,8 @@ main(int argc, char **argv)
     serial_opts.trackAliasing = false;
     serial_opts.threads = 1;
     serial_opts.fuseJobs = false;
-    SweepOptions fused_opts = serial_opts;
-    fused_opts.fuseJobs = true;
-    SweepOptions fused_threads_opts = fused_opts;
+    SweepOptions fused_threads_opts = serial_opts;
+    fused_threads_opts.fuseJobs = true;
     fused_threads_opts.threads = 0;
 
     const SchemeKind kinds[] = {
@@ -146,71 +162,112 @@ main(int argc, char **argv)
     };
 
     std::vector<SchemeResult> results;
-    std::printf("%-10s %10s | %14s | %14s %8s | %14s %8s\n", "scheme",
-                "configs", "serial bc/s", "fused bc/s", "speedup",
-                "fused+t bc/s", "speedup");
+    std::printf("%-10s %7s | %12s |", "scheme", "configs",
+                "serial bc/s");
+    for (SimdTarget t : targets)
+        std::printf(" %12s %6s |", simdTargetName(t), "spd");
+    std::printf(" %12s %6s\n", "fused+t bc/s", "spd");
     for (SchemeKind kind : kinds) {
         SchemeResult r;
         r.kind = kind;
         r.configs = planSweep(kind, serial_opts).size();
+        r.fused.resize(targets.size());
         const double work = static_cast<double>(trace.size()) *
                             static_cast<double>(r.configs);
 
-        // Interleave the modes within each rep (serial, fused,
-        // fused+threads, serial, ...) so slow host drift during the
-        // run hits every mode alike instead of biasing the ratios;
-        // best-of-reps then discards transient interference.
+        // Interleave the modes within each rep (serial, fused per
+        // target, fused+threads, serial, ...) so slow host drift
+        // during the run hits every mode alike instead of biasing
+        // the ratios; best-of-reps then discards transient
+        // interference.
         Surface expect("");
         for (unsigned rep = 0; rep < reps; ++rep) {
-            Surface fused_surface(""), threaded_surface("");
             const double s = runOnce(trace, kind, serial_opts,
                                      rep == 0 ? &expect : nullptr);
-            const double f =
-                runOnce(trace, kind, fused_opts,
-                        rep == 0 ? &fused_surface : nullptr);
+            if (rep == 0)
+                r.serial.seconds = s;
+            else
+                r.serial.seconds = std::min(r.serial.seconds, s);
+
+            for (std::size_t t = 0; t < targets.size(); ++t) {
+                SweepOptions fused_opts = serial_opts;
+                fused_opts.fuseJobs = true;
+                fused_opts.simd = targets[t];
+                Surface surface("");
+                const bool widest = t + 1 == targets.size();
+                const double f = runOnce(
+                    trace, kind, fused_opts,
+                    rep == 0 ? &surface : nullptr,
+                    rep == 0 && widest ? &r.kernel : nullptr);
+                if (rep == 0) {
+                    checkSurface(kind, expect, surface);
+                    r.fused[t].seconds = f;
+                } else {
+                    r.fused[t].seconds =
+                        std::min(r.fused[t].seconds, f);
+                }
+            }
+
+            Surface threaded_surface("");
             const double ft =
                 runOnce(trace, kind, fused_threads_opts,
                         rep == 0 ? &threaded_surface : nullptr);
             if (rep == 0) {
-                checkSurface(kind, expect, fused_surface);
                 checkSurface(kind, expect, threaded_surface);
-                r.serial.seconds = s;
-                r.fused.seconds = f;
                 r.fusedThreads.seconds = ft;
             } else {
-                r.serial.seconds = std::min(r.serial.seconds, s);
-                r.fused.seconds = std::min(r.fused.seconds, f);
                 r.fusedThreads.seconds =
                     std::min(r.fusedThreads.seconds, ft);
             }
         }
 
         r.serial.throughput = work / r.serial.seconds;
-        r.fused.throughput = work / r.fused.seconds;
+        for (ModeResult &m : r.fused)
+            m.throughput = work / m.seconds;
         r.fusedThreads.throughput = work / r.fusedThreads.seconds;
-        r.fusedSpeedup = r.serial.seconds / r.fused.seconds;
         r.fusedThreadsSpeedup =
             r.serial.seconds / r.fusedThreads.seconds;
         results.push_back(r);
 
-        std::printf("%-10s %10zu | %14.3e | %14.3e %7.2fx | %14.3e "
-                    "%7.2fx\n",
-                    schemeKindName(kind), r.configs,
-                    r.serial.throughput, r.fused.throughput,
-                    r.fusedSpeedup, r.fusedThreads.throughput,
+        std::printf("%-10s %7zu | %12.3e |", schemeKindName(kind),
+                    r.configs, r.serial.throughput);
+        for (const ModeResult &m : r.fused)
+            std::printf(" %12.3e %5.2fx |", m.throughput,
+                        r.serial.seconds / m.seconds);
+        std::printf(" %12.3e %5.2fx\n", r.fusedThreads.throughput,
                     r.fusedThreadsSpeedup);
     }
 
-    std::vector<double> fused_speedups, threaded_speedups;
-    for (const SchemeResult &r : results) {
-        fused_speedups.push_back(r.fusedSpeedup);
-        threaded_speedups.push_back(r.fusedThreadsSpeedup);
+    // Geomeans: fused-vs-serial per target, vector-vs-scalar-fused
+    // per vector target, threads-vs-serial.
+    std::vector<double> per_target_geo(targets.size());
+    std::vector<double> vs_scalar_geo(targets.size());
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+        std::vector<double> vs_serial, vs_scalar;
+        for (const SchemeResult &r : results) {
+            vs_serial.push_back(r.serial.seconds /
+                                r.fused[t].seconds);
+            vs_scalar.push_back(r.fused[0].seconds /
+                                r.fused[t].seconds);
+        }
+        per_target_geo[t] = geomean(vs_serial);
+        vs_scalar_geo[t] = geomean(vs_scalar);
     }
-    const double fused_geo = geomean(fused_speedups);
+    std::vector<double> threaded_speedups;
+    for (const SchemeResult &r : results)
+        threaded_speedups.push_back(r.fusedThreadsSpeedup);
     const double threaded_geo = geomean(threaded_speedups);
-    std::printf("\ngeomean fused speedup %.2fx, fused+threads %.2fx "
-                "(all surfaces verified bit-identical across modes)\n",
-                fused_geo, threaded_geo);
+
+    std::printf("\ngeomean speedups vs serial:");
+    for (std::size_t t = 0; t < targets.size(); ++t)
+        std::printf(" fused[%s] %.2fx", simdTargetName(targets[t]),
+                    per_target_geo[t]);
+    std::printf(", fused+threads %.2fx\n", threaded_geo);
+    for (std::size_t t = 1; t < targets.size(); ++t)
+        std::printf("geomean fused[%s] vs fused[scalar]: %.2fx\n",
+                    simdTargetName(targets[t]), vs_scalar_geo[t]);
+    std::printf("(all surfaces verified bit-identical across modes "
+                "and targets)\n");
 
     // Machine-readable record, consumed by CHANGES.md bookkeeping and
     // future perf-trajectory comparisons (see EXPERIMENTS.md).
@@ -225,6 +282,13 @@ main(int argc, char **argv)
     std::fprintf(json, "  \"reps\": %u,\n", reps);
     std::fprintf(json, "  \"hardware_threads\": %u,\n",
                  ThreadPool::hardwareThreads());
+    std::fprintf(json, "  \"trace_bytes_per_branch\": %.3f,\n",
+                 trace.bytesPerBranch());
+    std::fprintf(json, "  \"simd_targets\": [");
+    for (std::size_t t = 0; t < targets.size(); ++t)
+        std::fprintf(json, "\"%s\"%s", simdTargetName(targets[t]),
+                     t + 1 < targets.size() ? ", " : "");
+    std::fprintf(json, "],\n");
     std::fprintf(json, "  \"unit\": \"branch-config updates per "
                        "second\",\n");
     std::fprintf(json, "  \"schemes\": [\n");
@@ -237,26 +301,58 @@ main(int argc, char **argv)
                      "     \"serial\": {\"seconds\": %.6f, "
                      "\"throughput\": %.3e},\n",
                      r.serial.seconds, r.serial.throughput);
-        std::fprintf(json,
-                     "     \"fused\": {\"seconds\": %.6f, "
-                     "\"throughput\": %.3e},\n",
-                     r.fused.seconds, r.fused.throughput);
+        std::fprintf(json, "     \"fused\": {\n");
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+            const ModeResult &m = r.fused[t];
+            std::fprintf(
+                json,
+                "      \"%s\": {\"seconds\": %.6f, \"throughput\": "
+                "%.3e,\n       \"speedup\": %.3f, "
+                "\"speedup_vs_scalar_fused\": %.3f}%s\n",
+                simdTargetName(targets[t]), m.seconds, m.throughput,
+                r.serial.seconds / m.seconds,
+                r.fused[0].seconds / m.seconds,
+                t + 1 < targets.size() ? "," : "");
+        }
+        std::fprintf(json, "     },\n");
         std::fprintf(json,
                      "     \"fused_threads\": {\"seconds\": %.6f, "
-                     "\"throughput\": %.3e},\n",
+                     "\"throughput\": %.3e, \"speedup\": %.3f},\n",
                      r.fusedThreads.seconds,
-                     r.fusedThreads.throughput);
-        std::fprintf(json,
-                     "     \"fused_speedup\": %.3f, "
-                     "\"fused_threads_speedup\": %.3f}%s\n",
-                     r.fusedSpeedup, r.fusedThreadsSpeedup,
-                     i + 1 < results.size() ? "," : "");
+                     r.fusedThreads.throughput,
+                     r.fusedThreadsSpeedup);
+        std::fprintf(
+            json,
+            "     \"kernel\": {\"target\": \"%s\", "
+            "\"fused_groups\": %llu, \"fallback_jobs\": %llu,\n"
+            "      \"lanes_per_group\": %.2f, \"lane_batches\": "
+            "%llu, \"blocks_replayed\": %llu,\n"
+            "      \"hot_bytes_per_branch\": %.2f}}%s\n",
+            simdTargetName(r.kernel.target),
+            static_cast<unsigned long long>(r.kernel.fusedGroups),
+            static_cast<unsigned long long>(r.kernel.fallbackJobs),
+            r.kernel.lanesPerGroup(),
+            static_cast<unsigned long long>(r.kernel.laneBatches),
+            static_cast<unsigned long long>(r.kernel.blocksReplayed),
+            r.kernel.hotBytesPerBranch(),
+            i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"geomean_fused_speedup\": {");
+    for (std::size_t t = 0; t < targets.size(); ++t)
+        std::fprintf(json, "\"%s\": %.3f%s",
+                     simdTargetName(targets[t]), per_target_geo[t],
+                     t + 1 < targets.size() ? ", " : "");
+    std::fprintf(json, "},\n");
+    std::fprintf(json, "  \"geomean_simd_vs_scalar_fused\": {");
+    for (std::size_t t = 1; t < targets.size(); ++t)
+        std::fprintf(json, "\"%s\": %.3f%s",
+                     simdTargetName(targets[t]), vs_scalar_geo[t],
+                     t + 1 < targets.size() ? ", " : "");
+    std::fprintf(json, "},\n");
     std::fprintf(json,
-                 "  \"geomean_fused_speedup\": %.3f,\n"
                  "  \"geomean_fused_threads_speedup\": %.3f\n}\n",
-                 fused_geo, threaded_geo);
+                 threaded_geo);
     std::fclose(json);
     std::printf("wrote %s\n", json_path.c_str());
     return 0;

@@ -30,11 +30,20 @@ namespace bpsim {
 class PackedPht
 {
   public:
+    /**
+     * Padding bytes allocated past the last counter byte.  The AVX2
+     * fused kernel reads table bytes with 4-byte hardware gathers
+     * (vpgatherqd) at arbitrary byte offsets, so the highest counter
+     * byte needs 3 readable bytes after it.
+     */
+    static constexpr std::size_t kGatherSlack = 3;
+
     /** @param counters table size; every counter resets weakly taken. */
     explicit PackedPht(std::size_t counters)
         : size_(counters),
-          // Four weakly-taken (0b10) counters per byte.
-          bytes_((counters + 3) / 4, std::uint8_t{0xAA})
+          // Four weakly-taken (0b10) counters per byte, plus gather
+          // slack (never addressed as counters, value irrelevant).
+          bytes_((counters + 3) / 4 + kGatherSlack, std::uint8_t{0xAA})
     {
     }
 

@@ -1,0 +1,498 @@
+#include "common/simd.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/packed_pht.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define BPSIM_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace bpsim {
+
+namespace {
+
+/** The next narrower concrete target (clamping order). */
+SimdTarget
+narrower(SimdTarget target)
+{
+    switch (target) {
+      case SimdTarget::AVX2: return SimdTarget::SSE2;
+      default: return SimdTarget::Scalar;
+    }
+}
+
+/** Parse a BPSIM_SIMD value; Auto for unset or unrecognised. */
+SimdTarget
+parseEnvTarget()
+{
+    const char *env = std::getenv("BPSIM_SIMD");
+    if (!env || !*env)
+        return SimdTarget::Auto;
+    const std::string value(env);
+    if (value == "scalar")
+        return SimdTarget::Scalar;
+    if (value == "sse2")
+        return SimdTarget::SSE2;
+    if (value == "avx2")
+        return SimdTarget::AVX2;
+    if (value != "auto")
+        bpsim_warn("ignoring unrecognised BPSIM_SIMD value '", value,
+                   "' (expected scalar, sse2, avx2 or auto)");
+    return SimdTarget::Auto;
+}
+
+/** Cached environment override (read once, first use). */
+SimdTarget
+envTarget()
+{
+    static const SimdTarget cached = parseEnvTarget();
+    return cached;
+}
+
+// ---------------------------------------------------------------------
+// Scalar kernels: the reference semantics every vector variant is held
+// to.  The replay loop is exactly the PR 3 fused inner loop.
+
+void
+replayLaneBatchScalar(const std::uint32_t *records, std::size_t n,
+                      LaneBatch &batch)
+{
+    for (unsigned l = 0; l < batch.lanes; ++l) {
+        std::uint8_t *bytes = batch.pht[l];
+        const std::uint32_t total_mask = batch.totalMask[l];
+        std::uint64_t misses = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t rc = records[i];
+            misses += PackedPht::predictAndUpdateRaw(
+                bytes, rc & total_mask, rc >> 31);
+        }
+        batch.misses[l] += misses;
+    }
+}
+
+void
+gatherLaneBytesScalar(const std::uint8_t *const *bases,
+                      const std::uint32_t *byte_idx, unsigned lanes,
+                      std::uint8_t *out)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        out[l] = bases[l][byte_idx[l]];
+}
+
+void
+scatterLaneBytesScalar(std::uint8_t *const *bases,
+                       const std::uint32_t *byte_idx, unsigned lanes,
+                       const std::uint8_t *in)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        bases[l][byte_idx[l]] = in[l];
+}
+
+#if BPSIM_SIMD_X86
+
+// ---------------------------------------------------------------------
+// SSE2: 4 lanes per 128-bit vector, 32-bit elements.  SSE2 has no
+// per-element variable shifts, so `x << shift` and `x >> shift` for
+// shift in {0,2,4,6} are expressed as multiplies by 1 << shift and
+// 64 >> shift (pmullw is safe: every factor and product fits in the
+// low 16 bits of its 32-bit element, and the zero high halves keep
+// element products from crossing element boundaries).  Table bytes
+// move through scalar loads/stores (no gather before AVX2).
+
+/** 4-lane inner body; lanes beyond `live` train the caller's dummy. */
+__attribute__((target("sse2"))) void
+replayLanes4Sse2(const std::uint32_t *records, std::size_t n,
+                 std::uint8_t *const bases[4],
+                 const std::uint32_t masks[4], std::uint64_t misses[4])
+{
+    const __m128i mask_v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(masks));
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i one = _mm_set1_epi32(1);
+    const __m128i three = _mm_set1_epi32(3);
+    const __m128i four = _mm_set1_epi32(4);
+    const __m128i fifteen = _mm_set1_epi32(15);
+    const __m128i sixteen = _mm_set1_epi32(16);
+
+    alignas(16) std::uint32_t bx[4];
+    alignas(16) std::uint32_t by[4];
+    alignas(16) std::uint32_t nb[4];
+    alignas(16) std::uint32_t acc_out[4];
+
+    std::size_t done = 0;
+    while (done < n) {
+        // Flush the 32-bit accumulator before it can saturate.
+        const std::size_t stop =
+            done + std::min<std::size_t>(n - done,
+                                         std::size_t{1} << 30);
+        __m128i acc = zero;
+        for (std::size_t i = done; i < stop; ++i) {
+            const std::uint32_t rc = records[i];
+            const std::uint32_t t = rc >> 31;
+            const __m128i idx = _mm_and_si128(
+                _mm_set1_epi32(static_cast<int>(rc)), mask_v);
+            const __m128i bidx = _mm_srli_epi32(idx, 2);
+            // shift = (idx & 3) * 2; m2 = 1 << shift as
+            // (1 + 3*bit0(idx)) * (1 + 15*bit1(idx)), m1 = 64 >> shift
+            // from the complemented bits.
+            const __m128i b0 = _mm_and_si128(idx, one);
+            const __m128i b1 =
+                _mm_and_si128(_mm_srli_epi32(idx, 1), one);
+            const __m128i m2 = _mm_mullo_epi16(
+                _mm_add_epi32(one, _mm_mullo_epi16(b0, three)),
+                _mm_add_epi32(one, _mm_mullo_epi16(b1, fifteen)));
+            const __m128i m1 = _mm_mullo_epi16(
+                _mm_sub_epi32(four, _mm_mullo_epi16(b0, three)),
+                _mm_sub_epi32(sixteen, _mm_mullo_epi16(b1, fifteen)));
+
+            _mm_store_si128(reinterpret_cast<__m128i *>(bx), bidx);
+            by[0] = bases[0][bx[0]];
+            by[1] = bases[1][bx[1]];
+            by[2] = bases[2][bx[2]];
+            by[3] = bases[3][bx[3]];
+            const __m128i byte = _mm_load_si128(
+                reinterpret_cast<const __m128i *>(by));
+
+            // cur = (byte >> shift) & 3 == ((byte * (64 >> shift))
+            // >> 6) & 3 -- byte * m1 <= 255 * 64 stays in 16 bits.
+            const __m128i cur = _mm_and_si128(
+                _mm_srli_epi32(_mm_mullo_epi16(byte, m1), 6), three);
+            const __m128i tv = _mm_set1_epi32(static_cast<int>(t));
+            const __m128i ntv =
+                _mm_set1_epi32(static_cast<int>(t ^ 1u));
+            const __m128i inc =
+                _mm_andnot_si128(_mm_cmpeq_epi32(cur, three), tv);
+            const __m128i dec =
+                _mm_andnot_si128(_mm_cmpeq_epi32(cur, zero), ntv);
+            const __m128i next =
+                _mm_sub_epi32(_mm_add_epi32(cur, inc), dec);
+            // byte ^ ((cur ^ next) << shift) clears the old state and
+            // inserts the new one in a single XOR.
+            const __m128i newbyte = _mm_xor_si128(
+                byte,
+                _mm_mullo_epi16(_mm_xor_si128(cur, next), m2));
+
+            _mm_store_si128(reinterpret_cast<__m128i *>(nb), newbyte);
+            bases[0][bx[0]] = static_cast<std::uint8_t>(nb[0]);
+            bases[1][bx[1]] = static_cast<std::uint8_t>(nb[1]);
+            bases[2][bx[2]] = static_cast<std::uint8_t>(nb[2]);
+            bases[3][bx[3]] = static_cast<std::uint8_t>(nb[3]);
+
+            acc = _mm_add_epi32(
+                acc, _mm_xor_si128(_mm_srli_epi32(cur, 1), tv));
+        }
+        _mm_store_si128(reinterpret_cast<__m128i *>(acc_out), acc);
+        for (unsigned l = 0; l < 4; ++l)
+            misses[l] += acc_out[l];
+        done = stop;
+    }
+}
+
+void
+replayLaneBatchSse2(const std::uint32_t *records, std::size_t n,
+                    LaneBatch &batch)
+{
+    for (unsigned l0 = 0; l0 < batch.lanes; l0 += 4) {
+        alignas(16) std::uint8_t dummy[8] = {};
+        std::uint8_t *bases[4];
+        std::uint32_t masks[4];
+        std::uint64_t misses[4] = {};
+        const unsigned live = std::min(4u, batch.lanes - l0);
+        for (unsigned l = 0; l < 4; ++l) {
+            bases[l] = l < live ? batch.pht[l0 + l] : dummy;
+            masks[l] = l < live ? batch.totalMask[l0 + l] : 0;
+        }
+        replayLanes4Sse2(records, n, bases, masks, misses);
+        for (unsigned l = 0; l < live; ++l)
+            batch.misses[l0 + l] += misses[l];
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2: 8 lanes per 256-bit vector with variable shifts and hardware
+// gathers.  The gather addresses are absolute (base pointer null,
+// scale 1): per-lane table base + byte index, loading 4 bytes at the
+// addressed byte -- which is why every table carries
+// PackedPht::kGatherSlack padding.  Stores are scalar through a
+// scratch spill (x86 has no AVX2 scatter).
+
+__attribute__((target("avx2"))) void
+replayLaneBatchAvx2(const std::uint32_t *records, std::size_t n,
+                    LaneBatch &batch)
+{
+    alignas(32) std::uint8_t dummy[8] = {};
+    std::uint8_t *bases[8];
+    alignas(32) std::uint32_t masks[8];
+    for (unsigned l = 0; l < 8; ++l) {
+        bases[l] = l < batch.lanes ? batch.pht[l] : dummy;
+        masks[l] = l < batch.lanes ? batch.totalMask[l] : 0;
+    }
+
+    const __m256i mask_v = _mm256_load_si256(
+        reinterpret_cast<const __m256i *>(masks));
+    const __m256i base_lo = _mm256_set_epi64x(
+        reinterpret_cast<long long>(bases[3]),
+        reinterpret_cast<long long>(bases[2]),
+        reinterpret_cast<long long>(bases[1]),
+        reinterpret_cast<long long>(bases[0]));
+    const __m256i base_hi = _mm256_set_epi64x(
+        reinterpret_cast<long long>(bases[7]),
+        reinterpret_cast<long long>(bases[6]),
+        reinterpret_cast<long long>(bases[5]),
+        reinterpret_cast<long long>(bases[4]));
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i three = _mm256_set1_epi32(3);
+    const __m256i low8 = _mm256_set1_epi32(0xFF);
+
+    alignas(32) std::uint32_t bx[8];
+    alignas(32) std::uint32_t nb[8];
+    alignas(32) std::uint32_t acc_out[8];
+
+    std::size_t done = 0;
+    while (done < n) {
+        const std::size_t stop =
+            done + std::min<std::size_t>(n - done,
+                                         std::size_t{1} << 30);
+        __m256i acc = zero;
+        for (std::size_t i = done; i < stop; ++i) {
+            const std::uint32_t rc = records[i];
+            const std::uint32_t t = rc >> 31;
+            const __m256i idx = _mm256_and_si256(
+                _mm256_set1_epi32(static_cast<int>(rc)), mask_v);
+            const __m256i bidx = _mm256_srli_epi32(idx, 2);
+            const __m256i shift = _mm256_slli_epi32(
+                _mm256_and_si256(idx, three), 1);
+
+            const __m256i addr_lo = _mm256_add_epi64(
+                base_lo, _mm256_cvtepu32_epi64(
+                             _mm256_castsi256_si128(bidx)));
+            const __m256i addr_hi = _mm256_add_epi64(
+                base_hi, _mm256_cvtepu32_epi64(
+                             _mm256_extracti128_si256(bidx, 1)));
+            const __m128i g_lo = _mm256_i64gather_epi32(
+                static_cast<const int *>(nullptr), addr_lo, 1);
+            const __m128i g_hi = _mm256_i64gather_epi32(
+                static_cast<const int *>(nullptr), addr_hi, 1);
+            const __m256i byte = _mm256_and_si256(
+                _mm256_set_m128i(g_hi, g_lo), low8);
+
+            const __m256i cur = _mm256_and_si256(
+                _mm256_srlv_epi32(byte, shift), three);
+            const __m256i tv =
+                _mm256_set1_epi32(static_cast<int>(t));
+            const __m256i ntv =
+                _mm256_set1_epi32(static_cast<int>(t ^ 1u));
+            const __m256i inc = _mm256_andnot_si256(
+                _mm256_cmpeq_epi32(cur, three), tv);
+            const __m256i dec = _mm256_andnot_si256(
+                _mm256_cmpeq_epi32(cur, zero), ntv);
+            const __m256i next =
+                _mm256_sub_epi32(_mm256_add_epi32(cur, inc), dec);
+            const __m256i newbyte = _mm256_xor_si256(
+                byte, _mm256_sllv_epi32(_mm256_xor_si256(cur, next),
+                                        shift));
+
+            _mm256_store_si256(reinterpret_cast<__m256i *>(bx), bidx);
+            _mm256_store_si256(reinterpret_cast<__m256i *>(nb),
+                               newbyte);
+            bases[0][bx[0]] = static_cast<std::uint8_t>(nb[0]);
+            bases[1][bx[1]] = static_cast<std::uint8_t>(nb[1]);
+            bases[2][bx[2]] = static_cast<std::uint8_t>(nb[2]);
+            bases[3][bx[3]] = static_cast<std::uint8_t>(nb[3]);
+            bases[4][bx[4]] = static_cast<std::uint8_t>(nb[4]);
+            bases[5][bx[5]] = static_cast<std::uint8_t>(nb[5]);
+            bases[6][bx[6]] = static_cast<std::uint8_t>(nb[6]);
+            bases[7][bx[7]] = static_cast<std::uint8_t>(nb[7]);
+
+            acc = _mm256_add_epi32(
+                acc,
+                _mm256_xor_si256(_mm256_srli_epi32(cur, 1), tv));
+        }
+        _mm256_store_si256(reinterpret_cast<__m256i *>(acc_out), acc);
+        for (unsigned l = 0; l < batch.lanes; ++l)
+            batch.misses[l] += acc_out[l];
+        done = stop;
+    }
+}
+
+__attribute__((target("avx2"))) void
+gatherLaneBytesAvx2(const std::uint8_t *const *bases,
+                    const std::uint32_t *byte_idx, unsigned lanes,
+                    std::uint8_t *out)
+{
+    alignas(32) const std::uint8_t dummy[8] = {};
+    alignas(32) long long addrs[8];
+    for (unsigned l = 0; l < 8; ++l) {
+        const std::uint8_t *base = l < lanes ? bases[l] : dummy;
+        const std::uint32_t idx = l < lanes ? byte_idx[l] : 0;
+        addrs[l] = reinterpret_cast<long long>(base) + idx;
+    }
+    const __m128i g_lo = _mm256_i64gather_epi32(
+        static_cast<const int *>(nullptr),
+        _mm256_load_si256(reinterpret_cast<const __m256i *>(addrs)),
+        1);
+    const __m128i g_hi = _mm256_i64gather_epi32(
+        static_cast<const int *>(nullptr),
+        _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(addrs + 4)),
+        1);
+    alignas(32) std::uint32_t got[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(got),
+                       _mm256_set_m128i(g_hi, g_lo));
+    for (unsigned l = 0; l < lanes; ++l)
+        out[l] = static_cast<std::uint8_t>(got[l]);
+}
+
+#endif // BPSIM_SIMD_X86
+
+} // namespace
+
+const char *
+simdTargetName(SimdTarget target)
+{
+    switch (target) {
+      case SimdTarget::Auto: return "auto";
+      case SimdTarget::Scalar: return "scalar";
+      case SimdTarget::SSE2: return "sse2";
+      case SimdTarget::AVX2: return "avx2";
+    }
+    return "?";
+}
+
+bool
+simdTargetSupported(SimdTarget target)
+{
+    switch (target) {
+      case SimdTarget::Auto:
+      case SimdTarget::Scalar:
+        return true;
+#if BPSIM_SIMD_X86
+      case SimdTarget::SSE2:
+        return __builtin_cpu_supports("sse2") != 0;
+      case SimdTarget::AVX2:
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+      default:
+        return false;
+#endif
+    }
+    return false;
+}
+
+SimdTarget
+detectSimdTarget()
+{
+    static const SimdTarget cached = [] {
+#if BPSIM_SIMD_X86
+        __builtin_cpu_init();
+        if (__builtin_cpu_supports("avx2"))
+            return SimdTarget::AVX2;
+        if (__builtin_cpu_supports("sse2"))
+            return SimdTarget::SSE2;
+#endif
+        return SimdTarget::Scalar;
+    }();
+    return cached;
+}
+
+SimdTarget
+resolveSimdTarget(SimdTarget requested)
+{
+    SimdTarget want = requested;
+    if (want == SimdTarget::Auto)
+        want = envTarget();
+    if (want == SimdTarget::Auto)
+        want = detectSimdTarget();
+    while (want != SimdTarget::Scalar && !simdTargetSupported(want))
+        want = narrower(want);
+    return want;
+}
+
+std::vector<SimdTarget>
+supportedSimdTargets()
+{
+    std::vector<SimdTarget> targets{SimdTarget::Scalar};
+    for (SimdTarget t : {SimdTarget::SSE2, SimdTarget::AVX2}) {
+        if (simdTargetSupported(t))
+            targets.push_back(t);
+    }
+    return targets;
+}
+
+void
+replayLaneBatch(SimdTarget target, const std::uint32_t *records,
+                std::size_t n, LaneBatch &batch)
+{
+    bpsim_assert(target != SimdTarget::Auto,
+                 "replayLaneBatch needs a resolved target");
+    bpsim_assert(batch.lanes >= 1 &&
+                     batch.lanes <= LaneBatch::kMaxLanes,
+                 "lane batch width ", batch.lanes, " out of range");
+    // Occupancy-aware dispatch: a vector kernel pays for its full
+    // width no matter how many lanes are live (dead lanes replay into
+    // a dummy table), so an under-occupied batch is slower than the
+    // scalar loop.  Measured on the scan in bench/micro_predictor_ops
+    // terms, the 8-wide AVX2 kernel runs ~2x a scalar lane-update and
+    // the 4-wide SSE2 kernel ~1.5x, putting break-even at 5 and 3
+    // live lanes respectively; below that the call falls through to
+    // the next narrower kernel.  Every path is bit-identical, so this
+    // is purely a cost choice.
+    switch (target) {
+#if BPSIM_SIMD_X86
+      case SimdTarget::AVX2:
+        if (batch.lanes >= 5) {
+            replayLaneBatchAvx2(records, n, batch);
+            return;
+        }
+        [[fallthrough]];
+      case SimdTarget::SSE2:
+        if (batch.lanes >= 3) {
+            replayLaneBatchSse2(records, n, batch);
+            return;
+        }
+        break;
+#endif
+      default:
+        break;
+    }
+    replayLaneBatchScalar(records, n, batch);
+}
+
+void
+gatherLaneBytes(SimdTarget target, const std::uint8_t *const *bases,
+                const std::uint32_t *byte_idx, unsigned lanes,
+                std::uint8_t *out)
+{
+    bpsim_assert(lanes <= LaneBatch::kMaxLanes, "gather width ",
+                 lanes, " out of range");
+    switch (target) {
+#if BPSIM_SIMD_X86
+      case SimdTarget::AVX2:
+        gatherLaneBytesAvx2(bases, byte_idx, lanes, out);
+        return;
+#endif
+      default:
+        gatherLaneBytesScalar(bases, byte_idx, lanes, out);
+        return;
+    }
+}
+
+void
+scatterLaneBytes(SimdTarget target, std::uint8_t *const *bases,
+                 const std::uint32_t *byte_idx, unsigned lanes,
+                 const std::uint8_t *in)
+{
+    bpsim_assert(lanes <= LaneBatch::kMaxLanes, "scatter width ",
+                 lanes, " out of range");
+    // Every target stores scalar: x86 has no AVX2 scatter, and four
+    // byte stores are cheaper than any emulation.
+    (void)target;
+    scatterLaneBytesScalar(bases, byte_idx, lanes, in);
+}
+
+} // namespace bpsim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Portable lane-batched SIMD layer for the fused sweep kernel.
+ *
+ * The fused replay (sim/sweep.cc) trains one packed pattern table per
+ * configuration "lane", and every lane in a group updates a *disjoint*
+ * table from the same per-branch fused record -- so the per-branch work
+ * is trivially data-parallel across lanes.  This header exposes that
+ * parallelism behind a dispatch target chosen once at runtime:
+ *
+ *   Scalar  the reference implementation -- exactly the PR 3 fused
+ *           inner loop (one load, one AND, one packed-counter RMW per
+ *           lane).  Always available, and the semantics every vector
+ *           kernel is held to, bit for bit (tests/test_simd.cc,
+ *           tests/differential/test_fused_kernel.cc).
+ *   SSE2    4 lanes per 128-bit vector.  No variable per-element
+ *           shifts exist in SSE2, so counter extraction and insertion
+ *           go through power-of-two multiplies (pmullw); table bytes
+ *           are moved with scalar loads/stores.
+ *   AVX2    8 lanes per 256-bit vector with hardware gathers
+ *           (vpgatherqd on absolute byte addresses) and variable
+ *           shifts (vpsrlvd/vpsllvd); stores remain scalar because x86
+ *           has no AVX2 scatter.
+ *
+ * Dispatch is runtime CPUID -- no ISA flags are baked into tier-1
+ * builds, so one binary runs everywhere and selects the widest kernel
+ * the host supports.  `BPSIM_SIMD=scalar|sse2|avx2` in the environment
+ * overrides auto-detection (the sanitizer CI presets force `scalar` so
+ * they stay green on hardware without AVX2); an explicit
+ * `SweepOptions::simd` request beats the environment.  Requests wider
+ * than the host supports clamp down to the widest available target.
+ *
+ * AVX2 gathers load 4 bytes at the addressed table byte, so every
+ * buffer a LaneBatch points at must carry PackedPht::kGatherSlack
+ * padding bytes past its last addressable byte (PackedPht allocates
+ * the slack itself).
+ */
+
+#ifndef BPSIM_COMMON_SIMD_HH
+#define BPSIM_COMMON_SIMD_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bpsim {
+
+/** A fused-kernel dispatch target. */
+enum class SimdTarget
+{
+    Auto,   ///< pick the widest target the host supports
+    Scalar, ///< reference loop, always available
+    SSE2,   ///< 4 lanes per vector
+    AVX2,   ///< 8 lanes per vector, hardware gathers
+};
+
+/** @return "auto", "scalar", "sse2" or "avx2". */
+const char *simdTargetName(SimdTarget target);
+
+/** @return whether this host can execute @p target (Auto: true). */
+bool simdTargetSupported(SimdTarget target);
+
+/** Widest target the host supports (CPUID probe, cached). */
+SimdTarget detectSimdTarget();
+
+/**
+ * The target a kernel invocation actually runs: an explicit request
+ * wins, then the BPSIM_SIMD environment override, then detection.
+ * Unsupported requests clamp to the widest supported narrower target,
+ * so the result is always executable.  Never returns Auto.
+ */
+SimdTarget resolveSimdTarget(SimdTarget requested = SimdTarget::Auto);
+
+/** Every concrete target this host supports, narrowest first. */
+std::vector<SimdTarget> supportedSimdTargets();
+
+/**
+ * One batch of fused-kernel lanes in structure-of-arrays form.  Lane l
+ * trains the packed 2-bit counter table at pht[l] (a PackedPht data()
+ * pointer -- the table carries PackedPht::kGatherSlack bytes of
+ * padding for the AVX2 gathers) with counter index
+ * `record & totalMask[l]`; misses[l] accumulates its mispredictions.
+ */
+struct LaneBatch
+{
+    static constexpr unsigned kMaxLanes = 8;
+    std::uint32_t totalMask[kMaxLanes] = {};
+    std::uint8_t *pht[kMaxLanes] = {};
+    std::uint64_t misses[kMaxLanes] = {};
+    /** Live lanes (1..kMaxLanes); vector kernels pad the rest. */
+    unsigned lanes = 0;
+};
+
+/**
+ * Replay @p n fused records through every lane of @p batch on
+ * @p target.  A record carries the branch outcome in bit 31 and the
+ * pre-shifted row|column index in bits 0..30 (see sim/sweep.cc); per
+ * record each lane masks out its table index and performs one
+ * predict-and-update, accumulating the misprediction into
+ * batch.misses.  All targets are bit-identical: identical final table
+ * bytes, identical miss counts.  @p target must be concrete
+ * (resolveSimdTarget), not Auto.  @p target is a ceiling, not a
+ * mandate: an under-occupied batch (fewer live lanes than a vector
+ * kernel's break-even width) drops to the next narrower kernel,
+ * because vector kernels pay for dead padding lanes.
+ */
+void replayLaneBatch(SimdTarget target, const std::uint32_t *records,
+                     std::size_t n, LaneBatch &batch);
+
+/**
+ * Gather one table byte per lane: out[l] = bases[l][byteIdx[l]] for
+ * l < lanes (lanes <= LaneBatch::kMaxLanes).  The AVX2 variant uses
+ * hardware gathers over absolute addresses, so each bases[l] buffer
+ * must extend PackedPht::kGatherSlack bytes past byteIdx[l].
+ */
+void gatherLaneBytes(SimdTarget target,
+                     const std::uint8_t *const *bases,
+                     const std::uint32_t *byteIdx, unsigned lanes,
+                     std::uint8_t *out);
+
+/**
+ * Scatter one table byte per lane: bases[l][byteIdx[l]] = in[l].  x86
+ * has no AVX2 scatter, so every target issues scalar stores; the
+ * helper exists so gather/scatter round-trips are pinned per target
+ * (tests) and measurable (bench/micro_predictor_ops).
+ */
+void scatterLaneBytes(SimdTarget target, std::uint8_t *const *bases,
+                      const std::uint32_t *byteIdx, unsigned lanes,
+                      const std::uint8_t *in);
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_SIMD_HH

@@ -7,13 +7,15 @@
 
 namespace bpsim {
 
-PreparedTrace::PreparedTrace(const MemoryTrace &trace)
+PreparedTrace::PreparedTrace(const MemoryTrace &trace,
+                             bool need_path_history)
     : name_(trace.name())
 {
     std::size_t n = trace.conditionalCount();
     pcs.reserve(n);
-    targets.reserve(n);
-    takens.reserve(n);
+    if (need_path_history)
+        succBits_.reserve(n);
+    takenBits_.reserve(n / 64 + 1);
     ghist.reserve(n);
     shist.reserve(n);
 
@@ -25,9 +27,20 @@ PreparedTrace::PreparedTrace(const MemoryTrace &trace)
         const BranchRecord &rec = trace[i];
         if (!rec.isConditional())
             continue;
+        const std::size_t k = pcs.size();
         pcs.push_back(rec.pc);
-        targets.push_back(rec.target);
-        takens.push_back(rec.taken ? 1 : 0);
+        if (need_path_history) {
+            // The successor already folds in the outcome, so the path
+            // column replaces the full 8-byte target address with the
+            // only bits pathHistoryStream can ever shift in.
+            const Addr successor = rec.taken ? rec.target : rec.pc + 4;
+            succBits_.push_back(static_cast<std::uint16_t>(
+                bits(wordIndex(successor), 16)));
+        }
+        if ((k & 63) == 0)
+            takenBits_.push_back(0);
+        if (rec.taken)
+            takenBits_.back() |= std::uint64_t{1} << (k & 63);
 
         ghist.push_back(global);
         global = (global << 1) | (rec.taken ? 1u : 0u);
@@ -38,19 +51,33 @@ PreparedTrace::PreparedTrace(const MemoryTrace &trace)
     }
 }
 
+double
+PreparedTrace::bytesPerBranch() const
+{
+    if (size() == 0)
+        return 0.0;
+    const std::size_t bytes = pcs.size() * sizeof(Addr) +
+        succBits_.size() * sizeof(std::uint16_t) +
+        takenBits_.size() * sizeof(std::uint64_t) +
+        ghist.size() * sizeof(std::uint64_t) +
+        shist.size() * sizeof(std::uint64_t);
+    return static_cast<double>(bytes) / static_cast<double>(size());
+}
+
 std::vector<std::uint64_t>
 PreparedTrace::pathHistoryStream(unsigned bits_per_target) const
 {
     bpsim_assert(bits_per_target >= 1 && bits_per_target <= 16,
                  "bits per target out of range");
+    bpsim_assert(hasPathColumn(),
+                 "trace was prepared without the path column");
     std::vector<std::uint64_t> out;
     out.reserve(size());
     std::uint64_t reg = 0;
     for (std::size_t i = 0; i < size(); ++i) {
         out.push_back(reg);
-        Addr successor = takens[i] ? targets[i] : pcs[i] + 4;
         reg = (reg << bits_per_target) |
-            bits(wordIndex(successor), bits_per_target);
+            bits(succBits_[i], bits_per_target);
     }
     return out;
 }
@@ -66,7 +93,7 @@ PreparedTrace::bhtHistoryStream(std::size_t entries, unsigned assoc,
     out.reserve(size());
     for (std::size_t i = 0; i < size(); ++i) {
         out.push_back(bht.visit(pcs[i]).history);
-        bht.recordOutcome(pcs[i], takens[i] != 0);
+        bht.recordOutcome(pcs[i], taken(i));
     }
     if (miss_rate_out)
         *miss_rate_out = bht.missRate();

@@ -16,6 +16,14 @@
  *  - finite-BHT self history (per BHT configuration and row width,
  *    because the 0xC3FF reset prefix differs by width).
  *
+ * Column layout is sized for replay throughput: outcomes are a packed
+ * bit stream (one bit per branch, consumed 64 branches at a time by the
+ * fused kernel), and the path-history column stores only the low 16
+ * successor word-index bits per branch (pathHistoryStream never shifts
+ * in more -- bits_per_target is capped at 16) instead of full 8-byte
+ * target addresses.  bytesPerBranch() reports the resulting resident
+ * footprint so tests can pin it.
+ *
  * A test (test_sweep_equivalence) pins the equivalence between this fast
  * path and the online TwoLevelPredictor.
  */
@@ -37,8 +45,15 @@ namespace bpsim {
 class PreparedTrace
 {
   public:
-    /** Extract and precompute from a materialised trace. */
-    explicit PreparedTrace(const MemoryTrace &trace);
+    /**
+     * Extract and precompute from a materialised trace.
+     * @param need_path_history keep the 2-byte successor-bits column
+     *        that feeds pathHistoryStream (only Nair path-scheme
+     *        groups consume it); pass false to drop it when no lane
+     *        needs path history.
+     */
+    explicit PreparedTrace(const MemoryTrace &trace,
+                           bool need_path_history = true);
 
     const std::string &name() const { return name_; }
     /** Number of conditional branch instances. */
@@ -46,16 +61,42 @@ class PreparedTrace
 
     /** Branch address of conditional instance @p i. */
     Addr pc(std::size_t i) const { return pcs[i]; }
+
     /** Outcome of conditional instance @p i. */
-    bool taken(std::size_t i) const { return takens[i] != 0; }
+    bool
+    taken(std::size_t i) const
+    {
+        return ((takenBits_[i >> 6] >> (i & 63)) & 1u) != 0;
+    }
+
+    /**
+     * Outcomes of instances [64w, 64w+63], instance 64w in bit 0.
+     * Bits past size() are zero.  The fused kernel consumes outcomes a
+     * word at a time through this.
+     */
+    std::uint64_t takenWord(std::size_t w) const { return takenBits_[w]; }
+    /** Number of takenWord() words ((size() + 63) / 64). */
+    std::size_t takenWordCount() const { return takenBits_.size(); }
+
     /** Global outcome history BEFORE instance @p i (bit 0 newest). */
     std::uint64_t globalHistory(std::size_t i) const { return ghist[i]; }
     /** Perfect per-branch self history BEFORE instance @p i. */
     std::uint64_t selfHistory(std::size_t i) const { return shist[i]; }
 
+    /** Whether the successor-bits column was kept at construction. */
+    bool hasPathColumn() const { return !succBits_.empty() || size() == 0; }
+
+    /**
+     * Resident column bytes divided by branch count: 8 (pc) + 8
+     * (ghist) + 8 (shist) + 1/8 (packed outcome bit) + 2 when the path
+     * column is kept.  Zero for an empty trace.
+     */
+    double bytesPerBranch() const;
+
     /**
      * Path-history register value before each instance, shifting
-     * @p bits_per_target successor-address bits per branch.
+     * @p bits_per_target successor-address bits per branch.  Requires
+     * the path column (need_path_history at construction).
      */
     std::vector<std::uint64_t>
     pathHistoryStream(unsigned bits_per_target) const;
@@ -77,8 +118,10 @@ class PreparedTrace
   private:
     std::string name_;
     std::vector<Addr> pcs;
-    std::vector<Addr> targets;
-    std::vector<std::uint8_t> takens;
+    /** Low 16 successor word-index bits per branch (path schemes). */
+    std::vector<std::uint16_t> succBits_;
+    /** Packed outcomes, branch i at bit (i & 63) of word i / 64. */
+    std::vector<std::uint64_t> takenBits_;
     std::vector<std::uint64_t> ghist;
     std::vector<std::uint64_t> shist;
 };

@@ -129,7 +129,7 @@ runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
  * The pass is block-tiled for locality: a block of branches is decoded
  * once into a compact per-branch record, then every lane makes one
  * tight pass over the decoded block.  The decode cost (row functor, pc
- * word index, outcome load) is amortised over all lanes, the block
+ * word index, outcome bit) is amortised over all lanes, the block
  * stays L1-resident while the lanes stream it, and each lane's packed
  * table stays cache-hot for the whole block instead of being evicted
  * between branches by a hundred sibling tables.
@@ -139,18 +139,25 @@ runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
  * further grouped by column width: every lane with colBits == c indexes
  * its table with ((row & rowMask) << c) | (col & colMask), which is
  * ((row << c) | (col & mask(c))) & mask(totalBits).  The c-dependent
- * part is shared, so it is materialised once per (block, c) as a uint32
- * record carrying the outcome in bit 31, and the lane inner loop
- * collapses to one 4-byte L1 load, one AND, and one packed-counter
- * read-modify-write -- strictly less work per branch than the
- * per-config kernel, on top of the single-pass trace traversal.
+ * part is shared, so it is materialised once per (block, c) as a
+ * structure-of-arrays uint32 record stream carrying the outcome in bit
+ * 31 (outcomes come from the prepared trace's packed bit stream, one
+ * 64-branch word at a time), and the hot loop touches only that
+ * stream, the outcome bits already folded into it, and the lane
+ * tables.  Lanes sharing a record stream are then replayed
+ * LaneBatch::kMaxLanes at a time through the runtime-dispatched SIMD
+ * kernel (common/simd.hh): per record, one shared stream load feeds
+ * 4-8 lanes' mask+gather+packed-counter-RMW in parallel, instead of
+ * one scalar pass per lane.  Every dispatch target is bit-identical to
+ * the scalar loop.
  */
 template <typename RowFn>
 void
 runFusedReplay(const PreparedTrace &t,
                const std::vector<ConfigJob> &jobs,
                const std::vector<std::size_t> &members, RowFn row_of,
-               ConfigResult *slots)
+               ConfigResult *slots, SimdTarget target,
+               KernelTelemetry *telemetry)
 {
     struct Lane
     {
@@ -179,9 +186,17 @@ runFusedReplay(const PreparedTrace &t,
 
     // 2048 * 4 bytes keeps each decoded block at 8 KiB -- small enough
     // to share L1 with the largest packed table a paper sweep uses
-    // (2^15 counters = 8 KiB).
+    // (2^15 counters = 8 KiB).  A multiple of 64 so blocks consume
+    // whole packed-outcome words.
     constexpr std::size_t blockSize = 2048;
+    static_assert(blockSize % 64 == 0,
+                  "blocks must consume whole taken words");
     const std::size_t n = t.size();
+
+    KernelTelemetry counters;
+    counters.target = target;
+    counters.fusedGroups = 1;
+    counters.lanes = lanes.size();
 
     if (narrow) {
         // Lanes sharing a column width share their fused record; the
@@ -199,17 +214,26 @@ runFusedReplay(const PreparedTrace &t,
         std::vector<std::uint32_t> record(blockSize);
         for (std::size_t base = 0; base < n; base += blockSize) {
             const std::size_t m = std::min(blockSize, n - base);
+            ++counters.blocksReplayed;
+            std::uint64_t taken_word = 0;
             for (std::size_t i = 0; i < m; ++i) {
                 const std::size_t g = base + i;
+                // Outcomes arrive packed, one 64-branch word at a
+                // time (base is 64-aligned by the static_assert).
+                if ((g & 63) == 0)
+                    taken_word = t.takenWord(g >> 6);
+                const auto tk = static_cast<std::uint32_t>(
+                    (taken_word >> (g & 63)) & 1u);
                 decoded[i] =
-                    (static_cast<std::uint32_t>(t.taken(g)) << 31) |
+                    (tk << 31) |
                     ((static_cast<std::uint32_t>(row_of(g)) &
                       0x7FFFu) << 15) |
                     (static_cast<std::uint32_t>(wordIndex(t.pc(g))) &
                      0x7FFFu);
             }
             for (unsigned c = 0; c < by_col.size(); ++c) {
-                if (by_col[c].empty())
+                std::vector<Lane *> &col_lanes = by_col[c];
+                if (col_lanes.empty())
                     continue;
                 const auto col_mask =
                     static_cast<std::uint32_t>(mask(c));
@@ -219,28 +243,39 @@ runFusedReplay(const PreparedTrace &t,
                                 (((d >> 15) & 0x7FFFu) << c) |
                                 (d & col_mask);
                 }
-                const std::uint32_t *block = record.data();
-                for (Lane *lane : by_col[c]) {
-                    const auto total_mask = static_cast<std::uint32_t>(
-                        (lane->rowMask << c) | lane->colMask);
-                    std::uint8_t *bytes = lane->pht.data();
-                    std::uint64_t misses = 0;
-                    for (std::size_t i = 0; i < m; ++i) {
-                        const std::uint32_t rc = block[i];
-                        misses += PackedPht::predictAndUpdateRaw(
-                            bytes, rc & total_mask, rc >> 31);
+                // Replay the shared record stream through the lanes,
+                // LaneBatch::kMaxLanes at a time, on the dispatched
+                // SIMD kernel.
+                for (std::size_t first = 0; first < col_lanes.size();
+                     first += LaneBatch::kMaxLanes) {
+                    LaneBatch batch;
+                    batch.lanes = static_cast<unsigned>(
+                        std::min<std::size_t>(LaneBatch::kMaxLanes,
+                                              col_lanes.size() -
+                                                  first));
+                    for (unsigned l = 0; l < batch.lanes; ++l) {
+                        Lane *lane = col_lanes[first + l];
+                        batch.totalMask[l] = static_cast<std::uint32_t>(
+                            (lane->rowMask << c) | lane->colMask);
+                        batch.pht[l] = lane->pht.data();
                     }
-                    lane->mispredicts += misses;
+                    replayLaneBatch(target, record.data(), m, batch);
+                    for (unsigned l = 0; l < batch.lanes; ++l)
+                        col_lanes[first + l]->mispredicts +=
+                            batch.misses[l];
+                    ++counters.laneBatches;
                 }
             }
         }
     } else {
         // Wide fallback for configurations beyond the packed-record
         // limits: same tiling, 64-bit row/column records.
+        counters.wideLanes = lanes.size();
         std::vector<std::uint64_t> rows(blockSize), cols(blockSize);
         std::vector<std::uint8_t> takens(blockSize);
         for (std::size_t base = 0; base < n; base += blockSize) {
             const std::size_t m = std::min(blockSize, n - base);
+            ++counters.blocksReplayed;
             for (std::size_t i = 0; i < m; ++i) {
                 const std::size_t g = base + i;
                 rows[i] = row_of(g);
@@ -273,9 +308,41 @@ runFusedReplay(const PreparedTrace &t,
                     static_cast<double>(n)
               : 0.0;
     }
+    if (telemetry)
+        telemetry->merge(counters);
 }
 
 } // namespace
+
+double
+KernelTelemetry::lanesPerGroup() const
+{
+    return fusedGroups ? static_cast<double>(lanes) /
+                             static_cast<double>(fusedGroups)
+                       : 0.0;
+}
+
+double
+KernelTelemetry::hotBytesPerBranch() const
+{
+    if (lanes == 0)
+        return 0.0;
+    return (4.0 * static_cast<double>(lanes - wideLanes) +
+            17.0 * static_cast<double>(wideLanes)) /
+           static_cast<double>(lanes);
+}
+
+void
+KernelTelemetry::merge(const KernelTelemetry &other)
+{
+    target = other.target;
+    fusedGroups += other.fusedGroups;
+    fallbackJobs += other.fallbackJobs;
+    lanes += other.lanes;
+    wideLanes += other.wideLanes;
+    laneBatches += other.laneBatches;
+    blocksReplayed += other.blocksReplayed;
+}
 
 const char *
 schemeKindName(SchemeKind kind)
@@ -404,6 +471,7 @@ StreamCache::pathStreamLocked()
     if (!path_) {
         path_ = trace_.pathHistoryStream(opts_.pathBitsPerTarget);
         ++streamBuilds_;
+        noteStreamResidentLocked();
     }
     return *path_;
 }
@@ -412,15 +480,30 @@ const StreamCache::BhtStream &
 StreamCache::bhtStreamLocked(unsigned row_bits)
 {
     auto it = bht_.find(row_bits);
-    if (it == bht_.end()) {
+    if (it == bht_.end() || it->second.released) {
         BhtStream built;
         built.stream = trace_.bhtHistoryStream(
             opts_.bhtEntries, opts_.bhtAssoc, row_bits,
             &built.missRate, opts_.bhtResetPolicy);
         ++streamBuilds_;
-        it = bht_.emplace(row_bits, std::move(built)).first;
+        noteStreamResidentLocked();
+        if (it == bht_.end()) {
+            it = bht_.emplace(row_bits, std::move(built)).first;
+        } else {
+            // Rebuild in place: the node (and thus any prepared-table
+            // pointer to it) stays put.
+            it->second = std::move(built);
+        }
     }
     return it->second;
+}
+
+void
+StreamCache::noteStreamResidentLocked()
+{
+    ++residentStreams_;
+    peakResidentStreams_ =
+        std::max(peakResidentStreams_, residentStreams_);
 }
 
 void
@@ -432,11 +515,13 @@ StreamCache::prepare(const std::vector<ConfigJob> &jobs,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const ConfigJob &job : jobs) {
-            if (job.kind == SchemeKind::Path && !path_)
+            if (job.kind == SchemeKind::Path && !path_) {
                 need_path = true;
-            else if (job.kind == SchemeKind::PAsFinite &&
-                     bht_.find(job.rowBits) == bht_.end())
-                widths.insert(job.rowBits);
+            } else if (job.kind == SchemeKind::PAsFinite) {
+                auto it = bht_.find(job.rowBits);
+                if (it == bht_.end() || it->second.released)
+                    widths.insert(job.rowBits);
+            }
         }
     }
 
@@ -447,8 +532,10 @@ StreamCache::prepare(const std::vector<ConfigJob> &jobs,
                 trace_.pathHistoryStream(opts_.pathBitsPerTarget);
             std::lock_guard<std::mutex> lock(mutex_);
             ++streamBuilds_;
-            if (!path_)
+            if (!path_) {
                 path_ = std::move(stream);
+                noteStreamResidentLocked();
+            }
         });
     }
     for (unsigned width : widths) {
@@ -459,7 +546,12 @@ StreamCache::prepare(const std::vector<ConfigJob> &jobs,
                 &built.missRate, opts_.bhtResetPolicy);
             std::lock_guard<std::mutex> lock(mutex_);
             ++streamBuilds_;
-            bht_.emplace(width, std::move(built));
+            noteStreamResidentLocked();
+            auto it = bht_.find(width);
+            if (it == bht_.end())
+                bht_.emplace(width, std::move(built));
+            else
+                it->second = std::move(built);
         });
     }
 
@@ -500,16 +592,23 @@ StreamCache::preparedBhtStream(unsigned row_bits) const
 const std::vector<std::uint64_t> *
 StreamCache::stream(SchemeKind kind, unsigned row_bits)
 {
+    // Release tracking bypasses the lock-free table: a stream another
+    // group finished with may be freed (and rebuilt) at any moment, so
+    // the lookup must observe release state under the lock.  That is
+    // one short lock per group, not per branch.
     if (kind == SchemeKind::Path) {
-        if (preparedPath_)
+        if (!releaseTracking_ && preparedPath_)
             return preparedPath_;
         lockedLookups_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mutex_);
         return &pathStreamLocked();
     }
     if (kind == SchemeKind::PAsFinite) {
-        if (const BhtStream *prepared = preparedBhtStream(row_bits))
-            return &prepared->stream;
+        if (!releaseTracking_) {
+            if (const BhtStream *prepared =
+                    preparedBhtStream(row_bits))
+                return &prepared->stream;
+        }
         lockedLookups_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mutex_);
         return &bhtStreamLocked(row_bits).stream;
@@ -520,10 +619,17 @@ StreamCache::stream(SchemeKind kind, unsigned row_bits)
 double
 StreamCache::bhtMissRate(unsigned row_bits)
 {
-    if (const BhtStream *prepared = preparedBhtStream(row_bits))
-        return prepared->missRate;
+    if (!releaseTracking_) {
+        if (const BhtStream *prepared = preparedBhtStream(row_bits))
+            return prepared->missRate;
+    }
     lockedLookups_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mutex_);
+    // The rate is recorded at build time and survives release; only
+    // rebuild when the entry has never been built at all.
+    auto it = bht_.find(row_bits);
+    if (it != bht_.end())
+        return it->second.missRate;
     return bhtStreamLocked(row_bits).missRate;
 }
 
@@ -547,6 +653,67 @@ StreamCache::sweepBhtMissRate() const
     return bht_.empty() ? -1.0 : bht_.rbegin()->second.missRate;
 }
 
+void
+StreamCache::planRelease(const std::vector<FusedGroup> &groups)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    releaseTracking_ = true;
+    pathConsumers_ = 0;
+    bhtConsumers_.clear();
+    for (const FusedGroup &group : groups) {
+        if (group.kind == SchemeKind::Path)
+            ++pathConsumers_;
+        else if (group.kind == SchemeKind::PAsFinite)
+            ++bhtConsumers_[group.streamRowBits];
+    }
+}
+
+void
+StreamCache::groupFinished(const FusedGroup &group)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!releaseTracking_)
+        return;
+    if (group.kind == SchemeKind::Path) {
+        if (pathConsumers_ > 0 && --pathConsumers_ == 0 && path_) {
+            path_.reset();
+            preparedPath_ = nullptr;
+            --residentStreams_;
+        }
+        return;
+    }
+    if (group.kind != SchemeKind::PAsFinite)
+        return;
+    auto consumers = bhtConsumers_.find(group.streamRowBits);
+    if (consumers == bhtConsumers_.end() || --consumers->second > 0)
+        return;
+    bhtConsumers_.erase(consumers);
+    auto it = bht_.find(group.streamRowBits);
+    if (it != bht_.end() && !it->second.released) {
+        // Free the buffer, keep the node: missRate stays readable and
+        // any prepared-table pointer to the node stays valid (though
+        // release tracking already routes lookups around that table).
+        it->second.stream.clear();
+        it->second.stream.shrink_to_fit();
+        it->second.released = true;
+        --residentStreams_;
+    }
+}
+
+std::size_t
+StreamCache::residentStreams() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return residentStreams_;
+}
+
+std::size_t
+StreamCache::peakResidentStreams() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peakResidentStreams_;
+}
+
 ConfigResult
 runConfigJob(const ConfigJob &job, StreamCache &cache)
 {
@@ -563,15 +730,22 @@ runConfigJob(const ConfigJob &job, StreamCache &cache)
 void
 runFusedGroup(const FusedGroup &group,
               const std::vector<ConfigJob> &jobs, StreamCache &cache,
-              ConfigResult *slots)
+              ConfigResult *slots, KernelTelemetry *telemetry)
 {
     if (!group.fused) {
         for (std::size_t member : group.jobs)
             slots[member] = runConfigJob(jobs[member], cache);
+        if (telemetry) {
+            KernelTelemetry counters;
+            counters.target = resolveSimdTarget(cache.options().simd);
+            counters.fallbackJobs = group.jobs.size();
+            telemetry->merge(counters);
+        }
         return;
     }
 
     const PreparedTrace &t = cache.trace();
+    const SimdTarget target = resolveSimdTarget(cache.options().simd);
     // One stream lookup per group, not per job or per branch.
     const std::vector<std::uint64_t> *aux =
         cache.stream(group.kind, group.streamRowBits);
@@ -580,13 +754,14 @@ runFusedGroup(const FusedGroup &group,
       case SchemeKind::AddressIndexed:
         runFusedReplay(t, jobs, group.jobs,
                        [](std::size_t) { return std::uint64_t{0}; },
-                       slots);
+                       slots, target, telemetry);
         break;
       case SchemeKind::GAg:
       case SchemeKind::GAs:
         runFusedReplay(
             t, jobs, group.jobs,
-            [&](std::size_t i) { return t.globalHistory(i); }, slots);
+            [&](std::size_t i) { return t.globalHistory(i); }, slots,
+            target, telemetry);
         break;
       case SchemeKind::Gshare:
         runFusedReplay(t, jobs, group.jobs,
@@ -594,24 +769,24 @@ runFusedGroup(const FusedGroup &group,
                            return t.globalHistory(i) ^
                                   wordIndex(t.pc(i));
                        },
-                       slots);
+                       slots, target, telemetry);
         break;
       case SchemeKind::Path:
         bpsim_assert(aux, "fused path group needs a history stream");
         runFusedReplay(t, jobs, group.jobs,
                        [&](std::size_t i) { return (*aux)[i]; },
-                       slots);
+                       slots, target, telemetry);
         break;
       case SchemeKind::PAsPerfect:
         runFusedReplay(t, jobs, group.jobs,
                        [&](std::size_t i) { return t.selfHistory(i); },
-                       slots);
+                       slots, target, telemetry);
         break;
       case SchemeKind::PAsFinite: {
         bpsim_assert(aux, "fused finite-PAs group needs a BHT stream");
         runFusedReplay(t, jobs, group.jobs,
                        [&](std::size_t i) { return (*aux)[i]; },
-                       slots);
+                       slots, target, telemetry);
         const double miss = cache.bhtMissRate(group.streamRowBits);
         for (std::size_t member : group.jobs)
             slots[member].bhtMissRate = miss;
@@ -635,26 +810,46 @@ sweepScheme(const PreparedTrace &trace, SchemeKind kind,
     SweepResult result(schemeKindName(kind), trace.name());
 
     // Plan: enumerate the space, partition into fused groups, and
-    // precompute shared inputs.
+    // precompute shared inputs.  Serial sweeps skip the eager stream
+    // prepare: groups run one at a time, so lazy builds plus
+    // release-after-last-consumer keep at most the streams the current
+    // group needs resident.  Parallel sweeps still prepare up front
+    // (concurrent groups need their streams simultaneously) and
+    // release as groups drain.
     const std::vector<ConfigJob> jobs = planSweep(kind, opts);
     const unsigned threads = ThreadPool::resolveThreads(opts.threads);
     const std::vector<FusedGroup> groups =
         planFusedGroups(jobs, opts, threads);
     StreamCache cache(trace, opts);
-    cache.prepare(jobs, threads);
+    if (threads > 1)
+        cache.prepare(jobs, threads);
+    cache.planRelease(groups);
 
     // Execute: the pool distributes whole groups; every group writes
-    // only its own members' slots, so placement stays deterministic.
+    // only its own members' slots (and telemetry slot), so placement
+    // stays deterministic.
     std::vector<ConfigResult> slots(jobs.size());
+    std::vector<KernelTelemetry> group_telemetry(groups.size());
     if (threads <= 1) {
-        for (const FusedGroup &group : groups)
-            runFusedGroup(group, jobs, cache, slots.data());
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            runFusedGroup(groups[g], jobs, cache, slots.data(),
+                          &group_telemetry[g]);
+            cache.groupFinished(groups[g]);
+        }
     } else {
         ThreadPool::shared().parallelFor(
             groups.size(), threads, [&](std::size_t g) {
-                runFusedGroup(groups[g], jobs, cache, slots.data());
+                runFusedGroup(groups[g], jobs, cache, slots.data(),
+                              &group_telemetry[g]);
+                cache.groupFinished(groups[g]);
             });
     }
+    // Aggregate: every group resolved the same dispatch target, so
+    // merging in any order yields one coherent telemetry record.
+    result.kernel.target = resolveSimdTarget(opts.simd);
+    for (const KernelTelemetry &group : group_telemetry)
+        result.kernel.merge(group);
+    result.kernel.target = resolveSimdTarget(opts.simd);
 
     // Merge in plan order: bit-identical to the serial sweep.
     for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -37,6 +37,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/simd.hh"
 #include "sim/prepared_trace.hh"
 #include "stats/surface.hh"
 
@@ -87,6 +88,48 @@ struct SweepOptions
      * (the serial baseline the perf_sweep bench measures against).
      */
     bool fuseJobs = true;
+    /**
+     * Dispatch target for the lane-batched fused kernel.  Auto defers
+     * to the BPSIM_SIMD environment override, then to CPUID detection;
+     * explicit requests clamp down to the widest supported target.
+     * Every target is bit-identical (pinned by the forced-dispatch
+     * differential tests), so this is a performance/debug knob only.
+     */
+    SimdTarget simd = SimdTarget::Auto;
+};
+
+/**
+ * Observability counters for one sweep's kernel execution, reported in
+ * SweepResult::kernel and surfaced by bench/perf_sweep so recorded
+ * BENCH_sweep.json trajectories are self-describing.
+ */
+struct KernelTelemetry
+{
+    /** Resolved dispatch target the lane batches ran on. */
+    SimdTarget target = SimdTarget::Scalar;
+    /** Fused groups replayed by the lane-batched kernel. */
+    std::uint64_t fusedGroups = 0;
+    /** Jobs that took the per-config fallback (aliasing, fuseJobs). */
+    std::uint64_t fallbackJobs = 0;
+    /** Member configurations replayed by fused groups. */
+    std::uint64_t lanes = 0;
+    /** Lanes beyond the packed-record limits (64-bit fallback loop). */
+    std::uint64_t wideLanes = 0;
+    /** Lane batches dispatched (at most LaneBatch::kMaxLanes each). */
+    std::uint64_t laneBatches = 0;
+    /** Decoded block tiles streamed through the lane batches. */
+    std::uint64_t blocksReplayed = 0;
+
+    /** Mean member configurations per fused group. */
+    double lanesPerGroup() const;
+    /**
+     * Bytes the lane inner loop reads per branch per lane: 4 (one
+     * packed record) for narrow lanes, 17 (row, column, outcome) for
+     * wide-fallback lanes, averaged over the lane population.
+     */
+    double hotBytesPerBranch() const;
+    /** Fold one group's counters into a sweep-level aggregate. */
+    void merge(const KernelTelemetry &other);
 };
 
 /** One configuration's measurements. */
@@ -212,19 +255,50 @@ class StreamCache
     /**
      * The miss rate a whole-sweep result reports: the widest stream
      * built so far (all widths measure the same tag misses).  Negative
-     * until a BHT stream exists.
+     * until a BHT stream exists.  Survives stream release -- the rate
+     * is a scalar recorded at build time, not the buffer.
      */
     double sweepBhtMissRate() const;
+
+    /**
+     * Enable release-after-last-consumer: record how many of @p groups
+     * consume each first-level stream so groupFinished() can free a
+     * stream's buffer the moment its last consumer completes (a full
+     * multi-scheme sweep would otherwise hold O(schemes x trace)
+     * bytes).  While tracking is on, stream() and bhtMissRate() bypass
+     * the lock-free prepared table -- a freed buffer must never be
+     * reachable through it -- and take the lazy lock instead: one
+     * short lock per group, not per branch.  Call before dispatching
+     * executors; not thread-safe against concurrent lookups.
+     */
+    void planRelease(const std::vector<FusedGroup> &groups);
+
+    /**
+     * One group of the planned release set finished executing: drop
+     * any stream whose consumers are all done.  No-op without
+     * planRelease().  Thread-safe.
+     */
+    void groupFinished(const FusedGroup &group);
+
+    /** First-level stream buffers currently resident. */
+    std::size_t residentStreams() const;
+    /** High-water mark of residentStreams() over the cache lifetime. */
+    std::size_t peakResidentStreams() const;
 
   private:
     struct BhtStream
     {
         std::vector<std::uint64_t> stream;
         double missRate = -1.0;
+        /** Buffer freed by groupFinished(); missRate still valid.  A
+         *  later lookup rebuilds the stream (counted as a build). */
+        bool released = false;
     };
 
     const std::vector<std::uint64_t> &pathStreamLocked();
     const BhtStream &bhtStreamLocked(unsigned row_bits);
+    /** Count a freshly built stream toward the resident high-water. */
+    void noteStreamResidentLocked();
     /** Lock-free lookup in the prepared table; nullptr on miss. */
     const BhtStream *preparedBhtStream(unsigned row_bits) const;
 
@@ -242,6 +316,12 @@ class StreamCache
     const std::vector<std::uint64_t> *preparedPath_ = nullptr;
     std::vector<std::pair<unsigned, const BhtStream *>> preparedBht_;
     mutable std::atomic<std::size_t> lockedLookups_{0};
+    /** Release-after-last-consumer state (planRelease). */
+    bool releaseTracking_ = false;
+    std::size_t pathConsumers_ = 0;
+    std::map<unsigned, std::size_t> bhtConsumers_;
+    std::size_t residentStreams_ = 0;
+    std::size_t peakResidentStreams_ = 0;
 };
 
 /**
@@ -254,12 +334,16 @@ ConfigResult runConfigJob(const ConfigJob &job, StreamCache &cache);
  * Execute one fused group, writing each member job's result into
  * slots[job index].  @p slots addresses the whole planned job vector.
  * Fused groups walk the trace once, updating every member's packed
- * pattern table per branch; fallback groups delegate to runConfigJob.
- * Thread-safe once @p cache is prepared for the group.
+ * pattern table per branch through the lane-batched SIMD kernel
+ * (SweepOptions::simd picks the dispatch target); fallback groups
+ * delegate to runConfigJob.  When @p telemetry is non-null the group's
+ * kernel counters are accumulated into it.  Thread-safe once @p cache
+ * is prepared for the group.
  */
 void runFusedGroup(const FusedGroup &group,
                    const std::vector<ConfigJob> &jobs,
-                   StreamCache &cache, ConfigResult *slots);
+                   StreamCache &cache, ConfigResult *slots,
+                   KernelTelemetry *telemetry = nullptr);
 
 /** Surfaces over the whole configuration space of one scheme. */
 struct SweepResult
@@ -269,6 +353,8 @@ struct SweepResult
     Surface harmless;
     /** PAsFinite only: the BHT tag miss rate (identical across tiers). */
     double bhtMissRate = 0.0;
+    /** How the sweep executed (dispatch target, lanes, blocks). */
+    KernelTelemetry kernel;
 
     SweepResult(const std::string &scheme_name,
                 const std::string &trace_name);

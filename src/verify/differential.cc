@@ -508,32 +508,43 @@ runDifferentialFuzzer(const FuzzOptions &options)
                     report.fastPathProblems.push_back(os.str());
                 }
 
-                SweepOptions fused_opts = sweep;
-                fused_opts.fuseJobs = true;
-                const std::vector<ConfigJob> fused_jobs{ConfigJob{
-                    *kind, config.rowBits + config.colBits,
-                    config.rowBits, config.colBits}};
-                const std::vector<FusedGroup> fused_groups =
-                    planFusedGroups(fused_jobs, fused_opts, 1);
-                StreamCache fused_cache(prepared, fused_opts);
-                fused_cache.prepare(fused_jobs, 1);
-                ConfigResult fused_result;
-                for (const FusedGroup &group : fused_groups)
-                    runFusedGroup(group, fused_jobs, fused_cache,
-                                  &fused_result);
-                if (fused_result.mispRate != reference_rate &&
-                    report.fastPathProblems.size() <
-                        maxStoredProblems) {
-                    std::ostringstream os;
-                    os << "fused kernel disagrees with reference for "
-                       << schemeKindName(*kind) << " r="
-                       << config.rowBits << " c=" << config.colBits
-                       << " policy="
-                       << policyField(config.bhtResetPolicy)
-                       << " on trace '" << trace.name()
-                       << "': fused " << fused_result.mispRate
-                       << " vs reference " << reference_rate;
-                    report.fastPathProblems.push_back(os.str());
+                // The fused kernel is checked once per SIMD dispatch
+                // target the host supports: every target is forced
+                // explicitly (an explicit request beats the BPSIM_SIMD
+                // environment override) and held to exact equality
+                // with the reference rate, so scalar, SSE2 and AVX2
+                // lane batches are all proven bit-identical.
+                for (SimdTarget target : supportedSimdTargets()) {
+                    SweepOptions fused_opts = sweep;
+                    fused_opts.fuseJobs = true;
+                    fused_opts.simd = target;
+                    const std::vector<ConfigJob> fused_jobs{ConfigJob{
+                        *kind, config.rowBits + config.colBits,
+                        config.rowBits, config.colBits}};
+                    const std::vector<FusedGroup> fused_groups =
+                        planFusedGroups(fused_jobs, fused_opts, 1);
+                    StreamCache fused_cache(prepared, fused_opts);
+                    fused_cache.prepare(fused_jobs, 1);
+                    ConfigResult fused_result;
+                    for (const FusedGroup &group : fused_groups)
+                        runFusedGroup(group, fused_jobs, fused_cache,
+                                      &fused_result);
+                    if (fused_result.mispRate != reference_rate &&
+                        report.fastPathProblems.size() <
+                            maxStoredProblems) {
+                        std::ostringstream os;
+                        os << "fused kernel ("
+                           << simdTargetName(target)
+                           << ") disagrees with reference for "
+                           << schemeKindName(*kind) << " r="
+                           << config.rowBits << " c=" << config.colBits
+                           << " policy="
+                           << policyField(config.bhtResetPolicy)
+                           << " on trace '" << trace.name()
+                           << "': fused " << fused_result.mispRate
+                           << " vs reference " << reference_rate;
+                        report.fastPathProblems.push_back(os.str());
+                    }
                 }
             }
         }

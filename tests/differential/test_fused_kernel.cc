@@ -176,6 +176,77 @@ TEST(FusedKernelDifferential, AllSchemesAgreeWithReferenceModel)
     }
 }
 
+TEST(FusedKernelDifferential, ForcedDispatchTargetsBitIdentical)
+{
+    // The SIMD dispatch campaign: >= 100 fuzzed group configurations,
+    // each executed under EVERY dispatch target this host supports
+    // (scalar always; SSE2/AVX2 when available), with every target
+    // held to exact equality against the per-config kernel -- and the
+    // first job of each round against the naive reference model, so a
+    // kernel bug that somehow fooled both fast paths still surfaces.
+    const std::vector<SimdTarget> targets = supportedSimdTargets();
+    ASSERT_GE(targets.size(), 1u);
+    ASSERT_EQ(targets.front(), SimdTarget::Scalar);
+
+    Pcg32 rng(0x51D0F05EULL, 17);
+    std::size_t configs_checked = 0;
+    for (int round = 0; configs_checked < 100; ++round) {
+        ASSERT_LT(round, 64) << "fuzzer failed to reach 100 configs";
+        const SchemeKind kind = allKinds[rng.nextBounded(7)];
+        MemoryTrace trace =
+            fuzzTrace(4000 + round, 1500 + rng.nextBounded(2500));
+        PreparedTrace prepared(trace);
+
+        SweepOptions opts;
+        opts.trackAliasing = false;
+        opts.fuseJobs = true;
+        opts.bhtEntries = 32u << rng.nextBounded(3);
+        opts.bhtAssoc = rng.nextBounded(2) ? 4 : 2;
+
+        std::vector<ConfigJob> jobs;
+        const std::size_t count = 4 + rng.nextBounded(5);
+        for (std::size_t j = 0; j < count; ++j) {
+            unsigned total = 4 + rng.nextBounded(7);
+            unsigned r = rng.nextBounded(total + 1);
+            if (kind == SchemeKind::AddressIndexed)
+                r = 0;
+            if (kind == SchemeKind::GAg)
+                r = total;
+            jobs.push_back(ConfigJob{kind, total, r, total - r});
+        }
+
+        StreamCache per_config_cache(prepared, opts);
+        std::vector<ConfigResult> expected(jobs.size());
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            expected[j] = runConfigJob(jobs[j], per_config_cache);
+        const double reference =
+            referenceMispRate(refConfigFor(jobs[0], opts), trace);
+
+        for (SimdTarget target : targets) {
+            SweepOptions forced = opts;
+            forced.simd = target;
+            std::vector<ConfigResult> fused =
+                runFused(prepared, jobs, forced,
+                         1 + rng.nextBounded(2));
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                EXPECT_EQ(fused[j].mispRate, expected[j].mispRate)
+                    << simdTargetName(target) << " "
+                    << schemeKindName(kind) << " r=" << jobs[j].rowBits
+                    << " c=" << jobs[j].colBits << " round " << round;
+                EXPECT_EQ(fused[j].bhtMissRate,
+                          expected[j].bhtMissRate)
+                    << simdTargetName(target) << " round " << round;
+            }
+            EXPECT_EQ(fused[0].mispRate, reference)
+                << simdTargetName(target) << " "
+                << schemeKindName(kind) << " vs reference, round "
+                << round;
+        }
+        configs_checked += jobs.size();
+    }
+    EXPECT_GE(configs_checked, 100u);
+}
+
 TEST(FusedKernelDifferential, WholeSweepTriangleOnCoreSchemes)
 {
     // sweepScheme end to end, fused vs per-config, with reference

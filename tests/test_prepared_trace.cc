@@ -144,4 +144,73 @@ TEST(PreparedTrace, EmptyTrace)
     EXPECT_EQ(t.size(), 0u);
     EXPECT_TRUE(t.pathHistoryStream(2).empty());
     EXPECT_TRUE(t.bhtHistoryStream(16, 4, 4).empty());
+    EXPECT_DOUBLE_EQ(t.bytesPerBranch(), 0.0);
+}
+
+TEST(PreparedTrace, TakenWordsPackOutcomesSixtyFourPerWord)
+{
+    MemoryTrace raw = smallWorkload(11);
+    PreparedTrace t(raw);
+    ASSERT_EQ(t.takenWordCount(), (t.size() + 63) / 64);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_EQ((t.takenWord(i >> 6) >> (i & 63)) & 1u,
+                  t.taken(i) ? 1u : 0u)
+            << "instance " << i;
+    }
+    // Bits past the last branch stay zero (the fused kernel consumes
+    // whole words).
+    const std::uint64_t last = t.takenWord(t.takenWordCount() - 1);
+    for (std::size_t b = t.size() & 63; b != 0 && b < 64; ++b)
+        EXPECT_EQ((last >> b) & 1u, 0u) << "tail bit " << b;
+}
+
+TEST(PreparedTrace, BytesPerBranchReflectsPackedColumns)
+{
+    // pc (8) + ghist (8) + shist (8) + one outcome BIT + 2 bytes of
+    // successor path bits: ~26.13, not the 33 of the old layout with
+    // byte-wide outcomes and 8-byte targets.
+    MemoryTrace raw = smallWorkload();
+    PreparedTrace with_path(raw);
+    EXPECT_TRUE(with_path.hasPathColumn());
+    EXPECT_GE(with_path.bytesPerBranch(), 26.125);
+    EXPECT_LT(with_path.bytesPerBranch(), 26.2);
+
+    // Dropping the path column saves its 2 bytes per branch; the rest
+    // of the columns are untouched.
+    PreparedTrace without_path(raw, false);
+    EXPECT_FALSE(without_path.hasPathColumn());
+    EXPECT_GE(without_path.bytesPerBranch(), 24.125);
+    EXPECT_LT(without_path.bytesPerBranch(), 24.2);
+    EXPECT_EQ(without_path.size(), with_path.size());
+    for (std::size_t i = 0; i < without_path.size(); i += 97) {
+        ASSERT_EQ(without_path.pc(i), with_path.pc(i));
+        ASSERT_EQ(without_path.taken(i), with_path.taken(i));
+        ASSERT_EQ(without_path.globalHistory(i),
+                  with_path.globalHistory(i));
+        ASSERT_EQ(without_path.selfHistory(i),
+                  with_path.selfHistory(i));
+    }
+}
+
+TEST(PreparedTrace, PathStreamSurvivesSuccessorBitNarrowing)
+{
+    // The path column keeps only the low 16 successor word-index bits;
+    // pathHistoryStream asserts bits_per_target <= 16, so the widest
+    // legal request must still see every bit it can shift in.
+    MemoryTrace raw = smallWorkload(13);
+    PreparedTrace t(raw);
+    std::vector<std::uint64_t> ref;
+    std::uint64_t reg = 0;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const BranchRecord &rec = raw[i];
+        if (!rec.isConditional())
+            continue;
+        ref.push_back(reg);
+        Addr successor = rec.taken ? rec.target : rec.pc + 4;
+        reg = (reg << 16) | bits(wordIndex(successor), 16);
+    }
+    auto stream = t.pathHistoryStream(16);
+    ASSERT_EQ(stream.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(stream[i], ref[i]) << "instance " << i;
 }

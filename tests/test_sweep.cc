@@ -523,6 +523,149 @@ TEST(Sweep, FusedExecutionDoesZeroLockedLookupsAfterPrepare)
     EXPECT_EQ(lazy.lockedLookups(), 2u);
 }
 
+TEST(Sweep, ForcedSimdTargetsBitIdenticalThroughSweepScheme)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions base;
+    base.minTotalBits = 4;
+    base.maxTotalBits = 9;
+    base.trackAliasing = false;
+    base.bhtEntries = 64;
+    base.simd = SimdTarget::Scalar;
+
+    for (SchemeKind kind : {SchemeKind::GAs, SchemeKind::Gshare,
+                            SchemeKind::PAsFinite}) {
+        SweepResult scalar = sweepScheme(t, kind, base);
+        EXPECT_EQ(scalar.kernel.target, SimdTarget::Scalar);
+        for (SimdTarget target : supportedSimdTargets()) {
+            SweepOptions forced = base;
+            forced.simd = target;
+            SweepResult r = sweepScheme(t, kind, forced);
+            EXPECT_EQ(r.kernel.target, target);
+            expectSurfacesIdentical(scalar.misprediction,
+                                    r.misprediction,
+                                    simdTargetName(target));
+            EXPECT_EQ(scalar.bhtMissRate, r.bhtMissRate)
+                << simdTargetName(target);
+        }
+    }
+}
+
+TEST(Sweep, KernelTelemetryDescribesFusedExecution)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 4;
+    o.maxTotalBits = 9;
+    o.trackAliasing = false;
+
+    SweepResult r = sweepScheme(t, SchemeKind::GAs, o);
+    const std::size_t jobs = planSweep(SchemeKind::GAs, o).size();
+    EXPECT_EQ(r.kernel.target, resolveSimdTarget(o.simd));
+    EXPECT_EQ(r.kernel.fusedGroups, 1u); // one stream, one thread
+    EXPECT_EQ(r.kernel.fallbackJobs, 0u);
+    EXPECT_EQ(r.kernel.lanes, jobs);
+    EXPECT_EQ(r.kernel.wideLanes, 0u); // paper tiers are all narrow
+    EXPECT_GT(r.kernel.laneBatches, 0u);
+    // 30k branches in 2 KiB blocks, one decode pass per group.
+    EXPECT_EQ(r.kernel.blocksReplayed, (t.size() + 2047) / 2048);
+    EXPECT_DOUBLE_EQ(r.kernel.lanesPerGroup(),
+                     static_cast<double>(jobs));
+    // Narrow lanes read exactly one packed 4-byte record per branch.
+    EXPECT_DOUBLE_EQ(r.kernel.hotBytesPerBranch(), 4.0);
+
+    // The per-config fallback path reports fallback jobs instead.
+    SweepOptions aliasing = o;
+    aliasing.trackAliasing = true;
+    SweepResult ra = sweepScheme(t, SchemeKind::GAs, aliasing);
+    EXPECT_EQ(ra.kernel.fusedGroups, 0u);
+    EXPECT_EQ(ra.kernel.lanes, 0u);
+    EXPECT_EQ(ra.kernel.fallbackJobs, jobs);
+    EXPECT_DOUBLE_EQ(ra.kernel.hotBytesPerBranch(), 0.0);
+}
+
+TEST(Sweep, StreamCacheReleasesStreamsAfterLastConsumer)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 4;
+    o.maxTotalBits = 8;
+    o.trackAliasing = false;
+    o.bhtEntries = 64;
+
+    // PAsFinite needs one stream per row width: tiers 4..8 use widths
+    // 0..8, nine streams of 8 bytes per branch each.
+    auto jobs = planSweep(SchemeKind::PAsFinite, o);
+    auto groups = planFusedGroups(jobs, o, 1);
+    ASSERT_EQ(groups.size(), 9u);
+
+    // Without a release plan, eager preparation keeps all nine
+    // resident for the cache's whole lifetime.
+    {
+        StreamCache eager(t, o);
+        eager.prepare(jobs, 1);
+        EXPECT_EQ(eager.residentStreams(), 9u);
+        EXPECT_EQ(eager.peakResidentStreams(), 9u);
+    }
+
+    // With the release plan and lazy serial execution, a stream dies
+    // the moment its last consuming group finishes: peak residency is
+    // ONE stream, not nine.
+    StreamCache cache(t, o);
+    cache.planRelease(groups);
+    std::vector<ConfigResult> slots(jobs.size());
+    for (const FusedGroup &group : groups) {
+        runFusedGroup(group, jobs, cache, slots.data());
+        cache.groupFinished(group);
+        EXPECT_LE(cache.residentStreams(), 1u);
+    }
+    EXPECT_EQ(cache.residentStreams(), 0u);
+    EXPECT_EQ(cache.peakResidentStreams(), 1u);
+    // The sweep-level miss rate is recorded at build time and must
+    // survive the buffers being freed.
+    EXPECT_GT(cache.sweepBhtMissRate(), 0.0);
+
+    // Releasing must not change any result.
+    StreamCache keep(t, o);
+    keep.prepare(jobs, 1);
+    std::vector<ConfigResult> expected(jobs.size());
+    for (const FusedGroup &group : groups)
+        runFusedGroup(group, jobs, keep, expected.data());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(slots[i].mispRate, expected[i].mispRate) << i;
+        EXPECT_EQ(slots[i].bhtMissRate, expected[i].bhtMissRate) << i;
+    }
+}
+
+TEST(Sweep, ReleasedStreamRebuildsOnLaterLookup)
+{
+    PreparedTrace t(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 5;
+    o.maxTotalBits = 5;
+    o.trackAliasing = false;
+
+    auto jobs = planSweep(SchemeKind::Path, o);
+    auto groups = planFusedGroups(jobs, o, 1);
+    StreamCache cache(t, o);
+    cache.planRelease(groups);
+    std::vector<ConfigResult> slots(jobs.size());
+    for (const FusedGroup &group : groups) {
+        runFusedGroup(group, jobs, cache, slots.data());
+        cache.groupFinished(group);
+    }
+    EXPECT_EQ(cache.residentStreams(), 0u);
+    const std::size_t builds = cache.streamBuilds();
+
+    // A post-release lookup transparently rebuilds the stream.
+    const std::vector<std::uint64_t> *stream =
+        cache.stream(SchemeKind::Path, 3);
+    ASSERT_NE(stream, nullptr);
+    EXPECT_EQ(stream->size(), t.size());
+    EXPECT_EQ(cache.streamBuilds(), builds + 1);
+    EXPECT_EQ(cache.residentStreams(), 1u);
+}
+
 TEST(Sweep, SweepAgreesWithSimulateConfig)
 {
     PreparedTrace t(sharedWorkload());
