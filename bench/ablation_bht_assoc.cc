@@ -25,7 +25,8 @@ main(int argc, char **argv)
                           "misprediction"});
 
     for (const std::string name : {"mpeg_play", "real_gcc"}) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
+        TraceHandle trace =
+            internProfile(opts.session(), name, opts.branches);
         for (unsigned assoc : {1u, 2u, 4u, 8u}) {
             SweepOptions o = opts.sweepOptions({});
             o.minTotalBits = 12;
@@ -33,8 +34,8 @@ main(int argc, char **argv)
             o.trackAliasing = false;
             o.bhtEntries = 1024;
             o.bhtAssoc = assoc;
-            SweepResult r =
-                sweepScheme(trace, SchemeKind::PAsFinite, o);
+            SweepResult r = runSweep(opts.session(), trace,
+                                     SchemeKind::PAsFinite, o);
             auto pt = r.misprediction.at(12, 10);
             table.addRow({name, std::to_string(assoc),
                           TableFormatter::percent(r.bhtMissRate),

@@ -34,7 +34,9 @@ main(int argc, char **argv)
 
     for (const std::string name :
          {"mpeg_play", "real_gcc", "gs", "verilog"}) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
+        TraceHandle handle =
+            internProfile(opts.session(), name, opts.branches);
+        auto trace = preparedTrace(opts.session(), handle);
         std::vector<std::string> row = {name};
         for (BhtResetPolicy policy : policies) {
             SweepOptions o;
@@ -43,7 +45,7 @@ main(int argc, char **argv)
             o.bhtAssoc = 4;
             o.bhtResetPolicy = policy;
             ConfigResult c = simulateConfig(
-                trace, SchemeKind::PAsFinite, 10, 2, o);
+                *trace, SchemeKind::PAsFinite, 10, 2, o);
             row.push_back(TableFormatter::percent(c.mispRate));
         }
         table.addRow(row);

@@ -47,12 +47,13 @@ main(int argc, char **argv)
         for (const auto &name : focusProfileNames()) {
             std::uint64_t n =
                 opts.branches ? opts.branches : 1'500'000;
-            MemoryTrace trace = generateProfileTrace(name, n);
+            TraceHandle handle =
+                internProfile(opts.session(), name, n);
             auto run = [&](const char *spec) {
                 auto p = makePredictor(spec);
-                trace.reset();
+                TraceView view(handle);
                 return TableFormatter::percent(
-                    runPredictor(trace, *p).mispRate());
+                    runPredictor(view, *p).mispRate());
             };
             table.addRow({name, run(addr_spec), run(gshare_spec),
                           run(agree_spec), run(bimode_spec),

@@ -30,13 +30,13 @@ main(int argc, char **argv)
         // Cap the default lengths a little for bench runtime.
         std::uint64_t n =
             opts.branches ? opts.branches : 1'000'000;
-        MemoryTrace trace = generateProfileTrace(name, n);
+        TraceHandle handle = internProfile(opts.session(), name, n);
 
         auto run = [&](const std::string &spec) {
             auto p = makePredictor(spec);
-            trace.reset();
+            TraceView view(handle);
             return TableFormatter::percent(
-                runPredictor(trace, *p).mispRate());
+                runPredictor(view, *p).mispRate());
         };
         table.addRow({name, run("addr:12"), run("gshare:12:0"),
                       run("PAs:10:2:1024"),

@@ -9,6 +9,15 @@
  * serial behaviour; results are identical either way).  Traces are
  * generated fresh per run (deterministic seeds), so bench output is
  * exactly reproducible.
+ *
+ * All benches drive the engine through a SweepSession (the facade in
+ * sim/sweep_session.hh) rather than calling the plan/fuse machinery
+ * directly.  `cache=DIR` points the session at a persistent .bpc
+ * result cache: a second run of the same bench then serves its
+ * sweeps from disk with identical output (the golden checks hold
+ * cached or not).  Without `cache=`, results are cached in memory
+ * for the life of the process, which already dedups repeated sweeps
+ * within one bench.
  */
 
 #ifndef BPSIM_BENCH_BENCH_UTIL_HH
@@ -16,6 +25,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/cli.hh"
@@ -23,6 +33,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep_session.hh"
 #include "verify/golden.hh"
 #include "workload/profiles.hh"
 
@@ -46,6 +57,8 @@ struct BenchOptions
     bool csv = false;
     /** Sweep executors: 0 = all hardware threads, 1 = serial. */
     unsigned threads = 0;
+    /** Persistent .bpc result-cache directory (empty = memory only). */
+    std::string cacheDir;
 
     GoldenMode goldenMode = GoldenMode::Off;
     /** Golden file path (default: <bench-name>.golden in cwd). */
@@ -54,6 +67,9 @@ struct BenchOptions
     double goldenTol = 1e-9;
     /** Results recorded during the run when a golden mode is on. */
     verify::GoldenRecorder golden;
+
+    /** Lazily created by session(); shared so copies reuse it. */
+    std::shared_ptr<SweepSession> session_;
 
     static BenchOptions
     parse(int argc, const char *const *argv)
@@ -65,6 +81,7 @@ struct BenchOptions
         o.csv = cli::requireBool(cfg, "csv", false);
         o.threads =
             static_cast<unsigned>(cli::requireInt(cfg, "threads", 0));
+        o.cacheDir = cfg.getString("cache", "");
 
         // golden=emit|check (or the flag spellings --emit-golden /
         // --check-golden), golden_file=..., golden_tol=...
@@ -99,6 +116,18 @@ struct BenchOptions
     {
         sweep.threads = threads;
         return sweep;
+    }
+
+    /**
+     * The bench's engine session (registry + prepared traces +
+     * result cache), created on first use with the `cache=` dir.
+     */
+    SweepSession &
+    session()
+    {
+        if (!session_)
+            session_ = std::make_shared<SweepSession>(cacheDir);
+        return *session_;
     }
 
     /** Record one scalar result (no-op when golden mode is off). */
@@ -154,6 +183,42 @@ struct BenchOptions
         return 0;
     }
 };
+
+/** Intern a profile's trace into the session; fatal on bad names. */
+inline TraceHandle
+internProfile(SweepSession &session, const std::string &profile,
+              std::uint64_t branches)
+{
+    return cli::orFatal(session.internProfile(profile, branches));
+}
+
+/**
+ * Run (or fetch from cache) one scheme sweep through the session.
+ * Output is bit-identical whether computed or served from cache.
+ */
+inline SweepResult
+runSweep(SweepSession &session, const TraceHandle &trace,
+         SchemeKind kind, const SweepOptions &sweep)
+{
+    return cli::orFatal(
+               session.sweep(SweepRequest{trace.hash, kind, sweep}))
+        .result;
+}
+
+/** Table-3-style best-config rows via the session (cache-aware). */
+inline std::vector<BestConfigRow>
+bestConfigs(SweepSession &session, const TraceHandle &trace,
+            const Table3Options &options)
+{
+    return cli::orFatal(session.bestConfigs(trace.hash, options));
+}
+
+/** The session's prepared form of @p trace, for point probes. */
+inline std::shared_ptr<const PreparedTrace>
+preparedTrace(SweepSession &session, const TraceHandle &trace)
+{
+    return cli::orFatal(session.prepared(trace.hash));
+}
 
 /** Print a bench banner naming the reproduced paper artefact. */
 inline void

@@ -20,19 +20,20 @@ main(int argc, char **argv)
            "(mpeg_play, 4-way)");
 
     WallTimer timer;
-    PreparedTrace trace = prepareProfile("mpeg_play", opts.branches);
+    TraceHandle trace =
+        internProfile(opts.session(), "mpeg_play", opts.branches);
     SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
     sweep.trackAliasing = false;
 
     SweepResult perfect =
-        sweepScheme(trace, SchemeKind::PAsPerfect, sweep);
+        runSweep(opts.session(), trace, SchemeKind::PAsPerfect, sweep);
 
     for (std::size_t entries : {128u, 1024u, 2048u}) {
         SweepOptions finite = sweep;
         finite.bhtEntries = entries;
         finite.bhtAssoc = 4;
-        SweepResult r =
-            sweepScheme(trace, SchemeKind::PAsFinite, finite);
+        SweepResult r = runSweep(opts.session(), trace,
+                                 SchemeKind::PAsFinite, finite);
         std::printf("--- %zu-entry 4-way BHT (miss rate %.2f%%) ---\n",
                     entries, r.bhtMissRate * 100.0);
         emitSurface(r.misprediction, opts);

@@ -28,8 +28,10 @@ main(int argc, char **argv)
     TableFormatter table(headers);
 
     for (const auto &name : profileNames()) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
-        SweepResult r = sweepScheme(trace, SchemeKind::GAg, sweep);
+        TraceHandle trace =
+            internProfile(opts.session(), name, opts.branches);
+        SweepResult r =
+            runSweep(opts.session(), trace, SchemeKind::GAg, sweep);
         std::vector<std::string> row = {name};
         for (unsigned n = sweep.minTotalBits; n <= sweep.maxTotalBits;
              ++n) {

@@ -21,10 +21,12 @@ main(int argc, char **argv)
     WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
+        TraceHandle trace =
+            internProfile(opts.session(), name, opts.branches);
         SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
         sweep.trackAliasing = false;
-        SweepResult r = sweepScheme(trace, SchemeKind::GAs, sweep);
+        SweepResult r =
+            runSweep(opts.session(), trace, SchemeKind::GAs, sweep);
         emitSurface(r.misprediction, opts);
         opts.goldSurface("fig4/" + name, r.misprediction);
     }

@@ -20,10 +20,11 @@ main(int argc, char **argv)
     WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
-        SweepResult r = sweepScheme(
-            trace, SchemeKind::GAs,
-            opts.sweepOptions(paperSweepOptions()));
+        TraceHandle trace =
+            internProfile(opts.session(), name, opts.branches);
+        SweepResult r =
+            runSweep(opts.session(), trace, SchemeKind::GAs,
+                     opts.sweepOptions(paperSweepOptions()));
         emitSurface(r.aliasing, opts);
         opts.goldSurface("fig5/" + name + "/alias", r.aliasing);
         opts.goldSurface("fig5/" + name + "/harmless", r.harmless);

@@ -19,10 +19,12 @@ main(int argc, char **argv)
     WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
+        TraceHandle trace =
+            internProfile(opts.session(), name, opts.branches);
         SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
         sweep.trackAliasing = false;
-        SweepResult r = sweepScheme(trace, SchemeKind::Gshare, sweep);
+        SweepResult r =
+            runSweep(opts.session(), trace, SchemeKind::Gshare, sweep);
         emitSurface(r.misprediction, opts);
         opts.goldSurface("fig6/" + name, r.misprediction);
     }

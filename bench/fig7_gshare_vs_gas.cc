@@ -20,12 +20,15 @@ main(int argc, char **argv)
            "(mpeg_play; positive = gshare superior)");
 
     WallTimer timer;
-    PreparedTrace trace = prepareProfile("mpeg_play", opts.branches);
+    TraceHandle trace =
+        internProfile(opts.session(), "mpeg_play", opts.branches);
     SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
     sweep.trackAliasing = false;
 
-    SweepResult gas = sweepScheme(trace, SchemeKind::GAs, sweep);
-    SweepResult gshare = sweepScheme(trace, SchemeKind::Gshare, sweep);
+    SweepResult gas =
+        runSweep(opts.session(), trace, SchemeKind::GAs, sweep);
+    SweepResult gshare =
+        runSweep(opts.session(), trace, SchemeKind::Gshare, sweep);
 
     Surface diff = gas.misprediction.difference(
         gshare.misprediction, "GAs minus gshare: mpeg_play");

@@ -19,13 +19,16 @@ main(int argc, char **argv)
            "(mpeg_play; positive = path superior)");
 
     WallTimer timer;
-    PreparedTrace trace = prepareProfile("mpeg_play", opts.branches);
+    TraceHandle trace =
+        internProfile(opts.session(), "mpeg_play", opts.branches);
     SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
     sweep.trackAliasing = false;
     sweep.pathBitsPerTarget = 2;
 
-    SweepResult gas = sweepScheme(trace, SchemeKind::GAs, sweep);
-    SweepResult path = sweepScheme(trace, SchemeKind::Path, sweep);
+    SweepResult gas =
+        runSweep(opts.session(), trace, SchemeKind::GAs, sweep);
+    SweepResult path =
+        runSweep(opts.session(), trace, SchemeKind::Path, sweep);
 
     Surface diff = gas.misprediction.difference(
         path.misprediction, "GAs minus path: mpeg_play");

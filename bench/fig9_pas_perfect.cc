@@ -18,11 +18,12 @@ main(int argc, char **argv)
     WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
+        TraceHandle trace =
+            internProfile(opts.session(), name, opts.branches);
         SweepOptions sweep = opts.sweepOptions(paperSweepOptions());
         sweep.trackAliasing = false;
-        SweepResult r =
-            sweepScheme(trace, SchemeKind::PAsPerfect, sweep);
+        SweepResult r = runSweep(opts.session(), trace,
+                                 SchemeKind::PAsPerfect, sweep);
         emitSurface(r.misprediction, opts);
         opts.goldSurface("fig9/" + name, r.misprediction);
 

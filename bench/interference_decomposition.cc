@@ -33,7 +33,9 @@ main(int argc, char **argv)
                               {8, 7}};
 
     for (const auto &name : focusProfileNames()) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
+        TraceHandle handle =
+            internProfile(opts.session(), name, opts.branches);
+        auto trace = preparedTrace(opts.session(), handle);
         std::printf("--- %s ---\n", name.c_str());
         TableFormatter table({"config", "conflict rate", "destructive",
                               "constructive", "net damage",
@@ -42,9 +44,9 @@ main(int argc, char **argv)
             SweepOptions o;
             o.trackAliasing = true;
             ConfigResult sweep = simulateConfig(
-                trace, SchemeKind::GAs, c.rowBits, c.colBits, o);
+                *trace, SchemeKind::GAs, c.rowBits, c.colBits, o);
             InterferenceResult r = analyzeInterference(
-                trace, SchemeKind::GAs, c.rowBits, c.colBits, o);
+                *trace, SchemeKind::GAs, c.rowBits, c.colBits, o);
             table.addRow(
                 {TableFormatter::configLabel(c.rowBits, c.colBits),
                  TableFormatter::percent(sweep.aliasRate),

@@ -27,15 +27,25 @@
  * regression can be traced to a dispatch or fusion change without
  * rerunning under a profiler.
  *
+ * A second phase times the persistent result cache (sweep_session.hh):
+ * the same table3-scale sweep set is run cold (compute + store), warm
+ * (memory hits) and disk-warm (a fresh session reading .bpc files),
+ * with every served surface verified bit-identical against the cold
+ * run.  Timings, speedups and cache counters go to a separate JSON
+ * report (default BENCH_cache.json).
+ *
  * Knobs: branches=N (trace length, default 1000000 -- the paper's
  * profiles run 2-4M conditionals, so the default is sized to spill
  * the trace out of cache the way real runs do), reps=N (timed
- * repetitions, best-of, default 2), json=FILE, profile=NAME.
+ * repetitions, best-of, default 2), json=FILE, cache_json=FILE,
+ * cache_dir=DIR (default: a scratch dir wiped before and after),
+ * profile=NAME.
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -66,14 +76,21 @@ struct SchemeResult
     KernelTelemetry kernel;
 };
 
-/** Time one sweep run under @p opts, returning wall seconds. */
+/**
+ * Time one sweep run under @p opts, returning wall seconds.  Routed
+ * through the session with the cache bypassed, so the measurement is
+ * pure engine compute (the facade adds only key derivation).
+ */
 double
-runOnce(const PreparedTrace &trace, SchemeKind kind,
+runOnce(SweepSession &session, const TraceHash &hash, SchemeKind kind,
         const SweepOptions &opts, Surface *surface_out,
         KernelTelemetry *kernel_out = nullptr)
 {
+    SweepRequest request{hash, kind, opts};
+    request.bypassCache = true;
     WallTimer timer;
-    SweepResult result = sweepScheme(trace, kind, opts);
+    SweepResult result =
+        cli::orFatal(session.sweep(request)).result;
     const double secs = timer.seconds();
     if (surface_out)
         *surface_out = result.misprediction;
@@ -128,6 +145,9 @@ main(int argc, char **argv)
         static_cast<unsigned>(cli::requireInt(cfg, "reps", 2));
     const std::string json_path =
         cfg.getString("json", "BENCH_sweep.json");
+    const std::string cache_json_path =
+        cfg.getString("cache_json", "BENCH_cache.json");
+    std::string cache_dir = cfg.getString("cache_dir", "");
     const std::string profile = cfg.getString("profile", "mpeg_play");
 
     const std::vector<SimdTarget> targets = supportedSimdTargets();
@@ -144,7 +164,9 @@ main(int argc, char **argv)
         std::printf(" %s", simdTargetName(t));
     std::printf("\n\n");
 
-    PreparedTrace trace = prepareProfile(profile, branches);
+    SweepSession session;
+    TraceHandle handle = internProfile(session, profile, branches);
+    auto trace = preparedTrace(session, handle);
 
     SweepOptions serial_opts = paperSweepOptions();
     serial_opts.trackAliasing = false;
@@ -170,10 +192,7 @@ main(int argc, char **argv)
     for (SchemeKind kind : kinds) {
         SchemeResult r;
         r.kind = kind;
-        r.configs = planSweep(kind, serial_opts).size();
         r.fused.resize(targets.size());
-        const double work = static_cast<double>(trace.size()) *
-                            static_cast<double>(r.configs);
 
         // Interleave the modes within each rep (serial, fused per
         // target, fused+threads, serial, ...) so slow host drift
@@ -182,12 +201,17 @@ main(int argc, char **argv)
         // interference.
         Surface expect("");
         for (unsigned rep = 0; rep < reps; ++rep) {
-            const double s = runOnce(trace, kind, serial_opts,
-                                     rep == 0 ? &expect : nullptr);
-            if (rep == 0)
+            const double s =
+                runOnce(session, handle.hash, kind, serial_opts,
+                        rep == 0 ? &expect : nullptr);
+            if (rep == 0) {
                 r.serial.seconds = s;
-            else
+                // One surface point per swept configuration.
+                for (const auto &tier : expect.tiers())
+                    r.configs += tier.points.size();
+            } else {
                 r.serial.seconds = std::min(r.serial.seconds, s);
+            }
 
             for (std::size_t t = 0; t < targets.size(); ++t) {
                 SweepOptions fused_opts = serial_opts;
@@ -196,7 +220,7 @@ main(int argc, char **argv)
                 Surface surface("");
                 const bool widest = t + 1 == targets.size();
                 const double f = runOnce(
-                    trace, kind, fused_opts,
+                    session, handle.hash, kind, fused_opts,
                     rep == 0 ? &surface : nullptr,
                     rep == 0 && widest ? &r.kernel : nullptr);
                 if (rep == 0) {
@@ -210,7 +234,8 @@ main(int argc, char **argv)
 
             Surface threaded_surface("");
             const double ft =
-                runOnce(trace, kind, fused_threads_opts,
+                runOnce(session, handle.hash, kind,
+                        fused_threads_opts,
                         rep == 0 ? &threaded_surface : nullptr);
             if (rep == 0) {
                 checkSurface(kind, expect, threaded_surface);
@@ -221,6 +246,8 @@ main(int argc, char **argv)
             }
         }
 
+        const double work = static_cast<double>(trace->size()) *
+                            static_cast<double>(r.configs);
         r.serial.throughput = work / r.serial.seconds;
         for (ModeResult &m : r.fused)
             m.throughput = work / m.seconds;
@@ -277,13 +304,13 @@ main(int argc, char **argv)
     std::fprintf(json, "{\n  \"bench\": \"perf_sweep\",\n");
     std::fprintf(json, "  \"profile\": \"%s\",\n", profile.c_str());
     std::fprintf(json, "  \"branches\": %llu,\n",
-                 static_cast<unsigned long long>(trace.size()));
+                 static_cast<unsigned long long>(trace->size()));
     std::fprintf(json, "  \"tiers\": [4, 15],\n");
     std::fprintf(json, "  \"reps\": %u,\n", reps);
     std::fprintf(json, "  \"hardware_threads\": %u,\n",
                  ThreadPool::hardwareThreads());
     std::fprintf(json, "  \"trace_bytes_per_branch\": %.3f,\n",
-                 trace.bytesPerBranch());
+                 trace->bytesPerBranch());
     std::fprintf(json, "  \"simd_targets\": [");
     for (std::size_t t = 0; t < targets.size(); ++t)
         std::fprintf(json, "\"%s\"%s", simdTargetName(targets[t]),
@@ -355,5 +382,113 @@ main(int argc, char **argv)
                  threaded_geo);
     std::fclose(json);
     std::printf("wrote %s\n", json_path.c_str());
+
+    // ---- Result-cache phase: cold vs warm vs disk-warm ----------
+    //
+    // The same table3-scale sweep set (every scheme, tiers 2^4..2^15)
+    // runs three times: cold (compute + .bpc store), warm (memory
+    // hits in the same session) and disk-warm (a fresh session whose
+    // registry is empty, so every answer must come from .bpc files).
+    // Every served surface is verified bit-identical to the cold run.
+    const bool scratch_cache = cache_dir.empty();
+    if (scratch_cache) {
+        cache_dir = (std::filesystem::temp_directory_path() /
+                     "bpsim_perf_sweep_cache")
+                        .string();
+    }
+    std::filesystem::remove_all(cache_dir);
+
+    std::printf("\n==== Result cache: cold vs warm vs disk-warm "
+                "(dir %s) ====\n",
+                cache_dir.c_str());
+    SweepOptions cache_opts = paperSweepOptions();
+    cache_opts.trackAliasing = false;
+    cache_opts.threads = 0;
+
+    auto run_phase = [&](SweepSession &s,
+                         std::vector<Surface> *surfaces,
+                         const std::vector<Surface> *expect) {
+        WallTimer timer;
+        std::size_t i = 0;
+        for (SchemeKind kind : kinds) {
+            SweepResult r = cli::orFatal(s.sweep(
+                SweepRequest{handle.hash, kind, cache_opts})).result;
+            if (surfaces)
+                surfaces->push_back(r.misprediction);
+            if (expect)
+                checkSurface(kind, (*expect)[i], r.misprediction);
+            ++i;
+        }
+        return timer.seconds();
+    };
+
+    std::vector<Surface> cold_surfaces;
+    SweepSession cold_session(cache_dir);
+    internProfile(cold_session, profile, branches);
+    const double cold_s =
+        run_phase(cold_session, &cold_surfaces, nullptr);
+    const double warm_s =
+        run_phase(cold_session, nullptr, &cold_surfaces);
+
+    SweepSession disk_session(cache_dir);
+    const double disk_s =
+        run_phase(disk_session, nullptr, &cold_surfaces);
+    const auto warm_stats = cold_session.cache().stats();
+    const auto disk_stats = disk_session.cache().stats();
+
+    const double warm_speedup = cold_s / warm_s;
+    const double disk_speedup = cold_s / disk_s;
+    std::printf("cold  %9.3f s (%zu sweeps computed and stored)\n",
+                cold_s, cold_surfaces.size());
+    std::printf("warm  %9.3f s (%7.1fx, memory hits %llu)\n", warm_s,
+                warm_speedup,
+                static_cast<unsigned long long>(
+                    warm_stats.memoryHits));
+    std::printf("disk  %9.3f s (%7.1fx, disk hits %llu, empty "
+                "registry)\n",
+                disk_s, disk_speedup,
+                static_cast<unsigned long long>(disk_stats.diskHits));
+    std::printf("(all cached surfaces verified bit-identical to the "
+                "cold run)\n");
+
+    FILE *cache_json = std::fopen(cache_json_path.c_str(), "w");
+    if (!cache_json)
+        bpsim_fatal("cannot write ", cache_json_path);
+    std::fprintf(cache_json, "{\n  \"bench\": \"perf_sweep_cache\",\n");
+    std::fprintf(cache_json, "  \"profile\": \"%s\",\n",
+                 profile.c_str());
+    std::fprintf(cache_json, "  \"branches\": %llu,\n",
+                 static_cast<unsigned long long>(trace->size()));
+    std::fprintf(cache_json, "  \"tiers\": [4, 15],\n");
+    std::fprintf(cache_json, "  \"schemes\": %zu,\n",
+                 cold_surfaces.size());
+    std::fprintf(cache_json, "  \"engine_version\": %u,\n",
+                 kEngineVersion);
+    std::fprintf(cache_json,
+                 "  \"cold\": {\"seconds\": %.6f, \"misses\": %llu, "
+                 "\"store_failures\": %llu},\n",
+                 cold_s,
+                 static_cast<unsigned long long>(warm_stats.misses),
+                 static_cast<unsigned long long>(
+                     warm_stats.storeFailures));
+    std::fprintf(cache_json,
+                 "  \"warm\": {\"seconds\": %.6f, \"speedup\": %.1f, "
+                 "\"memory_hits\": %llu},\n",
+                 warm_s, warm_speedup,
+                 static_cast<unsigned long long>(
+                     warm_stats.memoryHits));
+    std::fprintf(cache_json,
+                 "  \"disk\": {\"seconds\": %.6f, \"speedup\": %.1f, "
+                 "\"disk_hits\": %llu, \"corrupt\": %llu},\n",
+                 disk_s, disk_speedup,
+                 static_cast<unsigned long long>(disk_stats.diskHits),
+                 static_cast<unsigned long long>(disk_stats.corrupt));
+    std::fprintf(cache_json,
+                 "  \"verified\": \"bit-identical to cold run\"\n}\n");
+    std::fclose(cache_json);
+    std::printf("wrote %s\n", cache_json_path.c_str());
+
+    if (scratch_cache)
+        std::filesystem::remove_all(cache_dir);
     return 0;
 }

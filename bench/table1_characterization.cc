@@ -33,8 +33,10 @@ main(int argc, char **argv)
                           "covering 90% (paper)"});
 
     for (const auto &name : profileNames()) {
-        MemoryTrace trace = generateProfileTrace(name, opts.branches);
-        auto ch = TraceCharacterization::measure(trace);
+        TraceHandle handle =
+            internProfile(opts.session(), name, opts.branches);
+        TraceView view(handle);
+        auto ch = TraceCharacterization::measure(view);
         const auto &paper = paperData(name);
 
         char density[64];

@@ -25,9 +25,10 @@ main(int argc, char **argv)
                           "next 9%", "remaining 1%"});
 
     for (const auto &paper_row : paperFrequencyRows()) {
-        MemoryTrace trace =
-            generateProfileTrace(paper_row.name, opts.branches);
-        auto ch = TraceCharacterization::measure(trace);
+        TraceHandle handle = internProfile(
+            opts.session(), paper_row.name, opts.branches);
+        TraceView view(handle);
+        auto ch = TraceCharacterization::measure(view);
         auto quart = ch.frequencyQuartiles();
         double statics =
             static_cast<double>(ch.staticConditionals());

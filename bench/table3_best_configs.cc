@@ -73,12 +73,13 @@ main(int argc, char **argv)
     WallTimer timer;
 
     for (const auto &name : focusProfileNames()) {
-        PreparedTrace trace = prepareProfile(name, opts.branches);
+        TraceHandle trace =
+            internProfile(opts.session(), name, opts.branches);
         Table3Options t3;
         t3.budgetBits = {9, 12, 15};
         t3.bhtSizes = {2048, 1024, 128};
         t3.threads = opts.threads;
-        auto rows = bestConfigTable(trace, t3);
+        auto rows = bestConfigs(opts.session(), trace, t3);
 
         std::printf("--- %s ---\n", name.c_str());
         TableFormatter table({"predictor", "1st-level miss",

@@ -28,12 +28,12 @@ main(int argc, char **argv)
     WallTimer timer;
 
     for (const auto &name : profileNames()) {
-        PreparedTrace trace = prepareProfile(name, n);
+        TraceHandle trace = internProfile(opts.session(), name, n);
         Table3Options t3;
         t3.budgetBits = {9, 12, 15};
         t3.bhtSizes = {1024};
         t3.threads = opts.threads;
-        auto rows = bestConfigTable(trace, t3);
+        auto rows = bestConfigs(opts.session(), trace, t3);
 
         std::printf("--- %s ---\n", name.c_str());
         TableFormatter table({"predictor", "1st-level miss",

@@ -20,8 +20,8 @@
 #include "common/cli.hh"
 #include "common/config.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep_session.hh"
 #include "stats/table_formatter.hh"
-#include "workload/synthetic.hh"
 
 using namespace bpsim;
 
@@ -33,17 +33,22 @@ main(int argc, char **argv)
     auto branches =
         static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 1'000'000));
 
-    MemoryTrace raw = generateProfileTrace(profile, branches);
-    PreparedTrace trace(raw);
+    SweepSession session;
+    TraceHandle handle =
+        cli::orFatal(session.internProfile(profile, branches));
     std::printf("profile %s: %zu conditional instances\n",
-                profile.c_str(), trace.size());
+                profile.c_str(), handle.trace->conditionalCount());
 
     SweepOptions opts;
     opts.minTotalBits = 6;
     opts.maxTotalBits = 14;
     opts.trackAliasing = true;
     opts.threads = static_cast<unsigned>(cli::requireInt(cfg, "threads", 0));
-    SweepResult gas = sweepScheme(trace, SchemeKind::GAs, opts);
+    SweepResult gas =
+        cli::orFatal(session.sweep(
+                         SweepRequest{handle.hash, SchemeKind::GAs,
+                                      opts}))
+            .result;
 
     TableFormatter table({"counters", "split (rows x cols)",
                           "aliasing", "harmless share", "misprediction"});

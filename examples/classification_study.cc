@@ -20,9 +20,9 @@
 #include "common/config.hh"
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
+#include "sim/sweep_session.hh"
 #include "stats/branch_classes.hh"
 #include "trace/trace_filter.hh"
-#include "workload/synthetic.hh"
 
 using namespace bpsim;
 
@@ -35,14 +35,16 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 500'000));
     std::string spec = cfg.getString("spec", "gshare:12:0");
 
-    MemoryTrace trace = generateProfileTrace(profile, branches);
+    SweepSession session;
+    TraceHandle handle =
+        cli::orFatal(session.internProfile(profile, branches));
 
     // 1. Classification over the full stream.
     {
         auto predictor = makePredictor(spec);
-        trace.reset();
+        TraceView view(handle);
         PredictionStats stats =
-            runPredictor(trace, *predictor, /*track_sites=*/true);
+            runPredictor(view, *predictor, /*track_sites=*/true);
         std::printf("%s on %s (overall %5.2f%%):\n\n%s\n",
                     predictor->name().c_str(), profile.c_str(),
                     stats.mispRate() * 100.0,
@@ -51,9 +53,9 @@ main(int argc, char **argv)
 
     // 2. User vs kernel decomposition.
     for (bool kernel_side : {false, true}) {
-        trace.reset();
+        TraceView view(handle);
         FilteredTrace part =
-            kernel_side ? kernelOnly(trace) : userOnly(trace);
+            kernel_side ? kernelOnly(view) : userOnly(view);
         auto predictor = makePredictor(spec);
         PredictionStats stats = runPredictor(part, *predictor, true);
         if (stats.lookups() == 0) {

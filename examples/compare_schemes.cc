@@ -19,8 +19,8 @@
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep_session.hh"
 #include "stats/table_formatter.hh"
-#include "workload/synthetic.hh"
 
 using namespace bpsim;
 
@@ -38,8 +38,9 @@ main(int argc, char **argv)
                 profile.c_str(), budget,
                 1ULL << budget);
 
-    MemoryTrace raw = generateProfileTrace(profile, branches);
-    PreparedTrace trace(raw);
+    SweepSession session;
+    TraceHandle handle =
+        cli::orFatal(session.internProfile(profile, branches));
 
     SweepOptions opts;
     opts.minTotalBits = budget;
@@ -57,7 +58,10 @@ main(int argc, char **argv)
         SchemeKind::PAsPerfect,     SchemeKind::PAsFinite,
     };
     for (SchemeKind kind : kinds) {
-        SweepResult sweep = sweepScheme(trace, kind, opts);
+        SweepResult sweep =
+            cli::orFatal(session.sweep(
+                             SweepRequest{handle.hash, kind, opts}))
+                .result;
         auto best = sweep.misprediction.bestInTier(budget);
         if (!best)
             continue;
@@ -79,8 +83,8 @@ main(int argc, char **argv)
                       "tournament(addr:%u,gshare:%u:0):%u", budget - 1,
                       budget - 1, budget - 1);
         auto combined = makePredictor(spec);
-        raw.reset();
-        PredictionStats stats = runPredictor(raw, *combined);
+        TraceView view(handle);
+        PredictionStats stats = runPredictor(view, *combined);
         table.addSeparator();
         table.addRow({combined->name(), "-",
                       TableFormatter::percent(stats.mispRate()), "-",

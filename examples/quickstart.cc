@@ -15,7 +15,7 @@
 #include "common/config.hh"
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
-#include "workload/synthetic.hh"
+#include "sim/sweep_session.hh"
 
 using namespace bpsim;
 
@@ -28,24 +28,31 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(cli::requireInt(cfg, "branches", 200'000));
 
     // 1. Synthesise a trace: 'profile' picks one of the paper's fourteen
-    //    benchmark models; the length is freely scalable.
+    //    benchmark models; the length is freely scalable.  The session
+    //    interns the trace by content hash -- repeated interns of the
+    //    same profile share one copy.
     std::printf("generating %s trace (%llu conditional branches)...\n",
                 profile.c_str(),
                 static_cast<unsigned long long>(branches));
-    MemoryTrace trace = generateProfileTrace(profile, branches);
-    std::printf("  %zu records, %zu conditional\n", trace.size(),
-                trace.conditionalCount());
+    SweepSession session;
+    TraceHandle handle =
+        cli::orFatal(session.internProfile(profile, branches));
+    std::printf("  %zu records, %zu conditional (trace %s)\n",
+                handle.trace->size(),
+                handle.trace->conditionalCount(),
+                handle.hash.hex().c_str());
 
     // 2. Build predictors from specs (see predictorSpecHelp()).
     auto bimodal = makePredictor("addr:10");      // 1024 counters
     auto gshare = makePredictor("gshare:10:0");   // same budget
     auto pas = makePredictor("PAs:6:4:1024:4");   // 64x16 + 1K BHT
 
-    // 3. Replay and report.
+    // 3. Replay and report.  A TraceView carries its own cursor over
+    //    the shared immutable trace.
     for (BranchPredictor *p :
          {bimodal.get(), gshare.get(), pas.get()}) {
-        trace.reset();
-        PredictionStats stats = runPredictor(trace, *p);
+        TraceView view(handle);
+        PredictionStats stats = runPredictor(view, *p);
         std::printf("  %-24s misprediction %6.2f%%  (%llu / %llu)\n",
                     p->name().c_str(), stats.mispRate() * 100.0,
                     static_cast<unsigned long long>(stats.mispredicts()),

@@ -6,6 +6,7 @@
  *   ./sweep_explorer [profile=real_gcc] [scheme=GAs] [min_bits=4]
  *                    [max_bits=15] [branches=1000000] [metric=misp]
  *                    [bht=1024] [assoc=4] [csv=0] [threads=0]
+ *                    [cache=DIR]
  *
  * scheme: addr | GAg | GAs | gshare | path | PAs | PAsBht
  * metric: misp | alias | harmless
@@ -22,7 +23,7 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
-#include "workload/synthetic.hh"
+#include "sim/sweep_session.hh"
 
 using namespace bpsim;
 
@@ -71,13 +72,23 @@ main(int argc, char **argv)
     opts.bhtAssoc = static_cast<unsigned>(cli::requireInt(cfg, "assoc", 4));
     opts.threads = static_cast<unsigned>(cli::requireInt(cfg, "threads", 0));
 
-    PreparedTrace trace = prepareProfile(profile, branches);
+    // cache=DIR points the session at a persistent .bpc result cache;
+    // a repeated invocation with the same knobs is then served from
+    // disk with an identical surface.
+    SweepSession session(cfg.getString("cache", ""));
+    TraceHandle handle =
+        cli::orFatal(session.internProfile(profile, branches));
     auto sweep_start = std::chrono::steady_clock::now();
-    SweepResult r = sweepScheme(trace, kind, opts);
+    SweepResponse resp = cli::orFatal(
+        session.sweep(SweepRequest{handle.hash, kind, opts}));
+    SweepResult &r = resp.result;
     double sweep_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       sweep_start)
             .count();
+    if (resp.cacheHit)
+        std::printf("(served from the %s result cache)\n",
+                    resp.diskHit ? "on-disk" : "in-memory");
 
     const Surface *surface = &r.misprediction;
     if (metric == "alias")

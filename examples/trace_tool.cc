@@ -1,31 +1,46 @@
 /**
  * @file
- * Trace utility: generate, inspect and characterise .bpt trace files.
+ * Trace utility: generate, inspect and characterise .bpt trace files,
+ * plus the content-hash and result-cache plumbing around them.
  *
  *   ./trace_tool generate profile=<name> out=<file> [branches=N]
  *   ./trace_tool info <file.bpt>
  *   ./trace_tool characterize <file.bpt>      # Table 1/2-style stats
  *   ./trace_tool head <file.bpt> [count=20]   # dump leading records
+ *   ./trace_tool hash <file.bpt>              # content hash
+ *   ./trace_tool hash profile=<name> [branches=N] [content=1]
+ *   ./trace_tool cache info <file.bpc | dir>  # inspect cache entries
+ *   ./trace_tool cache evict <dir> [trace=<hex>] [scheme=<name>]
+ *                [all=1]
  *
  * The characterisation output mirrors the paper's Tables 1 and 2 so a
  * user can run the same analysis over their own (converted) traces.
+ * `hash` prints the keys the engine uses: a file's content hash, or a
+ * profile's generator key (the registry key that lets a synthetic
+ * trace be interned without materialising it).  `cache` inspects and
+ * prunes the persistent .bpc result caches that SweepSession writes;
+ * corrupt entries are reported, never trusted.
  */
 
 #include <cinttypes>
 #include <cstdio>
 
 #include <algorithm>
+#include <filesystem>
 #include <vector>
 
+#include "cache/result_cache.hh"
 #include "common/cli.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
+#include "sim/sweep_session.hh"
 #include "stats/table_formatter.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
 #include "workload/synthetic.hh"
+#include "workload/trace_key.hh"
 
 using namespace bpsim;
 
@@ -41,7 +56,13 @@ usage()
                  "       trace_tool characterize <file.bpt>\n"
                  "       trace_tool head <file.bpt> [count=20]\n"
                  "       trace_tool top <file.bpt> [count=20] "
-                 "[spec=addr:12]\n");
+                 "[spec=addr:12]\n"
+                 "       trace_tool hash <file.bpt>\n"
+                 "       trace_tool hash profile=<name> [branches=N] "
+                 "[content=1]\n"
+                 "       trace_tool cache info <file.bpc | dir>\n"
+                 "       trace_tool cache evict <dir> [trace=<hex>] "
+                 "[scheme=<name>] [all=1]\n");
     return 2;
 }
 
@@ -116,10 +137,14 @@ int
 doTop(const std::string &path, std::int64_t count,
       const std::string &spec)
 {
-    MemoryTrace trace = cli::orFatal(loadTrace(path));
+    // Intern by content: the handle's hash is the same key the result
+    // cache would use for sweeps over this trace.
+    TraceRegistry registry;
+    TraceHandle handle = cli::orFatal(registry.internFile(path));
     auto predictor = makePredictor(spec);
+    TraceView view(handle);
     PredictionStats stats =
-        runPredictor(trace, *predictor, /*track_sites=*/true);
+        runPredictor(view, *predictor, /*track_sites=*/true);
 
     std::vector<std::pair<Addr, BranchSiteStats>> sites(
         stats.sites().begin(), stats.sites().end());
@@ -169,6 +194,159 @@ doHead(const std::string &path, std::int64_t count)
     return 0;
 }
 
+int
+doHash(const Config &cfg, const std::vector<std::string> &pos)
+{
+    std::string profile = cfg.getString("profile", "");
+    if (!profile.empty()) {
+        auto branches = static_cast<std::uint64_t>(
+            cli::requireInt(cfg, "branches", 0));
+        TraceHash key =
+            cli::orFatal(profileTraceKey(profile, branches));
+        std::printf("profile:       %s\n", profile.c_str());
+        std::printf("generator key: %s\n", key.hex().c_str());
+        if (cli::requireBool(cfg, "content", false)) {
+            MemoryTrace trace =
+                generateProfileTrace(profile, branches);
+            std::printf("content hash:  %s  (%zu records)\n",
+                        traceHash(trace).hex().c_str(),
+                        trace.size());
+        }
+        return 0;
+    }
+    if (pos.size() < 2)
+        return usage();
+    MemoryTrace trace = cli::orFatal(loadTrace(pos[1]));
+    std::printf("trace:        %s\n", trace.name().c_str());
+    std::printf("content hash: %s  (%zu records)\n",
+                traceHash(trace).hex().c_str(), trace.size());
+    return 0;
+}
+
+/** Read and validate one .bpc file (corrupt files are errors). */
+Result<BpcImage>
+readBpcFile(const std::string &path)
+{
+    auto stream = StdioFileStream::openRead(path);
+    if (!stream.ok())
+        return stream.error();
+    return readBpc(*stream.value());
+}
+
+std::size_t
+surfacePoints(const Surface &surface)
+{
+    std::size_t n = 0;
+    for (const auto &tier : surface.tiers())
+        n += tier.points.size();
+    return n;
+}
+
+/** Sorted *.bpc paths under @p dir. */
+std::vector<std::string>
+listBpcFiles(const std::string &dir)
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".bpc")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+int
+doCacheInfo(const std::string &path)
+{
+    if (!std::filesystem::is_directory(path)) {
+        BpcImage image = cli::orFatal(readBpcFile(path));
+        std::printf("file:           %s\n", path.c_str());
+        std::printf("engine version: %u\n",
+                    image.key.engineVersion);
+        std::printf("trace hash:     %s\n",
+                    image.key.trace.hex().c_str());
+        std::printf("scheme:         %s\n",
+                    image.key.scheme.c_str());
+        std::printf("config key:     %s\n",
+                    image.key.configKey.c_str());
+        std::printf("misprediction:  %zu tiers, %zu points\n",
+                    image.payload.misprediction.tiers().size(),
+                    surfacePoints(image.payload.misprediction));
+        std::printf("aliasing:       %zu tiers, %zu points\n",
+                    image.payload.aliasing.tiers().size(),
+                    surfacePoints(image.payload.aliasing));
+        if (image.payload.bhtMissRate > 0)
+            std::printf("BHT miss rate:  %.2f%%\n",
+                        image.payload.bhtMissRate * 100.0);
+        return 0;
+    }
+
+    TableFormatter table(
+        {"file", "engine", "trace", "scheme", "config"});
+    std::size_t corrupt = 0;
+    const auto files = listBpcFiles(path);
+    for (const std::string &file : files) {
+        auto image = readBpcFile(file);
+        std::string leaf =
+            std::filesystem::path(file).filename().string();
+        if (!image.ok()) {
+            table.addRow({leaf, "-", "CORRUPT", "-", "-"});
+            ++corrupt;
+            continue;
+        }
+        table.addRow({leaf,
+                      std::to_string(image.value().key.engineVersion),
+                      image.value().key.trace.hex(),
+                      image.value().key.scheme,
+                      image.value().key.configKey});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("%zu entr%s, %zu corrupt (corrupt entries are "
+                "recomputed, never served)\n",
+                files.size(), files.size() == 1 ? "y" : "ies",
+                corrupt);
+    return 0;
+}
+
+int
+doCacheEvict(const Config &cfg, const std::string &dir)
+{
+    if (!std::filesystem::is_directory(dir))
+        bpsim_fatal("'", dir, "' is not a cache directory");
+    const std::string trace_filter = cfg.getString("trace", "");
+    const std::string scheme_filter = cfg.getString("scheme", "");
+    const bool all = cli::requireBool(cfg, "all", false);
+    if (trace_filter.empty() && scheme_filter.empty() && !all)
+        bpsim_fatal("refusing to evict without a filter; pass "
+                    "trace=<hex>, scheme=<name> or all=1");
+
+    std::size_t removed = 0, kept = 0;
+    for (const std::string &file : listBpcFiles(dir)) {
+        auto image = readBpcFile(file);
+        bool matches;
+        if (!image.ok()) {
+            // A corrupt entry has no trustworthy key; it only goes
+            // with all=1.
+            matches = all;
+        } else {
+            matches =
+                (trace_filter.empty() ||
+                 image.value().key.trace.hex() == trace_filter) &&
+                (scheme_filter.empty() ||
+                 image.value().key.scheme == scheme_filter);
+        }
+        if (matches && std::filesystem::remove(file))
+            ++removed;
+        else
+            ++kept;
+    }
+    std::printf("evicted %zu cache entr%s (%zu kept)\n", removed,
+                removed == 1 ? "y" : "ies", kept);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -182,6 +360,17 @@ main(int argc, char **argv)
 
     if (verb == "generate")
         return doGenerate(cfg);
+    if (verb == "hash")
+        return doHash(cfg, pos);
+    if (verb == "cache") {
+        if (pos.size() < 3)
+            return usage();
+        if (pos[1] == "info")
+            return doCacheInfo(pos[2]);
+        if (pos[1] == "evict")
+            return doCacheEvict(cfg, pos[2]);
+        return usage();
+    }
     if (pos.size() < 2)
         return usage();
     if (verb == "info")

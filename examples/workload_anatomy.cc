@@ -20,6 +20,7 @@
 #include "common/config.hh"
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
+#include "sim/sweep_session.hh"
 #include "stats/table_formatter.hh"
 #include "workload/executor.hh"
 #include "workload/profiles.hh"
@@ -69,9 +70,14 @@ main(int argc, char **argv)
             site.predicate->typeName();
     }
 
+    // The trace is materialised here (the executor was needed for the
+    // site map anyway) and interned by content into a session, so the
+    // per-spec replays below share one immutable copy.
     ProgramExecutor executor(program, params);
     MemoryTrace trace(params.name);
     trace.appendAll(executor);
+    SweepSession session;
+    TraceHandle handle = session.internTrace(std::move(trace));
 
     struct Cell
     {
@@ -83,9 +89,9 @@ main(int argc, char **argv)
 
     for (std::size_t s = 0; s < specs.size(); ++s) {
         auto predictor = makePredictor(specs[s]);
-        trace.reset();
+        TraceView view(handle);
         PredictionStats stats =
-            runPredictor(trace, *predictor, /*track_sites=*/true);
+            runPredictor(view, *predictor, /*track_sites=*/true);
         for (const auto &kv : stats.sites()) {
             auto it = site_type.find(kv.first);
             const char *type =

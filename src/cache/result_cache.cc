@@ -1,0 +1,429 @@
+#include "cache/result_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace bpsim {
+
+namespace {
+
+constexpr unsigned char kMagic[4] = {'B', 'P', 'C', '1'};
+constexpr std::uint32_t kBpcFormatVersion = 1;
+/** magic + format version + total length + 128-bit body checksum. */
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8;
+constexpr const char *kBodyDomain = "bpsim.cache.bpc.v1";
+constexpr const char *kKeyDomain = "bpsim.cache.key.v1";
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+void
+putF64(std::string &out, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putSurface(std::string &out, const Surface &s)
+{
+    putStr(out, s.name());
+    putU32(out, static_cast<std::uint32_t>(s.tiers().size()));
+    for (const SurfaceTier &tier : s.tiers()) {
+        putU32(out, tier.totalBits);
+        putU32(out, static_cast<std::uint32_t>(tier.points.size()));
+        for (const SurfacePoint &pt : tier.points) {
+            putU32(out, pt.rowBits);
+            putU32(out, pt.colBits);
+            putF64(out, pt.value);
+        }
+    }
+}
+
+/** Bounds-checked little-endian reader over the body buffer. */
+class BodyCursor
+{
+  public:
+    explicit BodyCursor(const std::string &buf) : buf_(buf) {}
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        if (buf_.size() - pos_ < 4)
+            return false;
+        v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) |
+                static_cast<unsigned char>(buf_[pos_ + i]);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (buf_.size() - pos_ < 8)
+            return false;
+        v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) |
+                static_cast<unsigned char>(buf_[pos_ + i]);
+        pos_ += 8;
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        std::uint64_t bits;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof(v));
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        std::uint32_t len;
+        if (!u32(len) || buf_.size() - pos_ < len)
+            return false;
+        s.assign(buf_, pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    bool done() const { return pos_ == buf_.size(); }
+
+  private:
+    const std::string &buf_;
+    std::size_t pos_ = 0;
+};
+
+bool
+readSurface(BodyCursor &cur, Surface &out)
+{
+    std::string name;
+    std::uint32_t tier_count;
+    if (!cur.str(name) || !cur.u32(tier_count))
+        return false;
+    Surface s(std::move(name));
+    for (std::uint32_t t = 0; t < tier_count; ++t) {
+        std::uint32_t total_bits, point_count;
+        if (!cur.u32(total_bits) || !cur.u32(point_count))
+            return false;
+        for (std::uint32_t p = 0; p < point_count; ++p) {
+            std::uint32_t row, col;
+            double value;
+            if (!cur.u32(row) || !cur.u32(col) || !cur.f64(value))
+                return false;
+            s.add(total_bits, row, col, value);
+        }
+    }
+    out = std::move(s);
+    return true;
+}
+
+TraceHash
+bodyChecksum(const std::string &body)
+{
+    HashStream h(kBodyDomain);
+    for (char c : body)
+        h.u8(static_cast<std::uint8_t>(c));
+    return h.digest();
+}
+
+std::string
+encodeBody(const CacheKey &key, const CachedSweep &payload)
+{
+    std::string body;
+    putU32(body, key.engineVersion);
+    putU64(body, key.trace.hi);
+    putU64(body, key.trace.lo);
+    putStr(body, key.scheme);
+    putStr(body, key.configKey);
+    putF64(body, payload.bhtMissRate);
+    putSurface(body, payload.misprediction);
+    putSurface(body, payload.aliasing);
+    putSurface(body, payload.harmless);
+    return body;
+}
+
+} // namespace
+
+std::string
+CacheKey::canonical() const
+{
+    std::string out = "engine=";
+    out += std::to_string(engineVersion);
+    out += "|trace=";
+    out += trace.hex();
+    out += "|scheme=";
+    out += scheme;
+    out += "|";
+    out += configKey;
+    return out;
+}
+
+TraceHash
+CacheKey::digest() const
+{
+    HashStream h(kKeyDomain);
+    h.u32(engineVersion);
+    h.u64(trace.hi);
+    h.u64(trace.lo);
+    h.str(scheme);
+    h.str(configKey);
+    return h.digest();
+}
+
+Status
+writeBpc(ByteStream &out, const CacheKey &key,
+         const CachedSweep &payload)
+{
+    const std::string body = encodeBody(key, payload);
+    const TraceHash sum = bodyChecksum(body);
+
+    std::string header;
+    header.append(reinterpret_cast<const char *>(kMagic),
+                  sizeof(kMagic));
+    putU32(header, kBpcFormatVersion);
+    putU64(header, kHeaderBytes + body.size());
+    putU64(header, sum.hi);
+    putU64(header, sum.lo);
+
+    if (out.write(header.data(), header.size()) != header.size() ||
+        out.write(body.data(), body.size()) != body.size()) {
+        return BPSIM_ERROR("short write to cache file ",
+                           out.describe());
+    }
+    if (!out.flush())
+        return BPSIM_ERROR("cannot flush cache file ", out.describe(),
+                           " (disk full?)");
+    return Status();
+}
+
+Result<BpcImage>
+readBpc(ByteStream &in)
+{
+    const std::string &where = in.describe();
+
+    unsigned char hdr[kHeaderBytes];
+    if (in.read(hdr, sizeof(hdr)) != sizeof(hdr))
+        return BPSIM_ERROR(where, ": truncated cache header");
+    if (std::memcmp(hdr, kMagic, sizeof(kMagic)) != 0)
+        return BPSIM_ERROR(where,
+                           " is not a .bpc cache file (bad magic)");
+
+    auto decU32 = [&hdr](std::size_t off) {
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | hdr[off + i];
+        return v;
+    };
+    auto decU64 = [&hdr](std::size_t off) {
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | hdr[off + i];
+        return v;
+    };
+
+    const std::uint32_t format = decU32(4);
+    if (format != kBpcFormatVersion) {
+        return BPSIM_ERROR(where,
+                           ": unsupported cache format version ",
+                           format);
+    }
+    const std::uint64_t declared = decU64(8);
+    const TraceHash sum{decU64(16), decU64(24)};
+
+    // Validate the declared length against the real stream size
+    // BEFORE allocating: truncation, trailing garbage and length
+    // tampering are all caught here, and the body allocation below
+    // is bounded by the actual file size.
+    std::uint64_t actual = 0;
+    if (!in.size(actual))
+        return BPSIM_ERROR(where,
+                           ": cannot determine cache file size");
+    if (declared != actual || declared < kHeaderBytes) {
+        return BPSIM_ERROR(where, ": header declares ", declared,
+                           " bytes but the file holds ", actual);
+    }
+
+    std::string body(declared - kHeaderBytes, '\0');
+    if (in.read(body.data(), body.size()) != body.size())
+        return BPSIM_ERROR(where, ": truncated cache body");
+    if (bodyChecksum(body) != sum)
+        return BPSIM_ERROR(where,
+                           ": cache body checksum mismatch "
+                           "(corrupt file)");
+
+    // The checksum already vouches for the bytes; the bounds checks
+    // below guard the parser itself against malformed-but-matching
+    // bodies (which only a deliberate writer could produce).
+    BpcImage image;
+    BodyCursor cur(body);
+    std::uint64_t hi, lo;
+    if (!cur.u32(image.key.engineVersion) || !cur.u64(hi) ||
+        !cur.u64(lo) || !cur.str(image.key.scheme) ||
+        !cur.str(image.key.configKey)) {
+        return BPSIM_ERROR(where, ": malformed cache key block");
+    }
+    image.key.trace = TraceHash{hi, lo};
+    if (!cur.f64(image.payload.bhtMissRate) ||
+        !readSurface(cur, image.payload.misprediction) ||
+        !readSurface(cur, image.payload.aliasing) ||
+        !readSurface(cur, image.payload.harmless)) {
+        return BPSIM_ERROR(where, ": malformed cache payload");
+    }
+    if (!cur.done())
+        return BPSIM_ERROR(where,
+                           ": trailing bytes after cache payload");
+    return image;
+}
+
+ResultCache::ResultCache(std::string directory)
+    : dir_(std::move(directory))
+{
+    if (!dir_.empty()) {
+        // Best-effort: when creation fails every store() fails and
+        // is counted, but lookups still work from memory.
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+    }
+}
+
+std::string
+ResultCache::filePath(const CacheKey &key) const
+{
+    if (dir_.empty())
+        return {};
+    return dir_ + "/" + key.digest().hex() + ".bpc";
+}
+
+std::optional<CachedSweep>
+ResultCache::loadFromDisk(const CacheKey &key)
+{
+    const std::string path = filePath(key);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec)
+        return std::nullopt; // plain miss, nothing to validate
+
+    auto stream = StdioFileStream::openRead(path);
+    if (!stream.ok()) {
+        ++stats_.corrupt;
+        return std::nullopt;
+    }
+    Result<BpcImage> image = readBpc(*stream.value());
+    // A parse error OR a full-key mismatch (digest collision) both
+    // degrade to recompute; the file never becomes a wrong answer.
+    if (!image.ok() || image.value().key != key) {
+        ++stats_.corrupt;
+        return std::nullopt;
+    }
+    return std::move(image).value().payload;
+}
+
+std::optional<CachedSweep>
+ResultCache::lookup(const CacheKey &key, bool *from_disk)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (from_disk)
+        *from_disk = false;
+    const std::string canon = key.canonical();
+    auto it = memory_.find(canon);
+    if (it != memory_.end()) {
+        ++stats_.memoryHits;
+        return it->second;
+    }
+    if (!dir_.empty()) {
+        std::optional<CachedSweep> disk = loadFromDisk(key);
+        if (disk) {
+            ++stats_.diskHits;
+            if (from_disk)
+                *from_disk = true;
+            memory_.emplace(canon, *disk);
+            return disk;
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+Status
+ResultCache::store(const CacheKey &key, const CachedSweep &value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    memory_.insert_or_assign(key.canonical(), value);
+    if (dir_.empty())
+        return Status();
+
+    const std::string path = filePath(key);
+    auto writeFile = [&]() -> Status {
+        auto stream = StdioFileStream::openWrite(path);
+        if (!stream.ok())
+            return stream.error();
+        Status st = writeBpc(*stream.value(), key, value);
+        if (!st.ok())
+            return st;
+        if (!stream.value()->close()) {
+            return BPSIM_ERROR("error closing cache file ", path,
+                               " (disk full?)");
+        }
+        return Status();
+    };
+    Status st = writeFile();
+    if (!st.ok()) {
+        std::remove(path.c_str()); // never leave a partial entry
+        ++stats_.storeFailures;
+    }
+    return st;
+}
+
+bool
+ResultCache::evict(const CacheKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool found = memory_.erase(key.canonical()) > 0;
+    if (!dir_.empty()) {
+        std::error_code ec;
+        found = std::filesystem::remove(filePath(key), ec) || found;
+    }
+    return found;
+}
+
+std::size_t
+ResultCache::residentEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memory_.size();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace bpsim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Persistent, content-addressed cache of sweep results.
+ *
+ * The third layer of the session core (DESIGN.md "Session core"):
+ * once a (trace, scheme, configuration lattice) sweep has been
+ * replayed, its surfaces are worth keeping -- replay costs seconds,
+ * the result is a few kilobytes, and both the trace key and the
+ * engine are deterministic.  A ResultCache holds finished sweeps in
+ * memory and, when given a directory, mirrors them to .bpc files so
+ * the *next process* starts warm too.
+ *
+ * Keying discipline:
+ *
+ *  - CacheKey is (trace key, scheme name, canonical config key,
+ *    engine version).  The trace key is the registry key -- a content
+ *    hash for ingested traces, a generator key for synthetic ones
+ *    (workload/trace_key.hh); both are reproducible across hosts.
+ *  - The config key comes from Config::canonicalKey(), so option
+ *    order and numeric spelling cannot split the cache.  Execution
+ *    knobs (threads, fusing, SIMD lane width) are bit-identical by
+ *    construction and MUST be excluded by the key builder.
+ *  - The engine version (sim/sweep_session.hh) is bumped whenever
+ *    replay semantics change; stale entries then miss instead of
+ *    resurfacing outdated numbers.
+ *
+ * Failure discipline: a cache must never convert disk state into a
+ * wrong answer.  Every .bpc carries its total length and a 128-bit
+ * checksum over the body; any corruption, truncation, version skew
+ * or key mismatch is a structured load error, which lookup() turns
+ * into a miss (counted in Stats::corrupt) -- the caller recomputes.
+ * verify/fault_injection.hh fuzzes this contract bit by bit.
+ */
+
+#ifndef BPSIM_CACHE_RESULT_CACHE_HH
+#define BPSIM_CACHE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/byte_io.hh"
+#include "common/error.hh"
+#include "stats/surface.hh"
+#include "trace/trace_hash.hh"
+
+namespace bpsim {
+
+/** Identity of one cached sweep; equality means reusable result. */
+struct CacheKey
+{
+    /** Registry key of the replayed trace (content or generator). */
+    TraceHash trace;
+    /** Scheme display name (schemeKindName). */
+    std::string scheme;
+    /** Canonical option rendering (Config::canonicalKey). */
+    std::string configKey;
+    /** Replay-semantics version; see sim/sweep_session.hh. */
+    std::uint32_t engineVersion = 0;
+
+    bool
+    operator==(const CacheKey &other) const
+    {
+        return trace == other.trace && scheme == other.scheme &&
+               configKey == other.configKey &&
+               engineVersion == other.engineVersion;
+    }
+    bool operator!=(const CacheKey &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Full human-readable rendering (the in-memory map key). */
+    std::string canonical() const;
+
+    /** Hash of canonical(), in its own domain; names the .bpc file. */
+    TraceHash digest() const;
+};
+
+/**
+ * The cacheable portion of a SweepResult: the three surfaces and the
+ * BHT miss rate.  Kernel telemetry describes one *execution* and is
+ * deliberately not cached (a hit reports zero kernel work, which is
+ * the truth).  Lives here rather than in sim/ so the cache layer
+ * depends only on common/stats/trace.
+ */
+struct CachedSweep
+{
+    Surface misprediction{""};
+    Surface aliasing{""};
+    Surface harmless{""};
+    double bhtMissRate = 0.0;
+};
+
+/** A fully parsed .bpc file: who it belongs to plus the payload. */
+struct BpcImage
+{
+    CacheKey key;
+    CachedSweep payload;
+};
+
+/**
+ * Serialize one cached sweep as a .bpc image.  Little-endian
+ * throughout; layout is a 32-byte fixed header (magic "BPC1", format
+ * version, total length, 128-bit body checksum) followed by the
+ * checksummed body (key fields, then surfaces).  Short writes and
+ * stream faults surface as structured errors.
+ */
+Status writeBpc(ByteStream &out, const CacheKey &key,
+                const CachedSweep &payload);
+
+/**
+ * Parse a .bpc image.  The declared total length is validated against
+ * the real stream size before any allocation, and the body checksum
+ * must match, so no corrupt or truncated file can parse; errors name
+ * the stream and the reason.
+ */
+Result<BpcImage> readBpc(ByteStream &in);
+
+/**
+ * In-memory + optional on-disk result cache.  Thread-safe; all
+ * methods may be called concurrently.  With an empty directory the
+ * cache is memory-only (results live for the session).
+ */
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t memoryHits = 0;
+        std::uint64_t diskHits = 0;
+        std::uint64_t misses = 0;
+        /** Disk entries rejected (corrupt/skewed); each also a miss. */
+        std::uint64_t corrupt = 0;
+        /** Failed disk writes (the in-memory entry still lands). */
+        std::uint64_t storeFailures = 0;
+
+        std::uint64_t hits() const { return memoryHits + diskHits; }
+    };
+
+    /**
+     * @param directory mirror entries to .bpc files under this path
+     * (created if absent); empty for a memory-only cache.
+     */
+    explicit ResultCache(std::string directory = {});
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Find a finished sweep: memory first, then the key's .bpc file.
+     * A disk hit is re-validated (full key match, checksum) and
+     * promoted into memory.  Anything wrong with the file is a miss.
+     * @param from_disk when non-null, set to whether the hit came
+     *        from the disk mirror rather than memory.
+     */
+    std::optional<CachedSweep> lookup(const CacheKey &key,
+                                      bool *from_disk = nullptr);
+
+    /**
+     * Record a finished sweep.  Always lands in memory; the disk
+     * mirror is best-effort (a failed or partial write is removed
+     * and counted, never left to parse).  The returned status
+     * reports the disk outcome for callers that care.
+     */
+    Status store(const CacheKey &key, const CachedSweep &value);
+
+    /** Drop @p key from memory and disk. @return true if found. */
+    bool evict(const CacheKey &key);
+
+    /** Path of the key's .bpc file; empty for memory-only caches. */
+    std::string filePath(const CacheKey &key) const;
+
+    const std::string &directory() const { return dir_; }
+    std::size_t residentEntries() const;
+    Stats stats() const;
+
+  private:
+    std::optional<CachedSweep> loadFromDisk(const CacheKey &key);
+
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::map<std::string, CachedSweep> memory_;
+    Stats stats_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CACHE_RESULT_CACHE_HH

@@ -1,6 +1,7 @@
 #include "common/config.hh"
 
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 
 namespace bpsim {
@@ -92,6 +93,56 @@ Config::tryBool(const std::string &key, bool fallback) const
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
     return BPSIM_ERROR("option ", key, "=", v, " is not a boolean");
+}
+
+namespace {
+
+/**
+ * Normalize one option value: integers (with tryInt's base-0 rules,
+ * so 0x10 and 16 collapse) render as decimal, other numerics as the
+ * shortest round-trip double, boolean words as 1/0, everything else
+ * verbatim.
+ */
+std::string
+canonicalValue(const std::string &text)
+{
+    if (!text.empty()) {
+        char *end = nullptr;
+        errno = 0;
+        long long i = std::strtoll(text.c_str(), &end, 0);
+        if (end != text.c_str() && *end == '\0' && errno != ERANGE)
+            return std::to_string(i);
+        errno = 0;
+        double d = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() && *end == '\0' && errno != ERANGE) {
+            char buf[32];
+            auto r = std::to_chars(buf, buf + sizeof(buf), d);
+            return std::string(buf, r.ptr);
+        }
+    }
+    if (text == "true" || text == "yes" || text == "on")
+        return "1";
+    if (text == "false" || text == "no" || text == "off")
+        return "0";
+    return text;
+}
+
+} // namespace
+
+std::string
+Config::canonicalKey() const
+{
+    // std::map iterates in key order, so the rendering is already
+    // insensitive to the order options appeared on the command line.
+    std::string out;
+    for (const auto &kv : options) {
+        if (!out.empty())
+            out += ';';
+        out += kv.first;
+        out += '=';
+        out += canonicalValue(kv.second);
+    }
+    return out;
 }
 
 std::vector<std::string>

@@ -60,6 +60,18 @@ class Config
     /** All option keys, for "unknown option" diagnostics. */
     std::vector<std::string> keys() const;
 
+    /**
+     * Canonical rendering of the options, for use as a cache key:
+     * keys sorted, each value normalized so spellings of the same
+     * logical value collapse ("0x10" and "16" under tryInt's base-0
+     * rules, "1.50" and "1.5", "yes" and "1").  Positional
+     * arguments are excluded.  Two
+     * configs built from differently ordered or differently spelled
+     * tokens produce the same key exactly when they mean the same
+     * options.
+     */
+    std::string canonicalKey() const;
+
   private:
     std::map<std::string, std::string> options;
     std::vector<std::string> args;

@@ -27,33 +27,8 @@ paperSweepOptions()
     return opts;
 }
 
-namespace {
-
-/** Extract per-budget best configs from a sweep's misprediction data. */
-BestConfigRow
-rowFromSweep(const std::string &scheme, const SweepResult &sweep,
-             const std::vector<unsigned> &budget_bits,
-             double bht_miss_rate)
-{
-    BestConfigRow row;
-    row.scheme = scheme;
-    row.bhtMissRate = bht_miss_rate;
-    for (unsigned bits : budget_bits) {
-        auto best = sweep.misprediction.bestInTier(bits);
-        if (best) {
-            row.best.push_back(
-                BestConfig{best->rowBits, best->colBits, best->value});
-        } else {
-            row.best.push_back(std::nullopt);
-        }
-    }
-    return row;
-}
-
-} // namespace
-
-std::vector<BestConfigRow>
-bestConfigTable(const PreparedTrace &trace, const Table3Options &opts)
+std::vector<Table3SchemeSpec>
+table3Plan(const Table3Options &opts)
 {
     bpsim_assert(!opts.budgetBits.empty(), "no budgets requested");
 
@@ -69,16 +44,7 @@ bestConfigTable(const PreparedTrace &trace, const Table3Options &opts)
     sweep_opts.minTotalBits = lo;
     sweep_opts.maxTotalBits = hi;
 
-    // Plan the paper's scheme lineup, then execute the per-scheme
-    // sweeps on the shared pool.  Each sweep parallelizes internally
-    // too; the pool caps the combined concurrency.
-    struct SchemeSweep
-    {
-        std::string name;
-        SchemeKind kind;
-        SweepOptions opts;
-    };
-    std::vector<SchemeSweep> plan = {
+    std::vector<Table3SchemeSpec> plan = {
         {"GAs", SchemeKind::GAs, sweep_opts},
         {"gshare", SchemeKind::Gshare, sweep_opts},
         {"PAs(inf)", SchemeKind::PAsPerfect, sweep_opts},
@@ -94,12 +60,43 @@ bestConfigTable(const PreparedTrace &trace, const Table3Options &opts)
             name << "PAs(" << entries << ")";
         plan.push_back({name.str(), SchemeKind::PAsFinite, finite});
     }
+    return plan;
+}
 
+BestConfigRow
+bestConfigRowFromSweep(const Table3SchemeSpec &spec,
+                       const SweepResult &sweep,
+                       const std::vector<unsigned> &budget_bits)
+{
+    BestConfigRow row;
+    row.scheme = spec.name;
+    row.bhtMissRate = spec.kind == SchemeKind::PAsFinite
+                          ? sweep.bhtMissRate
+                          : -1.0;
+    for (unsigned bits : budget_bits) {
+        auto best = sweep.misprediction.bestInTier(bits);
+        if (best) {
+            row.best.push_back(
+                BestConfig{best->rowBits, best->colBits, best->value});
+        } else {
+            row.best.push_back(std::nullopt);
+        }
+    }
+    return row;
+}
+
+std::vector<BestConfigRow>
+bestConfigTable(const PreparedTrace &trace, const Table3Options &opts)
+{
+    // Execute the per-scheme sweeps on the shared pool.  Each sweep
+    // parallelizes internally too; the pool caps the combined
+    // concurrency.
+    const std::vector<Table3SchemeSpec> plan = table3Plan(opts);
     std::vector<SweepResult> sweeps(plan.size(),
                                     SweepResult("", trace.name()));
     const unsigned threads = ThreadPool::resolveThreads(opts.threads);
     auto run_one = [&](std::size_t i) {
-        sweeps[i] = sweepScheme(trace, plan[i].kind, plan[i].opts);
+        sweeps[i] = sweepScheme(trace, plan[i].kind, plan[i].options);
     };
     if (threads <= 1) {
         for (std::size_t i = 0; i < plan.size(); ++i)
@@ -110,11 +107,8 @@ bestConfigTable(const PreparedTrace &trace, const Table3Options &opts)
 
     std::vector<BestConfigRow> rows;
     for (std::size_t i = 0; i < plan.size(); ++i) {
-        double miss = plan[i].kind == SchemeKind::PAsFinite
-                          ? sweeps[i].bhtMissRate
-                          : -1.0;
-        rows.push_back(rowFromSweep(plan[i].name, sweeps[i],
-                                    opts.budgetBits, miss));
+        rows.push_back(bestConfigRowFromSweep(plan[i], sweeps[i],
+                                              opts.budgetBits));
     }
     return rows;
 }

@@ -58,6 +58,28 @@ struct Table3Options
     unsigned threads = 1;
 };
 
+/** One entry of the Table 3 scheme lineup: display name + sweep. */
+struct Table3SchemeSpec
+{
+    std::string name;
+    SchemeKind kind = SchemeKind::GAs;
+    SweepOptions options;
+};
+
+/**
+ * Expand @p opts into the concrete per-scheme sweeps of Table 3.
+ * Shared by bestConfigTable and SweepSession::bestConfigs so the two
+ * paths replay byte-identical configuration lattices (which is what
+ * lets the session serve Table 3 from the result cache).
+ */
+std::vector<Table3SchemeSpec> table3Plan(const Table3Options &opts);
+
+/** Reduce one scheme's sweep to its Table 3 row. */
+BestConfigRow
+bestConfigRowFromSweep(const Table3SchemeSpec &spec,
+                       const SweepResult &sweep,
+                       const std::vector<unsigned> &budget_bits);
+
 /** Compute the Table 3 rows for one prepared trace. */
 std::vector<BestConfigRow>
 bestConfigTable(const PreparedTrace &trace,

@@ -1,0 +1,201 @@
+#include "sim/sweep_session.hh"
+
+#include <chrono>
+#include <optional>
+
+#include "common/config.hh"
+#include "common/thread_pool.hh"
+#include "workload/trace_key.hh"
+
+namespace bpsim {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+SweepSession::SweepSession(std::string cache_dir)
+    : cache_(std::move(cache_dir))
+{
+}
+
+Result<TraceHandle>
+SweepSession::internProfile(const std::string &profile,
+                            std::uint64_t target_conditionals)
+{
+    return bpsim::internProfile(registry_, profile,
+                                target_conditionals);
+}
+
+TraceHandle
+SweepSession::internTrace(MemoryTrace trace)
+{
+    return registry_.internTrace(std::move(trace));
+}
+
+Result<TraceHandle>
+SweepSession::internFile(const std::string &path)
+{
+    return registry_.internFile(path);
+}
+
+std::string
+SweepSession::cacheConfigKey(SchemeKind kind, const SweepOptions &opts)
+{
+    // Only result-affecting options, and of those only the ones the
+    // scheme reads: a gshare sweep must not miss because an unused
+    // BHT knob changed.  threads/fuseJobs/simd are bit-identical
+    // execution knobs (pinned by the differential tests) and are
+    // deliberately absent.
+    std::vector<std::string> tokens = {
+        "min=" + std::to_string(opts.minTotalBits),
+        "max=" + std::to_string(opts.maxTotalBits),
+        "alias=" + std::to_string(opts.trackAliasing ? 1 : 0),
+    };
+    if (kind == SchemeKind::Path) {
+        tokens.push_back("pathbits=" +
+                         std::to_string(opts.pathBitsPerTarget));
+    }
+    if (kind == SchemeKind::PAsFinite) {
+        tokens.push_back("bht=" + std::to_string(opts.bhtEntries));
+        tokens.push_back("assoc=" + std::to_string(opts.bhtAssoc));
+        tokens.push_back(
+            "reset=" +
+            std::to_string(static_cast<int>(opts.bhtResetPolicy)));
+    }
+    return Config::parseTokens(tokens).canonicalKey();
+}
+
+CacheKey
+SweepSession::cacheKey(const SweepRequest &request)
+{
+    return CacheKey{request.trace, schemeKindName(request.kind),
+                    cacheConfigKey(request.kind, request.options),
+                    kEngineVersion};
+}
+
+Result<std::shared_ptr<const PreparedTrace>>
+SweepSession::prepared(const TraceHash &trace)
+{
+    // The lock is held across preparation, mirroring the registry's
+    // intern discipline: concurrent requests for the same trace wait
+    // for one build instead of duplicating it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = prepared_.find(trace);
+    if (it != prepared_.end())
+        return it->second.prepared;
+    TraceHandle handle = registry_.lookup(trace);
+    if (!handle.valid()) {
+        return BPSIM_ERROR("trace ", trace.hex(),
+                           " is not interned in this session (and "
+                           "the result cache cannot answer)");
+    }
+    auto prep =
+        std::make_shared<const PreparedTrace>(*handle.trace);
+    prepared_.emplace(trace,
+                      PreparedEntry{prep, handle.trace});
+    return prep;
+}
+
+Result<SweepResponse>
+SweepSession::sweep(const SweepRequest &request)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const CacheKey key = cacheKey(request);
+
+    if (!request.bypassCache) {
+        bool from_disk = false;
+        std::optional<CachedSweep> hit =
+            cache_.lookup(key, &from_disk);
+        if (hit) {
+            // Rehydrate: cached surfaces carry their full names, so
+            // the hit is byte-identical to the original result.
+            // Kernel telemetry stays zeroed -- nothing executed.
+            SweepResponse response(SweepResult("", ""));
+            response.result.misprediction = hit->misprediction;
+            response.result.aliasing = hit->aliasing;
+            response.result.harmless = hit->harmless;
+            response.result.bhtMissRate = hit->bhtMissRate;
+            response.cacheHit = true;
+            response.diskHit = from_disk;
+            response.seconds = secondsSince(start);
+            return response;
+        }
+    }
+
+    Result<std::shared_ptr<const PreparedTrace>> prep =
+        prepared(request.trace);
+    if (!prep.ok())
+        return prep.error();
+
+    SweepResponse response(
+        sweepScheme(*prep.value(), request.kind, request.options));
+    if (!request.bypassCache) {
+        CachedSweep payload{response.result.misprediction,
+                            response.result.aliasing,
+                            response.result.harmless,
+                            response.result.bhtMissRate};
+        // Disk-store failures are counted in cache().stats() but do
+        // not fail the sweep: the result in hand is correct.
+        static_cast<void>(cache_.store(key, payload));
+    }
+    response.seconds = secondsSince(start);
+    return response;
+}
+
+Result<ConfigResult>
+SweepSession::point(const TraceHash &trace, SchemeKind kind,
+                    unsigned row_bits, unsigned col_bits,
+                    const SweepOptions &opts)
+{
+    Result<std::shared_ptr<const PreparedTrace>> prep =
+        prepared(trace);
+    if (!prep.ok())
+        return prep.error();
+    return simulateConfig(*prep.value(), kind, row_bits, col_bits,
+                          opts);
+}
+
+Result<std::vector<BestConfigRow>>
+SweepSession::bestConfigs(const TraceHash &trace,
+                          const Table3Options &opts)
+{
+    const std::vector<Table3SchemeSpec> plan = table3Plan(opts);
+
+    std::vector<std::optional<SweepResponse>> sweeps(plan.size());
+    std::vector<Status> statuses(plan.size());
+    const unsigned threads = ThreadPool::resolveThreads(opts.threads);
+    auto run_one = [&](std::size_t i) {
+        Result<SweepResponse> r = sweep(
+            SweepRequest{trace, plan[i].kind, plan[i].options});
+        if (r.ok())
+            sweeps[i] = std::move(r).value();
+        else
+            statuses[i] = r.error();
+    };
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            run_one(i);
+    } else {
+        ThreadPool::shared().parallelFor(plan.size(), threads,
+                                         run_one);
+    }
+
+    std::vector<BestConfigRow> rows;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (!statuses[i].ok())
+            return statuses[i].error();
+        rows.push_back(bestConfigRowFromSweep(
+            plan[i], sweeps[i]->result, opts.budgetBits));
+    }
+    return rows;
+}
+
+} // namespace bpsim

@@ -1,0 +1,144 @@
+#include "trace/trace_hash.hh"
+
+#include <cstdio>
+
+namespace bpsim {
+
+namespace {
+
+/**
+ * splitmix64 finalizer: the standard 64-bit avalanche permutation.
+ * Chained over two independently-offset lanes it gives the 128-bit
+ * digest far more collision headroom than the ~2^32 birthday bound a
+ * single 64-bit lane would offer.
+ */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+constexpr std::uint64_t kLaneAOffset = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kLaneBOffset = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kLaneBPrime = 0x165667B19E3779F9ULL;
+
+} // namespace
+
+std::string
+TraceHash::hex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+Result<TraceHash>
+TraceHash::parse(const std::string &text)
+{
+    if (text.size() != 32)
+        return BPSIM_ERROR("trace hash must be 32 hex digits, got ",
+                           text.size(), " characters");
+    TraceHash out;
+    for (int half = 0; half < 2; ++half) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 16; ++i) {
+            const char c = text[static_cast<std::size_t>(half * 16 + i)];
+            std::uint64_t digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<std::uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<std::uint64_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<std::uint64_t>(c - 'A' + 10);
+            else
+                return BPSIM_ERROR("invalid hex digit '", c,
+                                   "' in trace hash '", text, "'");
+            v = (v << 4) | digit;
+        }
+        (half == 0 ? out.hi : out.lo) = v;
+    }
+    return out;
+}
+
+HashStream::HashStream(const std::string &domain)
+    : a_(kLaneAOffset), b_(kLaneBOffset)
+{
+    str(domain);
+}
+
+void
+HashStream::absorb(std::uint64_t v)
+{
+    a_ = mix64(a_ ^ v);
+    b_ = mix64(b_ + v * kLaneBPrime);
+    ++words_;
+}
+
+void
+HashStream::f64(double v)
+{
+    if (v == 0.0)
+        v = 0.0; // collapse -0.0 and +0.0 to one bit pattern
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    absorb(bits);
+}
+
+void
+HashStream::str(const std::string &s)
+{
+    absorb(s.size());
+    // Pack bytes little-endian into words so the digest never depends
+    // on host byte order.
+    std::uint64_t word = 0;
+    unsigned filled = 0;
+    for (unsigned char c : s) {
+        word |= static_cast<std::uint64_t>(c) << (8 * filled);
+        if (++filled == 8) {
+            absorb(word);
+            word = 0;
+            filled = 0;
+        }
+    }
+    if (filled > 0)
+        absorb(word);
+}
+
+TraceHash
+HashStream::digest() const
+{
+    // Fold the word count in so absorbing a trailing zero changes the
+    // digest, then cross-mix the lanes.
+    const std::uint64_t a = mix64(a_ ^ words_);
+    const std::uint64_t b = mix64(b_ + words_);
+    return TraceHash{mix64(a + b), mix64(a ^ (b << 1 | b >> 63))};
+}
+
+TraceHash
+traceHash(const MemoryTrace &trace)
+{
+    HashStream h("bpsim.trace.content.v1");
+    h.u64(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const BranchRecord &rec = trace[i];
+        h.u64(rec.pc);
+        h.u64(rec.target);
+        h.u32(rec.instGap);
+        // Same packing as the .bpt flags byte (trace_io.hh): type in
+        // bits [1:0], taken in bit 2, kernel in bit 3.
+        h.u8(static_cast<std::uint8_t>(
+            static_cast<unsigned>(rec.type) |
+            (rec.taken ? 1u << 2 : 0u) | (rec.kernel ? 1u << 3 : 0u)));
+    }
+    return h.digest();
+}
+
+} // namespace bpsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Canonical content hashing for branch traces.
+ *
+ * The session-oriented engine core (DESIGN.md "Session core") keys
+ * everything -- interned traces, persistent sweep results -- by a
+ * 128-bit content hash.  Two requirements shape the implementation:
+ *
+ *  - **Endianness stability.**  The hash is defined over the logical
+ *    field values of each record (pc, target, instGap, flags), fed to
+ *    the mixer as integers, never over raw struct memory.  The same
+ *    trace therefore hashes identically on any host, and a .bpt file
+ *    converted on a big-endian machine interns to the same key.
+ *
+ *  - **Pinned stability over time.**  A silent change to the hash
+ *    function would split the persistent result cache: every old entry
+ *    would miss and be recomputed under a new key, wasting the cache
+ *    without ever producing a wrong answer -- expensive and invisible.
+ *    tests/test_trace_hash.cc commits golden hash values for the seed
+ *    profiles so an accidental change fails tier-1 instead.
+ *
+ * Synthetic traces additionally get a *generator key*: a hash over the
+ * WorkloadParams that produce them (workload/trace_key.hh).  Generation
+ * is deterministic, so the generator key identifies the trace content
+ * without materializing it; the two key spaces carry distinct domain
+ * tags and cannot collide with each other.
+ */
+
+#ifndef BPSIM_TRACE_TRACE_HASH_HH
+#define BPSIM_TRACE_TRACE_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hh"
+#include "trace/memory_trace.hh"
+
+namespace bpsim {
+
+/** A 128-bit content digest; the key of the trace/result registries. */
+struct TraceHash
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool
+    operator==(const TraceHash &other) const
+    {
+        return hi == other.hi && lo == other.lo;
+    }
+    bool operator!=(const TraceHash &other) const
+    {
+        return !(*this == other);
+    }
+    bool
+    operator<(const TraceHash &other) const
+    {
+        return hi != other.hi ? hi < other.hi : lo < other.lo;
+    }
+
+    /** True for the default-constructed (never-assigned) hash. */
+    bool isNull() const { return hi == 0 && lo == 0; }
+
+    /** 32 lowercase hex digits, hi half first. */
+    std::string hex() const;
+
+    /** Parse the hex() rendering back; errors on malformed input. */
+    static Result<TraceHash> parse(const std::string &text);
+};
+
+/**
+ * Streaming 128-bit mixer behind every hash in the registry/cache
+ * stack.  Inputs are absorbed as integer values (strings as explicit
+ * little-endian byte packing), so digests are independent of host
+ * endianness and struct layout.  Not cryptographic: the threat model
+ * is accidental collision/corruption, not an adversary.
+ */
+class HashStream
+{
+  public:
+    /** @param domain tag separating key spaces (content vs generator). */
+    explicit HashStream(const std::string &domain);
+
+    void u8(std::uint8_t v) { absorb(v); }
+    void u32(std::uint32_t v) { absorb(v); }
+    void u64(std::uint64_t v) { absorb(v); }
+    /** Doubles hash by bit pattern; -0.0 normalizes to 0.0. */
+    void f64(double v);
+    /** Length-prefixed, so "ab"+"c" never collides with "a"+"bc". */
+    void str(const std::string &s);
+
+    /** Digest of everything absorbed so far (absorbing may continue). */
+    TraceHash digest() const;
+
+  private:
+    void absorb(std::uint64_t v);
+
+    std::uint64_t a_;
+    std::uint64_t b_;
+    std::uint64_t words_ = 0;
+};
+
+/**
+ * Content hash of a materialised trace: every record's (pc, target,
+ * instGap, type, taken, kernel), in order, plus the record count.  The
+ * trace *name* is deliberately excluded -- identical content under two
+ * names is the same trace.
+ */
+TraceHash traceHash(const MemoryTrace &trace);
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_HASH_HH

@@ -1,0 +1,102 @@
+#include "trace/trace_registry.hh"
+
+#include "trace/trace_io.hh"
+
+namespace bpsim {
+
+TraceHandle
+TraceRegistry::internTrace(MemoryTrace trace)
+{
+    const TraceHash hash = traceHash(trace);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = traces_.find(hash);
+    if (it != traces_.end()) {
+        ++hits_;
+        return TraceHandle{hash, it->second};
+    }
+    ++misses_;
+    auto shared =
+        std::make_shared<const MemoryTrace>(std::move(trace));
+    traces_.emplace(hash, shared);
+    return TraceHandle{hash, std::move(shared)};
+}
+
+TraceHandle
+TraceRegistry::internSynthetic(
+    const TraceHash &key,
+    const std::function<MemoryTrace()> &generate)
+{
+    // The lock is held across generation: a second intern of the same
+    // key must wait rather than generate the same bytes again.  Sweep
+    // execution never runs under this lock, so the serialisation cost
+    // is one trace build per distinct key per session.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = traces_.find(key);
+    if (it != traces_.end()) {
+        ++hits_;
+        return TraceHandle{key, it->second};
+    }
+    ++misses_;
+    auto shared = std::make_shared<const MemoryTrace>(generate());
+    traces_.emplace(key, shared);
+    return TraceHandle{key, std::move(shared)};
+}
+
+Result<TraceHandle>
+TraceRegistry::internFile(const std::string &path)
+{
+    Result<MemoryTrace> loaded = loadTrace(path);
+    if (!loaded.ok())
+        return loaded.error();
+    return internTrace(std::move(loaded).value());
+}
+
+TraceHandle
+TraceRegistry::lookup(const TraceHash &hash) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = traces_.find(hash);
+    if (it == traces_.end())
+        return TraceHandle{};
+    return TraceHandle{hash, it->second};
+}
+
+bool
+TraceRegistry::evict(const TraceHash &hash)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return traces_.erase(hash) > 0;
+}
+
+std::size_t
+TraceRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return traces_.size();
+}
+
+std::uint64_t
+TraceRegistry::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+TraceRegistry::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::uint64_t
+TraceRegistry::residentRecords() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &entry : traces_)
+        total += entry.second->size();
+    return total;
+}
+
+} // namespace bpsim

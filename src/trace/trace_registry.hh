@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Content-addressed trace interning.
+ *
+ * The sweep engine's unit of sharing is the trace: one interned trace
+ * feeds hundreds of sweep requests, and the persistent result cache
+ * (src/cache/) keys every stored sweep by the trace's content hash.
+ * TraceRegistry is the single owner of materialised traces in a
+ * session: clients intern a trace once (by content, by file, or by a
+ * synthetic generator key) and pass the returned TraceHandle around.
+ *
+ * Synthetic traces are the important case: generation is deterministic
+ * from WorkloadParams, so their registry key is a hash of the
+ * *generating parameters* (workload/trace_key.hh), computed without
+ * materializing the trace.  A repeated intern of the same profile is a
+ * pure map lookup -- the trace bytes are produced exactly once per
+ * session, which is what makes repeated sweeps over the config lattice
+ * cheap even before the result cache kicks in.
+ *
+ * Interned traces are immutable and shared (shared_ptr<const
+ * MemoryTrace>); replaying one through the online predictors goes
+ * through TraceView, which carries its own cursor so concurrent
+ * replays never interfere.  All registry operations are thread-safe.
+ */
+
+#ifndef BPSIM_TRACE_TRACE_REGISTRY_HH
+#define BPSIM_TRACE_TRACE_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/error.hh"
+#include "trace/memory_trace.hh"
+#include "trace/trace_hash.hh"
+
+namespace bpsim {
+
+/** An interned trace: its registry key plus shared read-only bytes. */
+struct TraceHandle
+{
+    TraceHash hash;
+    std::shared_ptr<const MemoryTrace> trace;
+
+    bool valid() const { return trace != nullptr; }
+};
+
+/**
+ * Read-only TraceSource over an interned trace.  Owns nothing but a
+ * cursor, so any number of views can replay the same shared trace
+ * concurrently (MemoryTrace's own TraceSource interface mutates an
+ * embedded cursor and therefore cannot be shared).
+ */
+class TraceView : public TraceSource
+{
+  public:
+    explicit TraceView(std::shared_ptr<const MemoryTrace> trace)
+        : trace_(std::move(trace))
+    {
+    }
+    explicit TraceView(const TraceHandle &handle)
+        : TraceView(handle.trace)
+    {
+    }
+
+    bool
+    next(BranchRecord &out) override
+    {
+        if (cursor_ >= trace_->size())
+            return false;
+        out = (*trace_)[cursor_++];
+        return true;
+    }
+    void reset() override { cursor_ = 0; }
+    const std::string &name() const override { return trace_->name(); }
+
+  private:
+    std::shared_ptr<const MemoryTrace> trace_;
+    std::size_t cursor_ = 0;
+};
+
+/** Content-addressed store of immutable traces. */
+class TraceRegistry
+{
+  public:
+    TraceRegistry() = default;
+    TraceRegistry(const TraceRegistry &) = delete;
+    TraceRegistry &operator=(const TraceRegistry &) = delete;
+
+    /**
+     * Intern @p trace by content hash.  When the hash is already
+     * present the existing trace is returned and @p trace is dropped
+     * (content equality is implied by key equality).
+     */
+    TraceHandle internTrace(MemoryTrace trace);
+
+    /**
+     * Intern the trace a deterministic generator produces, keyed by
+     * @p key (a generator-domain hash, see workload/trace_key.hh).
+     * @p generate runs only on a registry miss -- the reproducibility
+     * contract is that equal keys imply byte-identical generated
+     * traces, so the bytes are never materialised twice.
+     */
+    TraceHandle internSynthetic(const TraceHash &key,
+                                const std::function<MemoryTrace()>
+                                    &generate);
+
+    /** Load a .bpt file and intern it by content hash. */
+    Result<TraceHandle> internFile(const std::string &path);
+
+    /** Look up an interned trace; !valid() handle when absent. */
+    TraceHandle lookup(const TraceHash &hash) const;
+
+    /**
+     * Drop the registry's reference to @p hash.  Live TraceHandles
+     * keep the bytes alive; later interns regenerate.  @return whether
+     * an entry was removed.
+     */
+    bool evict(const TraceHash &hash);
+
+    /** Interned trace count. */
+    std::size_t size() const;
+    /** Interns that found an existing entry. */
+    std::uint64_t hits() const;
+    /** Interns that had to materialise (generate/load/hash) a trace. */
+    std::uint64_t misses() const;
+    /** Total records across resident traces (memory telemetry). */
+    std::uint64_t residentRecords() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<TraceHash, std::shared_ptr<const MemoryTrace>> traces_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_REGISTRY_HH

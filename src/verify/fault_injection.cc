@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/result_cache.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "trace/trace_io.hh"
@@ -191,6 +192,100 @@ fuzzTraceImage(const std::string &image, std::uint64_t seed,
         attempt(mutant, /*must_error=*/false, "payload bit flip",
                 report);
     }
+
+    return report;
+}
+
+namespace {
+
+/** Fixed .bpc header: magic, format, total length, checksum. */
+constexpr std::size_t bpcHeaderBytes = 4 + 4 + 8 + 8 + 8;
+
+/** One .bpc mutation attempt; every .bpc mutation is must-error. */
+void
+attemptBpc(const std::string &image, const std::string &what,
+           CorruptionReport &report)
+{
+    Status st = tryLoadBpcImage(image);
+    ++report.mustErrorMutations;
+    if (!st.ok()) {
+        ++report.structuredErrors;
+    } else {
+        report.violations.push_back(
+            what + ": loaded cleanly, expected a structured error");
+    }
+}
+
+} // namespace
+
+Status
+tryLoadBpcImage(const std::string &image)
+{
+    MemoryByteStream stream(image);
+    Result<BpcImage> parsed = readBpc(stream);
+    if (!parsed.ok())
+        return parsed.error();
+    return Status();
+}
+
+CorruptionReport
+fuzzBpcImage(const std::string &image, std::uint64_t seed,
+             std::size_t truncations, std::size_t bodyFlips)
+{
+    CorruptionReport report;
+    Status pristine = tryLoadBpcImage(image);
+    if (!pristine.ok()) {
+        report.violations.push_back(
+            "pristine image failed to load: " +
+            pristine.error().message());
+        return report;
+    }
+
+    // Header flips: magic and format are compared exactly, the total
+    // length is reconciled with the real stream size, and a flipped
+    // checksum no longer matches the body.
+    std::size_t header = std::min(bpcHeaderBytes, image.size());
+    for (std::size_t byte = 0; byte < header; ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutant = image;
+            mutant[byte] =
+                static_cast<char>(mutant[byte] ^ (1 << bit));
+            attemptBpc(mutant,
+                       detail::concat("bpc header bit flip at byte ",
+                                      byte, " bit ", bit),
+                       report);
+        }
+    }
+
+    Pcg32 rng(seed);
+    for (std::size_t i = 0; i < truncations && image.size() > 1; ++i) {
+        auto keep = static_cast<std::size_t>(rng.nextBounded(
+            static_cast<std::uint32_t>(image.size())));
+        attemptBpc(image.substr(0, keep),
+                   detail::concat("bpc truncation to ", keep,
+                                  " bytes"),
+                   report);
+    }
+
+    // Body flips are must-error too: the body is covered by the
+    // header checksum, so a tampered result can never be served.
+    for (std::size_t i = 0;
+         i < bodyFlips && image.size() > bpcHeaderBytes; ++i) {
+        auto span =
+            static_cast<std::uint32_t>(image.size() - bpcHeaderBytes);
+        std::size_t byte = bpcHeaderBytes + rng.nextBounded(span);
+        int bit = static_cast<int>(rng.nextBounded(8));
+        std::string mutant = image;
+        mutant[byte] =
+            static_cast<char>(mutant[byte] ^ (1 << bit));
+        attemptBpc(mutant,
+                   detail::concat("bpc body bit flip at byte ", byte,
+                                  " bit ", bit),
+                   report);
+    }
+
+    // Appending anything breaks the declared-length reconciliation.
+    attemptBpc(image + '\0', "bpc trailing garbage", report);
 
     return report;
 }

@@ -130,6 +130,26 @@ CorruptionReport fuzzTraceImage(const std::string &image,
                                 std::size_t truncations,
                                 std::size_t payloadFlips);
 
+/**
+ * Attempt a full parse of a .bpc result-cache image from memory.
+ * Success only when the image is completely well-formed.
+ */
+Status tryLoadBpcImage(const std::string &image);
+
+/**
+ * Seeded corruption campaign over a valid .bpc @p image.  Unlike
+ * .bpt payloads, the .bpc body is checksummed, so EVERY mutation is
+ * must-error: all single-bit flips of the fixed header, @p
+ * truncations random truncated prefixes, @p bodyFlips random
+ * single-bit body flips, and one trailing-garbage append.  A cache
+ * entry that parses after tampering would silently become a wrong
+ * sweep result; this campaign pins that to impossible.
+ */
+CorruptionReport fuzzBpcImage(const std::string &image,
+                              std::uint64_t seed,
+                              std::size_t truncations,
+                              std::size_t bodyFlips);
+
 } // namespace bpsim::verify
 
 #endif // BPSIM_VERIFY_FAULT_INJECTION_HH

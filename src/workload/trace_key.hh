@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Generator keys for synthetic traces.
+ *
+ * Trace generation is deterministic: a WorkloadParams value fully
+ * determines the produced record stream (builder.hh).  The registry
+ * can therefore key a synthetic trace by a hash of its generating
+ * parameters -- reproducible across sessions and hosts without ever
+ * materializing the bytes -- instead of hashing two million records.
+ *
+ * The key lives in its own hash domain ("bpsim.trace.synthetic.v1"),
+ * disjoint from the content-hash domain, so a generator key can never
+ * collide with a content hash.  Adding a field to WorkloadParams that
+ * changes generated traces requires bumping the domain version here;
+ * the golden values in tests/test_trace_hash.cc turn a forgotten bump
+ * into a tier-1 failure.
+ */
+
+#ifndef BPSIM_WORKLOAD_TRACE_KEY_HH
+#define BPSIM_WORKLOAD_TRACE_KEY_HH
+
+#include <string>
+
+#include "common/error.hh"
+#include "trace/trace_hash.hh"
+#include "trace/trace_registry.hh"
+#include "workload/builder.hh"
+
+namespace bpsim {
+
+/** Registry key of the trace @p params generates. */
+TraceHash syntheticTraceKey(const WorkloadParams &params);
+
+/**
+ * Registry key of a named profile's trace at @p target_conditionals
+ * (0 = profile default).  Errors on unknown profile names.
+ */
+Result<TraceHash> profileTraceKey(const std::string &profile,
+                                  std::uint64_t target_conditionals = 0);
+
+/**
+ * Intern a named profile's trace: compute the generator key, then
+ * generate only when the registry has no entry for it.  Errors on
+ * unknown profile names.
+ */
+Result<TraceHandle> internProfile(TraceRegistry &registry,
+                                  const std::string &profile,
+                                  std::uint64_t target_conditionals = 0);
+
+/** Intern the trace @p params generates (same key discipline). */
+TraceHandle internParams(TraceRegistry &registry,
+                         const WorkloadParams &params);
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_TRACE_KEY_HH

@@ -159,3 +159,53 @@ TEST(Config, MalformedBoolIsAnError)
     EXPECT_NE(r.error().message().find("not a boolean"),
               std::string::npos);
 }
+
+TEST(Config, CanonicalKeyIsOrderInsensitive)
+{
+    // The satellite contract of the result cache: two differently
+    // ordered spellings of the same options produce ONE key.
+    Config a = Config::parseTokens(
+        {"min=4", "max=15", "alias=1", "bht=1024"});
+    Config b = Config::parseTokens(
+        {"bht=1024", "alias=1", "max=15", "min=4"});
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+    EXPECT_EQ(a.canonicalKey(), "alias=1;bht=1024;max=15;min=4");
+}
+
+TEST(Config, CanonicalKeyNormalizesNumericSpellings)
+{
+    Config a = Config::parseTokens({"n=16", "x=1.5", "flag=1"});
+    Config b =
+        Config::parseTokens({"n=0x10", "x=1.50", "flag=yes"});
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+
+    // Integer spellings follow tryInt (strtoll base 0): 016 is
+    // octal, exactly as the option would parse at the CLI.
+    Config c = Config::parseTokens({"n=016"});
+    EXPECT_EQ(c.canonicalKey(), "n=14");
+    Config d = Config::parseTokens({"b=true", "c=off", "d=no"});
+    EXPECT_EQ(d.canonicalKey(), "b=1;c=0;d=0");
+}
+
+TEST(Config, CanonicalKeyDistinguishesDifferentValues)
+{
+    EXPECT_NE(Config::parseTokens({"n=16"}).canonicalKey(),
+              Config::parseTokens({"n=17"}).canonicalKey());
+    EXPECT_NE(Config::parseTokens({"x=1.5"}).canonicalKey(),
+              Config::parseTokens({"x=1.25"}).canonicalKey());
+    EXPECT_NE(Config::parseTokens({"a=1"}).canonicalKey(),
+              Config::parseTokens({"b=1"}).canonicalKey());
+}
+
+TEST(Config, CanonicalKeyKeepsNonNumericStringsVerbatim)
+{
+    Config cfg = Config::parseTokens(
+        {"profile=espresso", "out=/tmp/x.bpt"});
+    EXPECT_EQ(cfg.canonicalKey(),
+              "out=/tmp/x.bpt;profile=espresso");
+    // Positionals are excluded.
+    Config with_pos =
+        Config::parseTokens({"run", "profile=espresso"});
+    EXPECT_EQ(with_pos.canonicalKey(), "profile=espresso");
+    EXPECT_EQ(Config::parseTokens({}).canonicalKey(), "");
+}

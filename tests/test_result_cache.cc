@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the persistent sweep-result cache: key canonicalisation,
+ * .bpc round-trips with bit-exact doubles, disk persistence across
+ * cache instances, and the degrade-to-recompute contract for corrupt
+ * or mismatched files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "cache/result_cache.hh"
+
+using namespace bpsim;
+
+namespace {
+
+CacheKey
+sampleKey(std::uint32_t version = 1)
+{
+    return CacheKey{TraceHash{0x1111222233334444ULL,
+                              0x5555666677778888ULL},
+                    "gshare", "alias=1;max=15;min=4", version};
+}
+
+CachedSweep
+samplePayload()
+{
+    CachedSweep sweep;
+    sweep.misprediction = Surface("gshare misprediction: t");
+    sweep.aliasing = Surface("gshare aliasing: t");
+    sweep.harmless = Surface("gshare harmless-alias fraction: t");
+    // Values chosen to stress bit-exactness: subnormal-ish, exact
+    // thirds, negatives.
+    sweep.misprediction.add(4, 0, 4, 0.12345678901234567);
+    sweep.misprediction.add(4, 1, 3, 1.0 / 3.0);
+    sweep.misprediction.add(5, 2, 3, 5e-324);
+    sweep.aliasing.add(4, 0, 4, 0.25);
+    sweep.harmless.add(4, 0, 4, -0.125);
+    sweep.bhtMissRate = 0.0625;
+    return sweep;
+}
+
+void
+expectSurfaceIdentical(const Surface &a, const Surface &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.tiers().size(), b.tiers().size());
+    for (std::size_t t = 0; t < a.tiers().size(); ++t) {
+        const SurfaceTier &ta = a.tiers()[t];
+        const SurfaceTier &tb = b.tiers()[t];
+        EXPECT_EQ(ta.totalBits, tb.totalBits);
+        ASSERT_EQ(ta.points.size(), tb.points.size());
+        for (std::size_t p = 0; p < ta.points.size(); ++p) {
+            EXPECT_EQ(ta.points[p].rowBits, tb.points[p].rowBits);
+            EXPECT_EQ(ta.points[p].colBits, tb.points[p].colBits);
+            // Bit-exact, not approximately equal.
+            EXPECT_EQ(std::memcmp(&ta.points[p].value,
+                                  &tb.points[p].value,
+                                  sizeof(double)),
+                      0);
+        }
+    }
+}
+
+void
+expectPayloadIdentical(const CachedSweep &a, const CachedSweep &b)
+{
+    expectSurfaceIdentical(a.misprediction, b.misprediction);
+    expectSurfaceIdentical(a.aliasing, b.aliasing);
+    expectSurfaceIdentical(a.harmless, b.harmless);
+    EXPECT_EQ(
+        std::memcmp(&a.bhtMissRate, &b.bhtMissRate, sizeof(double)),
+        0);
+}
+
+std::string
+tempCacheDir(const char *leaf)
+{
+    std::string dir = ::testing::TempDir() + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(CacheKey, CanonicalCoversEveryField)
+{
+    CacheKey base = sampleKey();
+    EXPECT_NE(base.canonical().find("gshare"), std::string::npos);
+    EXPECT_NE(base.canonical().find(base.trace.hex()),
+              std::string::npos);
+
+    CacheKey other = base;
+    other.engineVersion = 2;
+    EXPECT_NE(base.canonical(), other.canonical());
+    EXPECT_NE(base.digest(), other.digest());
+    other = base;
+    other.scheme = "GAs";
+    EXPECT_NE(base.digest(), other.digest());
+    other = base;
+    other.configKey = "alias=0;max=15;min=4";
+    EXPECT_NE(base.digest(), other.digest());
+    other = base;
+    other.trace.lo ^= 1;
+    EXPECT_NE(base.digest(), other.digest());
+    EXPECT_TRUE(base == sampleKey());
+    EXPECT_TRUE(base != other);
+}
+
+TEST(Bpc, RoundTripsBitExactly)
+{
+    MemoryByteStream stream;
+    ASSERT_TRUE(writeBpc(stream, sampleKey(), samplePayload()).ok());
+    ASSERT_TRUE(stream.seek(0));
+    auto image = readBpc(stream);
+    ASSERT_TRUE(image.ok());
+    EXPECT_TRUE(image.value().key == sampleKey());
+    expectPayloadIdentical(image.value().payload, samplePayload());
+}
+
+TEST(Bpc, EmptySurfacesRoundTrip)
+{
+    CachedSweep empty;
+    MemoryByteStream stream;
+    ASSERT_TRUE(writeBpc(stream, sampleKey(), empty).ok());
+    ASSERT_TRUE(stream.seek(0));
+    auto image = readBpc(stream);
+    ASSERT_TRUE(image.ok());
+    expectPayloadIdentical(image.value().payload, empty);
+}
+
+TEST(Bpc, RejectsGarbageAndTruncation)
+{
+    MemoryByteStream garbage("not a cache file at all");
+    EXPECT_FALSE(readBpc(garbage).ok());
+
+    MemoryByteStream empty;
+    EXPECT_FALSE(readBpc(empty).ok());
+
+    MemoryByteStream stream;
+    ASSERT_TRUE(writeBpc(stream, sampleKey(), samplePayload()).ok());
+    const std::string image = stream.bytes();
+    for (std::size_t keep :
+         {std::size_t{0}, std::size_t{16}, std::size_t{31},
+          std::size_t{32}, image.size() - 1}) {
+        MemoryByteStream cut(image.substr(0, keep));
+        EXPECT_FALSE(readBpc(cut).ok()) << "kept " << keep;
+    }
+    MemoryByteStream padded(image + "x");
+    EXPECT_FALSE(readBpc(padded).ok());
+}
+
+TEST(ResultCache, MemoryOnlyHitAndMiss)
+{
+    ResultCache cache;
+    EXPECT_EQ(cache.filePath(sampleKey()), "");
+    EXPECT_FALSE(cache.lookup(sampleKey()).has_value());
+    ASSERT_TRUE(cache.store(sampleKey(), samplePayload()).ok());
+    bool from_disk = true;
+    auto hit = cache.lookup(sampleKey(), &from_disk);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(from_disk);
+    expectPayloadIdentical(*hit, samplePayload());
+
+    // A different engine version is a different entry.
+    EXPECT_FALSE(cache.lookup(sampleKey(2)).has_value());
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.memoryHits, 1u);
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits(), 1u);
+    EXPECT_EQ(cache.residentEntries(), 1u);
+}
+
+TEST(ResultCache, PersistsAcrossInstances)
+{
+    const std::string dir = tempCacheDir("bpsim_cache_persist");
+    {
+        ResultCache writer(dir);
+        ASSERT_TRUE(writer.store(sampleKey(), samplePayload()).ok());
+        EXPECT_TRUE(
+            std::filesystem::exists(writer.filePath(sampleKey())));
+    }
+    ResultCache reader(dir);
+    bool from_disk = false;
+    auto hit = reader.lookup(sampleKey(), &from_disk);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(from_disk);
+    expectPayloadIdentical(*hit, samplePayload());
+    // Promoted to memory: the second lookup is a memory hit.
+    ASSERT_TRUE(reader.lookup(sampleKey(), &from_disk).has_value());
+    EXPECT_FALSE(from_disk);
+    auto stats = reader.stats();
+    EXPECT_EQ(stats.diskHits, 1u);
+    EXPECT_EQ(stats.memoryHits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, CorruptFileDegradesToMiss)
+{
+    const std::string dir = tempCacheDir("bpsim_cache_corrupt");
+    ResultCache writer(dir);
+    ASSERT_TRUE(writer.store(sampleKey(), samplePayload()).ok());
+    const std::string path = writer.filePath(sampleKey());
+
+    // Flip one byte in the middle of the file.
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_GT(bytes.size(), 40u);
+    bytes[40] = static_cast<char>(bytes[40] ^ 0x20);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    ResultCache reader(dir);
+    EXPECT_FALSE(reader.lookup(sampleKey()).has_value());
+    auto stats = reader.stats();
+    EXPECT_EQ(stats.corrupt, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits(), 0u);
+
+    // Recompute-and-store repairs the entry in place.
+    ASSERT_TRUE(reader.store(sampleKey(), samplePayload()).ok());
+    ResultCache second(dir);
+    EXPECT_TRUE(second.lookup(sampleKey()).has_value());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, MismatchedKeyInFileIsAMiss)
+{
+    const std::string dir = tempCacheDir("bpsim_cache_mismatch");
+    ResultCache cache(dir);
+    // Write a VALID image for key B at key A's path: parses cleanly
+    // but must not be served for A (full-key revalidation).
+    CacheKey a = sampleKey();
+    CacheKey b = sampleKey();
+    b.scheme = "GAs";
+    {
+        auto stream = StdioFileStream::openWrite(cache.filePath(a));
+        ASSERT_TRUE(stream.ok());
+        ASSERT_TRUE(
+            writeBpc(*stream.value(), b, samplePayload()).ok());
+        ASSERT_TRUE(stream.value()->close());
+    }
+    EXPECT_FALSE(cache.lookup(a).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, EvictRemovesMemoryAndDisk)
+{
+    const std::string dir = tempCacheDir("bpsim_cache_evict");
+    ResultCache cache(dir);
+    ASSERT_TRUE(cache.store(sampleKey(), samplePayload()).ok());
+    const std::string path = cache.filePath(sampleKey());
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_TRUE(cache.evict(sampleKey()));
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_EQ(cache.residentEntries(), 0u);
+    EXPECT_FALSE(cache.lookup(sampleKey()).has_value());
+    EXPECT_FALSE(cache.evict(sampleKey()));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, UnwritableDirectoryCountsStoreFailures)
+{
+    // A path under a regular FILE cannot be created as a directory.
+    const std::string blocker =
+        ::testing::TempDir() + "bpsim_cache_blocker";
+    {
+        std::ofstream out(blocker);
+        out << "file";
+    }
+    ResultCache cache(blocker + "/sub");
+    Status st = cache.store(sampleKey(), samplePayload());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(cache.stats().storeFailures, 1u);
+    // The entry still serves from memory.
+    EXPECT_TRUE(cache.lookup(sampleKey()).has_value());
+    std::remove(blocker.c_str());
+}

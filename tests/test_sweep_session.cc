@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the SweepSession facade: cached results are bit-identical
+ * to recomputed ones (the differential contract that makes the result
+ * cache safe to use at all), disk-warm sessions serve without replay,
+ * bestConfigs matches the direct bestConfigTable path, and the cache
+ * key discipline separates what must be separated -- and nothing else.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "sim/experiment.hh"
+#include "sim/sweep_session.hh"
+#include "workload/synthetic.hh"
+
+using namespace bpsim;
+
+namespace {
+
+constexpr const char *kProfile = "espresso";
+constexpr std::uint64_t kBranches = 20000;
+
+SweepOptions
+smallSweep()
+{
+    SweepOptions opts;
+    opts.minTotalBits = 4;
+    opts.maxTotalBits = 8;
+    opts.trackAliasing = true;
+    return opts;
+}
+
+void
+expectSurfaceIdentical(const Surface &a, const Surface &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.tiers().size(), b.tiers().size());
+    for (std::size_t t = 0; t < a.tiers().size(); ++t) {
+        const SurfaceTier &ta = a.tiers()[t];
+        const SurfaceTier &tb = b.tiers()[t];
+        EXPECT_EQ(ta.totalBits, tb.totalBits);
+        ASSERT_EQ(ta.points.size(), tb.points.size());
+        for (std::size_t p = 0; p < ta.points.size(); ++p) {
+            EXPECT_EQ(ta.points[p].rowBits, tb.points[p].rowBits);
+            EXPECT_EQ(ta.points[p].colBits, tb.points[p].colBits);
+            EXPECT_EQ(std::memcmp(&ta.points[p].value,
+                                  &tb.points[p].value,
+                                  sizeof(double)),
+                      0)
+                << a.name() << " tier " << ta.totalBits << " point "
+                << p;
+        }
+    }
+}
+
+void
+expectResultIdentical(const SweepResult &a, const SweepResult &b)
+{
+    expectSurfaceIdentical(a.misprediction, b.misprediction);
+    expectSurfaceIdentical(a.aliasing, b.aliasing);
+    expectSurfaceIdentical(a.harmless, b.harmless);
+    EXPECT_EQ(
+        std::memcmp(&a.bhtMissRate, &b.bhtMissRate, sizeof(double)),
+        0);
+}
+
+std::string
+tempCacheDir(const char *leaf)
+{
+    std::string dir = ::testing::TempDir() + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(SweepSession, SweepMatchesDirectSweepScheme)
+{
+    SweepSession session;
+    auto handle = session.internProfile(kProfile, kBranches);
+    ASSERT_TRUE(handle.ok());
+    auto resp = session.sweep(SweepRequest{
+        handle.value().hash, SchemeKind::Gshare, smallSweep()});
+    ASSERT_TRUE(resp.ok());
+    EXPECT_FALSE(resp.value().cacheHit);
+
+    PreparedTrace direct(
+        generateProfileTrace(kProfile, kBranches));
+    SweepResult expected =
+        sweepScheme(direct, SchemeKind::Gshare, smallSweep());
+    expectResultIdentical(resp.value().result, expected);
+}
+
+TEST(SweepSession, CacheHitIsBitIdenticalToBypass)
+{
+    SweepSession session;
+    auto handle = session.internProfile(kProfile, kBranches);
+    ASSERT_TRUE(handle.ok());
+    const SweepRequest request{handle.value().hash,
+                               SchemeKind::PAsFinite, smallSweep()};
+
+    auto cold = session.sweep(request);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_FALSE(cold.value().cacheHit);
+
+    auto warm = session.sweep(request);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(warm.value().cacheHit);
+    EXPECT_FALSE(warm.value().diskHit);
+
+    SweepRequest bypass = request;
+    bypass.bypassCache = true;
+    auto recomputed = session.sweep(bypass);
+    ASSERT_TRUE(recomputed.ok());
+    EXPECT_FALSE(recomputed.value().cacheHit);
+
+    // The differential contract: hit == recompute, bit for bit.
+    expectResultIdentical(warm.value().result,
+                          recomputed.value().result);
+    expectResultIdentical(cold.value().result,
+                          warm.value().result);
+    // A hit reports no kernel execution.
+    EXPECT_EQ(warm.value().result.kernel.fusedGroups, 0u);
+    EXPECT_EQ(warm.value().result.kernel.fallbackJobs, 0u);
+}
+
+TEST(SweepSession, DiskWarmSessionServesWithoutTracePreparation)
+{
+    const std::string dir = tempCacheDir("bpsim_session_disk");
+    const SweepOptions opts = smallSweep();
+    SweepResult expected("", "");
+    TraceHash key;
+    {
+        SweepSession cold(dir);
+        auto handle = cold.internProfile(kProfile, kBranches);
+        ASSERT_TRUE(handle.ok());
+        key = handle.value().hash;
+        auto resp = cold.sweep(
+            SweepRequest{key, SchemeKind::GAs, opts});
+        ASSERT_TRUE(resp.ok());
+        expected = resp.value().result;
+    }
+
+    // New process simulation: nothing interned, same cache dir.  The
+    // sweep must be served purely from disk -- no trace generation,
+    // no preparation (an unknown trace key would otherwise error).
+    SweepSession warm(dir);
+    auto resp =
+        warm.sweep(SweepRequest{key, SchemeKind::GAs, opts});
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp.value().cacheHit);
+    EXPECT_TRUE(resp.value().diskHit);
+    expectResultIdentical(resp.value().result, expected);
+    EXPECT_EQ(warm.registry().size(), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepSession, UnknownTraceKeyIsAnError)
+{
+    SweepSession session;
+    auto resp = session.sweep(
+        SweepRequest{TraceHash{1, 2}, SchemeKind::GAs, smallSweep()});
+    ASSERT_FALSE(resp.ok());
+    EXPECT_NE(resp.error().message().find("not interned"),
+              std::string::npos);
+    EXPECT_FALSE(
+        session.point(TraceHash{1, 2}, SchemeKind::GAs, 2, 2).ok());
+    EXPECT_FALSE(session.bestConfigs(TraceHash{1, 2}).ok());
+}
+
+TEST(SweepSession, ConfigKeyExcludesExecutionKnobs)
+{
+    SweepOptions a = smallSweep();
+    SweepOptions b = smallSweep();
+    b.threads = 8;
+    b.fuseJobs = false;
+    b.simd = SimdTarget::Scalar;
+    // Execution knobs are bit-identical: same key, cache may serve.
+    EXPECT_EQ(SweepSession::cacheConfigKey(SchemeKind::Gshare, a),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare, b));
+
+    // Result-affecting knobs split the key.
+    SweepOptions c = smallSweep();
+    c.maxTotalBits = 9;
+    EXPECT_NE(SweepSession::cacheConfigKey(SchemeKind::Gshare, a),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare, c));
+    SweepOptions d = smallSweep();
+    d.trackAliasing = false;
+    EXPECT_NE(SweepSession::cacheConfigKey(SchemeKind::Gshare, a),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare, d));
+
+    // Per-scheme parameters only key the schemes that read them: a
+    // BHT knob must not split a gshare key, but must split PAs(BHT).
+    SweepOptions e = smallSweep();
+    e.bhtEntries = 128;
+    EXPECT_EQ(SweepSession::cacheConfigKey(SchemeKind::Gshare, a),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare, e));
+    EXPECT_NE(SweepSession::cacheConfigKey(SchemeKind::PAsFinite, a),
+              SweepSession::cacheConfigKey(SchemeKind::PAsFinite, e));
+    SweepOptions f = smallSweep();
+    f.pathBitsPerTarget = 4;
+    EXPECT_EQ(SweepSession::cacheConfigKey(SchemeKind::GAs, a),
+              SweepSession::cacheConfigKey(SchemeKind::GAs, f));
+    EXPECT_NE(SweepSession::cacheConfigKey(SchemeKind::Path, a),
+              SweepSession::cacheConfigKey(SchemeKind::Path, f));
+}
+
+TEST(SweepSession, PointMatchesSimulateConfig)
+{
+    SweepSession session;
+    auto handle = session.internProfile(kProfile, kBranches);
+    ASSERT_TRUE(handle.ok());
+    auto point = session.point(handle.value().hash,
+                               SchemeKind::Gshare, 3, 3);
+    ASSERT_TRUE(point.ok());
+
+    PreparedTrace direct(
+        generateProfileTrace(kProfile, kBranches));
+    ConfigResult expected =
+        simulateConfig(direct, SchemeKind::Gshare, 3, 3);
+    EXPECT_EQ(point.value().mispRate, expected.mispRate);
+    EXPECT_EQ(point.value().aliasRate, expected.aliasRate);
+    EXPECT_EQ(point.value().harmlessFraction,
+              expected.harmlessFraction);
+}
+
+TEST(SweepSession, BestConfigsMatchesBestConfigTable)
+{
+    Table3Options opts;
+    opts.budgetBits = {6, 8};
+    opts.bhtSizes = {256};
+
+    SweepSession session;
+    auto handle = session.internProfile(kProfile, kBranches);
+    ASSERT_TRUE(handle.ok());
+    auto rows = session.bestConfigs(handle.value().hash, opts);
+    ASSERT_TRUE(rows.ok());
+
+    PreparedTrace direct(
+        generateProfileTrace(kProfile, kBranches));
+    std::vector<BestConfigRow> expected =
+        bestConfigTable(direct, opts);
+
+    ASSERT_EQ(rows.value().size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const BestConfigRow &got = rows.value()[i];
+        const BestConfigRow &want = expected[i];
+        EXPECT_EQ(got.scheme, want.scheme);
+        EXPECT_EQ(got.bhtMissRate, want.bhtMissRate);
+        ASSERT_EQ(got.best.size(), want.best.size());
+        for (std::size_t b = 0; b < want.best.size(); ++b) {
+            ASSERT_EQ(got.best[b].has_value(),
+                      want.best[b].has_value());
+            if (!want.best[b])
+                continue;
+            EXPECT_EQ(got.best[b]->rowBits, want.best[b]->rowBits);
+            EXPECT_EQ(got.best[b]->colBits, want.best[b]->colBits);
+            EXPECT_EQ(got.best[b]->mispRate,
+                      want.best[b]->mispRate);
+        }
+    }
+
+    // Second call: every underlying scheme sweep is a cache hit.
+    auto before = session.cache().stats();
+    auto again = session.bestConfigs(handle.value().hash, opts);
+    ASSERT_TRUE(again.ok());
+    auto after = session.cache().stats();
+    EXPECT_EQ(after.misses, before.misses);
+    EXPECT_GE(after.memoryHits, before.memoryHits + 4);
+}
+
+TEST(SweepSession, RegistrySharesOneTraceAcrossRequests)
+{
+    SweepSession session;
+    auto a = session.internProfile(kProfile, kBranches);
+    auto b = session.internProfile(kProfile, kBranches);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().trace.get(), b.value().trace.get());
+    EXPECT_EQ(session.registry().size(), 1u);
+
+    // point() and sweep() share one PreparedTrace.
+    ASSERT_TRUE(session
+                    .point(a.value().hash, SchemeKind::Gshare, 2, 2)
+                    .ok());
+    auto prep1 = session.prepared(a.value().hash);
+    auto prep2 = session.prepared(b.value().hash);
+    ASSERT_TRUE(prep1.ok());
+    ASSERT_TRUE(prep2.ok());
+    EXPECT_EQ(prep1.value().get(), prep2.value().get());
+}

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the 128-bit content/generator hashing the session core
+ * keys everything by -- including the GOLDEN values that pin the hash
+ * functions in place.
+ *
+ * The golden tables below are load-bearing: the persistent result
+ * cache (.bpc files) and the trace registry key entries by these
+ * hashes, so an accidental change to the mixer, the absorption order,
+ * a WorkloadParams field list, or a domain tag would silently orphan
+ * every cached result (recompute-everything, never wrong answers --
+ * but expensive and invisible).  If a test here fails because you
+ * *intended* to change hashing or trace generation, bump the hash
+ * domain version (trace_hash.cc / trace_key.hh), bump kEngineVersion
+ * if replay results change too, and regenerate these constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_hash.hh"
+#include "workload/profiles.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace_key.hh"
+
+using namespace bpsim;
+
+namespace {
+
+MemoryTrace
+microTrace(const std::string &name = "micro")
+{
+    MemoryTrace trace(name);
+    BranchRecord r;
+    r.pc = 0x1000;
+    r.target = 0x2000;
+    r.instGap = 3;
+    r.type = BranchType::Conditional;
+    r.taken = true;
+    r.kernel = false;
+    trace.append(r);
+    r.pc = 0x1008;
+    r.target = 0x0ff8;
+    r.instGap = 0;
+    r.taken = false;
+    r.kernel = true;
+    trace.append(r);
+    return trace;
+}
+
+} // namespace
+
+TEST(TraceHash, HexRendersThirtyTwoDigitsHiFirst)
+{
+    TraceHash h{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+    EXPECT_EQ(h.hex(), "0123456789abcdeffedcba9876543210");
+    EXPECT_EQ(TraceHash{}.hex(), "00000000000000000000000000000000");
+}
+
+TEST(TraceHash, ParseRoundTripsAndRejectsMalformedInput)
+{
+    TraceHash h{0xdeadbeefcafebabeULL, 0x0102030405060708ULL};
+    auto back = TraceHash::parse(h.hex());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), h);
+
+    EXPECT_FALSE(TraceHash::parse("").ok());
+    EXPECT_FALSE(TraceHash::parse("123").ok());
+    EXPECT_FALSE(
+        TraceHash::parse("0123456789abcdeffedcba987654321").ok());
+    EXPECT_FALSE(
+        TraceHash::parse("0123456789abcdeffedcba9876543210ff").ok());
+    EXPECT_FALSE(
+        TraceHash::parse("g123456789abcdeffedcba9876543210").ok());
+}
+
+TEST(TraceHash, OrderingAndNullness)
+{
+    TraceHash a{1, 2}, b{1, 3}, c{2, 0};
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b < c);
+    EXPECT_FALSE(a.isNull());
+    EXPECT_TRUE(TraceHash{}.isNull());
+}
+
+TEST(HashStream, DomainTagsSeparateKeySpaces)
+{
+    HashStream a("domain.one");
+    HashStream b("domain.two");
+    a.u64(42);
+    b.u64(42);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashStream, InputOrderMatters)
+{
+    HashStream a("d");
+    HashStream b("d");
+    a.u64(1);
+    a.u64(2);
+    b.u64(2);
+    b.u64(1);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashStream, StringsAreLengthPrefixed)
+{
+    HashStream a("d");
+    HashStream b("d");
+    a.str("ab");
+    a.str("c");
+    b.str("a");
+    b.str("bc");
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashStream, NegativeZeroNormalizes)
+{
+    HashStream a("d");
+    HashStream b("d");
+    a.f64(0.0);
+    b.f64(-0.0);
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(TraceHash, ContentHashIgnoresTraceName)
+{
+    EXPECT_EQ(traceHash(microTrace("one")),
+              traceHash(microTrace("two")));
+}
+
+TEST(TraceHash, ContentHashSeesEveryRecordField)
+{
+    const TraceHash base = traceHash(microTrace());
+    {
+        MemoryTrace t = microTrace();
+        BranchRecord r;
+        r.pc = 0x42;
+        t.append(r); // extra record
+        EXPECT_NE(traceHash(t), base);
+    }
+    // One-field mutations of the second record.
+    auto mutated = [](auto fn) {
+        MemoryTrace t("micro");
+        BranchRecord r;
+        r.pc = 0x1000;
+        r.target = 0x2000;
+        r.instGap = 3;
+        r.taken = true;
+        t.append(r);
+        r.pc = 0x1008;
+        r.target = 0x0ff8;
+        r.instGap = 0;
+        r.taken = false;
+        r.kernel = true;
+        fn(r);
+        t.append(r);
+        return traceHash(t);
+    };
+    EXPECT_NE(mutated([](BranchRecord &r) { r.pc ^= 1; }), base);
+    EXPECT_NE(mutated([](BranchRecord &r) { r.target ^= 1; }), base);
+    EXPECT_NE(mutated([](BranchRecord &r) { r.instGap = 7; }), base);
+    EXPECT_NE(mutated([](BranchRecord &r) { r.taken = true; }), base);
+    EXPECT_NE(mutated([](BranchRecord &r) { r.kernel = false; }),
+              base);
+    EXPECT_NE(
+        mutated([](BranchRecord &r) { r.type = BranchType::Call; }),
+        base);
+}
+
+TEST(TraceHash, GeneratorAndContentDomainsAreDisjoint)
+{
+    // A generator key can never equal the content hash of the trace
+    // it generates (distinct domain tags).
+    WorkloadParams params = profileParams("espresso", 20000);
+    TraceHash gen = syntheticTraceKey(params);
+    TraceHash content = traceHash(generateTrace(params));
+    EXPECT_NE(gen, content);
+}
+
+TEST(TraceHash, GeneratorKeySeesTargetConditionals)
+{
+    EXPECT_NE(profileTraceKey("gcc", 10000).value(),
+              profileTraceKey("gcc", 20000).value());
+    EXPECT_NE(profileTraceKey("gcc").value(),
+              profileTraceKey("espresso").value());
+    EXPECT_FALSE(profileTraceKey("no_such_profile").ok());
+}
+
+// --- Golden values -----------------------------------------------------
+
+TEST(TraceHashGolden, MicroTraceContentHashIsPinned)
+{
+    EXPECT_EQ(traceHash(microTrace()).hex(),
+              "e46e3777c823808af53878f9f53f5197");
+}
+
+TEST(TraceHashGolden, SeedProfileGeneratorKeysArePinned)
+{
+    const std::pair<const char *, const char *> golden[] = {
+        {"compress", "93a111077dc1fd56a5b47034a24d8b67"},
+        {"eqntott", "3550f157258906ce99d819283a886da2"},
+        {"espresso", "c44620f720c3e45439b1b79d976fb4d5"},
+        {"gcc", "89e4b63199e04add626c017eff4895fb"},
+        {"xlisp", "3e5a0670c1f620a3f951656c8ff203a3"},
+        {"sc", "c8472afe33ea8aa177d14304c4ddf1b8"},
+        {"groff", "03ecf08da542d9e9fc9eaa5c2e97fa5c"},
+        {"gs", "09e64d1acd46ca4099405ed9b70acd4e"},
+        {"mpeg_play", "8e19c4e78911ad1a39ab6ffe73676e5e"},
+        {"nroff", "fbe79576899766c1a449807bd02331aa"},
+        {"real_gcc", "a701cf6d71671a7489d2bd64d1762770"},
+        {"sdet", "e7edeab1c727277b07802a5bfad61eea"},
+        {"verilog", "afc5428214d1b539c51da3e859282b75"},
+        {"video_play", "1e165587b6754bd948fff7a3dd5624cb"},
+    };
+    // Every profile is covered: a new profile must be added here.
+    EXPECT_EQ(std::size(golden), profileNames().size());
+    for (const auto &[profile, expected] : golden) {
+        auto key = profileTraceKey(profile);
+        ASSERT_TRUE(key.ok()) << profile;
+        EXPECT_EQ(key.value().hex(), expected) << profile;
+    }
+}
+
+TEST(TraceHashGolden, SeedProfileContentHashesArePinned)
+{
+    // Content hashes cover generation itself: a generator change
+    // that alters produced records fails here even if the parameter
+    // hashing above is untouched.  20k conditionals keeps this fast.
+    const std::tuple<const char *, const char *, std::size_t>
+        golden[] = {
+            {"espresso", "8e08a096b5310af1c2c704aa9df8a87c",
+             29340u},
+            {"gcc", "6ccdef1169919569bcdb1886afe5ca48", 25460u},
+            {"compress", "d32c677f3ea633024f6312341b537015",
+             23895u},
+        };
+    for (const auto &[profile, expected, records] : golden) {
+        MemoryTrace trace = generateProfileTrace(profile, 20000);
+        EXPECT_EQ(trace.size(), records) << profile;
+        EXPECT_EQ(traceHash(trace).hex(), expected) << profile;
+    }
+}

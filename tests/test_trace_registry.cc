@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the content-addressed trace registry: interning dedups by
+ * hash, synthetic generation runs once per key, TraceView replays a
+ * shared immutable trace without mutating it, and file interning
+ * round-trips through the .bpt format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_io.hh"
+#include "trace/trace_registry.hh"
+#include "workload/profiles.hh"
+#include "workload/trace_key.hh"
+
+using namespace bpsim;
+
+namespace {
+
+MemoryTrace
+smallTrace(const std::string &name, std::uint64_t salt = 0)
+{
+    MemoryTrace trace(name);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        BranchRecord r;
+        r.pc = 0x1000 + 8 * i + salt;
+        r.target = 0x2000 + 16 * i;
+        r.taken = (i & 1) != 0;
+        trace.append(r);
+    }
+    return trace;
+}
+
+} // namespace
+
+TEST(TraceRegistry, InternDedupsByContent)
+{
+    TraceRegistry registry;
+    TraceHandle a = registry.internTrace(smallTrace("first"));
+    // Same content under a different name: the name is excluded from
+    // the content hash, so this is the SAME trace.
+    TraceHandle b = registry.internTrace(smallTrace("second"));
+    ASSERT_TRUE(a.valid());
+    ASSERT_TRUE(b.valid());
+    EXPECT_EQ(a.hash, b.hash);
+    EXPECT_EQ(a.trace.get(), b.trace.get());
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.hits(), 1u);
+    EXPECT_EQ(registry.misses(), 1u);
+
+    TraceHandle c = registry.internTrace(smallTrace("salted", 1));
+    EXPECT_NE(c.hash, a.hash);
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.residentRecords(), 32u);
+}
+
+TEST(TraceRegistry, SyntheticGenerationRunsOncePerKey)
+{
+    TraceRegistry registry;
+    int generations = 0;
+    auto generate = [&generations]() {
+        ++generations;
+        return smallTrace("gen");
+    };
+    TraceHash key{7, 9};
+    TraceHandle a = registry.internSynthetic(key, generate);
+    TraceHandle b = registry.internSynthetic(key, generate);
+    EXPECT_EQ(generations, 1);
+    EXPECT_EQ(a.trace.get(), b.trace.get());
+    EXPECT_EQ(a.hash, key);
+    // A different key generates again.
+    registry.internSynthetic(TraceHash{7, 10}, generate);
+    EXPECT_EQ(generations, 2);
+}
+
+TEST(TraceRegistry, ProfileInterningIsKeyedWithoutGeneration)
+{
+    TraceRegistry registry;
+    auto a = internProfile(registry, "espresso", 20000);
+    ASSERT_TRUE(a.ok());
+    auto b = internProfile(registry, "espresso", 20000);
+    ASSERT_TRUE(b.ok());
+    // Second intern hits the generator key: same bytes, one copy.
+    EXPECT_EQ(a.value().trace.get(), b.value().trace.get());
+    EXPECT_EQ(registry.misses(), 1u);
+    EXPECT_EQ(registry.hits(), 1u);
+    EXPECT_EQ(a.value().hash,
+              profileTraceKey("espresso", 20000).value());
+
+    EXPECT_FALSE(internProfile(registry, "bogus").ok());
+}
+
+TEST(TraceRegistry, LookupAndEvict)
+{
+    TraceRegistry registry;
+    TraceHandle a = registry.internTrace(smallTrace("t"));
+    EXPECT_TRUE(registry.lookup(a.hash).valid());
+    EXPECT_FALSE(registry.lookup(TraceHash{1, 2}).valid());
+
+    EXPECT_TRUE(registry.evict(a.hash));
+    EXPECT_FALSE(registry.evict(a.hash));
+    EXPECT_FALSE(registry.lookup(a.hash).valid());
+    EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(TraceRegistry, TraceViewReplaysWithoutMutatingShared)
+{
+    TraceRegistry registry;
+    TraceHandle handle = registry.internTrace(smallTrace("view"));
+
+    // Two independent views over the same shared bytes.
+    TraceView v1(handle);
+    TraceView v2(handle);
+    BranchRecord r1, r2;
+    std::size_t n = 0;
+    while (v1.next(r1)) {
+        ASSERT_TRUE(v2.next(r2));
+        EXPECT_EQ(r1.pc, r2.pc);
+        EXPECT_EQ(r1.taken, r2.taken);
+        ++n;
+    }
+    EXPECT_EQ(n, handle.trace->size());
+    EXPECT_FALSE(v2.next(r2));
+
+    // reset() rewinds the view, not the trace.
+    v1.reset();
+    ASSERT_TRUE(v1.next(r1));
+    EXPECT_EQ(r1.pc, (*handle.trace)[0].pc);
+    EXPECT_EQ(v1.name(), handle.trace->name());
+}
+
+TEST(TraceRegistry, InternFileRoundTripsAndPropagatesErrors)
+{
+    const std::string path =
+        ::testing::TempDir() + "bpsim_registry_roundtrip.bpt";
+    MemoryTrace original = smallTrace("ondisk");
+    {
+        MemoryTrace copy = original;
+        auto saved = saveTrace(copy, path);
+        ASSERT_TRUE(saved.ok());
+    }
+
+    TraceRegistry registry;
+    auto loaded = registry.internFile(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().hash, traceHash(original));
+    EXPECT_EQ(loaded.value().trace->size(), original.size());
+
+    EXPECT_FALSE(registry.internFile(path + ".missing").ok());
+    std::remove(path.c_str());
+}
