@@ -1,8 +1,14 @@
 #include "cache/result_cache.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/file_lock.hh"
 
 namespace bpsim {
 
@@ -302,8 +308,9 @@ readBpc(ByteStream &in)
     return image;
 }
 
-ResultCache::ResultCache(std::string directory)
-    : dir_(std::move(directory))
+ResultCache::ResultCache(std::string directory,
+                         std::uint64_t disk_budget_bytes)
+    : dir_(std::move(directory)), diskBudget_(disk_budget_bytes)
 {
     if (!dir_.empty()) {
         // Best-effort: when creation fails every store() fails and
@@ -311,6 +318,14 @@ ResultCache::ResultCache(std::string directory)
         std::error_code ec;
         std::filesystem::create_directories(dir_, ec);
     }
+}
+
+std::string
+ResultCache::lockFilePath() const
+{
+    if (dir_.empty())
+        return {};
+    return dir_ + "/.bpsim.cache.lock";
 }
 
 std::string
@@ -362,6 +377,13 @@ ResultCache::lookup(const CacheKey &key, bool *from_disk)
             ++stats_.diskHits;
             if (from_disk)
                 *from_disk = true;
+            // Refresh the entry's mtime so the LRU eviction policy
+            // sees it as recently used (best-effort; a failure only
+            // makes the entry look older than it is).
+            std::error_code ec;
+            std::filesystem::last_write_time(
+                filePath(key),
+                std::filesystem::file_time_type::clock::now(), ec);
             memory_.emplace(canon, *disk);
             return disk;
         }
@@ -379,25 +401,124 @@ ResultCache::store(const CacheKey &key, const CachedSweep &value)
         return Status();
 
     const std::string path = filePath(key);
-    auto writeFile = [&]() -> Status {
-        auto stream = StdioFileStream::openWrite(path);
+    // Private temporary: the pid disambiguates concurrent processes,
+    // the key digest disambiguates concurrent threads of one process
+    // (which are already serialised by mutex_ anyway).
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const bool inject_failure = failNextStore_;
+    failNextStore_ = false;
+
+    auto writeTmp = [&]() -> Status {
+        auto stream = StdioFileStream::openWrite(tmp);
         if (!stream.ok())
             return stream.error();
+        if (inject_failure) {
+            // Simulate disk-full mid-entry: a few garbage bytes land
+            // in the .tmp, then the write reports failure.
+            static_cast<void>(stream.value()->write("BPC", 3));
+            static_cast<void>(stream.value()->close());
+            return BPSIM_ERROR("injected store failure for ", tmp);
+        }
         Status st = writeBpc(*stream.value(), key, value);
         if (!st.ok())
             return st;
         if (!stream.value()->close()) {
-            return BPSIM_ERROR("error closing cache file ", path,
+            return BPSIM_ERROR("error closing cache file ", tmp,
                                " (disk full?)");
         }
         return Status();
     };
-    Status st = writeFile();
-    if (!st.ok()) {
-        std::remove(path.c_str()); // never leave a partial entry
-        ++stats_.storeFailures;
+
+    // Serialise against writers in OTHER processes; publish by atomic
+    // rename so readers (which take no lock) can never observe a
+    // partial entry, and a failed write can only remove its own .tmp.
+    Result<FileLock> dirLock = FileLock::acquire(lockFilePath());
+    Status st = writeTmp();
+    if (st.ok()) {
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            st = BPSIM_ERROR("cannot publish cache file ", path, ": ",
+                             ec.message());
+        }
     }
+    if (!st.ok()) {
+        std::remove(tmp.c_str()); // never leave tmp debris
+        ++stats_.storeFailures;
+    } else if (diskBudget_ > 0) {
+        enforceBudgetLocked(path);
+    }
+    // dirLock releases here; a failed acquire degrades to unlocked
+    // operation (rename is still atomic, only eviction races remain).
     return st;
+}
+
+void
+ResultCache::enforceBudgetLocked(const std::string &protect)
+{
+    struct Entry
+    {
+        std::string path;
+        std::uint64_t size;
+        std::filesystem::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : std::filesystem::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file() || de.path().extension() != ".bpc")
+            continue;
+        std::error_code fec;
+        Entry e{de.path().string(),
+                static_cast<std::uint64_t>(de.file_size(fec)),
+                de.last_write_time(fec)};
+        if (fec)
+            continue;
+        total += e.size;
+        entries.push_back(std::move(e));
+    }
+    if (total <= diskBudget_)
+        return;
+    // Oldest first == least recently used: stores and disk hits both
+    // refresh mtime.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Entry &e : entries) {
+        if (total <= diskBudget_)
+            break;
+        if (e.path == protect)
+            continue; // the store that triggered us always lands
+        std::error_code rec;
+        if (std::filesystem::remove(e.path, rec) && !rec) {
+            total -= e.size;
+            ++stats_.diskEvictions;
+        }
+    }
+}
+
+std::uint64_t
+ResultCache::diskUsageBytes() const
+{
+    if (dir_.empty())
+        return 0;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : std::filesystem::directory_iterator(dir_, ec)) {
+        std::error_code fec;
+        if (de.is_regular_file() && de.path().extension() == ".bpc")
+            total += static_cast<std::uint64_t>(de.file_size(fec));
+    }
+    return total;
+}
+
+void
+ResultCache::failNextDiskStoreForTesting()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    failNextStore_ = true;
 }
 
 bool
@@ -406,6 +527,7 @@ ResultCache::evict(const CacheKey &key)
     std::lock_guard<std::mutex> lock(mutex_);
     bool found = memory_.erase(key.canonical()) > 0;
     if (!dir_.empty()) {
+        Result<FileLock> dirLock = FileLock::acquire(lockFilePath());
         std::error_code ec;
         found = std::filesystem::remove(filePath(key), ec) || found;
     }

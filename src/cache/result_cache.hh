@@ -30,6 +30,24 @@
  * or key mismatch is a structured load error, which lookup() turns
  * into a miss (counted in Stats::corrupt) -- the caller recomputes.
  * verify/fault_injection.hh fuzzes this contract bit by bit.
+ *
+ * Multi-process discipline: any number of processes may share one
+ * cache directory (the sweep_server daemon plus ad-hoc bench runs).
+ * Writers serialise on an exclusive flock over <dir>/.bpsim.cache.lock
+ * (common/file_lock.hh) and publish entries by writing a private
+ * .tmp file and atomically renaming it into place, so a concurrent
+ * reader observes either the previous complete entry or the new
+ * complete entry -- never interleaved bytes, and a failed write can
+ * only ever remove its own .tmp, not a good entry another process
+ * published.  Readers take no lock at all; the checksum covers the
+ * remaining failure modes.
+ *
+ * Eviction discipline: with a non-zero disk budget, every store
+ * enforces it under the writer lock -- oldest entries (by mtime,
+ * which disk hits refresh, making mtime order LRU order) are removed
+ * until the directory fits.  The entry just stored is never the one
+ * evicted, so a store always lands even when the budget is smaller
+ * than one entry.
  */
 
 #ifndef BPSIM_CACHE_RESULT_CACHE_HH
@@ -136,6 +154,8 @@ class ResultCache
         std::uint64_t corrupt = 0;
         /** Failed disk writes (the in-memory entry still lands). */
         std::uint64_t storeFailures = 0;
+        /** .bpc files removed by the size-budget LRU policy. */
+        std::uint64_t diskEvictions = 0;
 
         std::uint64_t hits() const { return memoryHits + diskHits; }
     };
@@ -143,8 +163,11 @@ class ResultCache
     /**
      * @param directory mirror entries to .bpc files under this path
      * (created if absent); empty for a memory-only cache.
+     * @param disk_budget_bytes LRU-evict .bpc files after each store
+     * until the directory's .bpc payload fits; 0 = unbounded.
      */
-    explicit ResultCache(std::string directory = {});
+    explicit ResultCache(std::string directory = {},
+                         std::uint64_t disk_budget_bytes = 0);
 
     ResultCache(const ResultCache &) = delete;
     ResultCache &operator=(const ResultCache &) = delete;
@@ -161,9 +184,12 @@ class ResultCache
 
     /**
      * Record a finished sweep.  Always lands in memory; the disk
-     * mirror is best-effort (a failed or partial write is removed
-     * and counted, never left to parse).  The returned status
-     * reports the disk outcome for callers that care.
+     * mirror is best-effort (a failed or partial write only ever
+     * removes its own temporary file, never a published entry).
+     * Disk writes go to a private .tmp and are renamed into place
+     * under the cross-process writer lock, then the size budget is
+     * enforced.  The returned status reports the disk outcome for
+     * callers that care.
      */
     Status store(const CacheKey &key, const CachedSweep &value);
 
@@ -173,17 +199,39 @@ class ResultCache
     /** Path of the key's .bpc file; empty for memory-only caches. */
     std::string filePath(const CacheKey &key) const;
 
+    /** Path of the cross-process writer lock file (empty when
+     *  memory-only). */
+    std::string lockFilePath() const;
+
     const std::string &directory() const { return dir_; }
+    std::uint64_t diskBudgetBytes() const { return diskBudget_; }
+    /** Total bytes of .bpc entries currently on disk (0 when
+     *  memory-only). */
+    std::uint64_t diskUsageBytes() const;
     std::size_t residentEntries() const;
     Stats stats() const;
 
+    /**
+     * Test hook: make the next disk store fail after a partial .tmp
+     * write, simulating disk-full mid-entry.  Pins the regression
+     * that a failed store can never clobber or truncate a published
+     * entry (the pre-locking code wrote the final path in place, so
+     * a concurrent or failed writer silently destroyed it).
+     */
+    void failNextDiskStoreForTesting();
+
   private:
     std::optional<CachedSweep> loadFromDisk(const CacheKey &key);
+    /** Remove oldest .bpc files until the budget holds; never
+     *  removes @p protect.  Caller holds the writer file lock. */
+    void enforceBudgetLocked(const std::string &protect);
 
     mutable std::mutex mutex_;
     std::string dir_;
+    std::uint64_t diskBudget_ = 0;
     std::map<std::string, CachedSweep> memory_;
     Stats stats_;
+    bool failNextStore_ = false;
 };
 
 } // namespace bpsim

@@ -1,0 +1,64 @@
+#include "common/file_lock.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace bpsim {
+
+Result<FileLock>
+FileLock::acquire(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        return BPSIM_ERROR("cannot open lock file ", path, ": ",
+                           std::strerror(errno));
+    }
+    int rc;
+    do {
+        rc = ::flock(fd, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        int err = errno;
+        ::close(fd);
+        return BPSIM_ERROR("cannot lock ", path, ": ",
+                           std::strerror(err));
+    }
+    return FileLock(fd);
+}
+
+FileLock::FileLock(FileLock &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+FileLock &
+FileLock::operator=(FileLock &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+FileLock::~FileLock()
+{
+    release();
+}
+
+void
+FileLock::release()
+{
+    if (fd_ >= 0) {
+        // close() drops the flock with the file description.
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cross-process advisory file locking for shared on-disk state.
+ *
+ * The persistent result cache (src/cache/) may be shared by several
+ * processes -- a long-running sweep_server plus ad-hoc bench runs
+ * pointed at the same directory.  Mutexes only serialise threads of
+ * one process; FileLock serialises *processes* by holding an
+ * exclusive flock(2) on a well-known lock file inside the shared
+ * directory.
+ *
+ * Properties that matter for the cache:
+ *
+ *  - flock locks belong to the open file description, so two handles
+ *    in one process exclude each other exactly like two processes do
+ *    (tests can exercise the cross-process protocol with plain
+ *    threads before paying for a fork).
+ *  - The lock dies with the process: a crashed writer can never leave
+ *    the cache wedged.
+ *  - Locking is advisory.  Readers deliberately do not take it --
+ *    writers publish entries by atomic rename, so a reader sees either
+ *    the old complete file or the new complete file, and the .bpc
+ *    checksum catches everything else.
+ */
+
+#ifndef BPSIM_COMMON_FILE_LOCK_HH
+#define BPSIM_COMMON_FILE_LOCK_HH
+
+#include <string>
+
+#include "common/error.hh"
+
+namespace bpsim {
+
+/**
+ * RAII exclusive lock on @p path (created if absent).  Blocks until
+ * the lock is granted.  Movable, not copyable; releases on
+ * destruction.
+ */
+class FileLock
+{
+  public:
+    /** Acquire an exclusive lock on @p path, blocking. */
+    static Result<FileLock> acquire(const std::string &path);
+
+    FileLock(FileLock &&other) noexcept;
+    FileLock &operator=(FileLock &&other) noexcept;
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+    ~FileLock();
+
+    /** Release early (idempotent). */
+    void release();
+
+    bool held() const { return fd_ >= 0; }
+
+  private:
+    explicit FileLock(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_FILE_LOCK_HH

@@ -1,0 +1,248 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bpsim::service {
+
+// ---------------------------------------------------------------------
+// LineChannel
+
+LineChannel::~LineChannel()
+{
+    close();
+}
+
+LineChannel::LineChannel(LineChannel &&other) noexcept
+    : rfd_(other.rfd_), wfd_(other.wfd_),
+      buffer_(std::move(other.buffer_))
+{
+    other.rfd_ = -1;
+    other.wfd_ = -1;
+}
+
+LineChannel &
+LineChannel::operator=(LineChannel &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        rfd_ = other.rfd_;
+        wfd_ = other.wfd_;
+        buffer_ = std::move(other.buffer_);
+        other.rfd_ = -1;
+        other.wfd_ = -1;
+    }
+    return *this;
+}
+
+void
+LineChannel::closeWrite()
+{
+    if (wfd_ >= 0 && wfd_ != rfd_)
+        ::close(wfd_);
+    else if (wfd_ >= 0)
+        ::shutdown(wfd_, SHUT_WR); // shared socket descriptor
+    wfd_ = -1;
+}
+
+void
+LineChannel::close()
+{
+    if (wfd_ >= 0 && wfd_ != rfd_)
+        ::close(wfd_);
+    if (rfd_ >= 0)
+        ::close(rfd_);
+    rfd_ = -1;
+    wfd_ = -1;
+}
+
+Status
+LineChannel::sendLine(std::string_view line)
+{
+    if (wfd_ < 0)
+        return BPSIM_ERROR("channel write side is closed");
+    std::string framed(line);
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        ssize_t n =
+            ::write(wfd_, framed.data() + sent, framed.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return BPSIM_ERROR("channel write failed: ",
+                               std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return Status();
+}
+
+Result<std::string>
+LineChannel::recvLine(std::size_t max_bytes)
+{
+    if (rfd_ < 0)
+        return BPSIM_ERROR("channel read side is closed");
+    while (true) {
+        std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            if (line.size() > max_bytes)
+                return BPSIM_ERROR("response line exceeds ",
+                                   max_bytes, " bytes");
+            return line;
+        }
+        if (buffer_.size() > max_bytes)
+            return BPSIM_ERROR("response line exceeds ", max_bytes,
+                               " bytes");
+
+        char chunk[64 * 1024];
+        ssize_t n = ::read(rfd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return BPSIM_ERROR("channel read failed: ",
+                               std::strerror(errno));
+        }
+        if (n == 0) {
+            if (buffer_.empty())
+                return BPSIM_ERROR("peer closed the channel");
+            return BPSIM_ERROR("peer closed the channel mid-line (",
+                               buffer_.size(), " bytes buffered)");
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+// ---------------------------------------------------------------------
+// ServerProcess
+
+Result<ServerProcess>
+ServerProcess::spawn(const std::string &binary,
+                     const std::vector<std::string> &args)
+{
+    int to_child[2];   // parent writes requests
+    int from_child[2]; // parent reads responses
+    if (::pipe(to_child) != 0)
+        return BPSIM_ERROR("pipe() failed: ", std::strerror(errno));
+    if (::pipe(from_child) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        return BPSIM_ERROR("pipe() failed: ", std::strerror(errno));
+    }
+
+    int pid = ::fork();
+    if (pid < 0) {
+        for (int fd : {to_child[0], to_child[1], from_child[0],
+                       from_child[1]})
+            ::close(fd);
+        return BPSIM_ERROR("fork() failed: ", std::strerror(errno));
+    }
+
+    if (pid == 0) {
+        // Child: wire the pipe ends to stdin/stdout and exec.
+        ::dup2(to_child[0], STDIN_FILENO);
+        ::dup2(from_child[1], STDOUT_FILENO);
+        for (int fd : {to_child[0], to_child[1], from_child[0],
+                       from_child[1]})
+            ::close(fd);
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(binary.c_str()));
+        for (const std::string &arg : args)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(nullptr);
+        ::execv(binary.c_str(), argv.data());
+        ::_exit(127);
+    }
+
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    ServerProcess proc;
+    proc.channel_ = LineChannel(from_child[0], to_child[1]);
+    proc.pid_ = pid;
+    return proc;
+}
+
+ServerProcess::~ServerProcess()
+{
+    if (pid_ > 0)
+        wait();
+}
+
+ServerProcess::ServerProcess(ServerProcess &&other) noexcept
+    : channel_(std::move(other.channel_)), pid_(other.pid_)
+{
+    other.pid_ = -1;
+}
+
+ServerProcess &
+ServerProcess::operator=(ServerProcess &&other) noexcept
+{
+    if (this != &other) {
+        if (pid_ > 0)
+            wait();
+        channel_ = std::move(other.channel_);
+        pid_ = other.pid_;
+        other.pid_ = -1;
+    }
+    return *this;
+}
+
+int
+ServerProcess::wait()
+{
+    if (pid_ <= 0)
+        return -1;
+    channel_.close(); // EOF ends the child's serve loop
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return -WTERMSIG(status);
+    return -1;
+}
+
+// ---------------------------------------------------------------------
+// Sockets and round trips
+
+Result<LineChannel>
+connectUnixSocket(const std::string &path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+        return BPSIM_ERROR("socket path too long: ", path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return BPSIM_ERROR("socket() failed: ", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return BPSIM_ERROR("connect(", path,
+                           ") failed: ", std::strerror(err));
+    }
+    return LineChannel(fd, fd);
+}
+
+Result<std::string>
+roundTrip(LineChannel &channel, std::string_view request)
+{
+    Status sent = channel.sendLine(request);
+    if (!sent.ok())
+        return sent.error();
+    return channel.recvLine();
+}
+
+} // namespace bpsim::service

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Thin client plumbing for the sweep daemon.
+ *
+ * A client of the service needs exactly three things: a byte channel
+ * that frames newline-delimited lines (LineChannel), a way to obtain
+ * one -- spawn a private sweep_server child on a stdin/stdout pipe
+ * (ServerProcess) or connect to a shared daemon's unix socket
+ * (connectUnixSocket) -- and a request/response round trip.  All
+ * failures (dead peer, oversized response, spawn failure) are
+ * structured Errors; nothing here terminates the process, so the
+ * e2e and fuzz tests can drive broken channels on purpose.
+ */
+
+#ifndef BPSIM_SERVICE_CLIENT_HH
+#define BPSIM_SERVICE_CLIENT_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace bpsim::service {
+
+/**
+ * Buffered newline-delimited framing over a read/write descriptor
+ * pair.  Owns the descriptors (closed on destruction); move-only.
+ * The two descriptors may be the same (a socket) or distinct (a
+ * pipe pair).
+ */
+class LineChannel
+{
+  public:
+    LineChannel() = default;
+    /** Take ownership of @p read_fd / @p write_fd (may be equal). */
+    LineChannel(int read_fd, int write_fd)
+        : rfd_(read_fd), wfd_(write_fd)
+    {
+    }
+    ~LineChannel();
+
+    LineChannel(LineChannel &&other) noexcept;
+    LineChannel &operator=(LineChannel &&other) noexcept;
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    bool valid() const { return rfd_ >= 0 && wfd_ >= 0; }
+
+    /** Write @p line plus a newline; errors on a dead peer. */
+    Status sendLine(std::string_view line);
+
+    /**
+     * Read one line (newline stripped).  Errors on EOF, a mid-line
+     * EOF, or a line longer than @p max_bytes -- responses carrying
+     * full sweep surfaces are large, hence the generous default.
+     */
+    Result<std::string> recvLine(std::size_t max_bytes = 8u << 20);
+
+    /** Close the write side only, signalling EOF to a pipe server
+     *  while responses may still be in flight. */
+    void closeWrite();
+
+    /** Close both descriptors. */
+    void close();
+
+  private:
+    int rfd_ = -1;
+    int wfd_ = -1;
+    std::string buffer_; ///< received bytes not yet consumed
+};
+
+/**
+ * A private sweep_server child process on a stdin/stdout pipe.  The
+ * destructor closes the channel (EOF stops the child's serve loop)
+ * and reaps the process.
+ */
+class ServerProcess
+{
+  public:
+    /**
+     * Fork and exec @p binary with @p args (argv[0] is the binary;
+     * do not include it in @p args), its stdin/stdout wired to the
+     * returned object's channel.  Exec failure surfaces as exit code
+     * 127 from wait(), not as an error here -- the first round trip
+     * then fails with EOF.
+     */
+    static Result<ServerProcess>
+    spawn(const std::string &binary,
+          const std::vector<std::string> &args = {});
+
+    ServerProcess() = default;
+    ~ServerProcess();
+
+    ServerProcess(ServerProcess &&other) noexcept;
+    ServerProcess &operator=(ServerProcess &&other) noexcept;
+    ServerProcess(const ServerProcess &) = delete;
+    ServerProcess &operator=(const ServerProcess &) = delete;
+
+    bool running() const { return pid_ > 0; }
+    LineChannel &channel() { return channel_; }
+
+    /** Close the channel and reap; @return the child's exit code
+     *  (or -signal when killed). */
+    int wait();
+
+  private:
+    LineChannel channel_;
+    int pid_ = -1;
+};
+
+/** Connect to a daemon's unix socket. */
+Result<LineChannel> connectUnixSocket(const std::string &path);
+
+/** One request/response round trip over @p channel. */
+Result<std::string> roundTrip(LineChannel &channel,
+                              std::string_view request);
+
+} // namespace bpsim::service
+
+#endif // BPSIM_SERVICE_CLIENT_HH

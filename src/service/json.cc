@@ -1,0 +1,474 @@
+#include "service/json.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bpsim::service {
+
+namespace {
+
+/** Recursive-descent parser over a bounded view. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, const JsonLimits &limits)
+        : text_(text), limits_(limits)
+    {
+    }
+
+    Result<JsonValue>
+    parse()
+    {
+        Result<JsonValue> v = value(0);
+        if (!v.ok())
+            return v;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing bytes after JSON value");
+        return v;
+    }
+
+  private:
+    Error
+    fail(const std::string &what) const
+    {
+        return BPSIM_ERROR("JSON error at byte ", pos_, ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\r' && c != '\n')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (text_.size() - pos_ >= n &&
+            text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Result<JsonValue>
+    value(std::size_t depth)
+    {
+        if (depth > limits_.maxDepth)
+            return fail("nesting deeper than " +
+                        std::to_string(limits_.maxDepth));
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"': {
+            Result<std::string> s = parseString();
+            if (!s.ok())
+                return s.error();
+            return JsonValue(std::move(s).value());
+          }
+          case 't':
+            if (consumeWord("true"))
+                return JsonValue(true);
+            return fail("invalid token");
+          case 'f':
+            if (consumeWord("false"))
+                return JsonValue(false);
+            return fail("invalid token");
+          case 'n':
+            if (consumeWord("null"))
+                return JsonValue();
+            return fail("invalid token");
+          default:
+            return parseNumber();
+        }
+    }
+
+    Result<JsonValue>
+    parseObject(std::size_t depth)
+    {
+        ++pos_; // '{'
+        JsonValue::Object obj;
+        skipWs();
+        if (consume('}'))
+            return JsonValue(std::move(obj));
+        while (true) {
+            if (obj.size() >= limits_.maxMembers)
+                return fail("object with more than " +
+                            std::to_string(limits_.maxMembers) +
+                            " members");
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key string");
+            Result<std::string> key = parseString();
+            if (!key.ok())
+                return key.error();
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            Result<JsonValue> v = value(depth + 1);
+            if (!v.ok())
+                return v;
+            if (!obj.emplace(std::move(key).value(),
+                             std::move(v).value())
+                     .second) {
+                return fail("duplicate object key");
+            }
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return JsonValue(std::move(obj));
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    Result<JsonValue>
+    parseArray(std::size_t depth)
+    {
+        ++pos_; // '['
+        JsonValue::Array arr;
+        skipWs();
+        if (consume(']'))
+            return JsonValue(std::move(arr));
+        while (true) {
+            if (arr.size() >= limits_.maxMembers)
+                return fail("array with more than " +
+                            std::to_string(limits_.maxMembers) +
+                            " elements");
+            Result<JsonValue> v = value(depth + 1);
+            if (!v.ok())
+                return v;
+            arr.push_back(std::move(v).value());
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return JsonValue(std::move(arr));
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Result<std::string>
+    parseString()
+    {
+        ++pos_; // opening quote
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            if (out.size() > limits_.maxStringBytes)
+                return fail("string longer than " +
+                            std::to_string(limits_.maxStringBytes) +
+                            " bytes");
+            unsigned char c =
+                static_cast<unsigned char>(text_[pos_++]);
+            if (c == '"')
+                return out;
+            if (c < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(static_cast<char>(c));
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                Result<std::uint32_t> cp = parseCodepoint();
+                if (!cp.ok())
+                    return cp.error();
+                appendUtf8(out, cp.value());
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+    }
+
+    Result<std::uint32_t>
+    parseCodepoint()
+    {
+        Result<std::uint32_t> unit = parseHex4();
+        if (!unit.ok())
+            return unit;
+        std::uint32_t cp = unit.value();
+        if (cp >= 0xDC00 && cp <= 0xDFFF)
+            return fail("lone low surrogate");
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (!consumeWord("\\u"))
+                return fail("high surrogate without pair");
+            Result<std::uint32_t> low = parseHex4();
+            if (!low.ok())
+                return low;
+            if (low.value() < 0xDC00 || low.value() > 0xDFFF)
+                return fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) +
+                 (low.value() - 0xDC00);
+        }
+        return cp;
+    }
+
+    Result<std::uint32_t>
+    parseHex4()
+    {
+        if (text_.size() - pos_ < 4)
+            return fail("truncated \\u escape");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return fail("invalid \\u escape digit");
+        }
+        return v;
+    }
+
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    Result<JsonValue>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+            // sign consumed; digits must follow
+        }
+        if (pos_ >= text_.size() || text_[pos_] < '0' ||
+            text_[pos_] > '9')
+            return fail("invalid number");
+        // No leading zeros: "0" alone or a nonzero first digit.
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9')
+            return fail("leading zero in number");
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9')
+            ++pos_;
+        bool integral = true;
+        if (consume('.')) {
+            integral = false;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9')
+                return fail("digits must follow decimal point");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9')
+                return fail("digits must follow exponent");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        errno = 0;
+        if (integral) {
+            char *end = nullptr;
+            long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno == ERANGE || end != token.c_str() + token.size())
+                return fail("integer out of range");
+            return JsonValue(static_cast<std::int64_t>(v));
+        }
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || !std::isfinite(v))
+            return fail("number out of range");
+        return JsonValue(v);
+    }
+
+    std::string_view text_;
+    const JsonLimits &limits_;
+    std::size_t pos_ = 0;
+};
+
+void
+renderDouble(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null"; // JSON has no inf/nan; results never hold them
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+    // Force a Double round-trip (preserves -0.0 and the Int/Double
+    // kind distinction) when %.17g printed an integral form.
+    if (out.find_first_of(".eEn", out.size() - std::strlen(buf)) ==
+        std::string::npos)
+        out += ".0";
+}
+
+void
+renderValue(std::string &out, const JsonValue &v)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case JsonValue::Kind::Int:
+        out += std::to_string(v.asInt());
+        break;
+      case JsonValue::Kind::Double:
+        renderDouble(out, v.asDouble());
+        break;
+      case JsonValue::Kind::String:
+        out += '"';
+        out += jsonEscape(v.asString());
+        out += '"';
+        break;
+      case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &e : v.array()) {
+            if (!first)
+                out += ',';
+            first = false;
+            renderValue(out, e);
+        }
+        out += ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, val] : v.object()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += jsonEscape(key);
+            out += "\":";
+            renderValue(out, val);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string
+JsonValue::render() const
+{
+    std::string out;
+    renderValue(out, *this);
+    return out;
+}
+
+Result<JsonValue>
+parseJson(std::string_view text, const JsonLimits &limits)
+{
+    return Parser(text, limits).parse();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace bpsim::service

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Self-contained JSON values for the sweep service's line protocol.
+ *
+ * The daemon speaks newline-delimited JSON (DESIGN.md "Sweep service")
+ * to arbitrary clients, so the parser here is written like the .bpt
+ * reader, not like a config loader: every structural limit is
+ * enforced up front (depth, string length, member counts), malformed
+ * input of any shape is a structured Error -- never a crash, hang or
+ * unbounded allocation -- and the request fuzzer in src/verify/
+ * attacks it byte by byte.
+ *
+ * Number discipline: integers without fraction/exponent parse as
+ * Int (int64), everything else as Double.  The writer renders
+ * doubles with 17 significant digits, which round-trips every IEEE
+ * double exactly -- the service's "bit-identical to an in-process
+ * sweep" contract rests on this (integral doubles get a forced
+ * ".0" so they come back as Double, preserving -0.0).
+ */
+
+#ifndef BPSIM_SERVICE_JSON_HH
+#define BPSIM_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace bpsim::service {
+
+/** Parser guard rails; the protocol layer tightens these further. */
+struct JsonLimits
+{
+    /** Maximum container nesting. */
+    std::size_t maxDepth = 16;
+    /** Maximum decoded bytes of one string value or key. */
+    std::size_t maxStringBytes = 8192;
+    /** Maximum members per object or elements per array. */
+    std::size_t maxMembers = 512;
+};
+
+/** One JSON value (null / bool / int / double / string / array /
+ *  object).  Objects are keyed maps; duplicate keys are a parse
+ *  error. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool v) : kind_(Kind::Bool), bool_(v) {}
+    JsonValue(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    JsonValue(double v) : kind_(Kind::Double), double_(v) {}
+    JsonValue(std::string v)
+        : kind_(Kind::String), string_(std::move(v))
+    {
+    }
+    JsonValue(const char *v) : JsonValue(std::string(v)) {}
+    JsonValue(Array v) : kind_(Kind::Array), array_(std::move(v)) {}
+    JsonValue(Object v) : kind_(Kind::Object), object_(std::move(v)) {}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Unchecked accessors; call only after the kind test. */
+    bool asBool() const { return bool_; }
+    std::int64_t asInt() const { return int_; }
+    /** Numeric value of an Int or Double. */
+    double
+    asDouble() const
+    {
+        return kind_ == Kind::Int ? static_cast<double>(int_)
+                                  : double_;
+    }
+    const std::string &asString() const { return string_; }
+    const Array &array() const { return array_; }
+    const Object &object() const { return object_; }
+    Object &object() { return object_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Compact single-line rendering (no trailing newline). */
+    std::string render() const;
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/**
+ * Parse exactly one JSON value spanning all of @p text (trailing
+ * whitespace allowed, trailing tokens are an error).  All failures --
+ * syntax, limits, duplicate keys, malformed escapes, out-of-range
+ * numbers -- are structured Errors naming the byte offset.
+ */
+Result<JsonValue> parseJson(std::string_view text,
+                            const JsonLimits &limits = {});
+
+/** JSON string escaping of @p s (without surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace bpsim::service
+
+#endif // BPSIM_SERVICE_JSON_HH

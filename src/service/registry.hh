@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Plugin registries at the service boundary.
+ *
+ * The daemon resolves the *names* a request carries -- scheme and
+ * workload -- through registries instead of hard-coded switches, so
+ * an embedding host can extend the service without touching the
+ * protocol: register a new workload generator (a replayed production
+ * trace, a stress profile) or an alias for a scheme, and every verb
+ * of the protocol picks it up, including the "catalog" listing.  The
+ * shape follows the factory-registry idiom (SNIPPETS.md, snippet 3):
+ * construction recipes keyed by name, registered once at startup,
+ * resolved per request with a structured Error on unknown names.
+ *
+ * Both registries are populated-then-read: register everything before
+ * serving starts (SweepServer takes them by value), after which
+ * resolution is const and safe to call from any number of connection
+ * threads.
+ */
+
+#ifndef BPSIM_SERVICE_REGISTRY_HH
+#define BPSIM_SERVICE_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "sim/sweep_session.hh"
+
+namespace bpsim::service {
+
+/** Name -> SchemeKind resolution for the protocol's "scheme" field. */
+class SchemeRegistry
+{
+  public:
+    /** Register @p name; errors when the name is already taken. */
+    Status registerScheme(const std::string &name, SchemeKind kind);
+
+    /** Resolve a request's scheme name; errors on unknown names,
+     *  listing what is registered. */
+    Result<SchemeKind> resolve(const std::string &name) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * The seven paper schemes under their display names
+     * (schemeKindName) plus lowercase aliases ("gag", "pas", ...).
+     */
+    static SchemeRegistry withBuiltins();
+
+  private:
+    std::map<std::string, SchemeKind> schemes_;
+};
+
+/**
+ * Name -> trace-generator resolution for the protocol's trace
+ * {"profile": ...} form.  A generator interns its trace into the
+ * given session and returns the handle; target_conditionals carries
+ * the request's "branches" field (0 = generator default).
+ */
+class WorkloadRegistry
+{
+  public:
+    using Generator = std::function<Result<TraceHandle>(
+        SweepSession &, std::uint64_t target_conditionals)>;
+
+    /** Register @p name; errors when the name is already taken. */
+    Status registerWorkload(const std::string &name, Generator gen);
+
+    /** Run the named generator; errors on unknown names. */
+    Result<TraceHandle> intern(const std::string &name,
+                               SweepSession &session,
+                               std::uint64_t target_conditionals) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** The fourteen paper profiles (workload/profiles.hh), each
+     *  interning through SweepSession::internProfile. */
+    static WorkloadRegistry withBuiltins();
+
+  private:
+    std::map<std::string, Generator> workloads_;
+};
+
+} // namespace bpsim::service
+
+#endif // BPSIM_SERVICE_REGISTRY_HH

@@ -1,5 +1,6 @@
 #include "sim/sweep_session.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
@@ -21,8 +22,9 @@ secondsSince(std::chrono::steady_clock::time_point start)
 
 } // namespace
 
-SweepSession::SweepSession(std::string cache_dir)
-    : cache_(std::move(cache_dir))
+SweepSession::SweepSession(std::string cache_dir,
+                           std::uint64_t cache_budget_bytes)
+    : cache_(std::move(cache_dir), cache_budget_bytes)
 {
 }
 
@@ -46,17 +48,19 @@ SweepSession::internFile(const std::string &path)
     return registry_.internFile(path);
 }
 
-std::string
-SweepSession::cacheConfigKey(SchemeKind kind, const SweepOptions &opts)
+namespace {
+
+/**
+ * The result-affecting options shared by every tier of a scheme --
+ * everything cacheConfigKey() serialises except the tier range.  This
+ * is exactly what two requests must agree on to share one envelope
+ * replay (batchGroupKey), since the first-level stream and per-config
+ * semantics depend on nothing else.
+ */
+std::vector<std::string>
+schemeOptionTokens(SchemeKind kind, const SweepOptions &opts)
 {
-    // Only result-affecting options, and of those only the ones the
-    // scheme reads: a gshare sweep must not miss because an unused
-    // BHT knob changed.  threads/fuseJobs/simd are bit-identical
-    // execution knobs (pinned by the differential tests) and are
-    // deliberately absent.
     std::vector<std::string> tokens = {
-        "min=" + std::to_string(opts.minTotalBits),
-        "max=" + std::to_string(opts.maxTotalBits),
         "alias=" + std::to_string(opts.trackAliasing ? 1 : 0),
     };
     if (kind == SchemeKind::Path) {
@@ -70,7 +74,36 @@ SweepSession::cacheConfigKey(SchemeKind kind, const SweepOptions &opts)
             "reset=" +
             std::to_string(static_cast<int>(opts.bhtResetPolicy)));
     }
+    return tokens;
+}
+
+} // namespace
+
+std::string
+SweepSession::cacheConfigKey(SchemeKind kind, const SweepOptions &opts)
+{
+    // Only result-affecting options, and of those only the ones the
+    // scheme reads: a gshare sweep must not miss because an unused
+    // BHT knob changed.  threads/fuseJobs/simd are bit-identical
+    // execution knobs (pinned by the differential tests) and are
+    // deliberately absent.
+    std::vector<std::string> tokens = schemeOptionTokens(kind, opts);
+    tokens.push_back("min=" + std::to_string(opts.minTotalBits));
+    tokens.push_back("max=" + std::to_string(opts.maxTotalBits));
     return Config::parseTokens(tokens).canonicalKey();
+}
+
+std::string
+SweepSession::batchGroupKey(const SweepRequest &request)
+{
+    std::string key = request.trace.hex();
+    key += "|";
+    key += schemeKindName(request.kind);
+    key += "|";
+    key += Config::parseTokens(
+               schemeOptionTokens(request.kind, request.options))
+               .canonicalKey();
+    return key;
 }
 
 CacheKey
@@ -148,6 +181,125 @@ SweepSession::sweep(const SweepRequest &request)
     }
     response.seconds = secondsSince(start);
     return response;
+}
+
+namespace {
+
+/** Copy the tiers of @p src with min <= totalBits <= max, preserving
+ *  name and point order (plan order, budget then row ascending). */
+Surface
+sliceSurface(const Surface &src, unsigned min_bits, unsigned max_bits)
+{
+    Surface out(src.name());
+    for (const SurfaceTier &tier : src.tiers()) {
+        if (tier.totalBits < min_bits || tier.totalBits > max_bits)
+            continue;
+        for (const SurfacePoint &pt : tier.points)
+            out.add(tier.totalBits, pt.rowBits, pt.colBits, pt.value);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Result<SweepResponse>>
+SweepSession::sweepBatch(const std::vector<SweepRequest> &requests,
+                         BatchCounters *counters)
+{
+    const auto start = std::chrono::steady_clock::now();
+    BatchCounters local;
+    std::vector<std::optional<Result<SweepResponse>>> out(
+        requests.size());
+
+    // Phase 1: answer what the cache can, group the rest by their
+    // envelope-sharing key.
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const SweepRequest &req = requests[i];
+        if (!req.bypassCache) {
+            bool from_disk = false;
+            std::optional<CachedSweep> hit =
+                cache_.lookup(cacheKey(req), &from_disk);
+            if (hit) {
+                SweepResponse response(SweepResult("", ""));
+                response.result.misprediction = hit->misprediction;
+                response.result.aliasing = hit->aliasing;
+                response.result.harmless = hit->harmless;
+                response.result.bhtMissRate = hit->bhtMissRate;
+                response.cacheHit = true;
+                response.diskHit = from_disk;
+                response.seconds = secondsSince(start);
+                out[i] = Result<SweepResponse>(std::move(response));
+                ++local.cacheHits;
+                continue;
+            }
+        }
+        groups[batchGroupKey(req)].push_back(i);
+    }
+
+    // Phase 2: one envelope replay per group, sliced per member.
+    for (const auto &[group_key, members] : groups) {
+        static_cast<void>(group_key);
+        const SweepRequest &first = requests[members.front()];
+        Result<std::shared_ptr<const PreparedTrace>> prep =
+            prepared(first.trace);
+        if (!prep.ok()) {
+            for (std::size_t m : members)
+                out[m] = Result<SweepResponse>(prep.error());
+            continue;
+        }
+
+        SweepOptions envelope = first.options;
+        for (std::size_t m : members) {
+            const SweepOptions &o = requests[m].options;
+            envelope.minTotalBits =
+                std::min(envelope.minTotalBits, o.minTotalBits);
+            envelope.maxTotalBits =
+                std::max(envelope.maxTotalBits, o.maxTotalBits);
+        }
+        SweepResult swept =
+            sweepScheme(*prep.value(), first.kind, envelope);
+        const bool multi = members.size() > 1;
+        ++local.envelopeSweeps;
+        if (multi) {
+            ++local.fusedGroupsFormed;
+            local.coalescedRequests += members.size();
+        }
+
+        for (std::size_t m : members) {
+            const SweepRequest &req = requests[m];
+            SweepResult sliced = swept;
+            sliced.misprediction =
+                sliceSurface(swept.misprediction,
+                             req.options.minTotalBits,
+                             req.options.maxTotalBits);
+            sliced.aliasing = sliceSurface(swept.aliasing,
+                                           req.options.minTotalBits,
+                                           req.options.maxTotalBits);
+            sliced.harmless = sliceSurface(swept.harmless,
+                                           req.options.minTotalBits,
+                                           req.options.maxTotalBits);
+            if (!req.bypassCache) {
+                CachedSweep payload{sliced.misprediction,
+                                    sliced.aliasing, sliced.harmless,
+                                    sliced.bhtMissRate};
+                static_cast<void>(
+                    cache_.store(cacheKey(req), payload));
+            }
+            SweepResponse response(std::move(sliced));
+            response.coalesced = multi;
+            response.seconds = secondsSince(start);
+            out[m] = Result<SweepResponse>(std::move(response));
+        }
+    }
+
+    if (counters)
+        counters->merge(local);
+    std::vector<Result<SweepResponse>> results;
+    results.reserve(out.size());
+    for (std::optional<Result<SweepResponse>> &slot : out)
+        results.push_back(std::move(*slot));
+    return results;
 }
 
 Result<ConfigResult>

@@ -82,10 +82,38 @@ struct SweepResponse
     bool cacheHit = false;
     /** ... specifically from a .bpc file of an earlier process. */
     bool diskHit = false;
+    /**
+     * Served by a shared fused replay that also answered at least one
+     * other request of the same batch (sweepBatch).  The reported
+     * kernel telemetry then describes that shared envelope execution.
+     */
+    bool coalesced = false;
     /** Wall-clock seconds spent serving this request. */
     double seconds = 0.0;
 
     explicit SweepResponse(SweepResult r) : result(std::move(r)) {}
+};
+
+/** Execution accounting for one sweepBatch() call. */
+struct BatchCounters
+{
+    /** Requests answered straight from the result cache. */
+    std::uint64_t cacheHits = 0;
+    /** Envelope replays executed (one per distinct fused group). */
+    std::uint64_t envelopeSweeps = 0;
+    /** Fused groups that served two or more requests. */
+    std::uint64_t fusedGroupsFormed = 0;
+    /** Requests served by a multi-request fused group. */
+    std::uint64_t coalescedRequests = 0;
+
+    void
+    merge(const BatchCounters &other)
+    {
+        cacheHits += other.cacheHits;
+        envelopeSweeps += other.envelopeSweeps;
+        fusedGroupsFormed += other.fusedGroupsFormed;
+        coalescedRequests += other.coalescedRequests;
+    }
 };
 
 /**
@@ -97,8 +125,12 @@ struct SweepResponse
 class SweepSession
 {
   public:
-    /** @param cache_dir .bpc mirror directory; empty = memory only. */
-    explicit SweepSession(std::string cache_dir = {});
+    /**
+     * @param cache_dir .bpc mirror directory; empty = memory only.
+     * @param cache_budget_bytes on-disk LRU size budget (0 = none).
+     */
+    explicit SweepSession(std::string cache_dir = {},
+                          std::uint64_t cache_budget_bytes = 0);
 
     SweepSession(const SweepSession &) = delete;
     SweepSession &operator=(const SweepSession &) = delete;
@@ -122,6 +154,36 @@ class SweepSession
      * the trace key is not interned (and the cache cannot answer).
      */
     Result<SweepResponse> sweep(const SweepRequest &request);
+
+    /**
+     * Serve a batch of requests, coalescing the cache misses: misses
+     * that share a first-level input stream -- same trace, scheme,
+     * aliasing mode and scheme parameters, any tier range -- are
+     * answered by ONE envelope replay spanning the union of their
+     * tier ranges, then sliced per request.  The fused kernel's
+     * grouping invariance makes every slice bit-identical to a
+     * standalone sweep() of the same request (pinned by tests), so
+     * coalescing is purely a throughput optimisation: M clients
+     * asking for overlapping lattices cost one trace replay.
+     *
+     * Results are returned in request order.  Each computed slice is
+     * stored in the result cache under its own key (bypassCache
+     * requests neither look up nor store, but still join envelopes --
+     * they asked for a replay and get one).  @p counters, when
+     * non-null, accumulates the batch accounting the service layer
+     * reports.
+     */
+    std::vector<Result<SweepResponse>>
+    sweepBatch(const std::vector<SweepRequest> &requests,
+               BatchCounters *counters = nullptr);
+
+    /**
+     * The coalescing group key of a request: everything in the cache
+     * key except the tier range.  Requests with equal batch keys can
+     * share one envelope replay.  Exposed for the service layer's
+     * queue and for tests.
+     */
+    static std::string batchGroupKey(const SweepRequest &request);
 
     /**
      * Probe a single configuration (uncached -- single points are

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <optional>
+
 #include "cache/result_cache.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "service/server.hh"
 #include "trace/trace_io.hh"
 
 namespace bpsim::verify {
@@ -286,6 +289,150 @@ fuzzBpcImage(const std::string &image, std::uint64_t seed,
 
     // Appending anything breaks the declared-length reconciliation.
     attemptBpc(image + '\0', "bpc trailing garbage", report);
+
+    return report;
+}
+
+// --- Protocol fuzzing --------------------------------------------------
+
+namespace {
+
+/**
+ * Serve one hostile line and validate the universal response
+ * contract: exactly one line back, parseable JSON, boolean "ok".
+ * @return the parsed response, or nullopt after recording a
+ * violation.
+ */
+std::optional<service::JsonValue>
+serveFuzzLine(service::SweepServer &server, const std::string &line,
+              const std::string &what, RequestFuzzReport &report)
+{
+    std::string response;
+    try {
+        response = server.handleLine(line);
+    } catch (...) {
+        report.violations.push_back(
+            detail::concat(what, ": handleLine threw"));
+        return std::nullopt;
+    }
+    Result<service::JsonValue> parsed = service::parseJson(response);
+    if (!parsed.ok()) {
+        report.violations.push_back(detail::concat(
+            what, ": response is not valid JSON: ", response));
+        return std::nullopt;
+    }
+    const service::JsonValue *ok = parsed.value().find("ok");
+    if (!ok || !ok->isBool()) {
+        report.violations.push_back(detail::concat(
+            what, ": response lacks a boolean \"ok\": ", response));
+        return std::nullopt;
+    }
+    return std::move(parsed).value();
+}
+
+/** Serve a line whose rejection is guaranteed by the protocol. */
+void
+mustError(service::SweepServer &server, const std::string &line,
+          const std::string &what, RequestFuzzReport &report)
+{
+    ++report.mustErrorLines;
+    std::optional<service::JsonValue> response =
+        serveFuzzLine(server, line, what, report);
+    if (!response)
+        return;
+    if (response->find("ok")->asBool()) {
+        report.violations.push_back(detail::concat(
+            what, ": mangled request was served successfully"));
+        return;
+    }
+    const service::JsonValue *error = response->find("error");
+    if (!error || !error->isObject() || !error->find("message")) {
+        report.violations.push_back(detail::concat(
+            what, ": error response lacks an error object"));
+        return;
+    }
+    ++report.structuredErrors;
+}
+
+} // namespace
+
+RequestFuzzReport
+fuzzRequestLines(service::SweepServer &server,
+                 const std::string &valid_line, std::uint64_t seed,
+                 std::size_t byteFlips)
+{
+    RequestFuzzReport report;
+
+    // The seed request must actually be valid, or the campaign's
+    // clean-mutant accounting is meaningless.
+    {
+        std::optional<service::JsonValue> response = serveFuzzLine(
+            server, valid_line, "seed request", report);
+        if (response && !response->find("ok")->asBool())
+            report.violations.push_back(
+                "seed request was itself rejected");
+    }
+
+    // Every strict prefix of a JSON object line is incomplete JSON.
+    for (std::size_t keep = 0; keep < valid_line.size(); ++keep) {
+        mustError(server, valid_line.substr(0, keep),
+                  detail::concat("truncation to ", keep, " bytes"),
+                  report);
+    }
+
+    // Random single-bit mutants: any outcome is allowed except a
+    // contract violation (crash, non-JSON response, silence).
+    Pcg32 rng(seed);
+    for (std::size_t i = 0; i < byteFlips; ++i) {
+        std::size_t byte = rng.nextBounded(
+            static_cast<std::uint32_t>(valid_line.size()));
+        int bit = static_cast<int>(rng.nextBounded(8));
+        std::string mutant = valid_line;
+        mutant[byte] = static_cast<char>(mutant[byte] ^ (1 << bit));
+        ++report.mutatedLines;
+        std::optional<service::JsonValue> response = serveFuzzLine(
+            server, mutant,
+            detail::concat("bit flip at byte ", byte, " bit ", bit),
+            report);
+        if (response && response->find("ok")->asBool())
+            ++report.cleanResponses;
+    }
+
+    // Unknown keys are rejected at every level.
+    mustError(server,
+              std::string("{\"definitely_unknown_key\":1,") +
+                  valid_line.substr(1),
+              "unknown top-level key", report);
+
+    // Oversized id and oversized line.
+    const service::ProtocolLimits &limits = server.options().limits;
+    mustError(server,
+              detail::concat("{\"op\":\"ping\",\"id\":\"",
+                             std::string(limits.maxIdBytes + 1, 'x'),
+                             "\"}"),
+              "oversized id", report);
+    mustError(server, std::string(limits.maxLineBytes + 1, ' '),
+              "oversized line", report);
+
+    // Structurally wrong requests.
+    mustError(server, "", "empty line", report);
+    mustError(server, "42", "number line", report);
+    mustError(server, "\"ping\"", "string line", report);
+    mustError(server, "[\"ping\"]", "array line", report);
+    mustError(server, "null", "null line", report);
+    mustError(server, "{\"op\":7}", "wrong-typed op", report);
+    mustError(server, "{\"op\":\"no_such_op\"}", "unknown op",
+              report);
+
+    // The server must still be alive and serving.
+    {
+        std::optional<service::JsonValue> response = serveFuzzLine(
+            server, "{\"op\":\"ping\",\"id\":\"post-fuzz\"}",
+            "post-campaign ping", report);
+        if (response && !response->find("ok")->asBool())
+            report.violations.push_back(
+                "server stopped serving after the campaign");
+    }
 
     return report;
 }

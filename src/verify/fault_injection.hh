@@ -36,6 +36,10 @@
 #include "common/byte_io.hh"
 #include "common/error.hh"
 
+namespace bpsim::service {
+class SweepServer;
+}
+
 namespace bpsim::verify {
 
 /** Where and how a FaultInjectingStream fails. */
@@ -149,6 +153,53 @@ CorruptionReport fuzzBpcImage(const std::string &image,
                               std::uint64_t seed,
                               std::size_t truncations,
                               std::size_t bodyFlips);
+
+/** Tally of one protocol fuzz campaign (see fuzzRequestLines). */
+struct RequestFuzzReport
+{
+    /** Lines whose rejection is guaranteed: truncations, unknown
+     *  keys, oversized fields/lines, structurally wrong requests. */
+    std::uint64_t mustErrorLines = 0;
+    /** ... of which drew a structured error response (must be all). */
+    std::uint64_t structuredErrors = 0;
+
+    /** Random byte-flip mutants attempted (outcome not guaranteed). */
+    std::uint64_t mutatedLines = 0;
+    /** Mutants the server still served successfully (legitimate --
+     *  the flip may hit an id byte or a value harmlessly). */
+    std::uint64_t cleanResponses = 0;
+
+    /** Human-readable contract violations; empty on success. */
+    std::vector<std::string> violations;
+
+    bool
+    passed() const
+    {
+        return violations.empty() &&
+               structuredErrors == mustErrorLines;
+    }
+};
+
+/**
+ * Seeded hostile-client campaign against a live SweepServer, built
+ * from one @p valid_line (a request known to succeed):
+ *
+ *   - every strict prefix of the line (truncated requests),
+ *   - @p byteFlips random single-bit mutants of the line,
+ *   - an unknown top-level key, an oversized id, an oversized line,
+ *   - non-object lines (number, string, array, null) and a
+ *     wrong-typed "op".
+ *
+ * The contract pinned: EVERY line -- however mangled -- draws back
+ * exactly one parseable JSON response with a boolean "ok"; the
+ * guaranteed-invalid ones draw "ok": false with an error object; and
+ * the server still answers a ping afterwards.  The server process
+ * never dies, throws, or goes silent.
+ */
+RequestFuzzReport fuzzRequestLines(service::SweepServer &server,
+                                   const std::string &valid_line,
+                                   std::uint64_t seed,
+                                   std::size_t byteFlips);
 
 } // namespace bpsim::verify
 

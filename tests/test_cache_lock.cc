@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Cross-process hardening of the result cache: the flock writer lock,
+ * tmp-file + atomic-rename publication, the size-budget LRU, and the
+ * "last writer wins" regression -- a failed or concurrent store must
+ * never clobber, truncate or tear an entry another process published.
+ *
+ * The racing tests fork real child processes (threads share the
+ * in-process mutex, which would mask lock bugs); each child opens its
+ * own ResultCache over the shared directory, exactly like concurrent
+ * sweep_server daemons pointed at one cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.hh"
+#include "common/byte_io.hh"
+#include "common/file_lock.hh"
+
+using namespace bpsim;
+
+namespace {
+
+std::string
+freshDir(const char *leaf)
+{
+    std::string dir = ::testing::TempDir() + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+CacheKey
+makeKey(unsigned i)
+{
+    CacheKey key;
+    key.trace = TraceHash{0x1234, 0x5678 + i};
+    key.scheme = "gshare";
+    key.configKey = "min_bits=4 max_bits=" + std::to_string(4 + i);
+    key.engineVersion = 1;
+    return key;
+}
+
+/** A payload whose values encode @p tag so readers can tell entries
+ *  (and writer generations) apart bit-exactly. */
+CachedSweep
+makePayload(unsigned tag, std::size_t points = 8)
+{
+    CachedSweep payload;
+    payload.misprediction = Surface("misprediction");
+    payload.aliasing = Surface("aliasing");
+    payload.harmless = Surface("harmless");
+    for (std::size_t p = 0; p < points && p <= 8; ++p) {
+        const unsigned row = static_cast<unsigned>(p);
+        const unsigned col = 8 - row;
+        const double value = tag + p / 1000.0;
+        payload.misprediction.add(8, row, col, value);
+        payload.aliasing.add(8, row, col, value / 2);
+        payload.harmless.add(8, row, col, value / 4);
+    }
+    payload.bhtMissRate = tag * 0.001;
+    return payload;
+}
+
+bool
+payloadTag(const CachedSweep &payload, unsigned *tag)
+{
+    if (payload.misprediction.tiers().empty() ||
+        payload.misprediction.tiers()[0].points.empty())
+        return false;
+    const double head =
+        payload.misprediction.tiers()[0].points[0].value;
+    *tag = static_cast<unsigned>(head);
+    return true;
+}
+
+/** Every .bpc file under @p dir parses completely (no torn writes,
+ *  no leftover junk).  @return the number of entries. */
+std::size_t
+expectAllEntriesParse(const std::string &dir)
+{
+    std::size_t entries = 0;
+    for (const auto &file :
+         std::filesystem::directory_iterator(dir)) {
+        const std::string path = file.path().string();
+        if (path.size() < 4 ||
+            path.compare(path.size() - 4, 4, ".bpc") != 0) {
+            // The only allowed non-entry file is the lock file;
+            // .tmp debris would mean a failed writer leaked.
+            EXPECT_NE(path.find(".bpsim.cache.lock"),
+                      std::string::npos)
+                << "unexpected file in cache dir: " << path;
+            continue;
+        }
+        auto stream = StdioFileStream::openRead(path);
+        EXPECT_TRUE(stream.ok()) << path;
+        if (!stream.ok())
+            continue;
+        Result<BpcImage> image = readBpc(*stream.value());
+        EXPECT_TRUE(image.ok())
+            << path << ": "
+            << (image.ok() ? "" : image.error().message());
+        ++entries;
+    }
+    return entries;
+}
+
+TEST(CacheLock, RacingWritersAcrossProcessesLoseNoEntries)
+{
+    const std::string dir = freshDir("cache_lock_race");
+    constexpr unsigned kWriters = 4;
+    constexpr unsigned kKeysPerWriter = 6;
+
+    std::vector<pid_t> children;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: its own cache object over the shared dir, its
+            // own slice of the key space, interleaved with everyone.
+            ResultCache cache(dir);
+            bool all_ok = true;
+            for (unsigned i = 0; i < kKeysPerWriter; ++i) {
+                const unsigned id = w * kKeysPerWriter + i;
+                all_ok = all_ok &&
+                         cache.store(makeKey(id), makePayload(id))
+                             .ok();
+            }
+            _exit(all_ok ? 0 : 1);
+        }
+        children.push_back(pid);
+    }
+    for (const pid_t pid : children) {
+        int wstatus = 0;
+        ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+        ASSERT_TRUE(WIFEXITED(wstatus));
+        EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+    }
+
+    // No torn files, and every single entry every writer stored is
+    // present and readable with its exact payload.
+    EXPECT_EQ(expectAllEntriesParse(dir), kWriters * kKeysPerWriter);
+    ResultCache reader(dir);
+    for (unsigned id = 0; id < kWriters * kKeysPerWriter; ++id) {
+        std::optional<CachedSweep> hit = reader.lookup(makeKey(id));
+        ASSERT_TRUE(hit.has_value()) << "lost entry " << id;
+        unsigned tag = 0;
+        ASSERT_TRUE(payloadTag(*hit, &tag));
+        EXPECT_EQ(tag, id);
+        const CachedSweep expect = makePayload(id);
+        EXPECT_EQ(std::memcmp(&hit->bhtMissRate,
+                              &expect.bhtMissRate, sizeof(double)),
+                  0);
+    }
+}
+
+TEST(CacheLock, SameKeyWritersNeverTearTheEntry)
+{
+    const std::string dir = freshDir("cache_lock_samekey");
+    constexpr unsigned kWriters = 4;
+    constexpr unsigned kStoresPerWriter = 8;
+    const CacheKey key = makeKey(0);
+
+    std::vector<pid_t> children;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ResultCache cache(dir);
+            bool all_ok = true;
+            for (unsigned i = 0; i < kStoresPerWriter; ++i)
+                all_ok =
+                    all_ok &&
+                    cache.store(key, makePayload(100 + w)).ok();
+            _exit(all_ok ? 0 : 1);
+        }
+        children.push_back(pid);
+    }
+
+    // A polling reader races the writers the whole time: every
+    // lookup must be a miss or one writer's COMPLETE payload --
+    // never a blend, never a checksum failure served as data.
+    unsigned observed = 0;
+    {
+        for (unsigned spin = 0; spin < 2000; ++spin) {
+            ResultCache fresh(dir); // no in-memory echo of old reads
+            std::optional<CachedSweep> hit = fresh.lookup(key);
+            if (!hit)
+                continue;
+            ++observed;
+            unsigned tag = 0;
+            ASSERT_TRUE(payloadTag(*hit, &tag));
+            ASSERT_GE(tag, 100u);
+            ASSERT_LT(tag, 100u + kWriters);
+            // The whole payload belongs to that one writer.
+            const CachedSweep expect = makePayload(tag);
+            ASSERT_EQ(std::memcmp(&hit->bhtMissRate,
+                                  &expect.bhtMissRate,
+                                  sizeof(double)),
+                      0);
+            ASSERT_EQ(hit->misprediction.tiers()[0].points.size(),
+                      expect.misprediction.tiers()[0].points.size());
+        }
+    }
+    for (const pid_t pid : children) {
+        int wstatus = 0;
+        ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+        EXPECT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+    }
+    EXPECT_GT(observed, 0u);
+    EXPECT_EQ(expectAllEntriesParse(dir), 1u);
+    // The cache's own corruption counter never fired in this process.
+    ResultCache final_reader(dir);
+    ASSERT_TRUE(final_reader.lookup(key).has_value());
+    EXPECT_EQ(final_reader.stats().corrupt, 0u);
+}
+
+TEST(CacheLock, FailedStoreNeverClobbersAPublishedEntry)
+{
+    // The PR6 "last writer wins" regression: the pre-locking code
+    // wrote the final path in place, so a failed writer truncated a
+    // good entry.  Now a failed store may only remove its own .tmp.
+    const std::string dir = freshDir("cache_lock_failed_store");
+    const CacheKey key = makeKey(7);
+
+    ResultCache writer(dir);
+    ASSERT_TRUE(writer.store(key, makePayload(7)).ok());
+
+    ResultCache saboteur(dir);
+    saboteur.failNextDiskStoreForTesting();
+    EXPECT_FALSE(saboteur.store(key, makePayload(999)).ok());
+    EXPECT_EQ(saboteur.stats().storeFailures, 1u);
+
+    // The published entry is intact (a fresh cache proves it comes
+    // from disk), and no .tmp debris was left behind.
+    ResultCache reader(dir);
+    bool from_disk = false;
+    std::optional<CachedSweep> hit = reader.lookup(key, &from_disk);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(from_disk);
+    unsigned tag = 0;
+    ASSERT_TRUE(payloadTag(*hit, &tag));
+    EXPECT_EQ(tag, 7u);
+    EXPECT_EQ(expectAllEntriesParse(dir), 1u);
+
+    // The saboteur still serves the value from memory (store() always
+    // lands in memory even when the mirror write fails).
+    EXPECT_TRUE(saboteur.lookup(key).has_value());
+}
+
+TEST(CacheLock, BudgetEvictionKeepsTheNewestAndTheJustStored)
+{
+    const std::string dir = freshDir("cache_lock_budget");
+
+    // Learn one entry's size, then budget for about three of them.
+    std::uint64_t entry_bytes = 0;
+    {
+        ResultCache probe(dir);
+        ASSERT_TRUE(probe.store(makeKey(0), makePayload(0)).ok());
+        entry_bytes = probe.diskUsageBytes();
+        ASSERT_GT(entry_bytes, 0u);
+    }
+    std::filesystem::remove_all(dir);
+
+    const std::uint64_t budget = 3 * entry_bytes + entry_bytes / 2;
+    ResultCache cache(dir, budget);
+    constexpr unsigned kStores = 8;
+    for (unsigned i = 0; i < kStores; ++i) {
+        ASSERT_TRUE(cache.store(makeKey(i), makePayload(i)).ok());
+        EXPECT_LE(cache.diskUsageBytes(), budget) << "store " << i;
+        // The entry just stored always survives its own eviction
+        // pass, even while older ones are being dropped.
+        EXPECT_TRUE(
+            std::filesystem::exists(cache.filePath(makeKey(i))));
+    }
+    EXPECT_GE(cache.stats().diskEvictions, kStores - 4);
+
+    // Survivors are the newest stores; evicted keys miss on disk but
+    // can still be answered from this cache's memory tier.
+    ResultCache fresh(dir, budget);
+    EXPECT_TRUE(fresh.lookup(makeKey(kStores - 1)).has_value());
+    EXPECT_FALSE(fresh.lookup(makeKey(0)).has_value());
+    EXPECT_TRUE(cache.lookup(makeKey(0)).has_value());
+    expectAllEntriesParse(dir);
+}
+
+TEST(CacheLock, BudgetSmallerThanOneEntryStillStores)
+{
+    const std::string dir = freshDir("cache_lock_tiny_budget");
+    ResultCache cache(dir, 1); // absurd: one byte
+    ASSERT_TRUE(cache.store(makeKey(1), makePayload(1)).ok());
+    // The just-stored entry is protected, so it lands and stays.
+    EXPECT_TRUE(
+        std::filesystem::exists(cache.filePath(makeKey(1))));
+    ResultCache reader(dir);
+    EXPECT_TRUE(reader.lookup(makeKey(1)).has_value());
+    // The next store evicts it (it is now the oldest unprotected).
+    ASSERT_TRUE(cache.store(makeKey(2), makePayload(2)).ok());
+    EXPECT_FALSE(
+        std::filesystem::exists(cache.filePath(makeKey(1))));
+    EXPECT_TRUE(
+        std::filesystem::exists(cache.filePath(makeKey(2))));
+}
+
+TEST(CacheLock, WriterLockIsExclusiveAcrossProcesses)
+{
+    const std::string dir = freshDir("cache_lock_flock");
+    ResultCache cache(dir);
+    ASSERT_TRUE(cache.store(makeKey(0), makePayload(0)).ok());
+    const std::string lock_path = cache.lockFilePath();
+    ASSERT_FALSE(lock_path.empty());
+    ASSERT_TRUE(std::filesystem::exists(lock_path));
+
+    // Fork FIRST, take the lock after: a flock travels with its
+    // open file description across fork, so a lock acquired before
+    // forking would be co-owned by the child and never release.
+    int go[2], done[2];
+    ASSERT_EQ(pipe(go), 0);
+    ASSERT_EQ(pipe(done), 0);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        close(go[1]);
+        close(done[0]);
+        char gate = 0;
+        if (read(go[0], &gate, 1) != 1)
+            _exit(2);
+        // The store must wait for the parent's lock; when it
+        // completes, the lock was necessarily released first.
+        ResultCache child(dir);
+        const bool ok = child.store(makeKey(1), makePayload(1)).ok();
+        const char byte = ok ? '1' : '0';
+        static_cast<void>(write(done[1], &byte, 1));
+        _exit(ok ? 0 : 1);
+    }
+    close(go[0]);
+    close(done[1]);
+
+    {
+        Result<FileLock> held = FileLock::acquire(lock_path);
+        ASSERT_TRUE(held.ok());
+        ASSERT_EQ(write(go[1], "g", 1), 1);
+        // Give the child a moment to reach the lock, then release.
+        usleep(100 * 1000);
+        EXPECT_FALSE(
+            std::filesystem::exists(cache.filePath(makeKey(1))))
+            << "child wrote while the writer lock was held";
+        held.value().release();
+    }
+
+    char byte = 0;
+    ASSERT_EQ(read(done[0], &byte, 1), 1);
+    EXPECT_EQ(byte, '1');
+    close(go[1]);
+    close(done[0]);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    EXPECT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+    EXPECT_TRUE(std::filesystem::exists(cache.filePath(makeKey(1))));
+}
+
+} // namespace
