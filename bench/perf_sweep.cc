@@ -27,6 +27,14 @@
  * regression can be traced to a dispatch or fusion change without
  * rerunning under a profiler.
  *
+ * A within-group scaling phase then runs one representative scheme
+ * (GAs) through the full fused_threads x segments knob matrix
+ * (1/2/4/8 on each axis).  Lane-sharded cells (segments=1) are
+ * asserted bit-identical to the exact surface; speculative cells
+ * (segments>1) report their max per-point epsilon instead.  The cell
+ * grid, speedups and worker utilizations land in the same JSON under
+ * "within_group_scaling".
+ *
  * A second phase times the persistent result cache (sweep_session.hh):
  * the same table3-scale sweep set is run cold (compute + store), warm
  * (memory hits) and disk-warm (a fresh session reading .bpc files),
@@ -121,6 +129,35 @@ checkSurface(SchemeKind kind, const Surface &expect,
         }
     }
 }
+
+/** Largest per-point |delta| between two surfaces of the same plan:
+ *  the auditable epsilon of a speculative segment-parallel run. */
+double
+maxSurfaceDelta(const Surface &expect, const Surface &got)
+{
+    double worst = 0.0;
+    const auto &a = expect.tiers();
+    const auto &b = got.tiers();
+    bpsim_assert(a.size() == b.size(), "tier count drift");
+    for (std::size_t t = 0; t < a.size(); ++t)
+        for (std::size_t p = 0; p < a[t].points.size(); ++p)
+            worst = std::max(worst, std::abs(a[t].points[p].value -
+                                             b[t].points[p].value));
+    return worst;
+}
+
+/** One cell of the within-group scaling matrix. */
+struct MatrixCell
+{
+    unsigned fusedThreads = 1;
+    unsigned segments = 1;
+    double seconds = 0.0;
+    double speedup = 0.0;
+    /** Max per-point |delta| vs exact (0 when segments == 1, where
+     *  bit-identity is asserted, not measured). */
+    double epsilon = 0.0;
+    double utilization = 0.0;
+};
 
 double
 geomean(const std::vector<double> &values)
@@ -296,6 +333,75 @@ main(int argc, char **argv)
     std::printf("(all surfaces verified bit-identical across modes "
                 "and targets)\n");
 
+    // ---- Within-group scaling: fused_threads x segments matrix ---
+    //
+    // One representative scheme (GAs, the paper's centerpiece) run
+    // through every combination of the two within-group knobs.  Lane
+    // sharding (fused_threads) must stay bit-identical at every cell;
+    // speculative segmentation (segments > 1) reports its max
+    // per-point epsilon against the exact surface instead.  The full
+    // 1/2/4/8 grid always runs -- on hosts with fewer hardware
+    // threads the extra cells still verify correctness, but their
+    // speedups measure oversubscription, not scaling (interpret
+    // against "hardware_threads" in the JSON).
+    const SchemeKind matrix_kind = SchemeKind::GAs;
+    const unsigned matrix_levels[] = {1, 2, 4, 8};
+    SweepOptions matrix_base = serial_opts;
+    matrix_base.fuseJobs = true;
+
+    std::printf("\n==== Within-group scaling: %s, fused_threads x "
+                "segments (warmup %u) ====\n",
+                schemeKindName(matrix_kind),
+                matrix_base.segmentWarmup);
+    Surface matrix_exact("");
+    std::vector<MatrixCell> matrix;
+    double matrix_base_s = 0.0;
+    std::printf("%4s |", "ft\\K");
+    for (unsigned segs : matrix_levels)
+        std::printf("  %10s=%u |", "segments", segs);
+    std::printf("\n");
+    for (unsigned ft : matrix_levels) {
+        std::printf("%4u |", ft);
+        for (unsigned segs : matrix_levels) {
+            MatrixCell cell;
+            cell.fusedThreads = ft;
+            cell.segments = segs;
+            SweepOptions opts = matrix_base;
+            opts.fusedThreads = ft;
+            opts.segments = segs;
+            Surface surface("");
+            KernelTelemetry kernel;
+            for (unsigned rep = 0; rep < reps; ++rep) {
+                const double s = runOnce(
+                    session, handle.hash, matrix_kind, opts,
+                    rep == 0 ? &surface : nullptr,
+                    rep == 0 ? &kernel : nullptr);
+                cell.seconds =
+                    rep == 0 ? s : std::min(cell.seconds, s);
+            }
+            if (ft == 1 && segs == 1) {
+                matrix_exact = surface;
+                matrix_base_s = cell.seconds;
+            }
+            if (segs == 1)
+                checkSurface(matrix_kind, matrix_exact, surface);
+            else
+                cell.epsilon = maxSurfaceDelta(matrix_exact, surface);
+            cell.speedup = matrix_base_s / cell.seconds;
+            cell.utilization = kernel.workerUtilization();
+            matrix.push_back(cell);
+            std::printf(" %6.3fs %4.2fx |", cell.seconds,
+                        cell.speedup);
+        }
+        std::printf("\n");
+    }
+    double matrix_max_eps = 0.0;
+    for (const MatrixCell &cell : matrix)
+        matrix_max_eps = std::max(matrix_max_eps, cell.epsilon);
+    std::printf("(segments=1 cells bit-identical to exact; max "
+                "speculative epsilon %.3e mispredict-rate points)\n",
+                matrix_max_eps);
+
     // Machine-readable record, consumed by CHANGES.md bookkeeping and
     // future perf-trajectory comparisons (see EXPERIMENTS.md).
     FILE *json = std::fopen(json_path.c_str(), "w");
@@ -354,7 +460,10 @@ main(int argc, char **argv)
             "\"fused_groups\": %llu, \"fallback_jobs\": %llu,\n"
             "      \"lanes_per_group\": %.2f, \"lane_batches\": "
             "%llu, \"blocks_replayed\": %llu,\n"
-            "      \"hot_bytes_per_branch\": %.2f}}%s\n",
+            "      \"hot_bytes_per_branch\": %.2f, "
+            "\"segments_per_group\": %.2f,\n"
+            "      \"shards_per_group\": %.2f, \"warmup_branches\": "
+            "%llu, \"worker_utilization\": %.3f}}%s\n",
             simdTargetName(r.kernel.target),
             static_cast<unsigned long long>(r.kernel.fusedGroups),
             static_cast<unsigned long long>(r.kernel.fallbackJobs),
@@ -362,9 +471,33 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(r.kernel.laneBatches),
             static_cast<unsigned long long>(r.kernel.blocksReplayed),
             r.kernel.hotBytesPerBranch(),
+            r.kernel.segmentsPerGroup(), r.kernel.shardsPerGroup(),
+            static_cast<unsigned long long>(r.kernel.warmupBranches),
+            r.kernel.workerUtilization(),
             i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"within_group_scaling\": {\"scheme\": \"%s\", "
+                 "\"segment_warmup\": %u,\n"
+                 "   \"max_speculative_epsilon\": %.3e,\n"
+                 "   \"note\": \"speedups above hardware_threads "
+                 "measure oversubscription, not scaling\",\n"
+                 "   \"cells\": [\n",
+                 schemeKindName(matrix_kind),
+                 matrix_base.segmentWarmup, matrix_max_eps);
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        const MatrixCell &cell = matrix[i];
+        std::fprintf(json,
+                     "    {\"fused_threads\": %u, \"segments\": %u, "
+                     "\"seconds\": %.6f, \"speedup\": %.3f, "
+                     "\"epsilon\": %.3e, \"worker_utilization\": "
+                     "%.3f}%s\n",
+                     cell.fusedThreads, cell.segments, cell.seconds,
+                     cell.speedup, cell.epsilon, cell.utilization,
+                     i + 1 < matrix.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]},\n");
     std::fprintf(json, "  \"geomean_fused_speedup\": {");
     for (std::size_t t = 0; t < targets.size(); ++t)
         std::fprintf(json, "\"%s\": %.3f%s",

@@ -21,29 +21,31 @@ SimdTarget
 narrower(SimdTarget target)
 {
     switch (target) {
+      case SimdTarget::AVX512: return SimdTarget::AVX2;
       case SimdTarget::AVX2: return SimdTarget::SSE2;
       default: return SimdTarget::Scalar;
     }
 }
 
-/** Parse a BPSIM_SIMD value; Auto for unset or unrecognised. */
+/**
+ * Lenient BPSIM_SIMD read for the resolve path: Auto for unset or
+ * unrecognised.  A kernel deep inside a sweep must not abort on a
+ * typo'd environment; boundaries surface the structured error via
+ * simdEnvStatus() instead.
+ */
 SimdTarget
 parseEnvTarget()
 {
     const char *env = std::getenv("BPSIM_SIMD");
     if (!env || !*env)
         return SimdTarget::Auto;
-    const std::string value(env);
-    if (value == "scalar")
-        return SimdTarget::Scalar;
-    if (value == "sse2")
-        return SimdTarget::SSE2;
-    if (value == "avx2")
-        return SimdTarget::AVX2;
-    if (value != "auto")
-        bpsim_warn("ignoring unrecognised BPSIM_SIMD value '", value,
-                   "' (expected scalar, sse2, avx2 or auto)");
-    return SimdTarget::Auto;
+    const Result<SimdTarget> parsed = parseSimdTargetName(env);
+    if (!parsed.ok()) {
+        bpsim_warn("ignoring BPSIM_SIMD: ",
+                   parsed.error().message());
+        return SimdTarget::Auto;
+    }
+    return parsed.value();
 }
 
 /** Cached environment override (read once, first use). */
@@ -221,19 +223,13 @@ replayLaneBatchSse2(const std::uint32_t *records, std::size_t n,
 // PackedPht::kGatherSlack padding.  Stores are scalar through a
 // scratch spill (x86 has no AVX2 scatter).
 
+/** 8-lane inner body; lanes beyond `live` train the caller's dummy. */
 __attribute__((target("avx2"))) void
-replayLaneBatchAvx2(const std::uint32_t *records, std::size_t n,
-                    LaneBatch &batch)
+replayLanes8Avx2(const std::uint32_t *records, std::size_t n,
+                 std::uint8_t *const bases[8],
+                 const std::uint32_t masks[8], std::uint64_t misses[8])
 {
-    alignas(32) std::uint8_t dummy[8] = {};
-    std::uint8_t *bases[8];
-    alignas(32) std::uint32_t masks[8];
-    for (unsigned l = 0; l < 8; ++l) {
-        bases[l] = l < batch.lanes ? batch.pht[l] : dummy;
-        masks[l] = l < batch.lanes ? batch.totalMask[l] : 0;
-    }
-
-    const __m256i mask_v = _mm256_load_si256(
+    const __m256i mask_v = _mm256_loadu_si256(
         reinterpret_cast<const __m256i *>(masks));
     const __m256i base_lo = _mm256_set_epi64x(
         reinterpret_cast<long long>(bases[3]),
@@ -314,16 +310,36 @@ replayLaneBatchAvx2(const std::uint32_t *records, std::size_t n,
                 _mm256_xor_si256(_mm256_srli_epi32(cur, 1), tv));
         }
         _mm256_store_si256(reinterpret_cast<__m256i *>(acc_out), acc);
-        for (unsigned l = 0; l < batch.lanes; ++l)
-            batch.misses[l] += acc_out[l];
+        for (unsigned l = 0; l < 8; ++l)
+            misses[l] += acc_out[l];
         done = stop;
     }
 }
 
+void
+replayLaneBatchAvx2(const std::uint32_t *records, std::size_t n,
+                    LaneBatch &batch)
+{
+    for (unsigned l0 = 0; l0 < batch.lanes; l0 += 8) {
+        alignas(32) std::uint8_t dummy[8] = {};
+        std::uint8_t *bases[8];
+        alignas(32) std::uint32_t masks[8];
+        std::uint64_t misses[8] = {};
+        const unsigned live = std::min(8u, batch.lanes - l0);
+        for (unsigned l = 0; l < 8; ++l) {
+            bases[l] = l < live ? batch.pht[l0 + l] : dummy;
+            masks[l] = l < live ? batch.totalMask[l0 + l] : 0;
+        }
+        replayLanes8Avx2(records, n, bases, masks, misses);
+        for (unsigned l = 0; l < live; ++l)
+            batch.misses[l0 + l] += misses[l];
+    }
+}
+
 __attribute__((target("avx2"))) void
-gatherLaneBytesAvx2(const std::uint8_t *const *bases,
-                    const std::uint32_t *byte_idx, unsigned lanes,
-                    std::uint8_t *out)
+gatherLanes8Avx2(const std::uint8_t *const *bases,
+                 const std::uint32_t *byte_idx, unsigned lanes,
+                 std::uint8_t *out)
 {
     alignas(32) const std::uint8_t dummy[8] = {};
     alignas(32) long long addrs[8];
@@ -344,9 +360,188 @@ gatherLaneBytesAvx2(const std::uint8_t *const *bases,
     alignas(32) std::uint32_t got[8];
     _mm256_store_si256(reinterpret_cast<__m256i *>(got),
                        _mm256_set_m128i(g_hi, g_lo));
-    for (unsigned l = 0; l < lanes; ++l)
+    for (unsigned l = 0; l < lanes && l < 8; ++l)
         out[l] = static_cast<std::uint8_t>(got[l]);
 }
+
+void
+gatherLaneBytesAvx2(const std::uint8_t *const *bases,
+                    const std::uint32_t *byte_idx, unsigned lanes,
+                    std::uint8_t *out)
+{
+    for (unsigned l0 = 0; l0 < lanes; l0 += 8)
+        gatherLanes8Avx2(bases + l0, byte_idx + l0, lanes - l0,
+                         out + l0);
+}
+
+#if defined(BPSIM_HAVE_AVX512)
+
+// ---------------------------------------------------------------------
+// AVX-512: 16 lanes per 512-bit vector.  Addressing mirrors AVX2 --
+// two 8-wide vpgatherqd over absolute 64-bit addresses -- but the
+// gathered dword is kept whole (not masked to the low byte) so the
+// update can be written back with vpscatterqd: the counter XOR only
+// touches bits 0..7 (shift <= 6, 2-bit field), the upper three bytes
+// round-trip unchanged, and because lanes own disjoint tables the
+// 4-byte store never lands in another lane's bytes.  The final table
+// byte's scatter spills into PackedPht::kGatherSlack, which PackedPht
+// allocates writable.  Only avx512f intrinsics are used, so one CPUID
+// feature gates execution and one probe gates compilation.
+
+/** 16-lane inner body; lanes beyond `live` train the caller's dummy. */
+__attribute__((target("avx512f"))) void
+replayLanes16Avx512(const std::uint32_t *records, std::size_t n,
+                    std::uint8_t *const bases[16],
+                    const std::uint32_t masks[16],
+                    std::uint64_t misses[16])
+{
+    const __m512i mask_v = _mm512_loadu_si512(masks);
+    const __m512i base_lo = _mm512_set_epi64(
+        reinterpret_cast<long long>(bases[7]),
+        reinterpret_cast<long long>(bases[6]),
+        reinterpret_cast<long long>(bases[5]),
+        reinterpret_cast<long long>(bases[4]),
+        reinterpret_cast<long long>(bases[3]),
+        reinterpret_cast<long long>(bases[2]),
+        reinterpret_cast<long long>(bases[1]),
+        reinterpret_cast<long long>(bases[0]));
+    const __m512i base_hi = _mm512_set_epi64(
+        reinterpret_cast<long long>(bases[15]),
+        reinterpret_cast<long long>(bases[14]),
+        reinterpret_cast<long long>(bases[13]),
+        reinterpret_cast<long long>(bases[12]),
+        reinterpret_cast<long long>(bases[11]),
+        reinterpret_cast<long long>(bases[10]),
+        reinterpret_cast<long long>(bases[9]),
+        reinterpret_cast<long long>(bases[8]));
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i three = _mm512_set1_epi32(3);
+
+    alignas(64) std::uint32_t acc_out[16];
+
+    std::size_t done = 0;
+    while (done < n) {
+        // Flush the 32-bit accumulator before it can saturate.
+        const std::size_t stop =
+            done + std::min<std::size_t>(n - done,
+                                         std::size_t{1} << 30);
+        __m512i acc = zero;
+        for (std::size_t i = done; i < stop; ++i) {
+            const std::uint32_t rc = records[i];
+            const std::uint32_t t = rc >> 31;
+            const __m512i idx = _mm512_and_si512(
+                _mm512_set1_epi32(static_cast<int>(rc)), mask_v);
+            const __m512i bidx = _mm512_srli_epi32(idx, 2);
+            const __m512i shift = _mm512_slli_epi32(
+                _mm512_and_si512(idx, three), 1);
+
+            const __m512i addr_lo = _mm512_add_epi64(
+                base_lo, _mm512_cvtepu32_epi64(
+                             _mm512_castsi512_si256(bidx)));
+            const __m512i addr_hi = _mm512_add_epi64(
+                base_hi, _mm512_cvtepu32_epi64(
+                             _mm512_extracti64x4_epi64(bidx, 1)));
+            const __m256i g_lo = _mm512_i64gather_epi32(
+                addr_lo, static_cast<const int *>(nullptr), 1);
+            const __m256i g_hi = _mm512_i64gather_epi32(
+                addr_hi, static_cast<const int *>(nullptr), 1);
+            // Keep the whole gathered dword: the update only flips
+            // bits in the low byte, so scattering `word` back leaves
+            // the three neighbour bytes exactly as read.
+            const __m512i word = _mm512_inserti64x4(
+                _mm512_castsi256_si512(g_lo), g_hi, 1);
+
+            const __m512i cur = _mm512_and_si512(
+                _mm512_srlv_epi32(word, shift), three);
+            const __m512i tv =
+                _mm512_set1_epi32(static_cast<int>(t));
+            const __m512i ntv =
+                _mm512_set1_epi32(static_cast<int>(t ^ 1u));
+            const __m512i inc = _mm512_maskz_mov_epi32(
+                _mm512_cmpneq_epi32_mask(cur, three), tv);
+            const __m512i dec = _mm512_maskz_mov_epi32(
+                _mm512_cmpneq_epi32_mask(cur, zero), ntv);
+            const __m512i next =
+                _mm512_sub_epi32(_mm512_add_epi32(cur, inc), dec);
+            const __m512i newword = _mm512_xor_si512(
+                word, _mm512_sllv_epi32(_mm512_xor_si512(cur, next),
+                                        shift));
+
+            _mm512_i64scatter_epi32(
+                nullptr, addr_lo,
+                _mm512_castsi512_si256(newword), 1);
+            _mm512_i64scatter_epi32(
+                nullptr, addr_hi,
+                _mm512_extracti64x4_epi64(newword, 1), 1);
+
+            acc = _mm512_add_epi32(
+                acc,
+                _mm512_xor_si512(_mm512_srli_epi32(cur, 1), tv));
+        }
+        _mm512_store_si512(acc_out, acc);
+        for (unsigned l = 0; l < 16; ++l)
+            misses[l] += acc_out[l];
+        done = stop;
+    }
+}
+
+void
+replayLaneBatchAvx512(const std::uint32_t *records, std::size_t n,
+                      LaneBatch &batch)
+{
+    for (unsigned l0 = 0; l0 < batch.lanes; l0 += 16) {
+        alignas(64) std::uint8_t dummy[8] = {};
+        std::uint8_t *bases[16];
+        alignas(64) std::uint32_t masks[16];
+        std::uint64_t misses[16] = {};
+        const unsigned live = std::min(16u, batch.lanes - l0);
+        for (unsigned l = 0; l < 16; ++l) {
+            bases[l] = l < live ? batch.pht[l0 + l] : dummy;
+            masks[l] = l < live ? batch.totalMask[l0 + l] : 0;
+        }
+        replayLanes16Avx512(records, n, bases, masks, misses);
+        for (unsigned l = 0; l < live; ++l)
+            batch.misses[l0 + l] += misses[l];
+    }
+}
+
+__attribute__((target("avx512f"))) void
+gatherLanes16Avx512(const std::uint8_t *const *bases,
+                    const std::uint32_t *byte_idx, unsigned lanes,
+                    std::uint8_t *out)
+{
+    alignas(64) const std::uint8_t dummy[8] = {};
+    alignas(64) long long addrs[16];
+    for (unsigned l = 0; l < 16; ++l) {
+        const std::uint8_t *base = l < lanes ? bases[l] : dummy;
+        const std::uint32_t idx = l < lanes ? byte_idx[l] : 0;
+        addrs[l] = reinterpret_cast<long long>(base) + idx;
+    }
+    const __m256i g_lo = _mm512_i64gather_epi32(
+        _mm512_load_si512(addrs),
+        static_cast<const int *>(nullptr), 1);
+    const __m256i g_hi = _mm512_i64gather_epi32(
+        _mm512_load_si512(addrs + 8),
+        static_cast<const int *>(nullptr), 1);
+    alignas(64) std::uint32_t got[16];
+    _mm512_store_si512(
+        got, _mm512_inserti64x4(_mm512_castsi256_si512(g_lo),
+                                g_hi, 1));
+    for (unsigned l = 0; l < lanes && l < 16; ++l)
+        out[l] = static_cast<std::uint8_t>(got[l]);
+}
+
+void
+gatherLaneBytesAvx512(const std::uint8_t *const *bases,
+                      const std::uint32_t *byte_idx, unsigned lanes,
+                      std::uint8_t *out)
+{
+    for (unsigned l0 = 0; l0 < lanes; l0 += 16)
+        gatherLanes16Avx512(bases + l0, byte_idx + l0, lanes - l0,
+                            out + l0);
+}
+
+#endif // BPSIM_HAVE_AVX512
 
 #endif // BPSIM_SIMD_X86
 
@@ -360,8 +555,40 @@ simdTargetName(SimdTarget target)
       case SimdTarget::Scalar: return "scalar";
       case SimdTarget::SSE2: return "sse2";
       case SimdTarget::AVX2: return "avx2";
+      case SimdTarget::AVX512: return "avx512";
     }
     return "?";
+}
+
+Result<SimdTarget>
+parseSimdTargetName(const std::string &name)
+{
+    if (name == "auto")
+        return SimdTarget::Auto;
+    if (name == "scalar")
+        return SimdTarget::Scalar;
+    if (name == "sse2")
+        return SimdTarget::SSE2;
+    if (name == "avx2")
+        return SimdTarget::AVX2;
+    if (name == "avx512")
+        return SimdTarget::AVX512;
+    return BPSIM_ERROR("unrecognised SIMD target '", name,
+                       "' (expected scalar, sse2, avx2, avx512 or "
+                       "auto)");
+}
+
+Status
+simdEnvStatus()
+{
+    const char *env = std::getenv("BPSIM_SIMD");
+    if (!env || !*env)
+        return Status();
+    const Result<SimdTarget> parsed = parseSimdTargetName(env);
+    if (!parsed.ok())
+        return BPSIM_ERROR("invalid BPSIM_SIMD value: ",
+                           parsed.error().message());
+    return Status();
 }
 
 bool
@@ -376,6 +603,14 @@ simdTargetSupported(SimdTarget target)
         return __builtin_cpu_supports("sse2") != 0;
       case SimdTarget::AVX2:
         return __builtin_cpu_supports("avx2") != 0;
+      case SimdTarget::AVX512:
+#if defined(BPSIM_HAVE_AVX512)
+        return __builtin_cpu_supports("avx512f") != 0;
+#else
+        // Toolchain could not compile the kernel; report unsupported
+        // so dispatch clamps to AVX2 even on capable hardware.
+        return false;
+#endif
 #else
       default:
         return false;
@@ -390,6 +625,10 @@ detectSimdTarget()
     static const SimdTarget cached = [] {
 #if BPSIM_SIMD_X86
         __builtin_cpu_init();
+#if defined(BPSIM_HAVE_AVX512)
+        if (__builtin_cpu_supports("avx512f"))
+            return SimdTarget::AVX512;
+#endif
         if (__builtin_cpu_supports("avx2"))
             return SimdTarget::AVX2;
         if (__builtin_cpu_supports("sse2"))
@@ -417,7 +656,8 @@ std::vector<SimdTarget>
 supportedSimdTargets()
 {
     std::vector<SimdTarget> targets{SimdTarget::Scalar};
-    for (SimdTarget t : {SimdTarget::SSE2, SimdTarget::AVX2}) {
+    for (SimdTarget t : {SimdTarget::SSE2, SimdTarget::AVX2,
+                         SimdTarget::AVX512}) {
         if (simdTargetSupported(t))
             targets.push_back(t);
     }
@@ -439,11 +679,20 @@ replayLaneBatch(SimdTarget target, const std::uint32_t *records,
     // scalar loop.  Measured on the scan in bench/micro_predictor_ops
     // terms, the 8-wide AVX2 kernel runs ~2x a scalar lane-update and
     // the 4-wide SSE2 kernel ~1.5x, putting break-even at 5 and 3
-    // live lanes respectively; below that the call falls through to
-    // the next narrower kernel.  Every path is bit-identical, so this
-    // is purely a cost choice.
+    // live lanes respectively; the 16-wide AVX-512 kernel only beats
+    // two AVX2 passes once more than one 8-lane chunk is live, so its
+    // break-even sits at 9.  Every path is bit-identical, so this is
+    // purely a cost choice.
     switch (target) {
 #if BPSIM_SIMD_X86
+      case SimdTarget::AVX512:
+#if defined(BPSIM_HAVE_AVX512)
+        if (batch.lanes >= 9) {
+            replayLaneBatchAvx512(records, n, batch);
+            return;
+        }
+#endif
+        [[fallthrough]];
       case SimdTarget::AVX2:
         if (batch.lanes >= 5) {
             replayLaneBatchAvx2(records, n, batch);
@@ -472,6 +721,11 @@ gatherLaneBytes(SimdTarget target, const std::uint8_t *const *bases,
                  lanes, " out of range");
     switch (target) {
 #if BPSIM_SIMD_X86
+#if defined(BPSIM_HAVE_AVX512)
+      case SimdTarget::AVX512:
+        gatherLaneBytesAvx512(bases, byte_idx, lanes, out);
+        return;
+#endif
       case SimdTarget::AVX2:
         gatherLaneBytesAvx2(bases, byte_idx, lanes, out);
         return;
@@ -489,8 +743,9 @@ scatterLaneBytes(SimdTarget target, std::uint8_t *const *bases,
 {
     bpsim_assert(lanes <= LaneBatch::kMaxLanes, "scatter width ",
                  lanes, " out of range");
-    // Every target stores scalar: x86 has no AVX2 scatter, and four
-    // byte stores are cheaper than any emulation.
+    // Every target stores scalar: vpscatterqd moves 4-byte elements,
+    // so a byte-granular scatter needs a gather round-trip first, and
+    // four byte stores stay cheaper than that emulation.
     (void)target;
     scatterLaneBytesScalar(bases, byte_idx, lanes, in);
 }

@@ -21,17 +21,32 @@
  *           (vpgatherqd on absolute byte addresses) and variable
  *           shifts (vpsrlvd/vpsllvd); stores remain scalar because x86
  *           has no AVX2 scatter.
+ *   AVX512  16 lanes per 512-bit vector.  Gathers as AVX2 (two
+ *           8-wide vpgatherqd on absolute addresses), but stores go
+ *           through hardware scatters (vpscatterqd), which is safe
+ *           precisely because lanes train disjoint tables -- the
+ *           4-byte scatter element only ever lands inside the owning
+ *           lane's allocation (table bytes + PackedPht slack).
+ *           Compiled only when the toolchain understands the avx512f
+ *           target attribute (CMake probe -> BPSIM_HAVE_AVX512);
+ *           otherwise the target reports unsupported and dispatch
+ *           clamps to AVX2.
  *
  * Dispatch is runtime CPUID -- no ISA flags are baked into tier-1
  * builds, so one binary runs everywhere and selects the widest kernel
- * the host supports.  `BPSIM_SIMD=scalar|sse2|avx2` in the environment
- * overrides auto-detection (the sanitizer CI presets force `scalar` so
- * they stay green on hardware without AVX2); an explicit
+ * the host supports.  `BPSIM_SIMD=scalar|sse2|avx2|avx512` in the
+ * environment overrides auto-detection (the sanitizer CI presets force
+ * `scalar` so they stay green on hardware without AVX2); an explicit
  * `SweepOptions::simd` request beats the environment.  Requests wider
  * than the host supports clamp down to the widest available target.
+ * A malformed BPSIM_SIMD value is reported two ways: kernels resolve
+ * it leniently to Auto (a library deep inside a sweep must not abort),
+ * while CLI boundaries call simdEnvStatus() and surface the structured
+ * Status before any work starts.
  *
- * AVX2 gathers load 4 bytes at the addressed table byte, so every
- * buffer a LaneBatch points at must carry PackedPht::kGatherSlack
+ * AVX2/AVX-512 gathers load 4 bytes at the addressed table byte -- and
+ * the AVX-512 replay scatters 4 bytes back -- so every buffer a
+ * LaneBatch points at must carry PackedPht::kGatherSlack writable
  * padding bytes past its last addressable byte (PackedPht allocates
  * the slack itself).
  */
@@ -40,7 +55,10 @@
 #define BPSIM_COMMON_SIMD_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "common/error.hh"
 
 namespace bpsim {
 
@@ -51,10 +69,29 @@ enum class SimdTarget
     Scalar, ///< reference loop, always available
     SSE2,   ///< 4 lanes per vector
     AVX2,   ///< 8 lanes per vector, hardware gathers
+    AVX512, ///< 16 lanes per vector, hardware gathers and scatters
 };
 
-/** @return "auto", "scalar", "sse2" or "avx2". */
+/** @return "auto", "scalar", "sse2", "avx2" or "avx512". */
 const char *simdTargetName(SimdTarget target);
+
+/**
+ * Parse a target name as accepted by BPSIM_SIMD.  Unknown names are a
+ * structured error naming the offending value and the accepted set;
+ * tests pin the message (tests/test_simd.cc).
+ */
+Result<SimdTarget> parseSimdTargetName(const std::string &name);
+
+/**
+ * Validate the BPSIM_SIMD environment override.  Success when the
+ * variable is unset, empty, or a recognised target name; otherwise the
+ * same structured error parseSimdTargetName() raises.  CLI boundaries
+ * (bench drivers, the sweep service) check this once at startup so a
+ * typo'd override fails loudly instead of silently running Auto.
+ * Reads the environment on every call so it observes setenv() from
+ * tests; resolveSimdTarget() keeps its own first-use cache.
+ */
+Status simdEnvStatus();
 
 /** @return whether this host can execute @p target (Auto: true). */
 bool simdTargetSupported(SimdTarget target);
@@ -76,13 +113,17 @@ std::vector<SimdTarget> supportedSimdTargets();
 /**
  * One batch of fused-kernel lanes in structure-of-arrays form.  Lane l
  * trains the packed 2-bit counter table at pht[l] (a PackedPht data()
- * pointer -- the table carries PackedPht::kGatherSlack bytes of
- * padding for the AVX2 gathers) with counter index
- * `record & totalMask[l]`; misses[l] accumulates its mispredictions.
+ * pointer -- the table carries PackedPht::kGatherSlack writable bytes
+ * of padding for the AVX2/AVX-512 gathers and scatters) with counter
+ * index `record & totalMask[l]`; misses[l] accumulates its
+ * mispredictions.  Live lanes must point at pairwise-disjoint
+ * allocations: the AVX-512 replay kernel read-modify-writes a 4-byte
+ * window around each addressed table byte, which is only race- and
+ * clobber-free when no two lanes share bytes.
  */
 struct LaneBatch
 {
-    static constexpr unsigned kMaxLanes = 8;
+    static constexpr unsigned kMaxLanes = 16;
     std::uint32_t totalMask[kMaxLanes] = {};
     std::uint8_t *pht[kMaxLanes] = {};
     std::uint64_t misses[kMaxLanes] = {};
@@ -101,16 +142,19 @@ struct LaneBatch
  * (resolveSimdTarget), not Auto.  @p target is a ceiling, not a
  * mandate: an under-occupied batch (fewer live lanes than a vector
  * kernel's break-even width) drops to the next narrower kernel,
- * because vector kernels pay for dead padding lanes.
+ * because vector kernels pay for dead padding lanes.  Batches wider
+ * than a kernel's native width are processed in native-width chunks
+ * (16 lanes on an AVX2 host run as two 8-wide calls).
  */
 void replayLaneBatch(SimdTarget target, const std::uint32_t *records,
                      std::size_t n, LaneBatch &batch);
 
 /**
  * Gather one table byte per lane: out[l] = bases[l][byteIdx[l]] for
- * l < lanes (lanes <= LaneBatch::kMaxLanes).  The AVX2 variant uses
- * hardware gathers over absolute addresses, so each bases[l] buffer
- * must extend PackedPht::kGatherSlack bytes past byteIdx[l].
+ * l < lanes (lanes <= LaneBatch::kMaxLanes).  The AVX2/AVX-512
+ * variants use hardware gathers over absolute addresses, so each
+ * bases[l] buffer must extend PackedPht::kGatherSlack bytes past
+ * byteIdx[l].
  */
 void gatherLaneBytes(SimdTarget target,
                      const std::uint8_t *const *bases,
@@ -118,10 +162,14 @@ void gatherLaneBytes(SimdTarget target,
                      std::uint8_t *out);
 
 /**
- * Scatter one table byte per lane: bases[l][byteIdx[l]] = in[l].  x86
- * has no AVX2 scatter, so every target issues scalar stores; the
- * helper exists so gather/scatter round-trips are pinned per target
- * (tests) and measurable (bench/micro_predictor_ops).
+ * Scatter one table byte per lane: bases[l][byteIdx[l]] = in[l].
+ * Every target issues scalar stores: AVX-512's vpscatterqd moves
+ * 4-byte elements, so a byte-granular scatter would need a
+ * read-modify-write round trip that costs more than four byte stores
+ * (the replay kernel can use the hardware scatter only because it
+ * already holds the gathered 4-byte window).  The helper exists so
+ * gather/scatter round-trips are pinned per target (tests) and
+ * measurable (bench/micro_predictor_ops).
  */
 void scatterLaneBytes(SimdTarget target, std::uint8_t *const *bases,
                       const std::uint32_t *byteIdx, unsigned lanes,

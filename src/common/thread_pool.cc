@@ -70,6 +70,16 @@ ThreadPool::shared()
     return pool;
 }
 
+namespace {
+thread_local bool t_in_worker = false;
+} // namespace
+
+bool
+ThreadPool::inWorkerThread()
+{
+    return t_in_worker;
+}
+
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
@@ -84,6 +94,7 @@ ThreadPool::enqueue(std::function<void()> task)
 void
 ThreadPool::workerLoop()
 {
+    t_in_worker = true;
     for (;;) {
         std::function<void()> task;
         {

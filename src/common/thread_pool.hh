@@ -61,6 +61,14 @@ class ThreadPool
     static ThreadPool &shared();
 
     /**
+     * Whether the calling thread is a pool worker (of any ThreadPool).
+     * Observability for tests of nested parallelFor(): an inner batch
+     * issued from a worker must execute on workers or the initiator,
+     * never by spawning ad-hoc threads.
+     */
+    static bool inWorkerThread();
+
+    /**
      * Run fn(0) .. fn(n-1) with at most @p max_threads concurrent
      * executors (the calling thread plus up to max_threads-1 workers).
      * max_threads <= 1 degenerates to a plain serial loop.  Blocks

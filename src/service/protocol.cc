@@ -146,6 +146,30 @@ parseOptions(const JsonValue &v, const ProtocolLimits &limits,
             if (!n.ok())
                 return n.error();
             opts.bhtAssoc = static_cast<unsigned>(n.value());
+        } else if (key == "segments") {
+            // 1 = exact replay (the default resolution); > 1 opts the
+            // request into speculative segment-parallel replay, which
+            // is keyed separately in the result cache.
+            Result<std::uint64_t> n = uintField(
+                value, "segments", 1, SweepOptions::kMaxSegments);
+            if (!n.ok())
+                return n.error();
+            opts.segments = static_cast<unsigned>(n.value());
+        } else if (key == "fused_threads") {
+            // Execution-only knob (bit-identical, not cache-keyed);
+            // 0 = all hardware threads.
+            Result<std::uint64_t> n =
+                uintField(value, "fused_threads", 0, 256);
+            if (!n.ok())
+                return n.error();
+            opts.fusedThreads = static_cast<unsigned>(n.value());
+        } else if (key == "segment_warmup") {
+            Result<std::uint64_t> n = uintField(
+                value, "segment_warmup", 0, 1ull << 20);
+            if (!n.ok())
+                return n.error();
+            opts.segmentWarmup =
+                static_cast<unsigned>(n.value());
         } else {
             return BPSIM_ERROR("unknown options field \"", key, "\"");
         }

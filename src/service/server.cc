@@ -348,6 +348,36 @@ SweepServer::handleStats(const Request &req)
                   JsonValue(static_cast<std::int64_t>(
                       server.queue.batch.coalescedRequests)));
 
+    // Cumulative kernel telemetry over every envelope replay the
+    // daemon has executed (cache hits contribute nothing).
+    const KernelTelemetry &kernel = server.queue.batch.kernel;
+    JsonValue::Object kernelObj;
+    kernelObj.emplace("target",
+                      JsonValue(simdTargetName(kernel.target)));
+    kernelObj.emplace("fused_groups",
+                      JsonValue(static_cast<std::int64_t>(
+                          kernel.fusedGroups)));
+    kernelObj.emplace("lanes", JsonValue(static_cast<std::int64_t>(
+                                   kernel.lanes)));
+    kernelObj.emplace("segments",
+                      JsonValue(static_cast<std::int64_t>(
+                          kernel.segments)));
+    kernelObj.emplace("lane_shards",
+                      JsonValue(static_cast<std::int64_t>(
+                          kernel.laneShards)));
+    kernelObj.emplace("shard_tasks",
+                      JsonValue(static_cast<std::int64_t>(
+                          kernel.shardTasks)));
+    kernelObj.emplace("segments_per_group",
+                      JsonValue(kernel.segmentsPerGroup()));
+    kernelObj.emplace("shards_per_group",
+                      JsonValue(kernel.shardsPerGroup()));
+    kernelObj.emplace("warmup_branches",
+                      JsonValue(static_cast<std::int64_t>(
+                          kernel.warmupBranches)));
+    kernelObj.emplace("worker_utilization",
+                      JsonValue(kernel.workerUtilization()));
+
     JsonValue::Object cacheObj;
     cacheObj.emplace("memory_hits", JsonValue(static_cast<std::int64_t>(
                                         cache.memoryHits)));
@@ -375,6 +405,7 @@ SweepServer::handleStats(const Request &req)
         "errors",
         JsonValue(static_cast<std::int64_t>(server.errors)));
     out.object().emplace("queue", JsonValue(std::move(queue)));
+    out.object().emplace("kernel", JsonValue(std::move(kernelObj)));
     out.object().emplace("cache", JsonValue(std::move(cacheObj)));
     out.object().emplace("traces_interned",
                          JsonValue(static_cast<std::int64_t>(

@@ -13,6 +13,7 @@ PreparedTrace::PreparedTrace(const MemoryTrace &trace,
 {
     std::size_t n = trace.conditionalCount();
     pcs.reserve(n);
+    wordBits_.reserve(n);
     if (need_path_history)
         succBits_.reserve(n);
     takenBits_.reserve(n / 64 + 1);
@@ -29,6 +30,8 @@ PreparedTrace::PreparedTrace(const MemoryTrace &trace,
             continue;
         const std::size_t k = pcs.size();
         pcs.push_back(rec.pc);
+        wordBits_.push_back(static_cast<std::uint16_t>(
+            bits(wordIndex(rec.pc), 16)));
         if (need_path_history) {
             // The successor already folds in the outcome, so the path
             // column replaces the full 8-byte target address with the
@@ -57,6 +60,7 @@ PreparedTrace::bytesPerBranch() const
     if (size() == 0)
         return 0.0;
     const std::size_t bytes = pcs.size() * sizeof(Addr) +
+        wordBits_.size() * sizeof(std::uint16_t) +
         succBits_.size() * sizeof(std::uint16_t) +
         takenBits_.size() * sizeof(std::uint64_t) +
         ghist.size() * sizeof(std::uint64_t) +

@@ -18,11 +18,13 @@
  *
  * Column layout is sized for replay throughput: outcomes are a packed
  * bit stream (one bit per branch, consumed 64 branches at a time by the
- * fused kernel), and the path-history column stores only the low 16
- * successor word-index bits per branch (pathHistoryStream never shifts
- * in more -- bits_per_target is capped at 16) instead of full 8-byte
- * target addresses.  bytesPerBranch() reports the resulting resident
- * footprint so tests can pin it.
+ * fused kernel), the fused narrow decode reads a 2-byte word-index
+ * column (wordBits) instead of the 8-byte pc column, and the
+ * path-history column stores only the low 16 successor word-index bits
+ * per branch (pathHistoryStream never shifts in more -- bits_per_target
+ * is capped at 16) instead of full 8-byte target addresses.
+ * bytesPerBranch() reports the resulting resident footprint so tests
+ * can pin it.
  *
  * A test (test_sweep_equivalence) pins the equivalence between this fast
  * path and the online TwoLevelPredictor.
@@ -62,6 +64,15 @@ class PreparedTrace
     /** Branch address of conditional instance @p i. */
     Addr pc(std::size_t i) const { return pcs[i]; }
 
+    /**
+     * Low 16 bits of wordIndex(pc(i)), as a 2-byte column.  The fused
+     * kernel's narrow decode masks the column index to 15 bits anyway,
+     * so reading this instead of the 8-byte pc column cuts the decode
+     * traffic per branch -- which matters more now that segment-
+     * parallel shards each run their own decode pass (sweep.cc).
+     */
+    std::uint16_t wordBits(std::size_t i) const { return wordBits_[i]; }
+
     /** Outcome of conditional instance @p i. */
     bool
     taken(std::size_t i) const
@@ -87,9 +98,9 @@ class PreparedTrace
     bool hasPathColumn() const { return !succBits_.empty() || size() == 0; }
 
     /**
-     * Resident column bytes divided by branch count: 8 (pc) + 8
-     * (ghist) + 8 (shist) + 1/8 (packed outcome bit) + 2 when the path
-     * column is kept.  Zero for an empty trace.
+     * Resident column bytes divided by branch count: 8 (pc) + 2 (word
+     * bits) + 8 (ghist) + 8 (shist) + 1/8 (packed outcome bit) + 2
+     * when the path column is kept.  Zero for an empty trace.
      */
     double bytesPerBranch() const;
 
@@ -118,6 +129,8 @@ class PreparedTrace
   private:
     std::string name_;
     std::vector<Addr> pcs;
+    /** Low 16 word-index bits per branch (fused narrow decode). */
+    std::vector<std::uint16_t> wordBits_;
     /** Low 16 successor word-index bits per branch (path schemes). */
     std::vector<std::uint16_t> succBits_;
     /** Packed outcomes, branch i at bit (i & 63) of word i / 64. */

@@ -1,6 +1,8 @@
 #include "sim/sweep.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <set>
 
 #include "common/logging.hh"
@@ -120,6 +122,17 @@ runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
     bpsim_panic("unreachable scheme kind");
 }
 
+/** Resolved within-group execution shape for one fused replay. */
+struct ReplayExec
+{
+    /** Lane shard executors (resolveFusedThreads, >= 1). */
+    unsigned shards = 1;
+    /** Trace segments (resolveSegments, >= 1; 1 = exact). */
+    unsigned segments = 1;
+    /** Warm-up branches before each speculative segment. */
+    std::size_t warmup = 2048;
+};
+
 /**
  * The fused replay: one trace pass updates every member configuration.
  * Per branch the raw row value and the pc word index are computed once
@@ -128,11 +141,11 @@ runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
  *
  * The pass is block-tiled for locality: a block of branches is decoded
  * once into a compact per-branch record, then every lane makes one
- * tight pass over the decoded block.  The decode cost (row functor, pc
- * word index, outcome bit) is amortised over all lanes, the block
- * stays L1-resident while the lanes stream it, and each lane's packed
- * table stays cache-hot for the whole block instead of being evicted
- * between branches by a hundred sibling tables.
+ * tight pass over the decoded block.  The decode cost (row functor,
+ * word-index column, outcome bit) is amortised over all lanes, the
+ * block stays L1-resident while the lanes stream it, and each lane's
+ * packed table stays cache-hot for the whole block instead of being
+ * evicted between branches by a hundred sibling tables.
  *
  * When every member fits narrow limits (row and column <= 15 bits --
  * always true for the paper's <= 2^15-counter tables), lanes are
@@ -147,9 +160,25 @@ runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
  * tables.  Lanes sharing a record stream are then replayed
  * LaneBatch::kMaxLanes at a time through the runtime-dispatched SIMD
  * kernel (common/simd.hh): per record, one shared stream load feeds
- * 4-8 lanes' mask+gather+packed-counter-RMW in parallel, instead of
+ * 4-16 lanes' mask+gather+packed-counter-RMW in parallel, instead of
  * one scalar pass per lane.  Every dispatch target is bit-identical to
  * the scalar loop.
+ *
+ * Within the group the replay is decomposed into (shard x segment)
+ * tasks (see DESIGN.md "Segment-parallel replay").  Shards partition
+ * the *lanes*: each task owns a disjoint, contiguous run of the
+ * colBits-sorted lane list with private packed tables, so sharding
+ * never changes any lane's update sequence and results are
+ * bit-identical for any shard count -- the only cost is that each
+ * shard repeats the block decode.  Segments partition the *trace* at
+ * block boundaries: segment k > 0 starts from cold counter state,
+ * replays an uncounted warm-up window of exec.warmup branches before
+ * its range to converge the counters, then counts its own range; the
+ * per-(lane, segment) counts are summed in segment order.  Segment
+ * boundaries and warm-up depend only on (trace length, segments,
+ * warmup), so speculative results are deterministic and independent of
+ * shard/worker counts; segments == 1 replays [0, n) cold-started
+ * exactly like the serial engine.
  */
 template <typename RowFn>
 void
@@ -157,8 +186,16 @@ runFusedReplay(const PreparedTrace &t,
                const std::vector<ConfigJob> &jobs,
                const std::vector<std::size_t> &members, RowFn row_of,
                ConfigResult *slots, SimdTarget target,
-               KernelTelemetry *telemetry)
+               const ReplayExec &exec, KernelTelemetry *telemetry)
 {
+    struct LaneSpec
+    {
+        std::size_t member;
+        std::uint64_t rowMask;
+        std::uint64_t colMask;
+        unsigned colBits;
+    };
+
     struct Lane
     {
         std::uint64_t rowMask;
@@ -167,22 +204,33 @@ runFusedReplay(const PreparedTrace &t,
         std::uint64_t mispredicts = 0;
         PackedPht pht;
 
-        explicit Lane(const ConfigJob &job)
-            : rowMask(mask(job.rowBits)), colMask(mask(job.colBits)),
-              colBits(job.colBits),
-              pht(std::size_t{1} << (job.rowBits + job.colBits))
+        explicit Lane(const LaneSpec &spec)
+            : rowMask(spec.rowMask), colMask(spec.colMask),
+              colBits(spec.colBits),
+              pht((static_cast<std::size_t>(spec.rowMask) + 1) *
+                  (static_cast<std::size_t>(spec.colMask) + 1))
         {
         }
     };
 
-    std::vector<Lane> lanes;
-    lanes.reserve(members.size());
+    std::vector<LaneSpec> specs;
+    specs.reserve(members.size());
     bool narrow = true;
     for (std::size_t member : members) {
-        lanes.emplace_back(jobs[member]);
-        if (jobs[member].rowBits > 15 || jobs[member].colBits > 15)
+        const ConfigJob &job = jobs[member];
+        specs.push_back(LaneSpec{member, mask(job.rowBits),
+                                 mask(job.colBits), job.colBits});
+        if (job.rowBits > 15 || job.colBits > 15)
             narrow = false;
     }
+    // Keep column classes contiguous so each shard materialises as few
+    // per-column record streams as possible.  Stable: plan order is
+    // preserved within a class, and the sort affects execution
+    // placement only -- every lane's result lands in slots[member].
+    std::stable_sort(specs.begin(), specs.end(),
+                     [](const LaneSpec &a, const LaneSpec &b) {
+                         return a.colBits < b.colBits;
+                     });
 
     // 2048 * 4 bytes keeps each decoded block at 8 KiB -- small enough
     // to share L1 with the largest packed table a paper sweep uses
@@ -192,120 +240,241 @@ runFusedReplay(const PreparedTrace &t,
     static_assert(blockSize % 64 == 0,
                   "blocks must consume whole taken words");
     const std::size_t n = t.size();
+    const std::size_t nblocks = (n + blockSize - 1) / blockSize;
+
+    // Segments split at block boundaries (so counted tiles stay
+    // 64-aligned) and never exceed the block count; shards never
+    // exceed the lane count.  Balanced integer splits keep both
+    // partitions deterministic.
+    const std::size_t lane_count = specs.size();
+    const std::size_t shards = std::max<std::size_t>(
+        1, std::min<std::size_t>(exec.shards, lane_count));
+    const std::size_t segs = std::max<std::size_t>(
+        1, std::min<std::size_t>(exec.segments,
+                                 std::max<std::size_t>(nblocks, 1)));
+    const std::size_t tasks = shards * segs;
+    const auto shard_begin = [&](std::size_t s) {
+        return s * lane_count / shards;
+    };
+    const auto seg_begin = [&](std::size_t k) {
+        return std::min(n, k * nblocks / segs * blockSize);
+    };
+
+    // Per-(segment, lane) mispredict counts: task (s, k) writes only
+    // its shard's slice of row k, so placement is deterministic and
+    // unsynchronised.
+    std::vector<std::uint64_t> seg_misses(segs * lane_count, 0);
+    std::vector<KernelTelemetry> task_tel(tasks);
+
+    const auto run_task = [&](std::size_t task_idx) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t s = task_idx / segs;
+        const std::size_t k = task_idx % segs;
+        const std::size_t lane_lo = shard_begin(s);
+        const std::size_t lane_hi = shard_begin(s + 1);
+        const std::size_t seg_lo = seg_begin(k);
+        const std::size_t seg_hi = seg_begin(k + 1);
+        // Segment 0 starts at the true trace start and needs no
+        // warm-up; later segments converge their cold counters on the
+        // window just before their range (uncounted).
+        const std::size_t warm_lo =
+            seg_lo > exec.warmup ? seg_lo - exec.warmup : 0;
+        KernelTelemetry &tel = task_tel[task_idx];
+        tel.warmupBranches += seg_lo - warm_lo;
+
+        // Private tables per task: shards must not share bytes (the
+        // SIMD kernels require disjoint lanes), and speculative
+        // segments must start cold by construction.
+        std::vector<Lane> lanes;
+        lanes.reserve(lane_hi - lane_lo);
+        for (std::size_t j = lane_lo; j < lane_hi; ++j)
+            lanes.emplace_back(specs[j]);
+
+        if (narrow) {
+            // Lanes sharing a column width share their fused record;
+            // the record for c occupies bits 0..29 (row << c tops out
+            // at bit 14 + 15), so the outcome bit in 31 never collides
+            // with any total-bits mask.
+            std::vector<std::vector<Lane *>> by_col(16);
+            for (Lane &lane : lanes)
+                by_col[lane.colBits].push_back(&lane);
+
+            // Raw decode: outcome in bit 31, row in bits 29..15,
+            // column in bits 14..0.  Lanes only read the row/column
+            // bits their masks cover, so the 15-bit truncation is
+            // lossless.
+            std::vector<std::uint32_t> decoded(blockSize);
+            std::vector<std::uint32_t> record(blockSize);
+            const auto replay_span = [&](std::size_t lo,
+                                         std::size_t hi, bool count) {
+                for (std::size_t base = lo; base < hi;
+                     base += blockSize) {
+                    const std::size_t m =
+                        std::min(blockSize, hi - base);
+                    if (count)
+                        ++tel.blocksReplayed;
+                    std::uint64_t taken_word = 0;
+                    for (std::size_t i = 0; i < m; ++i) {
+                        const std::size_t g = base + i;
+                        // Outcomes arrive packed, one 64-branch word
+                        // at a time; reload at word boundaries and on
+                        // the first (possibly unaligned, for warm-up
+                        // spans) branch.
+                        if (i == 0 || (g & 63) == 0)
+                            taken_word = t.takenWord(g >> 6);
+                        const auto tk = static_cast<std::uint32_t>(
+                            (taken_word >> (g & 63)) & 1u);
+                        decoded[i] =
+                            (tk << 31) |
+                            ((static_cast<std::uint32_t>(row_of(g)) &
+                              0x7FFFu) << 15) |
+                            (t.wordBits(g) & 0x7FFFu);
+                    }
+                    for (unsigned c = 0; c < by_col.size(); ++c) {
+                        std::vector<Lane *> &col_lanes = by_col[c];
+                        if (col_lanes.empty())
+                            continue;
+                        const auto col_mask =
+                            static_cast<std::uint32_t>(mask(c));
+                        for (std::size_t i = 0; i < m; ++i) {
+                            const std::uint32_t d = decoded[i];
+                            record[i] = (d & 0x80000000u) |
+                                        (((d >> 15) & 0x7FFFu) << c) |
+                                        (d & col_mask);
+                        }
+                        // Replay the shared record stream through the
+                        // lanes, LaneBatch::kMaxLanes at a time, on
+                        // the dispatched SIMD kernel.
+                        for (std::size_t first = 0;
+                             first < col_lanes.size();
+                             first += LaneBatch::kMaxLanes) {
+                            LaneBatch batch;
+                            batch.lanes = static_cast<unsigned>(
+                                std::min<std::size_t>(
+                                    LaneBatch::kMaxLanes,
+                                    col_lanes.size() - first));
+                            for (unsigned l = 0; l < batch.lanes; ++l) {
+                                Lane *lane = col_lanes[first + l];
+                                batch.totalMask[l] =
+                                    static_cast<std::uint32_t>(
+                                        (lane->rowMask << c) |
+                                        lane->colMask);
+                                batch.pht[l] = lane->pht.data();
+                            }
+                            replayLaneBatch(target, record.data(), m,
+                                            batch);
+                            if (count) {
+                                for (unsigned l = 0; l < batch.lanes;
+                                     ++l)
+                                    col_lanes[first + l]->mispredicts +=
+                                        batch.misses[l];
+                                ++tel.laneBatches;
+                            }
+                        }
+                    }
+                }
+            };
+            replay_span(warm_lo, seg_lo, false);
+            replay_span(seg_lo, seg_hi, true);
+        } else {
+            // Wide fallback for configurations beyond the packed-
+            // record limits: same tiling, 64-bit row/column records.
+            std::vector<std::uint64_t> rows(blockSize),
+                cols(blockSize);
+            std::vector<std::uint8_t> takens(blockSize);
+            const auto replay_span = [&](std::size_t lo,
+                                         std::size_t hi, bool count) {
+                for (std::size_t base = lo; base < hi;
+                     base += blockSize) {
+                    const std::size_t m =
+                        std::min(blockSize, hi - base);
+                    if (count)
+                        ++tel.blocksReplayed;
+                    for (std::size_t i = 0; i < m; ++i) {
+                        const std::size_t g = base + i;
+                        rows[i] = row_of(g);
+                        cols[i] = wordIndex(t.pc(g));
+                        takens[i] =
+                            static_cast<std::uint8_t>(t.taken(g));
+                    }
+                    for (Lane &lane : lanes) {
+                        const std::uint64_t row_mask = lane.rowMask;
+                        const std::uint64_t col_mask = lane.colMask;
+                        const unsigned col_bits = lane.colBits;
+                        std::uint8_t *bytes = lane.pht.data();
+                        std::uint64_t misses = 0;
+                        for (std::size_t i = 0; i < m; ++i) {
+                            const auto idx = static_cast<std::size_t>(
+                                ((rows[i] & row_mask) << col_bits) |
+                                (cols[i] & col_mask));
+                            misses += PackedPht::predictAndUpdateRaw(
+                                bytes, idx, takens[i]);
+                        }
+                        if (count)
+                            lane.mispredicts += misses;
+                    }
+                }
+            };
+            replay_span(warm_lo, seg_lo, false);
+            replay_span(seg_lo, seg_hi, true);
+        }
+
+        for (std::size_t j = 0; j < lanes.size(); ++j)
+            seg_misses[k * lane_count + lane_lo + j] =
+                lanes[j].mispredicts;
+        tel.busySeconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+    };
+
+    // Executors: the fusedThreads knob sizes the shard dimension, and
+    // a speculative request implies its segments want to run
+    // concurrently, so the task phase may use whichever is larger --
+    // purely an execution choice, results never depend on it.
+    const auto workers = static_cast<unsigned>(std::min<std::size_t>(
+        tasks,
+        std::max<std::size_t>(exec.shards, segs > 1 ? segs : 1)));
+    const auto span0 = std::chrono::steady_clock::now();
+    if (tasks == 1 || workers <= 1) {
+        for (std::size_t task_idx = 0; task_idx < tasks; ++task_idx)
+            run_task(task_idx);
+    } else {
+        ThreadPool::shared().parallelFor(tasks, workers, run_task);
+    }
 
     KernelTelemetry counters;
     counters.target = target;
     counters.fusedGroups = 1;
-    counters.lanes = lanes.size();
-
-    if (narrow) {
-        // Lanes sharing a column width share their fused record; the
-        // record for c occupies bits 0..29 (row << c tops out at bit
-        // 14 + 15), so the outcome bit in 31 never collides with any
-        // total-bits mask.
-        std::vector<std::vector<Lane *>> by_col(16);
-        for (Lane &lane : lanes)
-            by_col[lane.colBits].push_back(&lane);
-
-        // Raw decode: outcome in bit 31, row in bits 29..15, column
-        // in bits 14..0.  Lanes only read the row/column bits their
-        // masks cover, so the 15-bit truncation is lossless.
-        std::vector<std::uint32_t> decoded(blockSize);
-        std::vector<std::uint32_t> record(blockSize);
-        for (std::size_t base = 0; base < n; base += blockSize) {
-            const std::size_t m = std::min(blockSize, n - base);
-            ++counters.blocksReplayed;
-            std::uint64_t taken_word = 0;
-            for (std::size_t i = 0; i < m; ++i) {
-                const std::size_t g = base + i;
-                // Outcomes arrive packed, one 64-branch word at a
-                // time (base is 64-aligned by the static_assert).
-                if ((g & 63) == 0)
-                    taken_word = t.takenWord(g >> 6);
-                const auto tk = static_cast<std::uint32_t>(
-                    (taken_word >> (g & 63)) & 1u);
-                decoded[i] =
-                    (tk << 31) |
-                    ((static_cast<std::uint32_t>(row_of(g)) &
-                      0x7FFFu) << 15) |
-                    (static_cast<std::uint32_t>(wordIndex(t.pc(g))) &
-                     0x7FFFu);
-            }
-            for (unsigned c = 0; c < by_col.size(); ++c) {
-                std::vector<Lane *> &col_lanes = by_col[c];
-                if (col_lanes.empty())
-                    continue;
-                const auto col_mask =
-                    static_cast<std::uint32_t>(mask(c));
-                for (std::size_t i = 0; i < m; ++i) {
-                    const std::uint32_t d = decoded[i];
-                    record[i] = (d & 0x80000000u) |
-                                (((d >> 15) & 0x7FFFu) << c) |
-                                (d & col_mask);
-                }
-                // Replay the shared record stream through the lanes,
-                // LaneBatch::kMaxLanes at a time, on the dispatched
-                // SIMD kernel.
-                for (std::size_t first = 0; first < col_lanes.size();
-                     first += LaneBatch::kMaxLanes) {
-                    LaneBatch batch;
-                    batch.lanes = static_cast<unsigned>(
-                        std::min<std::size_t>(LaneBatch::kMaxLanes,
-                                              col_lanes.size() -
-                                                  first));
-                    for (unsigned l = 0; l < batch.lanes; ++l) {
-                        Lane *lane = col_lanes[first + l];
-                        batch.totalMask[l] = static_cast<std::uint32_t>(
-                            (lane->rowMask << c) | lane->colMask);
-                        batch.pht[l] = lane->pht.data();
-                    }
-                    replayLaneBatch(target, record.data(), m, batch);
-                    for (unsigned l = 0; l < batch.lanes; ++l)
-                        col_lanes[first + l]->mispredicts +=
-                            batch.misses[l];
-                    ++counters.laneBatches;
-                }
-            }
-        }
-    } else {
-        // Wide fallback for configurations beyond the packed-record
-        // limits: same tiling, 64-bit row/column records.
-        counters.wideLanes = lanes.size();
-        std::vector<std::uint64_t> rows(blockSize), cols(blockSize);
-        std::vector<std::uint8_t> takens(blockSize);
-        for (std::size_t base = 0; base < n; base += blockSize) {
-            const std::size_t m = std::min(blockSize, n - base);
-            ++counters.blocksReplayed;
-            for (std::size_t i = 0; i < m; ++i) {
-                const std::size_t g = base + i;
-                rows[i] = row_of(g);
-                cols[i] = wordIndex(t.pc(g));
-                takens[i] = static_cast<std::uint8_t>(t.taken(g));
-            }
-            for (Lane &lane : lanes) {
-                const std::uint64_t row_mask = lane.rowMask;
-                const std::uint64_t col_mask = lane.colMask;
-                const unsigned col_bits = lane.colBits;
-                std::uint8_t *bytes = lane.pht.data();
-                std::uint64_t misses = 0;
-                for (std::size_t i = 0; i < m; ++i) {
-                    const auto idx = static_cast<std::size_t>(
-                        ((rows[i] & row_mask) << col_bits) |
-                        (cols[i] & col_mask));
-                    misses += PackedPht::predictAndUpdateRaw(
-                        bytes, idx, takens[i]);
-                }
-                lane.mispredicts += misses;
-            }
-        }
+    counters.lanes = lane_count;
+    counters.wideLanes = narrow ? 0 : lane_count;
+    counters.segments = segs;
+    counters.laneShards = shards;
+    counters.shardTasks = tasks;
+    counters.shardWorkers = workers;
+    counters.spanSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - span0)
+            .count();
+    for (const KernelTelemetry &tel : task_tel) {
+        counters.blocksReplayed += tel.blocksReplayed;
+        counters.laneBatches += tel.laneBatches;
+        counters.warmupBranches += tel.warmupBranches;
+        counters.busySeconds += tel.busySeconds;
     }
 
-    for (std::size_t j = 0; j < members.size(); ++j) {
-        ConfigResult &out = slots[members[j]];
+    // Reconcile: sum each lane's per-segment counts in segment order.
+    // For segs == 1 this is exactly the serial total; for segs > 1 it
+    // is the speculative estimate whose delta against exact mode the
+    // bench and differential tests report.
+    for (std::size_t j = 0; j < lane_count; ++j) {
+        std::uint64_t total = 0;
+        for (std::size_t k = 0; k < segs; ++k)
+            total += seg_misses[k * lane_count + j];
+        ConfigResult &out = slots[specs[j].member];
         out = ConfigResult{};
         out.mispRate =
-            n ? static_cast<double>(lanes[j].mispredicts) /
-                    static_cast<double>(n)
+            n ? static_cast<double>(total) / static_cast<double>(n)
               : 0.0;
     }
     if (telemetry)
@@ -332,6 +501,31 @@ KernelTelemetry::hotBytesPerBranch() const
            static_cast<double>(lanes);
 }
 
+double
+KernelTelemetry::segmentsPerGroup() const
+{
+    return fusedGroups ? static_cast<double>(segments) /
+                             static_cast<double>(fusedGroups)
+                       : 0.0;
+}
+
+double
+KernelTelemetry::shardsPerGroup() const
+{
+    return fusedGroups ? static_cast<double>(laneShards) /
+                             static_cast<double>(fusedGroups)
+                       : 0.0;
+}
+
+double
+KernelTelemetry::workerUtilization() const
+{
+    if (spanSeconds <= 0.0 || shardWorkers == 0)
+        return 0.0;
+    return busySeconds /
+           (spanSeconds * static_cast<double>(shardWorkers));
+}
+
 void
 KernelTelemetry::merge(const KernelTelemetry &other)
 {
@@ -342,6 +536,47 @@ KernelTelemetry::merge(const KernelTelemetry &other)
     wideLanes += other.wideLanes;
     laneBatches += other.laneBatches;
     blocksReplayed += other.blocksReplayed;
+    segments += other.segments;
+    laneShards += other.laneShards;
+    shardTasks += other.shardTasks;
+    warmupBranches += other.warmupBranches;
+    busySeconds += other.busySeconds;
+    spanSeconds += other.spanSeconds;
+    // The widest task phase seen; utilisation divides busy time by
+    // span * this, so taking the max keeps the ratio conservative.
+    shardWorkers = std::max(shardWorkers, other.shardWorkers);
+}
+
+unsigned
+resolveFusedThreads(const SweepOptions &opts)
+{
+    return ThreadPool::resolveThreads(opts.fusedThreads);
+}
+
+unsigned
+resolveSegments(const SweepOptions &opts)
+{
+    unsigned segs = opts.segments;
+    if (segs == 0) {
+        // Read fresh on every call: tests and long-lived services
+        // toggle BPSIM_SEGMENTS between sweeps.
+        segs = 1;
+        if (const char *env = std::getenv("BPSIM_SEGMENTS")) {
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(env, &end, 10);
+            if (end && *end == '\0' && end != env && v >= 1 &&
+                v <= SweepOptions::kMaxSegments) {
+                segs = static_cast<unsigned>(v);
+            } else {
+                bpsim_warn("ignoring unrecognised BPSIM_SEGMENTS ",
+                           "value '", env,
+                           "' (expected an integer in [1, ",
+                           SweepOptions::kMaxSegments, "])");
+            }
+        }
+    }
+    return std::max(1u,
+                    std::min(segs, SweepOptions::kMaxSegments));
 }
 
 const char *
@@ -746,6 +981,12 @@ runFusedGroup(const FusedGroup &group,
 
     const PreparedTrace &t = cache.trace();
     const SimdTarget target = resolveSimdTarget(cache.options().simd);
+    // The within-group execution shape: lane shards (always
+    // bit-identical) and trace segments (speculative when > 1).
+    ReplayExec exec;
+    exec.shards = resolveFusedThreads(cache.options());
+    exec.segments = resolveSegments(cache.options());
+    exec.warmup = cache.options().segmentWarmup;
     // One stream lookup per group, not per job or per branch.
     const std::vector<std::uint64_t> *aux =
         cache.stream(group.kind, group.streamRowBits);
@@ -754,14 +995,14 @@ runFusedGroup(const FusedGroup &group,
       case SchemeKind::AddressIndexed:
         runFusedReplay(t, jobs, group.jobs,
                        [](std::size_t) { return std::uint64_t{0}; },
-                       slots, target, telemetry);
+                       slots, target, exec, telemetry);
         break;
       case SchemeKind::GAg:
       case SchemeKind::GAs:
         runFusedReplay(
             t, jobs, group.jobs,
             [&](std::size_t i) { return t.globalHistory(i); }, slots,
-            target, telemetry);
+            target, exec, telemetry);
         break;
       case SchemeKind::Gshare:
         runFusedReplay(t, jobs, group.jobs,
@@ -769,24 +1010,24 @@ runFusedGroup(const FusedGroup &group,
                            return t.globalHistory(i) ^
                                   wordIndex(t.pc(i));
                        },
-                       slots, target, telemetry);
+                       slots, target, exec, telemetry);
         break;
       case SchemeKind::Path:
         bpsim_assert(aux, "fused path group needs a history stream");
         runFusedReplay(t, jobs, group.jobs,
                        [&](std::size_t i) { return (*aux)[i]; },
-                       slots, target, telemetry);
+                       slots, target, exec, telemetry);
         break;
       case SchemeKind::PAsPerfect:
         runFusedReplay(t, jobs, group.jobs,
                        [&](std::size_t i) { return t.selfHistory(i); },
-                       slots, target, telemetry);
+                       slots, target, exec, telemetry);
         break;
       case SchemeKind::PAsFinite: {
         bpsim_assert(aux, "fused finite-PAs group needs a BHT stream");
         runFusedReplay(t, jobs, group.jobs,
                        [&](std::size_t i) { return (*aux)[i]; },
-                       slots, target, telemetry);
+                       slots, target, exec, telemetry);
         const double miss = cache.bhtMissRate(group.streamRowBits);
         for (std::size_t member : group.jobs)
             slots[member].bhtMissRate = miss;

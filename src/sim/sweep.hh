@@ -18,6 +18,20 @@
  * into Surfaces in plan order, so parallel and fused results are both
  * bit-identical to the serial per-config ones.
  *
+ * Within one group, two further axes of parallelism exist (see
+ * DESIGN.md "Segment-parallel replay"):
+ *
+ *  - SweepOptions::fusedThreads lane-shards the group's block replay:
+ *    each executor owns a disjoint subset of the member lanes with
+ *    private packed tables, so any shard count is bit-identical to the
+ *    serial fused pass.
+ *  - SweepOptions::segments speculatively splits the *trace* into K
+ *    ranges replayed concurrently from cold-start counter state behind
+ *    a segmentWarmup-branch warm-up window.  K > 1 trades a bounded,
+ *    auditable mispredict epsilon for parallelism; the exact K = 1
+ *    mode stays the default and speculative results depend only on
+ *    (K, warmup), never on shard/worker counts.
+ *
  * Aliasing measurement (Figure 5) needs the per-access branch-address
  * comparison of AliasTracker, so aliasing-tracked sweeps fall back to
  * the original one-job-per-replay kernel; semantics there are
@@ -96,7 +110,62 @@ struct SweepOptions
      * differential tests), so this is a performance/debug knob only.
      */
     SimdTarget simd = SimdTarget::Auto;
+    /**
+     * Executors *inside* one fused group: the group's member lanes are
+     * sharded across this many concurrent block-replay workers, each
+     * owning a disjoint lane subset with private packed tables --
+     * nothing is shared, so results are bit-identical for any value.
+     * 0 = one per hardware thread, 1 (default) reproduces the serial
+     * fused replay.  Composes with `threads`: groups distribute outer,
+     * shards inner (the pool's nested parallelFor is deadlock-free).
+     * Execution knob only: excluded from result-cache keys
+     * (sweep_session.cc), exactly like `threads` and `simd`.
+     */
+    unsigned fusedThreads = 1;
+    /**
+     * Speculative segment replay: split the trace into this many
+     * ranges, replay them concurrently from cold-start counter state
+     * after a segmentWarmup-branch uncounted warm-up window, and sum
+     * the per-segment mispredict counts.  0 (default) defers to the
+     * BPSIM_SEGMENTS environment override, else exact; 1 is the exact
+     * single-segment replay (bit-identical to the serial engine);
+     * K > 1 trades a bounded mispredict epsilon (2-bit counters
+     * converge after a handful of same-direction updates, so only the
+     * few warm-up-resistant counters at each boundary can disagree)
+     * for segment parallelism.  Speculative results depend only on
+     * (K, segmentWarmup) -- never on shard or worker counts -- and
+     * are cached under a distinct key (sweep_session.cc).  Clamped to
+     * kMaxSegments; see resolveSegments().
+     */
+    unsigned segments = 0;
+    /**
+     * Warm-up branches replayed (uncounted) before each speculative
+     * segment to converge its cold counters; ignored when the
+     * resolved segment count is 1.  A window reaching back to the
+     * trace start makes the segment exact by construction.
+     */
+    unsigned segmentWarmup = 2048;
+
+    /** Hard ceiling on resolveSegments() (protocol limit too). */
+    static constexpr unsigned kMaxSegments = 64;
 };
+
+/**
+ * The within-group shard executor count a sweep actually uses:
+ * opts.fusedThreads with 0 resolved to the hardware thread count.
+ */
+unsigned resolveFusedThreads(const SweepOptions &opts);
+
+/**
+ * The segment count a sweep actually uses: an explicit opts.segments
+ * wins; 0 defers to the BPSIM_SEGMENTS environment override (a
+ * positive integer; malformed values warn and fall back), else 1.
+ * Clamped to [1, SweepOptions::kMaxSegments].  Read fresh per call so
+ * tests can vary the environment.  Result-cache keys use the same
+ * resolution (sweep_session.cc), so a speculative run can never be
+ * served an exact result or vice versa.
+ */
+unsigned resolveSegments(const SweepOptions &opts);
 
 /**
  * Observability counters for one sweep's kernel execution, reported in
@@ -119,9 +188,33 @@ struct KernelTelemetry
     std::uint64_t laneBatches = 0;
     /** Decoded block tiles streamed through the lane batches. */
     std::uint64_t blocksReplayed = 0;
+    /** Trace segments across fused groups (1/group = exact replay). */
+    std::uint64_t segments = 0;
+    /** Lane shards across fused groups (1/group = unsharded). */
+    std::uint64_t laneShards = 0;
+    /** (shard x segment) replay tasks dispatched by fused groups. */
+    std::uint64_t shardTasks = 0;
+    /** Uncounted warm-up branches replayed by speculative segments. */
+    std::uint64_t warmupBranches = 0;
+    /** Summed per-task execution time (busy seconds across workers). */
+    double busySeconds = 0.0;
+    /** Summed per-group wall time of the task phase. */
+    double spanSeconds = 0.0;
+    /** Peak concurrent executors any group's task phase could use. */
+    std::uint64_t shardWorkers = 0;
 
     /** Mean member configurations per fused group. */
     double lanesPerGroup() const;
+    /** Mean trace segments per fused group (1.0 = exact everywhere). */
+    double segmentsPerGroup() const;
+    /** Mean lane shards per fused group (1.0 = unsharded). */
+    double shardsPerGroup() const;
+    /**
+     * Fraction of the task phase's worker-seconds spent executing:
+     * busySeconds / (spanSeconds * shardWorkers).  1.0 means every
+     * executor was busy for the whole span; 0.0 when unmeasured.
+     */
+    double workerUtilization() const;
     /**
      * Bytes the lane inner loop reads per branch per lane: 4 (one
      * packed record) for narrow lanes, 17 (row, column, outcome) for

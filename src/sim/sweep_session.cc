@@ -74,6 +74,19 @@ schemeOptionTokens(SchemeKind kind, const SweepOptions &opts)
             "reset=" +
             std::to_string(static_cast<int>(opts.bhtResetPolicy)));
     }
+    // Speculative segment replay changes results, so a speculative
+    // sweep must never serve (or be served by) an exact one.  The
+    // resolved count is keyed -- not the raw option -- so an explicit
+    // segments=4 and a BPSIM_SEGMENTS=4 run share an entry, and exact
+    // mode (the resolved default) keeps its historical key.  The
+    // warm-up width joins only alongside segments: it is read only
+    // when K > 1.
+    const unsigned segments = resolveSegments(opts);
+    if (segments > 1) {
+        tokens.push_back("segments=" + std::to_string(segments));
+        tokens.push_back("warmup=" +
+                         std::to_string(opts.segmentWarmup));
+    }
     return tokens;
 }
 
@@ -84,9 +97,10 @@ SweepSession::cacheConfigKey(SchemeKind kind, const SweepOptions &opts)
 {
     // Only result-affecting options, and of those only the ones the
     // scheme reads: a gshare sweep must not miss because an unused
-    // BHT knob changed.  threads/fuseJobs/simd are bit-identical
-    // execution knobs (pinned by the differential tests) and are
-    // deliberately absent.
+    // BHT knob changed.  threads/fuseJobs/simd/fusedThreads are
+    // bit-identical execution knobs (pinned by the differential
+    // tests) and are deliberately absent; segments joins the key only
+    // when it resolves speculative (see schemeOptionTokens).
     std::vector<std::string> tokens = schemeOptionTokens(kind, opts);
     tokens.push_back("min=" + std::to_string(opts.minTotalBits));
     tokens.push_back("max=" + std::to_string(opts.maxTotalBits));
@@ -261,6 +275,7 @@ SweepSession::sweepBatch(const std::vector<SweepRequest> &requests,
             sweepScheme(*prep.value(), first.kind, envelope);
         const bool multi = members.size() > 1;
         ++local.envelopeSweeps;
+        local.kernel.merge(swept.kernel);
         if (multi) {
             ++local.fusedGroupsFormed;
             local.coalescedRequests += members.size();

@@ -23,11 +23,14 @@
  *
  *  - The cache key is (trace key, scheme, canonical config key,
  *    kEngineVersion).  cacheConfigKey() serializes exactly the options
- *    that affect *results*: tier range, aliasing tracking, and the
- *    per-scheme parameters the scheme actually reads.  Execution knobs
- *    (threads, fuseJobs, simd) are bit-identical by construction --
- *    pinned by the differential tests -- and are excluded, so a sweep
- *    computed with 8 threads is a hit for a serial rerun.
+ *    that affect *results*: tier range, aliasing tracking, the
+ *    per-scheme parameters the scheme actually reads, and -- only when
+ *    a request resolves speculative (resolveSegments > 1) -- the
+ *    segment count and warm-up width, so speculative and exact results
+ *    never cross-serve.  Execution knobs (threads, fuseJobs, simd,
+ *    fusedThreads) are bit-identical by construction -- pinned by the
+ *    differential tests -- and are excluded, so a sweep computed with
+ *    8 threads is a hit for a serial rerun.
  *
  *  - kEngineVersion MUST be bumped whenever replay semantics change
  *    (new tie-breaking, counter init, history seeding, ...): old .bpc
@@ -105,6 +108,14 @@ struct BatchCounters
     std::uint64_t fusedGroupsFormed = 0;
     /** Requests served by a multi-request fused group. */
     std::uint64_t coalescedRequests = 0;
+    /**
+     * Kernel telemetry summed over every envelope replay this batch
+     * executed (cache hits contribute nothing -- nothing ran).  The
+     * service stats op surfaces it so a long-lived daemon reports its
+     * cumulative dispatch target, segment/shard shape and worker
+     * utilisation.
+     */
+    KernelTelemetry kernel;
 
     void
     merge(const BatchCounters &other)
@@ -113,6 +124,10 @@ struct BatchCounters
         envelopeSweeps += other.envelopeSweeps;
         fusedGroupsFormed += other.fusedGroupsFormed;
         coalescedRequests += other.coalescedRequests;
+        // Only merge telemetry that describes an execution: a hit-only
+        // batch's zeroed record must not reset the dispatch target.
+        if (other.envelopeSweeps != 0)
+            kernel.merge(other.kernel);
     }
 };
 

@@ -166,21 +166,21 @@ TEST(PreparedTrace, TakenWordsPackOutcomesSixtyFourPerWord)
 
 TEST(PreparedTrace, BytesPerBranchReflectsPackedColumns)
 {
-    // pc (8) + ghist (8) + shist (8) + one outcome BIT + 2 bytes of
-    // successor path bits: ~26.13, not the 33 of the old layout with
-    // byte-wide outcomes and 8-byte targets.
+    // pc (8) + word bits (2) + ghist (8) + shist (8) + one outcome
+    // BIT + 2 bytes of successor path bits: ~28.13, not the 33 of the
+    // old layout with byte-wide outcomes and 8-byte targets.
     MemoryTrace raw = smallWorkload();
     PreparedTrace with_path(raw);
     EXPECT_TRUE(with_path.hasPathColumn());
-    EXPECT_GE(with_path.bytesPerBranch(), 26.125);
-    EXPECT_LT(with_path.bytesPerBranch(), 26.2);
+    EXPECT_GE(with_path.bytesPerBranch(), 28.125);
+    EXPECT_LT(with_path.bytesPerBranch(), 28.2);
 
     // Dropping the path column saves its 2 bytes per branch; the rest
     // of the columns are untouched.
     PreparedTrace without_path(raw, false);
     EXPECT_FALSE(without_path.hasPathColumn());
-    EXPECT_GE(without_path.bytesPerBranch(), 24.125);
-    EXPECT_LT(without_path.bytesPerBranch(), 24.2);
+    EXPECT_GE(without_path.bytesPerBranch(), 26.125);
+    EXPECT_LT(without_path.bytesPerBranch(), 26.2);
     EXPECT_EQ(without_path.size(), with_path.size());
     for (std::size_t i = 0; i < without_path.size(); i += 97) {
         ASSERT_EQ(without_path.pc(i), with_path.pc(i));

@@ -209,6 +209,40 @@ TEST(Protocol, ParsesSweepRequest)
     EXPECT_TRUE(r.bypassCache);
 }
 
+TEST(Protocol, ParsesSegmentParallelOptions)
+{
+    Result<Request> req = parseLine(
+        "{\"op\":\"sweep\",\"trace\":{\"profile\":\"gcc\"},"
+        "\"scheme\":\"gshare\",\"options\":{\"segments\":4,"
+        "\"fused_threads\":8,\"segment_warmup\":512}}");
+    ASSERT_TRUE(req.ok()) << (req.ok() ? "" : req.error().message());
+    EXPECT_EQ(req.value().options.segments, 4u);
+    EXPECT_EQ(req.value().options.fusedThreads, 8u);
+    EXPECT_EQ(req.value().options.segmentWarmup, 512u);
+
+    // Unset, the defaults stay: exact replay, serial lane dimension.
+    Result<Request> plain = parseLine(
+        "{\"op\":\"sweep\",\"trace\":{\"profile\":\"gcc\"},"
+        "\"scheme\":\"gshare\"}");
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(plain.value().options.segments, 0u);
+    EXPECT_EQ(plain.value().options.fusedThreads, 1u);
+
+    // Bounds: segments in [1, kMaxSegments], fused_threads capped.
+    const char *bad[] = {
+        "{\"op\":\"sweep\",\"trace\":{\"profile\":\"gcc\"},"
+        "\"scheme\":\"g\",\"options\":{\"segments\":0}}",
+        "{\"op\":\"sweep\",\"trace\":{\"profile\":\"gcc\"},"
+        "\"scheme\":\"g\",\"options\":{\"segments\":65}}",
+        "{\"op\":\"sweep\",\"trace\":{\"profile\":\"gcc\"},"
+        "\"scheme\":\"g\",\"options\":{\"fused_threads\":1000}}",
+        "{\"op\":\"sweep\",\"trace\":{\"profile\":\"gcc\"},"
+        "\"scheme\":\"g\",\"options\":{\"segment_warmup\":-1}}",
+    };
+    for (const char *text : bad)
+        EXPECT_FALSE(parseLine(text).ok()) << text;
+}
+
 TEST(Protocol, ParsesTraceForms)
 {
     Result<Request> by_hash = parseLine(

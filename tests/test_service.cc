@@ -285,6 +285,14 @@ TEST(Service, StatsAndCatalogReportState)
     SweepServer server;
     handle(server, sweepLine("gshare", 4, 5));
     handle(server, sweepLine("gshare", 4, 5));
+    // A fused replay (aliasing off) so the kernel telemetry below has
+    // an envelope execution to describe.
+    handle(server,
+           std::string("{\"op\":\"sweep\",\"trace\":{\"profile\":\"") +
+               kProfile + "\",\"branches\":" +
+               std::to_string(kBranches) +
+               "},\"scheme\":\"gshare\",\"options\":{\"min_bits\":4,"
+               "\"max_bits\":5,\"aliasing\":false}}");
     handle(server, "definitely not json");
 
     JsonValue stats = handle(server, "{\"op\":\"stats\"}");
@@ -296,6 +304,24 @@ TEST(Service, StatsAndCatalogReportState)
     EXPECT_GE(queue->find("submissions")->asInt(), 2);
     EXPECT_GE(queue->find("cache_hits")->asInt(), 1);
     EXPECT_EQ(stats.find("traces_interned")->asInt(), 1);
+
+    // Kernel telemetry from the envelope replay the first sweep ran
+    // (the repeat was a cache hit and contributes nothing).
+    const JsonValue *kernel = stats.find("kernel");
+    ASSERT_NE(kernel, nullptr);
+    EXPECT_FALSE(kernel->find("target")->asString().empty());
+    EXPECT_GE(kernel->find("fused_groups")->asInt(), 1);
+    EXPECT_GE(kernel->find("lanes")->asInt(), 1);
+    EXPECT_GE(kernel->find("segments")->asInt(),
+              kernel->find("fused_groups")->asInt());
+    EXPECT_GE(kernel->find("lane_shards")->asInt(),
+              kernel->find("fused_groups")->asInt());
+    EXPECT_GE(kernel->find("shard_tasks")->asInt(),
+              kernel->find("fused_groups")->asInt());
+    EXPECT_GE(kernel->find("segments_per_group")->asDouble(), 1.0);
+    EXPECT_GE(kernel->find("shards_per_group")->asDouble(), 1.0);
+    ASSERT_NE(kernel->find("worker_utilization"), nullptr);
+    ASSERT_NE(kernel->find("warmup_branches"), nullptr);
 
     JsonValue catalog = handle(server, "{\"op\":\"catalog\"}");
     ASSERT_TRUE(isOk(catalog));

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/bitutil.hh"
@@ -101,6 +103,58 @@ TEST(Simd, TargetNames)
     EXPECT_STREQ(simdTargetName(SimdTarget::Scalar), "scalar");
     EXPECT_STREQ(simdTargetName(SimdTarget::SSE2), "sse2");
     EXPECT_STREQ(simdTargetName(SimdTarget::AVX2), "avx2");
+    EXPECT_STREQ(simdTargetName(SimdTarget::AVX512), "avx512");
+}
+
+TEST(Simd, ParseTargetNameRoundTripsEveryName)
+{
+    for (SimdTarget t :
+         {SimdTarget::Auto, SimdTarget::Scalar, SimdTarget::SSE2,
+          SimdTarget::AVX2, SimdTarget::AVX512}) {
+        Result<SimdTarget> parsed =
+            parseSimdTargetName(simdTargetName(t));
+        ASSERT_TRUE(parsed.ok()) << simdTargetName(t);
+        EXPECT_EQ(parsed.value(), t);
+    }
+}
+
+TEST(Simd, ParseTargetNameRejectsUnknownWithPinnedMessage)
+{
+    Result<SimdTarget> parsed = parseSimdTargetName("sse9");
+    ASSERT_FALSE(parsed.ok());
+    // The message is a user-facing contract (boundaries print it
+    // verbatim on a typo'd BPSIM_SIMD): it must name the offender and
+    // enumerate the accepted spellings.
+    EXPECT_EQ(parsed.error().message(),
+              "unrecognised SIMD target 'sse9' (expected scalar, "
+              "sse2, avx2, avx512 or auto)");
+    EXPECT_FALSE(parseSimdTargetName("").ok());
+    EXPECT_FALSE(parseSimdTargetName("AVX2").ok());
+}
+
+TEST(Simd, EnvStatusFlagsMalformedOverride)
+{
+    // Preserve whatever the surrounding test run pinned.
+    const char *prev = std::getenv("BPSIM_SIMD");
+    const std::string saved = prev ? prev : "";
+
+    ::unsetenv("BPSIM_SIMD");
+    EXPECT_TRUE(simdEnvStatus().ok());
+
+    ::setenv("BPSIM_SIMD", "scalar", 1);
+    EXPECT_TRUE(simdEnvStatus().ok());
+
+    ::setenv("BPSIM_SIMD", "neon", 1);
+    Status bad = simdEnvStatus();
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().message(),
+              "invalid BPSIM_SIMD value: unrecognised SIMD target "
+              "'neon' (expected scalar, sse2, avx2, avx512 or auto)");
+
+    if (prev)
+        ::setenv("BPSIM_SIMD", saved.c_str(), 1);
+    else
+        ::unsetenv("BPSIM_SIMD");
 }
 
 TEST(Simd, ScalarAlwaysSupportedAndResolveNeverReturnsAuto)

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
@@ -206,6 +207,53 @@ TEST(SweepSession, ConfigKeyExcludesExecutionKnobs)
               SweepSession::cacheConfigKey(SchemeKind::GAs, f));
     EXPECT_NE(SweepSession::cacheConfigKey(SchemeKind::Path, a),
               SweepSession::cacheConfigKey(SchemeKind::Path, f));
+
+    // fusedThreads is execution-only (lane sharding is bit-identical).
+    SweepOptions g = smallSweep();
+    g.fusedThreads = 8;
+    EXPECT_EQ(SweepSession::cacheConfigKey(SchemeKind::Gshare, a),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare, g));
+}
+
+TEST(SweepSession, SpeculativeSegmentsSplitTheKey)
+{
+    ::unsetenv("BPSIM_SEGMENTS");
+    const SweepOptions exact = smallSweep();
+
+    // Explicit exact (segments=1) keeps the historical key, so old
+    // .bpc entries stay valid.
+    SweepOptions explicit_exact = smallSweep();
+    explicit_exact.segments = 1;
+    EXPECT_EQ(SweepSession::cacheConfigKey(SchemeKind::Gshare, exact),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare,
+                                           explicit_exact));
+
+    // Speculative mode must never cross-serve exact results: K and
+    // the warm-up width both split the key.
+    SweepOptions spec = smallSweep();
+    spec.segments = 4;
+    EXPECT_NE(SweepSession::cacheConfigKey(SchemeKind::Gshare, exact),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare, spec));
+    SweepOptions spec_wide = spec;
+    spec_wide.segmentWarmup = 4096;
+    EXPECT_NE(
+        SweepSession::cacheConfigKey(SchemeKind::Gshare, spec),
+        SweepSession::cacheConfigKey(SchemeKind::Gshare, spec_wide));
+
+    // An env-resolved speculative run shares the explicit key (the
+    // resolved count is keyed, not the raw option)...
+    ::setenv("BPSIM_SEGMENTS", "4", 1);
+    EXPECT_EQ(SweepSession::cacheConfigKey(SchemeKind::Gshare, exact),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare, spec));
+    // ... and the batch-coalescing key splits the same way, so
+    // speculative and exact requests never share an envelope replay.
+    SweepRequest req_env{TraceHash{3, 4}, SchemeKind::Gshare, exact};
+    SweepRequest req_spec{TraceHash{3, 4}, SchemeKind::Gshare, spec};
+    EXPECT_EQ(SweepSession::batchGroupKey(req_env),
+              SweepSession::batchGroupKey(req_spec));
+    ::unsetenv("BPSIM_SEGMENTS");
+    EXPECT_NE(SweepSession::batchGroupKey(req_env),
+              SweepSession::batchGroupKey(req_spec));
 }
 
 TEST(SweepSession, PointMatchesSimulateConfig)

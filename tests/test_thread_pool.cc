@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <random>
@@ -141,6 +142,47 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
     });
     for (std::size_t o = 0; o < outer; ++o)
         EXPECT_EQ(counts[o].load(), static_cast<int>(inner));
+}
+
+TEST(ThreadPool, InWorkerThreadDistinguishesPoolWorkers)
+{
+    // The initiator of a batch is not a worker; threads serving the
+    // pool are.  (Sticky per thread: once a thread has been a worker
+    // it stays marked, which is exactly the property nested dispatch
+    // decisions need.)
+    EXPECT_FALSE(ThreadPool::inWorkerThread());
+    ThreadPool pool(2);
+    std::atomic<int> worker_hits{0}, initiator_hits{0};
+    pool.parallelFor(64, 3, [&](std::size_t) {
+        if (ThreadPool::inWorkerThread())
+            worker_hits.fetch_add(1);
+        else
+            initiator_hits.fetch_add(1);
+    });
+    // The initiator participates in its own batch, so both kinds of
+    // thread ran jobs; their counts add up to the whole batch.
+    EXPECT_EQ(worker_hits.load() + initiator_hits.load(), 64);
+    EXPECT_FALSE(ThreadPool::inWorkerThread());
+}
+
+TEST(ThreadPool, NestedGroupsTimesShardsShapeDrains)
+{
+    // The segment-parallel sweep shape: sweepScheme distributes fused
+    // groups on the shared pool (outer), and every group's replay
+    // distributes its shard x segment tasks on the same pool (inner).
+    // Both levels go through ThreadPool::shared() -- exactly what the
+    // tsan preset replays -- and must drain with every task run once.
+    constexpr std::size_t groups = 6, tasks = 8;
+    std::vector<std::array<std::atomic<int>, tasks>> runs(groups);
+    ThreadPool::shared().parallelFor(groups, 4, [&](std::size_t g) {
+        ThreadPool::shared().parallelFor(tasks, 4, [&](std::size_t t) {
+            runs[g][t].fetch_add(1);
+        });
+    });
+    for (std::size_t g = 0; g < groups; ++g)
+        for (std::size_t t = 0; t < tasks; ++t)
+            ASSERT_EQ(runs[g][t].load(), 1)
+                << "group " << g << " task " << t;
 }
 
 TEST(ThreadPool, SubmitDeliversResultThroughFuture)
