@@ -91,6 +91,29 @@ main(int argc, char **argv)
                       "-"});
     }
 
+    // Extension: the modern zoo at a loosely matched budget.  TAGE
+    // spends the budget across tagged components plus a bimodal base;
+    // the hashed perceptron across per-table weight rows.  Neither is
+    // organised as rows x columns of two-bit counters, so only the
+    // headline misprediction rate is comparable.
+    {
+        char tage_spec[64];
+        std::snprintf(tage_spec, sizeof(tage_spec), "tage:%u:%u",
+                      budget, budget > 2 ? budget - 2 : 1);
+        char perc_spec[64];
+        std::snprintf(perc_spec, sizeof(perc_spec), "perceptron:16:%u",
+                      budget > 2 ? budget - 2 : 1);
+        for (const char *spec : {static_cast<const char *>(tage_spec),
+                                 static_cast<const char *>(perc_spec)}) {
+            auto zoo = makePredictor(spec);
+            TraceView view(handle);
+            PredictionStats stats = runPredictor(view, *zoo);
+            table.addRow({zoo->name(), "-",
+                          TableFormatter::percent(stats.mispRate()), "-",
+                          "-"});
+        }
+    }
+
     std::printf("%s", table.render().c_str());
     return 0;
 }

@@ -8,7 +8,8 @@
  *                    [bht=1024] [assoc=4] [csv=0] [threads=0]
  *                    [cache=DIR]
  *
- * scheme: addr | GAg | GAs | gshare | path | PAs | PAsBht
+ * scheme: addr | GAg | GAs | gshare | path | PAs | PAsBht |
+ *         tage | perceptron
  * metric: misp | alias | harmless
  * threads: concurrent trace replays (0 = all hardware threads,
  *          1 = serial); the rendered surface is identical either way.
@@ -46,8 +47,13 @@ schemeFromName(const std::string &name)
         return SchemeKind::PAsPerfect;
     if (name == "PAsBht")
         return SchemeKind::PAsFinite;
+    if (name == "tage")
+        return SchemeKind::Tage;
+    if (name == "perceptron")
+        return SchemeKind::Perceptron;
     bpsim_fatal("unknown scheme '", name,
-                "'; use addr, GAg, GAs, gshare, path, PAs or PAsBht");
+                "'; use addr, GAg, GAs, gshare, path, PAs, PAsBht, "
+                "tage or perceptron");
 }
 
 } // namespace

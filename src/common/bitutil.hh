@@ -54,6 +54,29 @@ wordIndex(Addr pc)
     return pc >> 2;
 }
 
+/**
+ * Fold @p value down to @p nbits by repeated XOR of @p nbits-wide chunks.
+ *
+ * The multi-table schemes (TAGE, hashed perceptron) compress long history
+ * values into narrow indices and tags with this fold.  The reference models
+ * in src/verify/ re-implement the same loop naively; changing the fold here
+ * is an engine-version bump.  A zero-width fold is defined as 0.
+ */
+constexpr std::uint64_t
+xorFold(std::uint64_t value, unsigned nbits)
+{
+    if (nbits == 0)
+        return 0;
+    if (nbits >= 64)
+        return value;
+    std::uint64_t folded = 0;
+    while (value != 0) {
+        folded ^= value & mask(nbits);
+        value >>= nbits;
+    }
+    return folded;
+}
+
 /** @return true iff @p value is a power of two (and nonzero). */
 constexpr bool
 isPowerOfTwo(std::uint64_t value)

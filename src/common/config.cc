@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstdlib>
@@ -127,6 +128,71 @@ canonicalValue(const std::string &text)
     return text;
 }
 
+/** True when @p text parses as an integer under tryInt's base-0 rules. */
+bool
+isIntegral(const std::string &text, long long &value)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    value = std::strtoll(text.c_str(), &end, 0);
+    return end != text.c_str() && *end == '\0' && errno != ERANGE;
+}
+
+/**
+ * Normalize a comma-separated list value.  List-valued keys (TAGE's
+ * geometric history lengths) denote SETS of numbers for caching
+ * purposes: "32,16,8,4" and "4,8,0x10,32" must hash identically, so
+ * all-integer lists canonicalize each element and sort numerically.
+ * Lists with any non-integer element keep their element order (it may
+ * be meaningful) but still canonicalize each element.
+ */
+std::string
+canonicalList(const std::string &text)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        auto comma = text.find(',', start);
+        items.push_back(comma == std::string::npos
+                            ? text.substr(start)
+                            : text.substr(start, comma - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+
+    std::vector<long long> numbers;
+    numbers.reserve(items.size());
+    bool all_integral = true;
+    for (const std::string &item : items) {
+        long long v = 0;
+        if (!isIntegral(item, v)) {
+            all_integral = false;
+            break;
+        }
+        numbers.push_back(v);
+    }
+
+    std::string out;
+    if (all_integral) {
+        std::sort(numbers.begin(), numbers.end());
+        for (long long v : numbers) {
+            if (!out.empty())
+                out += ',';
+            out += std::to_string(v);
+        }
+    } else {
+        for (const std::string &item : items) {
+            if (!out.empty())
+                out += ',';
+            out += canonicalValue(item);
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 std::string
@@ -140,7 +206,9 @@ Config::canonicalKey() const
             out += ';';
         out += kv.first;
         out += '=';
-        out += canonicalValue(kv.second);
+        out += kv.second.find(',') != std::string::npos
+                   ? canonicalList(kv.second)
+                   : canonicalValue(kv.second);
     }
     return out;
 }

@@ -5,7 +5,9 @@
 #include "common/logging.hh"
 #include "predictor/dealiased.hh"
 #include "predictor/gskew.hh"
+#include "predictor/perceptron.hh"
 #include "predictor/static_pred.hh"
+#include "predictor/tage.hh"
 #include "predictor/tournament.hh"
 #include "predictor/two_level.hh"
 
@@ -40,6 +42,25 @@ parseUnsigned(const std::string &field, const std::string &spec)
         bpsim_fatal("bad number '", field, "' in predictor spec '", spec,
                     "'\n", predictorSpecHelp());
     return static_cast<unsigned>(v);
+}
+
+/** Parse "4,8,16,32" into numbers (TAGE history-length lists). */
+std::vector<unsigned>
+parseUnsignedList(const std::string &field, const std::string &spec)
+{
+    std::vector<unsigned> out;
+    std::size_t start = 0;
+    while (start <= field.size()) {
+        auto comma = field.find(',', start);
+        std::string item = comma == std::string::npos
+                               ? field.substr(start)
+                               : field.substr(start, comma - start);
+        out.push_back(parseUnsigned(item, spec));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
 }
 
 void
@@ -171,6 +192,26 @@ makePredictor(const std::string &spec, bool track_aliasing)
             fields.size() > 2 ? parseUnsigned(fields[2], spec) : n;
         return std::make_unique<GskewPredictor>(n, h);
     }
+    if (scheme == "tage") {
+        requireFields(fields, 3, 5, spec);
+        TageParams params;
+        params.baseBits = parseUnsigned(fields[1], spec);
+        params.entryBits = parseUnsigned(fields[2], spec);
+        if (fields.size() > 3)
+            params.tagBits = parseUnsigned(fields[3], spec);
+        if (fields.size() > 4)
+            params.histories = parseUnsignedList(fields[4], spec);
+        return std::make_unique<TagePredictor>(params);
+    }
+    if (scheme == "perceptron") {
+        requireFields(fields, 3, 4, spec);
+        PerceptronParams params;
+        params.historyBits = parseUnsigned(fields[1], spec);
+        params.entryBits = parseUnsigned(fields[2], spec);
+        if (fields.size() > 3)
+            params.tables = parseUnsigned(fields[3], spec);
+        return std::make_unique<PerceptronPredictor>(params);
+    }
     if (scheme == "bimode") {
         requireFields(fields, 3, 4, spec);
         unsigned d = parseUnsigned(fields[1], spec);
@@ -191,6 +232,8 @@ predictorSpecHelp()
            "gshare:<r>:<c> | path:<r>:<c>[:<g>] | PAs:<r>:<c> | "
            "PAs:<r>:<c>:<entries>[:<ways>] | SAs:<r>:<c>:<set_bits> | "
            "agree:<n>[:<h>] | bimode:<d>:<ch>[:<h>] | gskew:<n>[:<h>] | "
+           "tage:<base>:<entry>[:<tag>[:<h1,h2,...>]] | "
+           "perceptron:<h>:<entry>[:<tables>] | "
            "taken | "
            "not-taken | btfnt | "
            "tournament(<spec>,<spec>)[:<choice_bits>]";

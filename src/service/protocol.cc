@@ -170,6 +170,38 @@ parseOptions(const JsonValue &v, const ProtocolLimits &limits,
                 return n.error();
             opts.segmentWarmup =
                 static_cast<unsigned>(n.value());
+        } else if (key == "tage_tag_bits") {
+            Result<std::uint64_t> n =
+                uintField(value, "tage_tag_bits", 2, 16);
+            if (!n.ok())
+                return n.error();
+            opts.tageTagBits = static_cast<unsigned>(n.value());
+        } else if (key == "tage_histories") {
+            // A JSON array of per-component history lengths, strictly
+            // ascending -- the one list-valued option in the protocol.
+            if (!value.isArray() || value.array().empty() ||
+                value.array().size() > 8)
+                return BPSIM_ERROR("field \"tage_histories\" must be "
+                                   "an array of 1..8 lengths");
+            std::vector<unsigned> lengths;
+            for (const JsonValue &item : value.array()) {
+                Result<std::uint64_t> n =
+                    uintField(item, "tage_histories[]", 1, 64);
+                if (!n.ok())
+                    return n.error();
+                if (!lengths.empty() && n.value() <= lengths.back())
+                    return BPSIM_ERROR(
+                        "field \"tage_histories\" must be strictly "
+                        "ascending");
+                lengths.push_back(static_cast<unsigned>(n.value()));
+            }
+            opts.tageHistories = std::move(lengths);
+        } else if (key == "perceptron_tables") {
+            Result<std::uint64_t> n =
+                uintField(value, "perceptron_tables", 2, 16);
+            if (!n.ok())
+                return n.error();
+            opts.perceptronTables = static_cast<unsigned>(n.value());
         } else {
             return BPSIM_ERROR("unknown options field \"", key, "\"");
         }

@@ -47,9 +47,25 @@ Result<SchemeKind>
 SchemeRegistry::resolve(const std::string &name) const
 {
     auto it = schemes_.find(name);
-    if (it == schemes_.end())
+    if (it == schemes_.end()) {
+        // A multi-component factory spec ("tage:12:10:8:4,8,16,32",
+        // "tournament(...)") is a different namespace: the service
+        // takes a bare scheme name plus structured options, so point
+        // the client at the right shape instead of just listing names.
+        if (name.find(':') != std::string::npos ||
+            name.find('(') != std::string::npos ||
+            name.find(',') != std::string::npos) {
+            return BPSIM_ERROR(
+                "unknown scheme \"", name,
+                "\" -- looks like a predictor spec string; the "
+                "service takes a bare scheme name (registered: ",
+                joinNames(names()),
+                ") with per-scheme parameters in \"options\" (e.g. "
+                "tage_tag_bits, tage_histories, perceptron_tables)");
+        }
         return BPSIM_ERROR("unknown scheme \"", name,
                            "\" (registered: ", joinNames(names()), ")");
+    }
     return it->second;
 }
 
@@ -73,7 +89,8 @@ SchemeRegistry::withBuiltins()
         SchemeKind::AddressIndexed, SchemeKind::GAg,
         SchemeKind::GAs,            SchemeKind::Gshare,
         SchemeKind::Path,           SchemeKind::PAsPerfect,
-        SchemeKind::PAsFinite,
+        SchemeKind::PAsFinite,      SchemeKind::Tage,
+        SchemeKind::Perceptron,
     };
     for (SchemeKind kind : kinds) {
         const std::string display = schemeKindName(kind);

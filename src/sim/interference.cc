@@ -31,6 +31,55 @@ struct PrivateKeyHash
     }
 };
 
+/**
+ * Lock-step decomposition for the multi-table zoo: the shared model
+ * aliases across branches exactly as deployed; the private twin gives
+ * every static branch its own full model trained on the same stream.
+ * @p cold_of classifies a both-wrong miss from (shared step, private
+ * model freshness before the step).
+ */
+template <typename Model, typename Params, typename ColdFn>
+InterferenceResult
+analyzeModelInterference(const PreparedTrace &trace,
+                         const Params &params, ColdFn cold_of)
+{
+    Model shared(params);
+    std::unordered_map<Addr, Model> privates;
+
+    InterferenceResult out;
+    out.instances = trace.size();
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Addr pc = trace.pc(i);
+        const std::uint64_t ghist = trace.globalHistory(i);
+        const bool taken = trace.taken(i);
+
+        auto it = privates.find(pc);
+        if (it == privates.end())
+            it = privates.emplace(pc, Model(params)).first;
+        const bool private_fresh = it->second.updates() == 0;
+
+        auto shared_step = shared.step(pc, ghist, taken);
+        auto private_step = it->second.step(pc, ghist, taken);
+
+        bool shared_wrong = shared_step.prediction != taken;
+        bool private_wrong = private_step.prediction != taken;
+        out.sharedMispredicts += shared_wrong;
+        out.privateMispredicts += private_wrong;
+        if (shared_wrong && !private_wrong) {
+            ++out.destructive;
+        } else if (!shared_wrong && private_wrong) {
+            ++out.constructive;
+        } else if (shared_wrong && private_wrong) {
+            if (cold_of(shared_step, private_fresh))
+                ++out.coldMispredicts;
+            else
+                ++out.capacityMispredicts;
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 InterferenceResult
@@ -38,6 +87,23 @@ analyzeInterference(const PreparedTrace &trace, SchemeKind kind,
                     unsigned row_bits, unsigned col_bits,
                     const SweepOptions &opts)
 {
+    // The multi-table zoo replays full models in lock-step; tagged
+    // allocation misses land in cold, never aliasing (see header).
+    if (kind == SchemeKind::Tage) {
+        return analyzeModelInterference<TageModel>(
+            trace, tageSweepParams(row_bits, col_bits, opts),
+            [](const TageStep &s, bool) {
+                return s.providerWasFresh || s.allocated;
+            });
+    }
+    if (kind == SchemeKind::Perceptron) {
+        return analyzeModelInterference<PerceptronModel>(
+            trace, perceptronSweepParams(row_bits, col_bits, opts),
+            [](const PerceptronStep &, bool private_fresh) {
+                return private_fresh;
+            });
+    }
+
     const std::uint64_t row_mask = mask(row_bits);
     const std::uint64_t col_mask = mask(col_bits);
 
@@ -74,6 +140,9 @@ analyzeInterference(const PreparedTrace &trace, SchemeKind kind,
           case SchemeKind::Path:
           case SchemeKind::PAsFinite:
             return aux[i];
+          case SchemeKind::Tage:
+          case SchemeKind::Perceptron:
+            break; // handled by the model path above
         }
         bpsim_panic("unreachable scheme kind");
     };
@@ -98,8 +167,12 @@ analyzeInterference(const PreparedTrace &trace, SchemeKind kind,
         bool shared_pred = shared[idx].predict();
         shared[idx].update(taken);
 
-        TwoBitCounter &priv =
-            privateTable[PrivateKey{idx, trace.pc(i)}];
+        const PrivateKey key{idx, trace.pc(i)};
+        // A map miss means this (index, pc) pair has never trained:
+        // a both-wrong miss here is a cold (first-touch) miss.
+        const bool private_fresh =
+            privateTable.find(key) == privateTable.end();
+        TwoBitCounter &priv = privateTable[key];
         bool private_pred = priv.predict();
         priv.update(taken);
 
@@ -107,10 +180,16 @@ analyzeInterference(const PreparedTrace &trace, SchemeKind kind,
         bool private_wrong = private_pred != taken;
         out.sharedMispredicts += shared_wrong;
         out.privateMispredicts += private_wrong;
-        if (shared_wrong && !private_wrong)
+        if (shared_wrong && !private_wrong) {
             ++out.destructive;
-        else if (!shared_wrong && private_wrong)
+        } else if (!shared_wrong && private_wrong) {
             ++out.constructive;
+        } else if (shared_wrong && private_wrong) {
+            if (private_fresh)
+                ++out.coldMispredicts;
+            else
+                ++out.capacityMispredicts;
+        }
     }
     return out;
 }

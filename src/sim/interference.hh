@@ -18,6 +18,27 @@
  * The net aliasing damage is destructive - constructive mispredictions;
  * comparing it with the raw conflict rate of Figure 5 quantifies how
  * much of the paper's measured aliasing actually costs accuracy.
+ *
+ * The analyzer additionally partitions every SHARED misprediction into
+ * the three-C-style classes the modern-predictor re-study needs:
+ *
+ *   aliasing: destructive (the private twin got it right)
+ *   cold:     both twins wrong AND the miss is a first-touch /
+ *             allocation event (see below)
+ *   capacity: both twins wrong otherwise (the pattern simply had not
+ *             converged, or the table is too small to hold it)
+ *
+ * so sharedMispredicts == aliasing + cold + capacity always holds.
+ * "First-touch" is scheme-specific but deterministic:
+ *
+ *   - classic two-level schemes: the private (index, pc) counter had
+ *     never been trained;
+ *   - TAGE: the shared provider entry had never been trained, or the
+ *     mispredict triggered a tagged-entry allocation -- the paper-era
+ *     machinery would call these aliasing, but a tag mismatch never
+ *     silently trains a stranger's counter, so they are compulsory
+ *     (cold) misses, not interference;
+ *   - perceptron: the private per-branch twin had never been trained.
  */
 
 #ifndef BPSIM_SIM_INTERFERENCE_HH
@@ -43,6 +64,10 @@ struct InterferenceResult
     std::uint64_t destructive = 0;
     /** Instances where sharing flipped a wrong answer to right. */
     std::uint64_t constructive = 0;
+    /** Both twins wrong on a first-touch / allocation event. */
+    std::uint64_t coldMispredicts = 0;
+    /** Both twins wrong with trained state (capacity / convergence). */
+    std::uint64_t capacityMispredicts = 0;
 
     double
     sharedMispRate() const
@@ -87,6 +112,37 @@ struct InterferenceResult
     netDamage() const
     {
         return destructiveRate() - constructiveRate();
+    }
+
+    /**
+     * Shared mispredictions attributable to interference: exactly the
+     * destructive count, renamed for the three-way decomposition
+     * (aliasing + cold + capacity == sharedMispredicts).
+     */
+    std::uint64_t aliasingMispredicts() const { return destructive; }
+
+    double
+    aliasingRate() const
+    {
+        return destructiveRate();
+    }
+
+    double
+    coldRate() const
+    {
+        return instances ?
+            static_cast<double>(coldMispredicts) /
+                static_cast<double>(instances)
+            : 0.0;
+    }
+
+    double
+    capacityRate() const
+    {
+        return instances ?
+            static_cast<double>(capacityMispredicts) /
+                static_cast<double>(instances)
+            : 0.0;
     }
 };
 

@@ -58,12 +58,38 @@ runKernel(const PreparedTrace &t, unsigned row_bits, unsigned col_bits,
     return out;
 }
 
+/**
+ * Replay a full multi-table model (TAGE / perceptron) over the trace.
+ * These schemes have no packed-counter form, no AliasTracker hook (the
+ * aliasing/harmless surfaces stay zero; analyzeInterference owns their
+ * interference story), and no fused kernel -- one model, one pass.
+ */
+template <typename Model>
+ConfigResult
+runModelReplay(const PreparedTrace &t, Model model)
+{
+    std::uint64_t mispredicts = 0;
+    const std::size_t n = t.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        bool taken = t.taken(i);
+        if (model.step(t.pc(i), t.globalHistory(i), taken).prediction !=
+            taken)
+            ++mispredicts;
+    }
+    ConfigResult out;
+    out.mispRate =
+        n ? static_cast<double>(mispredicts) / static_cast<double>(n)
+          : 0.0;
+    return out;
+}
+
 /** Dispatch the kernel for one configuration of one scheme. */
 ConfigResult
 runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
-          unsigned col_bits, bool track_aliasing,
+          unsigned col_bits, const SweepOptions &opts,
           const std::vector<std::uint64_t> *aux_stream)
 {
+    const bool track_aliasing = opts.trackAliasing;
     const std::uint64_t row_mask = mask(row_bits);
     auto never_ones = [](std::size_t) { return false; };
 
@@ -118,6 +144,15 @@ runConfig(const PreparedTrace &t, SchemeKind kind, unsigned row_bits,
             [&](std::size_t i) {
                 return ((*aux_stream)[i] & row_mask) == row_mask;
             });
+
+      case SchemeKind::Tage:
+        return runModelReplay(
+            t, TageModel(tageSweepParams(row_bits, col_bits, opts)));
+
+      case SchemeKind::Perceptron:
+        return runModelReplay(
+            t, PerceptronModel(
+                   perceptronSweepParams(row_bits, col_bits, opts)));
     }
     bpsim_panic("unreachable scheme kind");
 }
@@ -590,8 +625,33 @@ schemeKindName(SchemeKind kind)
       case SchemeKind::Path: return "path";
       case SchemeKind::PAsPerfect: return "PAs(inf)";
       case SchemeKind::PAsFinite: return "PAs(bht)";
+      case SchemeKind::Tage: return "tage";
+      case SchemeKind::Perceptron: return "perceptron";
     }
     return "?";
+}
+
+TageParams
+tageSweepParams(unsigned row_bits, unsigned col_bits,
+                const SweepOptions &opts)
+{
+    TageParams params;
+    params.entryBits = row_bits;
+    params.baseBits = col_bits;
+    params.tagBits = opts.tageTagBits;
+    params.histories = opts.tageHistories;
+    return params;
+}
+
+PerceptronParams
+perceptronSweepParams(unsigned row_bits, unsigned col_bits,
+                      const SweepOptions &opts)
+{
+    PerceptronParams params;
+    params.historyBits = row_bits;
+    params.entryBits = col_bits;
+    params.tables = opts.perceptronTables;
+    return params;
 }
 
 std::vector<ConfigJob>
@@ -608,6 +668,16 @@ planSweep(SchemeKind kind, const SweepOptions &opts)
             if (kind == SchemeKind::AddressIndexed && r != 0)
                 continue;
             if (kind == SchemeKind::GAg && c != 0)
+                continue;
+            // The zoo schemes have hard geometry floors: TAGE needs a
+            // real component table AND a real base table; perceptron
+            // needs at least one history bit (entryBits 0 is a legal
+            // single-weight-per-table point).  Out-of-range splits are
+            // simply absent from the surface, like the degenerate
+            // schemes' missing splits.
+            if (kind == SchemeKind::Tage && (r < 1 || c < 1))
+                continue;
+            if (kind == SchemeKind::Perceptron && (r < 1 || r > 64))
                 continue;
             jobs.push_back(ConfigJob{kind, total, r, c});
         }
@@ -649,6 +719,19 @@ planFusedGroups(const std::vector<ConfigJob> &jobs,
     std::vector<Bucket> buckets;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const ConfigJob &job = jobs[i];
+        // The multi-table zoo never fuses: tagged entries and signed
+        // weights have no packed-2-bit form, so each job is its own
+        // per-config model replay regardless of fuseJobs.
+        if (job.kind == SchemeKind::Tage ||
+            job.kind == SchemeKind::Perceptron) {
+            FusedGroup g;
+            g.kind = job.kind;
+            g.streamRowBits = 0;
+            g.fused = false;
+            g.jobs.push_back(i);
+            groups.push_back(std::move(g));
+            continue;
+        }
         const unsigned key =
             job.kind == SchemeKind::PAsFinite ? job.rowBits : 0;
         Bucket *bucket = nullptr;
@@ -956,7 +1039,7 @@ runConfigJob(const ConfigJob &job, StreamCache &cache)
         cache.stream(job.kind, job.rowBits);
     ConfigResult out =
         runConfig(cache.trace(), job.kind, job.rowBits, job.colBits,
-                  cache.options().trackAliasing, aux);
+                  cache.options(), aux);
     if (job.kind == SchemeKind::PAsFinite)
         out.bhtMissRate = cache.bhtMissRate(job.rowBits);
     return out;
@@ -968,12 +1051,24 @@ runFusedGroup(const FusedGroup &group,
               ConfigResult *slots, KernelTelemetry *telemetry)
 {
     if (!group.fused) {
+        const auto start = std::chrono::steady_clock::now();
         for (std::size_t member : group.jobs)
             slots[member] = runConfigJob(jobs[member], cache);
         if (telemetry) {
+            // Zero-lane groups still report a measured (busy, span)
+            // pair -- one serial executor, fully busy -- so sweep-level
+            // utilization stays well-defined when every group took the
+            // fallback path (aliasing-tracked or multi-table sweeps).
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
             KernelTelemetry counters;
             counters.target = resolveSimdTarget(cache.options().simd);
             counters.fallbackJobs = group.jobs.size();
+            counters.busySeconds = seconds;
+            counters.spanSeconds = seconds;
+            counters.shardWorkers = 1;
             telemetry->merge(counters);
         }
         return;
@@ -1033,6 +1128,10 @@ runFusedGroup(const FusedGroup &group,
             slots[member].bhtMissRate = miss;
         break;
       }
+      case SchemeKind::Tage:
+      case SchemeKind::Perceptron:
+        // planFusedGroups never marks the zoo schemes fused.
+        bpsim_panic("multi-table schemes take the per-config path");
     }
 }
 

@@ -52,6 +52,8 @@
 #include <vector>
 
 #include "common/simd.hh"
+#include "predictor/perceptron.hh"
+#include "predictor/tage.hh"
 #include "sim/prepared_trace.hh"
 #include "stats/surface.hh"
 
@@ -67,6 +69,17 @@ enum class SchemeKind
     Path,           ///< Nair target-bit path history (Figure 8)
     PAsPerfect,     ///< self history, unbounded first level (Figure 9)
     PAsFinite,      ///< self history through a real BHT (Figure 10)
+    /**
+     * The multi-table zoo: these replay a full TageModel /
+     * PerceptronModel per configuration (no packed-PHT fusion -- the
+     * fused kernel's 2-bit-counter invariants do not hold for tagged
+     * entries or signed weights), so the planner always routes them to
+     * per-config fallback groups.  Their aliasing/harmless surfaces
+     * stay zero; interference decomposition comes from
+     * analyzeInterference instead (see interference.hh).
+     */
+    Tage,       ///< tagged geometric-history components over a base
+    Perceptron, ///< hashed perceptron (summed signed weight tables)
 };
 
 /** @return the scheme's display name ("GAs", "gshare", ...). */
@@ -89,6 +102,20 @@ struct SweepOptions
     unsigned bhtAssoc = 4;
     /** PAsFinite: BHT miss-reset policy (ablation knob). */
     BhtResetPolicy bhtResetPolicy = BhtResetPolicy::C3ffPrefix;
+    /**
+     * Tage: tag width in bits.  Sweep axes map rowBits -> per-component
+     * entry bits and colBits -> base-table bits; these options carry
+     * the remaining geometry.  Result-affecting: part of cache keys.
+     */
+    unsigned tageTagBits = 8;
+    /** Tage: per-component history lengths (strictly ascending). */
+    std::vector<unsigned> tageHistories = {4, 8, 16, 32};
+    /**
+     * Perceptron: weight tables including the bias table.  Sweep axes
+     * map rowBits -> history bits and colBits -> per-table entry bits.
+     * Result-affecting: part of cache keys.
+     */
+    unsigned perceptronTables = 4;
     /**
      * Concurrent trace replays during execution: 0 = one per hardware
      * thread, 1 = serial.  Results are identical either way.
@@ -478,6 +505,23 @@ ConfigResult simulateConfig(StreamCache &cache, SchemeKind kind,
 ConfigResult simulateConfig(const PreparedTrace &trace, SchemeKind kind,
                             unsigned row_bits, unsigned col_bits,
                             const SweepOptions &opts = {});
+
+/**
+ * The TAGE geometry a sweep point denotes: rowBits -> per-component
+ * entry bits, colBits -> base-table bits, remaining knobs from
+ * SweepOptions.  One mapping shared by the sweep kernel, the
+ * interference analyzer, and the differential tests.
+ */
+TageParams tageSweepParams(unsigned row_bits, unsigned col_bits,
+                           const SweepOptions &opts);
+
+/**
+ * The hashed-perceptron geometry a sweep point denotes: rowBits ->
+ * history bits, colBits -> per-table entry bits.
+ */
+PerceptronParams perceptronSweepParams(unsigned row_bits,
+                                       unsigned col_bits,
+                                       const SweepOptions &opts);
 
 } // namespace bpsim
 

@@ -74,6 +74,23 @@ schemeOptionTokens(SchemeKind kind, const SweepOptions &opts)
             "reset=" +
             std::to_string(static_cast<int>(opts.bhtResetPolicy)));
     }
+    if (kind == SchemeKind::Tage) {
+        tokens.push_back("tagbits=" +
+                         std::to_string(opts.tageTagBits));
+        // The history lengths are one list-valued token; canonicalKey
+        // sorts all-integer lists, so equivalent orderings collapse.
+        std::string lengths;
+        for (unsigned h : opts.tageHistories) {
+            if (!lengths.empty())
+                lengths += ',';
+            lengths += std::to_string(h);
+        }
+        tokens.push_back("histories=" + lengths);
+    }
+    if (kind == SchemeKind::Perceptron) {
+        tokens.push_back("ptables=" +
+                         std::to_string(opts.perceptronTables));
+    }
     // Speculative segment replay changes results, so a speculative
     // sweep must never serve (or be served by) an exact one.  The
     // resolved count is keyed -- not the raw option -- so an explicit
@@ -322,6 +339,21 @@ SweepSession::point(const TraceHash &trace, SchemeKind kind,
                     unsigned row_bits, unsigned col_bits,
                     const SweepOptions &opts)
 {
+    // The 2-bit family tolerates degenerate (0-bit) axes; the zoo
+    // schemes assert on them.  A daemon must answer a bad point
+    // request with an error, not an abort, so pre-check here.
+    if (kind == SchemeKind::Tage &&
+        (row_bits < 1 || row_bits > 28 || col_bits < 1 ||
+         col_bits > 28))
+        return BPSIM_ERROR("tage point needs rows (tagged entry "
+                           "bits) and cols (base PHT bits) in 1..28; "
+                           "got rows=", row_bits, " cols=", col_bits);
+    if (kind == SchemeKind::Perceptron &&
+        (row_bits < 1 || row_bits > 64 || col_bits > 28))
+        return BPSIM_ERROR("perceptron point needs rows (history "
+                           "bits) in 1..64 and cols (table entry "
+                           "bits) <= 28; got rows=", row_bits,
+                           " cols=", col_bits);
     Result<std::shared_ptr<const PreparedTrace>> prep =
         prepared(trace);
     if (!prep.ok())

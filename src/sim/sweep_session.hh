@@ -59,8 +59,15 @@ namespace bpsim {
 /**
  * Version of the replay semantics baked into cached results.  Bump on
  * ANY change that can alter a sweep's numbers; never reuse a value.
+ *
+ * History:
+ *  - 1: the 2-bit-family engine through PR 8.
+ *  - 2: modern-predictor zoo (TAGE + perceptron scheme kinds, xorFold
+ *       hashing, list-valued canonical config keys).  v1 entries must
+ *       never serve v2 requests: the planner's job enumeration gained
+ *       validity filtering and canonicalKey changed for list values.
  */
-constexpr std::uint32_t kEngineVersion = 1;
+constexpr std::uint32_t kEngineVersion = 2;
 
 /** One declarative sweep: which trace, which scheme, which lattice. */
 struct SweepRequest

@@ -53,6 +53,8 @@ sweepKind(RefScheme scheme)
       case RefScheme::Path: return SchemeKind::Path;
       case RefScheme::PAsPerfect: return SchemeKind::PAsPerfect;
       case RefScheme::PAsFinite: return SchemeKind::PAsFinite;
+      case RefScheme::Tage: return SchemeKind::Tage;
+      case RefScheme::Perceptron: return SchemeKind::Perceptron;
       default: return std::nullopt;
     }
 }
@@ -130,6 +132,18 @@ engineSpec(const RefConfig &config)
         os << "tournament(" << engineSpec(config.components[0]) << ","
            << engineSpec(config.components[1])
            << "):" << config.choiceBits;
+        break;
+      case RefScheme::Tage:
+        // Sweep-axis convention: rowBits = component entry bits,
+        // colBits = base-table bits; the spec wants base first.
+        os << "tage:" << config.colBits << ":" << config.rowBits << ":"
+           << config.tagBits << ":";
+        for (std::size_t i = 0; i < config.tageHistories.size(); ++i)
+            os << (i ? "," : "") << config.tageHistories[i];
+        break;
+      case RefScheme::Perceptron:
+        os << "perceptron:" << config.rowBits << ":" << config.colBits
+           << ":" << config.perceptronTables;
         break;
     }
     return os.str();
@@ -246,6 +260,25 @@ randomConfig(RefScheme scheme, Pcg32 &rng, bool include_variants)
       case RefScheme::Gskew:
         cfg.indexBits = static_cast<unsigned>(rng.uniformInt(1, 7));
         cfg.historyBits = static_cast<unsigned>(rng.uniformInt(0, 10));
+        break;
+      case RefScheme::Tage: {
+        cfg.rowBits = static_cast<unsigned>(rng.uniformInt(1, 6));
+        cfg.colBits = static_cast<unsigned>(rng.uniformInt(1, 6));
+        cfg.tagBits = static_cast<unsigned>(rng.uniformInt(2, 10));
+        cfg.tageHistories.clear();
+        unsigned ncomp = static_cast<unsigned>(rng.uniformInt(1, 4));
+        unsigned h = 0;
+        for (unsigned j = 0; j < ncomp; ++j) {
+            h += static_cast<unsigned>(rng.uniformInt(1, 10));
+            cfg.tageHistories.push_back(h);
+        }
+        break;
+      }
+      case RefScheme::Perceptron:
+        cfg.rowBits = static_cast<unsigned>(rng.uniformInt(1, 20));
+        cfg.colBits = static_cast<unsigned>(rng.uniformInt(0, 6));
+        cfg.perceptronTables =
+            static_cast<unsigned>(rng.uniformInt(2, 6));
         break;
       case RefScheme::Tournament: {
         cfg.choiceBits = static_cast<unsigned>(rng.uniformInt(2, 6));
@@ -422,7 +455,8 @@ runDifferentialFuzzer(const FuzzOptions &options)
         RefScheme::AddressIndexed, RefScheme::GAg,
         RefScheme::GAs,            RefScheme::Gshare,
         RefScheme::Path,           RefScheme::PAsPerfect,
-        RefScheme::PAsFinite,
+        RefScheme::PAsFinite,      RefScheme::Tage,
+        RefScheme::Perceptron,
     };
     if (options.includeVariants) {
         schemes.insert(schemes.end(),
@@ -430,6 +464,8 @@ runDifferentialFuzzer(const FuzzOptions &options)
                         RefScheme::BiMode, RefScheme::Gskew,
                         RefScheme::Tournament});
     }
+    if (!options.onlySchemes.empty())
+        schemes = options.onlySchemes;
 
     FuzzReport report;
     std::set<std::string> covered;
@@ -486,6 +522,9 @@ runDifferentialFuzzer(const FuzzOptions &options)
                 sweep.bhtAssoc = config.bhtAssoc;
                 sweep.bhtResetPolicy =
                     enginePolicy(config.bhtResetPolicy);
+                sweep.tageTagBits = config.tagBits;
+                sweep.tageHistories = config.tageHistories;
+                sweep.perceptronTables = config.perceptronTables;
                 sweep.threads = 1;
                 PreparedTrace prepared(trace);
                 ConfigResult result =

@@ -91,6 +91,13 @@ struct FuzzOptions
      * misprediction rate.
      */
     bool crossCheckFastPath = true;
+    /**
+     * When non-empty, fuzz exactly these schemes instead of the core
+     * rotation (includeVariants is then ignored).  Lets a campaign
+     * concentrate its pair budget -- e.g. the slow-label TAGE +
+     * perceptron campaign.
+     */
+    std::vector<RefScheme> onlySchemes;
 };
 
 /** Outcome of a fuzzing campaign. */

@@ -40,6 +40,24 @@ naiveWordIndex(std::uint64_t pc)
     return pc / 4;
 }
 
+/** XOR-fold @p v down to @p nbits, one chunk at a time.  The engine's
+ *  xorFold (common/bitutil.hh) must produce identical values; the loop
+ *  is re-spelt here with naiveLowBits and explicit shifts. */
+std::uint64_t
+naiveXorFold(std::uint64_t v, unsigned nbits)
+{
+    if (nbits == 0)
+        return 0;
+    if (nbits >= 64)
+        return v;
+    std::uint64_t folded = 0;
+    while (v != 0) {
+        folded = folded ^ naiveLowBits(v, nbits);
+        v = v >> nbits;
+    }
+    return folded;
+}
+
 /** log2 of a power of two, by counting doublings. */
 unsigned
 naiveLog2(std::uint64_t v)
@@ -670,6 +688,270 @@ class NaiveTournament : public ReferencePredictor
     std::vector<NaiveCounter> choice;
 };
 
+/** TAGE: a bimodal base behind tagged geometric-history components.
+ *  Mirrors the engine's TageModel step order exactly (provider scan,
+ *  useful update, provider train, then allocation) with plain-int
+ *  three-bit counters and explicit loops. */
+class NaiveTage : public ReferencePredictor
+{
+  public:
+    struct Entry
+    {
+        int ctr = 0;     // 0..7, predict taken when >= 4
+        std::uint64_t tag = 0;
+        int useful = 0;  // 0..3
+        bool valid = false;
+    };
+
+    explicit NaiveTage(const RefConfig &cfg)
+        : baseBits(cfg.colBits), entryBits(cfg.rowBits),
+          tagBits(cfg.tagBits), lengths(cfg.tageHistories),
+          history(64)
+    {
+        std::size_t base_size = 1;
+        for (unsigned i = 0; i < baseBits; ++i)
+            base_size *= 2;
+        base.assign(base_size, NaiveCounter{});
+        baseSeen.assign(base_size, 0);
+
+        std::size_t comp_size = 1;
+        for (unsigned i = 0; i < entryBits; ++i)
+            comp_size *= 2;
+        components.assign(lengths.size(),
+                          std::vector<Entry>(comp_size));
+    }
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        const std::uint64_t ghist = history.value();
+        const std::uint64_t word = naiveWordIndex(branch.pc);
+        const std::size_t ncomp = components.size();
+
+        std::vector<std::size_t> idx(ncomp, 0);
+        std::vector<std::uint64_t> tag(ncomp, 0);
+        for (std::size_t j = 0; j < ncomp; ++j) {
+            std::uint64_t hist = naiveLowBits(ghist, lengths[j]);
+            idx[j] = static_cast<std::size_t>(naiveLowBits(
+                naiveXorFold(hist, entryBits) ^
+                    naiveXorFold(word, entryBits),
+                entryBits));
+            tag[j] = naiveLowBits(
+                naiveXorFold(word, tagBits) ^
+                    naiveXorFold(hist, tagBits) ^
+                    (naiveXorFold(hist, tagBits - 1) * 2),
+                tagBits);
+        }
+
+        // Provider = the longest-history tag match; altpred the next.
+        int provider = -1;
+        int alt = -1;
+        for (int j = static_cast<int>(ncomp) - 1; j >= 0; --j) {
+            const Entry &e = components[j][idx[j]];
+            if (!e.valid || e.tag != tag[j])
+                continue;
+            if (provider < 0) {
+                provider = j;
+            } else {
+                alt = j;
+                break;
+            }
+        }
+
+        std::size_t bidx = static_cast<std::size_t>(
+            naiveLowBits(word, baseBits));
+        bool base_pred = base[bidx].predict();
+        bool alt_pred = alt >= 0
+                            ? components[alt][idx[alt]].ctr >= 4
+                            : base_pred;
+        bool pred = provider >= 0
+                        ? components[provider][idx[provider]].ctr >= 4
+                        : base_pred;
+        bool correct = pred == branch.taken;
+
+        // Useful counter: did the provider beat its altpred?
+        if (provider >= 0 && pred != alt_pred) {
+            Entry &e = components[provider][idx[provider]];
+            if (correct) {
+                if (e.useful < 3)
+                    e.useful = e.useful + 1;
+            } else if (e.useful > 0) {
+                e.useful = e.useful - 1;
+            }
+        }
+
+        // Train the provider only.
+        if (provider >= 0) {
+            Entry &e = components[provider][idx[provider]];
+            if (branch.taken) {
+                if (e.ctr < 7)
+                    e.ctr = e.ctr + 1;
+            } else {
+                if (e.ctr > 0)
+                    e.ctr = e.ctr - 1;
+            }
+        } else {
+            base[bidx].update(branch.taken);
+            baseSeen[bidx] = 1;
+        }
+
+        // On a mispredict, allocate in the first not-useful entry of a
+        // longer-history component; if all are useful, age them.
+        if (!correct && provider + 1 < static_cast<int>(ncomp)) {
+            int victim = -1;
+            for (std::size_t j =
+                     static_cast<std::size_t>(provider + 1);
+                 j < ncomp; ++j) {
+                const Entry &e = components[j][idx[j]];
+                if (!e.valid || e.useful == 0) {
+                    victim = static_cast<int>(j);
+                    break;
+                }
+            }
+            if (victim >= 0) {
+                Entry &e = components[victim][idx[victim]];
+                e.valid = true;
+                e.tag = tag[victim];
+                e.ctr = branch.taken ? 4 : 3;
+                e.useful = 0;
+            } else {
+                for (std::size_t j =
+                         static_cast<std::size_t>(provider + 1);
+                     j < ncomp; ++j) {
+                    Entry &e = components[j][idx[j]];
+                    if (e.useful > 0)
+                        e.useful = e.useful - 1;
+                }
+            }
+        }
+
+        history.push(branch.taken ? 1 : 0);
+        return pred;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << "tage history=" << history.dump()
+           << " base=" << dumpCounters(base);
+        for (std::size_t j = 0; j < components.size(); ++j) {
+            os << " T" << (j + 1) << "(h" << lengths[j] << ")=[";
+            bool first = true;
+            for (std::size_t k = 0; k < components[j].size(); ++k) {
+                const Entry &e = components[j][k];
+                if (!e.valid)
+                    continue;
+                if (!first)
+                    os << " ";
+                first = false;
+                os << k << ":t" << e.tag << ",c" << e.ctr << ",u"
+                   << e.useful;
+            }
+            os << "]";
+        }
+        return os.str();
+    }
+
+  private:
+    unsigned baseBits;
+    unsigned entryBits;
+    unsigned tagBits;
+    std::vector<unsigned> lengths;
+    NaiveHistory history;
+    std::vector<NaiveCounter> base;
+    std::vector<int> baseSeen;
+    std::vector<std::vector<Entry>> components;
+};
+
+/** Hashed perceptron: summed signed weights, one table per balanced
+ *  history segment plus a pc-indexed bias table.  The threshold is the
+ *  integer form (193 * h) / 100 + 14 the engine also uses. */
+class NaivePerceptron : public ReferencePredictor
+{
+  public:
+    explicit NaivePerceptron(const RefConfig &cfg)
+        : historyBits(cfg.rowBits), entryBits(cfg.colBits),
+          tables(cfg.perceptronTables), history(64)
+    {
+        theta = static_cast<int>((193u * historyBits) / 100u) + 14;
+        std::size_t table_size = 1;
+        for (unsigned i = 0; i < entryBits; ++i)
+            table_size *= 2;
+        weights.assign(tables, std::vector<int>(table_size, 0));
+    }
+
+    bool
+    predictAndTrain(const RefBranch &branch) override
+    {
+        const std::uint64_t ghist = history.value();
+        const std::uint64_t word = naiveWordIndex(branch.pc);
+
+        std::vector<std::size_t> idx(tables, 0);
+        int sum = 0;
+        for (unsigned t = 0; t < tables; ++t) {
+            if (t == 0) {
+                idx[t] = static_cast<std::size_t>(
+                    naiveLowBits(word, entryBits));
+            } else {
+                unsigned nseg = tables - 1;
+                unsigned lo = (t - 1) * historyBits / nseg;
+                unsigned hi = t * historyBits / nseg;
+                std::uint64_t seg =
+                    naiveLowBits(ghist >> lo, hi - lo);
+                idx[t] = static_cast<std::size_t>(naiveLowBits(
+                    naiveXorFold(seg, entryBits) ^
+                        naiveXorFold(word, entryBits),
+                    entryBits));
+            }
+            sum = sum + weights[t][idx[t]];
+        }
+
+        bool pred = sum >= 0;
+        int magnitude = sum < 0 ? -sum : sum;
+        if (pred != branch.taken || magnitude <= theta) {
+            for (unsigned t = 0; t < tables; ++t) {
+                int w = weights[t][idx[t]];
+                if (branch.taken)
+                    w = w + 1;
+                else
+                    w = w - 1;
+                if (w > 63)
+                    w = 63;
+                if (w < -64)
+                    w = -64;
+                weights[t][idx[t]] = w;
+            }
+        }
+
+        history.push(branch.taken ? 1 : 0);
+        return pred;
+    }
+
+    std::string
+    stateDump() const override
+    {
+        std::ostringstream os;
+        os << "perceptron history=" << history.dump() << " theta="
+           << theta;
+        for (unsigned t = 0; t < tables; ++t) {
+            os << " W" << t << "=[";
+            for (std::size_t k = 0; k < weights[t].size(); ++k)
+                os << (k ? " " : "") << weights[t][k];
+            os << "]";
+        }
+        return os.str();
+    }
+
+  private:
+    unsigned historyBits;
+    unsigned entryBits;
+    unsigned tables;
+    int theta = 0;
+    NaiveHistory history;
+    std::vector<std::vector<int>> weights;
+};
+
 } // namespace
 
 const char *
@@ -688,6 +970,8 @@ refSchemeName(RefScheme scheme)
       case RefScheme::BiMode: return "bimode";
       case RefScheme::Gskew: return "gskew";
       case RefScheme::Tournament: return "tournament";
+      case RefScheme::Tage: return "tage";
+      case RefScheme::Perceptron: return "perceptron";
     }
     return "?";
 }
@@ -757,6 +1041,40 @@ makeReferencePredictor(const RefConfig &config)
             makeReferencePredictor(config.components[1]),
             config.choiceBits);
       }
+      case RefScheme::Tage: {
+        if (config.rowBits < 1 || config.colBits < 1) {
+            throw std::invalid_argument(
+                "reference model: tage needs component and base bits");
+        }
+        if (config.tagBits < 2 || config.tagBits > 16) {
+            throw std::invalid_argument(
+                "reference model: tage tag width out of range");
+        }
+        const auto &h = config.tageHistories;
+        if (h.empty() || h.size() > 8) {
+            throw std::invalid_argument(
+                "reference model: tage needs 1..8 history lengths");
+        }
+        for (std::size_t i = 0; i < h.size(); ++i) {
+            if (h[i] < 1 || h[i] > 64 || (i > 0 && h[i] <= h[i - 1])) {
+                throw std::invalid_argument(
+                    "reference model: tage history lengths must be "
+                    "strictly ascending in 1..64");
+            }
+        }
+        return std::make_unique<NaiveTage>(config);
+      }
+      case RefScheme::Perceptron:
+        if (config.rowBits < 1 || config.rowBits > 64) {
+            throw std::invalid_argument(
+                "reference model: perceptron history out of range");
+        }
+        if (config.perceptronTables < 2 ||
+            config.perceptronTables > 16) {
+            throw std::invalid_argument(
+                "reference model: perceptron needs 2..16 tables");
+        }
+        return std::make_unique<NaivePerceptron>(config);
     }
     throw std::invalid_argument("reference model: unknown scheme");
 }

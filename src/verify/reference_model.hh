@@ -44,6 +44,8 @@ enum class RefScheme
     BiMode,         ///< choice table + two direction tables
     Gskew,          ///< three skewed banks, majority vote
     Tournament,     ///< two components + per-address choice counters
+    Tage,           ///< tagged geometric components over a bimodal base
+    Perceptron,     ///< hashed perceptron (summed signed weight tables)
 };
 
 /** @return the reference display name of a scheme. */
@@ -87,6 +89,14 @@ struct RefConfig
     unsigned choiceBits = 8;
     /** Tournament: exactly two leaf component configurations. */
     std::vector<RefConfig> components;
+    /** Tage: tag width.  rowBits maps to per-component entry bits and
+     *  colBits to base-table bits (the sweep-axis convention). */
+    unsigned tagBits = 8;
+    /** Tage: per-component history lengths, strictly ascending. */
+    std::vector<unsigned> tageHistories = {4, 8, 16, 32};
+    /** Perceptron: weight tables including the bias table.  rowBits
+     *  maps to history bits and colBits to per-table entry bits. */
+    unsigned perceptronTables = 4;
 };
 
 /** One executed conditional branch, as the reference model sees it. */

@@ -31,26 +31,28 @@ TEST(DifferentialFuzz, SmokeCampaignAllSchemesZeroMismatches)
 
     FuzzReport report = runDifferentialFuzzer(options);
     EXPECT_EQ(report.pairsRun, options.pairs);
-    // All 12 families: the 7 core SchemeKinds plus SAs, agree,
-    // bi-mode, gskew and tournament.
-    EXPECT_EQ(report.schemesCovered.size(), 12u) << report.summary();
+    // All 14 families: the 9 core SchemeKinds (the paper's seven plus
+    // TAGE and perceptron) plus SAs, agree, bi-mode, gskew and
+    // tournament.
+    EXPECT_EQ(report.schemesCovered.size(), 14u) << report.summary();
     EXPECT_TRUE(report.clean()) << report.summary();
 }
 
 TEST(DifferentialFuzz, CoreSchemesOnlyCampaign)
 {
-    // A second seed restricted to the paper's seven SchemeKinds, so a
-    // regression in a variant predictor cannot mask one in the core.
+    // A second seed restricted to the core SchemeKinds (the paper's
+    // seven plus the zoo), so a regression in a variant predictor
+    // cannot mask one in the core.
     FuzzOptions options;
     options.seed = 0xA11A5;
-    options.pairs = 35;
+    options.pairs = 45;
     options.minBranches = 300;
     options.maxBranches = 1200;
     options.includeVariants = false;
 
     FuzzReport report = runDifferentialFuzzer(options);
     EXPECT_EQ(report.pairsRun, options.pairs);
-    EXPECT_EQ(report.schemesCovered.size(), 7u) << report.summary();
+    EXPECT_EQ(report.schemesCovered.size(), 9u) << report.summary();
     EXPECT_TRUE(report.clean()) << report.summary();
 }
 

@@ -33,6 +33,30 @@ TEST(DifferentialFuzzSlow, LongCampaign)
 
     FuzzReport report = runDifferentialFuzzer(options);
     EXPECT_EQ(report.pairsRun, options.pairs);
-    EXPECT_EQ(report.schemesCovered.size(), 12u) << report.summary();
+    EXPECT_EQ(report.schemesCovered.size(), 14u) << report.summary();
+    EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+TEST(DifferentialFuzzSlow, ZooCampaign)
+{
+    if (std::getenv("BPSIM_SLOW_TESTS") == nullptr) {
+        GTEST_SKIP() << "set BPSIM_SLOW_TESTS=1 to run the long "
+                        "campaign (ctest -L slow)";
+    }
+
+    // A dedicated budget for the modern-predictor zoo: every pair is
+    // a TAGE or perceptron configuration, so the multi-table code sees
+    // as many seeds alone as the LongCampaign spreads over 14 schemes.
+    FuzzOptions options;
+    options.seed = 0x2A6EC0DE;
+    options.pairs = 2400;
+    options.minBranches = 1000;
+    options.maxBranches = 8000;
+    options.crossCheckFastPath = true;
+    options.onlySchemes = {RefScheme::Tage, RefScheme::Perceptron};
+
+    FuzzReport report = runDifferentialFuzzer(options);
+    EXPECT_EQ(report.pairsRun, options.pairs);
+    EXPECT_EQ(report.schemesCovered.size(), 2u) << report.summary();
     EXPECT_TRUE(report.clean()) << report.summary();
 }

@@ -63,12 +63,19 @@ refConfigFor(const ConfigJob &job, const SweepOptions &opts)
       case SchemeKind::PAsFinite:
         config.scheme = RefScheme::PAsFinite;
         break;
+      case SchemeKind::Tage: config.scheme = RefScheme::Tage; break;
+      case SchemeKind::Perceptron:
+        config.scheme = RefScheme::Perceptron;
+        break;
     }
     config.rowBits = job.rowBits;
     config.colBits = job.colBits;
     config.pathBitsPerTarget = opts.pathBitsPerTarget;
     config.bhtEntries = opts.bhtEntries;
     config.bhtAssoc = opts.bhtAssoc;
+    config.tagBits = opts.tageTagBits;
+    config.tageHistories = opts.tageHistories;
+    config.perceptronTables = opts.perceptronTables;
     return config;
 }
 

@@ -209,3 +209,36 @@ TEST(Config, CanonicalKeyKeepsNonNumericStringsVerbatim)
     EXPECT_EQ(with_pos.canonicalKey(), "profile=espresso");
     EXPECT_EQ(Config::parseTokens({}).canonicalKey(), "");
 }
+
+TEST(Config, CanonicalKeySortsIntegerLists)
+{
+    // List-valued keys (TAGE's history lengths) denote SETS of numbers
+    // for caching purposes: every ordering and integer spelling of the
+    // same lengths must produce the same key.
+    Config a = Config::parseTokens({"hist=4,8,16,32"});
+    Config b = Config::parseTokens({"hist=32,16,8,4"});
+    Config c = Config::parseTokens({"hist=8,4,0x20,16"});
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+    EXPECT_EQ(a.canonicalKey(), c.canonicalKey());
+    EXPECT_EQ(a.canonicalKey(), "hist=4,8,16,32");
+
+    // Different sets still differ.
+    EXPECT_NE(a.canonicalKey(),
+              Config::parseTokens({"hist=4,8,16"}).canonicalKey());
+    EXPECT_NE(a.canonicalKey(),
+              Config::parseTokens({"hist=4,8,16,33"}).canonicalKey());
+}
+
+TEST(Config, CanonicalKeyKeepsNonIntegerListOrder)
+{
+    // A list with any non-integer element may be order-significant, so
+    // only the elements are normalized, never their order.
+    Config a = Config::parseTokens({"runs=gcc,espresso,li"});
+    EXPECT_EQ(a.canonicalKey(), "runs=gcc,espresso,li");
+    EXPECT_NE(a.canonicalKey(),
+              Config::parseTokens({"runs=li,gcc,espresso"})
+                  .canonicalKey());
+    // Mixed lists normalize elements in place (0x10 -> 16).
+    Config b = Config::parseTokens({"mix=gcc,0x10,yes"});
+    EXPECT_EQ(b.canonicalKey(), "mix=gcc,16,1");
+}

@@ -118,8 +118,12 @@ TEST(Factory, AliasTrackingFlagPropagates)
 
 TEST(FactoryDeathTest, UnknownSchemeIsFatal)
 {
-    EXPECT_EXIT(makePredictor("tage:12"), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT(makePredictor("yags:12"), ::testing::ExitedWithCode(1),
                 "unknown predictor scheme");
+    // "tage" used to be the unknown-scheme example; now it is a real
+    // scheme, and a truncated spec dies on field count instead.
+    EXPECT_EXIT(makePredictor("tage:12"), ::testing::ExitedWithCode(1),
+                "wrong number of fields");
 }
 
 TEST(FactoryDeathTest, WrongFieldCountIsFatal)
@@ -184,4 +188,48 @@ TEST(Factory, DealiasedSchemesInsideTournament)
     auto p = makePredictor("tournament(agree:8,bimode:7:7):8");
     EXPECT_NE(p->name().find("agree"), std::string::npos);
     EXPECT_NE(p->name().find("bimode"), std::string::npos);
+}
+
+TEST(Factory, TageSpecWithDefaults)
+{
+    auto p = makePredictor("tage:12:10");
+    EXPECT_EQ(p->name(), "tage 4x2^10 tag8 (h4,8,16,32) + 2^12 base");
+    // 2^12 base counters + 4 components x 2^10 tagged entries.
+    EXPECT_EQ(p->counterCount(), 4096u + 4u * 1024u);
+}
+
+TEST(Factory, TageSpecFullyExplicit)
+{
+    auto p = makePredictor("tage:8:6:10:2,7,21,40,63");
+    EXPECT_EQ(p->name(), "tage 5x2^6 tag10 (h2,7,21,40,63) + 2^8 base");
+    EXPECT_EQ(p->counterCount(), 256u + 5u * 64u);
+}
+
+TEST(Factory, PerceptronSpecWithDefaults)
+{
+    auto p = makePredictor("perceptron:16:10");
+    EXPECT_EQ(p->name(), "perceptron 4x2^10 (h16, theta 44)");
+    EXPECT_EQ(p->counterCount(), 4u * 1024u);
+}
+
+TEST(Factory, PerceptronSpecExplicitTables)
+{
+    auto p = makePredictor("perceptron:32:8:6");
+    EXPECT_EQ(p->name(), "perceptron 6x2^8 (h32, theta 75)");
+    EXPECT_EQ(p->counterCount(), 6u * 256u);
+}
+
+TEST(Factory, ZooSchemesInsideTournament)
+{
+    auto p =
+        makePredictor("tournament(tage:10:8,perceptron:16:8):8");
+    EXPECT_NE(p->name().find("tage"), std::string::npos);
+    EXPECT_NE(p->name().find("perceptron"), std::string::npos);
+}
+
+TEST(Factory, HelpMentionsZooSchemes)
+{
+    std::string help = predictorSpecHelp();
+    EXPECT_NE(help.find("tage"), std::string::npos);
+    EXPECT_NE(help.find("perceptron"), std::string::npos);
 }

@@ -250,7 +250,7 @@ TEST(Service, ErrorClassification)
                   server,
                   "{\"op\":\"sweep\",\"trace\":{\"profile\":"
                   "\"compress\",\"branches\":20000},\"scheme\":"
-                  "\"tage\"}")),
+                  "\"yags\"}")),
               "unknown_scheme");
     EXPECT_EQ(errorCode(handle(
                   server,
@@ -404,6 +404,139 @@ TEST(Service, BatchQueueCountsSubmissions)
     EXPECT_GE(stats.queue.submissions, 2u);
     EXPECT_GE(stats.queue.drains, 2u);
     static_cast<void>(trace);
+}
+
+TEST(Service, ZooSchemesServeWithStructuredOptions)
+{
+    SweepServer server;
+
+    // Both zoo schemes are first-class catalog citizens.
+    JsonValue catalog = handle(server, "{\"op\":\"catalog\"}");
+    ASSERT_TRUE(isOk(catalog));
+    bool has_tage = false;
+    bool has_perceptron = false;
+    for (const JsonValue &name : catalog.find("schemes")->array()) {
+        has_tage = has_tage || name.asString() == "tage";
+        has_perceptron =
+            has_perceptron || name.asString() == "perceptron";
+    }
+    EXPECT_TRUE(has_tage);
+    EXPECT_TRUE(has_perceptron);
+
+    // A TAGE sweep with the full option set matches a direct session
+    // bit for bit.
+    JsonValue resp = handle(
+        server,
+        std::string("{\"op\":\"sweep\",\"trace\":{\"profile\":\"") +
+            kProfile + "\",\"branches\":" +
+            std::to_string(kBranches) +
+            "},\"scheme\":\"tage\",\"options\":{\"min_bits\":4,"
+            "\"max_bits\":6,\"tage_tag_bits\":6,"
+            "\"tage_histories\":[2,5,11]}}");
+    ASSERT_TRUE(isOk(resp)) << errorCode(resp);
+    EXPECT_EQ(resp.find("scheme")->asString(), "tage");
+
+    SweepSession direct;
+    TraceHandle trace =
+        direct.internProfile(kProfile, kBranches).value();
+    SweepOptions opts = smallSweep();
+    opts.maxTotalBits = 6;
+    opts.tageTagBits = 6;
+    opts.tageHistories = {2, 5, 11};
+    SweepResponse expect =
+        direct.sweep(SweepRequest{trace.hash, SchemeKind::Tage, opts})
+            .value();
+    const JsonValue *result = resp.find("result");
+    ASSERT_NE(result, nullptr);
+    expectWireSurfaceIdentical(*result->find("misprediction"),
+                               expect.result.misprediction);
+
+    // Perceptron serves too, and a point probe round-trips.
+    EXPECT_TRUE(isOk(handle(
+        server,
+        std::string("{\"op\":\"sweep\",\"trace\":{\"profile\":\"") +
+            kProfile + "\",\"branches\":" +
+            std::to_string(kBranches) +
+            "},\"scheme\":\"perceptron\",\"options\":{\"min_bits\":4,"
+            "\"max_bits\":6,\"perceptron_tables\":3}}")));
+    EXPECT_TRUE(isOk(handle(
+        server,
+        std::string("{\"op\":\"point\",\"trace\":{\"profile\":\"") +
+            kProfile + "\",\"branches\":" +
+            std::to_string(kBranches) +
+            "},\"scheme\":\"tage\",\"row_bits\":5,\"col_bits\":5}")));
+}
+
+TEST(Service, ZooOptionValidationRejectsBadGeometry)
+{
+    SweepServer server;
+    auto sweep_with = [&](const std::string &options) {
+        return errorCode(handle(
+            server,
+            std::string(
+                "{\"op\":\"sweep\",\"trace\":{\"profile\":\"") +
+                kProfile + "\",\"branches\":" +
+                std::to_string(kBranches) +
+                "},\"scheme\":\"tage\",\"options\":{\"min_bits\":4,"
+                "\"max_bits\":6," +
+                options + "}}"));
+    };
+    // tage_histories must be a non-empty, <= 8 entry, strictly
+    // ascending array of 1..64 -- each violation is a structured
+    // bad_request, never a crash.
+    EXPECT_EQ(sweep_with("\"tage_histories\":7"), "bad_request");
+    EXPECT_EQ(sweep_with("\"tage_histories\":[]"), "bad_request");
+    EXPECT_EQ(sweep_with("\"tage_histories\":[8,4]"), "bad_request");
+    EXPECT_EQ(sweep_with("\"tage_histories\":[4,4]"), "bad_request");
+    EXPECT_EQ(sweep_with("\"tage_histories\":[4,8,65]"),
+              "bad_request");
+    EXPECT_EQ(sweep_with(
+                  "\"tage_histories\":[1,2,3,4,5,6,7,8,9]"),
+              "bad_request");
+    EXPECT_EQ(sweep_with("\"tage_tag_bits\":1"), "bad_request");
+    EXPECT_EQ(sweep_with("\"tage_tag_bits\":17"), "bad_request");
+    EXPECT_EQ(sweep_with("\"perceptron_tables\":1"), "bad_request");
+
+    // A degenerate zoo point is a structured error, not an assert.
+    EXPECT_EQ(
+        errorCode(handle(
+            server,
+            std::string(
+                "{\"op\":\"point\",\"trace\":{\"profile\":\"") +
+                kProfile + "\",\"branches\":" +
+                std::to_string(kBranches) +
+                "},\"scheme\":\"tage\",\"row_bits\":0,"
+                "\"col_bits\":5}")),
+        "failed");
+
+    // The server keeps serving.
+    EXPECT_TRUE(isOk(handle(server, "{\"op\":\"ping\"}")));
+}
+
+TEST(Service, SpecStringSchemeNamesGetAHint)
+{
+    // A client pasting a factory spec string ("tage:12:10:8:4,8,16,32")
+    // into the scheme field gets unknown_scheme plus a pointer at the
+    // structured options, for every spec-ish shape.
+    SweepServer server;
+    for (const char *name :
+         {"tage:12:10", "tage:12:10:8:4,8,16,32", "perceptron:16:10",
+          "tournament(gshare:8,GAs:4:4)", "4,8,16,32"}) {
+        JsonValue resp = handle(
+            server,
+            std::string(
+                "{\"op\":\"sweep\",\"trace\":{\"profile\":\"") +
+                kProfile + "\",\"branches\":" +
+                std::to_string(kBranches) + "},\"scheme\":\"" + name +
+                "\",\"options\":{\"min_bits\":4,\"max_bits\":5}}");
+        EXPECT_EQ(errorCode(resp), "unknown_scheme") << name;
+        const JsonValue *error = resp.find("error");
+        ASSERT_NE(error, nullptr) << name;
+        const std::string message =
+            error->find("message")->asString();
+        EXPECT_NE(message.find("options"), std::string::npos)
+            << "hint missing for " << name << ": " << message;
+    }
 }
 
 } // namespace

@@ -40,10 +40,61 @@ expectCampaignPasses(SweepServer &server, std::uint64_t seed,
     EXPECT_GT(report.mutatedLines, 0u);
 }
 
+constexpr const char *kValidTageSweep =
+    "{\"op\":\"sweep\",\"id\":\"fuzz-tage\",\"trace\":"
+    "{\"profile\":\"compress\",\"branches\":20000},"
+    "\"scheme\":\"tage\","
+    "\"options\":{\"min_bits\":4,\"max_bits\":6,"
+    "\"tage_tag_bits\":6,\"tage_histories\":[2,5,11]}}";
+
+constexpr const char *kValidPerceptronSweep =
+    "{\"op\":\"sweep\",\"id\":\"fuzz-perc\",\"trace\":"
+    "{\"profile\":\"compress\",\"branches\":20000},"
+    "\"scheme\":\"perceptron\","
+    "\"options\":{\"min_bits\":4,\"max_bits\":6,"
+    "\"perceptron_tables\":3}}";
+
 TEST(ServiceFuzz, MutatedRequestsAlwaysGetStructuredResponses)
 {
     SweepServer server;
     expectCampaignPasses(server, 0x5eedf00d, 200);
+}
+
+TEST(ServiceFuzz, MutatedZooRequestsAlwaysGetStructuredResponses)
+{
+    // The zoo seed lines exercise the multi-table option surface: the
+    // list-valued tage_histories array is the protocol's only nested
+    // option, so mutations here hit the array validation, the
+    // spec-string hint path and the per-scheme range checks.
+    SweepServer server;
+    verify::RequestFuzzReport tage = verify::fuzzRequestLines(
+        server, kValidTageSweep, 0x7a6e, 160);
+    EXPECT_TRUE(tage.passed()) << [&] {
+        std::string all;
+        for (const std::string &violation : tage.violations)
+            all += violation + "\n";
+        return all;
+    }();
+    EXPECT_GT(tage.mustErrorLines, 0u);
+    EXPECT_EQ(tage.structuredErrors, tage.mustErrorLines);
+
+    verify::RequestFuzzReport perc = verify::fuzzRequestLines(
+        server, kValidPerceptronSweep, 0x9e4c, 120);
+    EXPECT_TRUE(perc.passed()) << [&] {
+        std::string all;
+        for (const std::string &violation : perc.violations)
+            all += violation + "\n";
+        return all;
+    }();
+    EXPECT_EQ(perc.structuredErrors, perc.mustErrorLines);
+
+    // The daemon still executes real zoo work after both campaigns.
+    Result<JsonValue> after =
+        parseJson(server.handleLine(kValidTageSweep));
+    ASSERT_TRUE(after.ok());
+    const JsonValue *ok = after.value().find("ok");
+    ASSERT_NE(ok, nullptr);
+    EXPECT_TRUE(ok->asBool());
 }
 
 TEST(ServiceFuzz, CampaignIsSeedSensitiveAndRepeatable)

@@ -168,6 +168,10 @@ TEST_P(SweepEquivalence, FastPathMatchesOnlinePredictor)
       case SchemeKind::PAsFinite:
         online = makePAsFinite(c.rowBits, c.colBits, 64, 4, true);
         break;
+      case SchemeKind::Tage:
+      case SchemeKind::Perceptron:
+        FAIL() << "zoo schemes have no TwoLevelPredictor twin";
+        break;
     }
 
     double online_misp = onlineMisp(*online);

@@ -340,3 +340,93 @@ TEST(SweepSession, RegistrySharesOneTraceAcrossRequests)
     ASSERT_TRUE(prep2.ok());
     EXPECT_EQ(prep1.value().get(), prep2.value().get());
 }
+
+TEST(SweepSession, StaleEngineVersionEntriesNeverServe)
+{
+    // Regression for the v1 -> v2 replay-semantics bump: an entry
+    // stored under an older engineVersion must never answer a current
+    // request, even when trace, scheme and config key all match.
+    SweepSession session;
+    auto handle = session.internProfile(kProfile, kBranches);
+    ASSERT_TRUE(handle.ok());
+    SweepRequest request{handle.value().hash, SchemeKind::Tage,
+                         smallSweep()};
+
+    CacheKey stale = SweepSession::cacheKey(request);
+    ASSERT_EQ(stale.engineVersion, kEngineVersion);
+    stale.engineVersion = kEngineVersion - 1;
+    // Poison pill: a recognizably wrong payload under the stale key.
+    CachedSweep poison;
+    poison.bhtMissRate = 0.75;
+    poison.misprediction = Surface("poison");
+    ASSERT_TRUE(session.cache().store(stale, poison).ok());
+
+    auto resp = session.sweep(request);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_FALSE(resp.value().cacheHit)
+        << "a stale-version entry served a current request";
+    EXPECT_NE(resp.value().result.misprediction.name(), "poison");
+
+    // Sanity: the same payload stored under the CURRENT key does hit.
+    auto again = session.sweep(request);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again.value().cacheHit);
+}
+
+TEST(SweepSession, ZooConfigKeysCoverSchemeParameters)
+{
+    // TAGE keys must separate on tag width and history set -- and
+    // nothing else about how the histories were spelled or ordered.
+    SweepOptions a = smallSweep();
+    a.tageHistories = {4, 8, 16, 32};
+    SweepOptions b = smallSweep();
+    b.tageHistories = {32, 16, 8, 4};
+    SweepOptions c = smallSweep();
+    c.tageHistories = {4, 8, 16, 48};
+    const std::string ka =
+        SweepSession::cacheConfigKey(SchemeKind::Tage, a);
+    EXPECT_NE(ka.find("tagbits="), std::string::npos);
+    EXPECT_NE(ka.find("histories="), std::string::npos);
+    EXPECT_EQ(ka, SweepSession::cacheConfigKey(SchemeKind::Tage, b))
+        << "history orderings must canonicalize identically";
+    EXPECT_NE(ka, SweepSession::cacheConfigKey(SchemeKind::Tage, c));
+
+    SweepOptions tag = smallSweep();
+    tag.tageTagBits = 12;
+    EXPECT_NE(ka, SweepSession::cacheConfigKey(SchemeKind::Tage, tag));
+
+    // Perceptron keys separate on table count.
+    SweepOptions p1 = smallSweep();
+    SweepOptions p2 = smallSweep();
+    p2.perceptronTables = 8;
+    const std::string kp =
+        SweepSession::cacheConfigKey(SchemeKind::Perceptron, p1);
+    EXPECT_NE(kp.find("ptables="), std::string::npos);
+    EXPECT_NE(kp,
+              SweepSession::cacheConfigKey(SchemeKind::Perceptron, p2));
+
+    // Classic schemes ignore the zoo knobs: no false key splits.
+    EXPECT_EQ(SweepSession::cacheConfigKey(SchemeKind::Gshare, a),
+              SweepSession::cacheConfigKey(SchemeKind::Gshare, tag));
+}
+
+TEST(SweepSession, PointRejectsDegenerateZooGeometry)
+{
+    // A daemon must answer a bad point request with an error, not an
+    // assert: the zoo schemes require non-degenerate axes.
+    SweepSession session;
+    auto handle = session.internProfile(kProfile, kBranches);
+    ASSERT_TRUE(handle.ok());
+    const TraceHash trace = handle.value().hash;
+    EXPECT_FALSE(session.point(trace, SchemeKind::Tage, 0, 5).ok());
+    EXPECT_FALSE(session.point(trace, SchemeKind::Tage, 5, 0).ok());
+    EXPECT_FALSE(session.point(trace, SchemeKind::Tage, 29, 5).ok());
+    EXPECT_FALSE(
+        session.point(trace, SchemeKind::Perceptron, 0, 5).ok());
+    EXPECT_FALSE(
+        session.point(trace, SchemeKind::Perceptron, 65, 5).ok());
+    EXPECT_TRUE(
+        session.point(trace, SchemeKind::Tage, 5, 5).ok());
+    EXPECT_TRUE(
+        session.point(trace, SchemeKind::Perceptron, 8, 5).ok());
+}
