@@ -73,6 +73,13 @@ BENCHMARK_CAPTURE(predictorThroughput, pas_perfect, "PAs:10:2");
 BENCHMARK_CAPTURE(predictorThroughput, pas_1k_bht, "PAs:10:2:1024");
 BENCHMARK_CAPTURE(predictorThroughput, tournament,
                   "tournament(addr:11,gshare:11:0):11");
+// The zoo's per-step scalar costs: one full model stepped alone.
+// Compare with the zooModelStep rows below (trace-normalised
+// model-steps/s) to see what batching buys per step.
+BENCHMARK_CAPTURE(predictorThroughput, tage_1k_base_256e,
+                  "tage:10:8");
+BENCHMARK_CAPTURE(predictorThroughput, perceptron_h24_256e,
+                  "perceptron:24:8");
 
 namespace {
 
@@ -198,6 +205,110 @@ packedGather(benchmark::State &state, SimdTarget target)
     state.SetItemsProcessed(state.iterations() * lanes);
 }
 
+/**
+ * The zoo step cost at sweep granularity: one tier of TAGE or
+ * perceptron configurations replayed per-config (runModelReplay, one
+ * trace pass per lane) vs batched (runModelBatch, one decoded block
+ * stepped by every lane).  Items processed counts model-steps
+ * (branches x lanes), so the per-config/batched ratio is the batching
+ * speedup per step.  A smaller trace than workload() keeps the
+ * per-config rows affordable.
+ */
+const PreparedTrace &
+zooPrepared()
+{
+    static const MemoryTrace trace = [] {
+        setQuiet(true);
+        WorkloadParams p;
+        p.name = "micro-zoo";
+        p.seed = 4321;
+        p.staticBranches = 900;
+        p.functionCount = 80;
+        p.targetConditionals = 50'000;
+        return generateTrace(p);
+    }();
+    static const PreparedTrace t{trace};
+    return t;
+}
+
+void
+zooModelStep(benchmark::State &state, SchemeKind kind, bool batched)
+{
+    const PreparedTrace &t = zooPrepared();
+    SweepOptions o;
+    o.minTotalBits = 12;
+    o.maxTotalBits = 12;
+    o.fuseJobs = batched;
+    const std::size_t lanes = planSweep(kind, o).size();
+    for (auto _ : state) {
+        SweepResult r = sweepScheme(t, kind, o);
+        benchmark::DoNotOptimize(r.bhtMissRate);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(t.size() * lanes));
+}
+
+/**
+ * The batched perceptron inner loop in isolation: a full 8-wide lane
+ * batch over a synthetic pre-offset index stream on one dispatch
+ * target.  Items processed counts lane-updates, so the rows are
+ * directly comparable across targets (same convention as
+ * laneBatchReplay).
+ */
+void
+perceptronBatchReplay(benchmark::State &state, SimdTarget target)
+{
+    if (!simdTargetSupported(target)) {
+        state.SkipWithError("dispatch target not supported on host");
+        return;
+    }
+    constexpr unsigned lanes = 8;
+    constexpr unsigned tables = 4;
+    constexpr unsigned entryBits = 10;
+    constexpr std::size_t n = 1u << 14;
+    static const std::vector<std::uint32_t> idx = [] {
+        Pcg32 rng(0xF005BA11ULL, 9);
+        std::vector<std::uint32_t> v(n * tables *
+                                     PerceptronBatch::kMaxLanes);
+        for (std::size_t i = 0; i < n; ++i)
+            for (unsigned tb = 0; tb < tables; ++tb)
+                for (unsigned l = 0; l < PerceptronBatch::kMaxLanes;
+                     ++l)
+                    v[(i * tables + tb) * PerceptronBatch::kMaxLanes +
+                      l] = (tb << entryBits) +
+                           rng.nextBounded(1u << entryBits);
+        return v;
+    }();
+    static const std::vector<std::uint8_t> taken = [] {
+        Pcg32 rng(0x7AC0BEEFULL, 3);
+        std::vector<std::uint8_t> v(n);
+        for (std::uint8_t &b : v)
+            b = static_cast<std::uint8_t>(rng.nextBounded(2));
+        return v;
+    }();
+
+    std::vector<std::vector<std::int8_t>> banks(lanes);
+    PerceptronBatch batch;
+    batch.lanes = lanes;
+    batch.tables = tables;
+    for (unsigned l = 0; l < lanes; ++l) {
+        banks[l].assign((std::size_t{tables} << entryBits) +
+                            PackedPht::kGatherSlack,
+                        0);
+        batch.weights[l] = banks[l].data();
+        batch.theta[l] = 60;
+    }
+
+    for (auto _ : state) {
+        replayPerceptronBatch(target, idx.data(), taken.data(), n,
+                              batch);
+        benchmark::DoNotOptimize(batch.misses[0]);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n * lanes));
+}
+
 void
 traceGeneration(benchmark::State &state)
 {
@@ -231,4 +342,14 @@ BENCHMARK_CAPTURE(laneBatchReplay, avx2, SimdTarget::AVX2);
 BENCHMARK_CAPTURE(packedGather, scalar, SimdTarget::Scalar);
 BENCHMARK_CAPTURE(packedGather, sse2, SimdTarget::SSE2);
 BENCHMARK_CAPTURE(packedGather, avx2, SimdTarget::AVX2);
+BENCHMARK_CAPTURE(zooModelStep, tage_per_config, SchemeKind::Tage,
+                  false);
+BENCHMARK_CAPTURE(zooModelStep, tage_batched, SchemeKind::Tage, true);
+BENCHMARK_CAPTURE(zooModelStep, perceptron_per_config,
+                  SchemeKind::Perceptron, false);
+BENCHMARK_CAPTURE(zooModelStep, perceptron_batched,
+                  SchemeKind::Perceptron, true);
+BENCHMARK_CAPTURE(perceptronBatchReplay, scalar, SimdTarget::Scalar);
+BENCHMARK_CAPTURE(perceptronBatchReplay, sse2, SimdTarget::SSE2);
+BENCHMARK_CAPTURE(perceptronBatchReplay, avx2, SimdTarget::AVX2);
 BENCHMARK(traceGeneration)->Arg(100'000);

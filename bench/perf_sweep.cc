@@ -402,6 +402,106 @@ main(int argc, char **argv)
                 "speculative epsilon %.3e mispredict-rate points)\n",
                 matrix_max_eps);
 
+    // ---- Zoo phase: batched model-lane replay vs per-config ------
+    //
+    // The modern-predictor zoo replays full TAGE/perceptron models,
+    // so its baseline is the per-config runModelReplay path -- one
+    // scalar trace pass per configuration.  The batched engine
+    // (runModelBatch) decodes each 2048-branch block once, shares the
+    // TAGE tag/index folds across lanes and steps perceptron lanes
+    // through the SIMD dot-product kernel.  This phase records the
+    // batched-vs-per-config matrix on a fig_tage_aliasing-sized
+    // surface (tiers spanning the fig's entry 4..8 x base 6..10
+    // budgets) with bit-identity asserted per dispatch target.
+    const SchemeKind zoo_kinds[] = {SchemeKind::Tage,
+                                    SchemeKind::Perceptron};
+    SweepOptions zoo_serial = serial_opts;
+    zoo_serial.minTotalBits = 10;
+    zoo_serial.maxTotalBits = 18;
+    SweepOptions zoo_threads_opts = zoo_serial;
+    zoo_threads_opts.fuseJobs = true;
+    zoo_threads_opts.threads = 0;
+
+    std::printf("\n==== Zoo throughput: per-config vs batched model "
+                "replay (tiers 2^%u..2^%u) ====\n",
+                zoo_serial.minTotalBits, zoo_serial.maxTotalBits);
+    std::vector<SchemeResult> zoo_results;
+    std::printf("%-10s %7s | %12s |", "scheme", "configs",
+                "percfg bc/s");
+    for (SimdTarget t : targets)
+        std::printf(" %12s %6s |", simdTargetName(t), "spd");
+    std::printf(" %12s %6s\n", "batch+t bc/s", "spd");
+    for (SchemeKind kind : zoo_kinds) {
+        SchemeResult r;
+        r.kind = kind;
+        r.fused.resize(targets.size());
+
+        Surface expect("");
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            const double s =
+                runOnce(session, handle.hash, kind, zoo_serial,
+                        rep == 0 ? &expect : nullptr);
+            if (rep == 0) {
+                r.serial.seconds = s;
+                for (const auto &tier : expect.tiers())
+                    r.configs += tier.points.size();
+            } else {
+                r.serial.seconds = std::min(r.serial.seconds, s);
+            }
+
+            for (std::size_t t = 0; t < targets.size(); ++t) {
+                SweepOptions batched_opts = zoo_serial;
+                batched_opts.fuseJobs = true;
+                batched_opts.simd = targets[t];
+                Surface surface("");
+                const bool widest = t + 1 == targets.size();
+                const double f = runOnce(
+                    session, handle.hash, kind, batched_opts,
+                    rep == 0 ? &surface : nullptr,
+                    rep == 0 && widest ? &r.kernel : nullptr);
+                if (rep == 0) {
+                    checkSurface(kind, expect, surface);
+                    r.fused[t].seconds = f;
+                } else {
+                    r.fused[t].seconds =
+                        std::min(r.fused[t].seconds, f);
+                }
+            }
+
+            Surface threaded_surface("");
+            const double ft =
+                runOnce(session, handle.hash, kind, zoo_threads_opts,
+                        rep == 0 ? &threaded_surface : nullptr);
+            if (rep == 0) {
+                checkSurface(kind, expect, threaded_surface);
+                r.fusedThreads.seconds = ft;
+            } else {
+                r.fusedThreads.seconds =
+                    std::min(r.fusedThreads.seconds, ft);
+            }
+        }
+
+        const double work = static_cast<double>(trace->size()) *
+                            static_cast<double>(r.configs);
+        r.serial.throughput = work / r.serial.seconds;
+        for (ModeResult &m : r.fused)
+            m.throughput = work / m.seconds;
+        r.fusedThreads.throughput = work / r.fusedThreads.seconds;
+        r.fusedThreadsSpeedup =
+            r.serial.seconds / r.fusedThreads.seconds;
+        zoo_results.push_back(r);
+
+        std::printf("%-10s %7zu | %12.3e |", schemeKindName(kind),
+                    r.configs, r.serial.throughput);
+        for (const ModeResult &m : r.fused)
+            std::printf(" %12.3e %5.2fx |", m.throughput,
+                        r.serial.seconds / m.seconds);
+        std::printf(" %12.3e %5.2fx\n", r.fusedThreads.throughput,
+                    r.fusedThreadsSpeedup);
+    }
+    std::printf("(all zoo surfaces verified bit-identical across "
+                "modes and targets)\n");
+
     // Machine-readable record, consumed by CHANGES.md bookkeeping and
     // future perf-trajectory comparisons (see EXPERIMENTS.md).
     FILE *json = std::fopen(json_path.c_str(), "w");
@@ -496,6 +596,60 @@ main(int argc, char **argv)
                      cell.fusedThreads, cell.segments, cell.seconds,
                      cell.speedup, cell.epsilon, cell.utilization,
                      i + 1 < matrix.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]},\n");
+    std::fprintf(json,
+                 "  \"zoo\": {\"tiers\": [%u, %u],\n"
+                 "   \"unit\": \"branch-config updates per second\",\n"
+                 "   \"schemes\": [\n",
+                 zoo_serial.minTotalBits, zoo_serial.maxTotalBits);
+    for (std::size_t i = 0; i < zoo_results.size(); ++i) {
+        const SchemeResult &r = zoo_results[i];
+        std::fprintf(json,
+                     "    {\"scheme\": \"%s\", \"configs\": %zu,\n",
+                     schemeKindName(r.kind), r.configs);
+        std::fprintf(json,
+                     "     \"per_config\": {\"seconds\": %.6f, "
+                     "\"throughput\": %.3e},\n",
+                     r.serial.seconds, r.serial.throughput);
+        std::fprintf(json, "     \"batched\": {\n");
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+            const ModeResult &m = r.fused[t];
+            std::fprintf(
+                json,
+                "      \"%s\": {\"seconds\": %.6f, \"throughput\": "
+                "%.3e,\n       \"speedup\": %.3f, "
+                "\"speedup_vs_scalar_batched\": %.3f}%s\n",
+                simdTargetName(targets[t]), m.seconds, m.throughput,
+                r.serial.seconds / m.seconds,
+                r.fused[0].seconds / m.seconds,
+                t + 1 < targets.size() ? "," : "");
+        }
+        std::fprintf(json, "     },\n");
+        std::fprintf(json,
+                     "     \"batched_threads\": {\"seconds\": %.6f, "
+                     "\"throughput\": %.3e, \"speedup\": %.3f},\n",
+                     r.fusedThreads.seconds,
+                     r.fusedThreads.throughput,
+                     r.fusedThreadsSpeedup);
+        std::fprintf(
+            json,
+            "     \"kernel\": {\"target\": \"%s\", "
+            "\"model_groups\": %llu, \"model_lanes\": %llu,\n"
+            "      \"model_lanes_per_group\": %.2f, "
+            "\"model_batches\": %llu, \"blocks_replayed\": %llu,\n"
+            "      \"segments_per_group\": %.2f, "
+            "\"shards_per_group\": %.2f, \"worker_utilization\": "
+            "%.3f}}%s\n",
+            simdTargetName(r.kernel.target),
+            static_cast<unsigned long long>(r.kernel.modelGroups),
+            static_cast<unsigned long long>(r.kernel.modelLanes),
+            r.kernel.modelLanesPerGroup(),
+            static_cast<unsigned long long>(r.kernel.modelBatches),
+            static_cast<unsigned long long>(r.kernel.blocksReplayed),
+            r.kernel.segmentsPerGroup(), r.kernel.shardsPerGroup(),
+            r.kernel.workerUtilization(),
+            i + 1 < zoo_results.size() ? "," : "");
     }
     std::fprintf(json, "  ]},\n");
     std::fprintf(json, "  \"geomean_fused_speedup\": {");

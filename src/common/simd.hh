@@ -150,6 +150,59 @@ void replayLaneBatch(SimdTarget target, const std::uint32_t *records,
                      std::size_t n, LaneBatch &batch);
 
 /**
+ * One batch of hashed-perceptron model lanes in structure-of-arrays
+ * form, for the batched zoo replay (sim/sweep.cc).  Lane l owns an
+ * int8 weight bank at weights[l]: all of its tables concatenated, the
+ * weight for (table t, entry e) at byte (t << entryBits) + e.  Banks
+ * must be pairwise disjoint and carry PackedPht::kGatherSlack writable
+ * padding bytes past the last weight (the AVX2/AVX-512 kernels gather
+ * a 4-byte window at each addressed weight; updates are written back
+ * as single-byte stores, so the padding is only ever read).  The bank
+ * is int8 because the model clamps weights to [kWeightMin, kWeightMax]
+ * -- the same constants as PerceptronModel, pinned by a static_assert
+ * at the sweep integration point.
+ */
+struct PerceptronBatch
+{
+    static constexpr unsigned kMaxLanes = 16;
+    static constexpr unsigned kMaxTables = 16;
+    static constexpr int kWeightMin = -64;
+    static constexpr int kWeightMax = 63;
+    /** Live lanes (1..kMaxLanes); vector kernels pad the rest. */
+    unsigned lanes = 0;
+    /** Weight tables per lane -- shared across the batch (1..16). */
+    unsigned tables = 0;
+    std::int8_t *weights[kMaxLanes] = {};
+    /** Per-lane integer training threshold ((193 * h) / 100 + 14). */
+    std::int32_t theta[kMaxLanes] = {};
+    /** Per-lane mispredict accumulators. */
+    std::uint64_t misses[kMaxLanes] = {};
+};
+
+/**
+ * Replay @p n branches through every lane of @p batch on @p target.
+ * idx[(i * batch.tables + t) * PerceptronBatch::kMaxLanes + l] holds
+ * lane l's PRE-OFFSET weight index for branch i and table t -- i.e.
+ * (t << entryBits_l) + tableIndex -- so the kernel needs no per-lane
+ * geometry: the weight read is weights[l][idx...].  taken[i] is the
+ * branch outcome (0/1).  Per branch each lane sums its tables' signed
+ * weights, predicts sum >= 0, counts a mispredict into batch.misses,
+ * and on a mispredict or |sum| <= theta[l] trains every addressed
+ * weight by +/-1 clamped to [kWeightMin, kWeightMax] -- exactly
+ * PerceptronModel::step.  All targets are bit-identical: identical
+ * final weight banks, identical miss counts (integer sums are
+ * order-free and every update is a single-byte store).  @p target must
+ * be concrete and is a ceiling as in replayLaneBatch: under-occupied
+ * batches drop to the next narrower kernel (same break-evens), and
+ * wider batches run in native-width chunks.  @p n must stay below
+ * 2^30 (per-call int32 miss accumulators); the sweep engine's block
+ * tiles are 4 orders of magnitude smaller.
+ */
+void replayPerceptronBatch(SimdTarget target, const std::uint32_t *idx,
+                           const std::uint8_t *taken, std::size_t n,
+                           PerceptronBatch &batch);
+
+/**
  * Gather one table byte per lane: out[l] = bases[l][byteIdx[l]] for
  * l < lanes (lanes <= LaneBatch::kMaxLanes).  The AVX2/AVX-512
  * variants use hardware gathers over absolute addresses, so each

@@ -375,6 +375,17 @@ SweepServer::handleStats(const Request &req)
     kernelObj.emplace("warmup_branches",
                       JsonValue(static_cast<std::int64_t>(
                           kernel.warmupBranches)));
+    kernelObj.emplace("model_groups",
+                      JsonValue(static_cast<std::int64_t>(
+                          kernel.modelGroups)));
+    kernelObj.emplace("model_lanes",
+                      JsonValue(static_cast<std::int64_t>(
+                          kernel.modelLanes)));
+    kernelObj.emplace("model_batches",
+                      JsonValue(static_cast<std::int64_t>(
+                          kernel.modelBatches)));
+    kernelObj.emplace("model_lanes_per_group",
+                      JsonValue(kernel.modelLanesPerGroup()));
     kernelObj.emplace("worker_utilization",
                       JsonValue(kernel.workerUtilization()));
 

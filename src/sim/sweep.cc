@@ -516,6 +516,429 @@ runFusedReplay(const PreparedTrace &t,
         telemetry->merge(counters);
 }
 
+/**
+ * The batched model-lane replay: one trace pass steps every member
+ * TAGE or perceptron model of a model group (DESIGN.md "Batched
+ * model-lane replay").  The multi-table zoo has no packed-2-bit form,
+ * but it shares the fused engine's two amortisable costs: the per-
+ * branch decode (pc word index, global history, outcome) is identical
+ * for every member, and the xorFold hash chains depend only on shared
+ * geometry -- every member of a sweep shares tagBits/histories (TAGE)
+ * or the table count (perceptron), and members sharing an entry width
+ * share their index folds exactly.  So the pass block-tiles the trace
+ * like runFusedReplay (same 2048-branch tiles), decodes each block
+ * once, materialises the hash keys once per (block, shared-geometry
+ * class), and then:
+ *
+ *  - TAGE lanes replay through TageModel::stepWithKeys on the
+ *    component-major key blocks -- the predict/train/allocate logic is
+ *    the model's own, so batched and per-config replay cannot drift;
+ *  - perceptron lanes drop their weights into int8 structure-of-arrays
+ *    banks and replay PerceptronBatch::kMaxLanes at a time through the
+ *    runtime-dispatched SIMD dot-product/update kernel
+ *    (common/simd.hh), bit-identical to PerceptronModel::step.
+ *
+ * The within-group execution shape is runFusedReplay's shard x segment
+ * task grid verbatim: shards partition the lanes (private models and
+ * banks, bit-identical for any shard count), segments partition the
+ * trace at block boundaries with the same uncounted warm-up window,
+ * and the per-(lane, segment) counts are summed in segment order.
+ * Cache-key semantics are therefore identical to the fused 2-bit path:
+ * results depend on (trace, geometry, segments, warmup), never on
+ * shard or worker counts.
+ */
+void
+runModelBatch(const PreparedTrace &t, const SweepOptions &opts,
+              const std::vector<ConfigJob> &jobs,
+              const std::vector<std::size_t> &members,
+              ConfigResult *slots, SimdTarget target,
+              const ReplayExec &exec, KernelTelemetry *telemetry)
+{
+    static_assert(
+        PerceptronBatch::kWeightMin == PerceptronModel::kWeightMin &&
+            PerceptronBatch::kWeightMax == PerceptronModel::kWeightMax,
+        "the SIMD perceptron kernel clamps to the model's range");
+
+    bpsim_assert(!members.empty(), "empty model group");
+    const SchemeKind kind = jobs[members.front()].kind;
+    bpsim_assert(kind == SchemeKind::Tage ||
+                     kind == SchemeKind::Perceptron,
+                 "model groups hold only multi-table schemes");
+    for (std::size_t member : members)
+        bpsim_assert(jobs[member].kind == kind,
+                     "model groups never mix schemes");
+
+    struct LaneSpec
+    {
+        std::size_t member;
+        unsigned rowBits;
+        unsigned colBits;
+    };
+    std::vector<LaneSpec> specs;
+    specs.reserve(members.size());
+    for (std::size_t member : members)
+        specs.push_back(LaneSpec{member, jobs[member].rowBits,
+                                 jobs[member].colBits});
+    // Keep entry-width classes contiguous (TAGE components and
+    // perceptron tables are 2^entryBits entries: rowBits for TAGE,
+    // colBits for perceptron) so each shard materialises as few index
+    // folds as possible.  Stable, execution placement only.
+    const bool is_tage = kind == SchemeKind::Tage;
+    std::stable_sort(specs.begin(), specs.end(),
+                     [is_tage](const LaneSpec &a, const LaneSpec &b) {
+                         return (is_tage ? a.rowBits : a.colBits) <
+                                (is_tage ? b.rowBits : b.colBits);
+                     });
+
+    // Same tile size as the fused replay: the decoded block (8-byte
+    // word index + 8-byte history + outcome) stays L2-resident while
+    // every lane streams it.
+    constexpr std::size_t blockSize = 2048;
+    static_assert(blockSize % 64 == 0,
+                  "blocks must consume whole taken words");
+    const std::size_t n = t.size();
+    const std::size_t nblocks = (n + blockSize - 1) / blockSize;
+
+    const std::size_t lane_count = specs.size();
+    const std::size_t shards = std::max<std::size_t>(
+        1, std::min<std::size_t>(exec.shards, lane_count));
+    const std::size_t segs = std::max<std::size_t>(
+        1, std::min<std::size_t>(exec.segments,
+                                 std::max<std::size_t>(nblocks, 1)));
+    const std::size_t tasks = shards * segs;
+    const auto shard_begin = [&](std::size_t s) {
+        return s * lane_count / shards;
+    };
+    const auto seg_begin = [&](std::size_t k) {
+        return std::min(n, k * nblocks / segs * blockSize);
+    };
+
+    std::vector<std::uint64_t> seg_misses(segs * lane_count, 0);
+    std::vector<KernelTelemetry> task_tel(tasks);
+
+    const auto run_task = [&](std::size_t task_idx) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t s = task_idx / segs;
+        const std::size_t k = task_idx % segs;
+        const std::size_t lane_lo = shard_begin(s);
+        const std::size_t lane_hi = shard_begin(s + 1);
+        const std::size_t seg_lo = seg_begin(k);
+        const std::size_t seg_hi = seg_begin(k + 1);
+        const std::size_t warm_lo =
+            seg_lo > exec.warmup ? seg_lo - exec.warmup : 0;
+        KernelTelemetry &tel = task_tel[task_idx];
+        tel.warmupBranches += seg_lo - warm_lo;
+
+        const std::size_t task_lanes = lane_hi - lane_lo;
+        std::vector<std::uint64_t> lane_misses(task_lanes, 0);
+
+        // Shared per-block decode: full 64-bit pc word index (the zoo
+        // hashes fold all of it, unlike the 15-bit packed columns),
+        // the history register, and the unpacked outcome byte the
+        // perceptron kernel consumes directly.
+        std::vector<std::uint64_t> widx(blockSize), gh(blockSize);
+        std::vector<std::uint8_t> tk(blockSize);
+        const auto decode_block = [&](std::size_t base,
+                                      std::size_t m) {
+            for (std::size_t i = 0; i < m; ++i) {
+                const std::size_t g = base + i;
+                widx[i] = wordIndex(t.pc(g));
+                gh[i] = t.globalHistory(g);
+                tk[i] = static_cast<std::uint8_t>(t.taken(g));
+            }
+        };
+
+        if (is_tage) {
+            const auto ncomp =
+                static_cast<unsigned>(opts.tageHistories.size());
+            const unsigned tag_bits = opts.tageTagBits;
+            std::uint64_t hmask[8];
+            for (unsigned j = 0; j < ncomp && j < 8; ++j)
+                hmask[j] = mask(opts.tageHistories[j]);
+
+            std::vector<TageModel> models;
+            models.reserve(task_lanes);
+            for (std::size_t j = lane_lo; j < lane_hi; ++j)
+                models.emplace_back(tageSweepParams(
+                    specs[j].rowBits, specs[j].colBits, opts));
+
+            // Component-major key blocks, shared across lanes: tags
+            // depend only on (tagBits, histories) -- group-wide -- and
+            // entry indices additionally on entryBits, so they are
+            // materialised once per (block, entry-width class).
+            std::vector<std::uint16_t> tags(ncomp * blockSize);
+            std::vector<std::uint32_t> idxf(ncomp * blockSize);
+            std::vector<std::uint16_t> wtagf(blockSize);
+            std::vector<std::uint32_t> wfold(blockSize);
+
+            const auto replay_span = [&](std::size_t lo,
+                                         std::size_t hi, bool count) {
+                for (std::size_t base = lo; base < hi;
+                     base += blockSize) {
+                    const std::size_t m =
+                        std::min(blockSize, hi - base);
+                    if (count)
+                        ++tel.blocksReplayed;
+                    decode_block(base, m);
+                    for (std::size_t i = 0; i < m; ++i)
+                        wtagf[i] = static_cast<std::uint16_t>(
+                            xorFold(widx[i], tag_bits));
+                    for (unsigned j = 0; j < ncomp; ++j) {
+                        std::uint16_t *out = tags.data() +
+                                             j * blockSize;
+                        for (std::size_t i = 0; i < m; ++i) {
+                            const std::uint64_t h = gh[i] & hmask[j];
+                            out[i] = static_cast<std::uint16_t>(
+                                (wtagf[i] ^ xorFold(h, tag_bits) ^
+                                 (xorFold(h, tag_bits - 1) << 1)) &
+                                mask(tag_bits));
+                        }
+                    }
+                    for (std::size_t first = 0; first < task_lanes;) {
+                        const unsigned eb =
+                            specs[lane_lo + first].rowBits;
+                        std::size_t last = first;
+                        while (last < task_lanes &&
+                               specs[lane_lo + last].rowBits == eb)
+                            ++last;
+                        if (count)
+                            ++tel.modelBatches;
+                        const std::uint64_t eb_mask = mask(eb);
+                        for (std::size_t i = 0; i < m; ++i)
+                            wfold[i] = static_cast<std::uint32_t>(
+                                xorFold(widx[i], eb));
+                        for (unsigned j = 0; j < ncomp; ++j) {
+                            std::uint32_t *out = idxf.data() +
+                                                 j * blockSize;
+                            for (std::size_t i = 0; i < m; ++i)
+                                out[i] = static_cast<std::uint32_t>(
+                                    (xorFold(gh[i] & hmask[j], eb) ^
+                                     wfold[i]) &
+                                    eb_mask);
+                        }
+                        for (std::size_t j = first; j < last; ++j) {
+                            TageModel &model = models[j];
+                            const std::uint64_t base_mask =
+                                mask(specs[lane_lo + j].colBits);
+                            std::uint64_t misses = 0;
+                            for (std::size_t i = 0; i < m; ++i) {
+                                const bool taken = tk[i] != 0;
+                                const bool pred =
+                                    model
+                                        .stepWithKeys(
+                                            static_cast<std::size_t>(
+                                                widx[i] & base_mask),
+                                            idxf.data() + i,
+                                            blockSize,
+                                            tags.data() + i,
+                                            blockSize, taken)
+                                        .prediction;
+                                misses += pred != taken;
+                            }
+                            if (count)
+                                lane_misses[j] += misses;
+                        }
+                        first = last;
+                    }
+                }
+            };
+            replay_span(warm_lo, seg_lo, false);
+            replay_span(seg_lo, seg_hi, true);
+        } else {
+            const unsigned tables = opts.perceptronTables;
+            struct PerceptronLane
+            {
+                std::vector<std::int8_t> bank;
+                std::int32_t theta;
+                unsigned entryBits;
+            };
+            std::vector<PerceptronLane> lanes;
+            lanes.reserve(task_lanes);
+            for (std::size_t j = lane_lo; j < lane_hi; ++j) {
+                // Validate through the real params (geometry errors
+                // surface exactly as on the per-config path).
+                perceptronSweepParams(specs[j].rowBits,
+                                      specs[j].colBits, opts)
+                    .validate();
+                PerceptronLane lane;
+                lane.entryBits = specs[j].colBits;
+                // The SoA bank: table t's weight e at (t << eb) + e,
+                // gather slack past the last weight (simd.hh).
+                lane.bank.assign(
+                    (static_cast<std::size_t>(tables)
+                     << lane.entryBits) +
+                        PackedPht::kGatherSlack,
+                    0);
+                lane.theta = static_cast<std::int32_t>(
+                    (193u * specs[j].rowBits) / 100u + 14u);
+                lanes.push_back(std::move(lane));
+            }
+
+            // Sub-tile the block for the pre-offset index buffer:
+            // 64 branches x tables x kMaxLanes stays L1-resident.
+            constexpr std::size_t kTile = 64;
+            std::vector<std::uint32_t> idxbuf(
+                kTile * tables * PerceptronBatch::kMaxLanes);
+
+            const auto replay_span = [&](std::size_t lo,
+                                         std::size_t hi, bool count) {
+                for (std::size_t base = lo; base < hi;
+                     base += blockSize) {
+                    const std::size_t m =
+                        std::min(blockSize, hi - base);
+                    if (count)
+                        ++tel.blocksReplayed;
+                    decode_block(base, m);
+                    for (std::size_t b_lo = 0; b_lo < task_lanes;
+                         b_lo += PerceptronBatch::kMaxLanes) {
+                        PerceptronBatch batch;
+                        batch.lanes = static_cast<unsigned>(
+                            std::min<std::size_t>(
+                                PerceptronBatch::kMaxLanes,
+                                task_lanes - b_lo));
+                        batch.tables = tables;
+                        for (unsigned l = 0; l < batch.lanes; ++l) {
+                            PerceptronLane &lane = lanes[b_lo + l];
+                            batch.weights[l] = lane.bank.data();
+                            batch.theta[l] = lane.theta;
+                        }
+                        if (count)
+                            ++tel.modelBatches;
+                        std::uint32_t wfold[kTile];
+                        for (std::size_t off = 0; off < m;
+                             off += kTile) {
+                            const std::size_t mt =
+                                std::min(kTile, m - off);
+                            int cur_eb = -1;
+                            for (unsigned l = 0; l < batch.lanes;
+                                 ++l) {
+                                const PerceptronLane &lane =
+                                    lanes[b_lo + l];
+                                const unsigned eb = lane.entryBits;
+                                const auto eb_mask =
+                                    static_cast<std::uint32_t>(
+                                        mask(eb));
+                                if (static_cast<int>(eb) != cur_eb) {
+                                    cur_eb = static_cast<int>(eb);
+                                    for (std::size_t i = 0; i < mt;
+                                         ++i)
+                                        wfold[i] = static_cast<
+                                            std::uint32_t>(
+                                            xorFold(widx[off + i],
+                                                    eb));
+                                }
+                                const unsigned h =
+                                    specs[lane_lo + b_lo + l].rowBits;
+                                const std::size_t stride =
+                                    static_cast<std::size_t>(tables) *
+                                    PerceptronBatch::kMaxLanes;
+                                std::uint32_t *col = idxbuf.data() + l;
+                                for (std::size_t i = 0; i < mt; ++i)
+                                    col[i * stride] =
+                                        static_cast<std::uint32_t>(
+                                            widx[off + i]) &
+                                        eb_mask;
+                                const unsigned nseg = tables - 1;
+                                for (unsigned tb = 1; tb < tables;
+                                     ++tb) {
+                                    const unsigned seg_l =
+                                        (tb - 1) * h / nseg;
+                                    const unsigned seg_h =
+                                        tb * h / nseg;
+                                    const auto off_t =
+                                        static_cast<std::uint32_t>(
+                                            tb)
+                                        << eb;
+                                    std::uint32_t *out =
+                                        idxbuf.data() +
+                                        tb *
+                                            PerceptronBatch::
+                                                kMaxLanes +
+                                        l;
+                                    for (std::size_t i = 0; i < mt;
+                                         ++i) {
+                                        const std::uint64_t seg =
+                                            bitsAt(gh[off + i],
+                                                   seg_l,
+                                                   seg_h - seg_l);
+                                        out[i * stride] =
+                                            ((static_cast<
+                                                  std::uint32_t>(
+                                                  xorFold(seg, eb)) ^
+                                              wfold[i]) &
+                                             eb_mask) +
+                                            off_t;
+                                    }
+                                }
+                            }
+                            replayPerceptronBatch(target,
+                                                  idxbuf.data(),
+                                                  tk.data() + off, mt,
+                                                  batch);
+                        }
+                        if (count)
+                            for (unsigned l = 0; l < batch.lanes; ++l)
+                                lane_misses[b_lo + l] +=
+                                    batch.misses[l];
+                    }
+                }
+            };
+            replay_span(warm_lo, seg_lo, false);
+            replay_span(seg_lo, seg_hi, true);
+        }
+
+        for (std::size_t j = 0; j < task_lanes; ++j)
+            seg_misses[k * lane_count + lane_lo + j] = lane_misses[j];
+        tel.busySeconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+    };
+
+    const auto workers = static_cast<unsigned>(std::min<std::size_t>(
+        tasks,
+        std::max<std::size_t>(exec.shards, segs > 1 ? segs : 1)));
+    const auto span0 = std::chrono::steady_clock::now();
+    if (tasks == 1 || workers <= 1) {
+        for (std::size_t task_idx = 0; task_idx < tasks; ++task_idx)
+            run_task(task_idx);
+    } else {
+        ThreadPool::shared().parallelFor(tasks, workers, run_task);
+    }
+
+    KernelTelemetry counters;
+    counters.target = target;
+    counters.modelGroups = 1;
+    counters.modelLanes = lane_count;
+    counters.segments = segs;
+    counters.laneShards = shards;
+    counters.shardTasks = tasks;
+    counters.shardWorkers = workers;
+    counters.spanSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - span0)
+            .count();
+    for (const KernelTelemetry &tel : task_tel) {
+        counters.blocksReplayed += tel.blocksReplayed;
+        counters.modelBatches += tel.modelBatches;
+        counters.warmupBranches += tel.warmupBranches;
+        counters.busySeconds += tel.busySeconds;
+    }
+
+    for (std::size_t j = 0; j < lane_count; ++j) {
+        std::uint64_t total = 0;
+        for (std::size_t k = 0; k < segs; ++k)
+            total += seg_misses[k * lane_count + j];
+        ConfigResult &out = slots[specs[j].member];
+        out = ConfigResult{};
+        out.mispRate =
+            n ? static_cast<double>(total) / static_cast<double>(n)
+              : 0.0;
+    }
+    if (telemetry)
+        telemetry->merge(counters);
+}
+
 } // namespace
 
 double
@@ -523,6 +946,14 @@ KernelTelemetry::lanesPerGroup() const
 {
     return fusedGroups ? static_cast<double>(lanes) /
                              static_cast<double>(fusedGroups)
+                       : 0.0;
+}
+
+double
+KernelTelemetry::modelLanesPerGroup() const
+{
+    return modelGroups ? static_cast<double>(modelLanes) /
+                             static_cast<double>(modelGroups)
                        : 0.0;
 }
 
@@ -539,17 +970,21 @@ KernelTelemetry::hotBytesPerBranch() const
 double
 KernelTelemetry::segmentsPerGroup() const
 {
-    return fusedGroups ? static_cast<double>(segments) /
-                             static_cast<double>(fusedGroups)
-                       : 0.0;
+    // Fused and model groups both run the shard x segment grid, so
+    // the per-group means average over the combined population.
+    const std::uint64_t groups = fusedGroups + modelGroups;
+    return groups ? static_cast<double>(segments) /
+                        static_cast<double>(groups)
+                  : 0.0;
 }
 
 double
 KernelTelemetry::shardsPerGroup() const
 {
-    return fusedGroups ? static_cast<double>(laneShards) /
-                             static_cast<double>(fusedGroups)
-                       : 0.0;
+    const std::uint64_t groups = fusedGroups + modelGroups;
+    return groups ? static_cast<double>(laneShards) /
+                        static_cast<double>(groups)
+                  : 0.0;
 }
 
 double
@@ -575,6 +1010,9 @@ KernelTelemetry::merge(const KernelTelemetry &other)
     laneShards += other.laneShards;
     shardTasks += other.shardTasks;
     warmupBranches += other.warmupBranches;
+    modelGroups += other.modelGroups;
+    modelLanes += other.modelLanes;
+    modelBatches += other.modelBatches;
     busySeconds += other.busySeconds;
     spanSeconds += other.spanSeconds;
     // The widest task phase seen; utilisation divides busy time by
@@ -692,9 +1130,20 @@ planFusedGroups(const std::vector<ConfigJob> &jobs,
     std::vector<FusedGroup> groups;
 
     // AliasTracker needs the per-access branch address, which the
-    // packed kernel deliberately does not thread through -- fall back
-    // to one per-config replay per job (Figure 5 semantics untouched).
-    if (opts.trackAliasing || !opts.fuseJobs) {
+    // packed kernel deliberately does not thread through -- the 2-bit
+    // family falls back to one per-config replay per job when aliasing
+    // is tracked (Figure 5 semantics untouched).  The zoo is exempt
+    // from that fallback: its aliasing surfaces are identically zero
+    // whether tracked or not (analyzeInterference owns its
+    // interference story), so zoo jobs batch whenever fusion is on.
+    const auto zoo = [](SchemeKind kind) {
+        return kind == SchemeKind::Tage ||
+               kind == SchemeKind::Perceptron;
+    };
+    if (!opts.fuseJobs ||
+        (opts.trackAliasing &&
+         std::none_of(jobs.begin(), jobs.end(),
+                      [&](const ConfigJob &j) { return zoo(j.kind); }))) {
         groups.reserve(jobs.size());
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             FusedGroup g;
@@ -719,14 +1168,15 @@ planFusedGroups(const std::vector<ConfigJob> &jobs,
     std::vector<Bucket> buckets;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const ConfigJob &job = jobs[i];
-        // The multi-table zoo never fuses: tagged entries and signed
-        // weights have no packed-2-bit form, so each job is its own
-        // per-config model replay regardless of fuseJobs.
-        if (job.kind == SchemeKind::Tage ||
-            job.kind == SchemeKind::Perceptron) {
+        // Aliasing-tracked 2-bit jobs still take the per-config
+        // fallback (only reachable in a mixed plan alongside zoo
+        // jobs); zoo jobs bucket into model groups by kind -- one
+        // sweep's members share tagBits/histories/tables by
+        // construction, so any subset batches together.
+        if (opts.trackAliasing && !zoo(job.kind)) {
             FusedGroup g;
             g.kind = job.kind;
-            g.streamRowBits = 0;
+            g.streamRowBits = job.rowBits;
             g.fused = false;
             g.jobs.push_back(i);
             groups.push_back(std::move(g));
@@ -1130,8 +1580,9 @@ runFusedGroup(const FusedGroup &group,
       }
       case SchemeKind::Tage:
       case SchemeKind::Perceptron:
-        // planFusedGroups never marks the zoo schemes fused.
-        bpsim_panic("multi-table schemes take the per-config path");
+        runModelBatch(t, cache.options(), jobs, group.jobs, slots,
+                      target, exec, telemetry);
+        break;
     }
 }
 

@@ -70,13 +70,19 @@ enum class SchemeKind
     PAsPerfect,     ///< self history, unbounded first level (Figure 9)
     PAsFinite,      ///< self history through a real BHT (Figure 10)
     /**
-     * The multi-table zoo: these replay a full TageModel /
-     * PerceptronModel per configuration (no packed-PHT fusion -- the
-     * fused kernel's 2-bit-counter invariants do not hold for tagged
-     * entries or signed weights), so the planner always routes them to
-     * per-config fallback groups.  Their aliasing/harmless surfaces
-     * stay zero; interference decomposition comes from
-     * analyzeInterference instead (see interference.hh).
+     * The multi-table zoo: these replay full TageModel /
+     * PerceptronModel state per configuration (no packed-PHT form --
+     * the fused kernel's 2-bit-counter invariants do not hold for
+     * tagged entries or signed weights).  When fusion is enabled the
+     * planner batches them into MODEL groups: one trace pass decodes
+     * each block once and steps every member model, sharing the hash
+     * folds across members (and, for perceptron lanes, running the
+     * dot-product/update through the SIMD PerceptronBatch kernel).
+     * fuseJobs = false falls back to one per-config replay per job.
+     * Either way their aliasing/harmless surfaces stay zero --
+     * interference decomposition comes from analyzeInterference
+     * instead (see interference.hh) -- which is also why the
+     * trackAliasing fallback does not apply to them.
      */
     Tage,       ///< tagged geometric-history components over a base
     Perceptron, ///< hashed perceptron (summed signed weight tables)
@@ -123,9 +129,12 @@ struct SweepOptions
     unsigned threads = 1;
     /**
      * Fuse jobs sharing a first-level stream into single-pass group
-     * replays (packed-counter kernel).  Aliasing-tracked sweeps ignore
-     * this and always take the per-config AliasTracker path.  Results
-     * are bit-identical either way; false forces the per-config kernel
+     * replays: the packed-counter kernel for the 2-bit family, the
+     * batched model-lane replay for the zoo.  Aliasing-tracked 2-bit
+     * sweeps ignore this and always take the per-config AliasTracker
+     * path; zoo sweeps batch regardless of trackAliasing (their
+     * aliasing surfaces are identically zero either way).  Results are
+     * bit-identical either way; false forces the per-config kernel
      * (the serial baseline the perf_sweep bench measures against).
      */
     bool fuseJobs = true;
@@ -138,10 +147,11 @@ struct SweepOptions
      */
     SimdTarget simd = SimdTarget::Auto;
     /**
-     * Executors *inside* one fused group: the group's member lanes are
-     * sharded across this many concurrent block-replay workers, each
-     * owning a disjoint lane subset with private packed tables --
-     * nothing is shared, so results are bit-identical for any value.
+     * Executors *inside* one fused or model group: the group's member
+     * lanes are sharded across this many concurrent block-replay
+     * workers, each owning a disjoint lane subset with private packed
+     * tables (or private zoo models and weight banks) -- nothing is
+     * shared, so results are bit-identical for any value.
      * 0 = one per hardware thread, 1 (default) reproduces the serial
      * fused replay.  Composes with `threads`: groups distribute outer,
      * shards inner (the pool's nested parallelFor is deadlock-free).
@@ -158,11 +168,14 @@ struct SweepOptions
      * single-segment replay (bit-identical to the serial engine);
      * K > 1 trades a bounded mispredict epsilon (2-bit counters
      * converge after a handful of same-direction updates, so only the
-     * few warm-up-resistant counters at each boundary can disagree)
-     * for segment parallelism.  Speculative results depend only on
-     * (K, segmentWarmup) -- never on shard or worker counts -- and
-     * are cached under a distinct key (sweep_session.cc).  Clamped to
-     * kMaxSegments; see resolveSegments().
+     * few warm-up-resistant counters at each boundary can disagree;
+     * zoo model state converges more slowly, so the zoo epsilon runs
+     * larger at the same warmup -- see EXPERIMENTS.md) for segment
+     * parallelism.  Applies to fused AND model groups.  Speculative
+     * results depend only on (K, segmentWarmup) -- never on shard or
+     * worker counts -- and are cached under a distinct key
+     * (sweep_session.cc).  Clamped to kMaxSegments; see
+     * resolveSegments().
      */
     unsigned segments = 0;
     /**
@@ -223,6 +236,23 @@ struct KernelTelemetry
     std::uint64_t shardTasks = 0;
     /** Uncounted warm-up branches replayed by speculative segments. */
     std::uint64_t warmupBranches = 0;
+    /**
+     * Model groups (TAGE/perceptron zoo) replayed by the batched
+     * model-lane engine.  Model groups reuse the fused machinery --
+     * their segments/shards/tasks/warm-up/blocks/timing fold into the
+     * shared counters above -- but step full predictor models instead
+     * of packed 2-bit tables, so their population is counted apart
+     * from fusedGroups/lanes.
+     */
+    std::uint64_t modelGroups = 0;
+    /** Member configurations replayed as model lanes. */
+    std::uint64_t modelLanes = 0;
+    /**
+     * Batched inner-kernel invocations by model groups: one per
+     * (block tile x perceptron lane batch) or (block tile x TAGE
+     * entry-bits class).
+     */
+    std::uint64_t modelBatches = 0;
     /** Summed per-task execution time (busy seconds across workers). */
     double busySeconds = 0.0;
     /** Summed per-group wall time of the task phase. */
@@ -232,6 +262,8 @@ struct KernelTelemetry
 
     /** Mean member configurations per fused group. */
     double lanesPerGroup() const;
+    /** Mean member configurations per model group. */
+    double modelLanesPerGroup() const;
     /** Mean trace segments per fused group (1.0 = exact everywhere). */
     double segmentsPerGroup() const;
     /** Mean lane shards per fused group (1.0 = unsharded). */
@@ -284,9 +316,12 @@ std::vector<ConfigJob> planSweep(SchemeKind kind,
 /**
  * A unit of fused execution: jobs (indices into the planned job
  * vector) that replay the trace together because they read the same
- * per-branch first-level inputs.  When fused is false the group is a
- * fallback wrapper and its members run through the per-config kernel
- * one at a time (the AliasTracker path).
+ * per-branch first-level inputs.  A fused 2-bit group runs the packed
+ * lane kernel; a fused zoo group (kind Tage/Perceptron) is a MODEL
+ * group and runs the batched model-lane replay.  When fused is false
+ * the group is a fallback wrapper and its members run through the
+ * per-config kernel one at a time (the AliasTracker / runModelReplay
+ * path).
  */
 struct FusedGroup
 {
@@ -307,10 +342,14 @@ struct FusedGroup
  * Partition planned jobs into fused execution groups.  Jobs sharing a
  * first-level stream (same scheme; same BHT row width for PAsFinite)
  * land in one group, split into at most @p threads chunks so the pool
- * can spread a large group across executors.  When opts.trackAliasing
- * or !opts.fuseJobs, every job becomes its own fallback group.
- * Every job index appears in exactly one group; results are
- * bit-identical for any grouping.
+ * can spread a large group across executors.  Zoo jobs bucket by
+ * scheme into model groups under the same chunking.  When
+ * !opts.fuseJobs every job becomes its own fallback group; when
+ * opts.trackAliasing the 2-bit family falls back too (AliasTracker
+ * needs per-access addresses) but zoo jobs still batch -- their
+ * aliasing surfaces are identically zero on both paths.  Every job
+ * index appears in exactly one group; results are bit-identical for
+ * any grouping.
  */
 std::vector<FusedGroup>
 planFusedGroups(const std::vector<ConfigJob> &jobs,

@@ -66,8 +66,15 @@ namespace bpsim {
  *       hashing, list-valued canonical config keys).  v1 entries must
  *       never serve v2 requests: the planner's job enumeration gained
  *       validity filtering and canonicalKey changed for list values.
+ *  - 3: batched model-lane replay.  Zoo sweeps now honour
+ *       segments/segmentWarmup (v2 always replayed the zoo exactly,
+ *       so a v2 entry keyed segments>1 holds exact numbers the v3
+ *       engine would compute speculatively -- those keys must not be
+ *       served across the boundary).  Exact (segments==1) results are
+ *       bit-identical to v2, but versioning is per-engine, not
+ *       per-key.
  */
-constexpr std::uint32_t kEngineVersion = 2;
+constexpr std::uint32_t kEngineVersion = 3;
 
 /** One declarative sweep: which trace, which scheme, which lattice. */
 struct SweepRequest

@@ -289,21 +289,30 @@ TEST(TageZooInterference, TaggingConvertsAliasingIntoColdMisses)
     EXPECT_GT(tage.coldMispredicts, 0u);
 }
 
-TEST(TageZooTelemetry, FallbackSweepReportsMeasuredUtilization)
+TEST(TageZooTelemetry, BatchedSweepReportsModelGroupCounters)
 {
-    // TAGE has no fused kernel: every job takes the per-config
-    // fallback.  The telemetry must still be well-defined -- measured
-    // busy/span seconds, a worker count, and no NaNs from the
-    // zero-lane accessors.
+    // TAGE sweeps now run the batched model-lane engine by default:
+    // the jobs land in model groups (not 2-bit fused groups, not the
+    // per-config fallback), and the telemetry reports the model-side
+    // population -- groups, lanes, batches, blocks -- with measured
+    // busy/span seconds and no NaNs from the zero-lane 2-bit
+    // accessors.
     PreparedTrace prepared(sharedWorkload());
     SweepOptions o;
     o.minTotalBits = 6;
     o.maxTotalBits = 8;
+    const std::size_t planned =
+        planSweep(SchemeKind::Tage, o).size();
     SweepResult r = sweepScheme(prepared, SchemeKind::Tage, o);
 
     EXPECT_EQ(r.kernel.fusedGroups, 0u);
-    EXPECT_GT(r.kernel.fallbackJobs, 0u);
+    EXPECT_EQ(r.kernel.fallbackJobs, 0u);
     EXPECT_EQ(r.kernel.lanes, 0u);
+    EXPECT_GT(r.kernel.modelGroups, 0u);
+    EXPECT_EQ(r.kernel.modelLanes, planned);
+    EXPECT_GT(r.kernel.modelBatches, 0u);
+    EXPECT_GT(r.kernel.blocksReplayed, 0u);
+    EXPECT_EQ(r.kernel.laneBatches, 0u);
     EXPECT_GT(r.kernel.shardWorkers, 0u);
     EXPECT_GE(r.kernel.busySeconds, 0.0);
     EXPECT_GE(r.kernel.spanSeconds, 0.0);
@@ -314,6 +323,7 @@ TEST(TageZooTelemetry, FallbackSweepReportsMeasuredUtilization)
     EXPECT_LE(util, 1.0 + 1e-9);
     EXPECT_FALSE(std::isnan(r.kernel.lanesPerGroup()));
     EXPECT_EQ(r.kernel.lanesPerGroup(), 0.0);
+    EXPECT_GT(r.kernel.modelLanesPerGroup(), 0.0);
     EXPECT_FALSE(std::isnan(r.kernel.hotBytesPerBranch()));
     EXPECT_EQ(r.kernel.hotBytesPerBranch(), 0.0);
 
@@ -325,12 +335,34 @@ TEST(TageZooTelemetry, FallbackSweepReportsMeasuredUtilization)
             EXPECT_EQ(pt.value, 0.0);
 }
 
+TEST(TageZooTelemetry, UnfusedSweepStillReportsFallbackShape)
+{
+    // fuseJobs = false is the per-config baseline the perf bench
+    // measures against: every zoo job becomes its own fallback group
+    // and the model-group counters stay zero.
+    PreparedTrace prepared(sharedWorkload());
+    SweepOptions o;
+    o.minTotalBits = 6;
+    o.maxTotalBits = 7;
+    o.fuseJobs = false;
+    SweepResult r = sweepScheme(prepared, SchemeKind::Tage, o);
+
+    EXPECT_EQ(r.kernel.fusedGroups, 0u);
+    EXPECT_GT(r.kernel.fallbackJobs, 0u);
+    EXPECT_EQ(r.kernel.modelGroups, 0u);
+    EXPECT_EQ(r.kernel.modelLanes, 0u);
+    EXPECT_EQ(r.kernel.modelBatches, 0u);
+    EXPECT_GT(r.kernel.shardWorkers, 0u);
+    EXPECT_EQ(r.kernel.modelLanesPerGroup(), 0.0);
+}
+
 TEST(TageZooTelemetry, ZeroedCountersProduceFiniteRatios)
 {
     // A cache hit reports an all-zero KernelTelemetry; every derived
     // ratio must degrade to 0.0 rather than dividing by zero.
     KernelTelemetry k;
     EXPECT_EQ(k.lanesPerGroup(), 0.0);
+    EXPECT_EQ(k.modelLanesPerGroup(), 0.0);
     EXPECT_EQ(k.segmentsPerGroup(), 0.0);
     EXPECT_EQ(k.shardsPerGroup(), 0.0);
     EXPECT_EQ(k.workerUtilization(), 0.0);
